@@ -1,0 +1,81 @@
+"""EXP-2/EXP-5 (paper sections 2.5, 3.1.1): cluster scans and hierarchies.
+
+Measures type-extent scan throughput against extent size, and the cost of
+the deep (``person*``) form against the shallow one, reproducing the shape
+of the income-averaging program.
+"""
+
+import pytest
+
+from conftest import (BenchFaculty, BenchItem, BenchPerson, BenchStudent,
+                      populate_items)
+
+
+@pytest.fixture
+def hierarchy_db(db):
+    db.create(BenchPerson, exist_ok=True)
+    db.create(BenchStudent, exist_ok=True)
+    db.create(BenchFaculty, exist_ok=True)
+    with db.transaction():
+        for i in range(300):
+            db.pnew(BenchPerson, name="p%d" % i)
+        for i in range(150):
+            db.pnew(BenchStudent, name="s%d" % i)
+        for i in range(50):
+            db.pnew(BenchFaculty, name="f%d" % i)
+    return db
+
+
+class TestScanScaling:
+    @pytest.mark.parametrize("n", [100, 500, 2000])
+    def test_scan(self, benchmark, db, n):
+        populate_items(db, n)
+        handle = db.cluster(BenchItem)
+        result = benchmark(lambda: sum(1 for _ in handle))
+        assert result == n
+
+    @pytest.mark.parametrize("n", [100, 500, 2000])
+    def test_scan_cold_cache(self, benchmark, db, n):
+        populate_items(db, n)
+        handle = db.cluster(BenchItem)
+
+        def cold_scan():
+            db._cache.clear()
+            return sum(1 for _ in handle)
+
+        assert benchmark(cold_scan) == n
+
+
+class TestHierarchy:
+    def test_shallow_extent(self, benchmark, hierarchy_db):
+        handle = hierarchy_db.cluster(BenchPerson)
+        assert benchmark(lambda: sum(1 for _ in handle)) == 300
+
+    def test_deep_extent(self, benchmark, hierarchy_db):
+        handle = hierarchy_db.cluster(BenchPerson)
+        assert benchmark(lambda: sum(1 for _ in handle.deep())) == 500
+
+    def test_income_program(self, benchmark, hierarchy_db):
+        """The 3.1.1 program over the whole hierarchy."""
+        handle = hierarchy_db.cluster(BenchPerson)
+
+        def incomes():
+            total = 0.0
+            n = 0
+            for p in handle.deep():
+                total += p.income()
+                n += 1
+            return total / n
+
+        result = benchmark(incomes)
+        assert result == pytest.approx(
+            (300 * 100.0 + 150 * 40.0 + 50 * 200.0) / 500)
+
+    def test_is_type_narrowing(self, benchmark, hierarchy_db):
+        handle = hierarchy_db.cluster(BenchPerson)
+
+        def count_students():
+            return sum(1 for p in handle.deep()
+                       if isinstance(p, BenchStudent))
+
+        assert benchmark(count_students) == 150

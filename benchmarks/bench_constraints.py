@@ -1,0 +1,73 @@
+"""EXP-8 (paper section 5): constraint checking overhead.
+
+Measures the cost the paper's design imposes: constraints are evaluated
+at the end of every public member function and at commit, so the
+per-update overhead scales with the number of constraints on the class.
+"""
+
+import pytest
+
+from repro import IntField, OdeObject, constraint
+
+
+def make_class(n_constraints):
+    """A counter class with *n_constraints* trivial constraints."""
+    namespace = {"value": IntField(default=0)}
+
+    def bump(self):
+        self.value += 1
+    namespace["bump"] = bump
+
+    for i in range(n_constraints):
+        def check(self, _i=i):
+            return self.value >= -1 - _i
+        check.__name__ = "c%d" % i
+        check._is_ode_constraint = True
+        namespace["c%d" % i] = check
+
+    from repro.core.objects import OdeMeta
+    return OdeMeta("Constrained%d" % n_constraints, (OdeObject,), namespace)
+
+
+class TestConstraintOverhead:
+    @pytest.mark.parametrize("n_constraints", [0, 1, 4, 16])
+    def test_volatile_method_call(self, benchmark, n_constraints):
+        cls = make_class(n_constraints)
+        obj = cls()
+        benchmark(obj.bump)
+
+    @pytest.mark.parametrize("n_constraints", [0, 4, 16])
+    def test_commit_with_constraints(self, benchmark, db, n_constraints):
+        cls = make_class(n_constraints)
+        db.create(cls, exist_ok=True)
+        obj = db.pnew(cls)
+
+        def txn_update():
+            with db.transaction():
+                obj.bump()
+
+        benchmark(txn_update)
+
+    def test_violation_and_rollback(self, benchmark, db):
+        class Bounded(OdeObject):
+            value = IntField(default=0)
+
+            def set_to(self, v):
+                self.value = v
+
+            @constraint
+            def small(self):
+                return self.value < 100
+
+        db.create(Bounded, exist_ok=True)
+        obj = db.pnew(Bounded)
+
+        def violate():
+            from repro.errors import ConstraintViolation
+            try:
+                with db.transaction():
+                    obj.set_to(500)
+            except ConstraintViolation:
+                pass
+
+        benchmark(violate)

@@ -1,0 +1,90 @@
+"""EXP-6 (paper section 3.2): fixpoint query evaluation strategies.
+
+Regenerates the classical comparison the paper's citations ([2], [9])
+revolve around: naive vs seminaive least-fixpoint evaluation, across graph
+families — where seminaive wins and by how much should match the
+literature's shape (linear vs quadratic in rounds).
+"""
+
+import pytest
+
+from repro import fixpoint, growing_iteration, semi_naive
+
+
+def chain(n):
+    return {i: ([i + 1] if i + 1 < n else []) for i in range(n)}
+
+
+def binary_tree(depth):
+    edges = {}
+    total = 2 ** (depth + 1) - 1
+    for i in range(total):
+        kids = [k for k in (2 * i + 1, 2 * i + 2) if k < total]
+        edges[i] = kids
+    return edges
+
+
+def dense(n, out_degree=8):
+    return {i: [(i * 7 + j) % n for j in range(out_degree)]
+            for i in range(n)}
+
+
+GRAPHS = {
+    "chain200": chain(200),
+    "tree_depth10": binary_tree(10),
+    "dense500": dense(500),
+}
+
+
+class TestStrategies:
+    @pytest.mark.parametrize("name", list(GRAPHS))
+    def test_semi_naive(self, benchmark, name):
+        edges = GRAPHS[name]
+        result = benchmark(lambda: semi_naive([0], lambda x: edges[x]))
+        assert len(result) == len(edges)
+
+    @pytest.mark.parametrize("name", list(GRAPHS))
+    def test_naive(self, benchmark, name):
+        edges = GRAPHS[name]
+
+        def naive():
+            return fixpoint([0], lambda s: [t for x in s.snapshot()
+                                            for t in edges[x]])
+
+        result = benchmark(naive)
+        assert len(result) == len(edges)
+
+    @pytest.mark.parametrize("name", list(GRAPHS))
+    def test_growing_iteration(self, benchmark, name):
+        """The paper's surface idiom; should track semi-naive closely."""
+        edges = GRAPHS[name]
+
+        def visit(x, working):
+            for y in edges[x]:
+                working.insert(y)
+
+        result = benchmark(lambda: growing_iteration([0], visit))
+        assert len(result) == len(edges)
+
+
+class TestPersistentFixpoint:
+    def test_parts_explosion_on_disk(self, benchmark, db):
+        """The closure over real persistent objects (BOM of ~120 parts)."""
+        from repro import OdeObject, SetField, StringField
+
+        class FxPart(OdeObject):
+            name = StringField(default="")
+            uses = SetField("FxPart")
+
+        db.create(FxPart, exist_ok=True)
+        parts = [db.pnew(FxPart, name="p%d" % i) for i in range(120)]
+        with db.transaction():
+            for i, part in enumerate(parts[:-2]):
+                part.uses.insert(parts[i + 1].oid)
+                part.uses.insert(parts[i + 2].oid)
+                part.uses = part.uses
+
+        root = parts[0].oid
+        result = benchmark(
+            lambda: semi_naive([root], lambda r: db.deref(r).uses))
+        assert len(result) == 120

@@ -1,0 +1,152 @@
+"""EXP-4 (paper section 3.1): forall / suchthat / by and the optimizer.
+
+Regenerates the paper's implicit claim that suchthat/by clauses "can be
+used to advantage in query optimization": the same queries are measured
+as full scans and as index plans (hash equality, B+tree range), across
+selectivities, plus the join forms.
+"""
+
+import pytest
+
+from conftest import BenchItem, populate_items
+
+from repro import A, forall
+
+N = 2000
+
+
+@pytest.fixture
+def plain_db(db):
+    return populate_items(db, N)
+
+
+@pytest.fixture
+def indexed_db(db):
+    return populate_items(db, N, with_indexes=[("category", "hash"),
+                                               ("price", "btree")])
+
+
+class TestSelection:
+    def test_full_scan_eq_10pct(self, benchmark, plain_db):
+        q = forall(plain_db.cluster(BenchItem)).suchthat(A.category == 3)
+        assert "full scan" in q.explain()
+        result = benchmark(q.count)
+        assert result == N // 10
+
+    def test_indexed_eq_10pct(self, benchmark, indexed_db):
+        q = forall(indexed_db.cluster(BenchItem)).suchthat(A.category == 3)
+        assert "eq-lookup" in q.explain()
+        result = benchmark(q.count)
+        assert result == N // 10
+
+    def test_full_scan_range_5pct(self, benchmark, plain_db):
+        q = forall(plain_db.cluster(BenchItem)).suchthat(
+            (A.price >= 10.0) & (A.price < 15.0))
+        result = benchmark(q.count)
+        assert result == N // 20
+
+    def test_indexed_range_5pct(self, benchmark, indexed_db):
+        q = forall(indexed_db.cluster(BenchItem)).suchthat(
+            (A.price >= 10.0) & (A.price < 15.0))
+        assert "range-scan" in q.explain()
+        result = benchmark(q.count)
+        assert result == N // 20
+
+    def test_indexed_point_lookup(self, benchmark, indexed_db):
+        q = forall(indexed_db.cluster(BenchItem)).suchthat(A.price == 42.0)
+        result = benchmark(q.count)
+        assert result == N // 100
+
+    def test_full_scan_point_lookup(self, benchmark, plain_db):
+        q = forall(plain_db.cluster(BenchItem)).suchthat(A.price == 42.0)
+        result = benchmark(q.count)
+        assert result == N // 100
+
+
+class TestOrdering:
+    def test_by_sort(self, benchmark, plain_db):
+        q = forall(plain_db.cluster(BenchItem)).suchthat(
+            A.category == 3).by(A.name)
+        benchmark(lambda: q.to_list())
+
+    def test_unordered(self, benchmark, plain_db):
+        q = forall(plain_db.cluster(BenchItem)).suchthat(A.category == 3)
+        benchmark(lambda: q.to_list())
+
+
+class TestJoin:
+    def test_nested_loop_join_100x100(self, benchmark, db):
+        populate_items(db, 100)
+        items = db.cluster(BenchItem)
+        q = forall(items, items).suchthat(
+            lambda a, b: a.category == b.category and a.qty < b.qty)
+        benchmark(q.count)
+
+    def test_hash_probe_join_emulation(self, benchmark, db):
+        """What an index turns the join into: probe per outer row."""
+        populate_items(db, 100, with_indexes=[("category", "hash")])
+        items = db.cluster(BenchItem)
+
+        def probe_join():
+            total = 0
+            for a in items:
+                matches = forall(items).suchthat(
+                    (A.category == a.category) & (A.qty > a.qty))
+                total += matches.count()
+            return total
+
+        benchmark(probe_join)
+
+
+class TestEquijoin:
+    """Hash equijoin vs nested loop — the section-1 'join queries' answer."""
+
+    @pytest.fixture
+    def two_tables(self, db):
+        populate_items(db, 400)
+        return db
+
+    def test_nested_loop_equijoin(self, benchmark, two_tables):
+        items = two_tables.cluster(BenchItem)
+        q = forall(items, items).suchthat(
+            lambda a, b: a.category == b.category)
+        result = benchmark(q.count)
+        assert result == 10 * 40 * 40
+
+    def test_hash_equijoin(self, benchmark, two_tables):
+        items = two_tables.cluster(BenchItem)
+        q = forall(items, items).join_on(A.category, A.category)
+        result = benchmark(q.count)
+        assert result == 10 * 40 * 40
+
+
+class TestCompositeIndex:
+    """Composite (vendor, price) index vs the alternatives."""
+
+    N = 2000
+
+    @pytest.fixture
+    def composite_db(self, db):
+        populate_items(db, self.N,
+                       with_indexes=[(("category", "price"), "btree")])
+        return db
+
+    def test_prefix_plus_range_via_composite(self, benchmark, composite_db):
+        q = forall(composite_db.cluster(BenchItem)).suchthat(
+            (A.category == 3) & (A.price >= 10.0) & (A.price < 20.0))
+        assert "composite" in q.explain()
+        result = benchmark(q.count)
+        assert result > 0
+
+    def test_same_query_full_scan(self, benchmark, db):
+        populate_items(db, self.N)
+        q = forall(db.cluster(BenchItem)).suchthat(
+            (A.category == 3) & (A.price >= 10.0) & (A.price < 20.0))
+        assert "full scan" in q.explain()
+        benchmark(q.count)
+
+    def test_ordered_by_index_no_sort(self, benchmark, db):
+        populate_items(db, self.N, with_indexes=[("price", "btree")])
+        q = forall(db.cluster(BenchItem)).suchthat(
+            (A.price >= 10.0) & (A.price < 30.0)).by(A.price)
+        benchmark(lambda: q.to_list())

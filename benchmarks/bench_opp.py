@@ -1,0 +1,86 @@
+"""EXP-11: O++ interpreter overhead vs the direct Python API.
+
+The same workload is run through the language front end and through the
+library; the ratio is the cost of the language layer (parse once, then a
+tree-walking evaluator per statement).
+"""
+
+import pytest
+
+from repro.opp import Interpreter, parse
+
+SCHEMA = r"""
+class bitem {
+  public:
+    char* name;
+    double price;
+    int qty;
+    bitem(char* n, double p, int q) { name = n; price = p; qty = q; }
+};
+create bitem;
+"""
+
+QUERY = r"""
+int n = 0;
+forall t in bitem suchthat (t->price < 50.0) n++;
+"""
+
+
+class TestParsing:
+    def test_parse_schema(self, benchmark):
+        benchmark(lambda: parse(SCHEMA))
+
+    def test_parse_large_program(self, benchmark):
+        program = SCHEMA + QUERY * 50
+        benchmark(lambda: parse(program, known_types={"bitem"}))
+
+
+class TestExecution:
+    @pytest.fixture
+    def loaded(self, db):
+        interp = Interpreter(db)
+        interp.run(SCHEMA)
+        interp.run("""
+        for (int i = 0; i < 200; i++)
+            pnew bitem("part", 1.0 * (i - (i / 100) * 100), i);
+        """)
+        return db, interp
+
+    def test_query_via_opp(self, benchmark, loaded):
+        db, interp = loaded
+        benchmark(lambda: interp.run(QUERY))
+
+    def test_query_via_python(self, benchmark, loaded):
+        db, interp = loaded
+        from repro import A, forall
+        from repro.core.objects import class_registry
+        cls = class_registry()["bitem"]
+        q = forall(db.cluster(cls)).suchthat(A.price < 50.0)
+        result = benchmark(q.count)
+        assert result == 100
+
+    def test_arithmetic_loop_opp(self, benchmark, loaded):
+        db, interp = loaded
+        src = """
+        int total = 0;
+        for (int i = 0; i < 1000; i++) total += i;
+        """
+        benchmark(lambda: interp.run(src))
+
+    def test_arithmetic_loop_python(self, benchmark):
+        def loop():
+            total = 0
+            for i in range(1000):
+                total += i
+            return total
+
+        benchmark(loop)
+
+    def test_method_dispatch_opp(self, benchmark, loaded):
+        db, interp = loaded
+        interp.run("""
+        bitem *probe;
+        probe = new bitem("x", 1.0, 0);
+        """)
+        benchmark(lambda: interp.run(
+            "for (int i = 0; i < 100; i++) probe->qty;"))

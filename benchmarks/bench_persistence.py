@@ -1,0 +1,92 @@
+"""EXP-1 (paper sections 2.1-2.4): persistence mechanics.
+
+Regenerates the implied comparison of the paper's central promise — the
+same code manipulates volatile and persistent objects — by measuring what
+persistence costs: object creation, cached reads, cold faults, updates.
+"""
+
+import pytest
+
+from conftest import BenchItem, BenchSupplier, populate_items
+
+from repro import Oid
+
+
+class TestCreation:
+    def test_volatile_create(self, benchmark):
+        benchmark(lambda: [BenchItem(name="x", price=1.0, qty=1)
+                           for _ in range(100)])
+
+    def test_pnew_autocommit(self, benchmark, db):
+        db.create(BenchSupplier, exist_ok=True)
+        db.create(BenchItem, exist_ok=True)
+
+        def create_one():
+            db.pnew(BenchItem, name="x", price=1.0, qty=1)
+
+        benchmark(create_one)
+
+    def test_pnew_batched_in_txn(self, benchmark, db):
+        db.create(BenchSupplier, exist_ok=True)
+        db.create(BenchItem, exist_ok=True)
+
+        def create_batch():
+            with db.transaction():
+                for _ in range(100):
+                    db.pnew(BenchItem, name="x", price=1.0, qty=1)
+
+        benchmark(create_batch)
+
+
+class TestReads:
+    def test_deref_cached(self, benchmark, db):
+        populate_items(db, 500)
+        oid = Oid("BenchItem", 250)
+        db.deref(oid)  # warm
+
+        benchmark(lambda: db.deref(oid).qty)
+
+    def test_deref_cold_fault(self, benchmark, db):
+        populate_items(db, 500)
+        oid = Oid("BenchItem", 250)
+
+        def fault():
+            db._cache.clear()
+            return db.deref(oid).qty
+
+        benchmark(fault)
+
+    def test_volatile_attribute_read(self, benchmark):
+        item = BenchItem(name="x", qty=5)
+        benchmark(lambda: item.qty)
+
+
+class TestUpdates:
+    def test_update_commit_single(self, benchmark, db):
+        populate_items(db, 100)
+        item = db.deref(Oid("BenchItem", 50))
+
+        def update():
+            with db.transaction():
+                item.qty += 1
+
+        benchmark(update)
+
+    def test_update_commit_batch100(self, benchmark, db):
+        populate_items(db, 200)
+        items = list(db.cluster(BenchItem))[:100]
+
+        def update_all():
+            with db.transaction():
+                for item in items:
+                    item.qty += 1
+
+        benchmark(update_all)
+
+    def test_volatile_update(self, benchmark):
+        item = BenchItem(qty=0)
+
+        def bump():
+            item.qty += 1
+
+        benchmark(bump)

@@ -1,0 +1,62 @@
+"""EXP-3 (paper section 2.6): OdeSet operation costs and scaling."""
+
+import pytest
+
+from repro import OdeSet
+
+
+class TestSetOps:
+    @pytest.mark.parametrize("n", [100, 1000, 10000])
+    def test_insert_scaling(self, benchmark, n):
+        def build():
+            s = OdeSet()
+            for i in range(n):
+                s.insert(i)
+            return s
+
+        result = benchmark(build)
+        assert len(result) == n
+
+    def test_membership(self, benchmark):
+        s = OdeSet(range(10000))
+        assert benchmark(lambda: 9999 in s)
+
+    def test_remove_insert_churn(self, benchmark):
+        s = OdeSet(range(1000))
+
+        def churn():
+            for i in range(100):
+                s.remove(i)
+                s.insert(i)
+
+        benchmark(churn)
+
+    def test_iteration(self, benchmark):
+        s = OdeSet(range(5000))
+        assert benchmark(lambda: sum(1 for _ in s)) == 5000
+
+    def test_growth_tolerant_iteration(self, benchmark):
+        """The fixpoint-enabling iterator: grow while iterating."""
+
+        def grow_iterate():
+            s = OdeSet([0])
+            for x in s:
+                if x < 2000:
+                    s.insert(x + 1)
+            return len(s)
+
+        assert benchmark(grow_iterate) == 2001
+
+    def test_union(self, benchmark):
+        a = OdeSet(range(0, 2000))
+        b = OdeSet(range(1000, 3000))
+        assert len(benchmark(lambda: a | b)) == 3000
+
+    def test_operator_insert(self, benchmark):
+        def build():
+            s = OdeSet()
+            for i in range(1000):
+                s << i
+            return s
+
+        assert len(benchmark(build)) == 1000

@@ -1,0 +1,166 @@
+"""EXP-10 (substrate): storage engine characteristics.
+
+The paper never published numbers for its persistent store; these benches
+characterise ours so every higher-level number has a substrate baseline:
+commit latency vs payload size, index probe vs heap scan, B+tree vs hash
+point lookups, recovery time vs log length, buffer pool hit/miss costs.
+"""
+
+import os
+
+import pytest
+
+from repro.storage.btree import BTree
+from repro.storage.buffer import BufferPool
+from repro.storage.hashindex import HashIndex
+from repro.storage.heap import HeapFile
+from repro.storage.journal import Journal
+from repro.storage.pagefile import PageFile
+from repro.storage.recovery import recover
+from repro.storage.wal import WriteAheadLog
+
+
+@pytest.fixture
+def stack(tmp_path):
+    pagefile = PageFile(str(tmp_path / "pages"))
+    pool = BufferPool(pagefile, capacity=128)
+    wal = WriteAheadLog(str(tmp_path / "wal"))
+    journal = Journal(pool, wal)
+    yield pool, wal, journal
+    wal.close()
+    pagefile.close()
+
+
+class TestCommitLatency:
+    @pytest.mark.parametrize("size", [64, 1024, 16384])
+    def test_insert_commit(self, benchmark, stack, size):
+        pool, wal, journal = stack
+        txn = journal.begin()
+        heap = HeapFile.create(journal, txn)
+        journal.commit(txn)
+        payload = os.urandom(size)
+
+        def insert_commit():
+            t = journal.begin()
+            heap.insert(t, payload)
+            journal.commit(t)
+
+        benchmark(insert_commit)
+
+    def test_batched_inserts_per_commit(self, benchmark, stack):
+        pool, wal, journal = stack
+        txn = journal.begin()
+        heap = HeapFile.create(journal, txn)
+        journal.commit(txn)
+        payload = os.urandom(256)
+
+        def batch():
+            t = journal.begin()
+            for _ in range(100):
+                heap.insert(t, payload)
+            journal.commit(t)
+
+        benchmark(batch)
+
+
+class TestIndexLookups:
+    N = 5000
+
+    @pytest.fixture
+    def loaded(self, stack):
+        pool, wal, journal = stack
+        txn = journal.begin()
+        heap = HeapFile.create(journal, txn)
+        btree = BTree.create(journal, txn)
+        hindex = HashIndex.create(journal, txn)
+        rids = {}
+        for i in range(self.N):
+            rid = heap.insert(txn, b"record-%06d" % i)
+            btree.insert(txn, i, tuple(rid))
+            hindex.insert(txn, i, tuple(rid))
+            rids[i] = rid
+        journal.commit(txn)
+        return heap, btree, hindex
+
+    def test_btree_point_lookup(self, benchmark, loaded):
+        heap, btree, hindex = loaded
+        assert benchmark(lambda: btree.search(self.N // 2))
+
+    def test_hash_point_lookup(self, benchmark, loaded):
+        heap, btree, hindex = loaded
+        assert benchmark(lambda: hindex.search(self.N // 2))
+
+    def test_btree_range_100(self, benchmark, loaded):
+        heap, btree, hindex = loaded
+        result = benchmark(lambda: list(btree.range(1000, 1100)))
+        assert len(result) == 100
+
+    def test_heap_full_scan(self, benchmark, loaded):
+        heap, btree, hindex = loaded
+        assert benchmark(lambda: sum(1 for _ in heap.scan())) == self.N
+
+    def test_probe_then_heap_read(self, benchmark, loaded):
+        from repro.storage.heap import RID
+        heap, btree, hindex = loaded
+
+        def point_read():
+            rid = hindex.search(self.N // 3)[0]
+            return heap.read(RID(*rid))
+
+        assert benchmark(point_read) == b"record-%06d" % (self.N // 3)
+
+
+class TestRecovery:
+    @pytest.mark.parametrize("txns", [10, 100, 500])
+    def test_recovery_time_vs_log_length(self, benchmark, tmp_path, txns):
+        base = tmp_path / str(txns)
+        base.mkdir()
+
+        def build_then_recover():
+            page_path = str(base / "pages")
+            wal_path = str(base / "wal")
+            for p in (page_path, wal_path):
+                if os.path.exists(p):
+                    os.unlink(p)
+            pagefile = PageFile(page_path)
+            pool = BufferPool(pagefile, capacity=64)
+            wal = WriteAheadLog(wal_path)
+            journal = Journal(pool, wal)
+            t = journal.begin()
+            heap = HeapFile.create(journal, t)
+            journal.commit(t)
+            for i in range(txns):
+                t = journal.begin()
+                heap.insert(t, b"x" * 200)
+                journal.commit(t)
+            # crash: drop the pool, reopen, recover
+            wal.close()
+            pagefile.close()
+            pagefile2 = PageFile(page_path)
+            pool2 = BufferPool(pagefile2, capacity=64)
+            wal2 = WriteAheadLog(wal_path)
+            report = recover(pool2, wal2)
+            wal2.close()
+            pagefile2.close()
+            return report
+
+        report = benchmark.pedantic(build_then_recover, rounds=3,
+                                    iterations=1)
+        assert report.redone > 0
+
+
+class TestBufferPool:
+    def test_hit_vs_miss(self, benchmark, tmp_path):
+        pagefile = PageFile(str(tmp_path / "bp"))
+        pool = BufferPool(pagefile, capacity=8)
+        from repro.storage.page import PageType
+        pages = [pool.new_page(PageType.HEAP) for _ in range(64)]
+        pool.flush_all()
+
+        def sweep():
+            for page_no in pages:
+                with pool.page(page_no):
+                    pass
+
+        benchmark(sweep)
+        pagefile.close()

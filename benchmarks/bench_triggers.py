@@ -1,0 +1,99 @@
+"""EXP-9 (paper section 6): trigger machinery costs.
+
+Measures what an active database pays: per-commit condition evaluation as
+the number of live activations grows, firing throughput (weak-coupled
+action transactions), and timed-trigger clock advances.
+"""
+
+import pytest
+
+from repro import IntField, OdeObject, Trigger
+
+sink = []
+
+
+class Sensor(OdeObject):
+    reading = IntField(default=0)
+
+    def record(self, v):
+        self.reading = v
+
+    alert = Trigger(
+        condition=lambda self, threshold: self.reading > threshold,
+        action=lambda self, threshold: sink.append(threshold))
+
+    monitor = Trigger(
+        condition=lambda self: self.reading > 10 ** 9,  # never true
+        action=lambda self: sink.append(None),
+        perpetual=True)
+
+    deadline = Trigger(
+        condition=lambda self: self.reading > 10 ** 9,
+        action=lambda self: sink.append("hit"),
+        within=3600.0,
+        timeout_action=lambda self: sink.append("late"))
+
+
+@pytest.fixture(autouse=True)
+def clear_sink():
+    sink.clear()
+
+
+class TestEvaluationOverhead:
+    @pytest.mark.parametrize("n_activations", [0, 10, 100])
+    def test_commit_with_idle_activations(self, benchmark, db,
+                                          n_activations):
+        """Cost of a commit that fires nothing, vs live activation count."""
+        db.create(Sensor, exist_ok=True)
+        sensors = [db.pnew(Sensor) for _ in range(max(n_activations, 1))]
+        for s in sensors[:n_activations]:
+            s.monitor()
+
+        target = sensors[0]
+
+        def commit():
+            with db.transaction():
+                target.record(5)
+
+        benchmark(commit)
+
+
+class TestFiring:
+    def test_fire_one_action(self, benchmark, db):
+        db.create(Sensor, exist_ok=True)
+        s = db.pnew(Sensor)
+
+        def fire():
+            s.alert(10)  # activation (condition false now: reading 0)
+            with db.transaction():
+                s.record(100)   # condition true: fires, runs action txn
+            with db.transaction():
+                s.record(0)
+
+        benchmark(fire)
+
+    def test_fire_ten_actions(self, benchmark, db):
+        db.create(Sensor, exist_ok=True)
+        sensors = [db.pnew(Sensor) for _ in range(10)]
+
+        def fire_all():
+            for s in sensors:
+                s.alert(10)
+            with db.transaction():
+                for s in sensors:
+                    s.record(100)
+            with db.transaction():
+                for s in sensors:
+                    s.record(0)
+
+        benchmark(fire_all)
+
+
+class TestTimed:
+    def test_advance_time_with_deadlines(self, benchmark, db):
+        db.create(Sensor, exist_ok=True)
+        sensors = [db.pnew(Sensor) for _ in range(20)]
+        for s in sensors:
+            s.deadline()
+
+        benchmark(lambda: db.advance_time(1.0))

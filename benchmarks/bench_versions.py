@@ -1,0 +1,95 @@
+"""EXP-7 (paper section 4): versioning costs.
+
+Measures newversion cost as chains grow, generic vs specific dereference,
+and chain navigation — the operations the paper's versioning macros map
+onto.
+"""
+
+import pytest
+
+from repro import (FloatField, OdeObject, StringField, newversion, versions)
+
+
+class VDoc(OdeObject):
+    title = StringField(default="")
+    body = StringField(default="")
+    rev = FloatField(default=0.0)
+
+
+@pytest.fixture
+def vdb(db):
+    db.create(VDoc, exist_ok=True)
+    return db
+
+
+class TestVersionCreation:
+    def test_newversion(self, benchmark, vdb):
+        doc = vdb.pnew(VDoc, title="t", body="b" * 200)
+        benchmark(lambda: newversion(doc))
+
+    @pytest.mark.parametrize("chain_length", [1, 16, 64])
+    def test_newversion_vs_chain_length(self, benchmark, vdb, chain_length):
+        doc = vdb.pnew(VDoc, title="t", body="b" * 200)
+        for _ in range(chain_length - 1):
+            newversion(doc)
+        benchmark(lambda: newversion(doc))
+
+
+class TestDereference:
+    @pytest.fixture
+    def doc_with_history(self, vdb):
+        doc = vdb.pnew(VDoc, title="t", body="x" * 100)
+        for i in range(20):
+            newversion(doc)
+            doc.rev = float(i)
+        with vdb.transaction():
+            pass
+        return vdb, doc
+
+    def test_deref_generic_cached(self, benchmark, doc_with_history):
+        vdb, doc = doc_with_history
+        oid = doc.oid
+        benchmark(lambda: vdb.deref(oid).rev)
+
+    def test_deref_generic_cold(self, benchmark, doc_with_history):
+        vdb, doc = doc_with_history
+        oid = doc.oid
+
+        def cold():
+            vdb._cache.clear()
+            return vdb.deref(oid).rev
+
+        benchmark(cold)
+
+    def test_deref_specific_old_version(self, benchmark, doc_with_history):
+        vdb, doc = doc_with_history
+        pinned = versions(doc)[2]
+
+        def cold_pin():
+            vdb._vcache.clear()
+            return vdb.deref(pinned).rev
+
+        benchmark(cold_pin)
+
+
+class TestNavigation:
+    def test_walk_chain(self, benchmark, vdb):
+        doc = vdb.pnew(VDoc, title="t")
+        for _ in range(40):
+            newversion(doc)
+
+        def walk():
+            n = 0
+            cursor = vdb.vlast(doc)
+            while cursor is not None:
+                n += 1
+                cursor = vdb.vprev(cursor)
+            return n
+
+        assert benchmark(walk) == 41
+
+    def test_versions_listing(self, benchmark, vdb):
+        doc = vdb.pnew(VDoc, title="t")
+        for _ in range(40):
+            newversion(doc)
+        assert len(benchmark(lambda: versions(doc))) == 41

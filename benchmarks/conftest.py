@@ -1,0 +1,59 @@
+"""Shared benchmark fixtures and the schema used across benchmarks."""
+
+import os
+
+import pytest
+
+from repro import (Database, FloatField, IntField, OdeObject, RefField,
+                   StringField)
+
+
+class BenchSupplier(OdeObject):
+    name = StringField(default="")
+
+
+class BenchItem(OdeObject):
+    name = StringField(default="")
+    price = FloatField(default=0.0)
+    qty = IntField(default=0)
+    category = IntField(default=0)
+    supplier = RefField("BenchSupplier")
+
+
+class BenchPerson(OdeObject):
+    name = StringField(default="")
+
+    def income(self):
+        return 100.0
+
+
+class BenchStudent(BenchPerson):
+    def income(self):
+        return 40.0
+
+
+class BenchFaculty(BenchPerson):
+    def income(self):
+        return 200.0
+
+
+@pytest.fixture
+def db(tmp_path):
+    database = Database(str(tmp_path / "bench.odb"))
+    yield database
+    if not database._closed:
+        database.close()
+
+
+def populate_items(db, n, with_indexes=()):
+    """Standard benchmark dataset: n items, price = i % 100, 10 categories."""
+    db.create(BenchSupplier, exist_ok=True)
+    db.create(BenchItem, exist_ok=True)
+    sup = db.pnew(BenchSupplier, name="acme")
+    with db.transaction():
+        for i in range(n):
+            db.pnew(BenchItem, name="item%06d" % i, price=float(i % 100),
+                    qty=i % 1000, category=i % 10, supplier=sup)
+    for field, kind in with_indexes:
+        db.create_index(BenchItem, field, kind=kind)
+    return db

@@ -1,0 +1,119 @@
+"""Active inventory: constraints and triggers running a tiny supply chain.
+
+Sections 5 and 6 of the paper: integrity constraints abort violating
+transactions; triggers (once-only, perpetual, and timed) make the database
+*active* — here they place re-orders, watch for stockouts, and escalate
+orders that suppliers fail to deliver within their lead time (driven by
+the database's virtual clock).
+
+Run:  python examples/active_inventory.py
+"""
+
+import os
+import tempfile
+
+from repro import (Database, IntField, OdeObject, StringField, Trigger,
+                   constraint)
+from repro.errors import ConstraintViolation
+
+EVENTS = []
+
+
+def record(kind, *detail):
+    EVENTS.append((kind,) + detail)
+    print("   [event] %s %s" % (kind, " ".join(map(str, detail))))
+
+
+class StockItem(OdeObject):
+    name = StringField(default="")
+    qty = IntField(default=0)
+    max_inventory = IntField(default=10000)
+    reorder_level = IntField(default=0)
+    lead_time = IntField(default=48)  # hours
+
+    def consume(self, n):
+        self.qty -= n
+
+    def deliver(self, n):
+        self.qty += n
+
+    @constraint
+    def qty_nonneg(self):
+        return self.qty >= 0
+
+    @constraint
+    def within_capacity(self):
+        return self.qty <= self.max_inventory
+
+    # Once-only: fires when stock dips below the reorder level; the
+    # buyer must re-activate after handling it (paper section 6).
+    reorder = Trigger(
+        condition=lambda self, amount: self.qty <= self.reorder_level,
+        action=lambda self, amount: record("REORDER", self.name, amount))
+
+    # Perpetual: keeps watching for total stockout forever.
+    stockout = Trigger(
+        condition=lambda self: self.qty == 0,
+        action=lambda self: record("STOCKOUT", self.name),
+        perpetual=True)
+
+    # Timed: if stock hasn't recovered within the lead time, escalate.
+    expect_delivery = Trigger(
+        condition=lambda self, floor: self.qty >= floor,
+        action=lambda self, floor: record("DELIVERED", self.name),
+        within=lambda self, floor: float(self.lead_time),
+        timeout_action=lambda self, floor: record("LATE", self.name))
+
+
+def main():
+    path = os.path.join(tempfile.mkdtemp(), "active.odb")
+    with Database(path) as db:
+        db.create(StockItem)
+        dram = db.pnew(StockItem, name="512K DRAM", qty=5000,
+                       reorder_level=1000, lead_time=48)
+        dram.reorder(4000)
+        dram.stockout()
+
+        print("1. heavy consumption drives qty below the reorder level:")
+        with db.transaction():
+            dram.consume(2500)
+            dram.consume(1600)  # 900 left
+        # -> REORDER fired after commit (weak coupling)
+
+        print("2. we expect the 4000-unit delivery within 48h:")
+        dram.expect_delivery(3000)
+        db.advance_time(24.0)
+        print("   24h later: nothing yet, no event")
+
+        print("3. supplier is late — the deadline passes:")
+        db.advance_time(30.0)
+        # -> LATE fired
+
+        print("4. delivery finally lands; perpetual stockout never fired:")
+        with db.transaction():
+            dram.deliver(4000)
+
+        print("5. a constraint violation rolls a whole transaction back:")
+        try:
+            with db.transaction():
+                dram.consume(2000)
+                dram.consume(99999)  # would go negative: abort everything
+        except ConstraintViolation as exc:
+            print("   aborted: %s" % exc)
+        print("   qty after rollback: %d (both consumes undone)" % dram.qty)
+
+        print("6. draining to zero fires the perpetual stockout watch:")
+        with db.transaction():
+            dram.consume(dram.qty)
+        with db.transaction():
+            dram.deliver(10)
+        with db.transaction():
+            dram.consume(10)  # zero again: perpetual fires again
+        kinds = [e[0] for e in EVENTS]
+        assert kinds.count("STOCKOUT") == 2
+        assert "REORDER" in kinds and "LATE" in kinds
+        print("\nevent log:", kinds)
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,92 @@
+"""The paper's inventory program written in O++ itself.
+
+Everything the other examples do from Python, this one does in the
+paper's own language, through the bundled interpreter: class declaration
+with constraints and triggers, cluster creation, pnew, the forall /
+suchthat / by query, and versioning macros.
+
+Run:  python examples/opp_inventory.py
+"""
+
+import os
+import tempfile
+
+from repro import Database
+from repro.opp import Interpreter
+
+PROGRAM = r"""
+class supplier {
+  public:
+    char* name;
+    char* address;
+    supplier(char* n, char* a) { name = n; address = a; }
+};
+
+class stockitem {
+  public:
+    char* name;
+    double price;
+    int qty;
+    int max_inventory;
+    int reorder_level;
+    persistent supplier *sup;
+    stockitem(char* n, double p, int q, int maxi, int r) {
+        name = n; price = p; qty = q;
+        max_inventory = maxi; reorder_level = r;
+    }
+    int consume(int n) { qty = qty - n; return qty; }
+  constraint:
+    qty >= 0;
+    qty <= max_inventory;
+  trigger:
+    reorder(int n) : qty <= reorder_level ==>
+        printf("  [trigger] ordering %d more %s\n", n, name);
+};
+
+create supplier;
+create stockitem;
+
+persistent supplier *att;
+att = pnew supplier("at&t", "berkeley hts, nj");
+
+persistent stockitem *dram;
+dram = pnew stockitem("512 dram", 5.00, 7500, 15000, 1000);
+dram->sup = att;
+pnew stockitem("z80", 2.50, 50, 500, 10);
+pnew stockitem("eprom 2764", 2.90, 300, 2000, 20);
+pnew stockitem("68000", 12.00, 90, 400, 5);
+
+printf("inventory (price < $3.00), by name:\n");
+forall t in stockitem suchthat (t->price < 3.00) by (t->name)
+    printf("  %-12s $%g qty=%d\n", t->name, t->price, t->qty);
+
+printf("activating reorder trigger and consuming stock...\n");
+dram->reorder(5000);
+transaction { dram->consume(6800); }
+printf("dram qty is now %d (from %s)\n", dram->qty, dram->sup->name);
+
+printf("versioning the z80 entry...\n");
+persistent stockitem *z;
+forall t in stockitem suchthat (t->price == 2.50) z = t;
+newversion(z);
+z->price = 2.75;
+printf("z80 was $%g, now $%g\n", deref(vfirst(z))->price, z->price);
+
+int total = 0;
+forall t in stockitem total += t->qty;
+printf("total units on hand: %d\n", total);
+"""
+
+
+def main():
+    path = os.path.join(tempfile.mkdtemp(), "opp.odb")
+    with Database(path) as db:
+        interp = Interpreter(db, echo=True)
+        interp.run(PROGRAM)
+        # The O++ classes are real Ode classes; Python can query them too.
+        items = db.cluster("stockitem")
+        print("(from Python: %d stockitems in the cluster)" % items.count())
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,120 @@
+"""University database: cluster hierarchies and declarative queries.
+
+Reproduces section 3.1.1 of the paper — the person/student/faculty
+hierarchy with deep-extent iteration (`forall p in person*`), run-time
+type tests, join queries over multiple loop variables, and aggregates.
+
+Run:  python examples/university.py
+"""
+
+import os
+import random
+import tempfile
+
+from repro import (A, Database, FloatField, IntField, OdeObject, StringField,
+                   avg, forall, group_by)
+
+
+class Person(OdeObject):
+    name = StringField(default="")
+    age = IntField(default=0)
+
+    def income(self):
+        return 12000.0
+
+
+class Student(Person):
+    year = IntField(default=1)
+    stipend = FloatField(default=9000.0)
+
+    def income(self):
+        return self.stipend
+
+
+class Faculty(Person):
+    dept = StringField(default="")
+    salary = FloatField(default=70000.0)
+
+    def income(self):
+        return self.salary
+
+
+class TA(Student):
+    """Deeper derivation: TAs are students with a teaching salary."""
+
+    ta_pay = FloatField(default=6000.0)
+
+    def income(self):
+        return self.stipend + self.ta_pay
+
+
+def populate(db, rng):
+    db.create(Person)
+    db.create(Student)
+    db.create(Faculty)
+    db.create(TA)
+    depts = ["cs", "math", "physics"]
+    for i in range(40):
+        db.pnew(Person, name="person%02d" % i, age=rng.randint(20, 70))
+    for i in range(25):
+        db.pnew(Student, name="student%02d" % i, age=rng.randint(18, 30),
+                year=rng.randint(1, 5))
+    for i in range(12):
+        db.pnew(Faculty, name="prof%02d" % i, age=rng.randint(30, 70),
+                dept=rng.choice(depts),
+                salary=60000.0 + 5000 * rng.randint(0, 8))
+    for i in range(8):
+        db.pnew(TA, name="ta%02d" % i, age=rng.randint(20, 30),
+                year=rng.randint(2, 5))
+
+
+def main():
+    rng = random.Random(2026)
+    path = os.path.join(tempfile.mkdtemp(), "university.odb")
+    with Database(path) as db:
+        populate(db, rng)
+
+        people = db.cluster(Person)
+        print("extent sizes: person=%d person*=%d student*=%d"
+              % (people.count(), people.count(deep=True),
+                 db.cluster(Student).count(deep=True)))
+
+        # Section 3.1.1's income program: average income per category.
+        incomep = incomes = incomef = 0.0
+        np = ns = nf = 0
+        for p in people.deep():
+            incomep += p.income()
+            np += 1
+            if isinstance(p, Student):
+                incomes += p.income()
+                ns += 1
+            elif isinstance(p, Faculty):
+                incomef += p.income()
+                nf += 1
+        print("avg income: everyone $%.0f, students $%.0f, faculty $%.0f"
+              % (incomep / np, incomes / ns, incomef / nf))
+
+        # The same, declaratively.
+        print("avg faculty income (aggregate): $%.0f"
+              % avg(forall(db.cluster(Faculty)), lambda f: f.income()))
+        print("faculty headcount by department:",
+              group_by(forall(db.cluster(Faculty)), key=A.dept,
+                       value=A.name, reduce=len))
+
+        # A join: students and faculty of the same age ("advisor pairing").
+        pairs = forall(db.cluster(Student).deep(),
+                       db.cluster(Faculty)).suchthat(
+            lambda s, f: s.age == f.age)
+        print("same-age student/faculty pairs: %d" % pairs.count())
+
+        # Index acceleration for a range query.
+        db.create_index(Faculty, "salary", kind="btree")
+        well_paid = forall(db.cluster(Faculty)).suchthat(
+            A.salary >= 90000.0).by(A.salary, desc=True)
+        print("plan:", well_paid.explain())
+        for f in well_paid:
+            print("  %-8s %-8s $%.0f" % (f.name, f.dept, f.salary))
+
+
+if __name__ == "__main__":
+    main()

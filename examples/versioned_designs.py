@@ -1,0 +1,86 @@
+"""Versioned design objects: section 4's CAD scenario.
+
+Engineering databases need multiple versions of each design object. This
+example evolves a circuit board through revisions, shows generic vs
+specific references, navigates the version chain, prunes history, and
+proves old revisions are immutable.
+
+Run:  python examples/versioned_designs.py
+"""
+
+import os
+import tempfile
+
+from repro import (Database, FloatField, IntField, OdeObject, StringField,
+                   newversion, versions, vfirst, vlast)
+from repro.errors import NotPersistentError
+
+
+class Board(OdeObject):
+    name = StringField(default="")
+    layers = IntField(default=2)
+    width_mm = FloatField(default=100.0)
+    notes = StringField(default="")
+
+
+def main():
+    path = os.path.join(tempfile.mkdtemp(), "cad.odb")
+    with Database(path) as db:
+        db.create(Board)
+
+        board = db.pnew(Board, name="controller", layers=2,
+                        notes="initial layout")
+        rev_a = board.vref  # specific reference: pinned to revision A
+        generic = board.oid  # generic reference: always the current rev
+
+        newversion(board)
+        board.layers = 4
+        board.notes = "rev B: 4-layer for EMI"
+
+        newversion(board)
+        board.width_mm = 80.0
+        board.notes = "rev C: shrink to 80mm"
+        with db.transaction():
+            pass
+
+        print("history of %r:" % board.name)
+        for vref in versions(board):
+            rev = db.deref(vref)
+            marker = "*" if vref == board.vref else " "
+            print("  %s v%d: %d layers, %.0fmm — %s"
+                  % (marker, vref.version, rev.layers, rev.width_mm,
+                     rev.notes))
+
+        print("\ngeneric ref sees: %r" % db.deref(generic).notes)
+        print("pinned rev A sees: %r" % db.deref(rev_a).notes)
+
+        # Navigation: walk backward from the newest revision.
+        print("\nwalking the chain backward:")
+        cursor = vlast(board)
+        while cursor is not None:
+            print("  v%d" % cursor.version)
+            cursor = db.vprev(cursor)
+
+        # Old versions are read-only (footnote 16).
+        try:
+            db.deref(rev_a).layers = 16
+        except NotPersistentError as exc:
+            print("\nold revisions are immutable: %s" % exc)
+
+        # Prune the middle revision; the chain relinks around it.
+        middle = versions(board)[1]
+        db.pdelete(middle)
+        print("\nafter pruning v%d: chain = %s"
+              % (middle.version,
+                 [v.version for v in versions(board)]))
+        assert db.vnext(vfirst(board)) == board.vref
+
+    # Versions survive reopen.
+    with Database(path) as db:
+        chain = db.versions(generic)
+        print("after reopen: %d revisions, current is v%d"
+              % (len(chain), db.current_version(generic).version))
+
+
+if __name__ == "__main__":
+    main()

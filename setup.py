@@ -1,0 +1,5 @@
+"""Setup shim for environments without PEP 517 wheel support."""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,57 @@
+"""repro — a Python reproduction of Ode (Object Database and Environment).
+
+Paper: R. Agrawal and N. H. Gehani, "ODE (Object Database and Environment):
+The Language and the Data Model", SIGMOD 1989.
+
+The package re-exports the public API from its three layers:
+
+* :mod:`repro.core` — the data model: Database, OdeObject, fields,
+  clusters, sets, versions, constraints, triggers.
+* :mod:`repro.query` — forall/suchthat/by iteration, joins, fixpoint
+  queries, aggregates.
+* :mod:`repro.storage` — the persistent-store substrate (pages, WAL,
+  indexes); most programs never touch it directly.
+* :mod:`repro.opp` — an interpreter for a working subset of the O++
+  language itself.
+
+Quickstart::
+
+    from repro import Database, OdeObject, StringField, IntField, forall, A
+
+    class Item(OdeObject):
+        name = StringField()
+        qty = IntField(default=0)
+
+    db = Database("inventory.odb")
+    db.create(Item)
+    db.pnew(Item, name="512 dram", qty=7500)
+    for item in forall(db.cluster(Item)).suchthat(A.qty > 100).by(A.name):
+        print(item.name, item.qty)
+"""
+
+from . import errors
+from .core import (AnyField, BoolField, BytesField, CharField, ClusterHandle,
+                   Database, DictField, Field, FloatField, IntField,
+                   ListField, OdeObject, OdeSet, Oid, RefField, SetField,
+                   StringField, Transaction, Trigger, TriggerId, Vref,
+                   class_registry, constraint, newversion, versions, vfirst,
+                   vlast, vnext, vprev)
+from .query import (A, Forall, avg, count, fixpoint, forall, group_by,
+                    growing_iteration, max_, min_, reachable_objects,
+                    semi_naive, sum_, transitive_closure)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "errors",
+    "AnyField", "BoolField", "BytesField", "CharField", "ClusterHandle",
+    "Database", "DictField", "Field", "FloatField", "IntField", "ListField",
+    "OdeObject", "OdeSet", "Oid", "RefField", "SetField", "StringField",
+    "Transaction", "Trigger", "TriggerId", "Vref", "class_registry",
+    "constraint", "newversion", "versions", "vfirst", "vlast", "vnext",
+    "vprev",
+    "A", "Forall", "avg", "count", "fixpoint", "forall", "group_by",
+    "growing_iteration", "max_", "min_", "reachable_objects", "semi_naive",
+    "sum_", "transitive_closure",
+    "__version__",
+]

@@ -1,0 +1,130 @@
+"""The Ode environment's command line: run O++ programs against a database.
+
+Usage::
+
+    python -m repro DB.odb script.opp [script2.opp ...]   # run programs
+    python -m repro DB.odb                                # interactive
+    python -m repro DB.odb --schema                       # show clusters
+    python -m repro DB.odb --verify                       # integrity check
+    python -m repro DB.odb --vacuum                       # compact storage
+
+In interactive mode each submitted chunk is parsed and executed against
+the open database; state (variables, classes) persists for the session.
+A chunk ends on an empty line, so multi-line declarations work.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from .core.database import Database
+from .errors import OdeError
+from .opp.interp import Interpreter
+
+
+def _build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro",
+        description="Run O++ programs against an Ode database.")
+    parser.add_argument("database", help="path to the database file "
+                                         "(created if absent)")
+    parser.add_argument("scripts", nargs="*",
+                        help="O++ source files to execute, in order")
+    parser.add_argument("--schema", action="store_true",
+                        help="print the cluster schema and exit")
+    parser.add_argument("--verify", action="store_true",
+                        help="run the integrity checker and exit")
+    parser.add_argument("--vacuum", action="store_true",
+                        help="compact every cluster and exit")
+    parser.add_argument("--quiet", action="store_true",
+                        help="suppress program output (still executed)")
+    return parser
+
+
+def _print_schema(db: Database) -> None:
+    schema = db.schema()
+    if not schema:
+        print("(no clusters)")
+        return
+    for name, info in sorted(schema.items()):
+        bases = " : " + ", ".join(info["parents"]) if info["parents"] else ""
+        print("cluster %s%s  (%s objects)" % (name, bases, info["objects"]))
+        for fname, ftype in info["fields"].items():
+            marker = ""
+            if fname in info["indexes"]:
+                marker = "   [indexed: %s]" % info["indexes"][fname]
+            print("    %-16s %s%s" % (fname, ftype, marker))
+        if info["constraints"]:
+            print("    constraints: %s" % ", ".join(info["constraints"]))
+        if info["triggers"]:
+            print("    triggers:    %s" % ", ".join(info["triggers"]))
+
+
+def _repl(db: Database, interp: Interpreter) -> None:
+    print("Ode environment — O++ interpreter. Empty line runs the chunk; "
+          "Ctrl-D exits.")
+    lines: list = []
+    while True:
+        try:
+            prompt = "o++> " if not lines else "...> "
+            line = input(prompt)
+        except EOFError:
+            print()
+            return
+        except KeyboardInterrupt:
+            print("\n(interrupted)")
+            lines = []
+            continue
+        if line.strip() == "" and lines:
+            source = "\n".join(lines)
+            lines = []
+            try:
+                before = len(interp.output)
+                interp.run(source)
+                sys.stdout.write("".join(interp.output[before:]))
+            except OdeError as exc:
+                print("error: %s" % exc)
+        elif line.strip() or lines:
+            lines.append(line)
+
+
+def main(argv=None) -> int:
+    args = _build_parser().parse_args(argv)
+    db = Database(args.database)
+    try:
+        if args.schema:
+            _print_schema(db)
+            return 0
+        if args.verify:
+            problems = db.verify()
+            if problems:
+                for problem in problems:
+                    print("PROBLEM:", problem)
+                return 1
+            print("ok: store is internally consistent")
+            return 0
+        if args.vacuum:
+            for name, report in db.vacuum().items():
+                print("%s: %d objects rewritten, %d pages freed"
+                      % (name, report["objects"], report["pages_freed"]))
+            return 0
+        interp = Interpreter(db, echo=False)
+        if args.scripts:
+            for path in args.scripts:
+                before = len(interp.output)
+                interp.run_file(path)
+                if not args.quiet:
+                    sys.stdout.write("".join(interp.output[before:]))
+            return 0
+        _repl(db, interp)
+        return 0
+    except OdeError as exc:
+        print("error: %s" % exc, file=sys.stderr)
+        return 1
+    finally:
+        db.close()
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,24 @@
+"""The Ode data model: persistent objects, clusters, sets, versions,
+constraints, triggers and transactions — the paper's primary contribution.
+"""
+
+from .clusters import ClusterHandle
+from .database import Database, Transaction
+from .fields import (AnyField, BoolField, BytesField, CharField, DictField,
+                     Field, FloatField, IntField, ListField, RefField,
+                     SetField, StringField)
+from .objects import OdeObject, constraint, class_registry
+from .oid import Oid, Vref
+from .sets import OdeSet
+from .triggers import Trigger, TriggerId, TriggerManager
+from .versions import newversion, versions, vfirst, vlast, vnext, vprev
+
+__all__ = [
+    "ClusterHandle", "Database", "Transaction",
+    "AnyField", "BoolField", "BytesField", "CharField", "DictField",
+    "Field", "FloatField", "IntField", "ListField", "RefField",
+    "SetField", "StringField",
+    "OdeObject", "constraint", "class_registry", "Oid", "Vref", "OdeSet",
+    "Trigger", "TriggerId", "TriggerManager",
+    "newversion", "versions", "vfirst", "vlast", "vnext", "vprev",
+]

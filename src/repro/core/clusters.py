@@ -1,0 +1,133 @@
+"""Cluster handles — iterating type extents (sections 2.5, 3.1.1).
+
+All persistent objects of a type form its *cluster*; clusters mirror the
+inheritance hierarchy. ``db.cluster(Person)`` returns a handle over the
+``Person`` extent:
+
+* iterating the handle visits the objects whose *exact* class is Person;
+* ``db.cluster(Person).deep()`` — the paper's ``person*`` — visits the
+  whole hierarchy: Person objects plus every object of a class derived
+  from Person, which enables the income-averaging program of 3.1.1
+  (``forall p in person*``) with ``isinstance`` playing the paper's
+  ``p is persistent student *`` type test.
+
+Iteration visits objects inserted into the cluster during the iteration
+(the section 3.2 fixpoint property); for deep iteration this holds within
+each member cluster.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator, List, Type
+
+from .objects import OdeObject, class_registry
+from .oid import Oid
+
+
+class ClusterHandle:
+    """Live view over the extent of one Ode class."""
+
+    def __init__(self, db, cls: Type[OdeObject]):
+        self.db = db
+        self.cls = cls
+        self.name = cls.__name__
+
+    @property
+    def exists(self) -> bool:
+        return self.db.store.has_cluster(self.name)
+
+    # -- iteration ------------------------------------------------------------
+
+    def __iter__(self) -> Iterator[OdeObject]:
+        """Objects of exactly this cluster (current versions), as live
+        objects. Pending in-memory changes are flushed first when a
+        transaction is open, so the iteration sees them."""
+        return self._iter_one(self.name)
+
+    def deep(self) -> "DeepView":
+        """The paper's ``cluster*``: this extent and all derived extents.
+
+        Returns a re-iterable view (so it can feed joins), not a one-shot
+        generator.
+        """
+        return DeepView(self)
+
+    def _iter_one(self, cluster_name: str) -> Iterator[OdeObject]:
+        db = self.db
+        if not db.store.has_cluster(cluster_name):
+            return
+        if db._txn is not None and db._dirty:
+            db._flush(db._txn.txn_id)
+        for _rid, record in db.store.scan(cluster_name):
+            serial, version = record["__key"]
+            if version != 0:
+                continue  # version-state record; heads drive iteration
+            obj = db.deref(Oid(cluster_name, serial), _missing_ok=True)
+            if obj is not None:
+                yield obj
+
+    def hierarchy(self) -> List[str]:
+        """This cluster plus all transitively derived cluster names.
+
+        Derivation is read from the catalog (persisted parent links), so
+        extents created by other programs are included even if their
+        classes are not imported here.
+        """
+        names = [self.name]
+        seen = {self.name}
+        i = 0
+        while i < len(names):
+            current = names[i]
+            i += 1
+            if self.db.store.has_cluster(current):
+                for child in self.db.store.catalog.children_of(current):
+                    if child.name not in seen:
+                        seen.add(child.name)
+                        names.append(child.name)
+        return names
+
+    # -- conveniences ------------------------------------------------------------
+
+    def count(self, deep: bool = False) -> int:
+        """Number of objects in the extent (heads only, versions uncounted)."""
+        total = 0
+        names = self.hierarchy() if deep else [self.name]
+        for name in names:
+            if not self.db.store.has_cluster(name):
+                continue
+            for _rid, record in self.db.store.scan(name):
+                if record["__key"][1] == 0:
+                    total += 1
+        return total
+
+    def oids(self, deep: bool = False) -> Iterator[Oid]:
+        """Object ids in the extent, without materialising the objects."""
+        names = self.hierarchy() if deep else [self.name]
+        for name in names:
+            if not self.db.store.has_cluster(name):
+                continue
+            for _rid, record in self.db.store.scan(name):
+                serial, version = record["__key"]
+                if version == 0:
+                    yield Oid(name, serial)
+
+    def __repr__(self) -> str:
+        return "ClusterHandle(%s)" % self.name
+
+
+class DeepView:
+    """Re-iterable view over a cluster hierarchy (the paper's ``name*``)."""
+
+    def __init__(self, handle: ClusterHandle):
+        self.handle = handle
+
+    def __iter__(self) -> Iterator[OdeObject]:
+        for name in self.handle.hierarchy():
+            for obj in self.handle._iter_one(name):
+                yield obj
+
+    def count(self) -> int:
+        return self.handle.count(deep=True)
+
+    def __repr__(self) -> str:
+        return "DeepView(%s*)" % self.handle.name

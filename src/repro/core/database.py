@@ -1,0 +1,773 @@
+"""Database — the Ode environment a program talks to.
+
+This is the public entry point of the reproduction. It binds the paper's
+linguistic facilities to the storage engine:
+
+* ``db.create(Class)`` — the paper's ``create`` macro: make the cluster
+  (type extent) for a class. Creating a persistent object *requires* its
+  cluster to exist (section 2.5).
+* ``db.pnew(Class, field=value, ...)`` — the paper's ``pnew``: allocate a
+  persistent object, returning a live handle that doubles as the pointer.
+* ``db.pdelete(ref_or_obj)`` — the paper's ``pdelete``.
+* ``db.deref(oid_or_vref)`` — pointer dereference: generic references
+  yield the current version, specific references a pinned (read-only if
+  non-current) version.
+* ``db.transaction()`` — a context manager. The paper treats a whole O++
+  program as one transaction; here any block can be one. Constraints of
+  updated objects are checked at commit; trigger conditions are evaluated
+  at end of transaction; fired trigger actions run *after* commit, each as
+  an independent transaction (weak coupling, section 6). An exception (or
+  a constraint violation) aborts and rolls back everything including
+  trigger bookkeeping.
+* ``db.newversion(obj)`` and the version navigation in
+  :mod:`repro.core.versions` (section 4).
+* A virtual clock (``db.now()`` / ``db.advance_time(dt)``) driving timed
+  triggers deterministically.
+
+Storage layout per persistent object (cluster = class name):
+
+================  =====================================================
+key                record
+================  =====================================================
+``(serial, 0)``   version head: ``{"current": v, "chain": [v1, ...]}``
+``(serial, v)``   version state: ``{"state": {field: stored value}}``
+================  =====================================================
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from contextlib import contextmanager
+from typing import Any, Dict, Iterator, List, Optional, Type, Union
+
+from ..errors import (ClusterExistsError, ClusterNotFoundError,
+                      ConstraintViolation, DanglingReferenceError,
+                      NotPersistentError, SchemaError, TransactionError,
+                      VersionError)
+from ..storage.store import Store
+from .objects import OdeMeta, OdeObject, class_registry
+from .oid import Oid, Vref
+from .triggers import ACTIVATION_CLUSTER, FiredAction, TriggerManager
+
+#: Safety valve for cascading trigger actions (action fires trigger fires
+#: action ...); beyond this many independent transactions we stop and raise.
+MAX_TRIGGER_CASCADE = 1000
+
+Ref = Union[Oid, Vref, OdeObject]
+
+
+def _state_key(state: Dict, fields: List[str]):
+    """Index key for *fields* out of a stored state dict."""
+    if len(fields) == 1:
+        return state.get(fields[0])
+    return tuple(state.get(f) for f in fields)
+
+
+class Transaction:
+    """Handle for an open transaction (mostly informational)."""
+
+    __slots__ = ("txn_id", "db", "_done", "_begin_lsn")
+
+    def __init__(self, txn_id: int, db: "Database"):
+        self.txn_id = txn_id
+        self.db = db
+        self._done = False
+        # Where this transaction's log chain starts; a commit whose chain
+        # never advanced past this wrote nothing (read-only transaction).
+        self._begin_lsn = db.store._journal.active.get(txn_id)
+
+    def __repr__(self):
+        return "Transaction(%d%s)" % (self.txn_id,
+                                      ", done" if self._done else "")
+
+
+class Database:
+    """An Ode database: persistent objects, clusters, versions, triggers."""
+
+    def __init__(self, path: str, pool_size: int = 256):
+        """Open (creating if absent) the database stored at *path*."""
+        self.store = Store(path, pool_size=pool_size)
+        self.triggers = TriggerManager(self)
+        #: (cluster, serial) -> live current-version object
+        self._cache: Dict[tuple, OdeObject] = {}
+        #: Vref -> live pinned-version object
+        self._vcache: Dict[Vref, OdeObject] = {}
+        self._dirty: Dict[int, OdeObject] = {}  # id(obj) -> obj
+        self._txn: Optional[Transaction] = None
+        self._clock: float = float(
+            self.store.catalog.get_meta("clock", 0.0))
+        self._clock_dirty = False
+        self._closed = False
+
+    # ------------------------------------------------------------------
+    # clock (virtual time for timed triggers)
+    # ------------------------------------------------------------------
+
+    def now(self) -> float:
+        """Current virtual time (seconds; starts at 0 for a new database)."""
+        return self._clock
+
+    def advance_time(self, seconds: float) -> None:
+        """Advance the virtual clock; timed triggers past their deadline
+        fire their timeout actions (each as an independent transaction)."""
+        if seconds < 0:
+            raise ValueError("time only moves forward")
+        self._clock += float(seconds)
+        self._clock_dirty = True
+        with self._implicit_txn():
+            pass  # the commit pipeline persists the clock and evaluates
+
+    # ------------------------------------------------------------------
+    # transactions
+    # ------------------------------------------------------------------
+
+    @contextmanager
+    def transaction(self) -> Iterator[Transaction]:
+        """Run the block as one transaction.
+
+        Commit on normal exit (constraints checked, triggers evaluated,
+        fired actions run afterwards); abort and re-raise on exception.
+        """
+        if self._txn is not None:
+            raise TransactionError("transactions do not nest")
+        txn_id = self.store.begin()
+        handle = Transaction(txn_id, self)
+        self._txn = handle
+        try:
+            yield handle
+        except BaseException:
+            self._abort(handle)
+            raise
+        fired = self._commit(handle)
+        self._run_fired_actions(fired)
+
+    @contextmanager
+    def _implicit_txn(self) -> Iterator[int]:
+        """Join the open transaction, or wrap the block in a private one."""
+        if self._txn is not None:
+            yield self._txn.txn_id
+            return
+        txn_id = self.store.begin()
+        handle = Transaction(txn_id, self)
+        self._txn = handle
+        try:
+            yield txn_id
+        except BaseException:
+            self._abort(handle)
+            raise
+        fired = self._commit(handle)
+        self._run_fired_actions(fired)
+
+    def _commit(self, handle: Transaction) -> List[FiredAction]:
+        txn = handle.txn_id
+        try:
+            for obj in list(self._dirty.values()):
+                obj.check_constraints()
+            self._flush(txn)
+            if self._clock_dirty:
+                self.store.catalog.set_meta(txn, "clock", self._clock)
+                self._clock_dirty = False
+            # Trigger conditions are conceptually evaluated at the end of
+            # each transaction (section 6). A transaction that wrote
+            # nothing cannot have changed any condition, so evaluation is
+            # skipped — this is what lets a side-effect-free perpetual
+            # trigger action terminate instead of re-firing forever.
+            if self.store._journal.active.get(txn) != handle._begin_lsn:
+                fired = self.triggers.evaluate(txn)
+            else:
+                fired = []
+        except BaseException:
+            self._abort(handle)
+            raise
+        self.store.commit(txn)
+        handle._done = True
+        self._txn = None
+        return fired
+
+    def _abort(self, handle: Transaction) -> None:
+        self.store.abort(handle.txn_id)
+        handle._done = True
+        self._txn = None
+        self._dirty.clear()
+        self.triggers.invalidate()
+        self._reload_cache_after_abort()
+
+    def _reload_cache_after_abort(self) -> None:
+        """Refresh live objects from post-abort storage.
+
+        Objects that no longer exist (created inside the aborted
+        transaction) are unbound: they become volatile instances again,
+        keeping their in-memory field values.
+        """
+        for key, obj in list(self._cache.items()):
+            cluster, serial = key
+            head = self.store.get(cluster, (serial, 0))
+            if head is None:
+                obj.__dict__["_p_oid"] = None
+                obj.__dict__["_p_db"] = None
+                obj.__dict__["_p_version"] = 0
+                del self._cache[key]
+                continue
+            state = self.store.get(cluster, (serial, head["current"]))
+            obj._p_load_state(state["state"])
+            obj.__dict__["_p_version"] = head["current"]
+        for vref, obj in list(self._vcache.items()):
+            state = self.store.get(vref.cluster, (vref.serial, vref.version))
+            if state is None:
+                obj.__dict__["_p_oid"] = None
+                obj.__dict__["_p_db"] = None
+                obj.__dict__["_p_version"] = 0
+                del self._vcache[vref]
+            else:
+                obj._p_load_state(state["state"])
+
+    def _run_fired_actions(self, fired: List[FiredAction]) -> None:
+        """Weak coupling: run trigger actions as independent transactions.
+
+        Actions may fire further triggers; the cascade is processed
+        breadth-first with a hard bound.
+        """
+        queue = deque(fired)
+        steps = 0
+        while queue:
+            steps += 1
+            if steps > MAX_TRIGGER_CASCADE:
+                raise TransactionError(
+                    "trigger cascade exceeded %d actions" % MAX_TRIGGER_CASCADE)
+            action = queue.popleft()
+            txn_id = self.store.begin()
+            handle = Transaction(txn_id, self)
+            self._txn = handle
+            try:
+                action.thunk()
+            except BaseException:
+                self._abort(handle)
+                raise
+            queue.extend(self._commit(handle))
+
+    # -- dirty tracking -------------------------------------------------------
+
+    def _note_dirty(self, obj: OdeObject) -> None:
+        self._dirty[id(obj)] = obj
+
+    def _flush(self, txn: int) -> None:
+        """Write every dirty object's state to its current version."""
+        for obj in list(self._dirty.values()):
+            if not obj.is_persistent:
+                continue
+            oid = obj.oid
+            version = obj.__dict__["_p_version"]
+            old = self.store.get(oid.cluster, (oid.serial, version))
+            self.store.put(txn, oid.cluster, (oid.serial, version),
+                           {"__key": [oid.serial, version],
+                            "state": obj._p_state_dict()})
+            self._index_update(txn, obj,
+                               None if old is None else old["state"])
+        self._dirty.clear()
+
+    def _constraint_violated(self) -> None:
+        """Hook called when a public member function's constraint check
+        fails. Inside a transaction the exception aborts it; outside,
+        revert the in-memory objects so the violation leaves no trace."""
+        if self._txn is not None:
+            return  # the propagating exception will abort the transaction
+        for obj in list(self._dirty.values()):
+            if obj.is_persistent:
+                oid = obj.oid
+                state = self.store.get(
+                    oid.cluster, (oid.serial, obj.__dict__["_p_version"]))
+                if state is not None:
+                    obj._p_load_state(state["state"])
+        self._dirty.clear()
+
+    # ------------------------------------------------------------------
+    # clusters
+    # ------------------------------------------------------------------
+
+    def create(self, cls: Union[Type[OdeObject], str],
+               exist_ok: bool = False) -> None:
+        """Create the cluster for *cls* (the paper's ``create`` macro).
+
+        Ancestor clusters are created as needed, so the cluster hierarchy
+        always mirrors the class hierarchy (section 2.5 / 3.1.1).
+        """
+        cls = self._resolve_class(cls)
+        if self.store.has_cluster(cls.__name__):
+            if exist_ok:
+                return
+            raise ClusterExistsError("cluster %r already exists"
+                                     % cls.__name__)
+        with self._implicit_txn() as txn:
+            self._create_with_ancestors(txn, cls)
+
+    def _create_with_ancestors(self, txn: int, cls: Type[OdeObject]) -> None:
+        for parent in type(cls).parents.fget(cls):  # OdeMeta.parents
+            if not self.store.has_cluster(parent.__name__):
+                self._create_with_ancestors(txn, parent)
+        if not self.store.has_cluster(cls.__name__):
+            parents = [p.__name__ for p in type(cls).parents.fget(cls)]
+            self.store.create_cluster(txn, cls.__name__, parents)
+
+    def has_cluster(self, cls: Union[Type[OdeObject], str]) -> bool:
+        name = cls if isinstance(cls, str) else cls.__name__
+        return self.store.has_cluster(name)
+
+    def cluster(self, cls: Union[Type[OdeObject], str]):
+        """Handle over the type extent of *cls* (see ClusterHandle)."""
+        from .clusters import ClusterHandle
+        return ClusterHandle(self, self._resolve_class(cls))
+
+    def clusters(self) -> List[str]:
+        """Names of all user clusters."""
+        return [c.name for c in self.store.catalog.clusters()
+                if not c.name.startswith("__")]
+
+    def _resolve_class(self, cls: Union[Type[OdeObject], str]) -> Type[OdeObject]:
+        if isinstance(cls, str):
+            found = class_registry().get(cls)
+            if found is None:
+                raise SchemaError("no Ode class named %r is defined" % cls)
+            return found
+        if not isinstance(cls, OdeMeta) or cls is OdeObject:
+            raise SchemaError("%r is not an Ode class" % (cls,))
+        return cls
+
+    # ------------------------------------------------------------------
+    # object lifecycle
+    # ------------------------------------------------------------------
+
+    def pnew(self, cls: Union[Type[OdeObject], str], **field_values) -> OdeObject:
+        """Create a persistent object (the paper's ``pnew``).
+
+        The class's cluster must already exist — this is the paper's rule,
+        and :class:`ClusterNotFoundError` enforces it.
+        """
+        cls = self._resolve_class(cls)
+        obj = cls(**field_values)
+        return self.pnew_from(obj)
+
+    def pnew_from(self, obj: OdeObject) -> OdeObject:
+        """Persist an existing volatile instance (same rules as pnew)."""
+        if obj.is_persistent:
+            raise SchemaError("%r is already persistent" % obj)
+        cluster = type(obj).__name__
+        if not self.store.has_cluster(cluster):
+            raise ClusterNotFoundError(
+                "cluster %r does not exist; call db.create(%s) first "
+                "(the paper: 'Before creating a persistent object, the "
+                "corresponding cluster must exist')" % (cluster, cluster))
+        obj.check_constraints()
+        with self._implicit_txn() as txn:
+            serial = self.store.allocate_serial(txn, cluster)
+            oid = Oid(cluster, serial)
+            obj.__dict__["_p_oid"] = oid
+            obj.__dict__["_p_db"] = self
+            obj.__dict__["_p_version"] = 1
+            self.store.put(txn, cluster, (serial, 0),
+                           {"__key": [serial, 0], "current": 1, "chain": [1]})
+            self.store.put(txn, cluster, (serial, 1),
+                           {"__key": [serial, 1],
+                            "state": obj._p_state_dict()})
+            self._index_insert(txn, obj)
+            self._cache[(cluster, serial)] = obj
+        return obj
+
+    def pdelete(self, ref: Ref) -> None:
+        """Delete a persistent object, or one version of it.
+
+        ``pdelete(oid_or_obj)`` removes the object and all its versions.
+        ``pdelete(vref)`` removes just that version (section 4): the chain
+        is relinked; deleting the current version makes the latest
+        remaining version current; deleting the last version deletes the
+        object.
+        """
+        if isinstance(ref, Vref):
+            self._pdelete_version(ref)
+            return
+        oid = self._as_oid(ref)
+        with self._implicit_txn() as txn:
+            head = self.store.get(oid.cluster, (oid.serial, 0))
+            if head is None:
+                raise DanglingReferenceError("pdelete of missing %r" % (oid,))
+            stored = self.store.get(oid.cluster, (oid.serial, head["current"]))
+            self._index_delete(txn, oid, stored["state"])
+            for version in head["chain"]:
+                self.store.delete(txn, oid.cluster, (oid.serial, version))
+            self.store.delete(txn, oid.cluster, (oid.serial, 0))
+            self._evict(oid)
+
+    def _pdelete_version(self, vref: Vref) -> None:
+        with self._implicit_txn() as txn:
+            head = self.store.get(vref.cluster, (vref.serial, 0))
+            if head is None or vref.version not in head["chain"]:
+                raise DanglingReferenceError("pdelete of missing %r" % (vref,))
+            chain = [v for v in head["chain"] if v != vref.version]
+            if not chain:
+                self.pdelete(vref.oid)
+                return
+            self.store.delete(txn, vref.cluster, (vref.serial, vref.version))
+            current = head["current"]
+            if current == vref.version:
+                current = chain[-1]
+            self.store.put(txn, vref.cluster, (vref.serial, 0),
+                           {"__key": [vref.serial, 0],
+                            "current": current, "chain": chain})
+            self._vcache.pop(vref, None)
+            cached = self._cache.pop((vref.cluster, vref.serial), None)
+            if cached is not None:
+                # Re-derefing rebinds the cache to the right version.
+                self._dirty.pop(id(cached), None)
+
+    def _evict(self, oid: Oid) -> None:
+        obj = self._cache.pop((oid.cluster, oid.serial), None)
+        if obj is not None:
+            self._dirty.pop(id(obj), None)
+            obj.__dict__["_p_oid"] = None
+            obj.__dict__["_p_db"] = None
+            obj.__dict__["_p_version"] = 0
+        for vref in [v for v in self._vcache if v.oid == oid]:
+            stale = self._vcache.pop(vref)
+            stale.__dict__["_p_oid"] = None
+            stale.__dict__["_p_db"] = None
+
+    # ------------------------------------------------------------------
+    # dereference
+    # ------------------------------------------------------------------
+
+    def deref(self, ref: Ref, _missing_ok: bool = False) -> Optional[OdeObject]:
+        """Follow a pointer: the live object for *ref*.
+
+        Generic :class:`Oid` references track the current version; the
+        same live instance is returned for repeated derefs (object
+        identity). :class:`Vref` references pin a version; non-current
+        versions come back read-only (footnote 16 of the paper allows
+        this). Raises :class:`DanglingReferenceError` for deleted objects
+        unless *_missing_ok*.
+        """
+        if isinstance(ref, OdeObject):
+            return ref
+        if isinstance(ref, Vref):
+            return self._deref_version(ref, _missing_ok)
+        cached = self._cache.get((ref.cluster, ref.serial))
+        if cached is not None:
+            return cached
+        head = self.store.get(ref.cluster, (ref.serial, 0))
+        if head is None:
+            if _missing_ok:
+                return None
+            raise DanglingReferenceError("dangling reference %r" % (ref,))
+        state = self.store.get(ref.cluster, (ref.serial, head["current"]))
+        obj = self._materialize(ref, head["current"], state["state"],
+                                readonly=False)
+        self._cache[(ref.cluster, ref.serial)] = obj
+        return obj
+
+    def _deref_version(self, vref: Vref,
+                       missing_ok: bool) -> Optional[OdeObject]:
+        head = self.store.get(vref.cluster, (vref.serial, 0))
+        if head is None or vref.version not in head["chain"]:
+            if missing_ok:
+                return None
+            raise DanglingReferenceError("dangling reference %r" % (vref,))
+        if head["current"] == vref.version:
+            return self.deref(vref.oid)
+        cached = self._vcache.get(vref)
+        if cached is not None:
+            return cached
+        state = self.store.get(vref.cluster, (vref.serial, vref.version))
+        obj = self._materialize(vref.oid, vref.version, state["state"],
+                                readonly=True)
+        self._vcache[vref] = obj
+        return obj
+
+    def _materialize(self, oid: Oid, version: int, state: Dict,
+                     readonly: bool) -> OdeObject:
+        cls = class_registry().get(oid.cluster)
+        if cls is None:
+            raise SchemaError(
+                "no Ode class named %r is defined in this program; "
+                "import or define it before dereferencing" % oid.cluster)
+        obj = cls.__new__(cls)
+        obj.__dict__["_p_db"] = self
+        obj.__dict__["_p_oid"] = oid
+        obj.__dict__["_p_version"] = version
+        obj.__dict__["_p_dirty"] = False
+        obj.__dict__["_p_readonly"] = readonly
+        obj.__dict__["_p_loading"] = False
+        obj._p_load_state(state)
+        return obj
+
+    def _as_oid(self, ref: Ref) -> Oid:
+        if isinstance(ref, OdeObject):
+            return ref.oid
+        if isinstance(ref, Vref):
+            return ref.oid
+        if isinstance(ref, Oid):
+            return ref
+        raise NotPersistentError("%r is not a persistent reference" % (ref,))
+
+    # ------------------------------------------------------------------
+    # versioning (section 4)
+    # ------------------------------------------------------------------
+
+    def newversion(self, ref: Ref) -> Vref:
+        """Create a new (current) version of the object (paper's macro).
+
+        The previous current version becomes read-only history; a specific
+        reference to the *new* current version is returned. Live generic
+        handles now see the new version.
+        """
+        oid = self._as_oid(ref)
+        with self._implicit_txn() as txn:
+            head = self.store.get(oid.cluster, (oid.serial, 0))
+            if head is None:
+                raise DanglingReferenceError("newversion of missing %r"
+                                             % (oid,))
+            # Flush pending in-memory changes into the old current version
+            # first, so the copy is faithful.
+            self._flush(txn)
+            old_state = self.store.get(oid.cluster,
+                                       (oid.serial, head["current"]))
+            new_version = max(head["chain"]) + 1
+            self.store.put(txn, oid.cluster, (oid.serial, new_version),
+                           {"__key": [oid.serial, new_version],
+                            "state": dict(old_state["state"])})
+            self.store.put(txn, oid.cluster, (oid.serial, 0),
+                           {"__key": [oid.serial, 0],
+                            "current": new_version,
+                            "chain": head["chain"] + [new_version]})
+            cached = self._cache.get((oid.cluster, oid.serial))
+            if cached is not None:
+                cached.__dict__["_p_version"] = new_version
+        return Vref(oid.cluster, oid.serial, new_version)
+
+    def versions(self, ref: Ref) -> List[Vref]:
+        """All versions of the object, oldest first."""
+        oid = self._as_oid(ref)
+        head = self._head_of(oid)
+        return [Vref(oid.cluster, oid.serial, v) for v in head["chain"]]
+
+    def current_version(self, ref: Ref) -> Vref:
+        oid = self._as_oid(ref)
+        head = self._head_of(oid)
+        return Vref(oid.cluster, oid.serial, head["current"])
+
+    def vprev(self, ref: Ref) -> Optional[Vref]:
+        """The version preceding *ref* (None at the first)."""
+        vref = self._as_vref(ref)
+        chain = self._head_of(vref.oid)["chain"]
+        i = chain.index(vref.version)
+        if i == 0:
+            return None
+        return Vref(vref.cluster, vref.serial, chain[i - 1])
+
+    def vnext(self, ref: Ref) -> Optional[Vref]:
+        """The version following *ref* (None at the last)."""
+        vref = self._as_vref(ref)
+        chain = self._head_of(vref.oid)["chain"]
+        i = chain.index(vref.version)
+        if i + 1 >= len(chain):
+            return None
+        return Vref(vref.cluster, vref.serial, chain[i + 1])
+
+    def vfirst(self, ref: Ref) -> Vref:
+        """The oldest version of the object."""
+        oid = self._as_oid(ref)
+        return Vref(oid.cluster, oid.serial, self._head_of(oid)["chain"][0])
+
+    def vlast(self, ref: Ref) -> Vref:
+        """The newest version of the object."""
+        oid = self._as_oid(ref)
+        return Vref(oid.cluster, oid.serial, self._head_of(oid)["chain"][-1])
+
+    def _head_of(self, oid: Oid) -> Dict:
+        head = self.store.get(oid.cluster, (oid.serial, 0))
+        if head is None:
+            raise DanglingReferenceError("dangling reference %r" % (oid,))
+        return head
+
+    def _as_vref(self, ref: Ref) -> Vref:
+        if isinstance(ref, Vref):
+            chain = self._head_of(ref.oid)["chain"]
+            if ref.version not in chain:
+                raise VersionError("%r names a deleted version" % (ref,))
+            return ref
+        if isinstance(ref, OdeObject):
+            return ref.vref
+        if isinstance(ref, Oid):
+            return self.current_version(ref)
+        raise NotPersistentError("%r is not a persistent reference" % (ref,))
+
+    # ------------------------------------------------------------------
+    # secondary indexes
+    # ------------------------------------------------------------------
+
+    def create_index(self, cls: Union[Type[OdeObject], str], field,
+                     kind: str = "btree", unique: bool = False) -> None:
+        """Index *field* of *cls*'s cluster; existing objects are indexed.
+
+        *field* may be a tuple of field names for a composite index
+        (keyed on the value tuple, useful for equality-on-prefix plus
+        range queries). Indexes serve the query optimizer and are
+        maintained on every flush/delete.
+        """
+        cls = self._resolve_class(cls)
+        cluster = cls.__name__
+        fields = list(field) if isinstance(field, (tuple, list)) else [field]
+        for fname in fields:
+            if fname not in cls._ode_fields:
+                raise SchemaError("%s has no field %r" % (cluster, fname))
+        with self._implicit_txn() as txn:
+            info = self.store.create_index(txn, cluster, field, kind=kind,
+                                           unique=unique)
+            index = self.store.index(cluster, info.field)
+            for _rid, record in self.store.scan(cluster):
+                serial, version = record["__key"]
+                if version != 0:
+                    continue
+                state = self.store.get(cluster, (serial, record["current"]))
+                index.insert(txn, _state_key(state["state"], info.fields),
+                             serial)
+
+    def _indexed_fields(self, cluster: str) -> Dict[str, Any]:
+        if not self.store.has_cluster(cluster):
+            return {}
+        return self.store.indexes_on(cluster)
+
+    def _index_insert(self, txn: int, obj: OdeObject) -> None:
+        cluster = type(obj).__name__
+        for name, info in self._indexed_fields(cluster).items():
+            key = tuple(self._stored_field(obj, f) for f in info.fields)
+            self.store.index(cluster, name).insert(
+                txn, key[0] if len(key) == 1 else key, obj.oid.serial)
+
+    def _index_delete(self, txn: int, oid: Oid,
+                      stored_state: Dict) -> None:
+        """Remove index entries using the *stored* (not live) field values."""
+        for name, info in self._indexed_fields(oid.cluster).items():
+            self.store.index(oid.cluster, name).delete(
+                txn, _state_key(stored_state, info.fields), oid.serial)
+
+    def _index_update(self, txn: int, obj: OdeObject,
+                      old_state: Optional[Dict]) -> None:
+        cluster = type(obj).__name__
+        for name, info in self._indexed_fields(cluster).items():
+            key = tuple(self._stored_field(obj, f) for f in info.fields)
+            new_value = key[0] if len(key) == 1 else key
+            old_value = (None if old_state is None
+                         else _state_key(old_state, info.fields))
+            if old_state is not None and old_value == new_value:
+                continue
+            index = self.store.index(cluster, name)
+            if old_state is not None:
+                index.delete(txn, old_value, obj.oid.serial)
+            index.insert(txn, new_value, obj.oid.serial)
+
+    def _stored_field(self, obj: OdeObject, field: str):
+        return obj._ode_fields[field].to_stored(obj, getattr(obj, field))
+
+    # ------------------------------------------------------------------
+    # maintenance & introspection
+    # ------------------------------------------------------------------
+
+    def vacuum(self, cls: Union[Type[OdeObject], str, None] = None) -> Dict:
+        """Compact cluster storage (see :meth:`Store.vacuum`).
+
+        With *cls* vacuum one cluster; without, every user cluster.
+        Pending in-memory changes are flushed first so nothing is lost.
+        """
+        if self._dirty:
+            with self._implicit_txn():
+                pass
+        if cls is not None:
+            name = cls if isinstance(cls, str) else cls.__name__
+            return {name: self.store.vacuum(name)}
+        return {name: self.store.vacuum(name) for name in self.clusters()}
+
+    def verify(self) -> List[str]:
+        """Run the storage integrity checker plus object-layer checks.
+
+        Object-layer checks: every version head's ``current`` appears in
+        its ``chain``, and every version in the chain has a state record.
+        Returns the list of problems (empty = consistent).
+        """
+        problems = self.store.verify_integrity()
+        for name in self.clusters():
+            for _rid, record in self.store.scan(name):
+                serial, version = record["__key"]
+                if version != 0:
+                    continue
+                chain = record["chain"]
+                if record["current"] not in chain:
+                    problems.append(
+                        "%s:%d: current version %d not in chain %r"
+                        % (name, serial, record["current"], chain))
+                for v in chain:
+                    if self.store.get(name, (serial, v)) is None:
+                        problems.append(
+                            "%s:%d: chain version %d has no state record"
+                            % (name, serial, v))
+        return problems
+
+    def schema(self) -> Dict[str, Dict]:
+        """Describe every user cluster: fields, parents, indexes, count."""
+        out: Dict[str, Dict] = {}
+        for name in self.clusters():
+            info = self.store.cluster_info(name)
+            cls = class_registry().get(name)
+            fields = {}
+            constraints: List[str] = []
+            triggers: List[str] = []
+            if cls is not None:
+                fields = {fname: type(field).__name__
+                          for fname, field in cls._ode_fields.items()}
+                constraints = [cname for cname, _ in cls._ode_constraints]
+                triggers = list(cls._ode_triggers)
+            count = sum(1 for _rid, record in self.store.scan(name)
+                        if record["__key"][1] == 0)
+            out[name] = {
+                "parents": list(info.parents),
+                "fields": fields,
+                "constraints": constraints,
+                "triggers": triggers,
+                "indexes": {f: ix.kind for f, ix in info.indexes.items()},
+                "objects": count,
+            }
+        return out
+
+    # ------------------------------------------------------------------
+    # lifecycle
+    # ------------------------------------------------------------------
+
+    def checkpoint(self) -> None:
+        """Flush pending changes and checkpoint the storage engine."""
+        with self._implicit_txn():
+            pass
+        self.store.checkpoint()
+
+    def close(self) -> None:
+        """Flush, checkpoint and close the database."""
+        if self._closed:
+            return
+        if self._txn is not None:
+            raise TransactionError("close() inside an open transaction")
+        if self._dirty:
+            with self._implicit_txn():
+                pass
+        self.store.close()
+        self._cache.clear()
+        self._vcache.clear()
+        self._closed = True
+
+    def __enter__(self) -> "Database":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        if not self._closed:
+            if self._txn is None:
+                self.close()
+            else:
+                self.store.close()
+
+    def __repr__(self) -> str:
+        return "Database(%r)" % self.store.path

@@ -1,0 +1,442 @@
+"""Typed field descriptors — the data members of Ode classes.
+
+O++ class members are typed C++ data members. In this reproduction a class
+declares its members with field descriptors::
+
+    class StockItem(OdeObject):
+        name = StringField()
+        price = FloatField(default=0.0)
+        qty = IntField()
+        supplier = RefField("Supplier")     # pointer to a persistent object
+        consumers = SetField()              # the paper's set<...> member
+
+Descriptors validate assignments, supply defaults, mark the owning object
+dirty for write-back, and know how to convert values to and from the
+storage representation (references become :class:`~repro.core.oid.Oid` /
+:class:`~repro.core.oid.Vref`, live persistent objects are swizzled to
+their ids).
+
+The dual-pointer model of section 2.2 — ``stockitem *`` vs ``persistent
+stockitem *`` — maps onto Python as: a field may hold either a direct
+(volatile) object reference or an id of a persistent object; code reads
+both through the same attribute. ``RefField(persistent_only=True)`` gets
+you the strictly-typed persistent pointer when wanted.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Optional
+
+from ..errors import SchemaError
+from .oid import Oid, Vref
+
+#: Sentinel distinguishing "no default" from "default is None".
+_NO_DEFAULT = object()
+
+
+class Field:
+    """Base descriptor for a typed, persisted data member."""
+
+    #: Acceptable Python types for values of the field (None always allowed
+    #: unless ``nullable=False``).
+    python_types: tuple = (object,)
+
+    def __init__(self, default: Any = _NO_DEFAULT, nullable: bool = True,
+                 check: Optional[Callable[[Any], bool]] = None):
+        """*default* seeds new objects; *check* is a per-value predicate."""
+        self.name: str = "<unbound>"
+        self.owner_name: str = "<unbound>"
+        self._default = default
+        self.nullable = nullable
+        self.check = check
+
+    def __set_name__(self, owner, name: str) -> None:
+        self.name = name
+        self.owner_name = owner.__name__
+
+    # -- descriptor protocol ------------------------------------------------
+
+    def __get__(self, obj, objtype=None):
+        if obj is None:
+            return self
+        state = obj.__dict__.get("_f_" + self.name, _NO_DEFAULT)
+        if state is _NO_DEFAULT:
+            value = self.default_value()
+            obj.__dict__["_f_" + self.name] = value
+            return value
+        return self.from_stored_hook(obj, state)
+
+    def __set__(self, obj, value) -> None:
+        value = self.validate(value)
+        obj.__dict__["_f_" + self.name] = value
+        self.post_set(obj, value)
+        mark = getattr(obj, "_p_mark_dirty", None)
+        if mark is not None:
+            mark()
+
+    def post_set(self, obj, value) -> None:
+        """Hook after assignment (container fields bind their owner)."""
+
+    def from_stored_hook(self, obj, value):
+        """Post-process a value on read (overridden by RefField)."""
+        return value
+
+    # -- validation -----------------------------------------------------------
+
+    def validate(self, value):
+        """Check and coerce *value*; raise :class:`SchemaError` if invalid."""
+        if value is None:
+            if not self.nullable:
+                raise SchemaError("%s.%s may not be None"
+                                  % (self.owner_name, self.name))
+            return None
+        if not isinstance(value, self.python_types):
+            value = self.coerce(value)
+        if self.check is not None and not self.check(value):
+            raise SchemaError("%s.%s: value %r fails the field check"
+                              % (self.owner_name, self.name, value))
+        return value
+
+    def coerce(self, value):
+        """Last-chance conversion; default is to reject."""
+        raise SchemaError("%s.%s expects %s, got %r" % (
+            self.owner_name, self.name,
+            "/".join(t.__name__ for t in self.python_types), value))
+
+    def default_value(self):
+        if self._default is _NO_DEFAULT:
+            return None
+        if callable(self._default):
+            return self.validate(self._default())
+        return self.validate(self._default)
+
+    # -- storage conversion -------------------------------------------------------
+
+    def to_stored(self, obj, value):
+        """Convert the live value to its storage form (codec-encodable)."""
+        return value
+
+    def from_stored(self, obj, value):
+        """Convert the storage form back to the live value."""
+        return value
+
+    def __repr__(self) -> str:
+        return "%s(%s.%s)" % (type(self).__name__, self.owner_name, self.name)
+
+
+class IntField(Field):
+    """A 64-bit-ish integer member (Python int; bools rejected)."""
+
+    python_types = (int,)
+
+    def validate(self, value):
+        if isinstance(value, bool):
+            raise SchemaError("%s.%s expects int, got bool"
+                              % (self.owner_name, self.name))
+        return super().validate(value)
+
+
+class FloatField(Field):
+    """A double member; ints are accepted and widened."""
+
+    python_types = (float,)
+
+    def coerce(self, value):
+        if isinstance(value, int) and not isinstance(value, bool):
+            return float(value)
+        return super().coerce(value)
+
+
+class BoolField(Field):
+    python_types = (bool,)
+
+
+class StringField(Field):
+    """A char*/string member, optionally length-limited."""
+
+    python_types = (str,)
+
+    def __init__(self, default: Any = _NO_DEFAULT, nullable: bool = True,
+                 max_length: Optional[int] = None,
+                 check: Optional[Callable[[Any], bool]] = None):
+        super().__init__(default, nullable, check)
+        self.max_length = max_length
+
+    def validate(self, value):
+        value = super().validate(value)
+        if (value is not None and self.max_length is not None
+                and len(value) > self.max_length):
+            raise SchemaError("%s.%s: string longer than %d"
+                              % (self.owner_name, self.name, self.max_length))
+        return value
+
+
+class CharField(StringField):
+    """A single character, as in the paper's ``char sex`` example."""
+
+    def __init__(self, default: Any = _NO_DEFAULT, nullable: bool = True,
+                 check: Optional[Callable[[Any], bool]] = None):
+        super().__init__(default, nullable, max_length=1, check=check)
+
+
+class BytesField(Field):
+    python_types = (bytes,)
+
+
+class TrackedList(list):
+    """A list that marks its owning object dirty on mutation."""
+
+    _MUTATORS = ("append", "extend", "insert", "remove", "pop", "clear",
+                 "sort", "reverse", "__setitem__", "__delitem__",
+                 "__iadd__", "__imul__")
+
+    def __init__(self, items=(), owner=None):
+        super().__init__(items)
+        self._owner = owner
+
+    def _touch(self):
+        owner = getattr(self, "_owner", None)
+        if owner is not None:
+            mark = getattr(owner, "_p_mark_dirty", None)
+            if mark is not None:
+                mark()
+
+
+def _wrap_mutator(cls, name):
+    base = getattr(list if cls is TrackedList else dict, name)
+
+    def mutator(self, *args, **kwargs):
+        result = base(self, *args, **kwargs)
+        self._touch()
+        return result
+    mutator.__name__ = name
+    setattr(cls, name, mutator)
+
+
+for _name in TrackedList._MUTATORS:
+    _wrap_mutator(TrackedList, _name)
+
+
+class TrackedDict(dict):
+    """A dict that marks its owning object dirty on mutation."""
+
+    _MUTATORS = ("__setitem__", "__delitem__", "pop", "popitem", "clear",
+                 "update", "setdefault")
+
+    def __init__(self, items=(), owner=None):
+        super().__init__(items)
+        self._owner = owner
+
+    def _touch(self):
+        owner = getattr(self, "_owner", None)
+        if owner is not None:
+            mark = getattr(owner, "_p_mark_dirty", None)
+            if mark is not None:
+                mark()
+
+
+for _name in TrackedDict._MUTATORS:
+    _wrap_mutator(TrackedDict, _name)
+
+
+class ListField(Field):
+    """An ordered collection member (stored as a list).
+
+    In-place mutations (`append`, slicing, `sort`, ...) mark the owning
+    object dirty, so they persist at the next commit.
+    """
+
+    python_types = (list,)
+
+    def default_value(self):
+        if self._default is _NO_DEFAULT:
+            return TrackedList()
+        return super().default_value()
+
+    def validate(self, value):
+        value = super().validate(value)
+        if value is not None and not isinstance(value, TrackedList):
+            value = TrackedList(value)
+        return value
+
+    def from_stored_hook(self, obj, value):
+        if isinstance(value, TrackedList) and value._owner is None:
+            value._owner = obj
+        return value
+
+    def post_set(self, obj, value) -> None:
+        if isinstance(value, TrackedList):
+            value._owner = obj
+
+    def to_stored(self, obj, value):
+        return list(value)
+
+    def from_stored(self, obj, value):
+        return TrackedList(value, owner=obj)
+
+
+class DictField(Field):
+    """A mapping member; in-place mutations mark the owner dirty."""
+
+    python_types = (dict,)
+
+    def default_value(self):
+        if self._default is _NO_DEFAULT:
+            return TrackedDict()
+        return super().default_value()
+
+    def validate(self, value):
+        value = super().validate(value)
+        if value is not None and not isinstance(value, TrackedDict):
+            value = TrackedDict(value)
+        return value
+
+    def from_stored_hook(self, obj, value):
+        if isinstance(value, TrackedDict) and value._owner is None:
+            value._owner = obj
+        return value
+
+    def post_set(self, obj, value) -> None:
+        if isinstance(value, TrackedDict):
+            value._owner = obj
+
+    def to_stored(self, obj, value):
+        return dict(value)
+
+    def from_stored(self, obj, value):
+        return TrackedDict(value, owner=obj)
+
+
+class AnyField(Field):
+    """An untyped member; anything codec-encodable (or a reference)."""
+
+
+class RefField(Field):
+    """A pointer member: volatile object, persistent object, or id.
+
+    *target* optionally names the Ode class (or cluster) the pointer must
+    reference; ``persistent_only=True`` makes it the paper's
+    ``persistent T *`` — volatile objects are rejected.
+
+    Reading a RefField whose stored value is an :class:`Oid`/:class:`Vref`
+    returns the id as-is; dereference with ``db.deref(ref)`` or the object's
+    convenience ``obj.follow("field")``. (Automatic faulting lives in the
+    object layer, which knows the database; the descriptor stays passive.)
+    """
+
+    def __init__(self, target: Optional[str] = None,
+                 default: Any = _NO_DEFAULT, nullable: bool = True,
+                 persistent_only: bool = False):
+        super().__init__(default, nullable)
+        self.target = target
+        self.persistent_only = persistent_only
+
+    def validate(self, value):
+        if value is None:
+            if not self.nullable:
+                raise SchemaError("%s.%s may not be None"
+                                  % (self.owner_name, self.name))
+            return None
+        if isinstance(value, (Oid, Vref)):
+            if self.target is not None and not self._cluster_ok(value.cluster):
+                raise SchemaError(
+                    "%s.%s must reference %s, got a %s id"
+                    % (self.owner_name, self.name, self.target, value.cluster))
+            return value
+        # A live object: volatile or a bound persistent instance.
+        from .objects import OdeObject
+        if not isinstance(value, OdeObject):
+            raise SchemaError("%s.%s expects an object or id, got %r"
+                              % (self.owner_name, self.name, value))
+        if self.target is not None and not self._class_ok(type(value)):
+            raise SchemaError("%s.%s must reference %s, got %s"
+                              % (self.owner_name, self.name, self.target,
+                                 type(value).__name__))
+        if self.persistent_only and not value.is_persistent:
+            raise SchemaError(
+                "%s.%s is a persistent pointer; %r is volatile"
+                % (self.owner_name, self.name, value))
+        return value
+
+    def _class_ok(self, cls) -> bool:
+        return any(base.__name__ == self.target for base in cls.__mro__)
+
+    def _cluster_ok(self, cluster: str) -> bool:
+        from .objects import class_registry
+        cls = class_registry().get(cluster)
+        return cls is None or self._class_ok(cls)
+
+    def to_stored(self, obj, value):
+        from .objects import OdeObject
+        if isinstance(value, OdeObject):
+            if not value.is_persistent:
+                raise SchemaError(
+                    "cannot persist %s.%s: it points at a volatile object "
+                    "(persist the target first or keep the holder volatile)"
+                    % (self.owner_name, self.name))
+            return value.oid
+        return value
+
+
+class SetField(Field):
+    """The paper's ``set<type>`` member (section 2.6).
+
+    The live value is an :class:`~repro.core.sets.OdeSet`; assignment
+    accepts any iterable. Elements may be plain values, ids, or live
+    persistent objects (swizzled to ids on store).
+    """
+
+    def __init__(self, target: Optional[str] = None,
+                 default: Any = _NO_DEFAULT):
+        super().__init__(default, nullable=False)
+        self.target = target
+
+    def validate(self, value):
+        from .sets import OdeSet
+        if value is None:
+            raise SchemaError("%s.%s: a set member cannot be None"
+                              % (self.owner_name, self.name))
+        if isinstance(value, OdeSet):
+            return value
+        try:
+            return OdeSet(value)
+        except TypeError:
+            raise SchemaError("%s.%s expects an iterable, got %r"
+                              % (self.owner_name, self.name, value))
+
+    def from_stored_hook(self, obj, value):
+        from .sets import OdeSet
+        if isinstance(value, OdeSet) and value._owner is None:
+            value._bind_owner(obj)
+        return value
+
+    def post_set(self, obj, value) -> None:
+        from .sets import OdeSet
+        if isinstance(value, OdeSet):
+            value._bind_owner(obj)
+
+    def default_value(self):
+        from .sets import OdeSet
+        if self._default is _NO_DEFAULT:
+            return OdeSet()
+        return super().default_value()
+
+    def to_stored(self, obj, value):
+        from .objects import OdeObject
+        stored = []
+        for item in value:
+            if isinstance(item, OdeObject):
+                if not item.is_persistent:
+                    raise SchemaError(
+                        "cannot persist %s.%s: set contains a volatile object"
+                        % (self.owner_name, self.name))
+                stored.append(item.oid)
+            else:
+                stored.append(item)
+        return stored
+
+    def from_stored(self, obj, value):
+        from .sets import OdeSet
+        result = OdeSet(value)
+        result._bind_owner(obj)
+        return result

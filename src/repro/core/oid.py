@@ -1,0 +1,108 @@
+"""Object identity — the paper's object ids and version references.
+
+Section 2 of the paper: "A database is a collection of persistent objects,
+each identified by a unique identifier, called the object identifier (id)
+that is its identity. We shall also refer to this object id as a pointer to
+a persistent object."
+
+Two reference flavours exist, mirroring section 4 (versioning):
+
+* :class:`Oid` — a *generic* reference. It names an object; dereferencing
+  it always yields the object's **current** version.
+* :class:`Vref` — a *specific* reference, pinned to one version.
+
+Both are small immutable values that can be stored inside other persistent
+objects (the codec encodes them natively). Dereferencing goes through
+:meth:`repro.core.database.Database.deref`.
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+from ..storage.codec import OidTriple, VrefTriple, register_extension
+
+
+class Oid:
+    """Generic reference: (cluster name, serial). Follows the current version."""
+
+    __slots__ = ("cluster", "serial")
+
+    def __init__(self, cluster: str, serial: int):
+        object.__setattr__(self, "cluster", cluster)
+        object.__setattr__(self, "serial", int(serial))
+
+    def __setattr__(self, name: str, value: Any) -> None:
+        raise AttributeError("Oid is immutable")
+
+    def __eq__(self, other: Any) -> bool:
+        return (type(other) is type(self)
+                and other.cluster == self.cluster
+                and other.serial == self.serial)
+
+    def __hash__(self) -> int:
+        return hash((type(self).__name__, self.cluster, self.serial))
+
+    def __repr__(self) -> str:
+        return "Oid(%s:%d)" % (self.cluster, self.serial)
+
+
+class Vref:
+    """Specific reference, pinned to version *version* of an object."""
+
+    __slots__ = ("cluster", "serial", "version")
+
+    def __init__(self, cluster: str, serial: int, version: int):
+        object.__setattr__(self, "cluster", cluster)
+        object.__setattr__(self, "serial", int(serial))
+        object.__setattr__(self, "version", int(version))
+
+    def __setattr__(self, name: str, value: Any) -> None:
+        raise AttributeError("Vref is immutable")
+
+    @property
+    def oid(self) -> Oid:
+        """The generic reference to the same object."""
+        return Oid(self.cluster, self.serial)
+
+    def __eq__(self, other: Any) -> bool:
+        return (type(other) is type(self)
+                and other.cluster == self.cluster
+                and other.serial == self.serial
+                and other.version == self.version)
+
+    def __hash__(self) -> int:
+        return hash((type(self).__name__, self.cluster,
+                     self.serial, self.version))
+
+    def __repr__(self) -> str:
+        return "Vref(%s:%d@v%d)" % (self.cluster, self.serial, self.version)
+
+
+# Stable on-disk tags for references; the storage codec persists them via
+# these registrations without knowing about the object layer.
+register_extension(
+    0x41, Oid,
+    to_state=lambda ref: (ref.cluster, ref.serial),
+    from_state=lambda state: Oid(state[0], state[1]),
+    key_state=lambda ref: (ref.cluster, ref.serial))
+register_extension(
+    0x42, Vref,
+    to_state=lambda ref: (ref.cluster, ref.serial, ref.version),
+    from_state=lambda state: Vref(state[0], state[1], state[2]),
+    key_state=lambda ref: (ref.cluster, ref.serial, ref.version))
+
+
+def to_triple(ref, cluster_ids) -> OidTriple:
+    """Map a reference to its on-disk triple using *cluster_ids* (name->id)."""
+    if isinstance(ref, Vref):
+        return VrefTriple(cluster_ids[ref.cluster], ref.serial, ref.version)
+    return OidTriple(cluster_ids[ref.cluster], ref.serial, 0)
+
+
+def from_triple(triple: OidTriple, cluster_names):
+    """Map an on-disk triple back to a reference (*cluster_names*: id->name)."""
+    name = cluster_names[triple.cluster_id]
+    if isinstance(triple, VrefTriple):
+        return Vref(name, triple.serial, triple.version)
+    return Oid(name, triple.serial)

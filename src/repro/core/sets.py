@@ -1,0 +1,163 @@
+"""OdeSet — the paper's ``set<type>`` (section 2.6).
+
+An OdeSet is an unordered collection without duplicates. The paper gives
+sets two defining behaviours beyond the obvious:
+
+* **Insert/remove operators.** O++ writes ``s << x`` to insert and
+  ``s >> x`` to remove (Concurrent C heritage). OdeSet supports both the
+  operators and plain :meth:`insert` / :meth:`remove` methods.
+* **Iteration sees insertions made during iteration** (section 3.2): the
+  ``forall`` loop over a set also visits elements added while the loop
+  runs. This is what makes least-fixpoint (recursive) queries expressible
+  with ordinary loops. OdeSet's iterator therefore tracks the set's append
+  log instead of snapshotting.
+
+Elements must be hashable (ids, strings, numbers, tuples, frozen values,
+or live Ode objects, which hash by identity).
+"""
+
+from __future__ import annotations
+
+from typing import Any, Iterable, Iterator, Optional
+
+
+class OdeSet:
+    """Duplicate-free collection with insertion-ordered, growth-tolerant
+    iteration.
+
+    When an OdeSet is the value of a persistent object's
+    :class:`~repro.core.fields.SetField`, mutating it in place marks the
+    owning object dirty, so ``item.parts.insert(x)`` persists at the next
+    commit with no explicit reassignment.
+    """
+
+    __slots__ = ("_members", "_order", "_owner")
+
+    def __init__(self, items: Optional[Iterable] = None):
+        self._members = set()
+        self._order = []  # append log; tombstones left as removed markers
+        self._owner = None  # the OdeObject holding this set, if any
+        if items is not None:
+            for item in items:
+                self.insert(item)
+
+    def _bind_owner(self, owner) -> None:
+        """Attach the object whose field holds this set (dirty tracking)."""
+        self._owner = owner
+
+    def _touch(self) -> None:
+        owner = self._owner
+        if owner is not None:
+            mark = getattr(owner, "_p_mark_dirty", None)
+            if mark is not None:
+                mark()
+
+    # -- mutation --------------------------------------------------------------
+
+    def insert(self, item: Any) -> bool:
+        """Add *item*; returns True if it was not already present."""
+        if item in self._members:
+            return False
+        self._members.add(item)
+        self._order.append(item)
+        self._touch()
+        return True
+
+    def remove(self, item: Any) -> bool:
+        """Remove *item*; returns True if it was present."""
+        if item not in self._members:
+            return False
+        self._members.discard(item)
+        self._touch()
+        return True
+
+    def __lshift__(self, item: Any) -> "OdeSet":
+        """``s << x`` — the paper's insertion operator."""
+        self.insert(item)
+        return self
+
+    def __rshift__(self, item: Any) -> "OdeSet":
+        """``s >> x`` — the paper's removal operator."""
+        self.remove(item)
+        return self
+
+    def clear(self) -> None:
+        self._members.clear()
+        self._order.clear()
+        self._touch()
+
+    # -- queries -----------------------------------------------------------------
+
+    def __contains__(self, item: Any) -> bool:
+        return item in self._members
+
+    def __len__(self) -> int:
+        return len(self._members)
+
+    def __bool__(self) -> bool:
+        return bool(self._members)
+
+    def __iter__(self) -> Iterator:
+        """Iterate in insertion order, *including* elements inserted during
+        the iteration (the fixpoint-query property). Elements removed
+        before the cursor reaches them are skipped."""
+        yielded = set()
+        i = 0
+        while i < len(self._order):
+            item = self._order[i]
+            i += 1
+            # The append log may hold several entries for an element that
+            # was removed and reinserted; yield each element at most once.
+            if item in self._members and item not in yielded:
+                yielded.add(item)
+                yield item
+
+    def snapshot(self) -> frozenset:
+        """A frozen copy of the current membership."""
+        return frozenset(self._members)
+
+    # -- set algebra (returns plain OdeSets) ------------------------------------
+
+    def union(self, other: Iterable) -> "OdeSet":
+        result = OdeSet(self)
+        for item in other:
+            result.insert(item)
+        return result
+
+    def intersection(self, other: Iterable) -> "OdeSet":
+        other_set = set(other)
+        return OdeSet(x for x in self if x in other_set)
+
+    def difference(self, other: Iterable) -> "OdeSet":
+        other_set = set(other)
+        return OdeSet(x for x in self if x not in other_set)
+
+    def __or__(self, other):
+        return self.union(other)
+
+    def __and__(self, other):
+        return self.intersection(other)
+
+    def __sub__(self, other):
+        return self.difference(other)
+
+    def __eq__(self, other: Any) -> bool:
+        if isinstance(other, OdeSet):
+            return self._members == other._members
+        if isinstance(other, (set, frozenset)):
+            return self._members == other
+        return NotImplemented
+
+    def __hash__(self):
+        return None  # mutable: unhashable (mirrors list/set)
+
+    __hash__ = None  # type: ignore[assignment]
+
+    def __repr__(self) -> str:
+        preview = ", ".join(repr(x) for i, x in zip(range(8), self))
+        suffix = ", ..." if len(self) > 8 else ""
+        return "OdeSet{%s%s}" % (preview, suffix)
+
+    def _compact(self) -> None:
+        """Drop tombstones from the append log (amortised maintenance)."""
+        self._order = [x for x in self._order if x in self._members]

@@ -1,0 +1,337 @@
+"""Triggers — the paper's active-database facility (section 6).
+
+A trigger is declared in a class and *activated* per object, with
+arguments; activation returns a trigger id::
+
+    class StockItem(OdeObject):
+        qty = IntField(default=0)
+        reorder_level = IntField(default=0)
+
+        reorder = Trigger(
+            condition=lambda self, n: self.qty <= self.reorder_level,
+            action=lambda self, n: place_order(self, n))
+
+    tid = item.reorder(100)      # activate, as in the paper: sip->reorder(100)
+    tid.deactivate()             # explicit deactivation
+
+Semantics implemented exactly as the paper specifies:
+
+* **Once-only vs perpetual** (``perpetual=True``): a once-only trigger is
+  deactivated when it fires and must be reactivated explicitly; a
+  perpetual trigger is reactivated automatically after firing.
+* **Evaluation at end of transaction**: trigger conditions are conceptually
+  evaluated at the end of each transaction, seeing its final state.
+* **Weak coupling**: each firing creates an *independent* transaction
+  whose body is the trigger action, executed after (but not necessarily
+  immediately after) the triggering transaction commits. If the
+  triggering transaction aborts, the trigger actions it generated are
+  aborted with it.
+* **Timed triggers** (``within=...``): if the condition does not become
+  true within the duration (measured on the database's clock, which is
+  virtual and advanced with ``db.advance_time``), the timeout action runs
+  instead and the activation ends.
+* Multiple activations of the same trigger on the same object may be in
+  effect simultaneously, each with its own arguments and id.
+
+Activations are persistent: they live in a hidden cluster and survive
+database reopens, as an active database requires.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Dict, List, Optional
+
+from ..errors import TriggerError
+from .oid import Oid, Vref
+
+#: Hidden cluster holding trigger activations.
+ACTIVATION_CLUSTER = "__activations__"
+
+
+class Trigger:
+    """Class-level trigger declaration (a descriptor).
+
+    *condition* and *action* are callables of ``(self, *args)`` where
+    ``self`` is the object the activation is attached to and ``args`` are
+    the activation arguments. *within*, for timed triggers, is either a
+    number (duration) or a callable ``(self, *args) -> duration``;
+    *timeout_action* then runs if the condition never became true in time.
+    """
+
+    def __init__(self, condition: Callable, action: Callable,
+                 perpetual: bool = False,
+                 within: Optional[Any] = None,
+                 timeout_action: Optional[Callable] = None):
+        if timeout_action is not None and within is None:
+            raise TriggerError("timeout_action requires within=")
+        self.condition = condition
+        self.action = action
+        self.perpetual = perpetual
+        self.within = within
+        self.timeout_action = timeout_action
+        self.name = "<unbound>"
+        self.owner_name = "<unbound>"
+
+    def __set_name__(self, owner, name: str) -> None:
+        self.name = name
+        self.owner_name = owner.__name__
+
+    def __get__(self, obj, objtype=None):
+        if obj is None:
+            return self
+        return _BoundTrigger(obj, self)
+
+    def __repr__(self) -> str:
+        kind = "perpetual " if self.perpetual else ""
+        timed = " within" if self.within is not None else ""
+        return "<%strigger %s.%s%s>" % (kind, self.owner_name,
+                                        self.name, timed)
+
+
+class _BoundTrigger:
+    """``obj.trigger_name`` — calling it activates the trigger."""
+
+    __slots__ = ("_obj", "_decl")
+
+    def __init__(self, obj, decl: Trigger):
+        self._obj = obj
+        self._decl = decl
+
+    def __call__(self, *args) -> "TriggerId":
+        db = self._obj.database
+        if db is None or not self._obj.is_persistent:
+            raise TriggerError(
+                "triggers can only be activated on persistent objects "
+                "(%s.%s on a volatile instance)"
+                % (self._decl.owner_name, self._decl.name))
+        return db.triggers.activate(self._obj, self._decl, args)
+
+    @property
+    def declaration(self) -> Trigger:
+        return self._decl
+
+
+class TriggerId:
+    """Handle for one activation; supports explicit deactivation."""
+
+    __slots__ = ("serial", "_manager")
+
+    def __init__(self, serial: int, manager: "TriggerManager"):
+        self.serial = serial
+        self._manager = manager
+
+    def deactivate(self) -> bool:
+        """Deactivate this activation (before it has fired).
+
+        Returns False if it was already inactive. This is the paper's
+        ``trigger-id`` deactivation form.
+        """
+        return self._manager.deactivate(self)
+
+    @property
+    def is_active(self) -> bool:
+        return self._manager.is_active(self)
+
+    def __eq__(self, other):
+        return isinstance(other, TriggerId) and other.serial == self.serial
+
+    def __hash__(self):
+        return hash(("TriggerId", self.serial))
+
+    def __repr__(self):
+        return "TriggerId(%d)" % self.serial
+
+
+class _Activation:
+    """In-memory mirror of one persistent activation record."""
+
+    __slots__ = ("serial", "oid", "class_name", "trigger_name", "args",
+                 "deadline", "active")
+
+    def __init__(self, serial: int, oid: Oid, class_name: str,
+                 trigger_name: str, args: tuple,
+                 deadline: Optional[float], active: bool):
+        self.serial = serial
+        self.oid = oid
+        self.class_name = class_name
+        self.trigger_name = trigger_name
+        self.args = args
+        self.deadline = deadline
+        self.active = active
+
+    def to_state(self) -> Dict[str, Any]:
+        return {
+            "serial": self.serial,
+            "oid": [self.oid.cluster, self.oid.serial],
+            "class_name": self.class_name,
+            "trigger_name": self.trigger_name,
+            "args": list(self.args),
+            "deadline": self.deadline,
+            "active": self.active,
+        }
+
+    @classmethod
+    def from_state(cls, state: Dict[str, Any]) -> "_Activation":
+        return cls(state["serial"], Oid(*state["oid"]), state["class_name"],
+                   state["trigger_name"], tuple(state["args"]),
+                   state["deadline"], state["active"])
+
+
+class FiredAction:
+    """A scheduled trigger action, to run as an independent transaction."""
+
+    __slots__ = ("activation_serial", "description", "thunk")
+
+    def __init__(self, activation_serial: int, description: str,
+                 thunk: Callable[[], None]):
+        self.activation_serial = activation_serial
+        self.description = description
+        self.thunk = thunk
+
+    def __repr__(self):
+        return "FiredAction(%s)" % self.description
+
+
+class TriggerManager:
+    """Owns activations; evaluates conditions at transaction boundaries."""
+
+    def __init__(self, db):
+        self._db = db
+        self._cache: Optional[Dict[int, _Activation]] = None
+        # statistics
+        self.evaluations = 0
+        self.firings = 0
+        self.timeouts = 0
+
+    # -- activation bookkeeping ------------------------------------------------
+
+    def _ensure_cluster(self, txn: int) -> None:
+        store = self._db.store
+        if not store.has_cluster(ACTIVATION_CLUSTER):
+            store.create_cluster(txn, ACTIVATION_CLUSTER)
+
+    def _activations(self) -> Dict[int, _Activation]:
+        if self._cache is None:
+            self._cache = {}
+            store = self._db.store
+            if store.has_cluster(ACTIVATION_CLUSTER):
+                for _rid, state in store.scan(ACTIVATION_CLUSTER):
+                    act = _Activation.from_state(state)
+                    self._cache[act.serial] = act
+        return self._cache
+
+    def invalidate(self) -> None:
+        """Drop the in-memory mirror (after an abort)."""
+        self._cache = None
+
+    def _save(self, txn: int, act: _Activation) -> None:
+        self._db.store.put(txn, ACTIVATION_CLUSTER, (act.serial, 0),
+                           act.to_state())
+
+    # -- public operations -------------------------------------------------------
+
+    def activate(self, obj, decl: Trigger, args: tuple) -> TriggerId:
+        """Record a new activation of *decl* on *obj* with *args*."""
+        db = self._db
+        stored_args = tuple(
+            a.oid if hasattr(a, "is_persistent") and a.is_persistent else a
+            for a in args)
+        with db._implicit_txn() as txn:
+            self._ensure_cluster(txn)
+            serial = db.store.allocate_serial(txn, ACTIVATION_CLUSTER)
+            deadline = None
+            if decl.within is not None:
+                duration = (decl.within(obj, *args) if callable(decl.within)
+                            else decl.within)
+                deadline = db.now() + float(duration)
+            act = _Activation(serial, obj.oid, type(obj).__name__,
+                              decl.name, stored_args, deadline, True)
+            self._activations()[serial] = act
+            self._save(txn, act)
+        return TriggerId(serial, self)
+
+    def deactivate(self, tid: TriggerId) -> bool:
+        act = self._activations().get(tid.serial)
+        if act is None or not act.active:
+            return False
+        with self._db._implicit_txn() as txn:
+            act.active = False
+            self._save(txn, act)
+        return True
+
+    def is_active(self, tid: TriggerId) -> bool:
+        act = self._activations().get(tid.serial)
+        return bool(act and act.active)
+
+    def active_count(self) -> int:
+        return sum(1 for a in self._activations().values() if a.active)
+
+    # -- evaluation --------------------------------------------------------------
+
+    def evaluate(self, txn: int) -> List[FiredAction]:
+        """Evaluate all active conditions against the current state.
+
+        Called by the database at the end of a transaction, *before*
+        commit: deactivations of fired once-only triggers join the
+        triggering transaction (so an abort restores them), while the
+        returned actions are executed as independent transactions only if
+        the commit succeeds (weak coupling).
+        """
+        fired: List[FiredAction] = []
+        now = self._db.now()
+        for act in list(self._activations().values()):
+            if not act.active:
+                continue
+            decl = self._declaration_of(act)
+            if decl is None:
+                continue
+            self.evaluations += 1
+            obj = self._db.deref(act.oid, _missing_ok=True)
+            if obj is None:
+                # Object was deleted: the activation dies with it.
+                act.active = False
+                self._save(txn, act)
+                continue
+            args = self._rehydrate(act.args)
+            if decl.condition(obj, *args):
+                self.firings += 1
+                if not decl.perpetual:
+                    act.active = False
+                    self._save(txn, act)
+                fired.append(self._make_action(act, decl, False))
+            elif act.deadline is not None and now >= act.deadline:
+                self.timeouts += 1
+                act.active = False
+                self._save(txn, act)
+                if decl.timeout_action is not None:
+                    fired.append(self._make_action(act, decl, True))
+        return fired
+
+    def _make_action(self, act: _Activation, decl: Trigger,
+                     timed_out: bool) -> FiredAction:
+        db = self._db
+        oid, args = act.oid, act.args
+        run = decl.timeout_action if timed_out else decl.action
+
+        def thunk() -> None:
+            obj = db.deref(oid, _missing_ok=True)
+            if obj is None:
+                return
+            run(obj, *self._rehydrate(args))
+
+        what = "timeout of " if timed_out else ""
+        description = "%s%s.%s on %r" % (what, act.class_name,
+                                         act.trigger_name, oid)
+        return FiredAction(act.serial, description, thunk)
+
+    def _declaration_of(self, act: _Activation) -> Optional[Trigger]:
+        from .objects import class_registry
+        cls = class_registry().get(act.class_name)
+        if cls is None:
+            return None
+        return cls._ode_triggers.get(act.trigger_name)
+
+    def _rehydrate(self, args: tuple) -> tuple:
+        """Turn stored Oid/Vref arguments back into live objects."""
+        return tuple(self._db.deref(a) if isinstance(a, (Oid, Vref)) else a
+                     for a in args)

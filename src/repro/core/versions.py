@@ -1,0 +1,73 @@
+"""Version macros — newversion, vprev, vnext, vfirst, vlast (section 4).
+
+The paper exposes versioning through macros; this module provides them as
+module-level functions operating on live persistent objects or references,
+delegating to the object's database::
+
+    from repro.core.versions import newversion, vprev, vnext
+
+    item = db.pnew(StockItem, name="512 dram", price=5.0)
+    old = item.vref
+    newversion(item)                 # item now reads/writes version 2
+    item.price = 6.0
+    assert db.deref(old).price == 5.0    # history is intact
+    assert vnext(old) == item.vref
+
+Only the linear chain of the paper is implemented (footnote 15: the tree
+version graph is deferred to the Ode versioning paper).
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+from ..errors import NotPersistentError
+from .objects import OdeObject
+from .oid import Oid, Vref
+
+
+def _db_of(ref):
+    if isinstance(ref, OdeObject):
+        db = ref.database
+        if db is None:
+            raise NotPersistentError(
+                "versioning applies to persistent objects only; %r is "
+                "volatile" % ref)
+        return db
+    raise NotPersistentError(
+        "pass a live persistent object, or use the Database methods "
+        "directly for raw references: db.newversion(oid), db.vprev(vref)...")
+
+
+def newversion(obj: OdeObject) -> Vref:
+    """Create a new current version of *obj*; returns its specific ref."""
+    return _db_of(obj).newversion(obj)
+
+
+def versions(obj: OdeObject) -> List[Vref]:
+    """All versions of *obj*, oldest first."""
+    return _db_of(obj).versions(obj)
+
+
+def vprev(obj_or_ref) -> Optional[Vref]:
+    """The version before the given one (None at the oldest)."""
+    if isinstance(obj_or_ref, OdeObject):
+        return _db_of(obj_or_ref).vprev(obj_or_ref)
+    raise NotPersistentError("use db.vprev(ref) for raw references")
+
+
+def vnext(obj_or_ref) -> Optional[Vref]:
+    """The version after the given one (None at the newest)."""
+    if isinstance(obj_or_ref, OdeObject):
+        return _db_of(obj_or_ref).vnext(obj_or_ref)
+    raise NotPersistentError("use db.vnext(ref) for raw references")
+
+
+def vfirst(obj: OdeObject) -> Vref:
+    """The oldest version of the object."""
+    return _db_of(obj).vfirst(obj)
+
+
+def vlast(obj: OdeObject) -> Vref:
+    """The newest version of the object."""
+    return _db_of(obj).vlast(obj)

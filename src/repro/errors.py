@@ -1,0 +1,180 @@
+"""Exception hierarchy for the Ode reproduction.
+
+Every error raised by the library derives from :class:`OdeError`, so client
+code can catch a single base class. Subsystems add their own subclasses:
+the storage engine raises :class:`StorageError` subtypes, the object layer
+raises :class:`ObjectError` subtypes, and the O++ interpreter raises
+:class:`OppError` subtypes.
+"""
+
+from __future__ import annotations
+
+
+class OdeError(Exception):
+    """Base class for all errors raised by the Ode reproduction."""
+
+
+# ---------------------------------------------------------------------------
+# Storage engine
+# ---------------------------------------------------------------------------
+
+class StorageError(OdeError):
+    """Base class for errors raised by the storage engine."""
+
+
+class CodecError(StorageError):
+    """A value could not be encoded to or decoded from its binary form."""
+
+
+class PageError(StorageError):
+    """A page-level invariant was violated (overflow, bad slot, bad id)."""
+
+
+class PageFullError(PageError):
+    """There is not enough contiguous free space on a page for a record."""
+
+
+class BufferPoolError(StorageError):
+    """The buffer pool could not satisfy a request (e.g. all pages pinned)."""
+
+
+class WalError(StorageError):
+    """The write-ahead log is corrupt or was used incorrectly."""
+
+
+class RecoveryError(StorageError):
+    """Crash recovery failed to restore a consistent database state."""
+
+
+class IndexError_(StorageError):
+    """An index structure invariant was violated.
+
+    Named with a trailing underscore to avoid shadowing the builtin
+    ``IndexError``; exported as ``OdeIndexError`` from the package root.
+    """
+
+
+class DuplicateKeyError(IndexError_):
+    """A unique index rejected insertion of a key that is already present."""
+
+
+class LockError(StorageError):
+    """Base class for lock-manager errors."""
+
+
+class DeadlockError(LockError):
+    """A lock request would create a cycle in the waits-for graph."""
+
+
+class LockTimeoutError(LockError):
+    """A lock request timed out before it could be granted."""
+
+
+class CatalogError(StorageError):
+    """The system catalog is inconsistent or a lookup failed."""
+
+
+# ---------------------------------------------------------------------------
+# Object layer (the paper's data model)
+# ---------------------------------------------------------------------------
+
+class ObjectError(OdeError):
+    """Base class for errors raised by the object layer."""
+
+
+class SchemaError(ObjectError):
+    """A class definition is invalid (bad field, bad inheritance, ...)."""
+
+
+class ClusterNotFoundError(ObjectError):
+    """A persistent object was created before its cluster exists.
+
+    The paper (section 2.5): "Before creating a persistent object, the
+    corresponding cluster must exist; it is created by invoking the create
+    macro".
+    """
+
+
+class ClusterExistsError(ObjectError):
+    """``create`` was invoked for a cluster that already exists."""
+
+
+class DanglingReferenceError(ObjectError):
+    """An object id refers to an object that has been deleted."""
+
+
+class NotPersistentError(ObjectError):
+    """A persistence-only operation was applied to a volatile object."""
+
+
+class VersionError(ObjectError):
+    """A versioning operation was invalid (e.g. newversion on volatile)."""
+
+
+class ConstraintViolation(ObjectError):
+    """An object failed one of its class constraints.
+
+    Per the paper (section 5, footnote 17) a violation aborts the enclosing
+    transaction, which is rolled back.
+    """
+
+    def __init__(self, message, obj=None, constraint_name=None):
+        super().__init__(message)
+        self.obj = obj
+        self.constraint_name = constraint_name
+
+
+class TriggerError(ObjectError):
+    """A trigger was activated or deactivated incorrectly."""
+
+
+class TransactionError(ObjectError):
+    """A transaction was used incorrectly (e.g. commit after abort)."""
+
+
+class TransactionAborted(TransactionError):
+    """The enclosing transaction has been aborted and rolled back."""
+
+    def __init__(self, message, reason=None):
+        super().__init__(message)
+        self.reason = reason
+
+
+# ---------------------------------------------------------------------------
+# Query layer
+# ---------------------------------------------------------------------------
+
+class QueryError(OdeError):
+    """Base class for errors raised by the query layer."""
+
+
+# ---------------------------------------------------------------------------
+# O++ language front end
+# ---------------------------------------------------------------------------
+
+class OppError(OdeError):
+    """Base class for errors raised by the O++ front end."""
+
+    def __init__(self, message, line=None, column=None):
+        if line is not None:
+            message = "line %d:%s %s" % (
+                line, "" if column is None else " col %d:" % column, message)
+        super().__init__(message)
+        self.line = line
+        self.column = column
+
+
+class OppSyntaxError(OppError):
+    """The O++ source could not be tokenized or parsed."""
+
+
+class OppTypeError(OppError):
+    """An O++ expression was applied to operands of the wrong type."""
+
+
+class OppNameError(OppError):
+    """An undefined name was referenced in an O++ program."""
+
+
+class OppRuntimeError(OppError):
+    """An O++ program failed at run time."""

@@ -1,0 +1,436 @@
+"""AST node definitions for the O++ subset.
+
+Plain data classes, one per construct. Every node carries the source line
+for error reporting. The interpreter (:mod:`repro.opp.interp`) dispatches
+on these types; the parser (:mod:`repro.opp.parser`) builds them.
+"""
+
+from __future__ import annotations
+
+from typing import Any, List, Optional, Tuple
+
+
+class Node:
+    """Base AST node."""
+
+    __slots__ = ("line",)
+
+    def __init__(self, line: int = 0):
+        self.line = line
+
+    def __repr__(self):
+        pairs = ", ".join("%s=%r" % (slot, getattr(self, slot))
+                          for slot in self.__slots__ if slot != "line")
+        return "%s(%s)" % (type(self).__name__, pairs)
+
+
+# ---------------------------------------------------------------------------
+# types
+# ---------------------------------------------------------------------------
+
+class TypeName(Node):
+    """A declared type: base name + pointer/persistence/set decorations."""
+
+    __slots__ = ("name", "pointer", "persistent", "element")
+
+    def __init__(self, name: str, pointer: bool = False,
+                 persistent: bool = False,
+                 element: Optional["TypeName"] = None, line: int = 0):
+        super().__init__(line)
+        self.name = name            # "int", "double", "char", class name, "set"
+        self.pointer = pointer
+        self.persistent = persistent
+        self.element = element      # set<element>
+
+
+# ---------------------------------------------------------------------------
+# expressions
+# ---------------------------------------------------------------------------
+
+class Literal(Node):
+    __slots__ = ("value",)
+
+    def __init__(self, value: Any, line: int = 0):
+        super().__init__(line)
+        self.value = value
+
+
+class Name(Node):
+    __slots__ = ("ident",)
+
+    def __init__(self, ident: str, line: int = 0):
+        super().__init__(line)
+        self.ident = ident
+
+
+class This(Node):
+    __slots__ = ()
+
+
+class Binary(Node):
+    __slots__ = ("op", "left", "right")
+
+    def __init__(self, op: str, left: Node, right: Node, line: int = 0):
+        super().__init__(line)
+        self.op = op
+        self.left = left
+        self.right = right
+
+
+class Unary(Node):
+    __slots__ = ("op", "operand")
+
+    def __init__(self, op: str, operand: Node, line: int = 0):
+        super().__init__(line)
+        self.op = op
+        self.operand = operand
+
+
+class Conditional(Node):
+    """C's ``cond ? a : b``."""
+
+    __slots__ = ("cond", "then", "otherwise")
+
+    def __init__(self, cond: Node, then: Node, otherwise: Node,
+                 line: int = 0):
+        super().__init__(line)
+        self.cond = cond
+        self.then = then
+        self.otherwise = otherwise
+
+
+class Member(Node):
+    """``expr->field`` or ``expr.field`` (both dereference uniformly)."""
+
+    __slots__ = ("target", "field")
+
+    def __init__(self, target: Node, field: str, line: int = 0):
+        super().__init__(line)
+        self.target = target
+        self.field = field
+
+
+class Index(Node):
+    __slots__ = ("target", "index")
+
+    def __init__(self, target: Node, index: Node, line: int = 0):
+        super().__init__(line)
+        self.target = target
+        self.index = index
+
+
+class Call(Node):
+    """Function call: callee is a Name (builtin/function) or Member (method)."""
+
+    __slots__ = ("callee", "args")
+
+    def __init__(self, callee: Node, args: List[Node], line: int = 0):
+        super().__init__(line)
+        self.callee = callee
+        self.args = args
+
+
+class New(Node):
+    """``new T(args)`` — volatile — or ``pnew T(args)`` — persistent."""
+
+    __slots__ = ("type_name", "args", "persistent")
+
+    def __init__(self, type_name: str, args: List[Node], persistent: bool,
+                 line: int = 0):
+        super().__init__(line)
+        self.type_name = type_name
+        self.args = args
+        self.persistent = persistent
+
+
+class IsType(Node):
+    """``expr is persistent T*`` — the paper's run-time type test."""
+
+    __slots__ = ("target", "type_name", "persistent")
+
+    def __init__(self, target: Node, type_name: str, persistent: bool,
+                 line: int = 0):
+        super().__init__(line)
+        self.target = target
+        self.type_name = type_name
+        self.persistent = persistent
+
+
+class Assign(Node):
+    """Assignment expression: ``lvalue = value`` (or augmented ``+=`` ...)."""
+
+    __slots__ = ("target", "op", "value")
+
+    def __init__(self, target: Node, op: str, value: Node, line: int = 0):
+        super().__init__(line)
+        self.target = target   # Name, Member or Index
+        self.op = op           # "=", "+=", "-=", ...
+        self.value = value
+
+
+class IncDec(Node):
+    """``x++`` / ``x--`` (postfix; value semantics unused by examples)."""
+
+    __slots__ = ("target", "op")
+
+    def __init__(self, target: Node, op: str, line: int = 0):
+        super().__init__(line)
+        self.target = target
+        self.op = op
+
+
+# ---------------------------------------------------------------------------
+# statements
+# ---------------------------------------------------------------------------
+
+class ExprStmt(Node):
+    __slots__ = ("expr",)
+
+    def __init__(self, expr: Node, line: int = 0):
+        super().__init__(line)
+        self.expr = expr
+
+
+class VarDecl(Node):
+    """``int x = 0, y;`` — one node per declarator."""
+
+    __slots__ = ("type_name", "name", "init")
+
+    def __init__(self, type_name: TypeName, name: str,
+                 init: Optional[Node], line: int = 0):
+        super().__init__(line)
+        self.type_name = type_name
+        self.name = name
+        self.init = init
+
+
+class Block(Node):
+    __slots__ = ("body",)
+
+    def __init__(self, body: List[Node], line: int = 0):
+        super().__init__(line)
+        self.body = body
+
+
+class If(Node):
+    __slots__ = ("cond", "then", "otherwise")
+
+    def __init__(self, cond: Node, then: Node,
+                 otherwise: Optional[Node], line: int = 0):
+        super().__init__(line)
+        self.cond = cond
+        self.then = then
+        self.otherwise = otherwise
+
+
+class While(Node):
+    __slots__ = ("cond", "body")
+
+    def __init__(self, cond: Node, body: Node, line: int = 0):
+        super().__init__(line)
+        self.cond = cond
+        self.body = body
+
+
+class DoWhile(Node):
+    """C's ``do stmt while (cond);`` — body runs at least once."""
+
+    __slots__ = ("cond", "body")
+
+    def __init__(self, cond: Node, body: Node, line: int = 0):
+        super().__init__(line)
+        self.cond = cond
+        self.body = body
+
+
+class CFor(Node):
+    """Classic ``for (init; cond; step)``."""
+
+    __slots__ = ("init", "cond", "step", "body")
+
+    def __init__(self, init: Optional[Node], cond: Optional[Node],
+                 step: Optional[Node], body: Node, line: int = 0):
+        super().__init__(line)
+        self.init = init
+        self.cond = cond
+        self.step = step
+        self.body = body
+
+
+class Forall(Node):
+    """``forall x in source [suchthat (e)] [by (e)] stmt`` (section 3.1).
+
+    *sources* is a list of ``(var_name, source_expr, deep)`` triples —
+    more than one means a join. ``deep`` marks the ``cluster*`` form.
+    """
+
+    __slots__ = ("sources", "suchthat", "by", "by_desc", "body")
+
+    def __init__(self, sources: List[Tuple[str, Node, bool]],
+                 suchthat: Optional[Node], by: Optional[Node],
+                 by_desc: bool, body: Node, line: int = 0):
+        super().__init__(line)
+        self.sources = sources
+        self.suchthat = suchthat
+        self.by = by
+        self.by_desc = by_desc
+        self.body = body
+
+
+class ForIn(Node):
+    """``for x in set_expr stmt`` — iteration over a set value."""
+
+    __slots__ = ("var", "source", "body")
+
+    def __init__(self, var: str, source: Node, body: Node, line: int = 0):
+        super().__init__(line)
+        self.var = var
+        self.source = source
+        self.body = body
+
+
+class Return(Node):
+    __slots__ = ("value",)
+
+    def __init__(self, value: Optional[Node], line: int = 0):
+        super().__init__(line)
+        self.value = value
+
+
+class Break(Node):
+    __slots__ = ()
+
+
+class Continue(Node):
+    __slots__ = ()
+
+
+class PDelete(Node):
+    __slots__ = ("target",)
+
+    def __init__(self, target: Node, line: int = 0):
+        super().__init__(line)
+        self.target = target
+
+
+class Create(Node):
+    """``create(T)`` / ``create T`` — make the cluster for class T."""
+
+    __slots__ = ("type_name",)
+
+    def __init__(self, type_name: str, line: int = 0):
+        super().__init__(line)
+        self.type_name = type_name
+
+
+class TransactionBlock(Node):
+    __slots__ = ("body",)
+
+    def __init__(self, body: Node, line: int = 0):
+        super().__init__(line)
+        self.body = body
+
+
+# ---------------------------------------------------------------------------
+# declarations
+# ---------------------------------------------------------------------------
+
+class Param(Node):
+    __slots__ = ("type_name", "name")
+
+    def __init__(self, type_name: TypeName, name: str, line: int = 0):
+        super().__init__(line)
+        self.type_name = type_name
+        self.name = name
+
+
+class FieldDecl(Node):
+    __slots__ = ("type_name", "name", "access")
+
+    def __init__(self, type_name: TypeName, name: str, access: str,
+                 line: int = 0):
+        super().__init__(line)
+        self.type_name = type_name
+        self.name = name
+        self.access = access
+
+
+class MethodDecl(Node):
+    __slots__ = ("return_type", "name", "params", "body", "access",
+                 "is_constructor")
+
+    def __init__(self, return_type: Optional[TypeName], name: str,
+                 params: List[Param], body: Block, access: str,
+                 is_constructor: bool, line: int = 0):
+        super().__init__(line)
+        self.return_type = return_type
+        self.name = name
+        self.params = params
+        self.body = body
+        self.access = access
+        self.is_constructor = is_constructor
+
+
+class ConstraintDecl(Node):
+    __slots__ = ("name", "expr")
+
+    def __init__(self, name: str, expr: Node, line: int = 0):
+        super().__init__(line)
+        self.name = name
+        self.expr = expr
+
+
+class TriggerDecl(Node):
+    """``[perpetual] name(params) : [within e :] cond ==> action ;``"""
+
+    __slots__ = ("name", "params", "perpetual", "within", "condition",
+                 "action", "timeout_action")
+
+    def __init__(self, name: str, params: List[Param], perpetual: bool,
+                 within: Optional[Node], condition: Node, action: Node,
+                 timeout_action: Optional[Node], line: int = 0):
+        super().__init__(line)
+        self.name = name
+        self.params = params
+        self.perpetual = perpetual
+        self.within = within
+        self.condition = condition
+        self.action = action
+        self.timeout_action = timeout_action
+
+
+class ClassDecl(Node):
+    __slots__ = ("name", "bases", "fields", "methods", "constraints",
+                 "triggers")
+
+    def __init__(self, name: str, bases: List[str],
+                 fields: List[FieldDecl], methods: List[MethodDecl],
+                 constraints: List[ConstraintDecl],
+                 triggers: List[TriggerDecl], line: int = 0):
+        super().__init__(line)
+        self.name = name
+        self.bases = bases
+        self.fields = fields
+        self.methods = methods
+        self.constraints = constraints
+        self.triggers = triggers
+
+
+class FuncDecl(Node):
+    __slots__ = ("return_type", "name", "params", "body")
+
+    def __init__(self, return_type: Optional[TypeName], name: str,
+                 params: List[Param], body: Block, line: int = 0):
+        super().__init__(line)
+        self.return_type = return_type
+        self.name = name
+        self.params = params
+        self.body = body
+
+
+class Program(Node):
+    __slots__ = ("decls",)
+
+    def __init__(self, decls: List[Node], line: int = 0):
+        super().__init__(line)
+        self.decls = decls

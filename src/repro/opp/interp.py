@@ -1,0 +1,965 @@
+"""Interpreter for the O++ subset.
+
+Executes a parsed :class:`~repro.opp.ast_nodes.Program` against a live
+:class:`~repro.core.database.Database`. O++ class declarations become real
+Ode classes (built with :class:`~repro.core.objects.OdeMeta`), so objects
+created from O++ live in the same clusters, obey the same constraints and
+fire the same triggers as objects created from Python — the two front ends
+are interchangeable views of one database.
+
+The paper's programs run nearly verbatim::
+
+    class stockitem {
+        public:
+            char* name;
+            double price;
+            int qty;
+            stockitem(char* n, double p, int q) { name = n; price = p; qty = q; }
+        constraint:
+            qty >= 0;
+        trigger:
+            reorder(int n) : qty <= 100 ==> order(this, n);
+    };
+
+    create stockitem;
+    persistent stockitem *sip;
+    sip = pnew stockitem("512 dram", 5.00, 7500);
+    forall t in stockitem suchthat (t->price < 10.0) by (t->name)
+        printf("%s %d\\n", t->name, t->qty);
+
+Output from ``printf`` is captured on :attr:`Interpreter.output` (and
+optionally echoed to a stream).
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Any, Callable, Dict, List, Optional
+
+from ..core.database import Database
+from ..core.fields import (BoolField, CharField, Field, FloatField, IntField,
+                           RefField, SetField, StringField)
+from ..core.objects import OdeMeta, OdeObject, class_registry
+from ..core.oid import Oid, Vref
+from ..core.sets import OdeSet
+from ..core.triggers import Trigger, TriggerId
+from ..errors import (OppNameError, OppRuntimeError, OppSyntaxError,
+                      OppTypeError)
+from . import ast_nodes as ast
+from .parser import Parser
+
+
+class _Break(Exception):
+    pass
+
+
+class _Continue(Exception):
+    pass
+
+
+class _Return(Exception):
+    def __init__(self, value):
+        self.value = value
+
+
+class Scope:
+    """A lexical scope: locals chained to a parent, optionally an object.
+
+    Name lookup order inside a member function (per C++): locals, then
+    the object's members, then enclosing/global scope.
+    """
+
+    __slots__ = ("vars", "parent", "this")
+
+    def __init__(self, parent: Optional["Scope"] = None,
+                 this: Optional[OdeObject] = None):
+        self.vars: Dict[str, Any] = {}
+        self.parent = parent
+        self.this = this if this is not None else (
+            parent.this if parent is not None else None)
+
+    def lookup(self, name: str, line: int = 0) -> Any:
+        scope = self
+        while scope is not None:
+            if name in scope.vars:
+                return scope.vars[name]
+            scope = scope.parent
+        if self.this is not None and self._this_has(name):
+            return getattr(self.this, name)
+        raise OppNameError("undefined name %r" % name, line=line)
+
+    def _this_has(self, name: str) -> bool:
+        cls = type(self.this)
+        return (name in cls._ode_fields or name in cls._ode_triggers
+                or hasattr(cls, name))
+
+    def assign(self, name: str, value: Any) -> None:
+        scope = self
+        while scope is not None:
+            if name in scope.vars:
+                scope.vars[name] = value
+                return
+            scope = scope.parent
+        if (self.this is not None
+                and name in type(self.this)._ode_fields):
+            setattr(self.this, name, value)
+            return
+        # New name: created in the current scope (script-style).
+        self.vars[name] = value
+
+    def declare(self, name: str, value: Any) -> None:
+        self.vars[name] = value
+
+
+class Interpreter:
+    """Evaluates O++ programs against a Database."""
+
+    def __init__(self, db: Database, echo: bool = False):
+        self.db = db
+        self.echo = echo
+        self.globals = Scope()
+        #: lines printed by printf/puts, for tests and callers
+        self.output: List[str] = []
+        self._install_builtins()
+
+    # ------------------------------------------------------------------
+    # public API
+    # ------------------------------------------------------------------
+
+    def run(self, source: str) -> List[str]:
+        """Parse and execute *source*; returns the captured output lines."""
+        known = set(class_registry())
+        known.update(name for name, v in self.globals.vars.items()
+                     if isinstance(v, OdeMeta))
+        program = Parser(source, known_types=known).parse()
+        self.execute(program)
+        return self.output
+
+    def run_file(self, path: str) -> List[str]:
+        with open(path) as handle:
+            return self.run(handle.read())
+
+    def execute(self, program: ast.Program) -> None:
+        for decl in program.decls:
+            if isinstance(decl, ast.ClassDecl):
+                self._define_class(decl)
+            elif isinstance(decl, ast.FuncDecl):
+                self._define_function(decl)
+            else:
+                self.exec_stmt(decl, self.globals)
+
+    # ------------------------------------------------------------------
+    # declarations
+    # ------------------------------------------------------------------
+
+    def _define_class(self, decl: ast.ClassDecl) -> type:
+        bases: List[type] = []
+        for base_name in decl.bases:
+            base = self._find_class(base_name, decl.line)
+            bases.append(base)
+        if not bases:
+            bases = [OdeObject]
+        namespace: Dict[str, Any] = {"__doc__": "O++ class %s" % decl.name}
+
+        # Access control map for the interpreter (C++-style encapsulation:
+        # private/protected members are invisible outside member functions).
+        access: Dict[str, str] = {}
+        for base in bases:
+            access.update(getattr(base, "_opp_access", {}))
+        for field in decl.fields:
+            access[field.name] = field.access
+        for method in decl.methods:
+            if not method.is_constructor:
+                access[method.name] = method.access
+        namespace["_opp_access"] = access
+
+        for field in decl.fields:
+            namespace[field.name] = self._make_field(field.type_name)
+
+        # Positional order for the default constructor: inherited fields
+        # first (base declaration order), then this class's own fields —
+        # so `pnew student("name", year)` works across the hierarchy.
+        field_order: List[str] = []
+        for base in bases:
+            for fname in getattr(base, "_ode_fields", {}):
+                if fname not in field_order:
+                    field_order.append(fname)
+        for field in decl.fields:
+            if field.name not in field_order:
+                field_order.append(field.name)
+        ctor = next((m for m in decl.methods if m.is_constructor), None)
+        namespace["__init__"] = self._make_init(decl.name, field_order, ctor)
+
+        for method in decl.methods:
+            if method.is_constructor:
+                continue
+            namespace[method.name] = self._make_method(method)
+
+        for i, cons in enumerate(decl.constraints):
+            namespace["constraint_%d" % i] = self._make_constraint(cons)
+
+        for trig in decl.triggers:
+            namespace[trig.name] = self._make_trigger(trig)
+
+        cls = OdeMeta(decl.name, tuple(bases), namespace)
+        self.globals.declare(decl.name, cls)
+        return cls
+
+    def _make_field(self, type_name: ast.TypeName) -> Field:
+        name = type_name.name
+        if name == "int" or name == "long" or name == "unsigned":
+            return IntField(default=0)
+        if name in ("double", "float"):
+            return FloatField(default=0.0)
+        if name == "bool":
+            return BoolField(default=False)
+        if name == "char":
+            if type_name.pointer:
+                return StringField(default="")
+            return CharField(default="")
+        if name == "set":
+            target = type_name.element.name if type_name.element else None
+            return SetField(target=target)
+        # class-typed member: a reference either way (embedded objects are
+        # modelled as references — Python has no value semantics for them).
+        return RefField(target=name)
+
+    def _default_for(self, type_name: ast.TypeName) -> Any:
+        name = type_name.name
+        if name in ("int", "long", "unsigned"):
+            return 0
+        if name in ("double", "float"):
+            return 0.0
+        if name == "bool":
+            return False
+        if name == "char":
+            return ""
+        if name == "set":
+            return OdeSet()
+        return None
+
+    def _make_init(self, class_name: str, field_order: List[str],
+                   ctor: Optional[ast.MethodDecl]) -> Callable:
+        interp = self
+
+        if ctor is None:
+            def __init__(self, *args, **kwargs):
+                OdeObject.__init__(self, **kwargs)
+                own_fields = field_order
+                if len(args) > len(own_fields):
+                    raise OppTypeError(
+                        "%s() takes at most %d positional arguments"
+                        % (class_name, len(own_fields)))
+                for fname, value in zip(own_fields, args):
+                    setattr(self, fname, value)
+            return __init__
+
+        params = ctor.params
+        body = ctor.body
+
+        def __init__(self, *args, **kwargs):
+            OdeObject.__init__(self, **kwargs)
+            if len(args) != len(params):
+                raise OppTypeError(
+                    "%s() takes %d arguments, got %d"
+                    % (class_name, len(params), len(args)))
+            scope = Scope(interp.globals, this=self)
+            for param, value in zip(params, args):
+                scope.declare(param.name, value)
+            try:
+                interp.exec_stmt(body, scope)
+            except _Return:
+                pass
+        return __init__
+
+    def _make_method(self, decl: ast.MethodDecl) -> Callable:
+        interp = self
+        params = decl.params
+        body = decl.body
+        name = decl.name
+
+        def method(self, *args):
+            if len(args) != len(params):
+                raise OppTypeError("%s() takes %d arguments, got %d"
+                                   % (name, len(params), len(args)))
+            scope = Scope(interp.globals, this=self)
+            for param, value in zip(params, args):
+                scope.declare(param.name, value)
+            try:
+                interp.exec_stmt(body, scope)
+            except _Return as ret:
+                return ret.value
+            return None
+        method.__name__ = name
+        return method
+
+    def _make_constraint(self, decl: ast.ConstraintDecl) -> Callable:
+        interp = self
+        expr = decl.expr
+
+        def check(self):
+            scope = Scope(interp.globals, this=self)
+            return bool(interp.eval(expr, scope))
+        check.__name__ = decl.name
+        check._is_ode_constraint = True
+        return check
+
+    def _make_trigger(self, decl: ast.TriggerDecl) -> Trigger:
+        interp = self
+        params = decl.params
+
+        def bind(self, args) -> Scope:
+            scope = Scope(interp.globals, this=self)
+            for param, value in zip(params, args):
+                scope.declare(param.name, value)
+            return scope
+
+        def condition(self, *args):
+            return bool(interp.eval(decl.condition, bind(self, args)))
+
+        def action(self, *args):
+            interp.exec_stmt(decl.action, bind(self, args))
+
+        within = None
+        if decl.within is not None:
+            def within(self, *args):  # noqa: F811 — deliberate rebind
+                return float(interp.eval(decl.within, bind(self, args)))
+
+        timeout_action = None
+        if decl.timeout_action is not None:
+            def timeout_action(self, *args):
+                interp.exec_stmt(decl.timeout_action, bind(self, args))
+
+        return Trigger(condition=condition, action=action,
+                       perpetual=decl.perpetual, within=within,
+                       timeout_action=timeout_action)
+
+    def _define_function(self, decl: ast.FuncDecl) -> None:
+        interp = self
+        params = decl.params
+        body = decl.body
+
+        def function(*args):
+            if len(args) != len(params):
+                raise OppTypeError("%s() takes %d arguments, got %d"
+                                   % (decl.name, len(params), len(args)))
+            scope = Scope(interp.globals)
+            for param, value in zip(params, args):
+                scope.declare(param.name, value)
+            try:
+                interp.exec_stmt(body, scope)
+            except _Return as ret:
+                return ret.value
+            return None
+        function.__name__ = decl.name
+        self.globals.declare(decl.name, function)
+
+    # ------------------------------------------------------------------
+    # statements
+    # ------------------------------------------------------------------
+
+    def exec_stmt(self, node: ast.Node, scope: Scope) -> None:
+        method = getattr(self, "_stmt_" + type(node).__name__, None)
+        if method is None:
+            raise OppRuntimeError("cannot execute %s node"
+                                  % type(node).__name__, line=node.line)
+        method(node, scope)
+
+    def _stmt_Block(self, node: ast.Block, scope: Scope) -> None:
+        inner = Scope(scope)
+        for stmt in node.body:
+            self.exec_stmt(stmt, inner)
+
+    def _stmt_ExprStmt(self, node: ast.ExprStmt, scope: Scope) -> None:
+        self.eval(node.expr, scope)
+
+    def _stmt_VarDecl(self, node: ast.VarDecl, scope: Scope) -> None:
+        if node.init is not None:
+            value = self.eval(node.init, scope)
+        else:
+            value = self._default_for(node.type_name)
+        scope.declare(node.name, value)
+
+    def _stmt_If(self, node: ast.If, scope: Scope) -> None:
+        if self.eval(node.cond, scope):
+            self.exec_stmt(node.then, scope)
+        elif node.otherwise is not None:
+            self.exec_stmt(node.otherwise, scope)
+
+    def _stmt_While(self, node: ast.While, scope: Scope) -> None:
+        while self.eval(node.cond, scope):
+            try:
+                self.exec_stmt(node.body, scope)
+            except _Break:
+                break
+            except _Continue:
+                continue
+
+    def _stmt_DoWhile(self, node: ast.DoWhile, scope: Scope) -> None:
+        while True:
+            try:
+                self.exec_stmt(node.body, scope)
+            except _Break:
+                break
+            except _Continue:
+                pass
+            if not self.eval(node.cond, scope):
+                break
+
+    def _stmt_CFor(self, node: ast.CFor, scope: Scope) -> None:
+        inner = Scope(scope)
+        if node.init is not None:
+            self.exec_stmt(node.init, inner)
+        while node.cond is None or self.eval(node.cond, inner):
+            try:
+                self.exec_stmt(node.body, inner)
+            except _Break:
+                break
+            except _Continue:
+                pass
+            if node.step is not None:
+                self.exec_stmt(node.step, inner)
+
+    def _stmt_ForIn(self, node: ast.ForIn, scope: Scope) -> None:
+        source = self.eval(node.source, scope)
+        if source is None:
+            raise OppRuntimeError("for-in over null", line=node.line)
+        inner = Scope(scope)
+        inner.declare(node.var, None)
+        for item in source:
+            inner.vars[node.var] = self._materialize(item)
+            try:
+                self.exec_stmt(node.body, inner)
+            except _Break:
+                break
+            except _Continue:
+                continue
+
+    def _stmt_Forall(self, node: ast.Forall, scope: Scope) -> None:
+        iterables = [(var, self._forall_source(src, deep, scope, node.line))
+                     for var, src, deep in node.sources]
+        rows = self._forall_optimized(iterables, node, scope)
+        if rows is None:
+            rows = self._forall_rows(iterables, node, scope)
+        if node.by is not None:
+            rows = list(rows)
+            var_names = [var for var, _ in iterables]
+
+            def sort_key(binding):
+                inner = Scope(scope)
+                for name, value in zip(var_names, binding):
+                    inner.declare(name, value)
+                return self.eval(node.by, inner)
+            rows.sort(key=sort_key, reverse=node.by_desc)
+        inner = Scope(scope)
+        for var, _ in iterables:
+            inner.declare(var, None)
+        for binding in rows:
+            for (var, _), value in zip(iterables, binding):
+                inner.vars[var] = value
+            try:
+                self.exec_stmt(node.body, inner)
+            except _Break:
+                break
+            except _Continue:
+                continue
+
+    def _forall_optimized(self, iterables, node: ast.Forall, scope: Scope):
+        """Try to run a single-cluster suchthat through the query optimizer.
+
+        When the clause is a conjunction of ``var->field <op> constant``
+        comparisons, it compiles to an introspectable predicate and the
+        optimizer may serve it from an index — the paper's "clauses can
+        be used to advantage in query optimization" realised for O++
+        source, not just the Python API. Returns None when the clause is
+        not compilable (the interpreted path then runs it faithfully).
+        """
+        from ..core.clusters import ClusterHandle
+        if len(iterables) != 1 or node.suchthat is None:
+            return None
+        var, source = iterables[0]
+        if not isinstance(source, ClusterHandle):
+            return None
+        pred = self._compile_predicate(node.suchthat, var, scope)
+        if pred is None:
+            return None
+        from ..query.optimizer import choose_plan
+        plan = choose_plan(source, pred)
+        return ((obj,) for obj in plan.execute())
+
+    def _compile_predicate(self, expr: ast.Node, var: str, scope: Scope):
+        """Compile *expr* to a repro.query Predicate, or None.
+
+        Supported shapes: ``var->field <op> constant-expr`` (either side),
+        conjunctions thereof with ``&&``. The constant side must evaluate
+        without referencing the loop variable.
+        """
+        from ..query.predicates import And, Compare
+        if isinstance(expr, ast.Binary) and expr.op == "&&":
+            left = self._compile_predicate(expr.left, var, scope)
+            right = self._compile_predicate(expr.right, var, scope)
+            if left is None or right is None:
+                return None
+            return And(left, right)
+        if isinstance(expr, ast.Binary) and expr.op in (
+                "==", "!=", "<", "<=", ">", ">="):
+            field = self._var_field(expr.left, var)
+            other, flip = expr.right, False
+            if field is None:
+                field = self._var_field(expr.right, var)
+                other, flip = expr.left, True
+            if field is None or self._mentions_var(other, var):
+                return None
+            try:
+                value = self.eval(other, scope)
+            except Exception:
+                return None
+            value = self._as_ref(value)
+            op = expr.op
+            if flip:
+                op = {"<": ">", "<=": ">=", ">": "<", ">=": "<="}.get(op, op)
+            return Compare(field, op, value)
+        return None
+
+    @staticmethod
+    def _var_field(node: ast.Node, var: str):
+        """``var->field`` -> the field name, else None."""
+        if (isinstance(node, ast.Member)
+                and isinstance(node.target, ast.Name)
+                and node.target.ident == var):
+            return node.field
+        return None
+
+    def _mentions_var(self, node: ast.Node, var: str) -> bool:
+        if isinstance(node, ast.Name):
+            return node.ident == var
+        for slot in type(node).__slots__:
+            child = getattr(node, slot, None)
+            if isinstance(child, ast.Node) and self._mentions_var(child, var):
+                return True
+            if isinstance(child, list):
+                for item in child:
+                    if (isinstance(item, ast.Node)
+                            and self._mentions_var(item, var)):
+                        return True
+        return False
+
+    def _forall_rows(self, iterables, node: ast.Forall, scope: Scope):
+        var_names = [var for var, _ in iterables]
+
+        def recurse(depth: int, chosen: tuple):
+            if depth == len(iterables):
+                if node.suchthat is not None:
+                    inner = Scope(scope)
+                    for name, value in zip(var_names, chosen):
+                        inner.declare(name, value)
+                    if not self.eval(node.suchthat, inner):
+                        return
+                yield chosen
+                return
+            _, source = iterables[depth]
+            for item in source:
+                yield from recurse(depth + 1,
+                                   chosen + (self._materialize(item),))
+        return recurse(0, ())
+
+    def _forall_source(self, src: ast.Node, deep: bool, scope: Scope,
+                       line: int):
+        if isinstance(src, ast.Name):
+            cls = self._maybe_class(src.ident)
+            if cls is not None:
+                handle = self.db.cluster(cls)
+                return handle.deep() if deep else handle
+            value = scope.lookup(src.ident, line)
+        else:
+            value = self.eval(src, scope)
+        if isinstance(value, OdeMeta):
+            handle = self.db.cluster(value)
+            return handle.deep() if deep else handle
+        if value is None:
+            raise OppRuntimeError("forall over null", line=line)
+        return value
+
+    def _stmt_Return(self, node: ast.Return, scope: Scope) -> None:
+        value = None if node.value is None else self.eval(node.value, scope)
+        raise _Return(value)
+
+    def _stmt_Break(self, node: ast.Break, scope: Scope) -> None:
+        raise _Break()
+
+    def _stmt_Continue(self, node: ast.Continue, scope: Scope) -> None:
+        raise _Continue()
+
+    def _stmt_PDelete(self, node: ast.PDelete, scope: Scope) -> None:
+        target = self.eval(node.target, scope)
+        if target is None:
+            raise OppRuntimeError("pdelete of null", line=node.line)
+        self.db.pdelete(target)
+
+    def _stmt_Create(self, node: ast.Create, scope: Scope) -> None:
+        cls = self._find_class(node.type_name, node.line)
+        self.db.create(cls, exist_ok=True)
+
+    def _stmt_TransactionBlock(self, node: ast.TransactionBlock,
+                               scope: Scope) -> None:
+        with self.db.transaction():
+            self.exec_stmt(node.body, scope)
+
+    # ------------------------------------------------------------------
+    # expressions
+    # ------------------------------------------------------------------
+
+    def eval(self, node: ast.Node, scope: Scope) -> Any:
+        method = getattr(self, "_eval_" + type(node).__name__, None)
+        if method is None:
+            raise OppRuntimeError("cannot evaluate %s node"
+                                  % type(node).__name__, line=node.line)
+        return method(node, scope)
+
+    def _eval_Literal(self, node: ast.Literal, scope: Scope) -> Any:
+        return node.value
+
+    def _eval_Name(self, node: ast.Name, scope: Scope) -> Any:
+        cls = self._maybe_class(node.ident)
+        try:
+            return scope.lookup(node.ident, node.line)
+        except OppNameError:
+            if cls is not None:
+                return cls
+            raise
+
+    def _eval_This(self, node: ast.This, scope: Scope) -> Any:
+        if scope.this is None:
+            raise OppRuntimeError("'this' outside a member function",
+                                  line=node.line)
+        return scope.this
+
+    def _eval_Binary(self, node: ast.Binary, scope: Scope) -> Any:
+        op = node.op
+        if op == "&&":
+            return bool(self.eval(node.left, scope)
+                        and self.eval(node.right, scope))
+        if op == "||":
+            return bool(self.eval(node.left, scope)
+                        or self.eval(node.right, scope))
+        left = self.eval(node.left, scope)
+        right = self.eval(node.right, scope)
+        if op == "<<":
+            if isinstance(left, OdeSet):
+                return left << self._storable(right)
+            return left << right
+        if op == ">>":
+            if isinstance(left, OdeSet):
+                return left >> self._storable(right)
+            return left >> right
+        try:
+            if op == "+":
+                return left + right
+            if op == "-":
+                return left - right
+            if op == "*":
+                return left * right
+            if op == "/":
+                if isinstance(left, int) and isinstance(right, int):
+                    return left // right if right != 0 else self._div0(node)
+                return left / right if right != 0 else self._div0(node)
+            if op == "%":
+                return left % right
+            if op == "==":
+                return self._equal(left, right)
+            if op == "!=":
+                return not self._equal(left, right)
+            if op == "<":
+                return left < right
+            if op == "<=":
+                return left <= right
+            if op == ">":
+                return left > right
+            if op == ">=":
+                return left >= right
+        except TypeError as exc:
+            raise OppTypeError(str(exc), line=node.line)
+        raise OppRuntimeError("unknown operator %r" % op, line=node.line)
+
+    def _div0(self, node):
+        raise OppRuntimeError("division by zero", line=node.line)
+
+    def _equal(self, left, right) -> bool:
+        left = self._as_ref(left)
+        right = self._as_ref(right)
+        return left == right
+
+    def _as_ref(self, value):
+        if isinstance(value, OdeObject) and value.is_persistent:
+            return value.oid
+        return value
+
+    def _storable(self, value):
+        """Set elements: persistent objects insert as their ids."""
+        if isinstance(value, OdeObject) and value.is_persistent:
+            return value.oid
+        return value
+
+    def _eval_Unary(self, node: ast.Unary, scope: Scope) -> Any:
+        value = self.eval(node.operand, scope)
+        if node.op == "-":
+            return -value
+        if node.op == "+":
+            return +value
+        if node.op == "!":
+            return not value
+        if node.op == "~":
+            return ~value
+        raise OppRuntimeError("unknown unary %r" % node.op, line=node.line)
+
+    def _eval_Conditional(self, node: ast.Conditional, scope: Scope) -> Any:
+        if self.eval(node.cond, scope):
+            return self.eval(node.then, scope)
+        return self.eval(node.otherwise, scope)
+
+    def _eval_Member(self, node: ast.Member, scope: Scope) -> Any:
+        target = self._deref(self.eval(node.target, scope), node.line)
+        self._check_access(target, node.field, scope, node.line)
+        try:
+            return getattr(target, node.field)
+        except AttributeError:
+            raise OppRuntimeError(
+                "%s has no member %r" % (type(target).__name__, node.field),
+                line=node.line)
+
+    def _check_access(self, target: Any, field: str, scope: Scope,
+                      line: int) -> None:
+        """Enforce O++ access sections (C++ semantics, approximated).
+
+        Private/protected members may only be touched when the code runs
+        inside a member function of the object's class (``this`` is an
+        instance of a type sharing the member). Python callers are not
+        restricted — the host language follows its own conventions.
+        """
+        access = getattr(type(target), "_opp_access", None)
+        if access is None:
+            return
+        mode = access.get(field, "public")
+        if mode == "public":
+            return
+        this = scope.this
+        if this is not None and (isinstance(this, type(target))
+                                 or isinstance(target, type(this))):
+            return
+        raise OppRuntimeError(
+            "%r is a %s member of %s" % (field, mode,
+                                         type(target).__name__),
+            line=line)
+
+    def _eval_Index(self, node: ast.Index, scope: Scope) -> Any:
+        target = self.eval(node.target, scope)
+        index = self.eval(node.index, scope)
+        try:
+            return target[index]
+        except (TypeError, KeyError, IndexError) as exc:
+            raise OppRuntimeError(str(exc), line=node.line)
+
+    def _eval_Call(self, node: ast.Call, scope: Scope) -> Any:
+        args = [self.eval(arg, scope) for arg in node.args]
+        if isinstance(node.callee, ast.Member):
+            target = self._deref(self.eval(node.callee.target, scope),
+                                 node.line)
+            self._check_access(target, node.callee.field, scope, node.line)
+            func = getattr(target, node.callee.field, None)
+            if func is None:
+                raise OppRuntimeError(
+                    "%s has no member function %r"
+                    % (type(target).__name__, node.callee.field),
+                    line=node.line)
+        else:
+            func = self.eval(node.callee, scope)
+        if isinstance(func, OdeMeta):
+            # `T(args)` used as a conversion/constructor: volatile object.
+            return func(*args)
+        if not callable(func):
+            raise OppTypeError("%r is not callable" % (func,),
+                               line=node.line)
+        return func(*args)
+
+    def _eval_New(self, node: ast.New, scope: Scope) -> Any:
+        cls = self._find_class(node.type_name, node.line)
+        args = [self.eval(arg, scope) for arg in node.args]
+        obj = cls(*args)
+        if node.persistent:
+            return self.db.pnew_from(obj)
+        return obj
+
+    def _eval_IsType(self, node: ast.IsType, scope: Scope) -> bool:
+        value = self.eval(node.target, scope)
+        value = self._deref(value, node.line) if isinstance(
+            value, (Oid, Vref)) else value
+        cls = self._find_class(node.type_name, node.line)
+        if not isinstance(value, cls):
+            return False
+        if node.persistent and not (isinstance(value, OdeObject)
+                                    and value.is_persistent):
+            return False
+        return True
+
+    def _eval_Assign(self, node: ast.Assign, scope: Scope) -> Any:
+        value = self.eval(node.value, scope)
+        if node.op != "=":
+            current = self.eval(node.target, scope)
+            binop = node.op[:-1]
+            value = self._apply_binop(binop, current, value, node.line)
+        self._assign_to(node.target, value, scope)
+        return value
+
+    def _apply_binop(self, op: str, left, right, line: int):
+        fake = ast.Binary(op, ast.Literal(left), ast.Literal(right),
+                          line=line)
+        return self.eval(fake, self.globals)
+
+    def _assign_to(self, target: ast.Node, value: Any, scope: Scope) -> None:
+        if isinstance(target, ast.Name):
+            scope.assign(target.ident, value)
+            return
+        if isinstance(target, ast.Member):
+            obj = self._deref(self.eval(target.target, scope), target.line)
+            self._check_access(obj, target.field, scope, target.line)
+            setattr(obj, target.field, value)
+            return
+        if isinstance(target, ast.Index):
+            container = self.eval(target.target, scope)
+            index = self.eval(target.index, scope)
+            container[index] = value
+            return
+        raise OppRuntimeError("invalid assignment target", line=target.line)
+
+    def _eval_IncDec(self, node: ast.IncDec, scope: Scope) -> Any:
+        current = self.eval(node.target, scope)
+        delta = 1 if node.op == "++" else -1
+        self._assign_to(node.target, current + delta, scope)
+        return current
+
+    # ------------------------------------------------------------------
+    # helpers
+    # ------------------------------------------------------------------
+
+    def _deref(self, value: Any, line: int) -> Any:
+        if value is None:
+            raise OppRuntimeError("null pointer dereference", line=line)
+        if isinstance(value, (Oid, Vref)):
+            return self.db.deref(value)
+        return value
+
+    def _materialize(self, item: Any) -> Any:
+        """Iteration yields live objects for reference elements."""
+        if isinstance(item, (Oid, Vref)):
+            return self.db.deref(item, _missing_ok=True)
+        return item
+
+    def _maybe_class(self, name: str) -> Optional[type]:
+        value = self.globals.vars.get(name)
+        if isinstance(value, OdeMeta):
+            return value
+        cls = class_registry().get(name)
+        if isinstance(cls, OdeMeta):
+            return cls
+        return None
+
+    def _find_class(self, name: str, line: int) -> type:
+        cls = self._maybe_class(name)
+        if cls is None:
+            raise OppNameError("undefined class %r" % name, line=line)
+        return cls
+
+    # ------------------------------------------------------------------
+    # builtins
+    # ------------------------------------------------------------------
+
+    def _install_builtins(self) -> None:
+        g = self.globals
+
+        def printf(fmt: str, *args) -> None:
+            text = _c_format(fmt, args)
+            self.output.append(text)
+            if self.echo:
+                print(text, end="")
+
+        def puts(text: str) -> None:
+            printf("%s\n", text)
+
+        g.declare("printf", printf)
+        g.declare("puts", puts)
+        g.declare("sqrt", math.sqrt)
+        g.declare("abs", abs)
+        g.declare("fabs", abs)
+        g.declare("floor", math.floor)
+        g.declare("ceil", math.ceil)
+        g.declare("pow", pow)
+        g.declare("strlen", len)
+        g.declare("strcmp", lambda a, b: (a > b) - (a < b))
+        g.declare("count", lambda xs: sum(1 for _ in xs))
+        # Ode macros
+        g.declare("newversion", lambda obj: self.db.newversion(obj))
+        g.declare("vprev", lambda ref: self.db.vprev(ref))
+        g.declare("vnext", lambda ref: self.db.vnext(ref))
+        g.declare("vfirst", lambda ref: self.db.vfirst(ref))
+        g.declare("vlast", lambda ref: self.db.vlast(ref))
+        g.declare("deref", lambda ref: self.db.deref(ref))
+        g.declare("deactivate",
+                  lambda tid: tid.deactivate()
+                  if isinstance(tid, TriggerId) else False)
+        g.declare("advance_time", lambda s: self.db.advance_time(s))
+        g.declare("now", lambda: self.db.now())
+        g.declare("min", min)
+        g.declare("max", max)
+        g.declare("exp", math.exp)
+        g.declare("log", math.log)
+        g.declare("toupper", lambda s: s.upper())
+        g.declare("tolower", lambda s: s.lower())
+        g.declare("substr", lambda s, i, n: s[i:i + n])
+        g.declare("atoi", int)
+        g.declare("atof", float)
+
+
+def _c_format(fmt: str, args: tuple) -> str:
+    """Translate the printf subset used by the paper to Python %-format."""
+    out = []
+    arg_i = 0
+    i = 0
+    n = len(fmt)
+    while i < n:
+        ch = fmt[i]
+        if ch != "%":
+            out.append(ch)
+            i += 1
+            continue
+        if i + 1 < n and fmt[i + 1] == "%":
+            out.append("%")
+            i += 2
+            continue
+        # scan the conversion spec: flags/width/precision + letter
+        j = i + 1
+        while j < n and fmt[j] in "-+ 0123456789.*lh":
+            j += 1
+        if j >= n:
+            out.append(fmt[i:])
+            break
+        conv = fmt[j]
+        spec = fmt[i:j + 1].replace("l", "").replace("h", "")
+        arg = args[arg_i] if arg_i < len(args) else ""
+        arg_i += 1
+        if conv in "dioxX":
+            out.append(spec % int(arg))
+        elif conv in "eEfgG":
+            out.append(spec % float(arg))
+        elif conv == "c":
+            out.append(str(arg)[:1])
+        elif conv == "s":
+            out.append(spec % (arg if isinstance(arg, str) else str(arg)))
+        else:
+            out.append(fmt[i:j + 1])
+        i = j + 1
+    return "".join(out)
+
+
+def run_program(db: Database, source: str, echo: bool = False) -> List[str]:
+    """One-shot convenience: run O++ *source* against *db*."""
+    return Interpreter(db, echo=echo).run(source)

@@ -1,0 +1,190 @@
+"""Lexer for the O++ subset.
+
+Tokenizes the C-flavoured surface syntax of the paper's examples:
+identifiers, keywords, numeric/string/char literals, the full C operator
+set, plus the O++ extras — ``==>`` (trigger arrow), ``<<`` / ``>>`` (set
+insertion/removal), and the keywords ``persistent``, ``pnew``, ``pdelete``,
+``forall``, ``suchthat``, ``by``, ``trigger``, ``constraint``,
+``perpetual``, ``within``, ``create``, ``newversion`` and friends.
+
+Comments: ``//`` to end of line and ``/* ... */``.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator, List, NamedTuple, Optional
+
+from ..errors import OppSyntaxError
+
+KEYWORDS = {
+    "class", "public", "private", "protected",
+    "int", "double", "float", "char", "void", "bool", "long", "unsigned",
+    "if", "else", "while", "for", "do", "return", "break", "continue",
+    "new", "delete", "this", "true", "false", "null", "nullptr",
+    # O++ extensions
+    "persistent", "pnew", "pdelete", "create",
+    "forall", "in", "suchthat", "by", "is",
+    "constraint", "trigger", "perpetual", "within",
+    "set", "transaction",
+}
+
+# Multi-character operators, longest first so maximal munch works.
+OPERATORS = [
+    "==>", "<<=", ">>=",
+    "->", "==", "!=", "<=", ">=", "&&", "||", "<<", ">>",
+    "+=", "-=", "*=", "/=", "%=", "++", "--", "::",
+    "+", "-", "*", "/", "%", "<", ">", "=", "!", "&", "|", "^", "~",
+    "(", ")", "{", "}", "[", "]", ";", ",", ".", ":", "?",
+]
+
+
+class Token(NamedTuple):
+    kind: str        # "ident", "keyword", "int", "float", "string",
+                     # "char", "op", "eof"
+    value: str
+    line: int
+    column: int
+
+    def __repr__(self):
+        return "Token(%s, %r, %d:%d)" % (self.kind, self.value,
+                                         self.line, self.column)
+
+
+def tokenize(source: str) -> List[Token]:
+    """Tokenize *source*; raises :class:`OppSyntaxError` on bad input."""
+    tokens: List[Token] = []
+    i = 0
+    line = 1
+    col = 1
+    n = len(source)
+
+    def error(msg: str):
+        raise OppSyntaxError(msg, line=line, column=col)
+
+    while i < n:
+        ch = source[i]
+        # whitespace
+        if ch in " \t\r":
+            i += 1
+            col += 1
+            continue
+        if ch == "\n":
+            i += 1
+            line += 1
+            col = 1
+            continue
+        # comments
+        if source.startswith("//", i):
+            while i < n and source[i] != "\n":
+                i += 1
+            continue
+        if source.startswith("/*", i):
+            end = source.find("*/", i + 2)
+            if end < 0:
+                error("unterminated /* comment")
+            skipped = source[i:end + 2]
+            line += skipped.count("\n")
+            if "\n" in skipped:
+                col = len(skipped) - skipped.rfind("\n")
+            else:
+                col += len(skipped)
+            i = end + 2
+            continue
+        # identifiers / keywords (ASCII only: Unicode "digits" like '²'
+        # satisfy str.isdigit() but are not valid numerals)
+        if (ch.isascii() and ch.isalpha()) or ch == "_":
+            start = i
+            while i < n and ((source[i].isascii() and source[i].isalnum())
+                             or source[i] == "_"):
+                i += 1
+            word = source[start:i]
+            kind = "keyword" if word in KEYWORDS else "ident"
+            tokens.append(Token(kind, word, line, col))
+            col += i - start
+            continue
+        # numbers (ASCII digits only)
+        digits = "0123456789"
+        if ch in digits or (ch == "." and i + 1 < n
+                            and source[i + 1] in digits):
+            start = i
+            is_float = False
+            while i < n and source[i] in digits:
+                i += 1
+            if i < n and source[i] == "." and (i + 1 >= n or source[i + 1] != "."):
+                is_float = True
+                i += 1
+                while i < n and source[i] in digits:
+                    i += 1
+            if i < n and source[i] in "eE":
+                is_float = True
+                i += 1
+                if i < n and source[i] in "+-":
+                    i += 1
+                while i < n and source[i] in digits:
+                    i += 1
+            text = source[start:i]
+            tokens.append(Token("float" if is_float else "int",
+                                text, line, col))
+            col += i - start
+            continue
+        # string literals
+        if ch == '"':
+            start_line, start_col = line, col
+            i += 1
+            col += 1
+            chars = []
+            while i < n and source[i] != '"':
+                if source[i] == "\\" and i + 1 < n:
+                    chars.append(_unescape(source[i + 1]))
+                    i += 2
+                    col += 2
+                elif source[i] == "\n":
+                    error("newline inside string literal")
+                else:
+                    chars.append(source[i])
+                    i += 1
+                    col += 1
+            if i >= n:
+                raise OppSyntaxError("unterminated string literal",
+                                     line=start_line, column=start_col)
+            i += 1
+            col += 1
+            tokens.append(Token("string", "".join(chars),
+                                start_line, start_col))
+            continue
+        # char literals
+        if ch == "'":
+            start_col = col
+            i += 1
+            if i < n and source[i] == "\\" and i + 1 < n:
+                value = _unescape(source[i + 1])
+                i += 2
+                col += 3
+            elif i < n:
+                value = source[i]
+                i += 1
+                col += 2
+            else:
+                error("unterminated char literal")
+            if i >= n or source[i] != "'":
+                error("unterminated char literal")
+            i += 1
+            col += 1
+            tokens.append(Token("char", value, line, start_col))
+            continue
+        # operators
+        for op in OPERATORS:
+            if source.startswith(op, i):
+                tokens.append(Token("op", op, line, col))
+                i += len(op)
+                col += len(op)
+                break
+        else:
+            error("unexpected character %r" % ch)
+    tokens.append(Token("eof", "", line, col))
+    return tokens
+
+
+def _unescape(ch: str) -> str:
+    return {"n": "\n", "t": "\t", "r": "\r", "0": "\0",
+            "\\": "\\", '"': '"', "'": "'"}.get(ch, ch)

@@ -1,0 +1,20 @@
+"""Query processing: forall/suchthat/by iteration, joins, index-aware
+optimization, fixpoint (recursive) queries and aggregates (paper section 3).
+"""
+
+from .aggregates import avg, count, group_by, max_, min_, sum_
+from .fixpoint import (fixpoint, growing_iteration, reachable_objects,
+                       semi_naive, transitive_closure)
+from .iterate import Forall, forall
+from .optimizer import FullScan, IndexEquality, IndexRange, Plan, choose_plan
+from .predicates import (A, And, AttrCompare, AttrExpr, Callable_, Compare,
+                         Not, Or, Predicate, TrueP, as_predicate)
+
+__all__ = [
+    "avg", "count", "group_by", "max_", "min_", "sum_",
+    "fixpoint", "growing_iteration", "reachable_objects", "semi_naive",
+    "transitive_closure", "Forall", "forall",
+    "FullScan", "IndexEquality", "IndexRange", "Plan", "choose_plan",
+    "A", "And", "AttrCompare", "AttrExpr", "Callable_", "Compare", "Not",
+    "Or", "Predicate", "TrueP", "as_predicate",
+]

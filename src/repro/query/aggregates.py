@@ -1,0 +1,92 @@
+"""Aggregates over forall iterations.
+
+The paper's 3.1.1 example computes average incomes over a cluster
+hierarchy with explicit accumulator code; these helpers express the same
+computations declaratively::
+
+    from repro.query import forall, A, avg, group_by
+
+    avg(forall(db.cluster(Person).deep()), lambda p: p.income())
+    group_by(forall(items), key=A.supplier, value=A.qty, reduce=sum)
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Dict, Iterable, Optional
+
+from ..errors import QueryError
+from .predicates import AttrExpr
+
+
+def _value_fn(value) -> Callable:
+    if value is None:
+        return lambda obj: obj
+    if isinstance(value, AttrExpr):
+        return lambda obj: getattr(obj, value.name)
+    if isinstance(value, str):
+        return lambda obj: getattr(obj, value)
+    if callable(value):
+        return value
+    raise QueryError("expected an attribute or function, got %r" % (value,))
+
+
+def count(rows: Iterable, predicate: Optional[Callable] = None) -> int:
+    """Number of rows (matching *predicate*, when given)."""
+    if predicate is None:
+        return sum(1 for _ in rows)
+    return sum(1 for row in rows if predicate(row))
+
+
+def sum_(rows: Iterable, value=None):
+    """Sum of *value* over the rows (rows themselves by default)."""
+    fn = _value_fn(value)
+    return sum(fn(row) for row in rows)
+
+
+def avg(rows: Iterable, value=None) -> Optional[float]:
+    """Mean of *value* over the rows; None for an empty input."""
+    fn = _value_fn(value)
+    total = 0.0
+    n = 0
+    for row in rows:
+        total += fn(row)
+        n += 1
+    if n == 0:
+        return None
+    return total / n
+
+
+def min_(rows: Iterable, value=None):
+    """Smallest *value*; None for an empty input."""
+    fn = _value_fn(value)
+    best = None
+    for row in rows:
+        v = fn(row)
+        if best is None or v < best:
+            best = v
+    return best
+
+
+def max_(rows: Iterable, value=None):
+    """Largest *value*; None for an empty input."""
+    fn = _value_fn(value)
+    best = None
+    for row in rows:
+        v = fn(row)
+        if best is None or v > best:
+            best = v
+    return best
+
+
+def group_by(rows: Iterable, key, value=None,
+             reduce: Optional[Callable] = None) -> Dict[Any, Any]:
+    """Group rows by *key*; optionally map each to *value* and fold with
+    *reduce* (a callable over the value list, e.g. ``sum`` or ``len``)."""
+    key_fn = _value_fn(key)
+    val_fn = _value_fn(value)
+    groups: Dict[Any, list] = {}
+    for row in rows:
+        groups.setdefault(key_fn(row), []).append(val_fn(row))
+    if reduce is None:
+        return groups
+    return {k: reduce(v) for k, v in groups.items()}

@@ -1,0 +1,266 @@
+"""The ``forall`` iteration facility (paper section 3.1).
+
+O++ writes::
+
+    for i in 1..n forall t in stock suchthat (t->price < 3.00) by (t->name)
+        { ... }
+
+Here the same query is::
+
+    for t in forall(stock).suchthat(A.price < 3.00).by(A.name):
+        ...
+
+and the join over multiple loop variables (3.1's employee/child example,
+"Rigel also allows multiple loop variables") is::
+
+    for e, c in forall(emps, kids).suchthat(lambda e, c: e.name == c.parent):
+        ...
+
+Semantics, as the paper specifies:
+
+* ``suchthat`` restricts the iteration subset; ``by`` orders it (stable
+  sort; ``by(..., desc=True)`` reverses). Without ``by`` the iteration
+  order is unspecified (physical order in practice).
+* Multiple sources form their cross product; the suchthat clause receives
+  one argument per loop variable. Equality predicates between variables
+  are executed as hash joins instead of nested loops.
+* A single-source iteration **without** ``by`` visits elements inserted
+  during the iteration — section 3.2's fixpoint property. (An ordered
+  iteration necessarily snapshots, as sorting requires the full subset.)
+* Single-source introspectable predicates are handed to the optimizer,
+  which uses a secondary index when one matches (equality or range).
+
+``forall`` accepts cluster handles, deep views (``cluster.deep()``),
+OdeSets, lists — anything re-iterable.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Iterator, List, Optional, Sequence, Tuple
+
+from ..errors import QueryError
+from .optimizer import choose_plan
+from .predicates import (A, AttrExpr, Callable_, Predicate, TrueP,
+                         as_predicate)
+
+
+class Forall:
+    """A lazily-executed iteration over one or more sources."""
+
+    def __init__(self, *sources):
+        if not sources:
+            raise QueryError("forall needs at least one source")
+        self._sources = sources
+        self._pred: Optional[Any] = None       # Predicate or callable
+        self._order: List[Tuple[Any, bool]] = []  # (key, desc) pairs
+        self._join_keys: Optional[List[Callable]] = None  # hash equijoin
+        self._limit: Optional[int] = None
+
+    # -- clause builders (each returns self for chaining) ---------------------
+
+    def suchthat(self, condition) -> "Forall":
+        """Restrict the iteration subset (predicate or callable)."""
+        if self._pred is not None:
+            raise QueryError("suchthat may only be given once; combine "
+                             "conditions with & / and")
+        self._pred = condition
+        return self
+
+    def by(self, *keys, desc: bool = False) -> "Forall":
+        """Order the subset by one or more keys (AttrExpr, field name, or
+        key function). Multiple by() calls refine ties, as do multiple
+        keys in one call."""
+        for key in keys:
+            self._order.append((key, desc))
+        return self
+
+    # -- execution ------------------------------------------------------------
+
+    def __iter__(self) -> Iterator:
+        if len(self._sources) == 1:
+            return self._iter_single()
+        return self._iter_join()
+
+    def _iter_single(self) -> Iterator:
+        source = self._sources[0]
+        pred = as_predicate(self._pred) if self._pred is not None else TrueP()
+        plan = choose_plan(source, pred)
+        rows = plan.execute()
+        if self._order:
+            if self._plan_orders_by(plan):
+                # The index range scan already yields rows in the requested
+                # key order: elide the sort (reverse suffices for desc).
+                if self._order[0][1]:
+                    rows = iter(list(rows)[::-1])
+            else:
+                rows = iter(self._sorted(list(rows)))
+        if self._limit is not None:
+            rows = _take(rows, self._limit)
+        return rows
+
+    def _plan_orders_by(self, plan) -> bool:
+        """True when *plan* emits rows already ordered by the by() key."""
+        from .optimizer import IndexRange
+        if len(self._order) != 1:
+            return False
+        key, _desc = self._order[0]
+        if not isinstance(key, AttrExpr):
+            return False
+        return isinstance(plan, IndexRange) and plan.field == key.name
+
+    def _iter_join(self) -> Iterator[Tuple]:
+        if self._join_keys is not None:
+            rows = self._iter_hash_join()
+            if self._order:
+                rows = iter(self._sorted_tuples(list(rows)))
+            if self._limit is not None:
+                rows = _take(rows, self._limit)
+            return rows
+        pred = self._pred
+        arity = len(self._sources)
+        if pred is None:
+            filter_fn = None
+        elif callable(pred) and not isinstance(pred, Predicate):
+            filter_fn = pred
+        else:
+            raise QueryError(
+                "multi-variable suchthat takes a callable of %d arguments"
+                % arity)
+        rows = self._cross_product(filter_fn)
+        if self._order:
+            rows = iter(self._sorted_tuples(list(rows)))
+        if self._limit is not None:
+            rows = _take(rows, self._limit)
+        return rows
+
+    def _cross_product(self, filter_fn) -> Iterator[Tuple]:
+        def recurse(depth: int, chosen: tuple):
+            if depth == len(self._sources):
+                if filter_fn is None or filter_fn(*chosen):
+                    yield chosen
+                return
+            for item in self._sources[depth]:
+                yield from recurse(depth + 1, chosen + (item,))
+        return recurse(0, ())
+
+    # -- ordering ------------------------------------------------------------
+
+    def _sorted(self, rows: List) -> List:
+        for key, desc in reversed(self._order):
+            rows.sort(key=_key_fn(key), reverse=desc)
+        return rows
+
+    def _sorted_tuples(self, rows: List[Tuple]) -> List[Tuple]:
+        for key, desc in reversed(self._order):
+            if not callable(key) or isinstance(key, AttrExpr):
+                raise QueryError(
+                    "ordering a join requires a key function over the "
+                    "variable tuple")
+            rows.sort(key=lambda row: key(*row), reverse=desc)
+        return rows
+
+    # -- join strategies ---------------------------------------------------
+
+    def join_on(self, *keys) -> "Forall":
+        """Execute the cross product as a **hash equijoin** on *keys*.
+
+        One key extractor per source (an :class:`AttrExpr`, a field name,
+        or a callable); rows whose keys are equal are combined. The paper
+        criticises object databases for lacking "arbitrary join queries"
+        (section 1) — this is the declarative equality join its iteration
+        clauses enable, executed in O(N+M) instead of the nested loop's
+        O(N·M). A ``suchthat`` callable, if also given, applies as a
+        residual filter over the joined tuples.
+        """
+        if len(keys) != len(self._sources):
+            raise QueryError("join_on needs one key per source (%d given, "
+                             "%d sources)" % (len(keys), len(self._sources)))
+        self._join_keys = [_key_fn(k) for k in keys]
+        return self
+
+    def _iter_hash_join(self) -> Iterator[Tuple]:
+        keys = self._join_keys
+        pred = self._pred
+        if pred is not None and isinstance(pred, Predicate):
+            raise QueryError("join_on takes a callable residual filter")
+        # Build hash tables for every source after the first.
+        tables = []
+        for source, key_fn in zip(self._sources[1:], keys[1:]):
+            table: dict = {}
+            for item in source:
+                table.setdefault(key_fn(item), []).append(item)
+            tables.append(table)
+
+        def expand(depth: int, chosen: tuple, join_key):
+            if depth == len(self._sources):
+                if pred is None or pred(*chosen):
+                    yield chosen
+                return
+            for item in tables[depth - 1].get(join_key, ()):
+                yield from expand(depth + 1, chosen + (item,), join_key)
+
+        for first in self._sources[0]:
+            yield from expand(1, (first,), keys[0](first))
+
+    # -- terminal conveniences ------------------------------------------------
+
+    def limit(self, n: int) -> "Forall":
+        """Yield at most *n* results (applied after suchthat/by)."""
+        if n < 0:
+            raise QueryError("limit must be non-negative")
+        self._limit = n
+        return self
+
+    def to_list(self) -> List:
+        return list(self)
+
+    def first(self):
+        """The first matching element, or None."""
+        for item in self:
+            return item
+        return None
+
+    def exists(self) -> bool:
+        """Whether any row matches (stops at the first)."""
+        return self.first() is not None
+
+    def count(self) -> int:
+        return sum(1 for _ in self)
+
+    def explain(self) -> str:
+        """Human-readable description of the chosen plan."""
+        if len(self._sources) != 1:
+            if self._join_keys is not None:
+                return "hash equijoin over %d sources" % len(self._sources)
+            return "nested-loop join over %d sources" % len(self._sources)
+        pred = as_predicate(self._pred) if self._pred is not None else TrueP()
+        plan = choose_plan(self._sources[0], pred)
+        suffix = " + sort" if self._order else ""
+        return plan.describe() + suffix
+
+    def __repr__(self):
+        return "Forall(sources=%d, suchthat=%r, by=%d keys)" % (
+            len(self._sources), self._pred, len(self._order))
+
+
+def _take(rows: Iterator, n: int) -> Iterator:
+    for i, row in enumerate(rows):
+        if i >= n:
+            return
+        yield row
+
+
+def _key_fn(key) -> Callable:
+    if isinstance(key, AttrExpr):
+        return lambda obj: getattr(obj, key.name)
+    if isinstance(key, str):
+        return lambda obj: getattr(obj, key)
+    if callable(key):
+        return key
+    raise QueryError("by() expects an attribute or key function, got %r"
+                     % (key,))
+
+
+def forall(*sources) -> Forall:
+    """Begin a forall iteration over *sources* (see module docs)."""
+    return Forall(*sources)

@@ -1,0 +1,276 @@
+"""Plan selection for single-source forall iterations.
+
+The paper motivates ``suchthat``/``by`` clauses partly as optimizer fodder
+(section 3.1). This module implements the selection: given a source and an
+introspectable predicate, choose between
+
+* **index equality lookup** — a conjunct ``A.f == c`` on an indexed field
+  (hash or B+tree);
+* **index range scan** — conjuncts ``A.f < c`` / ``<=`` / ``>`` / ``>=``
+  combined into the tightest [lo, hi] interval on a B+tree-indexed field;
+* **composite-index scan** — a composite (multi-field) B+tree index whose
+  leading fields all have equality conjuncts, optionally with a range on
+  the next field: executed as a tuple-key range scan;
+* **full scan** — everything else (opaque callables included).
+
+Whatever the access path, conjuncts not served by the index remain as a
+residual filter, so results are always exactly the suchthat subset.
+
+Only :class:`~repro.core.clusters.ClusterHandle` sources can use indexes
+(deep views span clusters with different index sets; sets and lists are
+memory-resident anyway).
+"""
+
+from __future__ import annotations
+
+from typing import Any, Iterator, List, Optional, Tuple
+
+from .predicates import And, Compare, Predicate, TrueP
+
+
+class Plan:
+    """An executable access path producing the iteration subset."""
+
+    def execute(self) -> Iterator:
+        raise NotImplementedError
+
+    def describe(self) -> str:
+        raise NotImplementedError
+
+
+class FullScan(Plan):
+    """Iterate the source, filtering with the whole predicate."""
+
+    def __init__(self, source, pred: Predicate):
+        self.source = source
+        self.pred = pred
+
+    def execute(self) -> Iterator:
+        pred = self.pred
+        if isinstance(pred, TrueP):
+            return iter(self.source)
+        return (obj for obj in self.source if pred(obj))
+
+    def describe(self) -> str:
+        return "full scan of %r filter %r" % (self.source, self.pred)
+
+
+class IndexEquality(Plan):
+    """Probe an index for one key; residual-filter the matches."""
+
+    def __init__(self, handle, field: str, value: Any, residual: Predicate):
+        self.handle = handle
+        self.field = field
+        self.value = value
+        self.residual = residual
+
+    def execute(self) -> Iterator:
+        db = self.handle.db
+        self._flush_pending(db)
+        index = db.store.index(self.handle.name, self.field)
+        from ..core.oid import Oid
+        for serial in index.search(self.value):
+            obj = db.deref(Oid(self.handle.name, serial), _missing_ok=True)
+            if obj is not None and self.residual(obj):
+                yield obj
+
+    def _flush_pending(self, db) -> None:
+        if db._txn is not None and db._dirty:
+            db._flush(db._txn.txn_id)
+
+    def describe(self) -> str:
+        return "index eq-lookup %s.%s == %r residual %r" % (
+            self.handle.name, self.field, self.value, self.residual)
+
+
+class IndexRange(Plan):
+    """Range-scan a B+tree index; residual-filter the matches."""
+
+    def __init__(self, handle, field: str, lo, lo_strict, hi, hi_strict,
+                 residual: Predicate):
+        self.handle = handle
+        self.field = field
+        self.lo = lo
+        self.lo_strict = lo_strict
+        self.hi = hi
+        self.hi_strict = hi_strict
+        self.residual = residual
+
+    def execute(self) -> Iterator:
+        db = self.handle.db
+        if db._txn is not None and db._dirty:
+            db._flush(db._txn.txn_id)
+        index = db.store.index(self.handle.name, self.field)
+        from ..core.oid import Oid
+        for key, serial in index.range(self.lo, self.hi,
+                                       include_hi=not self.hi_strict):
+            if self.lo_strict and key == self.lo:
+                continue
+            obj = db.deref(Oid(self.handle.name, serial), _missing_ok=True)
+            if obj is not None and self.residual(obj):
+                yield obj
+
+    def describe(self) -> str:
+        lo_b = "(" if self.lo_strict else "["
+        hi_b = ")" if self.hi_strict else "]"
+        return "index range-scan %s.%s in %s%r, %r%s residual %r" % (
+            self.handle.name, self.field, lo_b, self.lo, self.hi, hi_b,
+            self.residual)
+
+
+class CompositeScan(Plan):
+    """Tuple-key range scan over a composite B+tree index.
+
+    *eq_values* fixes the leading fields; an optional range on the next
+    field tightens the bounds. The scan visits exactly the tuples whose
+    prefix matches, residual-filtering the rest of the predicate.
+    """
+
+    def __init__(self, handle, index_name: str, n_fields: int,
+                 eq_values: List[Any], lo, lo_strict, hi, hi_strict,
+                 residual: Predicate):
+        self.handle = handle
+        self.index_name = index_name
+        self.n_fields = n_fields
+        self.eq_values = list(eq_values)
+        self.lo = lo
+        self.lo_strict = lo_strict
+        self.hi = hi
+        self.hi_strict = hi_strict
+        self.residual = residual
+
+    def execute(self) -> Iterator:
+        db = self.handle.db
+        if db._txn is not None and db._dirty:
+            db._flush(db._txn.txn_id)
+        index = db.store.index(self.handle.name, self.index_name)
+        from ..core.oid import Oid
+        prefix = tuple(self.eq_values)
+        lo_key = prefix if self.lo is None else prefix + (self.lo,)
+        k = len(prefix)
+        for key, serial in index.range(lo_key, None):
+            if key[:k] != prefix:
+                break  # past the matching prefix: done
+            if (self.lo is not None and self.lo_strict
+                    and len(key) > k and key[k] == self.lo):
+                continue
+            if self.hi is not None and len(key) > k:
+                if key[k] > self.hi or (self.hi_strict
+                                        and key[k] == self.hi):
+                    break
+            obj = db.deref(Oid(self.handle.name, serial), _missing_ok=True)
+            if obj is not None and self.residual(obj):
+                yield obj
+
+    def describe(self) -> str:
+        bound = ""
+        if self.lo is not None or self.hi is not None:
+            bound = " next-field in %s%r, %r%s" % (
+                "(" if self.lo_strict else "[", self.lo, self.hi,
+                ")" if self.hi_strict else "]")
+        return "composite-index scan %s.%s prefix=%r%s residual %r" % (
+            self.handle.name, self.index_name, self.eq_values, bound,
+            self.residual)
+
+
+def choose_plan(source, pred: Predicate) -> Plan:
+    """Pick the cheapest applicable plan for iterating *source*."""
+    from ..core.clusters import ClusterHandle
+    if not isinstance(source, ClusterHandle) or not source.exists:
+        return FullScan(source, pred)
+    indexed = source.db.store.indexes_on(source.name)
+    if not indexed:
+        return FullScan(source, pred)
+    conjuncts = pred.conjuncts()
+    comparisons = [c for c in conjuncts if isinstance(c, Compare)]
+    eq_by_field = {}
+    for comp in comparisons:
+        if comp.op == "==" and comp.attr not in eq_by_field:
+            eq_by_field[comp.attr] = comp
+
+    # 1. full-equality match on an index (single or composite, any kind).
+    for name, info in indexed.items():
+        if all(f in eq_by_field for f in info.fields):
+            used = [eq_by_field[f] for f in info.fields]
+            residual = _residual(conjuncts, used)
+            if len(info.fields) == 1:
+                key = used[0].value
+            else:
+                key = tuple(c.value for c in used)
+            return IndexEquality(source, name, key, residual)
+
+    # 2. composite B+tree with equality on a proper prefix (and an
+    #    optional range on the field right after the prefix).
+    best = None  # (prefix_len, plan)
+    for name, info in indexed.items():
+        if info.kind != "btree" or len(info.fields) < 2:
+            continue
+        prefix = []
+        used: List[Predicate] = []
+        for f in info.fields:
+            if f in eq_by_field:
+                prefix.append(eq_by_field[f])
+                used.append(eq_by_field[f])
+            else:
+                break
+        if not prefix:
+            continue
+        next_field = (info.fields[len(prefix)]
+                      if len(prefix) < len(info.fields) else None)
+        lo = lo_strict = hi = hi_strict = None
+        if next_field is not None:
+            bounds = [c for c in comparisons if c.attr == next_field
+                      and c.op in ("<", "<=", ">", ">=")]
+            lo, lo_strict, hi, hi_strict = _fold_bounds(bounds)
+            used = used + bounds
+        residual = _residual(conjuncts, used)
+        plan = CompositeScan(source, name, len(info.fields),
+                             [c.value for c in prefix], lo, bool(lo_strict),
+                             hi, bool(hi_strict), residual)
+        if best is None or len(prefix) > best[0]:
+            best = (len(prefix), plan)
+    if best is not None:
+        return best[1]
+
+    # 3. range on a single-field B+tree index.
+    for name, info in indexed.items():
+        if info.kind != "btree" or len(info.fields) != 1:
+            continue
+        field = info.fields[0]
+        bounds = [c for c in comparisons
+                  if c.attr == field and c.op in ("<", "<=", ">", ">=")]
+        if not bounds:
+            continue
+        lo, lo_strict, hi, hi_strict = _fold_bounds(bounds)
+        residual = _residual(conjuncts, bounds)
+        return IndexRange(source, name, lo, bool(lo_strict), hi,
+                          bool(hi_strict), residual)
+
+    return FullScan(source, pred)
+
+
+def _fold_bounds(bounds: List[Compare]):
+    """Tightest [lo, hi] interval implied by range comparisons."""
+    lo, lo_strict, hi, hi_strict = None, False, None, False
+    for comp in bounds:
+        if comp.op in (">", ">="):
+            if lo is None or comp.value > lo:
+                lo, lo_strict = comp.value, comp.op == ">"
+            elif comp.value == lo:
+                lo_strict = lo_strict or comp.op == ">"
+        else:
+            if hi is None or comp.value < hi:
+                hi, hi_strict = comp.value, comp.op == "<"
+            elif comp.value == hi:
+                hi_strict = hi_strict or comp.op == "<"
+    return lo, lo_strict, hi, hi_strict
+
+
+def _residual(conjuncts: List[Predicate],
+              consumed: List[Predicate]) -> Predicate:
+    rest = [c for c in conjuncts if not any(c is used for used in consumed)]
+    if not rest:
+        return TrueP()
+    if len(rest) == 1:
+        return rest[0]
+    return And(*rest)

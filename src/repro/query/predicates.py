@@ -1,0 +1,256 @@
+"""Predicate expressions for ``suchthat`` clauses.
+
+A ``suchthat`` clause can always be an opaque Python callable, but opaque
+code forces a full cluster scan. Building the predicate from attribute
+expressions instead keeps it *introspectable*, which is what lets the
+optimizer (section 3.1: "iterators can be qualified with clauses ... which
+can be used to advantage in query optimization") push equality and range
+conditions into indexes::
+
+    from repro.query import A, forall
+
+    forall(items).suchthat(A.price < 3.0)
+    forall(items).suchthat((A.supplier == att) & (A.qty >= 100))
+
+``A.field`` creates an attribute expression; comparisons produce
+:class:`Compare` nodes; ``&`` / ``|`` / ``~`` combine them. Every predicate
+is also a callable ``pred(obj) -> bool``, so the same object drives both
+the optimizer and the residual filter.
+"""
+
+from __future__ import annotations
+
+import operator
+from typing import Any, Callable, Iterator, List, Optional
+
+from ..errors import QueryError
+
+_OPS = {
+    "==": operator.eq,
+    "!=": operator.ne,
+    "<": operator.lt,
+    "<=": operator.le,
+    ">": operator.gt,
+    ">=": operator.ge,
+}
+
+_FLIP = {"<": ">", "<=": ">=", ">": "<", ">=": "<=", "==": "==", "!=": "!="}
+
+
+class Predicate:
+    """Base class: a boolean condition over one object."""
+
+    def __call__(self, obj) -> bool:
+        raise NotImplementedError
+
+    def __and__(self, other: "Predicate") -> "Predicate":
+        return And(self, _as_predicate(other))
+
+    def __or__(self, other: "Predicate") -> "Predicate":
+        return Or(self, _as_predicate(other))
+
+    def __invert__(self) -> "Predicate":
+        return Not(self)
+
+    def conjuncts(self) -> List["Predicate"]:
+        """Flatten top-level ANDs into a conjunct list."""
+        return [self]
+
+
+class Compare(Predicate):
+    """``attr <op> constant`` — the optimizable leaf."""
+
+    __slots__ = ("attr", "op", "value")
+
+    def __init__(self, attr: str, op: str, value: Any):
+        if op not in _OPS:
+            raise QueryError("unknown comparison operator %r" % op)
+        self.attr = attr
+        self.op = op
+        self.value = value
+
+    def __call__(self, obj) -> bool:
+        try:
+            return _OPS[self.op](getattr(obj, self.attr), self.value)
+        except TypeError:
+            return False
+
+    def __repr__(self):
+        return "(%s %s %r)" % (self.attr, self.op, self.value)
+
+
+class AttrCompare(Predicate):
+    """``attr1 <op> attr2`` — join-style comparison on one object."""
+
+    __slots__ = ("left", "op", "right")
+
+    def __init__(self, left: str, op: str, right: str):
+        self.left = left
+        self.op = op
+        self.right = right
+
+    def __call__(self, obj) -> bool:
+        return _OPS[self.op](getattr(obj, self.left),
+                             getattr(obj, self.right))
+
+    def __repr__(self):
+        return "(%s %s %s)" % (self.left, self.op, self.right)
+
+
+class And(Predicate):
+    __slots__ = ("parts",)
+
+    def __init__(self, *parts: Predicate):
+        self.parts = tuple(parts)
+
+    def __call__(self, obj) -> bool:
+        return all(p(obj) for p in self.parts)
+
+    def conjuncts(self) -> List[Predicate]:
+        out: List[Predicate] = []
+        for p in self.parts:
+            out.extend(p.conjuncts())
+        return out
+
+    def __repr__(self):
+        return "(" + " and ".join(map(repr, self.parts)) + ")"
+
+
+class Or(Predicate):
+    __slots__ = ("parts",)
+
+    def __init__(self, *parts: Predicate):
+        self.parts = tuple(parts)
+
+    def __call__(self, obj) -> bool:
+        return any(p(obj) for p in self.parts)
+
+    def __repr__(self):
+        return "(" + " or ".join(map(repr, self.parts)) + ")"
+
+
+class Not(Predicate):
+    __slots__ = ("part",)
+
+    def __init__(self, part: Predicate):
+        self.part = part
+
+    def __call__(self, obj) -> bool:
+        return not self.part(obj)
+
+    def __repr__(self):
+        return "(not %r)" % (self.part,)
+
+
+class Callable_(Predicate):
+    """Wrapper for an opaque Python callable (never optimized)."""
+
+    __slots__ = ("func",)
+
+    def __init__(self, func: Callable):
+        self.func = func
+
+    def __call__(self, obj) -> bool:
+        return bool(self.func(obj))
+
+    def __repr__(self):
+        return "<opaque %s>" % getattr(self.func, "__name__", "lambda")
+
+
+class TrueP(Predicate):
+    """The always-true predicate (empty suchthat)."""
+
+    def __call__(self, obj) -> bool:
+        return True
+
+    def conjuncts(self) -> List[Predicate]:
+        return []
+
+    def __repr__(self):
+        return "true"
+
+
+class AttrExpr:
+    """``A.field`` — a reference to an attribute in a predicate."""
+
+    __slots__ = ("name",)
+
+    def __init__(self, name: str):
+        self.name = name
+
+    def _compare(self, op: str, other: Any) -> Predicate:
+        if isinstance(other, AttrExpr):
+            return AttrCompare(self.name, op, other.name)
+        other = _dereference_constant(other)
+        return Compare(self.name, op, other)
+
+    def __eq__(self, other):  # type: ignore[override]
+        return self._compare("==", other)
+
+    def __ne__(self, other):  # type: ignore[override]
+        return self._compare("!=", other)
+
+    def __lt__(self, other):
+        return self._compare("<", other)
+
+    def __le__(self, other):
+        return self._compare("<=", other)
+
+    def __gt__(self, other):
+        return self._compare(">", other)
+
+    def __ge__(self, other):
+        return self._compare(">=", other)
+
+    def is_in(self, collection) -> Predicate:
+        """Membership test: ``A.name.is_in(["a", "b"])``."""
+        frozen = list(collection)
+        return Callable_(lambda obj, _c=frozen, _n=self.name:
+                         getattr(obj, _n) in _c)
+
+    def between(self, lo, hi) -> Predicate:
+        """Inclusive range: ``A.age.between(18, 65)`` (both optimizable)."""
+        return And(Compare(self.name, ">=", lo), Compare(self.name, "<=", hi))
+
+    __hash__ = None  # type: ignore[assignment]
+
+    def __repr__(self):
+        return "A.%s" % self.name
+
+
+class _AttrBuilder:
+    """``A`` — builds attribute expressions: ``A.age``, ``A.name``."""
+
+    def __getattr__(self, name: str) -> AttrExpr:
+        if name.startswith("_"):
+            raise AttributeError(name)
+        return AttrExpr(name)
+
+
+#: The attribute-expression builder used in suchthat clauses.
+A = _AttrBuilder()
+
+
+def _dereference_constant(value: Any) -> Any:
+    """Live persistent objects compare as their ids (pointer equality)."""
+    from ..core.objects import OdeObject
+    if isinstance(value, OdeObject) and value.is_persistent:
+        return value.oid
+    return value
+
+
+def _as_predicate(cond) -> Predicate:
+    """Accept a Predicate or any callable; None means 'true'."""
+    if cond is None:
+        return TrueP()
+    if isinstance(cond, Predicate):
+        return cond
+    if callable(cond):
+        return Callable_(cond)
+    raise QueryError("suchthat expects a predicate or callable, got %r"
+                     % (cond,))
+
+
+def as_predicate(cond) -> Predicate:
+    """Public alias of the coercion used by forall()."""
+    return _as_predicate(cond)

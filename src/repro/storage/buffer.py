@@ -1,0 +1,193 @@
+"""Buffer pool — an LRU cache of page frames with pin/unpin discipline.
+
+Higher layers never touch the :class:`~repro.storage.pagefile.PageFile`
+directly; they *fetch* pages from the pool, which faults them in from disk
+on a miss and evicts clean-or-flushed unpinned frames when full. A fetched
+page is pinned until released; pinned pages are never evicted.
+
+The idiomatic way to use the pool is the :meth:`BufferPool.page` context
+manager::
+
+    with pool.page(page_no) as page:          # read access
+        payload = page.read(slot)
+
+    with pool.page(page_no, write=True) as page:   # marks frame dirty
+        page.insert(b"...")
+
+Dirty frames are written back on eviction, on :meth:`flush_page`, and on
+:meth:`flush_all` (used by checkpoints and close). When a
+:class:`~repro.storage.wal.WriteAheadLog` is attached, the pool enforces
+the WAL rule: before a dirty page goes to disk, the log is flushed up to
+that page's LSN.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from contextlib import contextmanager
+from typing import Dict, Iterator, Optional
+
+from ..errors import BufferPoolError
+from .page import PAGE_SIZE, SlottedPage, PageType
+from .pagefile import PageFile
+
+DEFAULT_POOL_SIZE = 256
+
+
+class _Frame:
+    __slots__ = ("page_no", "buf", "pin_count", "dirty")
+
+    def __init__(self, page_no: int):
+        self.page_no = page_no
+        self.buf = bytearray(PAGE_SIZE)
+        self.pin_count = 0
+        self.dirty = False
+
+
+class BufferPool:
+    """LRU buffer pool over a :class:`PageFile`."""
+
+    def __init__(self, pagefile: PageFile, capacity: int = DEFAULT_POOL_SIZE):
+        if capacity < 1:
+            raise BufferPoolError("buffer pool capacity must be >= 1")
+        self._pagefile = pagefile
+        self._capacity = capacity
+        # OrderedDict as LRU: most recently used at the end.
+        self._frames: "OrderedDict[int, _Frame]" = OrderedDict()
+        self._wal = None
+        # statistics
+        self.hits = 0
+        self.misses = 0
+        self.evictions = 0
+        self.writebacks = 0
+
+    def attach_wal(self, wal) -> None:
+        """Attach a write-ahead log; enforces flush-log-before-page."""
+        self._wal = wal
+
+    @property
+    def capacity(self) -> int:
+        return self._capacity
+
+    # -- pinning ---------------------------------------------------------------
+
+    def pin(self, page_no: int) -> SlottedPage:
+        """Pin *page_no*, faulting it in if needed, and return a page view."""
+        frame = self._frames.get(page_no)
+        if frame is not None:
+            self.hits += 1
+            self._frames.move_to_end(page_no)
+        else:
+            self.misses += 1
+            frame = self._admit(page_no)
+            self._pagefile.read_page(page_no, frame.buf)
+        frame.pin_count += 1
+        return SlottedPage(frame.buf)
+
+    def unpin(self, page_no: int, dirty: bool = False) -> None:
+        """Release one pin on *page_no*, optionally marking it dirty."""
+        frame = self._frames.get(page_no)
+        if frame is None or frame.pin_count == 0:
+            raise BufferPoolError("unpin of page %d that is not pinned" % page_no)
+        if dirty:
+            frame.dirty = True
+        frame.pin_count -= 1
+
+    @contextmanager
+    def page(self, page_no: int, write: bool = False) -> Iterator[SlottedPage]:
+        """Context manager combining :meth:`pin` and :meth:`unpin`."""
+        view = self.pin(page_no)
+        try:
+            yield view
+        finally:
+            self.unpin(page_no, dirty=write)
+
+    def new_page(self, page_type: int) -> int:
+        """Allocate a page, format it in the pool, and return its number.
+
+        The new page enters the pool already formatted and dirty; it is not
+        left pinned.
+        """
+        page_no = self._pagefile.allocate_page()
+        frame = self._frames.get(page_no)
+        if frame is None:
+            frame = self._admit(page_no)
+        SlottedPage.format(frame.buf, page_no, page_type)
+        frame.dirty = True
+        return page_no
+
+    def free_page(self, page_no: int) -> None:
+        """Drop *page_no* from the pool and return it to the file free list."""
+        frame = self._frames.pop(page_no, None)
+        if frame is not None and frame.pin_count > 0:
+            raise BufferPoolError("cannot free pinned page %d" % page_no)
+        self._pagefile.free_page(page_no)
+
+    # -- write-back ---------------------------------------------------------------
+
+    def flush_page(self, page_no: int) -> None:
+        """Write *page_no* back to disk if dirty (stays cached)."""
+        frame = self._frames.get(page_no)
+        if frame is not None and frame.dirty:
+            self._write_back(frame)
+
+    def flush_all(self) -> None:
+        """Write every dirty frame back to disk (checkpoint/close path)."""
+        for frame in self._frames.values():
+            if frame.dirty:
+                self._write_back(frame)
+
+    def dirty_page_numbers(self):
+        """Page numbers of currently dirty frames (for checkpointing)."""
+        return [f.page_no for f in self._frames.values() if f.dirty]
+
+    def invalidate_all(self) -> None:
+        """Drop every frame without writing back (crash simulation)."""
+        for frame in self._frames.values():
+            if frame.pin_count > 0:
+                raise BufferPoolError(
+                    "cannot invalidate: page %d is pinned" % frame.page_no)
+        self._frames.clear()
+
+    def close(self) -> None:
+        self.flush_all()
+        self._frames.clear()
+
+    # -- internals --------------------------------------------------------------
+
+    def _admit(self, page_no: int) -> _Frame:
+        while len(self._frames) >= self._capacity:
+            self._evict_one()
+        frame = _Frame(page_no)
+        self._frames[page_no] = frame
+        return frame
+
+    def _evict_one(self) -> None:
+        for victim_no, frame in self._frames.items():
+            if frame.pin_count == 0:
+                if frame.dirty:
+                    self._write_back(frame)
+                del self._frames[victim_no]
+                self.evictions += 1
+                return
+        raise BufferPoolError(
+            "buffer pool exhausted: all %d frames pinned" % self._capacity)
+
+    def _write_back(self, frame: _Frame) -> None:
+        if self._wal is not None:
+            page_lsn = SlottedPage(frame.buf).page_lsn
+            self._wal.flush(page_lsn)
+        self._pagefile.write_page(frame.page_no, frame.buf)
+        frame.dirty = False
+        self.writebacks += 1
+
+    def stats(self) -> Dict[str, int]:
+        """Counters for benchmarks and tests."""
+        return {
+            "hits": self.hits,
+            "misses": self.misses,
+            "evictions": self.evictions,
+            "writebacks": self.writebacks,
+            "cached": len(self._frames),
+            "capacity": self._capacity,
+        }

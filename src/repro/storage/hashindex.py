@@ -1,0 +1,296 @@
+"""Disk-resident extendible hash index.
+
+Equality-only companion to the B+tree: O(1) point lookups, no range scans.
+The paper's `suchthat` clauses with equality predicates can be served by
+either; the optimizer prefers the hash index for pure equality.
+
+Structure: a *directory* of 2**global_depth bucket pointers plus *bucket*
+pages. Each bucket page stores one codec-encoded record: its local depth
+and its entry list. When a bucket overflows, it splits; if its local depth
+equals the global depth, the directory doubles first. Keys hash through a
+stable (seeded, process-independent) 64-bit FNV-1a over the order-preserving
+key encoding, so the on-disk layout does not depend on Python's randomized
+``hash()``.
+
+The directory is stored on one page, which bounds the global depth. A
+bucket whose entries cannot be separated by splitting (many duplicates of
+one key, or hash-identical keys) chains across additional bucket pages
+instead, so the index handles arbitrarily skewed key distributions —
+degenerating gracefully to a linked list for pathological ones.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Iterator, List, Tuple
+
+from ..errors import DuplicateKeyError, IndexError_
+from .codec import decode_value, encode_key, encode_value
+from .journal import Journal
+from .page import MAX_RECORD_SIZE, NO_PAGE, PageType
+
+#: Hard capacity of one bucket page's record.
+MAX_BUCKET_BYTES = MAX_RECORD_SIZE - 512
+
+#: Preferred bucket size: buckets split well before the page fills, so the
+#: whole-bucket re-encode each insert pays stays small. Duplicate-heavy
+#: buckets that cannot split still grow to MAX_BUCKET_BYTES and chain.
+SPLIT_TARGET_BYTES = 1536
+
+#: Directory growth stops here (pointers must fit on the directory page).
+MAX_GLOBAL_DEPTH = 8
+
+_FNV_OFFSET = 0xcbf29ce484222325
+_FNV_PRIME = 0x100000001b3
+_MASK64 = (1 << 64) - 1
+
+
+def stable_hash(key: Any) -> int:
+    """64-bit FNV-1a of the canonical key encoding. Stable across runs."""
+    data = encode_key(key)
+    h = _FNV_OFFSET
+    for byte in data:
+        h = ((h ^ byte) * _FNV_PRIME) & _MASK64
+    return h
+
+
+class HashIndex:
+    """Extendible hash index mapping keys to values (duplicates optional)."""
+
+    #: Decoded-record cache capacity (directory + bucket pages).
+    CACHE_SIZE = 512
+
+    def __init__(self, journal: Journal, directory_page: int,
+                 unique: bool = False):
+        self._journal = journal
+        self._pool = journal._pool
+        self.directory_page = directory_page
+        self.unique = unique
+        #: page_no -> (page_lsn at decode time, decoded record)
+        self._decoded: dict = {}
+
+    @classmethod
+    def create(cls, journal: Journal, txn: int,
+               unique: bool = False) -> "HashIndex":
+        """Allocate a depth-0 index: one directory slot, one empty bucket."""
+        dir_page = journal._pool.new_page(PageType.HASH_DIRECTORY)
+        bucket_page = journal._pool.new_page(PageType.HASH_BUCKET)
+        with journal.edit(txn, bucket_page) as page:
+            page.insert(encode_value([0, []]))  # [local_depth, entries]
+        with journal.edit(txn, dir_page) as page:
+            page.insert(encode_value([0, [bucket_page]]))  # [global_depth, ptrs]
+        return cls(journal, dir_page, unique=unique)
+
+    # -- directory / bucket I/O ------------------------------------------------
+
+    def _read_decoded(self, page_no: int):
+        """Decode a page's record, memoised against the page LSN. The
+        cached value is returned as-is; callers must not mutate it."""
+        with self._pool.page(page_no) as page:
+            lsn = page.page_lsn
+            cached = self._decoded.get(page_no)
+            if cached is not None and cached[0] == lsn:
+                return cached[1], page.next_page
+            value = decode_value(page.read(0))
+            nxt = page.next_page
+        if self.CACHE_SIZE > 0:  # 0 disables the cache (ablation studies)
+            if len(self._decoded) >= self.CACHE_SIZE:
+                self._decoded.clear()
+            self._decoded[page_no] = (lsn, value)
+        return value, nxt
+
+    def _read_directory(self) -> Tuple[int, List[int]]:
+        (depth, pointers), _ = self._read_decoded(self.directory_page)
+        return depth, list(pointers)
+
+    def _write_directory(self, txn: int, depth: int,
+                         pointers: List[int]) -> None:
+        with self._journal.edit(txn, self.directory_page) as page:
+            page.update(0, encode_value([depth, pointers]))
+
+    def _read_bucket(self, page_no: int) -> Tuple[int, List]:
+        """Read a bucket, concatenating its overflow chain."""
+        entries: List = []
+        local_depth = 0
+        first = True
+        while page_no != NO_PAGE:
+            (depth, part), page_no = self._read_decoded(page_no)
+            if first:
+                local_depth = depth
+                first = False
+            entries.extend(part)
+        return local_depth, entries
+
+    def _write_bucket(self, txn: int, page_no: int, local_depth: int,
+                      entries: List, raw: bytes = None) -> None:
+        """Write a bucket, spilling across an overflow chain as needed.
+
+        *raw*, when given, is the already-encoded single-chunk record
+        (callers that just size-checked it pass it to avoid re-encoding).
+        Chain pages are allocated on demand and retained (written empty)
+        when the bucket shrinks, so an aborting transaction can never
+        resurrect a pointer to a freed page.
+        """
+        if raw is None:
+            raw = encode_value([local_depth, entries])
+        if len(raw) <= MAX_BUCKET_BYTES:
+            raws = [raw]
+        else:  # rare: hash-identical keys forced an overflow chain
+            raws = [encode_value([local_depth, chunk])
+                    for chunk in self._chunk_entries(entries)]
+        current = page_no
+        for i, chunk_raw in enumerate(raws):
+            nxt = self._next_chain_page(txn, current,
+                                        need_more=i + 1 < len(raws))
+            with self._journal.edit(txn, current) as page:
+                if page.slot_count == 0:  # freshly allocated page
+                    page.insert(chunk_raw)
+                else:
+                    page.update(0, chunk_raw)
+            current = nxt
+        # Blank out any surplus chain pages left from a larger bucket.
+        while current != NO_PAGE:
+            with self._pool.page(current) as page:
+                nxt = page.next_page
+            raw = encode_value([local_depth, []])
+            with self._journal.edit(txn, current) as page:
+                if page.slot_count == 0:
+                    page.insert(raw)
+                else:
+                    page.update(0, raw)
+            current = nxt
+
+    def _next_chain_page(self, txn: int, current: int, need_more: bool) -> int:
+        """The page after *current* in the chain, allocating if required."""
+        with self._pool.page(current) as page:
+            nxt = page.next_page
+        if need_more and nxt == NO_PAGE:
+            nxt = self._pool.new_page(PageType.HASH_BUCKET)
+            with self._journal.edit(txn, current) as page:
+                page.next_page = nxt
+        return nxt
+
+    @staticmethod
+    def _chunk_entries(entries: List) -> List[List]:
+        """Partition entries so each chunk's record fits on one page."""
+        chunks: List[List] = []
+        chunk: List = []
+        size = 16  # room for the [local_depth, entries] framing
+        for entry in entries:
+            entry_size = len(encode_value(entry)) + 8
+            if chunk and size + entry_size > MAX_BUCKET_BYTES:
+                chunks.append(chunk)
+                chunk = []
+                size = 16
+            chunk.append(entry)
+            size += entry_size
+        chunks.append(chunk)
+        return chunks
+
+    def _bucket_for(self, key: Any) -> Tuple[int, int, List[int]]:
+        depth, pointers = self._read_directory()
+        slot = stable_hash(key) & ((1 << depth) - 1)
+        return pointers[slot], depth, pointers
+
+    # -- operations ---------------------------------------------------------------
+
+    def insert(self, txn: int, key: Any, value: Any) -> None:
+        """Insert ``(key, value)``, splitting buckets as needed."""
+        kb = encode_key(key)
+        bucket_page, _, _ = self._bucket_for(key)
+        local_depth, entries = self._read_bucket(bucket_page)
+        if self.unique and any(e[0] == kb for e in entries):
+            raise DuplicateKeyError("duplicate key %r in unique hash index"
+                                    % (key,))
+        entries.append([kb, key, value])
+        raw = encode_value([local_depth, entries])
+        if len(raw) <= SPLIT_TARGET_BYTES:
+            self._write_bucket(txn, bucket_page, local_depth, entries,
+                               raw=raw)
+            return
+        self._split_bucket(txn, bucket_page, local_depth, entries)
+
+    def _split_bucket(self, txn: int, bucket_page: int, local_depth: int,
+                      entries: List) -> None:
+        # Futile-split guard: when every entry has the same full hash
+        # (duplicate keys, or colliding ones), no amount of splitting can
+        # separate them — store the bucket as an overflow chain instead.
+        hashes = {stable_hash(e[1]) for e in entries}
+        if len(hashes) == 1:
+            self._write_bucket(txn, bucket_page, local_depth, entries)
+            return
+        depth, pointers = self._read_directory()
+        if local_depth == depth:
+            if depth >= MAX_GLOBAL_DEPTH:
+                # Directory is as large as its page allows; let the bucket
+                # fill its page, then chain.
+                self._write_bucket(txn, bucket_page, local_depth, entries)
+                return
+            pointers = pointers + pointers
+            depth += 1
+        # Redistribute on the newly significant bit.
+        bit = 1 << local_depth
+        stay, move = [], []
+        for entry in entries:
+            (move if stable_hash(entry[1]) & bit else stay).append(entry)
+        new_page = self._pool.new_page(PageType.HASH_BUCKET)
+        self._write_bucket(txn, bucket_page, local_depth + 1, stay)
+        self._write_bucket(txn, new_page, local_depth + 1, move)
+        # Every directory slot that pointed at the old bucket and has the
+        # new bit set now points at the new bucket.
+        for i, ptr in enumerate(pointers):
+            if ptr == bucket_page and (i & bit):
+                pointers[i] = new_page
+        self._write_directory(txn, depth, pointers)
+        # A split may leave one side oversized when keys collide; re-split
+        # recursively (bounded by MAX_GLOBAL_DEPTH).
+        for page_no, side in ((bucket_page, stay), (new_page, move)):
+            if len(encode_value([local_depth + 1, side])) > MAX_BUCKET_BYTES:
+                self._split_bucket(txn, page_no, local_depth + 1, side)
+
+    def search(self, key: Any) -> List[Any]:
+        """All values stored under *key*."""
+        kb = encode_key(key)
+        bucket_page, _, _ = self._bucket_for(key)
+        _, entries = self._read_bucket(bucket_page)
+        return [e[2] for e in entries if e[0] == kb]
+
+    def contains(self, key: Any) -> bool:
+        return bool(self.search(key))
+
+    def delete(self, txn: int, key: Any, value: Any = None) -> int:
+        """Remove entries for *key* (optionally only matching *value*)."""
+        kb = encode_key(key)
+        bucket_page, _, _ = self._bucket_for(key)
+        local_depth, entries = self._read_bucket(bucket_page)
+        kept = [e for e in entries
+                if not (e[0] == kb and (value is None or e[2] == value))]
+        removed = len(entries) - len(kept)
+        if removed:
+            self._write_bucket(txn, bucket_page, local_depth, kept)
+        return removed
+
+    def items(self) -> Iterator[Tuple[Any, Any]]:
+        """All ``(key, value)`` entries (unordered, each bucket once)."""
+        _, pointers = self._read_directory()
+        for page_no in dict.fromkeys(pointers):
+            _, entries = self._read_bucket(page_no)
+            for _, key, value in entries:
+                yield key, value
+
+    def __len__(self) -> int:
+        return sum(1 for _ in self.items())
+
+    def check_invariants(self) -> None:
+        """Validate directory/bucket structure; raises IndexError_ if broken."""
+        depth, pointers = self._read_directory()
+        if len(pointers) != 1 << depth:
+            raise IndexError_("directory size != 2**global_depth")
+        for i, page_no in enumerate(pointers):
+            local_depth, entries = self._read_bucket(page_no)
+            if local_depth > depth:
+                raise IndexError_("local depth exceeds global depth")
+            for entry in entries:
+                h = stable_hash(entry[1])
+                if (h ^ i) & ((1 << local_depth) - 1):
+                    raise IndexError_(
+                        "entry hashed to wrong bucket (slot %d)" % i)

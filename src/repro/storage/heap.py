@@ -1,0 +1,302 @@
+"""Heap files — unordered record storage with stable record ids.
+
+A heap file is a chain of slotted pages. Records are addressed by a
+:class:`RID` (page number, slot). RIDs are stable for the life of the
+record:
+
+* An update that no longer fits on the record's home page relocates the
+  payload and leaves a 15-byte *forwarding stub* in the home slot, so the
+  RID keeps working.
+* A record bigger than a page spills into a chain of *overflow pages*; the
+  home slot stores an overflow stub.
+
+Record wire format: ``kind:u8 | length:u32 | payload``, zero-padded to at
+least :data:`MIN_RECORD_SIZE` bytes. The padding guarantees a forwarding
+stub always fits in place of any record, so forwarding can never fail.
+
+All mutations go through :class:`~repro.storage.journal.Journal` edits and
+are therefore atomic and durable under the enclosing transaction.
+"""
+
+from __future__ import annotations
+
+import struct
+from typing import Iterator, NamedTuple, Optional, Tuple
+
+from ..errors import PageError, PageFullError, StorageError
+from .journal import Journal
+from .page import (HEADER_SIZE, MAX_RECORD_SIZE, NO_PAGE, PAGE_SIZE,
+                   PageType, SlottedPage)
+
+_REC_HDR = struct.Struct("<BI")
+_FORWARD = struct.Struct("<QH")
+_OVERFLOW = struct.Struct("<QI")
+_OVF_USED = struct.Struct("<H")
+
+#: Every record is padded to this size so a forwarding stub always fits.
+MIN_RECORD_SIZE = _REC_HDR.size + _FORWARD.size  # 15 bytes
+
+#: Payload capacity of one overflow page.
+OVERFLOW_CAPACITY = PAGE_SIZE - HEADER_SIZE - _OVF_USED.size
+
+#: Largest payload stored inline on the home page.
+MAX_INLINE_PAYLOAD = MAX_RECORD_SIZE - _REC_HDR.size
+
+KIND_DATA = 0        # payload follows inline
+KIND_FORWARD = 1     # payload lives at another RID (a KIND_MOVED record)
+KIND_MOVED = 2       # relocated payload; skipped by scans, found via stubs
+KIND_OVERFLOW = 3    # payload lives in an overflow page chain
+
+
+class RID(NamedTuple):
+    """Stable record id: (page_no, slot)."""
+
+    page_no: int
+    slot: int
+
+    def __repr__(self) -> str:
+        return "RID(%d:%d)" % (self.page_no, self.slot)
+
+
+def _pack_record(kind: int, payload: bytes) -> bytes:
+    raw = _REC_HDR.pack(kind, len(payload)) + payload
+    if len(raw) < MIN_RECORD_SIZE:
+        raw += b"\x00" * (MIN_RECORD_SIZE - len(raw))
+    return raw
+
+
+def _unpack_record(raw: bytes) -> Tuple[int, bytes]:
+    kind, length = _REC_HDR.unpack_from(raw, 0)
+    return kind, raw[_REC_HDR.size:_REC_HDR.size + length]
+
+
+class HeapFile:
+    """A chain of heap pages storing variable-length records."""
+
+    def __init__(self, journal: Journal, first_page: int):
+        self._journal = journal
+        self._pool = journal._pool
+        self._first_page = first_page
+        # Session-local cache of pages believed to have free room. Not
+        # persisted: correctness never depends on it, only insert locality.
+        self._free_candidates: list = []
+        self._tail_page = self._find_tail()
+
+    @classmethod
+    def create(cls, journal: Journal, txn: int) -> "HeapFile":
+        """Allocate a fresh single-page heap file."""
+        page_no = journal._pool.new_page(PageType.HEAP)
+        with journal.edit(txn, page_no):
+            pass  # formatting happened in new_page; edit stamps nothing
+        return cls(journal, page_no)
+
+    @property
+    def first_page(self) -> int:
+        return self._first_page
+
+    def _find_tail(self) -> int:
+        page_no = self._first_page
+        while True:
+            with self._pool.page(page_no) as page:
+                nxt = page.next_page
+            if nxt == NO_PAGE:
+                return page_no
+            page_no = nxt
+
+    # -- public operations --------------------------------------------------
+
+    def insert(self, txn: int, payload: bytes) -> RID:
+        """Store *payload*; return its stable RID."""
+        if len(payload) > MAX_INLINE_PAYLOAD:
+            first_ovf = self._write_overflow_chain(txn, payload)
+            record = _pack_record(KIND_OVERFLOW,
+                                  _OVERFLOW.pack(first_ovf, len(payload)))
+        else:
+            record = _pack_record(KIND_DATA, payload)
+        return self._place(txn, record)
+
+    def read(self, rid: RID) -> bytes:
+        """Return the payload stored at *rid*, following indirections."""
+        kind, body = self._read_raw(rid)
+        if kind in (KIND_DATA, KIND_MOVED):
+            return body
+        if kind == KIND_FORWARD:
+            target = RID(*_FORWARD.unpack(body))
+            kind2, body2 = self._read_raw(target)
+            if kind2 != KIND_MOVED:
+                raise StorageError("dangling forward stub at %r" % (rid,))
+            return body2
+        if kind == KIND_OVERFLOW:
+            first_ovf, total = _OVERFLOW.unpack(body)
+            return self._read_overflow_chain(first_ovf, total)
+        raise StorageError("unknown record kind %d at %r" % (kind, rid))
+
+    def update(self, txn: int, rid: RID, payload: bytes) -> None:
+        """Replace the payload at *rid*; the RID remains valid."""
+        kind, body = self._read_raw(rid)
+        # Release any indirect storage held by the old record.
+        if kind == KIND_FORWARD:
+            target = RID(*_FORWARD.unpack(body))
+            self._delete_slot(txn, target)
+        elif kind == KIND_OVERFLOW:
+            first_ovf, _ = _OVERFLOW.unpack(body)
+            self._free_overflow_chain(txn, first_ovf)
+
+        if len(payload) > MAX_INLINE_PAYLOAD:
+            # An overflow stub is MIN_RECORD_SIZE bytes, and every record is
+            # at least that large, so this in-place update cannot fail.
+            first_ovf = self._write_overflow_chain(txn, payload)
+            record = _pack_record(KIND_OVERFLOW,
+                                  _OVERFLOW.pack(first_ovf, len(payload)))
+            with self._journal.edit(txn, rid.page_no) as page:
+                page.update(rid.slot, record)
+            return
+        record = _pack_record(KIND_DATA, payload)
+        try:
+            with self._journal.edit(txn, rid.page_no) as page:
+                page.update(rid.slot, record)
+            self._free_candidates.append(rid.page_no)
+            return
+        except PageFullError:
+            pass
+        # Doesn't fit at home: relocate and leave a forwarding stub. The
+        # stub is MIN_RECORD_SIZE bytes, never larger than the old record.
+        moved_rid = self._place(txn, _pack_record(KIND_MOVED, payload))
+        stub = _pack_record(KIND_FORWARD, _FORWARD.pack(*moved_rid))
+        with self._journal.edit(txn, rid.page_no) as page:
+            page.update(rid.slot, stub)
+
+    def delete(self, txn: int, rid: RID) -> None:
+        """Delete the record at *rid*, releasing indirect storage."""
+        kind, body = self._read_raw(rid)
+        if kind == KIND_FORWARD:
+            target = RID(*_FORWARD.unpack(body))
+            self._delete_slot(txn, target)
+        elif kind == KIND_OVERFLOW:
+            first_ovf, _ = _OVERFLOW.unpack(body)
+            self._free_overflow_chain(txn, first_ovf)
+        self._delete_slot(txn, rid)
+
+    def scan(self) -> Iterator[Tuple[RID, bytes]]:
+        """Yield ``(rid, payload)`` for every record, in physical order.
+
+        Relocated bodies (KIND_MOVED) are reported at their *home* RID via
+        the forwarding stub, not at their physical location. The scan
+        tolerates records inserted behind the cursor during iteration (the
+        fixpoint-query requirement flows down to this property).
+        """
+        page_no = self._first_page
+        while page_no != NO_PAGE:
+            slot = 0
+            while True:
+                with self._pool.page(page_no) as page:
+                    if slot >= page.slot_count:
+                        next_page = page.next_page
+                        break
+                    try:
+                        raw = page.read(slot)
+                    except PageError:
+                        slot += 1
+                        continue
+                kind, body = _unpack_record(raw)
+                rid = RID(page_no, slot)
+                slot += 1
+                if kind == KIND_DATA:
+                    yield rid, body
+                elif kind == KIND_FORWARD:
+                    yield rid, self.read(rid)
+                elif kind == KIND_OVERFLOW:
+                    first_ovf, total = _OVERFLOW.unpack(body)
+                    yield rid, self._read_overflow_chain(first_ovf, total)
+                # KIND_MOVED: skipped, reached via its stub
+            page_no = next_page
+
+    def count(self) -> int:
+        """Number of live records (scans the file)."""
+        return sum(1 for _ in self.scan())
+
+    # -- placement ----------------------------------------------------------
+
+    def _place(self, txn: int, record: bytes) -> RID:
+        """Find a page with room for *record* and insert it."""
+        # 1. recently-seen pages with space
+        while self._free_candidates:
+            page_no = self._free_candidates[-1]
+            with self._pool.page(page_no) as page:
+                if page.room_for(len(record)):
+                    break
+            self._free_candidates.pop()
+        else:
+            page_no = self._tail_page
+            with self._pool.page(page_no) as page:
+                has_room = page.room_for(len(record))
+            if not has_room:
+                page_no = self._grow(txn)
+        with self._journal.edit(txn, page_no) as page:
+            slot = page.insert(record)
+        return RID(page_no, slot)
+
+    def _grow(self, txn: int) -> int:
+        """Append a fresh page to the chain; return its number."""
+        new_no = self._pool.new_page(PageType.HEAP)
+        with self._journal.edit(txn, self._tail_page) as tail:
+            tail.next_page = new_no
+        self._tail_page = new_no
+        return new_no
+
+    def _delete_slot(self, txn: int, rid: RID) -> None:
+        with self._journal.edit(txn, rid.page_no) as page:
+            page.delete(rid.slot)
+        self._free_candidates.append(rid.page_no)
+
+    def _read_raw(self, rid: RID) -> Tuple[int, bytes]:
+        with self._pool.page(rid.page_no) as page:
+            raw = page.read(rid.slot)
+        return _unpack_record(raw)
+
+    # -- overflow chains --------------------------------------------------------
+
+    def _write_overflow_chain(self, txn: int, payload: bytes) -> int:
+        """Write *payload* across fresh overflow pages; return the first."""
+        chunks = [payload[i:i + OVERFLOW_CAPACITY]
+                  for i in range(0, len(payload), OVERFLOW_CAPACITY)]
+        page_nos = [self._pool.new_page(PageType.OVERFLOW) for _ in chunks]
+        for i, (page_no, chunk) in enumerate(zip(page_nos, chunks)):
+            nxt = page_nos[i + 1] if i + 1 < len(page_nos) else NO_PAGE
+            with self._journal.edit(txn, page_no) as page:
+                page.next_page = nxt
+                _OVF_USED.pack_into(page.buf, HEADER_SIZE, len(chunk))
+                start = HEADER_SIZE + _OVF_USED.size
+                page.buf[start:start + len(chunk)] = chunk
+        return page_nos[0]
+
+    def _read_overflow_chain(self, first_page: int, total: int) -> bytes:
+        parts = []
+        page_no = first_page
+        remaining = total
+        while page_no != NO_PAGE and remaining > 0:
+            with self._pool.page(page_no) as page:
+                used = _OVF_USED.unpack_from(page.buf, HEADER_SIZE)[0]
+                start = HEADER_SIZE + _OVF_USED.size
+                parts.append(bytes(page.buf[start:start + used]))
+                page_no = page.next_page
+            remaining -= used
+        data = b"".join(parts)
+        if len(data) != total:
+            raise StorageError("overflow chain truncated: %d of %d bytes"
+                               % (len(data), total))
+        return data
+
+    def _free_overflow_chain(self, txn: int, first_page: int) -> None:
+        """Return overflow pages to the free list — at commit.
+
+        The frees are deferred through the journal so that aborting the
+        transaction (whose undo restores the overflow stub) can never
+        leave the stub pointing at recycled pages.
+        """
+        page_no = first_page
+        while page_no != NO_PAGE:
+            with self._pool.page(page_no) as page:
+                nxt = page.next_page
+            self._journal.free_page_deferred(txn, page_no)
+            page_no = nxt

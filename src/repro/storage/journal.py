@@ -1,0 +1,186 @@
+"""Journal — transactional page editing glue between pool and WAL.
+
+Heap files and indexes mutate pages exclusively through
+:meth:`Journal.edit`, which snapshots the page, lets the caller mutate it,
+then logs the changed byte range (before/after images) as an UPDATE record
+of the current transaction and stamps the page's LSN. This single choke
+point gives atomicity (undo via before-images) and durability (redo via
+after-images) to every structure in the engine without any of them knowing
+about logging.
+
+The journal also owns the transaction table (txn id -> last LSN), commit,
+abort (which undoes in place, writing CLRs), and fuzzy checkpoints.
+"""
+
+from __future__ import annotations
+
+from contextlib import contextmanager
+from typing import Dict, Iterator, Optional
+
+from ..errors import TransactionError, WalError
+from .buffer import BufferPool
+from .page import SlottedPage
+from .wal import NULL_LSN, LogRecordType, WriteAheadLog
+
+
+class Journal:
+    """Transaction table + logged page edits over a pool/WAL pair."""
+
+    def __init__(self, pool: BufferPool, wal: WriteAheadLog):
+        self._pool = pool
+        self._wal = wal
+        pool.attach_wal(wal)
+        self._next_txn = 1
+        #: txn id -> LSN of that transaction's most recent log record.
+        self.active: Dict[int, int] = {}
+        #: txn id -> pages to return to the free list at commit. Freeing is
+        #: deferred so an abort can never resurrect a pointer to a page
+        #: that was freed (and possibly recycled) mid-transaction.
+        self._pending_frees: Dict[int, list] = {}
+
+    # -- transaction lifecycle ---------------------------------------------------
+
+    def begin(self) -> int:
+        txn = self._next_txn
+        self._next_txn += 1
+        lsn = self._wal.log_begin(txn)
+        self.active[txn] = lsn
+        return txn
+
+    def commit(self, txn: int) -> None:
+        last = self._require_active(txn)
+        self._wal.log_commit(txn, last)  # log_commit flushes
+        self._wal.log_end(txn, last)
+        del self.active[txn]
+        for page_no in self._pending_frees.pop(txn, ()):
+            self._pool.free_page(page_no)
+
+    def abort(self, txn: int) -> None:
+        """Roll back *txn* by applying before-images, logging CLRs."""
+        last = self._require_active(txn)
+        last = undo_transaction(self._pool, self._wal, txn, last)
+        self._wal.log_abort(txn, last)
+        self._wal.log_end(txn, last)
+        del self.active[txn]
+        self._pending_frees.pop(txn, None)
+
+    def free_page_deferred(self, txn: int, page_no: int) -> None:
+        """Schedule *page_no* for the free list when *txn* commits.
+
+        Structures must use this (never ``pool.free_page``) for pages a
+        transaction stops referencing: an in-flight transaction's undo
+        images may still point at them.
+        """
+        self._require_active(txn)
+        self._pending_frees.setdefault(txn, []).append(page_no)
+
+    def _require_active(self, txn: int) -> int:
+        if txn not in self.active:
+            raise TransactionError("transaction %d is not active" % txn)
+        return self.active[txn]
+
+    # -- logged page edits ---------------------------------------------------
+
+    @contextmanager
+    def edit(self, txn: int, page_no: int) -> Iterator[SlottedPage]:
+        """Pin *page_no* for mutation under *txn*; log the diff on exit.
+
+        If the block raises, the page buffer is restored from the snapshot
+        and nothing is logged — the failed edit leaves no trace.
+        """
+        last = self._require_active(txn)
+        page = self._pool.pin(page_no)
+        snapshot = bytes(page.buf)
+        try:
+            yield page
+        except BaseException:
+            page.buf[:] = snapshot
+            self._pool.unpin(page_no, dirty=False)
+            raise
+        lo, hi = _diff_range(snapshot, page.buf)
+        if lo is None:
+            self._pool.unpin(page_no, dirty=False)
+            return
+        lsn = self._wal.log_update(txn, last, page_no, lo,
+                                   snapshot[lo:hi], bytes(page.buf[lo:hi]))
+        self.active[txn] = lsn
+        page.page_lsn = lsn
+        self._pool.unpin(page_no, dirty=True)
+
+    # -- checkpointing ----------------------------------------------------------
+
+    def checkpoint(self) -> None:
+        """Flush everything; truncate the log if no transaction is active."""
+        self._wal.flush()
+        self._pool.flush_all()
+        if self.active:
+            self._wal.log_checkpoint(self.active)
+        else:
+            self._wal.truncate()
+
+
+def _diff_range(old: bytes, new) -> tuple:
+    """Smallest ``[lo, hi)`` such that old[lo:hi] != new[lo:hi], or (None, None).
+
+    Uses binary search over slice comparisons so the byte scanning runs in
+    C (memcmp) instead of a Python loop — this is on the critical path of
+    every logged page edit.
+    """
+    if old == new:
+        return None, None
+    new = bytes(new)
+    length = len(old)
+    # First differing index: largest prefix length with equal slices.
+    lo_lo, lo_hi = 0, length
+    while lo_lo < lo_hi:
+        mid = (lo_lo + lo_hi + 1) // 2
+        if old[:mid] == new[:mid]:
+            lo_lo = mid
+        else:
+            lo_hi = mid - 1
+    lo = lo_lo
+    # Last differing index: largest suffix length with equal slices.
+    hi_lo, hi_hi = 0, length - lo
+    while hi_lo < hi_hi:
+        mid = (hi_lo + hi_hi + 1) // 2
+        if old[length - mid:] == new[length - mid:]:
+            hi_lo = mid
+        else:
+            hi_hi = mid - 1
+    hi = length - hi_lo
+    return lo, hi
+
+
+def undo_transaction(pool: BufferPool, wal: WriteAheadLog, txn: int,
+                     from_lsn: int) -> int:
+    """Undo *txn* starting at *from_lsn*, writing CLRs. Returns the last LSN.
+
+    Shared by runtime abort and crash recovery. Walks the transaction's
+    backward chain; UPDATE records are compensated by applying their before
+    image; CLRs are never undone — their ``undo_next`` pointer skips the
+    already-compensated update.
+    """
+    lsn = from_lsn
+    last = from_lsn
+    while lsn != NULL_LSN:
+        record = wal.read_record(lsn)
+        rtype = record["type"]
+        if rtype == LogRecordType.UPDATE:
+            page_no = record["page_no"]
+            offset = record["offset"]
+            before = record["before"]
+            page = pool.pin(page_no)
+            page.buf[offset:offset + len(before)] = before
+            clr_lsn = wal.log_clr(txn, last, page_no, offset, before,
+                                  undo_next=record["prev_lsn"])
+            page.page_lsn = clr_lsn
+            pool.unpin(page_no, dirty=True)
+            last = clr_lsn
+            lsn = record["prev_lsn"]
+        elif rtype == LogRecordType.CLR:
+            lsn = record["undo_next"]
+        elif rtype == LogRecordType.BEGIN:
+            break
+        else:  # ABORT marker mid-chain: keep walking
+            lsn = record["prev_lsn"]
+    return last

@@ -1,0 +1,162 @@
+"""Lock manager — strict two-phase locking with deadlock detection.
+
+The paper defers concurrency ("any O++ program that interacts with the
+database will be considered to be a single transaction"), but the substrate
+still provides a real lock manager so the transaction layer can interleave
+transactions (and so trigger-action transactions, which the paper requires
+to be *independent* transactions, are properly isolated).
+
+Granularity is logical: a lock name is any hashable (the object layer locks
+object ids and cluster names). Modes are shared (S) and exclusive (X) with
+upgrade support. Deadlocks are detected eagerly by cycle search in the
+waits-for graph; the requesting transaction is the victim and receives
+:class:`DeadlockError`.
+
+The manager is synchronous: a request that cannot be granted and would not
+deadlock raises :class:`LockTimeoutError` if waiting is disabled, or blocks
+the calling thread on a condition variable otherwise. Single-threaded use
+(the common case here) never blocks: conflicts only arise between distinct
+transactions run from distinct threads.
+"""
+
+from __future__ import annotations
+
+import threading
+from collections import defaultdict
+from typing import Dict, Hashable, List, Optional, Set, Tuple
+
+from ..errors import DeadlockError, LockError, LockTimeoutError
+
+SHARED = "S"
+EXCLUSIVE = "X"
+
+
+class _LockState:
+    __slots__ = ("holders", "mode", "waiters")
+
+    def __init__(self):
+        self.holders: Set[int] = set()
+        self.mode: Optional[str] = None
+        self.waiters: List[Tuple[int, str]] = []
+
+
+class LockManager:
+    """S/X lock table keyed by arbitrary hashable resource names."""
+
+    def __init__(self, wait_timeout: float = 5.0):
+        self._lock = threading.Lock()
+        self._cond = threading.Condition(self._lock)
+        self._table: Dict[Hashable, _LockState] = defaultdict(_LockState)
+        #: txn -> set of resources it holds
+        self._held: Dict[int, Set[Hashable]] = defaultdict(set)
+        #: txn -> resource it is currently waiting for
+        self._waiting_for: Dict[int, Hashable] = {}
+        self.wait_timeout = wait_timeout
+        # statistics
+        self.grants = 0
+        self.waits = 0
+        self.deadlocks = 0
+
+    # -- public API ------------------------------------------------------------
+
+    def acquire(self, txn: int, resource: Hashable, mode: str) -> None:
+        """Acquire *resource* in *mode* for *txn*; blocks, upgrades, detects
+        deadlock (raising :class:`DeadlockError` with *txn* as victim)."""
+        if mode not in (SHARED, EXCLUSIVE):
+            raise LockError("unknown lock mode %r" % mode)
+        with self._cond:
+            deadline = None
+            while True:
+                if self._compatible(txn, resource, mode):
+                    self._grant(txn, resource, mode)
+                    return
+                self._check_deadlock(txn, resource)
+                self._waiting_for[txn] = resource
+                self.waits += 1
+                if deadline is None:
+                    deadline = self.wait_timeout
+                if not self._cond.wait(timeout=deadline):
+                    del self._waiting_for[txn]
+                    raise LockTimeoutError(
+                        "txn %d timed out waiting for %r" % (txn, resource))
+                self._waiting_for.pop(txn, None)
+
+    def release_all(self, txn: int) -> None:
+        """Release every lock held by *txn* (end of strict 2PL)."""
+        with self._cond:
+            for resource in self._held.pop(txn, set()):
+                state = self._table.get(resource)
+                if state is None:
+                    continue
+                state.holders.discard(txn)
+                if not state.holders:
+                    state.mode = None
+                    del self._table[resource]
+            self._waiting_for.pop(txn, None)
+            self._cond.notify_all()
+
+    def holds(self, txn: int, resource: Hashable,
+              mode: Optional[str] = None) -> bool:
+        """Whether *txn* holds *resource* (at least as strong as *mode*)."""
+        with self._lock:
+            state = self._table.get(resource)
+            if state is None or txn not in state.holders:
+                return False
+            if mode == EXCLUSIVE:
+                return state.mode == EXCLUSIVE
+            return True
+
+    # -- internals ------------------------------------------------------------
+
+    def _compatible(self, txn: int, resource: Hashable, mode: str) -> bool:
+        state = self._table.get(resource)
+        if state is None or not state.holders:
+            return True
+        if txn in state.holders:
+            if mode == SHARED or state.mode == EXCLUSIVE:
+                return True  # already strong enough
+            # Upgrade S -> X: allowed only as the sole holder.
+            return state.holders == {txn}
+        if mode == SHARED and state.mode == SHARED:
+            return True
+        return False
+
+    def _grant(self, txn: int, resource: Hashable, mode: str) -> None:
+        state = self._table[resource]
+        state.holders.add(txn)
+        if state.mode != EXCLUSIVE:
+            state.mode = mode if mode == EXCLUSIVE else (state.mode or SHARED)
+        self._held[txn].add(resource)
+        self.grants += 1
+
+    def _check_deadlock(self, txn: int, resource: Hashable) -> None:
+        """Raise DeadlockError if txn waiting on resource closes a cycle."""
+        state = self._table.get(resource)
+        if state is None:
+            return
+        # Follow holder -> waiting_for -> holder... ; if any transaction
+        # reachable from the holders of *resource* is (transitively)
+        # waiting on something held by *txn*, granting the wait would
+        # close a cycle.
+        visited: Set[int] = set()
+        frontier = set(state.holders) - {txn}
+        while frontier:
+            current = frontier.pop()
+            if current in visited:
+                continue
+            visited.add(current)
+            waited = self._waiting_for.get(current)
+            if waited is None:
+                continue
+            next_state = self._table.get(waited)
+            if next_state is None:
+                continue
+            if txn in next_state.holders:
+                self.deadlocks += 1
+                raise DeadlockError(
+                    "txn %d would deadlock waiting for %r" % (txn, resource))
+            frontier |= next_state.holders - visited
+
+    def stats(self) -> Dict[str, int]:
+        return {"grants": self.grants, "waits": self.waits,
+                "deadlocks": self.deadlocks}

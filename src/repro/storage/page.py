@@ -1,0 +1,305 @@
+"""Slotted pages — the unit of disk I/O and buffering.
+
+Every page is ``PAGE_SIZE`` bytes. A page starts with a fixed header and
+manages its payload with the classic *slotted page* layout: a slot directory
+grows downward from the header while record payloads grow upward from the
+end of the page. Deleting a record leaves a tombstone slot (so record ids
+stay stable) and its space is reclaimed by :meth:`SlottedPage.compact`,
+which is run automatically when an insert would otherwise fail.
+
+Page header layout (little endian)::
+
+    offset  size  field
+    0       4     page_no        (redundancy check against file position)
+    4       1     page_type      (PageType)
+    8       8     page_lsn       (LSN of last WAL record applied, for ARIES)
+    16      2     slot_count
+    18      2     free_start     (first byte after the slot directory)
+    20      2     free_end       (first byte used by record payloads)
+    22      2     fragmented     (reclaimable bytes inside the payload area)
+    24      8     next_page      (intrusive singly-linked page chains)
+
+Slot directory entries are 4 bytes each: ``offset:u16, length:u16``. A slot
+with ``offset == 0`` is a tombstone (payloads can never start at offset 0
+because the header occupies it).
+"""
+
+from __future__ import annotations
+
+import struct
+from typing import Iterator, List, Optional, Tuple
+
+from ..errors import PageError, PageFullError
+
+PAGE_SIZE = 4096
+
+HEADER_SIZE = 32
+_HDR = struct.Struct("<IBxxxQHHHHQ")
+_SLOT = struct.Struct("<HH")
+SLOT_SIZE = _SLOT.size
+
+#: Maximum payload a single slot can hold on an empty page.
+MAX_RECORD_SIZE = PAGE_SIZE - HEADER_SIZE - SLOT_SIZE
+
+NO_PAGE = 0  # "null" page number; page 0 is always the file header page.
+
+
+class PageType:
+    """On-disk page type tags."""
+
+    FREE = 0
+    FILE_HEADER = 1
+    HEAP = 2
+    BTREE_INTERNAL = 3
+    BTREE_LEAF = 4
+    HASH_BUCKET = 5
+    HASH_DIRECTORY = 6
+    CATALOG = 7
+    OVERFLOW = 8
+
+
+class SlottedPage:
+    """A mutable slotted page over a ``bytearray`` buffer.
+
+    The page object does not own its buffer; the buffer pool hands out
+    ``SlottedPage`` views over frames it manages. All mutating operations
+    update the header in place.
+    """
+
+    __slots__ = ("buf",)
+
+    def __init__(self, buf: bytearray):
+        if len(buf) != PAGE_SIZE:
+            raise PageError("page buffer must be %d bytes, got %d"
+                            % (PAGE_SIZE, len(buf)))
+        self.buf = buf
+
+    # -- header accessors ---------------------------------------------------
+
+    def _read_header(self):
+        return _HDR.unpack_from(self.buf, 0)
+
+    def _write_header(self, page_no, page_type, lsn, slot_count,
+                      free_start, free_end, fragmented, next_page):
+        _HDR.pack_into(self.buf, 0, page_no, page_type, lsn, slot_count,
+                       free_start, free_end, fragmented, next_page)
+
+    @property
+    def page_no(self) -> int:
+        return self._read_header()[0]
+
+    @property
+    def page_type(self) -> int:
+        return self._read_header()[1]
+
+    @page_type.setter
+    def page_type(self, value: int) -> None:
+        hdr = list(self._read_header())
+        hdr[1] = value
+        self._write_header(*hdr)
+
+    @property
+    def page_lsn(self) -> int:
+        return self._read_header()[2]
+
+    @page_lsn.setter
+    def page_lsn(self, value: int) -> None:
+        hdr = list(self._read_header())
+        hdr[2] = value
+        self._write_header(*hdr)
+
+    @property
+    def slot_count(self) -> int:
+        return self._read_header()[3]
+
+    @property
+    def next_page(self) -> int:
+        return self._read_header()[7]
+
+    @next_page.setter
+    def next_page(self, value: int) -> None:
+        hdr = list(self._read_header())
+        hdr[7] = value
+        self._write_header(*hdr)
+
+    # -- lifecycle ----------------------------------------------------------
+
+    @classmethod
+    def format(cls, buf: bytearray, page_no: int, page_type: int) -> "SlottedPage":
+        """Initialise *buf* as an empty page of *page_type*."""
+        buf[:] = b"\x00" * PAGE_SIZE
+        page = cls(buf)
+        page._write_header(page_no, page_type, 0, 0,
+                           HEADER_SIZE, PAGE_SIZE, 0, NO_PAGE)
+        return page
+
+    # -- space accounting ---------------------------------------------------
+
+    @property
+    def contiguous_free(self) -> int:
+        """Bytes free between the slot directory and the payload area."""
+        _, _, _, _, free_start, free_end, _, _ = self._read_header()
+        return free_end - free_start
+
+    @property
+    def total_free(self) -> int:
+        """Contiguous free space plus fragmented (reclaimable) space."""
+        return self.contiguous_free + self._read_header()[6]
+
+    def room_for(self, length: int) -> bool:
+        """Whether a record of *length* bytes fits (possibly after compaction).
+
+        A tombstone slot may be reusable, in which case no new slot entry is
+        needed; we conservatively require space for a fresh slot.
+        """
+        return self.total_free >= length + SLOT_SIZE
+
+    # -- record operations ----------------------------------------------------
+
+    def insert(self, payload: bytes) -> int:
+        """Insert *payload*, returning its slot number.
+
+        Reuses the lowest tombstone slot if one exists; compacts the page
+        first when fragmentation is blocking the insert. Raises
+        :class:`PageFullError` when the record genuinely does not fit.
+        """
+        length = len(payload)
+        if length > MAX_RECORD_SIZE:
+            raise PageError("record of %d bytes exceeds max %d"
+                            % (length, MAX_RECORD_SIZE))
+        slot = self._find_tombstone()
+        need = length if slot is not None else length + SLOT_SIZE
+        if self.total_free < need:
+            raise PageFullError("page %d: %d bytes needed, %d free"
+                                % (self.page_no, need, self.total_free))
+        if self.contiguous_free < need:
+            self.compact()
+        (page_no, page_type, lsn, slot_count,
+         free_start, free_end, fragmented, next_page) = self._read_header()
+        if slot is None:
+            slot = slot_count
+            slot_count += 1
+            free_start += SLOT_SIZE
+        offset = free_end - length
+        self.buf[offset:offset + length] = payload
+        _SLOT.pack_into(self.buf, HEADER_SIZE + slot * SLOT_SIZE, offset, length)
+        self._write_header(page_no, page_type, lsn, slot_count,
+                           free_start, offset, fragmented, next_page)
+        return slot
+
+    def read(self, slot: int) -> bytes:
+        """Return the payload stored in *slot*.
+
+        Raises :class:`PageError` for out-of-range or deleted slots.
+        """
+        offset, length = self._slot_entry(slot)
+        if offset == 0:
+            raise PageError("page %d slot %d is deleted" % (self.page_no, slot))
+        return bytes(self.buf[offset:offset + length])
+
+    def delete(self, slot: int) -> None:
+        """Tombstone *slot*, making its space reclaimable."""
+        offset, length = self._slot_entry(slot)
+        if offset == 0:
+            raise PageError("page %d slot %d already deleted"
+                            % (self.page_no, slot))
+        _SLOT.pack_into(self.buf, HEADER_SIZE + slot * SLOT_SIZE, 0, 0)
+        hdr = list(self._read_header())
+        hdr[6] += length  # fragmented
+        self._write_header(*hdr)
+
+    def update(self, slot: int, payload: bytes) -> None:
+        """Replace the payload in *slot*.
+
+        Updates in place when the new payload is no longer than the old one;
+        otherwise deletes and reinserts into the same slot (compacting if
+        required). Raises :class:`PageFullError` if the larger payload does
+        not fit on this page — the caller (heap file) then relocates the
+        record with a forwarding stub.
+        """
+        offset, old_length = self._slot_entry(slot)
+        if offset == 0:
+            raise PageError("page %d slot %d is deleted" % (self.page_no, slot))
+        new_length = len(payload)
+        if new_length <= old_length:
+            self.buf[offset:offset + new_length] = payload
+            _SLOT.pack_into(self.buf, HEADER_SIZE + slot * SLOT_SIZE,
+                            offset, new_length)
+            if new_length < old_length:
+                hdr = list(self._read_header())
+                hdr[6] += old_length - new_length
+                self._write_header(*hdr)
+            return
+        grow = new_length - old_length
+        if self.total_free < grow:
+            raise PageFullError(
+                "page %d: update needs %d more bytes, %d free"
+                % (self.page_no, grow, self.total_free))
+        # Tombstone the old copy, then place the new payload.
+        _SLOT.pack_into(self.buf, HEADER_SIZE + slot * SLOT_SIZE, 0, 0)
+        hdr = list(self._read_header())
+        hdr[6] += old_length
+        self._write_header(*hdr)
+        if self.contiguous_free < new_length:
+            self.compact()
+        (page_no, page_type, lsn, slot_count,
+         free_start, free_end, fragmented, next_page) = self._read_header()
+        new_offset = free_end - new_length
+        self.buf[new_offset:new_offset + new_length] = payload
+        _SLOT.pack_into(self.buf, HEADER_SIZE + slot * SLOT_SIZE,
+                        new_offset, new_length)
+        self._write_header(page_no, page_type, lsn, slot_count,
+                           free_start, new_offset, fragmented, next_page)
+
+    def slots(self) -> Iterator[Tuple[int, bytes]]:
+        """Yield ``(slot, payload)`` for every live slot, in slot order."""
+        for slot in range(self.slot_count):
+            offset, length = self._slot_entry(slot)
+            if offset != 0:
+                yield slot, bytes(self.buf[offset:offset + length])
+
+    def live_count(self) -> int:
+        """Number of non-tombstone slots."""
+        return sum(1 for _ in self.slots())
+
+    def compact(self) -> None:
+        """Slide live payloads to the end of the page, erasing fragmentation.
+
+        Slot numbers are preserved (record ids remain valid).
+        """
+        (page_no, page_type, lsn, slot_count,
+         free_start, _free_end, _fragmented, next_page) = self._read_header()
+        records: List[Tuple[int, bytes]] = []
+        for slot in range(slot_count):
+            offset, length = self._slot_entry(slot)
+            if offset != 0:
+                records.append((slot, bytes(self.buf[offset:offset + length])))
+        write_end = PAGE_SIZE
+        # Rewrite highest-offset first is unnecessary since we buffered copies.
+        for slot, payload in records:
+            write_end -= len(payload)
+            self.buf[write_end:write_end + len(payload)] = payload
+            _SLOT.pack_into(self.buf, HEADER_SIZE + slot * SLOT_SIZE,
+                            write_end, len(payload))
+        self._write_header(page_no, page_type, lsn, slot_count,
+                           free_start, write_end, 0, next_page)
+
+    # -- internals ------------------------------------------------------------
+
+    def _slot_entry(self, slot: int) -> Tuple[int, int]:
+        if not 0 <= slot < self.slot_count:
+            raise PageError("page %d has no slot %d (count %d)"
+                            % (self.page_no, slot, self.slot_count))
+        return _SLOT.unpack_from(self.buf, HEADER_SIZE + slot * SLOT_SIZE)
+
+    def _find_tombstone(self) -> Optional[int]:
+        for slot in range(self.slot_count):
+            offset, _ = _SLOT.unpack_from(self.buf, HEADER_SIZE + slot * SLOT_SIZE)
+            if offset == 0:
+                return slot
+        return None
+
+    def __repr__(self) -> str:
+        return ("SlottedPage(no=%d, type=%d, slots=%d, free=%d)"
+                % (self.page_no, self.page_type, self.slot_count,
+                   self.total_free))

@@ -1,0 +1,184 @@
+"""Page file — a flat file of fixed-size pages with a free list.
+
+The page file is the lowest layer of the storage engine: it knows how to
+read and write whole pages at page-aligned offsets, how to grow the file,
+and how to recycle freed pages. It knows nothing about page contents beyond
+the shared header.
+
+Page 0 is the *file header page* and is never handed out. It stores::
+
+    magic           8 bytes   b"ODEREPRO"
+    format_version  u32
+    page_count      u64       pages allocated (including page 0)
+    free_head       u64       head of the freed-page chain (NO_PAGE if empty)
+    bootstrap       dict      named root pointers (catalog roots etc.)
+
+The bootstrap dict maps names to integers and lets higher layers find their
+root pages after reopening the file; it is small and codec-encoded in the
+header page payload area.
+"""
+
+from __future__ import annotations
+
+import os
+import struct
+from typing import Dict, Optional
+
+from ..errors import PageError, StorageError
+from .codec import decode_value, encode_value
+from .page import NO_PAGE, PAGE_SIZE, PageType
+
+_MAGIC = b"ODEREPRO"
+_FORMAT_VERSION = 1
+_FILE_HDR = struct.Struct("<8sIxxxxQQ")
+
+
+class PageFile:
+    """Fixed-size-page file with allocation, free list, and named roots."""
+
+    def __init__(self, path: str, create: Optional[bool] = None):
+        """Open (or create) the page file at *path*.
+
+        ``create=None`` (default) creates the file if it does not exist.
+        ``create=True`` requires creating a fresh file; ``create=False``
+        requires an existing one.
+        """
+        self.path = path
+        exists = os.path.exists(path) and os.path.getsize(path) > 0
+        if create is True and exists:
+            raise StorageError("page file already exists: %s" % path)
+        if create is False and not exists:
+            raise StorageError("page file does not exist: %s" % path)
+        mode = "r+b" if exists else "w+b"
+        self._file = open(path, mode)
+        self._closed = False
+        if exists:
+            self._load_header()
+        else:
+            self._page_count = 1
+            self._free_head = NO_PAGE
+            self._bootstrap: Dict[str, int] = {}
+            self._write_header()
+            self.sync()
+
+    # -- header ---------------------------------------------------------------
+
+    def _load_header(self) -> None:
+        self._file.seek(0)
+        raw = self._file.read(PAGE_SIZE)
+        if len(raw) < PAGE_SIZE:
+            raise StorageError("page file %s: truncated header page" % self.path)
+        magic, version, page_count, free_head = _FILE_HDR.unpack_from(raw, 0)
+        if magic != _MAGIC:
+            raise StorageError("page file %s: bad magic %r" % (self.path, magic))
+        if version != _FORMAT_VERSION:
+            raise StorageError("page file %s: unsupported format version %d"
+                               % (self.path, version))
+        self._page_count = page_count
+        self._free_head = free_head
+        payload_len = struct.unpack_from("<I", raw, _FILE_HDR.size)[0]
+        start = _FILE_HDR.size + 4
+        self._bootstrap = decode_value(raw[start:start + payload_len])
+
+    def _write_header(self) -> None:
+        buf = bytearray(PAGE_SIZE)
+        _FILE_HDR.pack_into(buf, 0, _MAGIC, _FORMAT_VERSION,
+                            self._page_count, self._free_head)
+        payload = encode_value(self._bootstrap)
+        if _FILE_HDR.size + 4 + len(payload) > PAGE_SIZE:
+            raise StorageError("bootstrap dict too large for header page")
+        struct.pack_into("<I", buf, _FILE_HDR.size, len(payload))
+        buf[_FILE_HDR.size + 4:_FILE_HDR.size + 4 + len(payload)] = payload
+        self._file.seek(0)
+        self._file.write(buf)
+
+    # -- named root pointers ----------------------------------------------------
+
+    def get_root(self, name: str, default: int = NO_PAGE) -> int:
+        """Look up a named root pointer recorded in the file header."""
+        return self._bootstrap.get(name, default)
+
+    def set_root(self, name: str, page_no: int) -> None:
+        """Record a named root pointer; flushed with the header."""
+        self._bootstrap[name] = page_no
+        self._write_header()
+
+    # -- page I/O -----------------------------------------------------------------
+
+    @property
+    def page_count(self) -> int:
+        return self._page_count
+
+    def read_page(self, page_no: int, buf: bytearray) -> None:
+        """Read page *page_no* into *buf* (must be PAGE_SIZE bytes)."""
+        self._check_page_no(page_no)
+        self._file.seek(page_no * PAGE_SIZE)
+        raw = self._file.read(PAGE_SIZE)
+        if len(raw) != PAGE_SIZE:
+            raise StorageError("short read of page %d in %s" % (page_no, self.path))
+        buf[:] = raw
+
+    def write_page(self, page_no: int, buf: bytes) -> None:
+        """Write *buf* (PAGE_SIZE bytes) to page *page_no*."""
+        self._check_page_no(page_no)
+        if len(buf) != PAGE_SIZE:
+            raise PageError("page buffer must be %d bytes" % PAGE_SIZE)
+        self._file.seek(page_no * PAGE_SIZE)
+        self._file.write(buf)
+
+    def allocate_page(self) -> int:
+        """Return a fresh page number, recycling freed pages first.
+
+        The returned page's on-disk contents are unspecified; callers must
+        format it before use.
+        """
+        if self._free_head != NO_PAGE:
+            page_no = self._free_head
+            buf = bytearray(PAGE_SIZE)
+            self.read_page(page_no, buf)
+            # next pointer of a freed page lives in the shared page header.
+            self._free_head = struct.unpack_from("<Q", buf, 24)[0]
+            self._write_header()
+            return page_no
+        page_no = self._page_count
+        self._page_count += 1
+        self._file.seek(page_no * PAGE_SIZE)
+        self._file.write(b"\x00" * PAGE_SIZE)
+        self._write_header()
+        return page_no
+
+    def free_page(self, page_no: int) -> None:
+        """Return *page_no* to the free list."""
+        self._check_page_no(page_no)
+        buf = bytearray(PAGE_SIZE)
+        struct.pack_into("<I", buf, 0, page_no)
+        buf[4] = PageType.FREE
+        struct.pack_into("<Q", buf, 24, self._free_head)
+        self.write_page(page_no, buf)
+        self._free_head = page_no
+        self._write_header()
+
+    def sync(self) -> None:
+        """Flush OS buffers to stable storage (fsync)."""
+        self._file.flush()
+        os.fsync(self._file.fileno())
+
+    def close(self) -> None:
+        if not self._closed:
+            self._write_header()
+            self._file.flush()
+            self._file.close()
+            self._closed = True
+
+    def __enter__(self) -> "PageFile":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+    def _check_page_no(self, page_no: int) -> None:
+        if self._closed:
+            raise StorageError("page file %s is closed" % self.path)
+        if not 1 <= page_no < self._page_count:
+            raise PageError("page %d out of range [1, %d) in %s"
+                            % (page_no, self._page_count, self.path))

@@ -1,0 +1,438 @@
+"""Store — the storage engine facade used by the object layer.
+
+A :class:`Store` bundles the page file, buffer pool, WAL, journal, lock
+manager and catalog behind an API of *clusters* holding *objects*:
+
+* A cluster is a named extent with its own heap file and an
+  object-directory hash index mapping object keys to heap RIDs.
+* An object is an opaque codec-encodable dict addressed by a caller-chosen
+  tuple key (the object layer uses ``(serial, version)``).
+* Secondary indexes (B+tree or hash) may be created per cluster; the
+  *caller* maintains their entries (the store does not know which fields
+  of the payload are indexed).
+
+Opening a store whose WAL is non-empty runs crash recovery first, so a
+process killed mid-transaction leaves exactly the committed state.
+"""
+
+from __future__ import annotations
+
+import os
+from typing import Any, Dict, Iterator, List, Optional, Tuple
+
+from ..errors import CatalogError, StorageError
+from .btree import BTree
+from .codec import decode_value, encode_value
+from .buffer import DEFAULT_POOL_SIZE, BufferPool
+from .catalog import Catalog, ClusterInfo, IndexInfo
+from .hashindex import HashIndex
+from .heap import RID, HeapFile
+from .journal import Journal
+from .locks import LockManager
+from .pagefile import PageFile
+from .recovery import RecoveryReport, recover
+from .wal import WriteAheadLog
+
+
+class Store:
+    """Single-file object store with WAL durability and 2PL locking."""
+
+    def __init__(self, path: str, pool_size: int = DEFAULT_POOL_SIZE):
+        """Open (or create) the store rooted at *path*.
+
+        Two files are used: ``<path>`` for pages and ``<path>.wal`` for the
+        log. If the log holds records from a previous crash, recovery runs
+        before the store becomes usable; the report is kept at
+        :attr:`last_recovery`.
+        """
+        self.path = path
+        self._pagefile = PageFile(path)
+        self._pool = BufferPool(self._pagefile, capacity=pool_size)
+        self._wal = WriteAheadLog(path + ".wal")
+        self.last_recovery: Optional[RecoveryReport] = None
+        if self._wal.end_lsn > 0:
+            self.last_recovery = recover(self._pool, self._wal)
+        self._journal = Journal(self._pool, self._wal)
+        self.locks = LockManager()
+        self.catalog = Catalog(self._journal, self._pagefile,
+                               self._journal.begin)
+        self._heaps: Dict[str, HeapFile] = {}
+        self._directories: Dict[str, HashIndex] = {}
+        self._indexes: Dict[Tuple[str, str], Any] = {}
+        #: cluster -> [next unissued serial, end of reserved block)
+        self._serial_blocks: Dict[str, list] = {}
+        self._closed = False
+
+    # -- transactions ------------------------------------------------------------
+
+    def begin(self) -> int:
+        """Start a transaction; returns its id."""
+        return self._journal.begin()
+
+    def commit(self, txn: int) -> None:
+        """Durably commit *txn* and release its locks."""
+        self._journal.commit(txn)
+        self.locks.release_all(txn)
+
+    def abort(self, txn: int) -> None:
+        """Roll back *txn* (undoing all its page effects), release locks.
+
+        The in-memory catalog is re-read from disk because the aborted
+        transaction may have created clusters or indexes.
+        """
+        self._journal.abort(txn)
+        self.locks.release_all(txn)
+        self.catalog.invalidate()
+        self._heaps.clear()
+        self._directories.clear()
+        self._indexes.clear()
+        # The aborted transaction may have reserved a serial block whose
+        # catalog update was rolled back; drop all in-memory blocks.
+        self._serial_blocks.clear()
+
+    def checkpoint(self) -> None:
+        """Flush dirty pages; truncate the WAL if quiescent."""
+        self._journal.checkpoint()
+        self._pagefile.sync()
+
+    @property
+    def active_transactions(self) -> List[int]:
+        return list(self._journal.active)
+
+    # -- clusters -----------------------------------------------------------------
+
+    def create_cluster(self, txn: int, name: str,
+                       parents: Optional[List[str]] = None) -> ClusterInfo:
+        """Create the extent for *name* (the paper's ``create`` macro)."""
+        parents = parents or []
+        for parent in parents:
+            if not self.catalog.has_cluster(parent):
+                raise CatalogError(
+                    "parent cluster %r of %r does not exist" % (parent, name))
+        heap = HeapFile.create(self._journal, txn)
+        directory = HashIndex.create(self._journal, txn, unique=True)
+        info = self.catalog.add_cluster(txn, name, parents,
+                                        heap.first_page,
+                                        directory.directory_page)
+        self._heaps[name] = heap
+        self._directories[name] = directory
+        return info
+
+    def has_cluster(self, name: str) -> bool:
+        return self.catalog.has_cluster(name)
+
+    def cluster_info(self, name: str) -> ClusterInfo:
+        info = self.catalog.get_cluster(name)
+        if info is None:
+            raise CatalogError("no cluster named %r" % name)
+        return info
+
+    def _heap(self, name: str) -> HeapFile:
+        heap = self._heaps.get(name)
+        if heap is None:
+            info = self.cluster_info(name)
+            heap = HeapFile(self._journal, info.heap_page)
+            self._heaps[name] = heap
+        return heap
+
+    def _directory(self, name: str) -> HashIndex:
+        directory = self._directories.get(name)
+        if directory is None:
+            info = self.cluster_info(name)
+            directory = HashIndex(self._journal, info.directory_page,
+                                  unique=True)
+            self._directories[name] = directory
+        return directory
+
+    #: Serials are reserved from the catalog in blocks of this size, so a
+    #: catalog write is paid once per block instead of once per pnew. A
+    #: crash or abort wastes the block's unissued serials — ids stay
+    #: unique, they are just not dense (the standard sequence trade-off).
+    SERIAL_BLOCK = 64
+
+    def allocate_serial(self, txn: int, cluster: str) -> int:
+        """Hand out the next object serial number for *cluster*."""
+        block = self._serial_blocks.get(cluster)
+        if block is None or block[0] >= block[1]:
+            info = self.cluster_info(cluster)
+            start = info.next_serial
+            info.next_serial += self.SERIAL_BLOCK
+            self.catalog.save_cluster(txn, info)
+            block = [start, info.next_serial]
+            self._serial_blocks[cluster] = block
+        serial = block[0]
+        block[0] += 1
+        return serial
+
+    # -- objects --------------------------------------------------------------------
+
+    def put(self, txn: int, cluster: str, key: Tuple, data: Dict) -> None:
+        """Insert or overwrite the object at *key* in *cluster*."""
+        heap = self._heap(cluster)
+        directory = self._directory(cluster)
+        payload = encode_value(data)
+        existing = directory.search(key)
+        if existing:
+            heap.update(txn, RID(*existing[0]), payload)
+        else:
+            rid = heap.insert(txn, payload)
+            directory.insert(txn, key, tuple(rid))
+
+    def get(self, cluster: str, key: Tuple) -> Optional[Dict]:
+        """Fetch the object at *key*, or None."""
+        hit = self._directory(cluster).search(key)
+        if not hit:
+            return None
+        return decode_value(self._heap(cluster).read(RID(*hit[0])))
+
+    def exists(self, cluster: str, key: Tuple) -> bool:
+        return bool(self._directory(cluster).search(key))
+
+    def delete(self, txn: int, cluster: str, key: Tuple) -> bool:
+        """Delete the object at *key*; returns whether it existed."""
+        directory = self._directory(cluster)
+        hit = directory.search(key)
+        if not hit:
+            return False
+        self._heap(cluster).delete(txn, RID(*hit[0]))
+        directory.delete(txn, key)
+        return True
+
+    def scan(self, cluster: str) -> Iterator[Tuple[RID, Dict]]:
+        """Yield ``(rid, data)`` for every object in *cluster*.
+
+        The object layer embeds its own key in the payload, so the RID is
+        informational. Objects inserted behind the scan cursor during the
+        iteration are visited — the property the paper's fixpoint queries
+        require (section 3.2).
+        """
+        for rid, raw in self._heap(cluster).scan():
+            yield rid, decode_value(raw)
+
+    def count(self, cluster: str) -> int:
+        return self._heap(cluster).count()
+
+    # -- secondary indexes ------------------------------------------------------------
+
+    def create_index(self, txn: int, cluster: str, field,
+                     kind: str = "btree", unique: bool = False) -> IndexInfo:
+        """Create a secondary index on *cluster*.
+
+        *field* is a field name, or a tuple/list of field names for a
+        composite index (keyed on the value tuple, registered under the
+        comma-joined name).
+        """
+        if isinstance(field, (tuple, list)):
+            fields = list(field)
+            name = ",".join(fields)
+        else:
+            fields = [field]
+            name = field
+        info = self.cluster_info(cluster)
+        if name in info.indexes:
+            raise CatalogError("cluster %r already has an index on %r"
+                               % (cluster, name))
+        if kind == "btree":
+            index = BTree.create(self._journal, txn, unique=unique)
+            root = index.root_page
+        elif kind == "hash":
+            index = HashIndex.create(self._journal, txn, unique=unique)
+            root = index.directory_page
+        else:
+            raise CatalogError("unknown index kind %r" % kind)
+        ix_info = IndexInfo(name, kind, root, unique, fields)
+        info.indexes[name] = ix_info
+        self.catalog.save_cluster(txn, info)
+        self._indexes[(cluster, name)] = index
+        return ix_info
+
+    def index(self, cluster: str, field: str):
+        """The :class:`BTree` or :class:`HashIndex` registered on *field*."""
+        cached = self._indexes.get((cluster, field))
+        if cached is not None:
+            return cached
+        info = self.cluster_info(cluster)
+        ix_info = info.indexes.get(field)
+        if ix_info is None:
+            raise CatalogError("cluster %r has no index on %r"
+                               % (cluster, field))
+        if ix_info.kind == "btree":
+            index = BTree(self._journal, ix_info.root_page, ix_info.unique)
+        else:
+            index = HashIndex(self._journal, ix_info.root_page,
+                              ix_info.unique)
+        self._indexes[(cluster, field)] = index
+        return index
+
+    def indexes_on(self, cluster: str) -> Dict[str, IndexInfo]:
+        return dict(self.cluster_info(cluster).indexes)
+
+    # -- maintenance ----------------------------------------------------------------
+
+    def vacuum(self, cluster: str) -> Dict[str, int]:
+        """Rewrite *cluster*'s heap and object directory compactly.
+
+        Deletes and relocations leave tombstones, forwarding stubs and
+        sparse pages behind; vacuuming copies every live object into a
+        fresh heap (and a fresh directory mapping keys to the new RIDs),
+        swaps them into the catalog, and schedules the old pages for the
+        free list at commit. Secondary indexes map keys to *serials*, not
+        RIDs, so they remain valid and are not rebuilt.
+
+        Runs as its own transaction; returns ``{"objects": n, "pages_freed"
+        : m}``.
+        """
+        info = self.cluster_info(cluster)
+        old_heap = self._heap(cluster)
+        old_directory = self._directory(cluster)
+        txn = self.begin()
+        try:
+            new_heap = HeapFile.create(self._journal, txn)
+            new_directory = HashIndex.create(self._journal, txn,
+                                             unique=True)
+            moved = 0
+            for key, rid_tuple in list(old_directory.items()):
+                payload = old_heap.read(RID(*rid_tuple))
+                new_rid = new_heap.insert(txn, payload)
+                new_directory.insert(txn, key, tuple(new_rid))
+                moved += 1
+            old_pages = (self._pages_of_heap(old_heap)
+                         + self._pages_of_hash(old_directory))
+            info.heap_page = new_heap.first_page
+            info.directory_page = new_directory.directory_page
+            self.catalog.save_cluster(txn, info)
+            for page_no in old_pages:
+                self._journal.free_page_deferred(txn, page_no)
+            self._heaps[cluster] = new_heap
+            self._directories[cluster] = new_directory
+        except BaseException:
+            self.abort(txn)
+            raise
+        self.commit(txn)
+        return {"objects": moved, "pages_freed": len(old_pages)}
+
+    def _pages_of_heap(self, heap: HeapFile) -> List[int]:
+        from .page import NO_PAGE
+        pages = []
+        page_no = heap.first_page
+        while page_no != NO_PAGE:
+            pages.append(page_no)
+            with self._pool.page(page_no) as page:
+                page_no = page.next_page
+        # Overflow chains hang off records; collect them via raw slots.
+        from . import heap as heap_mod
+        import struct
+        for home in list(pages):
+            with self._pool.page(home) as page:
+                records = list(page.slots())
+            for _slot, raw in records:
+                kind, body = heap_mod._unpack_record(raw)
+                if kind == heap_mod.KIND_OVERFLOW:
+                    first, _total = heap_mod._OVERFLOW.unpack(body)
+                    chain = first
+                    while chain != NO_PAGE:
+                        pages.append(chain)
+                        with self._pool.page(chain) as page:
+                            chain = page.next_page
+        return pages
+
+    def _pages_of_hash(self, index: HashIndex) -> List[int]:
+        from .page import NO_PAGE
+        pages = [index.directory_page]
+        _, pointers = index._read_directory()
+        for bucket in dict.fromkeys(pointers):
+            page_no = bucket
+            while page_no != NO_PAGE:
+                pages.append(page_no)
+                with self._pool.page(page_no) as page:
+                    page_no = page.next_page
+        return pages
+
+    def verify_integrity(self) -> List[str]:
+        """Cross-check every structure; returns a list of problems
+        (empty means the store is internally consistent).
+
+        Checks per cluster: the directory's RIDs resolve to readable heap
+        records; heap record count matches directory entry count; index
+        structural invariants hold; secondary-index entries reference
+        serials that exist in the directory.
+        """
+        problems: List[str] = []
+        for info in self.catalog.clusters():
+            cluster = info.name
+            directory = self._directory(cluster)
+            heap = self._heap(cluster)
+            try:
+                directory.check_invariants()
+            except Exception as exc:
+                problems.append("%s: directory invariant: %s"
+                                % (cluster, exc))
+            keys = set()
+            entries = 0
+            for key, rid_tuple in directory.items():
+                entries += 1
+                keys.add(key)
+                try:
+                    heap.read(RID(*rid_tuple))
+                except Exception as exc:
+                    problems.append("%s: key %r -> unreadable RID %r: %s"
+                                    % (cluster, key, rid_tuple, exc))
+            heap_count = heap.count()
+            if heap_count != entries:
+                problems.append(
+                    "%s: heap has %d records but directory has %d entries"
+                    % (cluster, heap_count, entries))
+            serials = {key[0] for key in keys}
+            for field, ix_info in info.indexes.items():
+                index = self.index(cluster, field)
+                try:
+                    index.check_invariants()
+                except Exception as exc:
+                    problems.append("%s.%s: index invariant: %s"
+                                    % (cluster, field, exc))
+                for _key, serial in index.items():
+                    if serial not in serials:
+                        problems.append(
+                            "%s.%s: index references missing serial %r"
+                            % (cluster, field, serial))
+        return problems
+
+    # -- lifecycle -----------------------------------------------------------------
+
+    def close(self) -> None:
+        """Checkpoint and close. Active transactions are aborted first."""
+        if self._closed:
+            return
+        for txn in list(self._journal.active):
+            self.abort(txn)
+        self.checkpoint()
+        self._pool.close()
+        self._wal.close()
+        self._pagefile.close()
+        self._closed = True
+
+    def crash(self) -> None:
+        """Simulate a crash: drop everything volatile without flushing.
+
+        For tests and the durability benchmarks. The store object becomes
+        unusable; reopen the path to run recovery.
+        """
+        self._wal.close()
+        self._pagefile.close()
+        self._closed = True
+
+    def __enter__(self) -> "Store":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+    def stats(self) -> Dict[str, Any]:
+        """Counters from the pool, WAL and lock manager."""
+        return {
+            "pool": self._pool.stats(),
+            "wal_appends": self._wal.appends,
+            "wal_syncs": self._wal.syncs,
+            "locks": self.locks.stats(),
+            "pages": self._pagefile.page_count,
+        }

@@ -1,0 +1,225 @@
+"""Write-ahead log.
+
+The engine uses physical byte-range logging in the ARIES style: every page
+mutation is captured as an UPDATE record holding the page number, the byte
+offset of the first changed byte, and the before/after images of the changed
+range. Undo writes compensation log records (CLRs) that are redo-only.
+
+Log file format: a 16-byte header (magic + a u64 *LSN base*) followed by a
+sequence of length-prefixed, CRC-protected records::
+
+    u32 payload_length | u32 crc32(payload) | payload
+
+where the payload is a codec-encoded dict. An LSN is the base plus the byte
+offset of the record within the log — strictly increasing and directly
+seekable. The base advances every time the log is truncated (at quiescent
+checkpoints), so LSNs are monotone for the lifetime of the database; this
+is essential for redo, which compares page LSNs against record LSNs and
+would otherwise skip committed work after a checkpoint reset the offsets.
+A torn tail (short read or CRC mismatch) terminates the scan silently,
+which is exactly the crash-atomicity the WAL needs.
+
+Record types and their fields (beyond ``type``, ``txn``, ``prev_lsn``):
+
+=========== ==============================================================
+BEGIN       --
+UPDATE      page_no, offset, before, after
+COMMIT      --
+ABORT       --
+END         -- (transaction fully undone / fully committed)
+CLR         page_no, offset, after, undo_next (LSN to continue undo from)
+CHECKPOINT  active (dict txn -> last_lsn at checkpoint time)
+=========== ==============================================================
+"""
+
+from __future__ import annotations
+
+import os
+import struct
+import zlib
+from typing import Dict, Iterator, Optional, Tuple
+
+from ..errors import WalError
+from .codec import decode_value, encode_value
+
+_REC_HDR = struct.Struct("<II")
+_FILE_HDR = struct.Struct("<8sQ")
+_WAL_MAGIC = b"ODEWAL01"
+
+NULL_LSN = -1
+
+
+class LogRecordType:
+    BEGIN = "begin"
+    UPDATE = "update"
+    COMMIT = "commit"
+    ABORT = "abort"
+    END = "end"
+    CLR = "clr"
+    CHECKPOINT = "checkpoint"
+
+
+class WriteAheadLog:
+    """Append-only log with CRC-framed records addressed by byte-offset LSN."""
+
+    def __init__(self, path: str):
+        self.path = path
+        exists = os.path.exists(path) and os.path.getsize(path) > 0
+        self._file = open(path, "r+b" if exists else "w+b")
+        if exists:
+            header = self._file.read(_FILE_HDR.size)
+            if len(header) < _FILE_HDR.size:
+                raise WalError("log %s: truncated header" % path)
+            magic, base = _FILE_HDR.unpack(header)
+            if magic != _WAL_MAGIC:
+                raise WalError("log %s: bad magic %r" % (path, magic))
+            self._base = base
+        else:
+            self._base = 0
+            self._write_header()
+        self._file.seek(0, os.SEEK_END)
+        self._end = self._base + self._file.tell() - _FILE_HDR.size
+        self._flushed = self._end if exists else self._base
+        self._closed = False
+        # statistics
+        self.appends = 0
+        self.syncs = 0
+
+    def _write_header(self) -> None:
+        self._file.seek(0)
+        self._file.write(_FILE_HDR.pack(_WAL_MAGIC, self._base))
+
+    @property
+    def base_lsn(self) -> int:
+        """LSN of the oldest record still in the log file."""
+        return self._base
+
+    # -- append side ------------------------------------------------------------
+
+    def append(self, record: Dict) -> int:
+        """Append *record* (a dict) and return its LSN. Does not fsync."""
+        if self._closed:
+            raise WalError("log %s is closed" % self.path)
+        payload = encode_value(record)
+        lsn = self._end
+        self._file.seek(self._end - self._base + _FILE_HDR.size)
+        self._file.write(_REC_HDR.pack(len(payload), zlib.crc32(payload)))
+        self._file.write(payload)
+        self._end += _REC_HDR.size + len(payload)
+        self.appends += 1
+        return lsn
+
+    def log_begin(self, txn: int) -> int:
+        return self.append({"type": LogRecordType.BEGIN, "txn": txn,
+                            "prev_lsn": NULL_LSN})
+
+    def log_update(self, txn: int, prev_lsn: int, page_no: int, offset: int,
+                   before: bytes, after: bytes) -> int:
+        return self.append({"type": LogRecordType.UPDATE, "txn": txn,
+                            "prev_lsn": prev_lsn, "page_no": page_no,
+                            "offset": offset, "before": before, "after": after})
+
+    def log_commit(self, txn: int, prev_lsn: int) -> int:
+        lsn = self.append({"type": LogRecordType.COMMIT, "txn": txn,
+                           "prev_lsn": prev_lsn})
+        self.flush()
+        return lsn
+
+    def log_abort(self, txn: int, prev_lsn: int) -> int:
+        return self.append({"type": LogRecordType.ABORT, "txn": txn,
+                            "prev_lsn": prev_lsn})
+
+    def log_end(self, txn: int, prev_lsn: int) -> int:
+        return self.append({"type": LogRecordType.END, "txn": txn,
+                            "prev_lsn": prev_lsn})
+
+    def log_clr(self, txn: int, prev_lsn: int, page_no: int, offset: int,
+                after: bytes, undo_next: int) -> int:
+        return self.append({"type": LogRecordType.CLR, "txn": txn,
+                            "prev_lsn": prev_lsn, "page_no": page_no,
+                            "offset": offset, "after": after,
+                            "undo_next": undo_next})
+
+    def log_checkpoint(self, active: Dict[int, int]) -> int:
+        lsn = self.append({"type": LogRecordType.CHECKPOINT,
+                           "txn": -1, "prev_lsn": NULL_LSN,
+                           "active": dict(active)})
+        self.flush()
+        return lsn
+
+    def flush(self, up_to_lsn: Optional[int] = None) -> None:
+        """fsync the log, at least up to *up_to_lsn* (whole tail by default).
+
+        The buffer pool calls this with a page's LSN before writing the page
+        (the WAL rule); the transaction manager calls it at commit.
+        """
+        if self._closed:
+            raise WalError("log %s is closed" % self.path)
+        if up_to_lsn is not None and up_to_lsn <= self._flushed:
+            return
+        self._file.flush()
+        os.fsync(self._file.fileno())
+        self._flushed = self._end
+        self.syncs += 1
+
+    # -- read side ------------------------------------------------------------
+
+    def read_record(self, lsn: int) -> Dict:
+        """Random-access read of the record at *lsn*."""
+        record = self._read_at(lsn)
+        if record is None:
+            raise WalError("no valid log record at LSN %d" % lsn)
+        return record[0]
+
+    def records(self, start_lsn: Optional[int] = None) -> Iterator[Tuple[int, Dict]]:
+        """Yield ``(lsn, record)`` from *start_lsn* (default: the oldest
+        retained record) until the valid tail ends."""
+        lsn = self._base if start_lsn is None else max(start_lsn, self._base)
+        while True:
+            result = self._read_at(lsn)
+            if result is None:
+                return
+            record, next_lsn = result
+            yield lsn, record
+            lsn = next_lsn
+
+    def _read_at(self, lsn: int) -> Optional[Tuple[Dict, int]]:
+        if lsn < self._base or lsn >= self._end:
+            return None
+        self._file.seek(lsn - self._base + _FILE_HDR.size)
+        header = self._file.read(_REC_HDR.size)
+        if len(header) < _REC_HDR.size:
+            return None
+        length, crc = _REC_HDR.unpack(header)
+        payload = self._file.read(length)
+        if len(payload) < length or zlib.crc32(payload) != crc:
+            return None  # torn tail
+        return decode_value(payload), lsn + _REC_HDR.size + length
+
+    # -- maintenance ------------------------------------------------------------
+
+    @property
+    def end_lsn(self) -> int:
+        return self._end
+
+    def truncate(self) -> None:
+        """Discard the retained records (only safe after all pages are
+        flushed). The LSN base advances so LSNs stay monotone forever."""
+        self._base = self._end
+        self._file.truncate(_FILE_HDR.size)
+        self._write_header()
+        self._file.flush()
+        os.fsync(self._file.fileno())
+        self._flushed = self._end
+
+    def close(self) -> None:
+        if not self._closed:
+            self._file.flush()
+            self._file.close()
+            self._closed = True
+
+    def __enter__(self) -> "WriteAheadLog":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()

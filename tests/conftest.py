@@ -1,0 +1,51 @@
+"""Shared fixtures: temporary storage stacks and databases."""
+
+import os
+
+import pytest
+
+from repro.core.database import Database
+from repro.storage.buffer import BufferPool
+from repro.storage.journal import Journal
+from repro.storage.pagefile import PageFile
+from repro.storage.store import Store
+from repro.storage.wal import WriteAheadLog
+
+
+@pytest.fixture
+def db_path(tmp_path):
+    """Path for a fresh database file."""
+    return str(tmp_path / "test.odb")
+
+
+@pytest.fixture
+def stack(tmp_path):
+    """A (pool, wal, journal) stack over fresh files."""
+    pagefile = PageFile(str(tmp_path / "pages"))
+    pool = BufferPool(pagefile, capacity=64)
+    wal = WriteAheadLog(str(tmp_path / "wal"))
+    journal = Journal(pool, wal)
+    yield pool, wal, journal
+    wal.close()
+    pagefile.close()
+
+
+@pytest.fixture
+def store(db_path):
+    """An open Store, closed afterwards."""
+    s = Store(db_path)
+    yield s
+    if not s._closed:
+        s.close()
+
+
+@pytest.fixture
+def db(db_path):
+    """An open Database, closed afterwards."""
+    d = Database(db_path)
+    yield d
+    if not d._closed:
+        try:
+            d.close()
+        except Exception:
+            pass

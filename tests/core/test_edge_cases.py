@@ -1,0 +1,175 @@
+"""Edge-case coverage across the object layer."""
+
+import pytest
+
+from repro.core import (Database, FloatField, IntField, OdeObject, Oid,
+                        RefField, SetField, StringField, Vref, newversion)
+from repro.core.objects import OdeMeta, class_registry
+from repro.errors import DanglingReferenceError, SchemaError
+
+
+class EdgeDoc(OdeObject):
+    title = StringField(default="")
+    rating = IntField(default=0)
+    pinned_rev = RefField()  # may hold a Vref: a pinned version reference
+
+
+class TestVrefFields:
+    def test_field_can_pin_a_version(self, db):
+        """A RefField holding a Vref dereferences to that exact version —
+        the paper's 'specific reference' stored inside another object."""
+        db.create(EdgeDoc)
+        doc = db.pnew(EdgeDoc, title="spec v1")
+        frozen = doc.vref
+        newversion(doc)
+        doc.title = "spec v2"
+
+        keeper = db.pnew(EdgeDoc, title="audit", pinned_rev=frozen)
+        with db.transaction():
+            pass
+        db._cache.clear()
+        db._vcache.clear()
+        reloaded = db.deref(keeper.oid)
+        pinned = reloaded.follow("pinned_rev")
+        assert pinned.title == "spec v1"
+        assert isinstance(reloaded.pinned_rev, Vref)
+
+    def test_pinned_version_deleted_dangles(self, db):
+        db.create(EdgeDoc)
+        doc = db.pnew(EdgeDoc, title="v1")
+        frozen = doc.vref
+        newversion(doc)
+        keeper = db.pnew(EdgeDoc, title="audit", pinned_rev=frozen)
+        db.pdelete(frozen)  # prune the pinned revision
+        db._cache.clear()
+        db._vcache.clear()
+        with pytest.raises(DanglingReferenceError):
+            db.deref(keeper.oid).follow("pinned_rev")
+
+
+class TestSchemaEvolutionTolerance:
+    """Objects written under an old class definition still load."""
+
+    def _make_class(self, fields):
+        namespace = {"__doc__": "generated"}
+        namespace.update(fields)
+        return OdeMeta("Evolving", (OdeObject,), namespace)
+
+    def test_added_field_gets_default(self, db_path):
+        v1 = self._make_class({"a": IntField(default=1)})
+        db = Database(db_path)
+        db.create(v1)
+        oid = db.pnew(v1, a=10).oid
+        db.close()
+
+        v2 = self._make_class({"a": IntField(default=1),
+                               "b": StringField(default="fresh")})
+        db2 = Database(db_path)
+        obj = db2.deref(oid)
+        assert obj.a == 10
+        assert obj.b == "fresh"  # missing in storage: default applies
+        db2.close()
+
+    def test_removed_field_ignored(self, db_path):
+        v1 = self._make_class({"a": IntField(default=1),
+                               "gone": StringField(default="x")})
+        db = Database(db_path)
+        db.create(v1)
+        oid = db.pnew(v1, a=5, gone="stored").oid
+        db.close()
+
+        v2 = self._make_class({"a": IntField(default=1)})
+        db2 = Database(db_path)
+        obj = db2.deref(oid)
+        assert obj.a == 5
+        assert not hasattr(type(obj), "gone") or "gone" not in \
+            type(obj)._ode_fields
+        db2.close()
+
+
+class TestNoneValuedIndexKeys:
+    def test_index_handles_none(self, db):
+        from repro import A, forall
+        db.create(EdgeDoc)
+        db.create_index(EdgeDoc, "pinned_rev", kind="btree")
+        with_ref = db.pnew(EdgeDoc, title="has")
+        with_ref.pinned_rev = Oid("EdgeDoc", with_ref.oid.serial)
+        db.pnew(EdgeDoc, title="without")  # pinned_rev is None
+        with db.transaction():
+            pass
+        nones = forall(db.cluster(EdgeDoc)).suchthat(A.pinned_rev == None)  # noqa: E711
+        assert {d.title for d in nones} == {"without"}
+        assert db.verify() == []
+
+
+class TestMultiDatabaseIsolation:
+    def test_two_databases_one_process(self, tmp_path):
+        db1 = Database(str(tmp_path / "one.odb"))
+        db2 = Database(str(tmp_path / "two.odb"))
+        db1.create(EdgeDoc)
+        db2.create(EdgeDoc)
+        a = db1.pnew(EdgeDoc, title="in-one")
+        b = db2.pnew(EdgeDoc, title="in-two")
+        assert db1.cluster(EdgeDoc).count() == 1
+        assert db2.cluster(EdgeDoc).count() == 1
+        assert db1.deref(a.oid).title == "in-one"
+        assert db2.deref(b.oid).title == "in-two"
+        # ids are per-database: db2 knows nothing about db1's object state
+        assert db2.deref(Oid("EdgeDoc", a.oid.serial)).title == "in-two"
+        db1.close()
+        db2.close()
+
+
+class TestReprAndIntrospection:
+    def test_database_repr(self, db):
+        assert "Database" in repr(db)
+
+    def test_oid_usable_as_dict_key_in_fields(self, db):
+        from repro.core import DictField
+
+        class Mapped(OdeObject):
+            links = DictField()
+
+        db.create(Mapped)
+        target = db.pnew(Mapped)
+        holder = db.pnew(Mapped)
+        holder.links[target.oid] = "friend"
+        with db.transaction():
+            pass
+        db._cache.clear()
+        reloaded = db.deref(holder.oid)
+        assert reloaded.links[target.oid] == "friend"
+
+    def test_class_redefinition_latest_wins(self):
+        first = OdeMeta("Redefined", (OdeObject,),
+                        {"x": IntField(default=1)})
+        second = OdeMeta("Redefined", (OdeObject,),
+                         {"x": IntField(default=2)})
+        assert class_registry()["Redefined"] is second
+
+
+class TestLargeObjects:
+    def test_multi_page_object_state(self, db):
+        class Blobby(OdeObject):
+            data = StringField(default="")
+
+        db.create(Blobby)
+        big = "payload-" * 5000  # ~40 KB, spans overflow pages
+        obj = db.pnew(Blobby, data=big)
+        db._cache.clear()
+        assert db.deref(obj.oid).data == big
+        with db.transaction():
+            obj2 = db.deref(obj.oid)
+            obj2.data = big * 2
+        db._cache.clear()
+        assert len(db.deref(obj.oid).data) == len(big) * 2
+        assert db.verify() == []
+
+    def test_many_fields(self, db):
+        namespace = {("f%02d" % i): IntField(default=i) for i in range(64)}
+        Wide = OdeMeta("WideRow", (OdeObject,), namespace)
+        db.create(Wide)
+        obj = db.pnew(Wide)
+        db._cache.clear()
+        reloaded = db.deref(obj.oid)
+        assert reloaded.f63 == 63 and reloaded.f00 == 0

@@ -1,0 +1,133 @@
+"""Failure injection: errors at awkward moments must abort cleanly."""
+
+import pytest
+
+from repro.core import (IntField, OdeObject, SetField, StringField, Trigger,
+                        constraint)
+from repro.errors import SchemaError, TransactionError
+
+
+class FragileItem(OdeObject):
+    name = StringField(default="")
+    n = IntField(default=0)
+    links = SetField()
+
+
+class TestFlushFailures:
+    def test_unencodable_field_aborts_whole_txn(self, db):
+        """A volatile object inside a persisted set cannot be stored; the
+        flush fails and the entire transaction must roll back."""
+        db.create(FragileItem)
+        good = db.pnew(FragileItem, name="good", n=1)
+        bad = db.pnew(FragileItem, name="bad")
+        with pytest.raises(SchemaError):
+            with db.transaction():
+                good.n = 99               # valid change, same txn
+                bad.links.insert(FragileItem(name="volatile"))
+        # both changes rolled back
+        db._cache.clear()
+        assert db.deref(good.oid).n == 1
+        assert len(db.deref(bad.oid).links) == 0
+        assert db.verify() == []
+
+    def test_partial_flush_rolls_back_flushed_objects(self, db):
+        """If object A flushed before object B's flush raised, A's pages
+        must still be undone by the abort."""
+        db.create(FragileItem)
+        objs = [db.pnew(FragileItem, name="o%d" % i, n=i) for i in range(5)]
+        with pytest.raises(SchemaError):
+            with db.transaction():
+                for obj in objs:
+                    obj.n += 100
+                objs[-1].links.insert(FragileItem())  # poison the last
+        db._cache.clear()
+        for i, obj in enumerate(objs):
+            assert db.deref(obj.oid).n == i
+
+    def test_database_usable_after_failed_txn(self, db):
+        db.create(FragileItem)
+        obj = db.pnew(FragileItem, n=1)
+        with pytest.raises(RuntimeError):
+            with db.transaction():
+                obj.n = 2
+                raise RuntimeError("boom")
+        # next transaction works normally
+        with db.transaction():
+            obj2 = db.deref(obj.oid)
+            obj2.n = 3
+        db._cache.clear()
+        assert db.deref(obj.oid).n == 3
+
+
+class TestTriggerFailures:
+    def test_condition_error_aborts_triggering_txn(self, db):
+        class Twitchy(OdeObject):
+            n = IntField(default=0)
+            # The condition divides by (n - 5): evaluates fine while the
+            # object is healthy, raises exactly when n becomes 5.
+            bad = Trigger(
+                condition=lambda self: self.n / (self.n - 5) > 0,
+                action=lambda self: None)
+
+        db.create(Twitchy)
+        obj = db.pnew(Twitchy)
+        obj.bad()
+        with pytest.raises(ZeroDivisionError):
+            with db.transaction():
+                obj.n = 5
+        db._cache.clear()
+        assert db.deref(obj.oid).n == 0  # the write was rolled back
+
+    def test_action_error_propagates_but_triggering_txn_stays(self, db):
+        class Jumpy(OdeObject):
+            n = IntField(default=0)
+            explode = Trigger(
+                condition=lambda self: self.n > 0,
+                action=lambda self: (_ for _ in ()).throw(
+                    RuntimeError("action failed")))
+
+        db.create(Jumpy)
+        obj = db.pnew(Jumpy)
+        obj.explode()
+        with pytest.raises(RuntimeError):
+            with db.transaction():
+                obj.n = 1
+        # Weak coupling: the triggering transaction committed before the
+        # action ran; the action's own transaction aborted.
+        db._cache.clear()
+        assert db.deref(obj.oid).n == 1
+        assert db.verify() == []
+
+    def test_constraint_error_treated_as_violation_path(self, db):
+        class Crashy(OdeObject):
+            n = IntField(default=0)
+
+            def bump(self):
+                self.n += 1
+
+            @constraint
+            def broken(self):
+                raise ValueError("constraint code is buggy")
+
+        db.create(Crashy)
+        with pytest.raises(ValueError):
+            db.pnew(Crashy)
+        assert db.cluster(Crashy).count() == 0
+
+
+class TestTransactionMisuse:
+    def test_commit_after_close_rejected(self, db_path):
+        from repro.core import Database
+        db = Database(db_path)
+        db.close()
+        with pytest.raises(Exception):
+            with db.transaction():
+                pass
+
+    def test_nested_implicit_inside_explicit_is_fine(self, db):
+        db.create(FragileItem)
+        with db.transaction():
+            # pnew uses an implicit txn, which must join, not nest.
+            obj = db.pnew(FragileItem, n=7)
+        db._cache.clear()
+        assert db.deref(obj.oid).n == 7

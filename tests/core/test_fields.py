@@ -1,0 +1,227 @@
+"""Unit tests for the typed field descriptors."""
+
+import pytest
+
+from repro.core import (BoolField, CharField, DictField, FloatField,
+                        IntField, ListField, OdeObject, OdeSet, RefField,
+                        SetField, StringField)
+from repro.core.oid import Oid
+from repro.errors import SchemaError
+
+
+class FieldWidget(OdeObject):
+    name = StringField(default="unnamed", max_length=20)
+    qty = IntField(default=0)
+    price = FloatField(default=0.0)
+    flag = BoolField(default=False)
+    grade = CharField(default="a")
+    tags = ListField()
+    meta = DictField()
+    parts = SetField()
+    positive = IntField(default=1, check=lambda v: v > 0)
+
+
+class FieldHolder(OdeObject):
+    widget = RefField("FieldWidget")
+    anything = RefField()
+
+
+class TestDefaults:
+    def test_declared_defaults(self):
+        w = FieldWidget()
+        assert w.name == "unnamed"
+        assert w.qty == 0
+        assert w.price == 0.0
+        assert w.flag is False
+
+    def test_container_defaults_fresh_per_instance(self):
+        a, b = FieldWidget(), FieldWidget()
+        a.tags.append("x")
+        a.meta["k"] = 1
+        a.parts.insert(1)
+        assert b.tags == [] and b.meta == {} and len(b.parts) == 0
+
+    def test_callable_default(self):
+        class T(OdeObject):
+            serial_no = IntField(default=lambda: 99)
+        assert T().serial_no == 99
+
+
+class TestValidation:
+    def test_int_rejects_strings_and_bools(self):
+        w = FieldWidget()
+        with pytest.raises(SchemaError):
+            w.qty = "ten"
+        with pytest.raises(SchemaError):
+            w.qty = True
+
+    def test_float_widens_int(self):
+        w = FieldWidget()
+        w.price = 5
+        assert w.price == 5.0 and isinstance(w.price, float)
+
+    def test_string_max_length(self):
+        w = FieldWidget()
+        with pytest.raises(SchemaError):
+            w.name = "x" * 21
+
+    def test_char_single_character(self):
+        w = FieldWidget()
+        w.grade = "b"
+        with pytest.raises(SchemaError):
+            w.grade = "ab"
+
+    def test_custom_check(self):
+        w = FieldWidget()
+        with pytest.raises(SchemaError):
+            w.positive = -3
+
+    def test_unknown_ctor_field(self):
+        with pytest.raises(SchemaError):
+            FieldWidget(nonexistent=1)
+
+    def test_nullable(self):
+        class T(OdeObject):
+            required = StringField(nullable=False, default="x")
+        t = T()
+        with pytest.raises(SchemaError):
+            t.required = None
+
+
+class TestRefField:
+    def test_accepts_oid(self):
+        h = FieldHolder()
+        h.widget = Oid("FieldWidget", 1)
+        assert h.widget == Oid("FieldWidget", 1)
+
+    def test_accepts_volatile_object(self):
+        h = FieldHolder()
+        w = FieldWidget()
+        h.widget = w
+        assert h.widget is w
+
+    def test_rejects_wrong_target_class(self):
+        h = FieldHolder()
+        with pytest.raises(SchemaError):
+            h.widget = FieldHolder()
+
+    def test_rejects_wrong_cluster_oid(self):
+        h = FieldHolder()
+        with pytest.raises(SchemaError):
+            h.widget = Oid("FieldHolder", 1)
+
+    def test_subclass_satisfies_target(self):
+        class FancyWidget(FieldWidget):
+            pass
+        h = FieldHolder()
+        h.widget = FancyWidget()
+
+    def test_untargeted_accepts_any(self):
+        h = FieldHolder()
+        h.anything = FieldWidget()
+        h.anything = Oid("FieldHolder", 5)
+
+    def test_rejects_non_object(self):
+        h = FieldHolder()
+        with pytest.raises(SchemaError):
+            h.widget = 42
+
+    def test_volatile_target_blocks_persist(self, db):
+        db.create(FieldWidget)
+        db.create(FieldHolder)
+        h = FieldHolder()
+        h.widget = FieldWidget()  # volatile target
+        with pytest.raises(SchemaError):
+            db.pnew_from(h)
+
+
+class TestSetField:
+    def test_coerces_iterables(self):
+        w = FieldWidget()
+        w.parts = [1, 2, 2, 3]
+        assert isinstance(w.parts, OdeSet)
+        assert len(w.parts) == 3
+
+    def test_rejects_non_iterable(self):
+        w = FieldWidget()
+        with pytest.raises(SchemaError):
+            w.parts = 42
+
+    def test_rejects_none(self):
+        w = FieldWidget()
+        with pytest.raises(SchemaError):
+            w.parts = None
+
+
+class TestDirtyTracking:
+    def test_assignment_marks_persistent_dirty(self, db):
+        db.create(FieldWidget)
+        w = db.pnew(FieldWidget, name="w")
+        with db.transaction():
+            w.qty = 5
+        assert db.deref(w.oid).qty == 5
+
+
+class TestContainerDirtyTracking:
+    """In-place container mutations persist without reassignment."""
+
+    def test_set_insert_persists(self, db):
+        db.create(FieldWidget)
+        w = db.pnew(FieldWidget, name="w")
+        with db.transaction():
+            w.parts.insert("gear")
+            w.parts << "bolt"
+        db._cache.clear()
+        assert db.deref(w.oid).parts == {"gear", "bolt"}
+
+    def test_set_remove_persists(self, db):
+        db.create(FieldWidget)
+        w = db.pnew(FieldWidget, name="w", parts=["a", "b"])
+        with db.transaction():
+            w.parts.remove("a")
+        db._cache.clear()
+        assert db.deref(w.oid).parts == {"b"}
+
+    def test_list_append_persists(self, db):
+        db.create(FieldWidget)
+        w = db.pnew(FieldWidget, name="w")
+        with db.transaction():
+            w.tags.append("new")
+            w.tags += ["more"]
+        db._cache.clear()
+        assert list(db.deref(w.oid).tags) == ["new", "more"]
+
+    def test_list_setitem_and_sort_persist(self, db):
+        db.create(FieldWidget)
+        w = db.pnew(FieldWidget, name="w", tags=["c", "a", "b"])
+        with db.transaction():
+            w.tags.sort()
+        db._cache.clear()
+        assert list(db.deref(w.oid).tags) == ["a", "b", "c"]
+
+    def test_dict_mutations_persist(self, db):
+        db.create(FieldWidget)
+        w = db.pnew(FieldWidget, name="w")
+        with db.transaction():
+            w.meta["k"] = 1
+            w.meta.update(j=2)
+        db._cache.clear()
+        assert dict(db.deref(w.oid).meta) == {"k": 1, "j": 2}
+
+    def test_reloaded_containers_still_tracked(self, db):
+        db.create(FieldWidget)
+        w = db.pnew(FieldWidget, name="w")
+        with db.transaction():
+            w.tags.append("first")
+        db._cache.clear()
+        reloaded = db.deref(w.oid)
+        with db.transaction():
+            reloaded.tags.append("second")
+        db._cache.clear()
+        assert list(db.deref(w.oid).tags) == ["first", "second"]
+
+    def test_volatile_container_mutation_harmless(self):
+        w = FieldWidget()
+        w.tags.append("x")  # no database: must not raise
+        w.parts.insert(1)
+        w.meta["k"] = "v"

@@ -1,0 +1,148 @@
+"""Unit tests for OdeMeta / OdeObject: schema, inheritance, constraints."""
+
+import pytest
+
+from repro.core import (FloatField, IntField, OdeObject, StringField,
+                        constraint)
+from repro.core.objects import class_registry
+from repro.errors import ConstraintViolation, NotPersistentError
+
+
+class Human(OdeObject):
+    name = StringField(default="")
+    age = IntField(default=0)
+
+    def income(self):
+        return 0.0
+
+    @constraint
+    def age_nonneg(self):
+        return self.age >= 0
+
+
+class StaffMember(Human):
+    salary = FloatField(default=0.0)
+
+    def income(self):
+        return self.salary
+
+    @constraint
+    def salary_nonneg(self):
+        return self.salary >= 0
+
+
+class Boss(StaffMember):
+    bonus = FloatField(default=0.0)
+
+    def income(self):
+        return self.salary + self.bonus
+
+
+class Sited(OdeObject):
+    office = StringField(default="")
+
+
+class SitedStaff(StaffMember, Sited):
+    """Multiple inheritance: an employee with an office."""
+
+
+class TestSchemaCollection:
+    def test_fields_inherited(self):
+        assert set(Boss._ode_fields) == {"name", "age", "salary", "bonus"}
+
+    def test_multiple_inheritance_fields(self):
+        assert set(SitedStaff._ode_fields) == {"name", "age", "salary",
+                                              "office"}
+
+    def test_registry(self):
+        assert class_registry()["Human"] is Human
+        assert class_registry()["SitedStaff"] is SitedStaff
+
+    def test_parents_property(self):
+        assert type(Boss).parents.fget(Boss) == [StaffMember]
+        assert type(SitedStaff).parents.fget(SitedStaff) == [StaffMember, Sited]
+        assert type(Human).parents.fget(Human) == []
+
+    def test_virtual_dispatch(self):
+        people = [Human(), StaffMember(salary=100.0), Boss(salary=100.0,
+                                                            bonus=50.0)]
+        assert [p.income() for p in people] == [0.0, 100.0, 150.0]
+
+
+class TestConstraints:
+    def test_constraints_inherited_and_conjoined(self):
+        names = [n for n, _ in StaffMember._ode_constraints]
+        assert "age_nonneg" in names and "salary_nonneg" in names
+
+    def test_check_constraints_ok(self):
+        StaffMember(age=5, salary=10.0).check_constraints()
+
+    def test_violation_raises(self):
+        e = StaffMember()
+        e.__dict__["_f_age"] = -5  # bypass descriptor; simulate bad state
+        with pytest.raises(ConstraintViolation) as info:
+            e.check_constraints()
+        assert info.value.constraint_name == "age_nonneg"
+
+    def test_base_constraint_enforced_on_derived(self):
+        m = Boss()
+        m.__dict__["_f_salary"] = -1.0
+        with pytest.raises(ConstraintViolation):
+            m.check_constraints()
+
+    def test_public_method_checks_constraints(self):
+        class SpendBudget(OdeObject):
+            total = IntField(default=10)
+
+            def spend(self, n):
+                self.total -= n
+
+            @constraint
+            def not_overspent(self):
+                return self.total >= 0
+
+        b = SpendBudget()
+        b.spend(5)
+        with pytest.raises(ConstraintViolation):
+            b.spend(100)
+
+    def test_constraint_based_specialization(self):
+        """The paper's `class female : person { constraint: sex == 'f' }`."""
+        from repro.core import CharField
+
+        class Resident(OdeObject):
+            sex = CharField(default="f")
+
+        class FemaleResident(Resident):
+            @constraint
+            def is_female(self):
+                return self.sex in ("f", "F")
+
+        FemaleResident(sex="F").check_constraints()
+        bad = FemaleResident()
+        bad.__dict__["_f_sex"] = "m"
+        with pytest.raises(ConstraintViolation):
+            bad.check_constraints()
+
+
+class TestVolatileLifecycle:
+    def test_volatile_has_no_oid(self):
+        p = Human()
+        assert not p.is_persistent
+        with pytest.raises(NotPersistentError):
+            p.oid
+
+    def test_as_dict(self):
+        e = StaffMember(name="x", age=3, salary=9.0)
+        assert e.as_dict() == {"name": "x", "age": 3, "salary": 9.0}
+
+    def test_repr_smoke(self):
+        assert "Human" in repr(Human(name="bob"))
+
+    def test_isinstance_models_is_operator(self):
+        """The paper's `p is persistent student*` maps to isinstance +
+        is_persistent."""
+        m = Boss()
+        assert isinstance(m, Human)
+        assert isinstance(m, StaffMember)
+        assert not isinstance(Human(), Boss)

@@ -1,0 +1,42 @@
+"""Unit tests for object identity (Oid/Vref)."""
+
+import pytest
+
+from repro.core.oid import Oid, Vref
+
+
+class TestOid:
+    def test_equality_and_hash(self):
+        assert Oid("Person", 1) == Oid("Person", 1)
+        assert Oid("Person", 1) != Oid("Person", 2)
+        assert Oid("Person", 1) != Oid("Student", 1)
+        assert hash(Oid("P", 3)) == hash(Oid("P", 3))
+
+    def test_immutable(self):
+        oid = Oid("Person", 1)
+        with pytest.raises(AttributeError):
+            oid.serial = 2
+
+    def test_usable_in_sets_and_dicts(self):
+        refs = {Oid("P", 1), Oid("P", 2), Oid("P", 1)}
+        assert len(refs) == 2
+
+    def test_repr(self):
+        assert "Person" in repr(Oid("Person", 42))
+
+
+class TestVref:
+    def test_distinct_from_oid(self):
+        assert Vref("P", 1, 1) != Oid("P", 1)
+        assert hash(Vref("P", 1, 1)) != hash(Oid("P", 1))
+
+    def test_version_matters(self):
+        assert Vref("P", 1, 1) != Vref("P", 1, 2)
+
+    def test_oid_property(self):
+        assert Vref("P", 7, 3).oid == Oid("P", 7)
+
+    def test_immutable(self):
+        vref = Vref("P", 1, 1)
+        with pytest.raises(AttributeError):
+            vref.version = 5

@@ -1,0 +1,197 @@
+"""Tests for the persistence model: pnew/pdelete/deref (paper section 2)."""
+
+import pytest
+
+from repro.core import (Database, IntField, OdeObject, Oid, RefField,
+                        SetField, StringField)
+from repro.errors import (ClusterExistsError, ClusterNotFoundError,
+                          DanglingReferenceError, NotPersistentError,
+                          SchemaError)
+
+
+class StockPart(OdeObject):
+    name = StringField(default="")
+    qty = IntField(default=0)
+
+
+class StockAssembly(OdeObject):
+    name = StringField(default="")
+    main_part = RefField("StockPart")
+    parts = SetField("StockPart")
+
+
+class TestCreateCluster:
+    def test_pnew_requires_cluster(self, db):
+        """Paper 2.5: the cluster must exist before pnew."""
+        with pytest.raises(ClusterNotFoundError):
+            db.pnew(StockPart, name="x")
+
+    def test_create_twice_rejected(self, db):
+        db.create(StockPart)
+        with pytest.raises(ClusterExistsError):
+            db.create(StockPart)
+
+    def test_create_exist_ok(self, db):
+        db.create(StockPart)
+        db.create(StockPart, exist_ok=True)
+
+    def test_create_by_name(self, db):
+        db.create("StockPart")
+        assert db.has_cluster(StockPart)
+
+    def test_create_unknown_name(self, db):
+        with pytest.raises(SchemaError):
+            db.create("NoSuchClass")
+
+
+class TestPnew:
+    def test_pnew_returns_live_persistent(self, db):
+        db.create(StockPart)
+        p = db.pnew(StockPart, name="bolt", qty=3)
+        assert p.is_persistent
+        assert p.oid.cluster == "StockPart"
+        assert p.name == "bolt"
+
+    def test_pnew_from_volatile(self, db):
+        db.create(StockPart)
+        v = StockPart(name="was volatile")
+        p = v.persist(db)
+        assert p is v and p.is_persistent
+
+    def test_pnew_twice_rejected(self, db):
+        db.create(StockPart)
+        p = db.pnew(StockPart)
+        with pytest.raises(SchemaError):
+            db.pnew_from(p)
+
+    def test_serials_distinct(self, db):
+        db.create(StockPart)
+        oids = {db.pnew(StockPart).oid for _ in range(10)}
+        assert len(oids) == 10
+
+    def test_same_code_for_volatile_and_persistent(self, db):
+        """Section 2.2's central promise."""
+        db.create(StockPart)
+
+        def restock(part, n):
+            part.qty += n
+            return part.qty
+
+        vol, per = StockPart(qty=1), db.pnew(StockPart, qty=1)
+        assert restock(vol, 5) == restock(per, 5) == 6
+
+
+class TestDeref:
+    def test_identity(self, db):
+        """Repeated derefs return the same live object."""
+        db.create(StockPart)
+        p = db.pnew(StockPart, name="x")
+        assert db.deref(p.oid) is p
+
+    def test_deref_after_cache_eviction(self, db):
+        db.create(StockPart)
+        oid = db.pnew(StockPart, name="y", qty=9).oid
+        db._cache.clear()  # simulate cache loss
+        loaded = db.deref(oid)
+        assert loaded.name == "y" and loaded.qty == 9
+
+    def test_dangling(self, db):
+        db.create(StockPart)
+        with pytest.raises(DanglingReferenceError):
+            db.deref(Oid("StockPart", 999))
+
+    def test_deref_live_object_is_identity(self, db):
+        db.create(StockPart)
+        p = db.pnew(StockPart)
+        assert db.deref(p) is p
+
+    def test_follow_reference_field(self, db):
+        db.create(StockPart)
+        db.create(StockAssembly)
+        bolt = db.pnew(StockPart, name="bolt")
+        asm = db.pnew(StockAssembly, name="engine", main_part=bolt)
+        # stored as an id, follow() dereferences
+        reloaded = db.deref(asm.oid)
+        assert reloaded.follow("main_part").name == "bolt"
+
+    def test_follow_on_volatile_target(self, db):
+        asm = StockAssembly()
+        part = StockPart(name="loose")
+        asm.main_part = part
+        assert asm.follow("main_part") is part
+
+
+class TestSetsOfReferences:
+    def test_set_members_swizzled(self, db):
+        db.create(StockPart)
+        db.create(StockAssembly)
+        parts = [db.pnew(StockPart, name="p%d" % i) for i in range(3)]
+        asm = db.pnew(StockAssembly, name="kit")
+        for p in parts:
+            asm.parts.insert(p.oid)
+        with db.transaction():
+            asm.parts = asm.parts  # reassign to mark dirty
+        reloaded = db.deref(asm.oid)
+        names = sorted(db.deref(ref).name for ref in reloaded.parts)
+        assert names == ["p0", "p1", "p2"]
+
+
+class TestPdelete:
+    def test_pdelete_object(self, db):
+        db.create(StockPart)
+        p = db.pnew(StockPart)
+        oid = p.oid
+        db.pdelete(p)
+        assert not p.is_persistent  # live handle unbound
+        with pytest.raises(DanglingReferenceError):
+            db.deref(oid)
+
+    def test_pdelete_by_oid(self, db):
+        db.create(StockPart)
+        oid = db.pnew(StockPart).oid
+        db.pdelete(oid)
+        with pytest.raises(DanglingReferenceError):
+            db.deref(oid)
+
+    def test_pdelete_missing(self, db):
+        db.create(StockPart)
+        with pytest.raises(DanglingReferenceError):
+            db.pdelete(Oid("StockPart", 12345))
+
+    def test_dangling_pointer_possible(self, db):
+        """The paper acknowledges pdelete can create dangling pointers."""
+        db.create(StockPart)
+        db.create(StockAssembly)
+        bolt = db.pnew(StockPart, name="bolt")
+        asm = db.pnew(StockAssembly, main_part=bolt)
+        oid = asm.oid
+        db.pdelete(bolt)
+        db._cache.clear()  # drop live objects; force reload from storage
+        reloaded = db.deref(oid)
+        with pytest.raises(DanglingReferenceError):
+            reloaded.follow("main_part")
+
+
+class TestDurability:
+    def test_reopen_preserves_objects(self, db_path):
+        db = Database(db_path)
+        db.create(StockPart)
+        oid = db.pnew(StockPart, name="durable", qty=7).oid
+        db.close()
+
+        db2 = Database(db_path)
+        p = db2.deref(oid)
+        assert p.name == "durable" and p.qty == 7
+        db2.close()
+
+    def test_unflushed_attribute_writes_flushed_on_close(self, db_path):
+        db = Database(db_path)
+        db.create(StockPart)
+        p = db.pnew(StockPart, qty=1)
+        oid = p.oid
+        p.qty = 42  # outside any transaction
+        db.close()  # close() flushes pending changes
+
+        db2 = Database(db_path)
+        assert db2.deref(oid).qty == 42
+        db2.close()

@@ -1,0 +1,122 @@
+"""Unit tests for OdeSet (the paper's set<type>, section 2.6/3.2)."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.sets import OdeSet
+
+
+class TestBasics:
+    def test_insert_remove_contains(self):
+        s = OdeSet()
+        assert s.insert(1) is True
+        assert s.insert(1) is False  # duplicate
+        assert 1 in s
+        assert s.remove(1) is True
+        assert s.remove(1) is False
+        assert 1 not in s
+
+    def test_shift_operators(self):
+        s = OdeSet()
+        s << "a" << "b" << "a"
+        assert len(s) == 2
+        s >> "a"
+        assert len(s) == 1 and "b" in s
+
+    def test_init_from_iterable(self):
+        s = OdeSet([3, 1, 2, 1])
+        assert len(s) == 3
+
+    def test_bool_and_len(self):
+        assert not OdeSet()
+        assert OdeSet([1])
+        assert len(OdeSet(range(5))) == 5
+
+    def test_clear(self):
+        s = OdeSet([1, 2])
+        s.clear()
+        assert len(s) == 0
+
+    def test_equality(self):
+        assert OdeSet([1, 2]) == OdeSet([2, 1])
+        assert OdeSet([1]) == {1}
+        assert OdeSet([1]) != OdeSet([2])
+
+    def test_unhashable(self):
+        with pytest.raises(TypeError):
+            hash(OdeSet())
+
+
+class TestIteration:
+    def test_insertion_order(self):
+        s = OdeSet(["c", "a", "b"])
+        assert list(s) == ["c", "a", "b"]
+
+    def test_growth_during_iteration(self):
+        """Section 3.2: iteration visits elements added during iteration."""
+        s = OdeSet([0])
+        seen = []
+        for x in s:
+            seen.append(x)
+            if x < 10:
+                s.insert(x + 1)
+        assert seen == list(range(11))
+
+    def test_removal_during_iteration(self):
+        s = OdeSet([1, 2, 3, 4])
+        seen = []
+        for x in s:
+            seen.append(x)
+            s.remove(4)
+        assert 4 not in seen
+
+    def test_remove_reinsert_yields_once(self):
+        s = OdeSet([1, 2, 3])
+        seen = []
+        for x in s:
+            seen.append(x)
+            if x == 1:
+                s.remove(2)
+                s.insert(2)
+        assert seen.count(2) == 1
+
+    def test_nested_iterations_independent(self):
+        s = OdeSet([1, 2])
+        pairs = [(a, b) for a in s for b in s]
+        assert len(pairs) == 4
+
+
+class TestAlgebra:
+    def test_union(self):
+        assert OdeSet([1, 2]) | OdeSet([2, 3]) == {1, 2, 3}
+
+    def test_intersection(self):
+        assert OdeSet([1, 2, 3]) & [2, 3, 4] == {2, 3}
+
+    def test_difference(self):
+        assert OdeSet([1, 2, 3]) - {2} == {1, 3}
+
+    def test_snapshot_frozen(self):
+        s = OdeSet([1, 2])
+        snap = s.snapshot()
+        s.insert(3)
+        assert snap == {1, 2}
+
+
+class TestProperties:
+    @given(st.lists(st.tuples(st.booleans(),
+                              st.integers(min_value=0, max_value=30))))
+    @settings(max_examples=200)
+    def test_matches_python_set(self, ops):
+        ode, model = OdeSet(), set()
+        for is_insert, x in ops:
+            if is_insert:
+                ode.insert(x)
+                model.add(x)
+            else:
+                ode.remove(x)
+                model.discard(x)
+        assert ode == model
+        assert sorted(ode) == sorted(model)
+        assert len(ode) == len(model)

@@ -1,0 +1,247 @@
+"""Tests for triggers (paper section 6): once-only/perpetual, weak
+coupling, timed triggers, deactivation, abort cascades."""
+
+import pytest
+
+from repro.core import (Database, IntField, OdeObject, StringField, Trigger)
+from repro.errors import TriggerError
+
+#: Trigger actions append here; module-level so the lambdas can reach it.
+log = []
+
+
+class Tank(OdeObject):
+    name = StringField(default="")
+    level = IntField(default=100)
+    low_mark = IntField(default=20)
+
+    def drain(self, n):
+        self.level -= n
+
+    def fill(self, n):
+        self.level += n
+
+    refill = Trigger(
+        condition=lambda self, amount: self.level <= self.low_mark,
+        action=lambda self, amount: log.append(("refill", self.name, amount)))
+
+    watchdog = Trigger(
+        condition=lambda self: self.level <= 0,
+        action=lambda self: log.append(("empty", self.name)),
+        perpetual=True)
+
+    deadline_check = Trigger(
+        condition=lambda self: self.level >= 1000,
+        action=lambda self: log.append(("full", self.name)),
+        within=lambda self: 10.0,
+        timeout_action=lambda self: log.append(("timeout", self.name)))
+
+
+@pytest.fixture(autouse=True)
+def clear_log():
+    log.clear()
+
+
+@pytest.fixture
+def tank_db(db):
+    db.create(Tank)
+    return db
+
+
+class TestActivation:
+    def test_activation_returns_id(self, tank_db):
+        t = tank_db.pnew(Tank, name="a")
+        tid = t.refill(500)
+        assert tid.is_active
+
+    def test_volatile_object_rejected(self, tank_db):
+        with pytest.raises(TriggerError):
+            Tank().refill(1)
+
+    def test_multiple_activations_same_trigger(self, tank_db):
+        """The paper: several activations with different arguments."""
+        t = tank_db.pnew(Tank, name="a")
+        t.refill(100)
+        t.refill(200)
+        with tank_db.transaction():
+            t.drain(90)  # level 10 <= 20: both fire
+        assert sorted(log) == [("refill", "a", 100), ("refill", "a", 200)]
+
+    def test_deactivate_before_firing(self, tank_db):
+        t = tank_db.pnew(Tank, name="a")
+        tid = t.refill(100)
+        assert tid.deactivate() is True
+        assert tid.deactivate() is False  # already inactive
+        with tank_db.transaction():
+            t.drain(90)
+        assert log == []
+
+
+class TestFiring:
+    def test_fires_at_end_of_transaction(self, tank_db):
+        t = tank_db.pnew(Tank, name="a")
+        t.refill(55)
+        with tank_db.transaction():
+            t.drain(90)
+            assert log == []  # conceptually evaluated at txn end
+        assert log == [("refill", "a", 55)]
+
+    def test_condition_false_no_fire(self, tank_db):
+        t = tank_db.pnew(Tank, name="a")
+        t.refill(55)
+        with tank_db.transaction():
+            t.drain(10)
+        assert log == []
+
+    def test_once_only_deactivates(self, tank_db):
+        t = tank_db.pnew(Tank, name="a")
+        tid = t.refill(55)
+        with tank_db.transaction():
+            t.drain(90)
+        assert not tid.is_active
+        log.clear()
+        with tank_db.transaction():
+            t.drain(5)  # still below the mark
+        assert log == []  # did not re-fire
+
+    def test_reactivation_after_firing(self, tank_db):
+        t = tank_db.pnew(Tank, name="a")
+        t.refill(55)
+        with tank_db.transaction():
+            t.drain(90)
+        with tank_db.transaction():
+            t.fill(50)  # back above the mark
+        t.refill(77)  # explicit reactivation, as the paper requires
+        log.clear()
+        with tank_db.transaction():
+            t.drain(50)
+        assert log == [("refill", "a", 77)]
+
+    def test_activation_fires_if_condition_already_true(self, tank_db):
+        """'Conceptually, trigger conditions are evaluated at the end of
+        each transaction' — including the activating one."""
+        t = tank_db.pnew(Tank, name="a")
+        with tank_db.transaction():
+            t.drain(95)  # already below the mark
+        t.refill(33)
+        assert log == [("refill", "a", 33)]
+
+    def test_perpetual_refires(self, tank_db):
+        t = tank_db.pnew(Tank, name="a")
+        tid = t.watchdog()
+        with tank_db.transaction():
+            t.drain(150)
+        with tank_db.transaction():
+            t.drain(10)
+        assert log == [("empty", "a"), ("empty", "a")]
+        assert tid.is_active
+
+    def test_trigger_on_deleted_object_dies(self, tank_db):
+        t = tank_db.pnew(Tank, name="a")
+        tid = t.refill(5)
+        tank_db.pdelete(t)
+        with tank_db.transaction():
+            pass
+        assert not tid.is_active
+        assert log == []
+
+
+class TestWeakCoupling:
+    def test_action_runs_as_independent_transaction(self, tank_db):
+        """The action's effects are a separate transaction: aborting the
+        action must not abort the (already committed) trigger."""
+        db = tank_db
+
+        class Pump(OdeObject):
+            level = IntField(default=0)
+            topup = Trigger(
+                condition=lambda self: self.level < 10,
+                action=lambda self: self.fill(1000))
+
+            def fill(self, n):
+                self.level += n
+
+        db.create(Pump)
+        p = db.pnew(Pump, level=5)
+        p.topup()
+        with db.transaction():
+            p.fill(0)  # any txn: condition already true
+        # Trigger action ran afterwards, in its own transaction:
+        db._cache.clear()
+        assert db.deref(p.oid).level == 1005
+
+    def test_aborted_txn_discards_fired_actions(self, tank_db):
+        t = tank_db.pnew(Tank, name="a")
+        tid = t.refill(55)
+        with pytest.raises(RuntimeError):
+            with tank_db.transaction():
+                t.drain(90)   # condition would be true at commit
+                raise RuntimeError("abort!")
+        assert log == []          # action never ran
+        assert tid.is_active      # deactivation rolled back too
+        assert t.level == 100
+
+    def test_cascading_triggers(self, tank_db):
+        db = tank_db
+
+        class Chain(OdeObject):
+            n = IntField(default=0)
+            step = Trigger(
+                condition=lambda self: self.n < 3,
+                action=lambda self: self.bump(),
+                perpetual=True)
+
+            def bump(self):
+                self.n += 1
+
+        db.create(Chain)
+        c = db.pnew(Chain, n=0)
+        c.step()
+        with db.transaction():
+            c.bump()  # n=1; trigger fires repeatedly until n == 3
+        assert db.deref(c.oid).n >= 3
+
+
+class TestTimedTriggers:
+    def test_timeout_fires_after_deadline(self, tank_db):
+        t = tank_db.pnew(Tank, name="a")
+        tid = t.deadline_check()
+        tank_db.advance_time(5.0)
+        assert log == [] and tid.is_active
+        tank_db.advance_time(6.0)  # past the 10s window
+        assert log == [("timeout", "a")]
+        assert not tid.is_active
+
+    def test_condition_met_before_deadline(self, tank_db):
+        t = tank_db.pnew(Tank, name="a")
+        t.deadline_check()
+        with tank_db.transaction():
+            t.fill(2000)
+        assert log == [("full", "a")]
+        tank_db.advance_time(100.0)
+        assert log == [("full", "a")]  # no timeout after success
+
+
+class TestPersistence:
+    def test_activations_survive_reopen(self, db_path):
+        db = Database(db_path)
+        db.create(Tank)
+        t = db.pnew(Tank, name="a")
+        t.refill(42)
+        oid = t.oid
+        db.close()
+
+        db2 = Database(db_path)
+        t2 = db2.deref(oid)
+        with db2.transaction():
+            t2.drain(90)
+        assert log == [("refill", "a", 42)]
+        db2.close()
+
+    def test_clock_survives_reopen(self, db_path):
+        db = Database(db_path)
+        db.advance_time(123.0)
+        db.close()
+        db2 = Database(db_path)
+        assert db2.now() == 123.0
+        db2.close()

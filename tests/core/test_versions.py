@@ -1,0 +1,189 @@
+"""Tests for object versioning (paper section 4)."""
+
+import pytest
+
+from repro.core import (Database, FloatField, OdeObject, StringField, Vref,
+                        newversion, versions, vfirst, vlast, vnext, vprev)
+from repro.errors import (DanglingReferenceError, NotPersistentError,
+                          VersionError)
+
+
+class Design(OdeObject):
+    name = StringField(default="")
+    spec = StringField(default="")
+    rev = FloatField(default=0.0)
+
+
+@pytest.fixture
+def design_db(db):
+    db.create(Design)
+    return db
+
+
+class TestNewVersion:
+    def test_pnew_starts_at_version_one(self, design_db):
+        d = design_db.pnew(Design, name="chip")
+        assert d.version == 1
+        assert design_db.versions(d) == [d.vref]
+
+    def test_newversion_bumps_current(self, design_db):
+        d = design_db.pnew(Design, name="chip", rev=1.0)
+        v2 = newversion(d)
+        assert d.version == 2
+        assert v2 == Vref("Design", d.oid.serial, 2)
+
+    def test_old_version_keeps_state(self, design_db):
+        db = design_db
+        d = db.pnew(Design, name="chip", spec="v1 spec")
+        old = d.vref
+        newversion(d)
+        d.spec = "v2 spec"
+        with db.transaction():
+            pass
+        assert db.deref(old).spec == "v1 spec"
+        assert db.deref(d.oid).spec == "v2 spec"
+
+    def test_generic_ref_tracks_current(self, design_db):
+        """Section 4: a generic reference follows the current version."""
+        db = design_db
+        d = db.pnew(Design, spec="a")
+        oid = d.oid
+        newversion(d)
+        d.spec = "b"
+        with db.transaction():
+            pass
+        db._cache.clear()
+        assert db.deref(oid).spec == "b"
+
+    def test_pending_changes_flushed_before_copy(self, design_db):
+        db = design_db
+        d = db.pnew(Design, spec="start")
+        d.spec = "modified"      # unflushed
+        old = d.vref
+        newversion(d)
+        assert db.deref(old).spec == "modified"
+
+    def test_volatile_rejected(self, design_db):
+        with pytest.raises(NotPersistentError):
+            newversion(Design())
+
+
+class TestNavigation:
+    def test_chain_navigation(self, design_db):
+        db = design_db
+        d = db.pnew(Design, name="x")
+        v1 = d.vref
+        v2 = newversion(d)
+        v3 = newversion(d)
+        assert vfirst(d) == v1
+        assert vlast(d) == v3
+        assert db.vnext(v1) == v2
+        assert db.vnext(v2) == v3
+        assert db.vnext(v3) is None
+        assert db.vprev(v3) == v2
+        assert db.vprev(v1) is None
+
+    def test_versions_listing(self, design_db):
+        d = design_db.pnew(Design)
+        newversion(d)
+        newversion(d)
+        chain = versions(d)
+        assert [v.version for v in chain] == [1, 2, 3]
+
+    def test_old_versions_read_only(self, design_db):
+        db = design_db
+        d = db.pnew(Design, spec="one")
+        old = d.vref
+        newversion(d)
+        hist = db.deref(old)
+        with pytest.raises(NotPersistentError):
+            hist.spec = "tamper"
+
+    def test_current_version_writable_via_vref(self, design_db):
+        db = design_db
+        d = db.pnew(Design)
+        newversion(d)
+        cur = db.current_version(d.oid)
+        live = db.deref(cur)
+        live.spec = "ok"  # current: writable
+        assert live.spec == "ok"
+
+
+class TestVersionDeletion:
+    def test_delete_middle_version_relinks(self, design_db):
+        db = design_db
+        d = db.pnew(Design)
+        v1 = d.vref
+        v2 = newversion(d)
+        v3 = newversion(d)
+        db.pdelete(v2)
+        assert [v.version for v in db.versions(d.oid)] == [1, 3]
+        assert db.vnext(v1) == v3
+        with pytest.raises(DanglingReferenceError):
+            db.deref(v2)
+
+    def test_delete_current_promotes_previous(self, design_db):
+        db = design_db
+        d = db.pnew(Design, spec="old")
+        v1 = d.vref
+        v2 = newversion(d)
+        live = db.deref(d.oid)
+        live.spec = "newest"
+        with db.transaction():
+            pass
+        db.pdelete(v2)
+        assert db.current_version(d.oid) == v1
+        db._cache.clear()
+        assert db.deref(d.oid).spec == "old"
+
+    def test_delete_last_version_deletes_object(self, design_db):
+        db = design_db
+        d = db.pnew(Design)
+        only = d.vref
+        db.pdelete(only)
+        with pytest.raises(DanglingReferenceError):
+            db.deref(d.oid if d.is_persistent else only.oid)
+
+    def test_pdelete_object_removes_all_versions(self, design_db):
+        db = design_db
+        d = db.pnew(Design)
+        v1 = d.vref
+        newversion(d)
+        db.pdelete(d.oid)
+        with pytest.raises(DanglingReferenceError):
+            db.deref(v1)
+
+    def test_vref_to_deleted_version_rejected_in_navigation(self, design_db):
+        db = design_db
+        d = db.pnew(Design)
+        v1 = d.vref
+        newversion(d)
+        db.pdelete(v1)
+        with pytest.raises(VersionError):
+            db.vnext(v1)
+
+
+class TestVersionDurability:
+    def test_versions_survive_reopen(self, db_path):
+        db = Database(db_path)
+        db.create(Design)
+        d = db.pnew(Design, spec="first")
+        oid = d.oid
+        old = d.vref
+        newversion(d)
+        d.spec = "second"
+        db.close()
+
+        db2 = Database(db_path)
+        assert db2.deref(old).spec == "first"
+        assert db2.deref(oid).spec == "second"
+        assert len(db2.versions(oid)) == 2
+        db2.close()
+
+    def test_unbounded_versions(self, design_db):
+        """Paper: 'no pre-defined limit on the number of versions'."""
+        d = design_db.pnew(Design)
+        for _ in range(40):
+            newversion(d)
+        assert len(versions(d)) == 41
+        assert d.version == 41

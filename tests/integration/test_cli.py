@@ -1,0 +1,132 @@
+"""Tests for the `python -m repro` command line."""
+
+import io
+import sys
+
+import pytest
+
+from repro.__main__ import main
+
+
+@pytest.fixture
+def scripts(tmp_path):
+    setup = tmp_path / "setup.opp"
+    setup.write_text("""
+    class book {
+      public:
+        char* title;
+        int year;
+    };
+    create book;
+    pnew book("tpop", 1999);
+    pnew book("kr", 1978);
+    """)
+    query = tmp_path / "query.opp"
+    query.write_text("""
+    forall b in book by (b->year)
+        printf("%d %s\\n", b->year, b->title);
+    """)
+    return tmp_path, str(setup), str(query)
+
+
+def run_cli(args, stdin_text=""):
+    out, err = io.StringIO(), io.StringIO()
+    old = sys.stdout, sys.stderr, sys.stdin
+    sys.stdout, sys.stderr = out, err
+    sys.stdin = io.StringIO(stdin_text)
+    try:
+        code = main(args)
+    finally:
+        sys.stdout, sys.stderr, sys.stdin = old
+    return code, out.getvalue(), err.getvalue()
+
+
+class TestScriptMode:
+    def test_runs_scripts_in_order(self, scripts):
+        tmp_path, setup, query = scripts
+        db_path = str(tmp_path / "lib.odb")
+        code, out, err = run_cli([db_path, setup, query])
+        assert code == 0
+        assert out.index("1978 kr") < out.index("1999 tpop")
+
+    def test_quiet_suppresses_output(self, scripts):
+        tmp_path, setup, query = scripts
+        db_path = str(tmp_path / "lib.odb")
+        code, out, _ = run_cli([db_path, setup, query, "--quiet"])
+        assert code == 0
+        assert out == ""
+
+    def test_state_persists_between_invocations(self, scripts):
+        tmp_path, setup, query = scripts
+        db_path = str(tmp_path / "lib.odb")
+        run_cli([db_path, setup])
+        code, out, _ = run_cli([db_path, query])
+        assert code == 0
+        assert "tpop" in out
+
+    def test_error_reported(self, tmp_path):
+        bad = tmp_path / "bad.opp"
+        bad.write_text("this is not o++ at all @@@;")
+        code, out, err = run_cli([str(tmp_path / "x.odb"), str(bad)])
+        assert code == 1
+        assert "error" in err
+
+
+class TestAdminModes:
+    def test_schema(self, scripts):
+        tmp_path, setup, _ = scripts
+        db_path = str(tmp_path / "lib.odb")
+        run_cli([db_path, setup])
+        code, out, _ = run_cli([db_path, "--schema"])
+        assert code == 0
+        assert "cluster book" in out
+        assert "(2 objects)" in out
+
+    def test_verify_clean(self, scripts):
+        tmp_path, setup, _ = scripts
+        db_path = str(tmp_path / "lib.odb")
+        run_cli([db_path, setup])
+        code, out, _ = run_cli([db_path, "--verify"])
+        assert code == 0
+        assert "ok" in out
+
+    def test_vacuum(self, scripts):
+        tmp_path, setup, _ = scripts
+        db_path = str(tmp_path / "lib.odb")
+        run_cli([db_path, setup])
+        code, out, _ = run_cli([db_path, "--vacuum"])
+        assert code == 0
+        assert "book:" in out
+
+
+class TestRepl:
+    def test_evaluates_chunks(self, tmp_path):
+        db_path = str(tmp_path / "r.odb")
+        code, out, _ = run_cli([db_path],
+                               stdin_text='printf("%d\\n", 6 * 7);\n\n')
+        assert code == 0
+        assert "42" in out
+
+    def test_error_recovery(self, tmp_path):
+        db_path = str(tmp_path / "r.odb")
+        stdin = ('not valid @;\n\n'
+                 'printf("still alive");\n\n')
+        code, out, _ = run_cli([db_path], stdin_text=stdin)
+        assert code == 0
+        assert "error" in out
+        assert "still alive" in out
+
+    def test_multiline_class_then_use(self, tmp_path):
+        db_path = str(tmp_path / "r.odb")
+        stdin = ("class pt {\n"
+                 "  public:\n"
+                 "    int x;\n"
+                 "};\n"
+                 "\n"
+                 "pt *p;\n"
+                 "p = new pt(9);\n"
+                 'printf("%d", p->x);\n'
+                 "\n")
+        code, out, _ = run_cli([db_path], stdin_text=stdin)
+        assert code == 0
+        assert "9" in out

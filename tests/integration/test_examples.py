@@ -1,0 +1,29 @@
+"""Every shipped example must run cleanly as a standalone program."""
+
+import os
+import subprocess
+import sys
+
+import pytest
+
+EXAMPLES_DIR = os.path.join(os.path.dirname(__file__), "..", "..",
+                            "examples")
+
+EXAMPLES = sorted(f for f in os.listdir(EXAMPLES_DIR) if f.endswith(".py"))
+
+
+@pytest.mark.parametrize("script", EXAMPLES)
+def test_example_runs(script):
+    result = subprocess.run(
+        [sys.executable, os.path.join(EXAMPLES_DIR, script)],
+        capture_output=True, text=True, timeout=120)
+    assert result.returncode == 0, (
+        "%s failed:\nstdout:\n%s\nstderr:\n%s"
+        % (script, result.stdout[-2000:], result.stderr[-2000:]))
+    assert result.stdout.strip()  # every example narrates what it does
+
+
+def test_expected_examples_present():
+    assert {"quickstart.py", "university.py", "parts_explosion.py",
+            "active_inventory.py", "versioned_designs.py",
+            "opp_inventory.py", "crash_recovery.py"} <= set(EXAMPLES)

@@ -1,0 +1,170 @@
+"""Grand lifecycle scenario: a realistic application over many sessions.
+
+One inventory application, driven alternately from Python and O++, through
+crashes, vacuums, versioning, triggers and queries — asserting global
+consistency at every stage. This is the closest thing to the 'downstream
+adopter' experience.
+"""
+
+import pytest
+
+from repro import (A, Database, FloatField, IntField, Oid, OdeObject,
+                   RefField, SetField, StringField, Trigger, constraint,
+                   forall, group_by, newversion)
+from repro.errors import ConstraintViolation
+from repro.opp import Interpreter
+
+events = []
+
+
+class Vendor(OdeObject):
+    name = StringField(default="")
+    rating = IntField(default=3)
+
+
+class Sku(OdeObject):
+    code = StringField(default="")
+    price = FloatField(default=0.0)
+    on_hand = IntField(default=0)
+    reorder_at = IntField(default=0)
+    vendor = RefField("Vendor")
+    tags = SetField()
+
+    def receive(self, n):
+        self.on_hand += n
+
+    def ship(self, n):
+        self.on_hand -= n
+
+    @constraint
+    def non_negative_stock(self):
+        return self.on_hand >= 0
+
+    low_stock = Trigger(
+        condition=lambda self, qty: self.on_hand <= self.reorder_at,
+        action=lambda self, qty: events.append(("reorder", self.code, qty)))
+
+
+@pytest.fixture(autouse=True)
+def clear_events():
+    events.clear()
+
+
+def open_db(path):
+    return Database(str(path))
+
+
+class TestLifecycle:
+    def test_full_application_story(self, tmp_path):
+        path = tmp_path / "shop.odb"
+
+        # ---- session 1: bootstrap from Python --------------------------------
+        db = open_db(path)
+        db.create(Vendor)
+        db.create(Sku)
+        db.create_index(Sku, "price", kind="btree")
+        db.create_index(Sku, ("vendor", "price"), kind="btree")
+        acme = db.pnew(Vendor, name="acme", rating=5)
+        globex = db.pnew(Vendor, name="globex", rating=2)
+        with db.transaction():
+            for i in range(120):
+                sku = db.pnew(
+                    Sku, code="SKU-%04d" % i, price=float(i % 40) + 0.99,
+                    on_hand=50 + i % 30, reorder_at=10,
+                    vendor=(acme if i % 3 else globex))
+                if i % 10 == 0:
+                    sku.tags.insert("featured")
+        assert db.cluster(Sku).count() == 120
+        assert db.verify() == []
+        db.close()
+
+        # ---- session 2: O++ operates on the same data -----------------------
+        db = open_db(path)
+        interp = Interpreter(db)
+        interp.run(r'''
+        int featured = 0;
+        forall s in Sku suchthat (s->price < 5.0) by (s->code)
+            featured++;
+        printf("cheap=%d\n", featured);
+        ''')
+        assert "cheap=" in "".join(interp.output)
+        # O++ adds new stock through the same constraint/trigger machinery.
+        interp.run(r'''
+        forall s in Sku suchthat (s->price > 39.0) {
+            s->receive(25);
+        }
+        ''')
+        db.close()
+
+        # ---- session 3: trigger + versioning + constraint rollback ----------
+        db = open_db(path)
+        sku = forall(db.cluster(Sku)).suchthat(A.code == "SKU-0000").first()
+        tid = sku.low_stock(500)
+        old_rev = sku.vref
+        newversion(sku)
+        with db.transaction():
+            sku.price = sku.price * 1.10  # new version gets a new price
+        with db.transaction():
+            sku.ship(sku.on_hand - 5)  # drops to 5 <= 10: trigger fires
+        assert events == [("reorder", "SKU-0000", 500)]
+        assert not tid.is_active
+        assert db.deref(old_rev).price < db.deref(sku.oid).price
+        # constraint violation rolls everything back
+        before = sku.on_hand
+        with pytest.raises(ConstraintViolation):
+            with db.transaction():
+                sku.receive(100)
+                sku.ship(100000)
+        assert sku.on_hand == before
+        db.close()
+
+        # ---- session 4: crash mid-transaction --------------------------------
+        db = open_db(path)
+        target = forall(db.cluster(Sku)).suchthat(
+            A.code == "SKU-0001").first()
+        committed_value = target.on_hand
+        from repro.core.database import Transaction
+        handle = Transaction(db.store.begin(), db)
+        db._txn = handle
+        target.on_hand = 424242
+        db._flush(handle.txn_id)
+        db.store.crash()
+        db._closed = True
+
+        # ---- session 5: recovery, vacuum, final analytics --------------------
+        db = open_db(path)
+        assert db.store.last_recovery is not None
+        fresh = forall(db.cluster(Sku)).suchthat(
+            A.code == "SKU-0001").first()
+        assert fresh.on_hand == committed_value  # crash change gone
+        assert db.verify() == []
+
+        # churn then vacuum
+        doomed = forall(db.cluster(Sku)).suchthat(A.price > 35.0).to_list()
+        for sku in doomed:
+            db.pdelete(sku)
+        db.vacuum()
+        assert db.verify() == []
+        remaining = db.cluster(Sku).count()
+        assert remaining == 120 - len(doomed)
+
+        # composite-index query still correct after all of the above
+        q = forall(db.cluster(Sku)).suchthat(
+            (A.vendor == acme.oid) & (A.price < 10.0))
+        brute = [s for s in db.cluster(Sku)
+                 if s.vendor == acme.oid and s.price < 10.0]
+        assert {s.code for s in q} == {s.code for s in brute}
+        assert "composite" in q.explain() or "eq-lookup" in q.explain()
+
+        # aggregates over the final state
+        by_vendor = group_by(forall(db.cluster(Sku)),
+                             key=lambda s: db.deref(s.vendor).name,
+                             value=A.on_hand, reduce=sum)
+        assert set(by_vendor) == {"acme", "globex"}
+        assert all(total >= 0 for total in by_vendor.values())
+
+        # the version chain survived every session
+        sku0 = forall(db.cluster(Sku)).suchthat(
+            A.code == "SKU-0000").first()
+        assert len(db.versions(sku0)) == 2
+        db.close()

@@ -1,0 +1,198 @@
+"""The paper's O++ programs, run nearly verbatim through the interpreter."""
+
+import pytest
+
+from repro.core import Database
+from repro.opp import Interpreter
+
+
+@pytest.fixture
+def interp(db):
+    return Interpreter(db)
+
+
+PAPER_SCHEMA = r"""
+class supplier {
+  public:
+    char* name;
+    char* address;
+    supplier(char* n, char* a) { name = n; address = a; }
+};
+
+class stockitem {
+  public:
+    char* name;
+    double weight;
+    int qty;
+    int max_inventory;
+    double price;
+    int reorder_level;
+    persistent supplier *sup;
+    stockitem(char* n, double w, int q, int maxi, double p, int r) {
+        name = n; weight = w; qty = q; max_inventory = maxi;
+        price = p; reorder_level = r;
+    }
+    int consume(int n) { qty = qty - n; return qty; }
+    int restock(int n) { qty = qty + n; return qty; }
+  constraint:
+    qty >= 0;
+    qty <= max_inventory;
+  trigger:
+    reorder(int n) : qty <= reorder_level ==> printf("ORDER %s x%d\n", name, n);
+};
+"""
+
+
+class TestSection2:
+    def test_persistent_object_creation(self, interp):
+        out = interp.run(PAPER_SCHEMA + r"""
+        create supplier;
+        create stockitem;
+
+        persistent supplier *att;
+        att = pnew supplier("at&t", "berkeley hts, nj");
+
+        persistent stockitem *psip;
+        psip = pnew stockitem("512 dram", 0.05, 7500, 15000, 5.00, 15);
+        psip->sup = att;
+        printf("%s from %s at %s\n", psip->name, psip->sup->name,
+               psip->sup->address);
+        """)
+        assert "512 dram from at&t at berkeley hts, nj\n" in "".join(out)
+
+    def test_volatile_vs_persistent(self, interp):
+        out = interp.run(PAPER_SCHEMA + r"""
+        create supplier; create stockitem;
+        stockitem *sip;                     // volatile pointer
+        persistent stockitem *psip;         // persistent pointer
+        sip = new stockitem("bolt", 0.01, 50, 100, 0.10, 5);
+        psip = pnew stockitem("bolt", 0.01, 50, 100, 0.10, 5);
+        sip->consume(10);
+        psip->consume(10);
+        printf("%d %d\n", sip->qty, psip->qty);
+        """)
+        assert "40 40\n" in "".join(out)
+
+
+class TestSection3:
+    def test_suchthat_by_query(self, interp):
+        out = interp.run(PAPER_SCHEMA + r"""
+        create supplier; create stockitem;
+        pnew stockitem("512 dram", 0.05, 7500, 15000, 5.00, 15);
+        pnew stockitem("z80", 0.10, 50, 500, 2.50, 10);
+        pnew stockitem("eprom", 0.07, 300, 2000, 2.90, 20);
+        pnew stockitem("68000", 0.20, 90, 400, 12.00, 5);
+
+        forall t in stockitem suchthat (t->price < 3.00) by (t->name)
+            printf("%s costs %g\n", t->name, t->price);
+        """)
+        text = "".join(out)
+        assert text.index("eprom") < text.index("z80")
+        assert "68000" not in text
+
+    def test_income_program(self, interp):
+        """Section 3.1.1's hierarchy program, almost verbatim."""
+        out = interp.run(r"""
+        class person {
+          public:
+            char* name;
+            double income() { return 100.0; }
+        };
+        class student : public person {
+          public:
+            double income() { return 40.0; }
+        };
+        class faculty : public person {
+          public:
+            double income() { return 200.0; }
+        };
+        create person; create student; create faculty;
+        pnew person("p1"); pnew person("p2");
+        pnew student("s1");
+        pnew faculty("f1");
+
+        double incomep = 0.0; double incomes = 0.0; double incomef = 0.0;
+        int np = 0; int ns = 0; int nf = 0;
+        forall p in person* {
+            incomep += p->income(); np++;
+            if (p is persistent student*) { incomes += p->income(); ns++; }
+            else if (p is persistent faculty*) { incomef += p->income(); nf++; }
+        }
+        printf("%g %g %g\n", incomep/np, incomes/ns, incomef/nf);
+        """)
+        assert "110 40 200\n" in "".join(out)
+
+    def test_fixpoint_reachability(self, interp):
+        """Section 3.2: iteration over a growing set."""
+        out = interp.run(r"""
+        class city {
+          public:
+            char* name;
+            set<city> direct;
+        };
+        create city;
+        persistent city *a; persistent city *b;
+        persistent city *c; persistent city *d;
+        a = pnew city("ny");
+        b = pnew city("chi");
+        c = pnew city("sf");
+        d = pnew city("la");     // not reachable
+        a->direct << b;
+        b->direct << c;
+
+        set<int> reach;
+        reach << a;
+        int n = 0;
+        for x in reach {
+            n++;
+            for y in deref(x)->direct reach << y;
+        }
+        printf("%d\n", n);
+        """)
+        assert "3\n" in "".join(out)
+
+
+class TestSections5and6:
+    def test_constraint_violation(self, interp, db):
+        from repro.errors import ConstraintViolation
+        source = PAPER_SCHEMA + r"""
+        create supplier; create stockitem;
+        persistent stockitem *s;
+        s = pnew stockitem("x", 0.1, 10, 100, 1.0, 2);
+        s->consume(50);
+        """
+        with pytest.raises(ConstraintViolation):
+            interp.run(source)
+        # rolled back: qty still 10
+        item = next(iter(db.cluster("stockitem")))
+        assert item.qty == 10
+
+    def test_trigger_lifecycle(self, interp):
+        out = interp.run(PAPER_SCHEMA + r"""
+        create supplier; create stockitem;
+        persistent stockitem *s;
+        s = pnew stockitem("dram", 0.1, 7500, 15000, 5.0, 1000);
+        s->reorder(5000);
+        transaction { s->consume(3000); }   // 4500: no fire
+        transaction { s->consume(4000); }   // 500: fires once
+        transaction { s->consume(100); }    // once-only: no refire
+        printf("final %d\n", s->qty);
+        """)
+        text = "".join(out)
+        assert text.count("ORDER dram x5000") == 1
+        assert "final 400\n" in text
+
+    def test_versioning_macros(self, interp):
+        out = interp.run(r"""
+        class doc { public: char* body; };
+        create doc;
+        persistent doc *d;
+        d = pnew doc("draft");
+        newversion(d);
+        d->body = "final";
+        printf("%s then %s\n", deref(vfirst(d))->body, d->body);
+        printf("prev of current is v%d\n", vprev(d) == vfirst(d) ? 1 : 0);
+        """)
+        text = "".join(out)
+        assert "draft then final\n" in text
+        assert "prev of current is v1\n" in text

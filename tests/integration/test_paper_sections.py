@@ -1,0 +1,287 @@
+"""Integration tests reproducing each paper section's worked example.
+
+These are the behavioural "experiments" indexed in DESIGN.md (EXP-1..9):
+the paper has no measured tables, so fidelity to the stated semantics of
+each worked example is the reproduction target.
+"""
+
+import pytest
+
+from repro import (A, Database, FloatField, IntField, OdeObject, OdeSet,
+                   Oid, RefField, SetField, StringField, Trigger, avg,
+                   constraint, forall, group_by, newversion)
+from repro.errors import ClusterNotFoundError, ConstraintViolation
+
+order_log = []
+
+
+class PaperSupplier(OdeObject):
+    name = StringField(default="")
+    address = StringField(default="")
+
+
+class PaperStockItem(OdeObject):
+    """The paper's running `stockitem` example (sections 2, 5, 6)."""
+
+    name = StringField(default="")
+    weight = FloatField(default=0.0)
+    qty = IntField(default=0)
+    max_inventory = IntField(default=1000000)
+    price = FloatField(default=0.0)
+    reorder_level = IntField(default=0)
+    supplier = RefField("PaperSupplier")
+    consumers = SetField()
+
+    def consume(self, n):
+        self.qty -= n
+
+    def restock(self, n):
+        self.qty += n
+
+    @constraint
+    def qty_nonneg(self):
+        return self.qty >= 0
+
+    @constraint
+    def within_capacity(self):
+        return self.qty <= self.max_inventory
+
+    reorder = Trigger(
+        condition=lambda self, quantity: self.qty <= self.reorder_level,
+        action=lambda self, quantity: order_log.append(
+            (self.name, quantity)))
+
+
+@pytest.fixture(autouse=True)
+def clear_order_log():
+    order_log.clear()
+
+
+class TestExp1StockItem:
+    """EXP-1: sections 2.1-2.4 — class definition and persistence."""
+
+    def test_paper_creation_sequence(self, db):
+        db.create(PaperSupplier)
+        db.create(PaperStockItem)
+        att = db.pnew(PaperSupplier, name="at&t",
+                      address="berkeley hts, nj")
+        sip = db.pnew(PaperStockItem, name="512 dram", weight=0.05,
+                      qty=7500, max_inventory=15000, price=5.00,
+                      reorder_level=15, supplier=att)
+        assert sip.is_persistent
+        assert sip.follow("supplier").name == "at&t"
+
+    def test_cluster_must_exist_first(self, db):
+        with pytest.raises(ClusterNotFoundError):
+            db.pnew(PaperStockItem, name="x")
+
+    def test_volatile_and_persistent_same_code(self, db):
+        db.create(PaperSupplier)
+        db.create(PaperStockItem)
+        vol = PaperStockItem(name="v", qty=100)
+        per = db.pnew(PaperStockItem, name="p", qty=100)
+        for item in (vol, per):
+            item.consume(30)
+        assert vol.qty == per.qty == 70
+
+
+class TestExp4Iteration:
+    """EXP-4: section 3.1 — forall / suchthat / by."""
+
+    @pytest.fixture
+    def stocked(self, db):
+        db.create(PaperSupplier)
+        db.create(PaperStockItem)
+        for name, price in [("512 dram", 5.0), ("z80", 2.5),
+                            ("eprom", 2.9), ("68000", 12.0)]:
+            db.pnew(PaperStockItem, name=name, price=price, qty=10)
+        return db
+
+    def test_cheap_items_by_name(self, stocked):
+        """`forall t in stockitem suchthat (t->price < 3.00) by (t->name)`"""
+        q = forall(stocked.cluster(PaperStockItem)).suchthat(
+            A.price < 3.00).by(A.name)
+        assert [t.name for t in q] == ["eprom", "z80"]
+
+
+class TestExp5Hierarchy:
+    """EXP-5: section 3.1.1 — deep extents and type tests."""
+
+    def test_income_program(self, db):
+        class P(OdeObject):
+            name = StringField(default="")
+
+            def income(self):
+                return 100.0
+
+        class S(P):
+            def income(self):
+                return 40.0
+
+        class F(P):
+            def income(self):
+                return 200.0
+
+        db.create(P)
+        db.create(S)
+        db.create(F)
+        for i in range(4):
+            db.pnew(P, name="p%d" % i)
+        for i in range(2):
+            db.pnew(S, name="s%d" % i)
+        for i in range(2):
+            db.pnew(F, name="f%d" % i)
+
+        # The paper's accumulator program, directly:
+        incomep = incomes = incomef = 0.0
+        np = ns = nf = 0
+        for p in db.cluster(P).deep():
+            incomep += p.income()
+            np += 1
+            if isinstance(p, S):
+                incomes += p.income()
+                ns += 1
+            elif isinstance(p, F):
+                incomef += p.income()
+                nf += 1
+        assert np == 8 and ns == 2 and nf == 2
+        assert incomep / np == (4 * 100 + 2 * 40 + 2 * 200) / 8
+        assert incomes / ns == 40.0
+        assert incomef / nf == 200.0
+
+
+class TestExp6Fixpoint:
+    """EXP-6: section 3.2 — recursive queries via growing iteration."""
+
+    def test_parts_explosion(self, db):
+        class Bom(OdeObject):
+            name = StringField(default="")
+            uses = SetField("Bom")
+
+        db.create(Bom)
+        wheel = db.pnew(Bom, name="wheel")
+        spoke = db.pnew(Bom, name="spoke")
+        rim = db.pnew(Bom, name="rim")
+        bike = db.pnew(Bom, name="bike")
+        wheel.uses = OdeSet([spoke.oid, rim.oid])
+        bike.uses = OdeSet([wheel.oid])
+        with db.transaction():
+            pass
+
+        # the paper's idiom: iterate a set while inserting into it
+        needed = OdeSet([bike.oid])
+        for ref in needed:
+            for sub in db.deref(ref).uses:
+                needed.insert(sub)
+        names = {db.deref(r).name for r in needed}
+        assert names == {"bike", "wheel", "spoke", "rim"}
+
+
+class TestExp7Versions:
+    """EXP-7: section 4 — linear versioning."""
+
+    def test_design_history(self, db):
+        db.create(PaperStockItem)
+        db.create(PaperSupplier)
+        item = db.pnew(PaperStockItem, name="board", price=10.0)
+        rev_a = item.vref
+        newversion(item)
+        item.price = 12.0
+        rev_b = item.vref
+        newversion(item)
+        item.price = 15.0
+        with db.transaction():
+            pass
+
+        assert db.deref(rev_a).price == 10.0
+        assert db.deref(rev_b).price == 12.0
+        assert db.deref(item.oid).price == 15.0  # generic ref: current
+        assert db.vnext(rev_a) == rev_b
+        assert db.vprev(rev_b) == rev_a
+
+
+class TestExp8Constraints:
+    """EXP-8: section 5 — constraints abort the violating transaction."""
+
+    def test_violation_rolls_back_everything(self, db):
+        db.create(PaperSupplier)
+        db.create(PaperStockItem)
+        item = db.pnew(PaperStockItem, name="x", qty=100,
+                       max_inventory=1000)
+        other = db.pnew(PaperStockItem, name="y", qty=5, max_inventory=1000)
+        with pytest.raises(ConstraintViolation):
+            with db.transaction():
+                other.restock(10)     # would be fine
+                item.consume(500)     # qty < 0: abort everything
+        assert item.qty == 100
+        assert other.qty == 5
+
+    def test_both_constraints_enforced(self, db):
+        db.create(PaperSupplier)
+        db.create(PaperStockItem)
+        item = db.pnew(PaperStockItem, qty=10, max_inventory=20)
+        with pytest.raises(ConstraintViolation):
+            item.restock(100)  # above max_inventory
+        assert item.qty == 10
+
+
+class TestExp9Triggers:
+    """EXP-9: section 6 — the reorder trigger, exactly as in the paper."""
+
+    def test_reorder_cycle(self, db):
+        db.create(PaperSupplier)
+        db.create(PaperStockItem)
+        sip = db.pnew(PaperStockItem, name="512 dram", qty=7500,
+                      max_inventory=15000, reorder_level=1000)
+        tid = sip.reorder(5000)
+        with db.transaction():
+            sip.consume(3000)  # 4500 left: no fire
+        assert order_log == []
+        with db.transaction():
+            sip.consume(4000)  # 500 left <= 1000: fires
+        assert order_log == [("512 dram", 5000)]
+        assert not tid.is_active  # once-only
+
+    def test_weak_coupling_abort(self, db):
+        db.create(PaperSupplier)
+        db.create(PaperStockItem)
+        sip = db.pnew(PaperStockItem, name="z80", qty=100,
+                      max_inventory=1000, reorder_level=90)
+        sip.reorder(10)
+        with pytest.raises(RuntimeError):
+            with db.transaction():
+                sip.consume(50)
+                raise RuntimeError("cancel")
+        assert order_log == []  # fired actions aborted with the txn
+
+
+class TestCrossSectionScenario:
+    """Everything together: active versioned inventory over reopen."""
+
+    def test_full_lifecycle(self, db_path):
+        db = Database(db_path)
+        db.create(PaperSupplier)
+        db.create(PaperStockItem)
+        att = db.pnew(PaperSupplier, name="at&t")
+        sip = db.pnew(PaperStockItem, name="512 dram", qty=7500,
+                      max_inventory=15000, price=5.0, reorder_level=1000,
+                      supplier=att)
+        sip.reorder(5000)
+        v1 = sip.vref
+        newversion(sip)
+        sip.price = 6.0
+        oid = sip.oid
+        db.close()
+
+        db2 = Database(db_path)
+        item = db2.deref(oid)
+        assert item.price == 6.0
+        assert db2.deref(v1).price == 5.0
+        with db2.transaction():
+            item.consume(6800)
+        assert order_log == [("512 dram", 5000)]
+        assert item.qty == 700
+        totals = group_by(forall(db2.cluster(PaperStockItem)),
+                          key=A.name, value=A.qty, reduce=sum)
+        assert totals == {"512 dram": 700}
+        db2.close()

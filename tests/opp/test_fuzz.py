@@ -1,0 +1,91 @@
+"""Fuzz/robustness tests for the O++ front end.
+
+The parser and lexer must reject malformed input with OppSyntaxError —
+never an internal exception — and must be total over arbitrary text.
+"""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import OppError, OppSyntaxError
+from repro.opp.lexer import tokenize
+from repro.opp.parser import parse
+
+
+class TestLexerTotality:
+    @given(st.text(max_size=200))
+    @settings(max_examples=300)
+    def test_lexer_tokenizes_or_rejects(self, text):
+        try:
+            tokens = tokenize(text)
+        except OppSyntaxError:
+            return
+        assert tokens[-1].kind == "eof"
+
+    @given(st.text(alphabet="abc123+-*/<>=!&|(){};, \n\"'", max_size=120))
+    @settings(max_examples=300)
+    def test_c_flavoured_soup(self, text):
+        try:
+            tokenize(text)
+        except OppSyntaxError:
+            pass
+
+
+class TestParserTotality:
+    @given(st.text(max_size=150))
+    @settings(max_examples=200)
+    def test_parser_never_crashes(self, text):
+        try:
+            parse(text)
+        except OppSyntaxError:
+            pass
+
+    @given(st.lists(st.sampled_from([
+        "class", "c", "{", "}", "(", ")", ";", "int", "x", "=", "1", "+",
+        "forall", "in", "suchthat", "by", "pnew", "pdelete", "persistent",
+        "trigger", ":", "==>", "perpetual", "new", "if", "else", "while",
+        "return", "->", ".", ",", "*",
+    ]), max_size=40))
+    @settings(max_examples=300)
+    def test_token_soup(self, words):
+        try:
+            parse(" ".join(words))
+        except OppSyntaxError:
+            pass
+
+    def test_deeply_nested_expressions(self):
+        source = "x = " + "(" * 60 + "1" + ")" * 60 + ";"
+        parse(source)
+
+    def test_long_program(self):
+        source = "\n".join("int v%d = %d;" % (i, i) for i in range(500))
+        program = parse(source)
+        assert len(program.decls) == 500
+
+
+class TestInterpreterRobustness:
+    def test_recursion_limit_surfaces_cleanly(self, db):
+        from repro.opp import Interpreter
+        interp = Interpreter(db)
+        with pytest.raises((RecursionError, OppError)):
+            interp.run("""
+            int forever(int n) { return forever(n + 1); }
+            forever(0);
+            """)
+
+    def test_sequential_runs_share_state(self, db):
+        from repro.opp import Interpreter
+        interp = Interpreter(db)
+        interp.run("int counter = 10;")
+        interp.run("counter = counter + 5;")
+        interp.run('printf("%d", counter);')
+        assert "".join(interp.output) == "15"
+
+    def test_failed_run_does_not_poison_interpreter(self, db):
+        from repro.opp import Interpreter
+        interp = Interpreter(db)
+        with pytest.raises(OppSyntaxError):
+            interp.run("garbage @@@")
+        interp.run('printf("fine");')
+        assert "fine" in "".join(interp.output)

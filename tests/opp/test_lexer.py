@@ -1,0 +1,81 @@
+"""Unit tests for the O++ lexer."""
+
+import pytest
+
+from repro.errors import OppSyntaxError
+from repro.opp.lexer import Token, tokenize
+
+
+def kinds_values(source):
+    return [(t.kind, t.value) for t in tokenize(source) if t.kind != "eof"]
+
+
+class TestBasics:
+    def test_empty(self):
+        assert tokenize("")[-1].kind == "eof"
+
+    def test_identifiers_and_keywords(self):
+        toks = kinds_values("class stockitem persistent foo_bar2")
+        assert toks == [("keyword", "class"), ("ident", "stockitem"),
+                        ("keyword", "persistent"), ("ident", "foo_bar2")]
+
+    def test_numbers(self):
+        toks = kinds_values("42 3.14 0.5 1e10 2.5e-3 7.")
+        assert toks == [("int", "42"), ("float", "3.14"), ("float", "0.5"),
+                        ("float", "1e10"), ("float", "2.5e-3"),
+                        ("float", "7.")]
+
+    def test_strings(self):
+        toks = kinds_values(r'"hello" "with \"escape\"" "tab\t"')
+        assert toks == [("string", "hello"), ("string", 'with "escape"'),
+                        ("string", "tab\t")]
+
+    def test_chars(self):
+        toks = kinds_values(r"'a' '\n' 'f'")
+        assert toks == [("char", "a"), ("char", "\n"), ("char", "f")]
+
+    def test_operators_maximal_munch(self):
+        toks = [v for _, v in kinds_values("==> == = <= << < -> - >>=")]
+        assert toks == ["==>", "==", "=", "<=", "<<", "<", "->", "-", ">>="]
+
+    def test_line_tracking(self):
+        toks = tokenize("a\nbb\n  c")
+        assert toks[0].line == 1
+        assert toks[1].line == 2
+        assert toks[2].line == 3 and toks[2].column == 3
+
+
+class TestComments:
+    def test_line_comment(self):
+        assert kinds_values("a // comment\n b") == [("ident", "a"),
+                                                    ("ident", "b")]
+
+    def test_block_comment(self):
+        assert kinds_values("a /* x\ny */ b") == [("ident", "a"),
+                                                  ("ident", "b")]
+
+    def test_unterminated_block(self):
+        with pytest.raises(OppSyntaxError):
+            tokenize("a /* never ends")
+
+
+class TestErrors:
+    def test_unterminated_string(self):
+        with pytest.raises(OppSyntaxError):
+            tokenize('"never ends')
+
+    def test_bad_character(self):
+        with pytest.raises(OppSyntaxError):
+            tokenize("a @ b")
+
+    def test_newline_in_string(self):
+        with pytest.raises(OppSyntaxError):
+            tokenize('"line\nbreak"')
+
+    def test_error_carries_position(self):
+        try:
+            tokenize("ok\nok @")
+        except OppSyntaxError as exc:
+            assert exc.line == 2
+        else:
+            pytest.fail("expected OppSyntaxError")

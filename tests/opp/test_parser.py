@@ -1,0 +1,226 @@
+"""Unit tests for the O++ parser (AST shapes)."""
+
+import pytest
+
+from repro.errors import OppSyntaxError
+from repro.opp import ast_nodes as ast
+from repro.opp.parser import parse
+
+
+class TestClassDecls:
+    def test_fields_and_access(self):
+        prog = parse("""
+        class point {
+          public:
+            int x;
+            int y;
+          private:
+            double hidden;
+        };
+        """)
+        cls = prog.decls[0]
+        assert isinstance(cls, ast.ClassDecl)
+        assert [(f.name, f.access) for f in cls.fields] == [
+            ("x", "public"), ("y", "public"), ("hidden", "private")]
+
+    def test_inheritance(self):
+        prog = parse("""
+        class a { public: int x; };
+        class b : public a { public: int y; };
+        class c : public a, public b { };
+        """)
+        assert prog.decls[1].bases == ["a"]
+        assert prog.decls[2].bases == ["a", "b"]
+
+    def test_methods_and_constructor(self):
+        prog = parse("""
+        class counter {
+          public:
+            int n;
+            counter(int start) { n = start; }
+            int bump() { n = n + 1; return n; }
+        };
+        """)
+        cls = prog.decls[0]
+        assert len(cls.methods) == 2
+        ctor = [m for m in cls.methods if m.is_constructor][0]
+        assert ctor.params[0].name == "start"
+
+    def test_constraint_section(self):
+        prog = parse("""
+        class tank {
+          public:
+            int level;
+          constraint:
+            level >= 0;
+            level <= 100;
+        };
+        """)
+        assert len(prog.decls[0].constraints) == 2
+
+    def test_trigger_section(self):
+        prog = parse("""
+        class tank {
+          public:
+            int level;
+          trigger:
+            low(int n) : level <= n ==> alert(this);
+            perpetual empty() : level == 0 ==> alert(this);
+            timed(int n) : within 60 : level >= n ==> ok(this) : fail(this);
+        };
+        """)
+        triggers = prog.decls[0].triggers
+        assert [t.name for t in triggers] == ["low", "empty", "timed"]
+        assert triggers[1].perpetual
+        assert triggers[2].within is not None
+        assert triggers[2].timeout_action is not None
+
+    def test_multi_declarator_fields(self):
+        prog = parse("class p { public: int x, y, z; };")
+        assert [f.name for f in prog.decls[0].fields] == ["x", "y", "z"]
+
+    def test_set_member(self):
+        prog = parse("class p { public: set<part> kids; };")
+        field = prog.decls[0].fields[0]
+        assert field.type_name.name == "set"
+        assert field.type_name.element.name == "part"
+
+
+class TestStatements:
+    def test_forall_full_form(self):
+        prog = parse("""
+        class item { public: int qty; };
+        forall t in item suchthat (t->qty > 0) by (t->qty) { t; }
+        """)
+        stmt = prog.decls[1]
+        assert isinstance(stmt, ast.Forall)
+        assert stmt.sources[0][0] == "t"
+        assert stmt.suchthat is not None and stmt.by is not None
+
+    def test_forall_deep(self):
+        prog = parse("""
+        class item { public: int qty; };
+        forall t in item* { t; }
+        """)
+        assert prog.decls[1].sources[0][2] is True  # deep flag
+
+    def test_forall_join(self):
+        prog = parse("""
+        class emp { public: char* name; };
+        class child { public: char* parent; };
+        forall e in emp, forall c in child suchthat (e->name == c->parent)
+            { e; }
+        """)
+        stmt = prog.decls[2]
+        assert [v for v, _, _ in stmt.sources] == ["e", "c"]
+
+    def test_for_in_set(self):
+        prog = parse("for x in s { x; }")
+        assert isinstance(prog.decls[0], ast.ForIn)
+
+    def test_classic_for(self):
+        prog = parse("for (int i = 0; i < 10; i = i + 1) { i; }")
+        assert isinstance(prog.decls[0], ast.CFor)
+
+    def test_persistent_pointer_decl(self):
+        prog = parse("""
+        class item { public: int qty; };
+        persistent item *p;
+        """)
+        decl = prog.decls[1]
+        assert isinstance(decl, ast.VarDecl)
+        assert decl.type_name.persistent and decl.type_name.pointer
+
+    def test_pnew_pdelete_create(self):
+        prog = parse("""
+        class item { public: int qty; };
+        create item;
+        item *p;
+        p = pnew item(5);
+        pdelete p;
+        """)
+        kinds = [type(d).__name__ for d in prog.decls]
+        assert kinds == ["ClassDecl", "Create", "VarDecl", "ExprStmt",
+                         "PDelete"]
+
+    def test_transaction_block(self):
+        prog = parse("transaction { 1; }")
+        assert isinstance(prog.decls[0], ast.TransactionBlock)
+
+    def test_function_decl(self):
+        prog = parse("int twice(int n) { return n * 2; }")
+        assert isinstance(prog.decls[0], ast.FuncDecl)
+        assert prog.decls[0].name == "twice"
+
+
+class TestExpressions:
+    def _expr(self, text):
+        prog = parse(text + ";")
+        return prog.decls[0].expr
+
+    def test_precedence(self):
+        expr = self._expr("1 + 2 * 3")
+        assert isinstance(expr, ast.Binary) and expr.op == "+"
+        assert expr.right.op == "*"
+
+    def test_comparison_chain(self):
+        expr = self._expr("a < b == c")
+        assert expr.op == "=="
+        assert expr.left.op == "<"
+
+    def test_logical_short_circuit_shape(self):
+        expr = self._expr("a && b || c")
+        assert expr.op == "||"
+
+    def test_member_arrow_and_dot(self):
+        expr = self._expr("a->b.c")
+        assert isinstance(expr, ast.Member) and expr.field == "c"
+        assert expr.target.field == "b"
+
+    def test_is_test(self):
+        expr = self._expr("p is persistent student*")
+        assert isinstance(expr, ast.IsType)
+        assert expr.persistent and expr.type_name == "student"
+
+    def test_conditional(self):
+        expr = self._expr("a ? b : c")
+        assert isinstance(expr, ast.Conditional)
+
+    def test_shift_as_set_ops(self):
+        expr = self._expr("s << x >> y")
+        assert expr.op == ">>" and expr.left.op == "<<"
+
+    def test_assignment_chain(self):
+        expr = self._expr("a = b = 3")
+        assert isinstance(expr, ast.Assign)
+        assert isinstance(expr.value, ast.Assign)
+
+    def test_augmented_assign(self):
+        expr = self._expr("a += 2")
+        assert expr.op == "+="
+
+    def test_invalid_assignment_target(self):
+        with pytest.raises(OppSyntaxError):
+            parse("1 + 2 = 3;")
+
+    def test_call_args(self):
+        expr = self._expr("f(1, x, g())")
+        assert isinstance(expr, ast.Call) and len(expr.args) == 3
+
+    def test_incdec(self):
+        expr = self._expr("i++")
+        assert isinstance(expr, ast.IncDec)
+
+
+class TestErrors:
+    def test_missing_semicolon(self):
+        with pytest.raises(OppSyntaxError):
+            parse("int x = 5")
+
+    def test_unclosed_brace(self):
+        with pytest.raises(OppSyntaxError):
+            parse("class a { public: int x;")
+
+    def test_garbage(self):
+        with pytest.raises(OppSyntaxError):
+            parse("class class class")

@@ -1,0 +1,79 @@
+"""Tests for aggregates over forall iterations."""
+
+import pytest
+
+from repro.core import FloatField, IntField, OdeObject, StringField
+from repro.query import A, avg, count, forall, group_by, max_, min_, sum_
+
+
+class Sale(OdeObject):
+    region = StringField(default="")
+    amount = FloatField(default=0.0)
+    units = IntField(default=0)
+
+
+@pytest.fixture
+def sales(db):
+    db.create(Sale)
+    data = [("east", 10.0, 1), ("east", 20.0, 2), ("west", 5.0, 1),
+            ("west", 15.0, 3), ("north", 100.0, 10)]
+    for region, amount, units in data:
+        db.pnew(Sale, region=region, amount=amount, units=units)
+    return db
+
+
+class TestScalarAggregates:
+    def test_count(self, sales):
+        assert count(forall(sales.cluster(Sale))) == 5
+        assert count(forall(sales.cluster(Sale)), lambda s: s.units > 1) == 3
+
+    def test_sum(self, sales):
+        assert sum_(forall(sales.cluster(Sale)), A.amount) == 150.0
+        assert sum_(forall(sales.cluster(Sale)), "units") == 17
+
+    def test_avg(self, sales):
+        assert avg(forall(sales.cluster(Sale)), A.amount) == 30.0
+
+    def test_avg_empty_is_none(self, db):
+        db.create(Sale)
+        assert avg(forall(db.cluster(Sale)), A.amount) is None
+
+    def test_min_max(self, sales):
+        assert min_(forall(sales.cluster(Sale)), A.amount) == 5.0
+        assert max_(forall(sales.cluster(Sale)), A.amount) == 100.0
+
+    def test_min_empty_is_none(self, db):
+        db.create(Sale)
+        assert min_(forall(db.cluster(Sale)), A.amount) is None
+
+    def test_identity_value(self):
+        assert sum_(forall([1, 2, 3])) == 6
+
+    def test_callable_value(self, sales):
+        total = sum_(forall(sales.cluster(Sale)),
+                     lambda s: s.amount * s.units)
+        assert total == 10.0 + 40.0 + 5.0 + 45.0 + 1000.0
+
+
+class TestGroupBy:
+    def test_plain_groups(self, sales):
+        groups = group_by(forall(sales.cluster(Sale)), key=A.region)
+        assert set(groups) == {"east", "west", "north"}
+        assert len(groups["east"]) == 2
+
+    def test_value_and_reduce(self, sales):
+        totals = group_by(forall(sales.cluster(Sale)), key=A.region,
+                          value=A.amount, reduce=sum)
+        assert totals == {"east": 30.0, "west": 20.0, "north": 100.0}
+
+    def test_reduce_len(self, sales):
+        sizes = group_by(forall(sales.cluster(Sale)), key=A.region,
+                         value=A.units, reduce=len)
+        assert sizes == {"east": 2, "west": 2, "north": 1}
+
+    def test_income_averages_like_paper(self, sales):
+        """The shape of 3.1.1's income program, via group_by."""
+        averages = group_by(forall(sales.cluster(Sale)), key=A.region,
+                            value=A.amount,
+                            reduce=lambda xs: sum(xs) / len(xs))
+        assert averages["east"] == 15.0

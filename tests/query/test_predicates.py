@@ -1,0 +1,106 @@
+"""Unit tests for predicate expressions (suchthat building blocks)."""
+
+import pytest
+
+from repro.core import IntField, OdeObject, StringField
+from repro.errors import QueryError
+from repro.query import (A, And, AttrCompare, Compare, Not, Or, TrueP,
+                         as_predicate)
+
+
+class Row(OdeObject):
+    x = IntField(default=0)
+    y = IntField(default=0)
+    name = StringField(default="")
+
+
+class TestAttrBuilder:
+    def test_builds_compare(self):
+        pred = A.x == 5
+        assert isinstance(pred, Compare)
+        assert pred.attr == "x" and pred.op == "==" and pred.value == 5
+
+    def test_all_operators(self):
+        for op, true_case in [("==", 5), ("!=", 6), ("<", 6), ("<=", 5),
+                              (">", 4), (">=", 5)]:
+            pred = getattr(A.x, {"==": "__eq__", "!=": "__ne__",
+                                 "<": "__lt__", "<=": "__le__",
+                                 ">": "__gt__", ">=": "__ge__"}[op])(true_case)
+            assert pred(Row(x=5)), op
+
+    def test_attr_to_attr(self):
+        pred = A.x < A.y
+        assert isinstance(pred, AttrCompare)
+        assert pred(Row(x=1, y=2))
+        assert not pred(Row(x=2, y=1))
+
+    def test_between(self):
+        pred = A.x.between(3, 7)
+        assert pred(Row(x=3)) and pred(Row(x=7)) and pred(Row(x=5))
+        assert not pred(Row(x=2)) and not pred(Row(x=8))
+
+    def test_is_in(self):
+        pred = A.name.is_in(["a", "b"])
+        assert pred(Row(name="a"))
+        assert not pred(Row(name="z"))
+
+    def test_private_attr_rejected(self):
+        with pytest.raises(AttributeError):
+            A._secret
+
+
+class TestCombinators:
+    def test_and(self):
+        pred = (A.x > 0) & (A.y > 0)
+        assert pred(Row(x=1, y=1))
+        assert not pred(Row(x=1, y=0))
+
+    def test_or(self):
+        pred = (A.x > 10) | (A.name == "special")
+        assert pred(Row(x=20))
+        assert pred(Row(name="special"))
+        assert not pred(Row())
+
+    def test_not(self):
+        pred = ~(A.x == 0)
+        assert pred(Row(x=1))
+        assert not pred(Row(x=0))
+
+    def test_conjuncts_flattened(self):
+        pred = (A.x > 0) & (A.y > 0) & (A.name == "n")
+        assert len(pred.conjuncts()) == 3
+
+    def test_or_not_flattened_into_conjuncts(self):
+        pred = (A.x > 0) | (A.y > 0)
+        assert pred.conjuncts() == [pred]
+
+    def test_truep(self):
+        assert TrueP()(Row())
+        assert TrueP().conjuncts() == []
+
+
+class TestCoercion:
+    def test_callable_wrapped(self):
+        pred = as_predicate(lambda r: r.x > 3)
+        assert pred(Row(x=4)) and not pred(Row(x=2))
+
+    def test_predicate_passthrough(self):
+        pred = A.x == 1
+        assert as_predicate(pred) is pred
+
+    def test_none_is_true(self):
+        assert as_predicate(None)(Row())
+
+    def test_garbage_rejected(self):
+        with pytest.raises(QueryError):
+            as_predicate(42)
+
+    def test_persistent_object_constant_compares_by_id(self, db):
+        db.create(Row)
+        r = db.pnew(Row, name="target")
+        pred = A.ref == r  # Compare against live object -> its oid
+        assert pred.value == r.oid
+
+    def test_incomparable_types_false_not_error(self):
+        pred = A.name < 5  # str < int at eval time
+        assert pred(Row(name="a")) is False

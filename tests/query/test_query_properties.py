@@ -1,0 +1,104 @@
+"""Property-based testing of the query optimizer.
+
+For random predicates over a fixed dataset, every index configuration must
+return exactly the brute-force answer. This is the strongest guarantee we
+can give about plan selection: indexes change speed, never results.
+"""
+
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.core import Database, FloatField, IntField, OdeObject, StringField
+from repro.query import A, forall
+from repro.query.predicates import And, Compare, Or, as_predicate
+
+FIELDS = {
+    "alpha": st.integers(min_value=0, max_value=9),
+    "beta": st.floats(min_value=0.0, max_value=5.0).map(
+        lambda x: round(x * 2) / 2.0),
+    "gamma": st.sampled_from(["red", "green", "blue"]),
+}
+
+OPS = ["==", "!=", "<", "<=", ">", ">="]
+
+
+class PropRow(OdeObject):
+    alpha = IntField(default=0)
+    beta = FloatField(default=0.0)
+    gamma = StringField(default="")
+
+
+def comparison_for(field):
+    return st.tuples(st.sampled_from(OPS), FIELDS[field]).map(
+        lambda ov: Compare(field, ov[0], ov[1]))
+
+
+predicates = st.recursive(
+    st.sampled_from(list(FIELDS)).flatmap(comparison_for),
+    lambda children: st.one_of(
+        st.tuples(children, children).map(lambda ab: And(*ab)),
+        st.tuples(children, children).map(lambda ab: Or(*ab)),
+    ),
+    max_leaves=4,
+)
+
+
+@pytest.fixture(scope="module")
+def dataset(tmp_path_factory):
+    """One module-scoped database, three index configurations as clusters."""
+    path = tmp_path_factory.mktemp("qprop") / "q.odb"
+    db = Database(str(path))
+    db.create(PropRow)
+    rows = []
+    for i in range(150):
+        rows.append(dict(alpha=i % 10, beta=(i % 11) / 2.0,
+                         gamma=["red", "green", "blue"][i % 3]))
+    with db.transaction():
+        for row in rows:
+            db.pnew(PropRow, **row)
+    db.create_index(PropRow, "alpha", kind="hash")
+    db.create_index(PropRow, "beta", kind="btree")
+    db.create_index(PropRow, ("gamma", "alpha"), kind="btree")
+    yield db
+    db.close()
+
+
+class TestOptimizerEquivalence:
+    @given(pred=predicates)
+    @settings(max_examples=150, deadline=None,
+              suppress_health_check=[HealthCheck.function_scoped_fixture])
+    def test_indexed_equals_brute_force(self, dataset, pred):
+        db = dataset
+        fast = sorted(r.oid.serial
+                      for r in forall(db.cluster(PropRow)).suchthat(pred))
+        check = as_predicate(pred)
+        slow = sorted(r.oid.serial for r in db.cluster(PropRow)
+                      if check(r))
+        assert fast == slow
+
+    @given(pred=predicates,
+           order_field=st.sampled_from(list(FIELDS)),
+           desc=st.booleans())
+    @settings(max_examples=60, deadline=None,
+              suppress_health_check=[HealthCheck.function_scoped_fixture])
+    def test_ordering_correct_for_any_plan(self, dataset, pred,
+                                           order_field, desc):
+        db = dataset
+        rows = forall(db.cluster(PropRow)).suchthat(pred).by(
+            getattr(A, order_field), desc=desc).to_list()
+        values = [getattr(r, order_field) for r in rows]
+        assert values == sorted(values, reverse=desc)
+
+    @given(pred=predicates, n=st.integers(min_value=0, max_value=20))
+    @settings(max_examples=40, deadline=None,
+              suppress_health_check=[HealthCheck.function_scoped_fixture])
+    def test_limit_prefix_of_full_result(self, dataset, pred, n):
+        db = dataset
+        full = [r.oid.serial for r in
+                forall(db.cluster(PropRow)).suchthat(pred).by(
+                    lambda r: r.oid.serial)]
+        limited = [r.oid.serial for r in
+                   forall(db.cluster(PropRow)).suchthat(pred).by(
+                       lambda r: r.oid.serial).limit(n)]
+        assert limited == full[:n]

@@ -1,0 +1,254 @@
+"""Unit tests for the B+tree index."""
+
+import random
+
+import pytest
+
+from repro.errors import DuplicateKeyError
+from repro.storage.btree import BTree
+
+
+@pytest.fixture
+def tree(stack):
+    pool, wal, journal = stack
+    txn = journal.begin()
+    tree = BTree.create(journal, txn)
+    return tree, journal, txn
+
+
+class TestBasics:
+    def test_empty(self, tree):
+        bt, journal, txn = tree
+        assert bt.search("missing") == []
+        assert len(bt) == 0
+        assert list(bt.items()) == []
+
+    def test_insert_search(self, tree):
+        bt, journal, txn = tree
+        bt.insert(txn, "key", "value")
+        assert bt.search("key") == ["value"]
+        assert bt.contains("key")
+
+    def test_many_keys_random_order(self, tree):
+        bt, journal, txn = tree
+        keys = list(range(2000))
+        random.Random(42).shuffle(keys)
+        for k in keys:
+            bt.insert(txn, k, k * 10)
+        bt.check_invariants()
+        assert len(bt) == 2000
+        for k in (0, 1, 999, 1999):
+            assert bt.search(k) == [k * 10]
+        assert [k for k, _ in bt.items()] == list(range(2000))
+
+    def test_duplicates(self, tree):
+        bt, journal, txn = tree
+        for i in range(10):
+            bt.insert(txn, "same", i)
+        assert sorted(bt.search("same")) == list(range(10))
+
+    def test_unique_rejects_duplicates(self, stack):
+        pool, wal, journal = stack
+        txn = journal.begin()
+        bt = BTree.create(journal, txn, unique=True)
+        bt.insert(txn, "k", 1)
+        with pytest.raises(DuplicateKeyError):
+            bt.insert(txn, "k", 2)
+
+    def test_mixed_type_keys(self, tree):
+        bt, journal, txn = tree
+        bt.insert(txn, 1, "int")
+        bt.insert(txn, 1.5, "float")
+        bt.insert(txn, "a", "str")
+        bt.insert(txn, ("t", 1), "tuple")
+        bt.insert(txn, None, "none")
+        keys = [k for k, _ in bt.items()]
+        assert keys == [None, 1, 1.5, "a", ("t", 1)]
+
+
+class TestRange:
+    def test_range_half_open(self, tree):
+        bt, journal, txn = tree
+        for i in range(100):
+            bt.insert(txn, i, i)
+        assert [k for k, _ in bt.range(10, 20)] == list(range(10, 20))
+
+    def test_range_inclusive(self, tree):
+        bt, journal, txn = tree
+        for i in range(100):
+            bt.insert(txn, i, i)
+        got = [k for k, _ in bt.range(10, 20, include_hi=True)]
+        assert got == list(range(10, 21))
+
+    def test_range_open_bounds(self, tree):
+        bt, journal, txn = tree
+        for i in range(50):
+            bt.insert(txn, i, i)
+        assert [k for k, _ in bt.range(lo=45)] == [45, 46, 47, 48, 49]
+        assert [k for k, _ in bt.range(hi=5)] == [0, 1, 2, 3, 4]
+
+    def test_range_spanning_splits(self, tree):
+        bt, journal, txn = tree
+        for i in range(3000):
+            bt.insert(txn, i, i)
+        got = [k for k, _ in bt.range(1495, 1505)]
+        assert got == list(range(1495, 1505))
+
+    def test_string_prefix_range(self, tree):
+        bt, journal, txn = tree
+        for name in ["adams", "baker", "bates", "clark", "davis"]:
+            bt.insert(txn, name, name)
+        got = [k for k, _ in bt.range("b", "c")]
+        assert got == ["baker", "bates"]
+
+
+class TestDelete:
+    def test_delete_single(self, tree):
+        bt, journal, txn = tree
+        bt.insert(txn, "k", "v")
+        assert bt.delete(txn, "k") == 1
+        assert bt.search("k") == []
+
+    def test_delete_missing(self, tree):
+        bt, journal, txn = tree
+        assert bt.delete(txn, "nope") == 0
+
+    def test_delete_by_value(self, tree):
+        bt, journal, txn = tree
+        bt.insert(txn, "k", 1)
+        bt.insert(txn, "k", 2)
+        assert bt.delete(txn, "k", value=1) == 1
+        assert bt.search("k") == [2]
+
+    def test_delete_all_duplicates(self, tree):
+        bt, journal, txn = tree
+        for i in range(20):
+            bt.insert(txn, "dup", i)
+        assert bt.delete(txn, "dup") == 20
+        assert bt.search("dup") == []
+
+    def test_mass_delete_keeps_invariants(self, tree):
+        bt, journal, txn = tree
+        keys = list(range(1500))
+        rng = random.Random(7)
+        rng.shuffle(keys)
+        for k in keys:
+            bt.insert(txn, k, k)
+        rng.shuffle(keys)
+        for k in keys[:1400]:
+            assert bt.delete(txn, k) == 1
+        bt.check_invariants()
+        remaining = sorted(keys[1400:])
+        assert [k for k, _ in bt.items()] == remaining
+
+    def test_delete_everything_then_reinsert(self, tree):
+        bt, journal, txn = tree
+        for i in range(500):
+            bt.insert(txn, i, i)
+        for i in range(500):
+            bt.delete(txn, i)
+        assert len(bt) == 0
+        bt.check_invariants()
+        for i in range(100):
+            bt.insert(txn, i, -i)
+        assert [v for _, v in bt.items()] == [-i for i in range(100)]
+
+
+class TestTransactions:
+    def test_abort_rolls_back_inserts(self, stack):
+        pool, wal, journal = stack
+        setup = journal.begin()
+        bt = BTree.create(journal, setup)
+        for i in range(100):
+            bt.insert(setup, i, i)
+        journal.commit(setup)
+
+        txn = journal.begin()
+        for i in range(100, 1200):
+            bt.insert(txn, i, i)
+        journal.abort(txn)
+        bt.check_invariants()
+        assert len(bt) == 100
+        assert bt.search(150) == []
+
+    def test_abort_rolls_back_deletes(self, stack):
+        pool, wal, journal = stack
+        setup = journal.begin()
+        bt = BTree.create(journal, setup)
+        for i in range(200):
+            bt.insert(setup, i, i)
+        journal.commit(setup)
+
+        txn = journal.begin()
+        for i in range(200):
+            bt.delete(txn, i)
+        journal.abort(txn)
+        assert len(bt) == 200
+
+
+class TestStructure:
+    def test_root_page_stable_across_splits(self, tree):
+        bt, journal, txn = tree
+        root_before = bt.root_page
+        for i in range(5000):
+            bt.insert(txn, i, i)
+        assert bt.root_page == root_before
+        bt.check_invariants()
+
+    def test_long_values(self, tree):
+        bt, journal, txn = tree
+        bt.insert(txn, "k", "v" * 2000)
+        assert bt.search("k") == ["v" * 2000]
+
+
+class TestDuplicateHeavyWorkloads:
+    """Regression tests for duplicate runs straddling node splits."""
+
+    def test_many_duplicates_keep_invariants(self, tree):
+        bt, journal, txn = tree
+        # Few distinct keys, many entries each: runs are forced to span
+        # splits; the tie-broken sort keys must keep bounds exact.
+        for i in range(3000):
+            bt.insert(txn, i % 7, "value-%04d" % i)
+        bt.check_invariants()
+        for k in range(7):
+            hits = bt.search(k)
+            assert len(hits) == 3000 // 7 + (1 if k < 3000 % 7 else 0)
+
+    def test_run_spanning_many_leaves(self, tree):
+        bt, journal, txn = tree
+        for i in range(400):
+            bt.insert(txn, "before", i)
+        for i in range(400):
+            bt.insert(txn, "hot", i)
+        for i in range(400):
+            bt.insert(txn, "zafter", i)
+        bt.check_invariants()
+        assert sorted(bt.search("hot")) == list(range(400))
+        assert len(list(bt.range("hot", "hot", include_hi=True))) == 400
+
+    def test_delete_entire_run(self, tree):
+        bt, journal, txn = tree
+        for i in range(500):
+            bt.insert(txn, "run", i)
+        for i in range(100):
+            bt.insert(txn, "other", i)
+        assert bt.delete(txn, "run") == 500
+        bt.check_invariants()
+        assert bt.search("run") == []
+        assert len(bt.search("other")) == 100
+
+    def test_delete_one_value_from_run(self, tree):
+        bt, journal, txn = tree
+        for i in range(300):
+            bt.insert(txn, "run", i)
+        assert bt.delete(txn, "run", value=150) == 1
+        hits = bt.search("run")
+        assert len(hits) == 299 and 150 not in hits
+
+    def test_identical_key_value_pairs(self, tree):
+        bt, journal, txn = tree
+        for _ in range(50):
+            bt.insert(txn, "same", "same-value")
+        assert len(bt.search("same")) == 50
+        bt.check_invariants()

@@ -1,0 +1,132 @@
+"""Unit tests for the buffer pool."""
+
+import pytest
+
+from repro.errors import BufferPoolError
+from repro.storage.buffer import BufferPool
+from repro.storage.page import PAGE_SIZE, PageType
+from repro.storage.pagefile import PageFile
+
+
+@pytest.fixture
+def pf(tmp_path):
+    f = PageFile(str(tmp_path / "pages"))
+    yield f
+    f.close()
+
+
+@pytest.fixture
+def pool(pf):
+    return BufferPool(pf, capacity=4)
+
+
+class TestBasics:
+    def test_new_page_formatted(self, pool):
+        page_no = pool.new_page(PageType.HEAP)
+        with pool.page(page_no) as page:
+            assert page.page_no == page_no
+            assert page.page_type == PageType.HEAP
+            assert page.slot_count == 0
+
+    def test_write_visible_through_pool(self, pool):
+        page_no = pool.new_page(PageType.HEAP)
+        with pool.page(page_no, write=True) as page:
+            slot = page.insert(b"cached")
+        with pool.page(page_no) as page:
+            assert page.read(slot) == b"cached"
+
+    def test_capacity_validation(self, pf):
+        with pytest.raises(BufferPoolError):
+            BufferPool(pf, capacity=0)
+
+    def test_unpin_without_pin_fails(self, pool):
+        page_no = pool.new_page(PageType.HEAP)
+        with pytest.raises(BufferPoolError):
+            pool.unpin(page_no)
+
+
+class TestEviction:
+    def test_dirty_page_written_back_on_eviction(self, pool, pf):
+        first = pool.new_page(PageType.HEAP)
+        with pool.page(first, write=True) as page:
+            slot = page.insert(b"must survive")
+        # Flood the pool to force eviction of `first`.
+        for _ in range(6):
+            pool.new_page(PageType.HEAP)
+        assert pool.evictions > 0
+        buf = bytearray(PAGE_SIZE)
+        pf.read_page(first, buf)
+        from repro.storage.page import SlottedPage
+        assert SlottedPage(buf).read(slot) == b"must survive"
+
+    def test_pinned_pages_not_evicted(self, pool):
+        first = pool.new_page(PageType.HEAP)
+        view = pool.pin(first)
+        view.insert(b"pinned data")
+        for _ in range(5):
+            pool.new_page(PageType.HEAP)
+        # still readable through the same buffer
+        assert view.read(0) == b"pinned data"
+        pool.unpin(first, dirty=True)
+
+    def test_all_pinned_exhausts_pool(self, pool):
+        pages = [pool.new_page(PageType.HEAP) for _ in range(4)]
+        for p in pages:
+            pool.pin(p)
+        with pytest.raises(BufferPoolError):
+            pool.new_page(PageType.HEAP)
+        for p in pages:
+            pool.unpin(p)
+
+    def test_lru_order(self, pool):
+        pages = [pool.new_page(PageType.HEAP) for _ in range(4)]
+        pool.flush_all()
+        # touch page[0] so page[1] becomes LRU
+        with pool.page(pages[0]):
+            pass
+        extra = pool.new_page(PageType.HEAP)  # evicts pages[1]
+        stats = pool.stats()
+        assert stats["cached"] == 4
+        with pool.page(pages[1]):  # must fault back in
+            pass
+        assert pool.misses >= 1
+
+
+class TestFlush:
+    def test_flush_all_cleans(self, pool):
+        page_no = pool.new_page(PageType.HEAP)
+        with pool.page(page_no, write=True) as page:
+            page.insert(b"x")
+        assert pool.dirty_page_numbers()
+        pool.flush_all()
+        assert not pool.dirty_page_numbers()
+
+    def test_invalidate_loses_unflushed(self, pool, pf):
+        page_no = pool.new_page(PageType.HEAP)
+        pool.flush_all()
+        with pool.page(page_no, write=True) as page:
+            page.insert(b"volatile")
+        pool.invalidate_all()
+        with pool.page(page_no) as page:
+            assert page.slot_count == 0  # change was never written
+
+    def test_invalidate_refuses_pinned(self, pool):
+        page_no = pool.new_page(PageType.HEAP)
+        pool.pin(page_no)
+        with pytest.raises(BufferPoolError):
+            pool.invalidate_all()
+        pool.unpin(page_no)
+
+    def test_stats_counters(self, pool):
+        page_no = pool.new_page(PageType.HEAP)
+        with pool.page(page_no):
+            pass
+        stats = pool.stats()
+        assert stats["hits"] >= 1
+        assert stats["capacity"] == 4
+
+    def test_free_page_returns_to_file(self, pool, pf):
+        page_no = pool.new_page(PageType.HEAP)
+        pool.flush_all()
+        pool.free_page(page_no)
+        assert pf.allocate_page() == page_no

@@ -1,0 +1,130 @@
+"""Unit tests for the system catalog."""
+
+import pytest
+
+from repro.errors import CatalogError
+from repro.storage.catalog import Catalog, ClusterInfo, IndexInfo
+from repro.storage.pagefile import PageFile
+
+
+@pytest.fixture
+def catalog(stack, tmp_path):
+    pool, wal, journal = stack
+    return Catalog(journal, pool._pagefile, journal.begin)
+
+
+class TestIndexInfo:
+    def test_single_field(self):
+        info = IndexInfo("age", "btree", 5, False)
+        assert info.fields == ["age"]
+        assert not info.is_composite
+
+    def test_composite(self):
+        info = IndexInfo("a,b", "btree", 5, True, fields=["a", "b"])
+        assert info.is_composite
+        back = IndexInfo.from_state(info.to_state())
+        assert back.fields == ["a", "b"] and back.unique
+
+    def test_legacy_four_element_state(self):
+        back = IndexInfo.from_state(["age", "hash", 9, False])
+        assert back.fields == ["age"]
+
+    def test_bad_kind(self):
+        with pytest.raises(CatalogError):
+            IndexInfo("f", "rtree", 1, False)
+
+
+class TestCatalogRecords:
+    def test_cluster_round_trip(self, catalog, stack):
+        pool, wal, journal = stack
+        txn = journal.begin()
+        info = catalog.add_cluster(txn, "person", [], 10, 11)
+        journal.commit(txn)
+        assert catalog.get_cluster("person").cluster_id == info.cluster_id
+        assert catalog.has_cluster("person")
+        assert not catalog.has_cluster("ghost")
+
+    def test_cluster_ids_unique(self, catalog, stack):
+        pool, wal, journal = stack
+        txn = journal.begin()
+        a = catalog.add_cluster(txn, "a", [], 10, 11)
+        b = catalog.add_cluster(txn, "b", [], 12, 13)
+        journal.commit(txn)
+        assert a.cluster_id != b.cluster_id
+
+    def test_duplicate_rejected(self, catalog, stack):
+        pool, wal, journal = stack
+        txn = journal.begin()
+        catalog.add_cluster(txn, "dup", [], 1, 2)
+        with pytest.raises(CatalogError):
+            catalog.add_cluster(txn, "dup", [], 3, 4)
+
+    def test_children_of(self, catalog, stack):
+        pool, wal, journal = stack
+        txn = journal.begin()
+        catalog.add_cluster(txn, "base", [], 1, 2)
+        catalog.add_cluster(txn, "kid", ["base"], 3, 4)
+        catalog.add_cluster(txn, "grandkid", ["kid"], 5, 6)
+        journal.commit(txn)
+        assert [c.name for c in catalog.children_of("base")] == ["kid"]
+        assert [c.name for c in catalog.children_of("kid")] == ["grandkid"]
+        assert catalog.children_of("grandkid") == []
+
+    def test_save_cluster_persists_serial(self, catalog, stack):
+        pool, wal, journal = stack
+        txn = journal.begin()
+        info = catalog.add_cluster(txn, "c", [], 1, 2)
+        info.next_serial = 99
+        catalog.save_cluster(txn, info)
+        journal.commit(txn)
+        catalog.invalidate()
+        assert catalog.get_cluster("c").next_serial == 99
+
+    def test_meta_round_trip(self, catalog, stack):
+        pool, wal, journal = stack
+        txn = journal.begin()
+        catalog.set_meta(txn, "clock", 12.5)
+        catalog.set_meta(txn, "clock", 13.5)  # overwrite in place
+        catalog.set_meta(txn, "note", {"nested": [1, 2]})
+        journal.commit(txn)
+        catalog.invalidate()
+        assert catalog.get_meta("clock") == 13.5
+        assert catalog.get_meta("note") == {"nested": [1, 2]}
+        assert catalog.get_meta("missing", "dflt") == "dflt"
+
+    def test_invalidate_discards_uncommitted_view(self, catalog, stack):
+        pool, wal, journal = stack
+        txn = journal.begin()
+        catalog.add_cluster(txn, "temp", [], 1, 2)
+        journal.abort(txn)
+        catalog.invalidate()
+        assert not catalog.has_cluster("temp")
+
+    def test_bootstrap_root_reused_on_reopen(self, tmp_path):
+        from repro.storage.buffer import BufferPool
+        from repro.storage.journal import Journal
+        from repro.storage.wal import WriteAheadLog
+        page_path = str(tmp_path / "cat-pages")
+        wal_path = str(tmp_path / "cat-wal")
+
+        pf = PageFile(page_path)
+        pool = BufferPool(pf)
+        wal = WriteAheadLog(wal_path)
+        journal = Journal(pool, wal)
+        cat = Catalog(journal, pf, journal.begin)
+        txn = journal.begin()
+        cat.add_cluster(txn, "persisted", [], 1, 2)
+        journal.commit(txn)
+        journal.checkpoint()
+        pool.flush_all()
+        wal.close()
+        pf.close()
+
+        pf2 = PageFile(page_path)
+        pool2 = BufferPool(pf2)
+        wal2 = WriteAheadLog(wal_path)
+        journal2 = Journal(pool2, wal2)
+        cat2 = Catalog(journal2, pf2, journal2.begin)
+        assert cat2.has_cluster("persisted")
+        wal2.close()
+        pf2.close()

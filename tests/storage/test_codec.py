@@ -1,0 +1,156 @@
+"""Unit tests for the binary value codec and the key encoding."""
+
+import pytest
+
+from repro.errors import CodecError
+from repro.storage.codec import (OidTriple, VrefTriple, decode_value,
+                                 encode_key, encode_value)
+
+
+class TestValueRoundTrip:
+    @pytest.mark.parametrize("value", [
+        None, True, False,
+        0, 1, -1, 2 ** 62, -(2 ** 62), 2 ** 63 - 1, -(2 ** 63),
+        2 ** 64, 2 ** 200, -(2 ** 200),
+        0.0, -0.0, 3.141592653589793, float("inf"), float("-inf"),
+        "", "hello", "héllo wörld", "日本語", "a" * 10000,
+        b"", b"\x00\xff\x01", b"bytes" * 1000,
+    ])
+    def test_scalars(self, value):
+        assert decode_value(encode_value(value)) == value
+
+    def test_nan_roundtrip(self):
+        import math
+        result = decode_value(encode_value(float("nan")))
+        assert math.isnan(result)
+
+    @pytest.mark.parametrize("value", [
+        [], [1, 2, 3], [1, [2, [3, [4]]]],
+        (), (1, "two", 3.0), ((1, 2), (3, 4)),
+        {}, {"a": 1, "b": [2, 3]}, {1: "one", (2, 3): "pair"},
+        set(), {1, 2, 3}, frozenset({"x", "y"}),
+        [None, True, {"k": (1, b"b")}],
+    ])
+    def test_containers(self, value):
+        assert decode_value(encode_value(value)) == value
+
+    def test_container_types_preserved(self):
+        assert isinstance(decode_value(encode_value((1, 2))), tuple)
+        assert isinstance(decode_value(encode_value([1, 2])), list)
+        assert isinstance(decode_value(encode_value({1, 2})), set)
+        assert isinstance(decode_value(encode_value(frozenset({1}))),
+                          frozenset)
+
+    def test_oid_triples(self):
+        t = OidTriple(3, 42, 0)
+        back = decode_value(encode_value(t))
+        assert isinstance(back, OidTriple)
+        assert not isinstance(back, VrefTriple)
+        assert back == t
+        v = VrefTriple(3, 42, 7)
+        back = decode_value(encode_value(v))
+        assert isinstance(back, VrefTriple)
+        assert back.version == 7
+
+    def test_bool_not_confused_with_int(self):
+        assert decode_value(encode_value(True)) is True
+        assert decode_value(encode_value(1)) == 1
+        assert decode_value(encode_value(1)) is not True
+
+    def test_deterministic_set_encoding(self):
+        a = encode_value({3, 1, 2})
+        b = encode_value({2, 3, 1})
+        assert a == b
+
+
+class TestValueErrors:
+    def test_unsupported_type(self):
+        with pytest.raises(CodecError):
+            encode_value(object())
+
+    def test_truncated(self):
+        raw = encode_value("hello world")
+        with pytest.raises(CodecError):
+            decode_value(raw[:-3])
+
+    def test_trailing_garbage(self):
+        raw = encode_value(5) + b"\x00"
+        with pytest.raises(CodecError):
+            decode_value(raw)
+
+    def test_unknown_tag(self):
+        with pytest.raises(CodecError):
+            decode_value(b"\xfe")
+
+    def test_empty(self):
+        with pytest.raises(CodecError):
+            decode_value(b"")
+
+
+class TestKeyOrdering:
+    def test_int_order(self):
+        values = [-1000, -1, 0, 1, 2, 999999]
+        keys = [encode_key(v) for v in values]
+        assert keys == sorted(keys)
+
+    def test_float_int_interleaved(self):
+        values = [-5.5, -5, -4.5, 0, 0.5, 1, 1.5]
+        keys = [encode_key(v) for v in values]
+        assert keys == sorted(keys)
+
+    def test_string_order(self):
+        values = ["", "a", "ab", "ab\x00c", "abc", "b"]
+        keys = [encode_key(v) for v in values]
+        assert keys == sorted(keys)
+
+    def test_tuple_order(self):
+        values = [("a",), ("a", 1), ("a", 2), ("b",), ("b", 0)]
+        keys = [encode_key(v) for v in values]
+        assert keys == sorted(keys)
+
+    def test_cross_kind_order(self):
+        # None < bools < numbers < strings < bytes < tuples
+        values = [None, False, True, -1, 3.5, "a", b"a", ("a",)]
+        keys = [encode_key(v) for v in values]
+        assert keys == sorted(keys)
+
+    def test_key_distinct(self):
+        assert encode_key(1) != encode_key(1.5)
+        assert encode_key("a") != encode_key(b"a")
+        assert encode_key(("a",)) != encode_key("a")
+
+    def test_huge_int_key_rejected(self):
+        with pytest.raises(CodecError):
+            encode_key(2 ** 80)
+
+    def test_unsupported_key_type(self):
+        with pytest.raises(CodecError):
+            encode_key([1, 2])
+
+
+class TestExtensions:
+    def test_core_oid_registration(self):
+        # Importing the core layer registers Oid/Vref with the codec.
+        from repro.core.oid import Oid, Vref
+        oid = Oid("Person", 7)
+        assert decode_value(encode_value(oid)) == oid
+        vref = Vref("Person", 7, 3)
+        back = decode_value(encode_value(vref))
+        assert back == vref and isinstance(back, Vref)
+
+    def test_oid_as_index_key(self):
+        from repro.core.oid import Oid
+        a = encode_key(Oid("A", 1))
+        b = encode_key(Oid("A", 2))
+        c = encode_key(Oid("B", 1))
+        assert a < b < c
+
+    def test_nested_refs(self):
+        from repro.core.oid import Oid
+        value = {"refs": [Oid("X", 1), Oid("X", 2)], "n": 3}
+        assert decode_value(encode_value(value)) == value
+
+    def test_conflicting_registration_rejected(self):
+        from repro.storage.codec import register_extension
+        with pytest.raises(CodecError):
+            register_extension(0x41, str, str, str)  # 0x41 is taken by Oid

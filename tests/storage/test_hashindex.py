@@ -1,0 +1,145 @@
+"""Unit tests for the extendible hash index."""
+
+import pytest
+
+from repro.errors import DuplicateKeyError
+from repro.storage.hashindex import HashIndex, stable_hash
+
+
+@pytest.fixture
+def index(stack):
+    pool, wal, journal = stack
+    txn = journal.begin()
+    ix = HashIndex.create(journal, txn)
+    return ix, journal, txn
+
+
+class TestStableHash:
+    def test_deterministic(self):
+        assert stable_hash("abc") == stable_hash("abc")
+        assert stable_hash(42) == stable_hash(42)
+
+    def test_spread(self):
+        hashes = {stable_hash(i) & 0xFF for i in range(1000)}
+        assert len(hashes) > 200  # well spread over low bits
+
+
+class TestBasics:
+    def test_empty(self, index):
+        ix, journal, txn = index
+        assert ix.search("nope") == []
+        assert len(ix) == 0
+
+    def test_insert_search(self, index):
+        ix, journal, txn = index
+        ix.insert(txn, "k", "v")
+        assert ix.search("k") == ["v"]
+        assert ix.contains("k")
+
+    def test_many_keys_force_splits(self, index):
+        ix, journal, txn = index
+        for i in range(2000):
+            ix.insert(txn, i, i * 2)
+        ix.check_invariants()
+        depth, _ = ix._read_directory()
+        assert depth >= 2
+        for probe in (0, 1, 999, 1999):
+            assert ix.search(probe) == [probe * 2]
+        assert len(ix) == 2000
+
+    def test_duplicates(self, index):
+        ix, journal, txn = index
+        for i in range(5):
+            ix.insert(txn, "dup", i)
+        assert sorted(ix.search("dup")) == list(range(5))
+
+    def test_unique(self, stack):
+        pool, wal, journal = stack
+        txn = journal.begin()
+        ix = HashIndex.create(journal, txn, unique=True)
+        ix.insert(txn, "k", 1)
+        with pytest.raises(DuplicateKeyError):
+            ix.insert(txn, "k", 2)
+
+    def test_heavy_duplicate_key_chains(self, index):
+        """Hundreds of entries under one key can never split apart; the
+        bucket must chain across pages and stay correct."""
+        ix, journal, txn = index
+        for i in range(800):
+            ix.insert(txn, "hot", i)
+        assert sorted(ix.search("hot")) == list(range(800))
+        ix.check_invariants()
+
+    def test_mixed_hot_and_cold_keys(self, index):
+        ix, journal, txn = index
+        for i in range(300):
+            ix.insert(txn, "hot", i)
+        for i in range(300):
+            ix.insert(txn, i, -i)
+        assert len(ix.search("hot")) == 300
+        for probe in (0, 150, 299):
+            assert ix.search(probe) == [-probe]
+
+
+class TestDelete:
+    def test_delete(self, index):
+        ix, journal, txn = index
+        ix.insert(txn, "k", "v")
+        assert ix.delete(txn, "k") == 1
+        assert ix.search("k") == []
+
+    def test_delete_by_value(self, index):
+        ix, journal, txn = index
+        ix.insert(txn, "k", 1)
+        ix.insert(txn, "k", 2)
+        assert ix.delete(txn, "k", value=2) == 1
+        assert ix.search("k") == [1]
+
+    def test_delete_missing(self, index):
+        ix, journal, txn = index
+        assert ix.delete(txn, "ghost") == 0
+
+    def test_delete_from_chained_bucket(self, index):
+        ix, journal, txn = index
+        for i in range(600):
+            ix.insert(txn, "hot", i)
+        assert ix.delete(txn, "hot", value=300) == 1
+        assert len(ix.search("hot")) == 599
+        assert ix.delete(txn, "hot") == 599
+        assert ix.search("hot") == []
+
+
+class TestItems:
+    def test_items_complete(self, index):
+        ix, journal, txn = index
+        expected = {}
+        for i in range(500):
+            ix.insert(txn, "key%d" % i, i)
+            expected["key%d" % i] = i
+        assert dict(ix.items()) == expected
+
+    def test_len_after_splits(self, index):
+        ix, journal, txn = index
+        for i in range(1000):
+            ix.insert(txn, i, i)
+        assert len(ix) == 1000
+
+
+class TestTransactions:
+    def test_abort_restores(self, stack):
+        pool, wal, journal = stack
+        setup = journal.begin()
+        ix = HashIndex.create(journal, setup)
+        for i in range(50):
+            ix.insert(setup, i, i)
+        journal.commit(setup)
+
+        txn = journal.begin()
+        for i in range(50, 1000):
+            ix.insert(txn, i, i)
+        ix.delete(txn, 10)
+        journal.abort(txn)
+        ix.check_invariants()
+        assert len(ix) == 50
+        assert ix.search(10) == [10]
+        assert ix.search(500) == []

@@ -1,0 +1,148 @@
+"""Unit tests for the journal (logged page edits, abort, checkpoint)."""
+
+import pytest
+
+from repro.errors import TransactionError
+from repro.storage.journal import Journal, _diff_range
+from repro.storage.page import PageType
+
+
+class TestDiffRange:
+    def test_identical(self):
+        assert _diff_range(b"abc", b"abc") == (None, None)
+
+    def test_single_byte(self):
+        assert _diff_range(b"abcdef", b"abXdef") == (2, 3)
+
+    def test_prefix_suffix(self):
+        lo, hi = _diff_range(b"0123456789", b"01XYZ56789")
+        assert (lo, hi) == (2, 5)
+
+    def test_whole_buffer(self):
+        lo, hi = _diff_range(b"aaaa", b"bbbb")
+        assert (lo, hi) == (0, 4)
+
+
+class TestTransactions:
+    def test_begin_ids_unique(self, stack):
+        _, _, journal = stack
+        a = journal.begin()
+        b = journal.begin()
+        assert a != b
+        journal.commit(a)
+        journal.commit(b)
+
+    def test_commit_unknown_txn(self, stack):
+        _, _, journal = stack
+        with pytest.raises(TransactionError):
+            journal.commit(999)
+
+    def test_edit_logs_and_stamps_lsn(self, stack):
+        pool, wal, journal = stack
+        txn = journal.begin()
+        page_no = pool.new_page(PageType.HEAP)
+        with journal.edit(txn, page_no) as page:
+            page.insert(b"logged")
+        with pool.page(page_no) as page:
+            assert page.page_lsn > 0
+        journal.commit(txn)
+        types = [rec["type"] for _, rec in wal.records()]
+        assert "update" in types and "commit" in types
+
+    def test_noop_edit_logs_nothing(self, stack):
+        pool, wal, journal = stack
+        txn = journal.begin()
+        page_no = pool.new_page(PageType.HEAP)
+        appends = wal.appends
+        with journal.edit(txn, page_no):
+            pass
+        assert wal.appends == appends
+        journal.commit(txn)
+
+    def test_edit_exception_restores_page(self, stack):
+        pool, _, journal = stack
+        txn = journal.begin()
+        page_no = pool.new_page(PageType.HEAP)
+        with journal.edit(txn, page_no) as page:
+            page.insert(b"keep")
+        with pytest.raises(RuntimeError):
+            with journal.edit(txn, page_no) as page:
+                page.insert(b"discard")
+                raise RuntimeError("boom")
+        with pool.page(page_no) as page:
+            assert page.live_count() == 1
+            assert page.read(0) == b"keep"
+        journal.commit(txn)
+
+    def test_abort_undoes_edits(self, stack):
+        pool, _, journal = stack
+        setup = journal.begin()
+        page_no = pool.new_page(PageType.HEAP)
+        with journal.edit(setup, page_no) as page:
+            slot = page.insert(b"original")
+        journal.commit(setup)
+
+        txn = journal.begin()
+        with journal.edit(txn, page_no) as page:
+            page.update(slot, b"mutated!")
+        with journal.edit(txn, page_no) as page:
+            page.insert(b"extra")
+        journal.abort(txn)
+        with pool.page(page_no) as page:
+            assert page.read(slot) == b"original"
+            assert page.live_count() == 1
+
+    def test_abort_writes_clrs_and_end(self, stack):
+        pool, wal, journal = stack
+        txn = journal.begin()
+        page_no = pool.new_page(PageType.HEAP)
+        with journal.edit(txn, page_no) as page:
+            page.insert(b"x")
+        journal.abort(txn)
+        types = [rec["type"] for _, rec in wal.records()]
+        assert "clr" in types
+        assert types[-1] == "end"
+        assert types[-2] == "abort"
+
+    def test_interleaved_transactions(self, stack):
+        pool, _, journal = stack
+        t1 = journal.begin()
+        t2 = journal.begin()
+        p1 = pool.new_page(PageType.HEAP)
+        p2 = pool.new_page(PageType.HEAP)
+        with journal.edit(t1, p1) as page:
+            page.insert(b"one")
+        with journal.edit(t2, p2) as page:
+            page.insert(b"two")
+        journal.abort(t1)
+        journal.commit(t2)
+        with pool.page(p1) as page:
+            assert page.live_count() == 0
+        with pool.page(p2) as page:
+            assert page.read(0) == b"two"
+
+
+class TestCheckpoint:
+    def test_quiescent_checkpoint_truncates(self, stack):
+        pool, wal, journal = stack
+        txn = journal.begin()
+        page_no = pool.new_page(PageType.HEAP)
+        with journal.edit(txn, page_no) as page:
+            page.insert(b"x")
+        journal.commit(txn)
+        journal.checkpoint()
+        assert list(wal.records()) == []
+        with pool.page(page_no) as page:
+            assert page.read(0) == b"x"
+
+    def test_active_txn_blocks_truncation(self, stack):
+        pool, wal, journal = stack
+        txn = journal.begin()
+        page_no = pool.new_page(PageType.HEAP)
+        with journal.edit(txn, page_no) as page:
+            page.insert(b"x")
+        journal.checkpoint()
+        types = [rec["type"] for _, rec in wal.records()]
+        assert types
+        assert "checkpoint" in types
+        journal.commit(txn)

@@ -1,0 +1,125 @@
+"""Unit tests for the lock manager (2PL, upgrades, deadlock detection)."""
+
+import threading
+
+import pytest
+
+from repro.errors import DeadlockError, LockError, LockTimeoutError
+from repro.storage.locks import EXCLUSIVE, SHARED, LockManager
+
+
+@pytest.fixture
+def lm():
+    return LockManager(wait_timeout=0.2)
+
+
+class TestGrants:
+    def test_shared_compatible(self, lm):
+        lm.acquire(1, "r", SHARED)
+        lm.acquire(2, "r", SHARED)
+        assert lm.holds(1, "r") and lm.holds(2, "r")
+
+    def test_exclusive_blocks_shared(self, lm):
+        lm.acquire(1, "r", EXCLUSIVE)
+        with pytest.raises(LockTimeoutError):
+            lm.acquire(2, "r", SHARED)
+
+    def test_shared_blocks_exclusive(self, lm):
+        lm.acquire(1, "r", SHARED)
+        with pytest.raises(LockTimeoutError):
+            lm.acquire(2, "r", EXCLUSIVE)
+
+    def test_reentrant(self, lm):
+        lm.acquire(1, "r", SHARED)
+        lm.acquire(1, "r", SHARED)
+        lm.acquire(1, "r", EXCLUSIVE)  # upgrade as sole holder
+        assert lm.holds(1, "r", EXCLUSIVE)
+
+    def test_upgrade_blocked_by_other_reader(self, lm):
+        lm.acquire(1, "r", SHARED)
+        lm.acquire(2, "r", SHARED)
+        with pytest.raises(LockTimeoutError):
+            lm.acquire(1, "r", EXCLUSIVE)
+
+    def test_exclusive_implies_shared(self, lm):
+        lm.acquire(1, "r", EXCLUSIVE)
+        lm.acquire(1, "r", SHARED)  # no-op, already strong enough
+        assert lm.holds(1, "r", EXCLUSIVE)
+
+    def test_bad_mode(self, lm):
+        with pytest.raises(LockError):
+            lm.acquire(1, "r", "Z")
+
+
+class TestRelease:
+    def test_release_all(self, lm):
+        lm.acquire(1, "a", EXCLUSIVE)
+        lm.acquire(1, "b", SHARED)
+        lm.release_all(1)
+        assert not lm.holds(1, "a")
+        lm.acquire(2, "a", EXCLUSIVE)  # now grantable
+
+    def test_release_wakes_waiter(self, lm):
+        lm.wait_timeout = 5.0
+        lm.acquire(1, "r", EXCLUSIVE)
+        got = []
+
+        def waiter():
+            lm.acquire(2, "r", EXCLUSIVE)
+            got.append(True)
+
+        t = threading.Thread(target=waiter)
+        t.start()
+        lm.release_all(1)
+        t.join(timeout=3)
+        assert got == [True]
+
+    def test_release_unknown_txn_is_noop(self, lm):
+        lm.release_all(42)
+
+
+class TestDeadlock:
+    def test_two_party_cycle_detected(self, lm):
+        lm.wait_timeout = 5.0
+        lm.acquire(1, "a", EXCLUSIVE)
+        lm.acquire(2, "b", EXCLUSIVE)
+        barrier = threading.Barrier(2)
+        results = {}
+
+        def t1():
+            barrier.wait()
+            try:
+                lm.acquire(1, "b", EXCLUSIVE)  # waits on txn 2
+                results[1] = "granted"
+            except DeadlockError:
+                results[1] = "deadlock"
+            finally:
+                lm.release_all(1)
+
+        def t2():
+            barrier.wait()
+            import time
+            time.sleep(0.1)  # let t1 start waiting
+            try:
+                lm.acquire(2, "a", EXCLUSIVE)  # would close the cycle
+                results[2] = "granted"
+            except DeadlockError:
+                results[2] = "deadlock"
+                lm.release_all(2)
+
+        threads = [threading.Thread(target=t1), threading.Thread(target=t2)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join(timeout=5)
+        assert "deadlock" in results.values()
+        assert lm.deadlocks >= 1
+
+    def test_self_wait_never_deadlocks(self, lm):
+        lm.acquire(1, "r", EXCLUSIVE)
+        lm.acquire(1, "r", EXCLUSIVE)  # reentrant, no cycle
+
+    def test_stats(self, lm):
+        lm.acquire(1, "r", SHARED)
+        stats = lm.stats()
+        assert stats["grants"] == 1

@@ -1,0 +1,117 @@
+"""Tests for store maintenance: vacuum and integrity verification."""
+
+import pytest
+
+from repro.storage.store import Store
+
+
+@pytest.fixture
+def churned(store):
+    """A cluster that has seen heavy insert/update/delete churn."""
+    txn = store.begin()
+    store.create_cluster(txn, "c")
+    for i in range(300):
+        store.put(txn, "c", (i, 0), {"i": i, "pad": "x" * (i % 200)})
+    store.commit(txn)
+    txn = store.begin()
+    for i in range(0, 300, 2):
+        store.delete(txn, "c", (i, 0))
+    for i in range(1, 300, 4):
+        store.put(txn, "c", (i, 0), {"i": i, "pad": "y" * 3000})  # relocate
+    store.commit(txn)
+    return store
+
+
+class TestVacuum:
+    def test_preserves_contents(self, churned):
+        before = {key: churned.get("c", key)
+                  for key, _ in churned._directory("c").items()}
+        report = churned.vacuum("c")
+        assert report["objects"] == len(before) == 150
+        assert report["pages_freed"] > 0
+        for key, value in before.items():
+            assert churned.get("c", key) == value
+
+    def test_frees_pages_for_reuse(self, churned):
+        # page_count never shrinks (freed pages join the in-file free
+        # list), so the observable benefit is that post-vacuum inserts
+        # recycle those pages instead of growing the file.
+        report = churned.vacuum("c")
+        assert report["pages_freed"] > 50
+        pages_after_vacuum = churned.stats()["pages"]
+        txn = churned.begin()
+        for i in range(1000, 1100):
+            churned.put(txn, "c", (i, 0), {"i": i})
+        churned.commit(txn)
+        assert churned.stats()["pages"] == pages_after_vacuum
+
+    def test_secondary_indexes_stay_valid(self, store):
+        txn = store.begin()
+        store.create_cluster(txn, "c")
+        store.create_index(txn, "c", "group", kind="btree")
+        for i in range(100):
+            store.put(txn, "c", (i, 0), {"group": i % 5})
+            store.index("c", "group").insert(txn, i % 5, i)
+        store.commit(txn)
+        store.vacuum("c")
+        assert len(store.index("c", "group").search(2)) == 20
+        assert store.verify_integrity() == []
+
+    def test_vacuum_empty_cluster(self, store):
+        txn = store.begin()
+        store.create_cluster(txn, "empty")
+        store.commit(txn)
+        report = store.vacuum("empty")
+        assert report["objects"] == 0
+
+    def test_vacuum_survives_reopen(self, db_path):
+        s = Store(db_path)
+        txn = s.begin()
+        s.create_cluster(txn, "c")
+        for i in range(50):
+            s.put(txn, "c", (i, 0), {"i": i})
+        s.commit(txn)
+        s.vacuum("c")
+        s.close()
+        s2 = Store(db_path)
+        assert s2.get("c", (25, 0)) == {"i": 25}
+        assert s2.verify_integrity() == []
+        s2.close()
+
+    def test_vacuum_with_overflow_records(self, store):
+        txn = store.begin()
+        store.create_cluster(txn, "c")
+        store.put(txn, "c", (1, 0), {"big": "z" * 20000})
+        store.put(txn, "c", (2, 0), {"small": 1})
+        store.commit(txn)
+        store.vacuum("c")
+        assert store.get("c", (1, 0)) == {"big": "z" * 20000}
+        assert store.verify_integrity() == []
+
+
+class TestVerifyIntegrity:
+    def test_clean_store(self, churned):
+        assert churned.verify_integrity() == []
+
+    def test_detects_dangling_index_entry(self, store):
+        txn = store.begin()
+        store.create_cluster(txn, "c")
+        store.create_index(txn, "c", "f", kind="hash")
+        store.put(txn, "c", (1, 0), {"f": "x"})
+        store.index("c", "f").insert(txn, "x", 1)
+        store.index("c", "f").insert(txn, "ghost", 999)  # no object 999
+        store.commit(txn)
+        problems = store.verify_integrity()
+        assert any("missing serial" in p for p in problems)
+
+    def test_detects_count_mismatch(self, store):
+        txn = store.begin()
+        store.create_cluster(txn, "c")
+        store.put(txn, "c", (1, 0), {"v": 1})
+        # Delete from the heap behind the directory's back.
+        hit = store._directory("c").search((1, 0))
+        from repro.storage.heap import RID
+        store._heap("c").delete(txn, RID(*hit[0]))
+        store.commit(txn)
+        problems = store.verify_integrity()
+        assert problems  # unreadable RID and/or count mismatch reported

@@ -1,0 +1,189 @@
+"""Unit tests for slotted pages."""
+
+import pytest
+
+from repro.errors import PageError, PageFullError
+from repro.storage.page import (HEADER_SIZE, MAX_RECORD_SIZE, PAGE_SIZE,
+                                PageType, SlottedPage)
+
+
+@pytest.fixture
+def page():
+    return SlottedPage.format(bytearray(PAGE_SIZE), 7, PageType.HEAP)
+
+
+class TestFormat:
+    def test_header_fields(self, page):
+        assert page.page_no == 7
+        assert page.page_type == PageType.HEAP
+        assert page.slot_count == 0
+        assert page.page_lsn == 0
+        assert page.next_page == 0
+
+    def test_fresh_page_free_space(self, page):
+        assert page.contiguous_free == PAGE_SIZE - HEADER_SIZE
+        assert page.total_free == PAGE_SIZE - HEADER_SIZE
+
+    def test_wrong_buffer_size_rejected(self):
+        with pytest.raises(PageError):
+            SlottedPage(bytearray(100))
+
+
+class TestInsertRead:
+    def test_round_trip(self, page):
+        slot = page.insert(b"hello")
+        assert page.read(slot) == b"hello"
+
+    def test_multiple_records(self, page):
+        slots = [page.insert(b"rec%d" % i) for i in range(50)]
+        for i, slot in enumerate(slots):
+            assert page.read(slot) == b"rec%d" % i
+        assert page.slot_count == 50
+
+    def test_empty_payload(self, page):
+        slot = page.insert(b"")
+        assert page.read(slot) == b""
+
+    def test_max_record(self, page):
+        slot = page.insert(b"x" * MAX_RECORD_SIZE)
+        assert len(page.read(slot)) == MAX_RECORD_SIZE
+
+    def test_oversized_record_rejected(self, page):
+        with pytest.raises(PageError):
+            page.insert(b"x" * (MAX_RECORD_SIZE + 1))
+
+    def test_page_full(self, page):
+        page.insert(b"x" * MAX_RECORD_SIZE)
+        with pytest.raises(PageFullError):
+            page.insert(b"y" * 100)
+
+    def test_bad_slot_read(self, page):
+        with pytest.raises(PageError):
+            page.read(0)
+        page.insert(b"a")
+        with pytest.raises(PageError):
+            page.read(5)
+
+
+class TestDelete:
+    def test_delete_then_read_fails(self, page):
+        slot = page.insert(b"doomed")
+        page.delete(slot)
+        with pytest.raises(PageError):
+            page.read(slot)
+
+    def test_double_delete_fails(self, page):
+        slot = page.insert(b"x")
+        page.delete(slot)
+        with pytest.raises(PageError):
+            page.delete(slot)
+
+    def test_delete_frees_space(self, page):
+        slot = page.insert(b"x" * 1000)
+        before = page.total_free
+        page.delete(slot)
+        assert page.total_free == before + 1000
+
+    def test_tombstone_slot_reused(self, page):
+        a = page.insert(b"a")
+        page.insert(b"b")
+        page.delete(a)
+        c = page.insert(b"c")
+        assert c == a
+        assert page.slot_count == 2
+
+    def test_live_count(self, page):
+        slots = [page.insert(b"r%d" % i) for i in range(10)]
+        for slot in slots[::2]:
+            page.delete(slot)
+        assert page.live_count() == 5
+
+
+class TestUpdate:
+    def test_same_size(self, page):
+        slot = page.insert(b"aaaa")
+        page.update(slot, b"bbbb")
+        assert page.read(slot) == b"bbbb"
+
+    def test_shrink(self, page):
+        slot = page.insert(b"a" * 100)
+        free_before = page.total_free
+        page.update(slot, b"b" * 40)
+        assert page.read(slot) == b"b" * 40
+        assert page.total_free == free_before + 60
+
+    def test_grow_in_place(self, page):
+        slot = page.insert(b"small")
+        page.update(slot, b"much bigger payload" * 10)
+        assert page.read(slot) == b"much bigger payload" * 10
+
+    def test_grow_beyond_page_fails(self, page):
+        slot = page.insert(b"x" * 2000)
+        page.insert(b"y" * 1800)
+        with pytest.raises(PageFullError):
+            page.update(slot, b"z" * 2500)
+        assert page.read(slot) == b"x" * 2000  # unchanged
+
+    def test_update_deleted_fails(self, page):
+        slot = page.insert(b"x")
+        page.delete(slot)
+        with pytest.raises(PageError):
+            page.update(slot, b"y")
+
+    def test_update_after_fragmentation_compacts(self, page):
+        # Fill with several records, delete some, then grow one so the
+        # contiguous space alone can't hold it but total space can.
+        slots = [page.insert(bytes([65 + i]) * 700) for i in range(5)]
+        page.delete(slots[0])
+        page.delete(slots[2])
+        page.update(slots[1], b"Z" * 1500)
+        assert page.read(slots[1]) == b"Z" * 1500
+        assert page.read(slots[3]) == bytes([68]) * 700
+
+
+class TestCompaction:
+    def test_compact_preserves_records_and_slots(self, page):
+        slots = [page.insert(b"payload-%02d" % i * 3) for i in range(20)]
+        for slot in slots[::3]:
+            page.delete(slot)
+        live = {s: page.read(s) for s in slots if s not in slots[::3]}
+        page.compact()
+        for slot, payload in live.items():
+            assert page.read(slot) == payload
+        assert page.total_free == page.contiguous_free
+
+    def test_insert_triggers_compaction(self, page):
+        # Fragment the page, then insert something that only fits after
+        # compaction.
+        slots = [page.insert(b"x" * 500) for i in range(8)]
+        for slot in slots[:4]:
+            page.delete(slot)
+        big = page.insert(b"B" * 1800)
+        assert page.read(big) == b"B" * 1800
+
+
+class TestSlotsIterator:
+    def test_slots_in_order(self, page):
+        for i in range(5):
+            page.insert(b"r%d" % i)
+        assert [(s, p) for s, p in page.slots()] == [
+            (i, b"r%d" % i) for i in range(5)]
+
+    def test_slots_skips_tombstones(self, page):
+        slots = [page.insert(b"r%d" % i) for i in range(4)]
+        page.delete(slots[1])
+        assert [s for s, _ in page.slots()] == [0, 2, 3]
+
+
+class TestHeaderMutation:
+    def test_lsn(self, page):
+        page.page_lsn = 12345
+        assert page.page_lsn == 12345
+
+    def test_next_page(self, page):
+        page.next_page = 99
+        assert page.next_page == 99
+
+    def test_page_type(self, page):
+        page.page_type = PageType.BTREE_LEAF
+        assert page.page_type == PageType.BTREE_LEAF

@@ -1,0 +1,141 @@
+"""Unit tests for the write-ahead log."""
+
+import pytest
+
+from repro.errors import WalError
+from repro.storage.wal import NULL_LSN, LogRecordType, WriteAheadLog
+
+
+@pytest.fixture
+def wal(tmp_path):
+    w = WriteAheadLog(str(tmp_path / "wal"))
+    yield w
+    w.close()
+
+
+class TestAppendRead:
+    def test_lsn_monotone(self, wal):
+        lsns = [wal.append({"type": "x", "n": i}) for i in range(10)]
+        assert lsns == sorted(lsns)
+        assert len(set(lsns)) == 10
+
+    def test_read_record(self, wal):
+        lsn = wal.append({"type": "x", "payload": b"abc"})
+        assert wal.read_record(lsn) == {"type": "x", "payload": b"abc"}
+
+    def test_records_scan(self, wal):
+        for i in range(5):
+            wal.append({"type": "x", "n": i})
+        scanned = list(wal.records())
+        assert [rec["n"] for _, rec in scanned] == list(range(5))
+
+    def test_records_from_offset(self, wal):
+        lsns = [wal.append({"n": i, "type": "x"}) for i in range(5)]
+        scanned = list(wal.records(start_lsn=lsns[2]))
+        assert [rec["n"] for _, rec in scanned] == [2, 3, 4]
+
+    def test_read_bad_lsn(self, wal):
+        with pytest.raises(WalError):
+            wal.read_record(99999)
+
+    def test_typed_helpers(self, wal):
+        begin = wal.log_begin(1)
+        update = wal.log_update(1, begin, 5, 10, b"old", b"new")
+        commit = wal.log_commit(1, update)
+        rec = wal.read_record(update)
+        assert rec["type"] == LogRecordType.UPDATE
+        assert rec["before"] == b"old"
+        assert rec["after"] == b"new"
+        assert rec["prev_lsn"] == begin
+        assert wal.read_record(commit)["type"] == LogRecordType.COMMIT
+
+
+class TestDurability:
+    def test_torn_tail_ignored(self, tmp_path):
+        path = str(tmp_path / "wal")
+        w = WriteAheadLog(path)
+        w.append({"type": "x", "n": 1})
+        w.append({"type": "x", "n": 2})
+        w.flush()
+        w.close()
+        # Corrupt the tail: append garbage that is not a valid record.
+        with open(path, "ab") as fh:
+            fh.write(b"\x30\x00\x00\x00GARBAGE")
+        w2 = WriteAheadLog(path)
+        assert [rec["n"] for _, rec in w2.records()] == [1, 2]
+        w2.close()
+
+    def test_truncated_mid_record(self, tmp_path):
+        path = str(tmp_path / "wal")
+        w = WriteAheadLog(path)
+        w.append({"type": "x", "n": 1})
+        lsn2 = w.append({"type": "x", "n": 2})
+        w.flush()
+        w.close()
+        with open(path, "r+b") as fh:
+            fh.truncate(lsn2 + 16 + 5)  # cut into the second record
+            # (+16: the WAL's file header precedes LSN-addressed bytes)
+        w2 = WriteAheadLog(path)
+        assert [rec["n"] for _, rec in w2.records()] == [1]
+        w2.close()
+
+    def test_reopen_appends_after_tail(self, tmp_path):
+        path = str(tmp_path / "wal")
+        w = WriteAheadLog(path)
+        w.append({"type": "x", "n": 1})
+        w.flush()
+        w.close()
+        w2 = WriteAheadLog(path)
+        w2.append({"type": "x", "n": 2})
+        assert [rec["n"] for _, rec in w2.records()] == [1, 2]
+        w2.close()
+
+    def test_commit_flushes(self, wal):
+        syncs_before = wal.syncs
+        wal.log_commit(1, NULL_LSN)
+        assert wal.syncs == syncs_before + 1
+
+    def test_flush_up_to_already_flushed_is_noop(self, wal):
+        lsn = wal.append({"type": "x"})
+        wal.flush()
+        syncs = wal.syncs
+        wal.flush(up_to_lsn=lsn)
+        assert wal.syncs == syncs
+
+
+class TestTruncate:
+    def test_truncate_empties(self, wal):
+        wal.append({"type": "x"})
+        end_before = wal.end_lsn
+        wal.truncate()
+        assert list(wal.records()) == []
+        # LSNs are monotone across truncation: the base advances.
+        assert wal.base_lsn == end_before
+        assert wal.end_lsn == end_before
+
+    def test_append_after_truncate(self, wal):
+        lsn1 = wal.append({"type": "x", "n": 1})
+        wal.truncate()
+        lsn2 = wal.append({"type": "x", "n": 2})
+        assert lsn2 > lsn1
+        assert [rec["n"] for _, rec in wal.records()] == [2]
+
+    def test_base_survives_reopen(self, tmp_path):
+        path = str(tmp_path / "wal-base")
+        w = WriteAheadLog(path)
+        w.append({"type": "x"})
+        w.truncate()
+        base = w.base_lsn
+        assert base > 0
+        w.close()
+        w2 = WriteAheadLog(path)
+        assert w2.base_lsn == base
+        lsn = w2.append({"type": "x"})
+        assert lsn >= base
+        w2.close()
+
+    def test_closed_rejects_append(self, tmp_path):
+        w = WriteAheadLog(str(tmp_path / "w2"))
+        w.close()
+        with pytest.raises(WalError):
+            w.append({"type": "x"})
