@@ -1,0 +1,21 @@
+PYTHON ?= python
+export PYTHONPATH := src
+
+.PHONY: test bench bench-smoke bench-baseline
+
+test:
+	$(PYTHON) -m pytest tests/ -x -q
+
+bench:
+	$(PYTHON) -m pytest benchmarks/ --benchmark-only -q
+
+# Fast local perf gate: a ~30 s benchmark subset plus the tier-1 tests,
+# so a perf regression or breakage fails before a PR goes up.
+bench-smoke:
+	$(PYTHON) benchmarks/run_baseline.py --smoke
+	$(PYTHON) -m pytest tests/ -x -q
+
+# Full suite, recorded as BENCH_<date>.json and diffed against the last
+# committed baseline (see benchmarks/run_baseline.py).
+bench-baseline:
+	$(PYTHON) benchmarks/run_baseline.py --diff

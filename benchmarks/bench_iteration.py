@@ -10,7 +10,7 @@ import pytest
 
 from conftest import BenchItem, populate_items
 
-from repro import A, forall
+from repro import A, V, forall
 
 N = 2000
 
@@ -116,6 +116,15 @@ class TestEquijoin:
     def test_hash_equijoin(self, benchmark, two_tables):
         items = two_tables.cluster(BenchItem)
         q = forall(items, items).join_on(A.category, A.category)
+        result = benchmark(q.count)
+        assert result == 10 * 40 * 40
+
+    def test_fused_hash_equijoin(self, benchmark, two_tables):
+        """The optimizer extracts the V[0]==V[1] conjunct itself — no
+        explicit join_on — and runs the same hash join."""
+        items = two_tables.cluster(BenchItem)
+        q = forall(items, items).suchthat(V[0].category == V[1].category)
+        assert "fused hash join" in q.explain()
         result = benchmark(q.count)
         assert result == 10 * 40 * 40
 

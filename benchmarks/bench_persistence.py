@@ -9,7 +9,7 @@ import pytest
 
 from conftest import BenchItem, BenchSupplier, populate_items
 
-from repro import Oid
+from repro import Database, Oid
 
 
 class TestCreation:
@@ -36,6 +36,18 @@ class TestCreation:
                     db.pnew(BenchItem, name="x", price=1.0, qty=1)
 
         benchmark(create_batch)
+
+    def test_pnew_group_commit(self, benchmark, tmp_path):
+        """Same autocommit stream as test_pnew_autocommit, but the WAL
+        batches fsyncs across commits (durability="group")."""
+        db = Database(str(tmp_path / "grp.odb"), durability="group")
+        db.create(BenchItem)
+
+        def create_one():
+            db.pnew(BenchItem, name="x", price=1.0, qty=1)
+
+        benchmark(create_one)
+        db.close()
 
 
 class TestReads:

@@ -1,0 +1,151 @@
+"""Benchmark-trajectory harness: run the suite, record medians, diff PRs.
+
+Runs the pytest-benchmark suite over ``benchmarks/`` and writes a compact
+``BENCH_<date>.json`` next to this file: one entry per benchmark with the
+median nanoseconds per operation. Future PRs run the same harness and diff
+their file against the last committed one, so the ROADMAP's "fast as the
+hardware allows" goal becomes a tracked trajectory instead of a vibe
+(VOODB, arXiv:0705.0450, makes the case for reproducible OODB workloads).
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/run_baseline.py            # full suite
+    PYTHONPATH=src python benchmarks/run_baseline.py --smoke    # fast subset
+    PYTHONPATH=src python benchmarks/run_baseline.py --diff     # vs last file
+
+``--diff`` compares against the newest committed ``BENCH_*.json`` (other
+than the one being written) and prints per-benchmark speedup ratios.
+"""
+
+from __future__ import annotations
+
+import argparse
+import datetime
+import glob
+import json
+import os
+import subprocess
+import sys
+import tempfile
+
+HERE = os.path.dirname(os.path.abspath(__file__))
+REPO = os.path.dirname(HERE)
+
+#: The subset exercised by ``--smoke`` (and ``make bench-smoke``): the
+#: files covering the four tracked groups — iteration, persistence,
+#: storage, triggers — kept small enough to finish in ~30 seconds.
+SMOKE_FILES = [
+    "bench_iteration.py::TestSelection",
+    "bench_iteration.py::TestEquijoin",
+    "bench_persistence.py::TestCreation",
+    "bench_storage.py",
+    "bench_triggers.py",
+]
+
+FULL_FILES = ["."]  # the whole benchmarks directory
+
+
+def run_suite(smoke: bool = False, extra_args=()) -> dict:
+    """Run pytest-benchmark, returning {benchmark_name: median_ns}."""
+    with tempfile.TemporaryDirectory() as tmp:
+        raw_path = os.path.join(tmp, "bench.json")
+        targets = SMOKE_FILES if smoke else FULL_FILES
+        cmd = [
+            sys.executable, "-m", "pytest",
+            *targets,
+            "--benchmark-only",
+            "--benchmark-json=%s" % raw_path,
+            "--benchmark-max-time=0.5",
+            "--benchmark-min-rounds=3",
+            "-q", "-p", "no:cacheprovider",
+            *extra_args,
+        ]
+        env = dict(os.environ)
+        src = os.path.join(REPO, "src")
+        env["PYTHONPATH"] = src + (
+            os.pathsep + env["PYTHONPATH"] if env.get("PYTHONPATH") else "")
+        proc = subprocess.run(cmd, cwd=HERE, env=env)
+        if proc.returncode not in (0, 5):  # 5 = no tests collected
+            raise SystemExit("benchmark run failed (exit %d)" % proc.returncode)
+        with open(raw_path) as fh:
+            raw = json.load(fh)
+    results = {}
+    for bench in raw.get("benchmarks", []):
+        # fullname is e.g. "bench_iteration.py::TestSelection::test_indexed_eq"
+        results[bench["fullname"]] = {
+            "median_ns": bench["stats"]["median"] * 1e9,
+            "ops_per_sec": bench["stats"]["ops"],
+            "rounds": bench["stats"]["rounds"],
+        }
+    return results
+
+
+def write_report(results: dict, label: str = "") -> str:
+    date = datetime.date.today().isoformat()
+    name = "BENCH_%s%s.json" % (date, ("_" + label) if label else "")
+    path = os.path.join(HERE, name)
+    payload = {
+        "date": date,
+        "label": label,
+        "python": sys.version.split()[0],
+        "benchmarks": {k: round(v["median_ns"], 1)
+                       for k, v in sorted(results.items())},
+        "detail": results,
+    }
+    with open(path, "w") as fh:
+        json.dump(payload, fh, indent=2, sort_keys=True)
+        fh.write("\n")
+    return path
+
+
+def latest_report(exclude: str = "") -> str:
+    candidates = [p for p in sorted(glob.glob(os.path.join(HERE, "BENCH_*.json")))
+                  if os.path.abspath(p) != os.path.abspath(exclude)]
+    return candidates[-1] if candidates else ""
+
+
+def diff_reports(old_path: str, new_path: str) -> None:
+    with open(old_path) as fh:
+        old = json.load(fh)["benchmarks"]
+    with open(new_path) as fh:
+        new = json.load(fh)["benchmarks"]
+    print("\n%-72s %12s %12s %8s" % ("benchmark", "old ns", "new ns", "ratio"))
+    for name in sorted(set(old) & set(new)):
+        ratio = old[name] / new[name] if new[name] else float("inf")
+        print("%-72s %12.0f %12.0f %7.2fx" % (name[:72], old[name],
+                                              new[name], ratio))
+    only_new = sorted(set(new) - set(old))
+    if only_new:
+        print("\nnew benchmarks (no baseline):")
+        for name in only_new:
+            print("  %-70s %12.0f ns" % (name[:70], new[name]))
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--smoke", action="store_true",
+                        help="run the ~30s smoke subset instead of the suite")
+    parser.add_argument("--label", default="",
+                        help="suffix for the output file name")
+    parser.add_argument("--diff", action="store_true",
+                        help="diff the new report against the previous one")
+    args = parser.parse_args(argv)
+    results = run_suite(smoke=args.smoke)
+    if args.smoke:
+        # A partial suite must never become a BENCH_*.json: a later --diff
+        # would pick it up as if it were a full baseline.
+        print("smoke run ok (%d benchmarks, nothing written)" % len(results))
+        return 0
+    path = write_report(results, label=args.label)
+    print("wrote %s (%d benchmarks)" % (path, len(results)))
+    if args.diff:
+        previous = latest_report(exclude=path)
+        if previous:
+            diff_reports(previous, path)
+        else:
+            print("no previous BENCH_*.json to diff against")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

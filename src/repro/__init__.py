@@ -36,7 +36,7 @@ from .core import (AnyField, BoolField, BytesField, CharField, ClusterHandle,
                    StringField, Transaction, Trigger, TriggerId, Vref,
                    class_registry, constraint, newversion, versions, vfirst,
                    vlast, vnext, vprev)
-from .query import (A, Forall, avg, count, fixpoint, forall, group_by,
+from .query import (A, Forall, V, avg, count, fixpoint, forall, group_by,
                     growing_iteration, max_, min_, reachable_objects,
                     semi_naive, sum_, transitive_closure)
 
@@ -50,7 +50,7 @@ __all__ = [
     "Transaction", "Trigger", "TriggerId", "Vref", "class_registry",
     "constraint", "newversion", "versions", "vfirst", "vlast", "vnext",
     "vprev",
-    "A", "Forall", "avg", "count", "fixpoint", "forall", "group_by",
+    "A", "Forall", "V", "avg", "count", "fixpoint", "forall", "group_by",
     "growing_iteration", "max_", "min_", "reachable_objects", "semi_naive",
     "sum_", "transitive_closure",
     "__version__",

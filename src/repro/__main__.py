@@ -7,6 +7,8 @@ Usage::
     python -m repro DB.odb --schema                       # show clusters
     python -m repro DB.odb --verify                       # integrity check
     python -m repro DB.odb --vacuum                       # compact storage
+    python -m repro stats DB.odb                          # runtime counters
+    python -m repro DB.odb --stats                        # same, flag form
 
 In interactive mode each submitted chunk is parsed and executed against
 the open database; state (variables, classes) persists for the session.
@@ -37,6 +39,10 @@ def _build_parser() -> argparse.ArgumentParser:
                         help="run the integrity checker and exit")
     parser.add_argument("--vacuum", action="store_true",
                         help="compact every cluster and exit")
+    parser.add_argument("--stats", action="store_true",
+                        help="print runtime statistics (buffer pool, WAL, "
+                             "plan cache, per-cluster optimizer stats) "
+                             "and exit")
     parser.add_argument("--quiet", action="store_true",
                         help="suppress program output (still executed)")
     return parser
@@ -59,6 +65,41 @@ def _print_schema(db: Database) -> None:
             print("    constraints: %s" % ", ".join(info["constraints"]))
         if info["triggers"]:
             print("    triggers:    %s" % ", ".join(info["triggers"]))
+
+
+def _print_stats(db: Database) -> None:
+    stats = db.stats()
+    pool = stats["buffer_pool"]
+    wal = stats["wal"]
+    cache = stats["plan_cache"]
+    print("buffer pool:  %d hits, %d misses (%.1f%% hit rate), "
+          "%d evictions"
+          % (pool.get("hits", 0), pool.get("misses", 0),
+             100.0 * pool.get("hits", 0)
+             / max(1, pool.get("hits", 0) + pool.get("misses", 0)),
+             pool.get("evictions", 0)))
+    print("WAL:          %d appends, %d fsyncs, %d flush calls, "
+          "%d group deferrals (durability: %s)"
+          % (wal["appends"], wal["syncs"], wal["flush_calls"],
+             wal["group_deferrals"], wal["durability"]))
+    print("plan cache:   %d hits, %d misses (%.1f%% hit rate), "
+          "%d entries, %d invalidations"
+          % (cache["hits"], cache["misses"], 100.0 * cache["hit_rate"],
+             cache["entries"], cache["invalidations"]))
+    print("pages:        %d in file" % stats["pages"])
+    # Persisted summaries exist for analyzed/mutated clusters only; load
+    # every cluster's summary so the report is complete.
+    for name in db.clusters():
+        db.cluster_stats.get(name)
+    clusters = db.stats()["clusters"]
+    if clusters:
+        print("cluster statistics:")
+        for name, info in sorted(clusters.items()):
+            print("  %-20s %6d objects  (%s)"
+                  % (name, info["objects"], info["precision"]))
+            for field, fs in info["fields"].items():
+                print("      .%-16s %6d distinct, min=%r max=%r"
+                      % (field, fs["n_distinct"], fs["min"], fs["max"]))
 
 
 def _repl(db: Database, interp: Interpreter) -> None:
@@ -90,9 +131,17 @@ def _repl(db: Database, interp: Interpreter) -> None:
 
 
 def main(argv=None) -> int:
+    if argv is None:
+        argv = sys.argv[1:]
+    # Subcommand form: ``python -m repro stats DB.odb``.
+    if argv and argv[0] == "stats":
+        argv = argv[1:] + ["--stats"]
     args = _build_parser().parse_args(argv)
     db = Database(args.database)
     try:
+        if args.stats:
+            _print_stats(db)
+            return 0
         if args.schema:
             _print_schema(db)
             return 0

@@ -89,11 +89,19 @@ class ClusterHandle:
     # -- conveniences ------------------------------------------------------------
 
     def count(self, deep: bool = False) -> int:
-        """Number of objects in the extent (heads only, versions uncounted)."""
+        """Number of objects in the extent (heads only, versions uncounted).
+
+        Served from the incrementally-maintained cluster statistics when
+        they are exact (tracked since the cluster was empty, or rebuilt by
+        ``db.analyze()``); otherwise counted by scanning."""
         total = 0
         names = self.hierarchy() if deep else [self.name]
         for name in names:
             if not self.db.store.has_cluster(name):
+                continue
+            stats = self.db.cluster_stats.get(name)
+            if stats is not None and stats.exact:
+                total += stats.count
                 continue
             for _rid, record in self.db.store.scan(name):
                 if record["__key"][1] == 0:

@@ -44,6 +44,8 @@ from ..errors import (ClusterExistsError, ClusterNotFoundError,
                       ConstraintViolation, DanglingReferenceError,
                       NotPersistentError, SchemaError, TransactionError,
                       VersionError)
+from ..query.optimizer import PlanCache
+from ..query.stats import StatsManager
 from ..storage.store import Store
 from .objects import OdeMeta, OdeObject, class_registry
 from .oid import Oid, Vref
@@ -84,10 +86,23 @@ class Transaction:
 class Database:
     """An Ode database: persistent objects, clusters, versions, triggers."""
 
-    def __init__(self, path: str, pool_size: int = 256):
-        """Open (creating if absent) the database stored at *path*."""
-        self.store = Store(path, pool_size=pool_size)
+    def __init__(self, path: str, pool_size: int = 256,
+                 durability: str = "full"):
+        """Open (creating if absent) the database stored at *path*.
+
+        *durability* selects the commit fsync policy: ``"full"`` (fsync
+        every commit), ``"group"`` (group commit — one fsync per batch)
+        or ``"none"`` (only checkpoints fsync). See
+        :mod:`repro.storage.wal`.
+        """
+        self.store = Store(path, pool_size=pool_size, durability=durability)
         self.triggers = TriggerManager(self)
+        #: Incremental per-cluster statistics for the cost-based optimizer.
+        self.cluster_stats = StatsManager(self)
+        #: Cached plans keyed on (cluster, predicate shape).
+        self.plan_cache = PlanCache()
+        #: Bumped on index DDL; outstanding cached plans become invalid.
+        self._plan_epoch = 0
         #: (cluster, serial) -> live current-version object
         self._cache: Dict[tuple, OdeObject] = {}
         #: Vref -> live pinned-version object
@@ -141,22 +156,14 @@ class Database:
         fired = self._commit(handle)
         self._run_fired_actions(fired)
 
-    @contextmanager
-    def _implicit_txn(self) -> Iterator[int]:
-        """Join the open transaction, or wrap the block in a private one."""
-        if self._txn is not None:
-            yield self._txn.txn_id
-            return
-        txn_id = self.store.begin()
-        handle = Transaction(txn_id, self)
-        self._txn = handle
-        try:
-            yield txn_id
-        except BaseException:
-            self._abort(handle)
-            raise
-        fired = self._commit(handle)
-        self._run_fired_actions(fired)
+    def _implicit_txn(self) -> "_ImplicitTxn":
+        """Join the open transaction, or wrap the block in a private one.
+
+        Hand-rolled context manager (not ``@contextmanager``): this wraps
+        every autocommitted operation, where the generator machinery is
+        measurable overhead.
+        """
+        return _ImplicitTxn(self)
 
     def _commit(self, handle: Transaction) -> List[FiredAction]:
         txn = handle.txn_id
@@ -190,6 +197,8 @@ class Database:
         self._txn = None
         self._dirty.clear()
         self.triggers.invalidate()
+        self.cluster_stats.invalidate()
+        self.plan_cache.clear()
         self._reload_cache_after_abort()
 
     def _reload_cache_after_abort(self) -> None:
@@ -258,11 +267,14 @@ class Database:
             oid = obj.oid
             version = obj.__dict__["_p_version"]
             old = self.store.get(oid.cluster, (oid.serial, version))
+            new_state = obj._p_state_dict()
             self.store.put(txn, oid.cluster, (oid.serial, version),
                            {"__key": [oid.serial, version],
-                            "state": obj._p_state_dict()})
-            self._index_update(txn, obj,
-                               None if old is None else old["state"])
+                            "state": new_state})
+            old_state = None if old is None else old["state"]
+            self._index_update(txn, obj, old_state)
+            self.cluster_stats.record_update(oid.cluster, old_state,
+                                             new_state)
         self._dirty.clear()
 
     def _constraint_violated(self) -> None:
@@ -307,6 +319,7 @@ class Database:
         if not self.store.has_cluster(cls.__name__):
             parents = [p.__name__ for p in type(cls).parents.fget(cls)]
             self.store.create_cluster(txn, cls.__name__, parents)
+            self.cluster_stats.register_new(cls.__name__)
 
     def has_cluster(self, cls: Union[Type[OdeObject], str]) -> bool:
         name = cls if isinstance(cls, str) else cls.__name__
@@ -364,11 +377,13 @@ class Database:
             obj.__dict__["_p_db"] = self
             obj.__dict__["_p_version"] = 1
             self.store.put(txn, cluster, (serial, 0),
-                           {"__key": [serial, 0], "current": 1, "chain": [1]})
+                           {"__key": [serial, 0], "current": 1, "chain": [1]},
+                           new=True)
+            state = obj._p_state_dict()
             self.store.put(txn, cluster, (serial, 1),
-                           {"__key": [serial, 1],
-                            "state": obj._p_state_dict()})
+                           {"__key": [serial, 1], "state": state}, new=True)
             self._index_insert(txn, obj)
+            self.cluster_stats.record_insert(cluster, state)
             self._cache[(cluster, serial)] = obj
         return obj
 
@@ -391,6 +406,7 @@ class Database:
                 raise DanglingReferenceError("pdelete of missing %r" % (oid,))
             stored = self.store.get(oid.cluster, (oid.serial, head["current"]))
             self._index_delete(txn, oid, stored["state"])
+            self.cluster_stats.record_delete(oid.cluster, stored["state"])
             for version in head["chain"]:
                 self.store.delete(txn, oid.cluster, (oid.serial, version))
             self.store.delete(txn, oid.cluster, (oid.serial, 0))
@@ -628,6 +644,10 @@ class Database:
                 state = self.store.get(cluster, (serial, record["current"]))
                 index.insert(txn, _state_key(state["state"], info.fields),
                              serial)
+            # Index DDL changes the plan space: invalidate cached plans
+            # and rebuild exact statistics (the new field needs tracking).
+            self._plan_epoch += 1
+            self.cluster_stats.analyze(cluster)
 
     def _indexed_fields(self, cluster: str) -> Dict[str, Any]:
         if not self.store.has_cluster(cluster):
@@ -709,6 +729,57 @@ class Database:
                             % (name, serial, v))
         return problems
 
+    def analyze(self, cls: Union[Type[OdeObject], str, None] = None) -> Dict:
+        """Rebuild optimizer statistics exactly by scanning clusters.
+
+        With *cls* analyze one cluster; without, every user cluster.
+        Returns the refreshed statistics snapshot. Cached plans are
+        dropped so the next query re-prices with the new numbers.
+        """
+        if self._dirty:
+            with self._implicit_txn():
+                pass
+        names = ([cls if isinstance(cls, str) else cls.__name__]
+                 if cls is not None else self.clusters())
+        for name in names:
+            if not self.store.has_cluster(name):
+                raise ClusterNotFoundError("no cluster named %r" % name)
+            self.cluster_stats.analyze(name)
+        self.plan_cache.clear()
+        return self.cluster_stats.snapshot()
+
+    def stats(self) -> Dict[str, Any]:
+        """Runtime counters: buffer pool, WAL, plan cache, statistics.
+
+        The observability companion to :meth:`schema` — everything here
+        is about *how* the engine is running, not what is stored.
+        """
+        store_stats = self.store.stats()
+        return {
+            "buffer_pool": store_stats["pool"],
+            "wal": {
+                "appends": store_stats["wal_appends"],
+                "syncs": store_stats["wal_syncs"],
+                "flush_calls": store_stats["wal_flush_calls"],
+                "group_deferrals": store_stats["wal_group_deferrals"],
+                "durability": store_stats["durability"],
+            },
+            "plan_cache": self.plan_cache.stats(),
+            "clusters": self.cluster_stats.snapshot(),
+            "locks": store_stats["locks"],
+            "pages": store_stats["pages"],
+        }
+
+    def set_durability(self, mode: str, group_size: Optional[int] = None,
+                       group_window: Optional[float] = None) -> None:
+        """Switch the commit fsync policy at runtime (``"full"``,
+        ``"group"`` or ``"none"``; see :mod:`repro.storage.wal`)."""
+        self.store.set_durability(mode, group_size, group_window)
+
+    @property
+    def durability(self) -> str:
+        return self.store.durability
+
     def schema(self) -> Dict[str, Dict]:
         """Describe every user cluster: fields, parents, indexes, count."""
         out: Dict[str, Dict] = {}
@@ -741,8 +812,8 @@ class Database:
 
     def checkpoint(self) -> None:
         """Flush pending changes and checkpoint the storage engine."""
-        with self._implicit_txn():
-            pass
+        with self._implicit_txn() as txn:
+            self.cluster_stats.persist_all(txn)
         self.store.checkpoint()
 
     def close(self) -> None:
@@ -751,9 +822,9 @@ class Database:
             return
         if self._txn is not None:
             raise TransactionError("close() inside an open transaction")
-        if self._dirty:
-            with self._implicit_txn():
-                pass
+        if self._dirty or self.cluster_stats.dirty():
+            with self._implicit_txn() as txn:
+                self.cluster_stats.persist_all(txn)
         self.store.close()
         self._cache.clear()
         self._vcache.clear()
@@ -771,3 +842,34 @@ class Database:
 
     def __repr__(self) -> str:
         return "Database(%r)" % self.store.path
+
+
+class _ImplicitTxn:
+    """Context manager behind :meth:`Database._implicit_txn`."""
+
+    __slots__ = ("_db", "_handle", "_joined")
+
+    def __init__(self, db: Database):
+        self._db = db
+
+    def __enter__(self) -> int:
+        db = self._db
+        if db._txn is not None:
+            self._joined = True
+            return db._txn.txn_id
+        self._joined = False
+        txn_id = db.store.begin()
+        self._handle = Transaction(txn_id, db)
+        db._txn = self._handle
+        return txn_id
+
+    def __exit__(self, exc_type, exc, tb) -> bool:
+        if self._joined:
+            return False
+        db = self._db
+        if exc_type is not None:
+            db._abort(self._handle)
+            return False
+        fired = db._commit(self._handle)
+        db._run_fired_actions(fired)
+        return False

@@ -6,15 +6,21 @@ from .aggregates import avg, count, group_by, max_, min_, sum_
 from .fixpoint import (fixpoint, growing_iteration, reachable_objects,
                        semi_naive, transitive_closure)
 from .iterate import Forall, forall
-from .optimizer import FullScan, IndexEquality, IndexRange, Plan, choose_plan
+from .optimizer import (CompositeScan, FullScan, IndexEquality, IndexRange,
+                        Plan, PlanCache, choose_plan)
 from .predicates import (A, And, AttrCompare, AttrExpr, Callable_, Compare,
-                         Not, Or, Predicate, TrueP, as_predicate)
+                         JoinCompare, Not, Or, Predicate, TrueP, V,
+                         VarCompare, as_predicate, is_multivar)
+from .stats import ClusterStats, FieldStats, StatsManager
 
 __all__ = [
     "avg", "count", "group_by", "max_", "min_", "sum_",
     "fixpoint", "growing_iteration", "reachable_objects", "semi_naive",
     "transitive_closure", "Forall", "forall",
-    "FullScan", "IndexEquality", "IndexRange", "Plan", "choose_plan",
-    "A", "And", "AttrCompare", "AttrExpr", "Callable_", "Compare", "Not",
-    "Or", "Predicate", "TrueP", "as_predicate",
+    "CompositeScan", "FullScan", "IndexEquality", "IndexRange", "Plan",
+    "PlanCache", "choose_plan",
+    "A", "And", "AttrCompare", "AttrExpr", "Callable_", "Compare",
+    "JoinCompare", "Not", "Or", "Predicate", "TrueP", "V", "VarCompare",
+    "as_predicate", "is_multivar",
+    "ClusterStats", "FieldStats", "StatsManager",
 ]

@@ -40,8 +40,9 @@ from typing import Any, Callable, Iterator, List, Optional, Sequence, Tuple
 
 from ..errors import QueryError
 from .optimizer import choose_plan
-from .predicates import (A, AttrExpr, Callable_, Predicate, TrueP,
-                         as_predicate)
+from .predicates import (A, And, AttrExpr, Callable_, JoinCompare, Predicate,
+                         TrueP, VarCompare, as_predicate, is_multivar,
+                         max_var)
 
 
 class Forall:
@@ -55,6 +56,10 @@ class Forall:
         self._order: List[Tuple[Any, bool]] = []  # (key, desc) pairs
         self._join_keys: Optional[List[Callable]] = None  # hash equijoin
         self._limit: Optional[int] = None
+        #: The chosen plan, kept across iterations of the same Forall
+        #: (re-validated against the database's index-DDL epoch).
+        self._plan = None
+        self._plan_epoch = -1
 
     # -- clause builders (each returns self for chaining) ---------------------
 
@@ -81,17 +86,36 @@ class Forall:
             return self._iter_single()
         return self._iter_join()
 
-    def _iter_single(self) -> Iterator:
+    def _single_plan(self):
+        """The access plan for a one-source iteration.
+
+        The plan is chosen once and reused by later iterations of the
+        same Forall (and by :meth:`explain`); it is re-chosen only when
+        index DDL has bumped the database's plan epoch.
+        """
         source = self._sources[0]
         pred = as_predicate(self._pred) if self._pred is not None else TrueP()
-        plan = choose_plan(source, pred)
+        if is_multivar(pred):
+            raise QueryError(
+                "V[...] predicates require multiple forall sources; "
+                "use A.field for a single source")
+        db = getattr(source, "db", None)
+        epoch = getattr(db, "_plan_epoch", 0) if db is not None else 0
+        if self._plan is None or self._plan_epoch != epoch:
+            self._plan = choose_plan(source, pred)
+            self._plan_epoch = epoch
+        return self._plan
+
+    def _iter_single(self) -> Iterator:
+        plan = self._single_plan()
         rows = plan.execute()
         if self._order:
-            if self._plan_orders_by(plan):
+            if self._plan_orders_by(plan) and not self._order[0][1]:
                 # The index range scan already yields rows in the requested
-                # key order: elide the sort (reverse suffices for desc).
-                if self._order[0][1]:
-                    rows = iter(list(rows)[::-1])
+                # key order: elide the sort. (desc still sorts — reversing
+                # the scan would reverse equal-key runs and break the
+                # stable-sort guarantee.)
+                pass
             else:
                 rows = iter(self._sorted(list(rows)))
         if self._limit is not None:
@@ -111,22 +135,20 @@ class Forall:
     def _iter_join(self) -> Iterator[Tuple]:
         if self._join_keys is not None:
             rows = self._iter_hash_join()
-            if self._order:
-                rows = iter(self._sorted_tuples(list(rows)))
-            if self._limit is not None:
-                rows = _take(rows, self._limit)
-            return rows
-        pred = self._pred
-        arity = len(self._sources)
-        if pred is None:
-            filter_fn = None
-        elif callable(pred) and not isinstance(pred, Predicate):
-            filter_fn = pred
+        elif is_multivar(self._pred):
+            rows = self._iter_fused_join()
         else:
-            raise QueryError(
-                "multi-variable suchthat takes a callable of %d arguments"
-                % arity)
-        rows = self._cross_product(filter_fn)
+            pred = self._pred
+            arity = len(self._sources)
+            if pred is None:
+                filter_fn = None
+            elif callable(pred) and not isinstance(pred, Predicate):
+                filter_fn = pred
+            else:
+                raise QueryError(
+                    "multi-variable suchthat takes a callable of %d "
+                    "arguments or a V[...] predicate" % arity)
+            rows = self._cross_product(filter_fn)
         if self._order:
             rows = iter(self._sorted_tuples(list(rows)))
         if self._limit is not None:
@@ -142,6 +164,106 @@ class Forall:
             for item in self._sources[depth]:
                 yield from recurse(depth + 1, chosen + (item,))
         return recurse(0, ())
+
+    # -- fused multi-variable join (V[...] predicates) ---------------------
+
+    def _fusion(self):
+        """Decompose the V-predicate and plan every source's access path.
+
+        Returns ``(per_var_plans, eq_pairs, residual_at)``:
+
+        * one optimizer plan per source, with that variable's
+          single-variable conjuncts pushed below the join (so indexes
+          apply *before* joining);
+        * the inter-variable equality conjuncts, executed as hash-join
+          keys (all equalities joining the same new variable combine
+          into one multi-key probe);
+        * the remaining conjuncts, grouped by the highest variable they
+          mention so each fires as early as the left-deep expansion
+          allows.
+        """
+        pred = as_predicate(self._pred)
+        arity = len(self._sources)
+        highest = max_var(pred)
+        if highest >= arity:
+            raise QueryError(
+                "predicate references V[%d] but forall has only %d "
+                "source(s)" % (highest, arity))
+        per_var: List[List[Predicate]] = [[] for _ in range(arity)]
+        eq_pairs: List[JoinCompare] = []
+        residual_at: List[List[Callable]] = [[] for _ in range(arity)]
+        for conj in pred.conjuncts():
+            if isinstance(conj, VarCompare):
+                per_var[conj.var].append(conj.inner)
+            elif isinstance(conj, JoinCompare) and conj.op == "==":
+                eq_pairs.append(conj)
+            else:
+                at = max_var(conj)
+                residual_at[at if at >= 0 else arity - 1].append(
+                    _tuple_check(conj))
+        plans = []
+        for i, source in enumerate(self._sources):
+            sub = per_var[i]
+            sub_pred = (TrueP() if not sub
+                        else sub[0] if len(sub) == 1 else And(*sub))
+            plans.append(choose_plan(source, sub_pred))
+        return plans, eq_pairs, residual_at
+
+    def _iter_fused_join(self) -> Iterator[Tuple]:
+        """Execute a V-predicate join: per-source index plans below a
+        left-deep chain of (multi-key) hash joins."""
+        plans, eq_pairs, residual_at = self._fusion()
+        arity = len(self._sources)
+        rows: Iterator[Tuple] = ((obj,) for obj in plans[0].execute())
+        for check in residual_at[0]:
+            rows = (row for row in rows if check(row))
+        for k in range(1, arity):
+            keys = [_orient(jc, k) for jc in eq_pairs
+                    if max(jc.lvar, jc.rvar) == k]
+            rows = self._join_step(rows, plans, k, keys, residual_at[k])
+        return rows
+
+    def _join_step(self, rows: Iterator[Tuple], plans, k: int,
+                   keys: List[Tuple[int, str, str]],
+                   checks: List[Callable]) -> Iterator[Tuple]:
+        """Extend each prefix row with source *k*.
+
+        *keys* holds ``(probe_var, probe_attr, build_attr)`` triples: the
+        hash table over source *k* is keyed on the build attrs, probed
+        with the prefix row's attrs. Without keys this degenerates to a
+        (filtered) cross product.
+        """
+        if not keys:
+            items = list(plans[k].execute())
+            for row in rows:
+                for obj in items:
+                    new = row + (obj,)
+                    if all(c(new) for c in checks):
+                        yield new
+            return
+        if k == 1 and plans[0].estimated_rows < plans[1].estimated_rows:
+            # Build on the smaller left side, stream the right side.
+            table: dict = {}
+            for row in rows:
+                probe = tuple(getattr(row[v], a) for v, a, _ in keys)
+                table.setdefault(probe, []).append(row)
+            for obj in plans[1].execute():
+                build = tuple(getattr(obj, b) for _, _, b in keys)
+                for row in table.get(build, ()):
+                    new = row + (obj,)
+                    if all(c(new) for c in checks):
+                        yield new
+            return
+        table = {}
+        for obj in plans[k].execute():
+            build = tuple(getattr(obj, b) for _, _, b in keys)
+            table.setdefault(build, []).append(obj)
+        for row in rows:
+            probe = tuple(getattr(row[v], a) for v, a, _ in keys)
+            for obj in table.get(probe, ()):
+                new = row + (obj,)
+                if all(c(new) for c in checks):
+                    yield new
 
     # -- ordering ------------------------------------------------------------
 
@@ -232,15 +354,43 @@ class Forall:
         if len(self._sources) != 1:
             if self._join_keys is not None:
                 return "hash equijoin over %d sources" % len(self._sources)
+            if is_multivar(self._pred):
+                plans, eq_pairs, residual_at = self._fusion()
+                n_residual = sum(len(r) for r in residual_at)
+                lines = ["fused hash join over %d sources "
+                         "(%d equality key(s), %d residual conjunct(s))"
+                         % (len(self._sources), len(eq_pairs), n_residual)]
+                for i, plan in enumerate(plans):
+                    lines.append("  V[%d]: %s" % (i, plan.describe()))
+                return "\n".join(lines)
             return "nested-loop join over %d sources" % len(self._sources)
-        pred = as_predicate(self._pred) if self._pred is not None else TrueP()
-        plan = choose_plan(self._sources[0], pred)
+        plan = self._single_plan()
         suffix = " + sort" if self._order else ""
         return plan.describe() + suffix
 
     def __repr__(self):
         return "Forall(sources=%d, suchthat=%r, by=%d keys)" % (
             len(self._sources), self._pred, len(self._order))
+
+
+def _orient(jc: JoinCompare, k: int) -> Tuple[int, str, str]:
+    """``(probe_var, probe_attr, build_attr)`` for joining variable *k*."""
+    if jc.lvar == k:
+        return (jc.rvar, jc.rattr, jc.lattr)
+    return (jc.lvar, jc.lattr, jc.rattr)
+
+
+def _tuple_check(conj: Predicate) -> Callable:
+    """A compiled row-tuple filter for a residual conjunct.
+
+    Opaque callables mixed into a V-predicate receive the loop variables
+    as separate arguments (matching the plain multi-source suchthat
+    convention); everything else already evaluates over the row tuple.
+    """
+    if isinstance(conj, Callable_):
+        func = conj.func
+        return lambda row: bool(func(*row))
+    return conj.compiled()
 
 
 def _take(rows: Iterator, n: int) -> Iterator:

@@ -16,6 +16,20 @@ conditions into indexes::
 :class:`Compare` nodes; ``&`` / ``|`` / ``~`` combine them. Every predicate
 is also a callable ``pred(obj) -> bool``, so the same object drives both
 the optimizer and the residual filter.
+
+Two execution-speed facilities live here as well:
+
+* :meth:`Predicate.compiled` returns a plain closure specialised to the
+  predicate (operator and operands bound as locals), so a hot residual
+  filter like ``A.price < 3.00`` is not re-interpreted — no ``_OPS``
+  dict lookup, no attribute chasing on ``self`` — for every row. The
+  closure is cached on the predicate instance.
+* ``V[i].field`` builds **multi-variable** expressions for join queries:
+  ``forall(emps, kids).suchthat(V[0].name == V[1].parent)``. Comparisons
+  within one variable become per-source conjuncts the optimizer pushes
+  below the join; equality comparisons *between* variables become hash
+  join keys (see :mod:`repro.query.iterate`). Multi-variable predicates
+  are callables over the row tuple: ``pred(row) -> bool``.
 """
 
 from __future__ import annotations
@@ -56,11 +70,27 @@ class Predicate:
         """Flatten top-level ANDs into a conjunct list."""
         return [self]
 
+    def compiled(self) -> Callable:
+        """A plain callable equivalent to ``self.__call__``.
+
+        Subclasses specialise this into a closure with the operator and
+        operands bound as locals, so per-row evaluation does no dict
+        lookups or ``self`` attribute chasing. Falls back to the
+        predicate itself (already callable).
+        """
+        return self
+
+    def shape(self):
+        """Hashable structural key of the predicate, with constants
+        elided — two predicates differing only in compared values share a
+        shape. ``None`` means the predicate is opaque (not cacheable)."""
+        return None
+
 
 class Compare(Predicate):
     """``attr <op> constant`` — the optimizable leaf."""
 
-    __slots__ = ("attr", "op", "value")
+    __slots__ = ("attr", "op", "value", "_compiled")
 
     def __init__(self, attr: str, op: str, value: Any):
         if op not in _OPS:
@@ -68,12 +98,27 @@ class Compare(Predicate):
         self.attr = attr
         self.op = op
         self.value = value
+        self._compiled = None
 
     def __call__(self, obj) -> bool:
         try:
             return _OPS[self.op](getattr(obj, self.attr), self.value)
         except TypeError:
             return False
+
+    def compiled(self) -> Callable:
+        if self._compiled is None:
+            def check(obj, _op=_OPS[self.op], _attr=self.attr,
+                      _value=self.value, _getattr=getattr):
+                try:
+                    return _op(_getattr(obj, _attr), _value)
+                except TypeError:
+                    return False
+            self._compiled = check
+        return self._compiled
+
+    def shape(self):
+        return ("cmp", self.attr, self.op)
 
     def __repr__(self):
         return "(%s %s %r)" % (self.attr, self.op, self.value)
@@ -82,26 +127,39 @@ class Compare(Predicate):
 class AttrCompare(Predicate):
     """``attr1 <op> attr2`` — join-style comparison on one object."""
 
-    __slots__ = ("left", "op", "right")
+    __slots__ = ("left", "op", "right", "_compiled")
 
     def __init__(self, left: str, op: str, right: str):
         self.left = left
         self.op = op
         self.right = right
+        self._compiled = None
 
     def __call__(self, obj) -> bool:
         return _OPS[self.op](getattr(obj, self.left),
                              getattr(obj, self.right))
+
+    def compiled(self) -> Callable:
+        if self._compiled is None:
+            def check(obj, _op=_OPS[self.op], _l=self.left, _r=self.right,
+                      _getattr=getattr):
+                return _op(_getattr(obj, _l), _getattr(obj, _r))
+            self._compiled = check
+        return self._compiled
+
+    def shape(self):
+        return ("acmp", self.left, self.op, self.right)
 
     def __repr__(self):
         return "(%s %s %s)" % (self.left, self.op, self.right)
 
 
 class And(Predicate):
-    __slots__ = ("parts",)
+    __slots__ = ("parts", "_compiled")
 
     def __init__(self, *parts: Predicate):
         self.parts = tuple(parts)
+        self._compiled = None
 
     def __call__(self, obj) -> bool:
         return all(p(obj) for p in self.parts)
@@ -112,34 +170,89 @@ class And(Predicate):
             out.extend(p.conjuncts())
         return out
 
+    def compiled(self) -> Callable:
+        if self._compiled is None:
+            checks = tuple(p.compiled() for p in self.parts)
+
+            def check(obj, _checks=checks):
+                for c in _checks:
+                    if not c(obj):
+                        return False
+                return True
+            self._compiled = check
+        return self._compiled
+
+    def shape(self):
+        return _combine_shapes("and", self.parts)
+
     def __repr__(self):
         return "(" + " and ".join(map(repr, self.parts)) + ")"
 
 
 class Or(Predicate):
-    __slots__ = ("parts",)
+    __slots__ = ("parts", "_compiled")
 
     def __init__(self, *parts: Predicate):
         self.parts = tuple(parts)
+        self._compiled = None
 
     def __call__(self, obj) -> bool:
         return any(p(obj) for p in self.parts)
+
+    def compiled(self) -> Callable:
+        if self._compiled is None:
+            checks = tuple(p.compiled() for p in self.parts)
+
+            def check(obj, _checks=checks):
+                for c in _checks:
+                    if c(obj):
+                        return True
+                return False
+            self._compiled = check
+        return self._compiled
+
+    def shape(self):
+        return _combine_shapes("or", self.parts)
 
     def __repr__(self):
         return "(" + " or ".join(map(repr, self.parts)) + ")"
 
 
 class Not(Predicate):
-    __slots__ = ("part",)
+    __slots__ = ("part", "_compiled")
 
     def __init__(self, part: Predicate):
         self.part = part
+        self._compiled = None
 
     def __call__(self, obj) -> bool:
         return not self.part(obj)
 
+    def compiled(self) -> Callable:
+        if self._compiled is None:
+            inner = self.part.compiled()
+
+            def check(obj, _inner=inner):
+                return not _inner(obj)
+            self._compiled = check
+        return self._compiled
+
+    def shape(self):
+        inner = self.part.shape()
+        return None if inner is None else ("not", inner)
+
     def __repr__(self):
         return "(not %r)" % (self.part,)
+
+
+def _combine_shapes(tag: str, parts):
+    shapes = []
+    for p in parts:
+        s = p.shape()
+        if s is None:
+            return None
+        shapes.append(s)
+    return (tag,) + tuple(shapes)
 
 
 class Callable_(Predicate):
@@ -165,6 +278,9 @@ class TrueP(Predicate):
 
     def conjuncts(self) -> List[Predicate]:
         return []
+
+    def shape(self):
+        return ("true",)
 
     def __repr__(self):
         return "true"
@@ -229,6 +345,185 @@ class _AttrBuilder:
 
 #: The attribute-expression builder used in suchthat clauses.
 A = _AttrBuilder()
+
+
+# ---------------------------------------------------------------------------
+# multi-variable predicates (join fusion)
+# ---------------------------------------------------------------------------
+
+class VarCompare(Predicate):
+    """A single-variable condition inside a multi-variable predicate.
+
+    Wraps an ordinary one-object predicate together with the loop
+    variable index it constrains. Called with the *row tuple*; the
+    optimizer pushes the inner predicate below the join so the source is
+    index-filtered before joining.
+    """
+
+    __slots__ = ("var", "inner", "_compiled")
+
+    def __init__(self, var: int, inner: Predicate):
+        self.var = var
+        self.inner = inner
+        self._compiled = None
+
+    def __call__(self, row) -> bool:
+        return self.inner(row[self.var])
+
+    def compiled(self) -> Callable:
+        if self._compiled is None:
+            def check(row, _var=self.var, _inner=self.inner.compiled()):
+                return _inner(row[_var])
+            self._compiled = check
+        return self._compiled
+
+    def shape(self):
+        inner = self.inner.shape()
+        return None if inner is None else ("var", self.var, inner)
+
+    def __repr__(self):
+        return "V[%d]%r" % (self.var, self.inner)
+
+
+class JoinCompare(Predicate):
+    """``V[i].a <op> V[j].b`` — a condition across two loop variables.
+
+    Equality joins (op ``==``) are executed as hash-join keys; other
+    operators become residual filters over the joined tuples. Called
+    with the row tuple.
+    """
+
+    __slots__ = ("lvar", "lattr", "op", "rvar", "rattr", "_compiled")
+
+    def __init__(self, lvar: int, lattr: str, op: str, rvar: int,
+                 rattr: str):
+        if op not in _OPS:
+            raise QueryError("unknown comparison operator %r" % op)
+        self.lvar = lvar
+        self.lattr = lattr
+        self.op = op
+        self.rvar = rvar
+        self.rattr = rattr
+        self._compiled = None
+
+    def __call__(self, row) -> bool:
+        return _OPS[self.op](getattr(row[self.lvar], self.lattr),
+                             getattr(row[self.rvar], self.rattr))
+
+    def compiled(self) -> Callable:
+        if self._compiled is None:
+            def check(row, _op=_OPS[self.op], _lv=self.lvar, _la=self.lattr,
+                      _rv=self.rvar, _ra=self.rattr, _getattr=getattr):
+                return _op(_getattr(row[_lv], _la), _getattr(row[_rv], _ra))
+            self._compiled = check
+        return self._compiled
+
+    def shape(self):
+        return ("join", self.lvar, self.lattr, self.op, self.rvar,
+                self.rattr)
+
+    def __repr__(self):
+        return "(V[%d].%s %s V[%d].%s)" % (self.lvar, self.lattr, self.op,
+                                           self.rvar, self.rattr)
+
+
+class VarAttrExpr:
+    """``V[i].field`` — an attribute of one loop variable of a join."""
+
+    __slots__ = ("var", "name")
+
+    def __init__(self, var: int, name: str):
+        self.var = var
+        self.name = name
+
+    def _compare(self, op: str, other: Any) -> Predicate:
+        if isinstance(other, VarAttrExpr):
+            if other.var == self.var:
+                return VarCompare(self.var,
+                                  AttrCompare(self.name, op, other.name))
+            return JoinCompare(self.var, self.name, op, other.var,
+                               other.name)
+        if isinstance(other, AttrExpr):
+            raise QueryError(
+                "cannot mix A.%s with V[...] expressions; use V[i].%s"
+                % (other.name, other.name))
+        other = _dereference_constant(other)
+        return VarCompare(self.var, Compare(self.name, op, other))
+
+    def __eq__(self, other):  # type: ignore[override]
+        return self._compare("==", other)
+
+    def __ne__(self, other):  # type: ignore[override]
+        return self._compare("!=", other)
+
+    def __lt__(self, other):
+        return self._compare("<", other)
+
+    def __le__(self, other):
+        return self._compare("<=", other)
+
+    def __gt__(self, other):
+        return self._compare(">", other)
+
+    def __ge__(self, other):
+        return self._compare(">=", other)
+
+    __hash__ = None  # type: ignore[assignment]
+
+    def __repr__(self):
+        return "V[%d].%s" % (self.var, self.name)
+
+
+class _VarRef:
+    """``V[i]`` — one loop variable; attribute access builds expressions."""
+
+    __slots__ = ("var",)
+
+    def __init__(self, var: int):
+        self.var = var
+
+    def __getattr__(self, name: str) -> VarAttrExpr:
+        if name.startswith("_"):
+            raise AttributeError(name)
+        return VarAttrExpr(self.var, name)
+
+
+class _VarBuilder:
+    """``V`` — loop-variable builder for multi-source suchthat clauses.
+
+    ``V[0]`` is the first loop variable (first forall source), ``V[1]``
+    the second, and so on::
+
+        forall(emps, kids).suchthat(
+            (V[0].name == V[1].parent) & (V[0].age > 30))
+    """
+
+    def __getitem__(self, var: int) -> _VarRef:
+        if not isinstance(var, int) or var < 0:
+            raise QueryError("V[...] takes a non-negative variable index")
+        return _VarRef(var)
+
+
+#: The loop-variable builder used in multi-source suchthat clauses.
+V = _VarBuilder()
+
+
+def max_var(pred: Predicate) -> int:
+    """Largest loop-variable index referenced by *pred* (-1 if none)."""
+    if isinstance(pred, VarCompare):
+        return pred.var
+    if isinstance(pred, JoinCompare):
+        return max(pred.lvar, pred.rvar)
+    if isinstance(pred, (And, Or)):
+        return max((max_var(p) for p in pred.parts), default=-1)
+    if isinstance(pred, Not):
+        return max_var(pred.part)
+    return -1
+
+
+def is_multivar(pred) -> bool:
+    """Whether *pred* is a predicate over a row tuple (uses V[...])."""
+    return isinstance(pred, Predicate) and max_var(pred) >= 0
 
 
 def _dereference_constant(value: Any) -> Any:

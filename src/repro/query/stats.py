@@ -1,0 +1,308 @@
+"""Per-cluster statistics driving the cost-based optimizer.
+
+The paper motivates ``suchthat``/``by`` clauses as optimizer fodder
+(section 3.1); pricing the alternative access paths requires knowing how
+big a cluster is and how selective a predicate will be. This module keeps,
+per cluster:
+
+* the **object count** (version heads, i.e. what an iteration visits);
+* per tracked field: the **distinct-value count** and the **min/max**
+  bounds, used for equality and range selectivity estimates.
+
+Statistics are maintained *incrementally* — ``pnew``, ``pdelete`` and
+field updates adjust them in place — so planning never scans. Two
+precision levels exist:
+
+``exact``
+    The manager has seen every mutation since the cluster was empty (or
+    since an :meth:`analyze` scan): per-field value counts are kept, so
+    distinct counts and bounds are exact.
+
+``summary``
+    Only the persisted summary (count, n_distinct, min, max) is known —
+    the database was reopened. Counts and bounds still track mutations;
+    distinct counts are estimates until the next :meth:`analyze`.
+
+Summaries are persisted through the catalog's metadata records (key
+``"stats:<cluster>"``) on checkpoint and close, so a reopened database
+plans with real numbers immediately. An aborted transaction invalidates
+the in-memory state (the cheap, always-correct answer); statistics are
+advisory — a stale estimate can only mis-price a plan, never change a
+query's result set.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, List, Optional
+
+#: Persist a cluster's summary after this many mutations since the last
+#: write (also persisted on checkpoint/close regardless).
+PERSIST_EVERY = 256
+
+
+class FieldStats:
+    """Distinct count and value bounds for one tracked field."""
+
+    __slots__ = ("n_distinct", "min", "max", "counts")
+
+    def __init__(self, n_distinct: int = 0, lo: Any = None, hi: Any = None,
+                 counts: Optional[Dict] = None):
+        self.n_distinct = n_distinct
+        self.min = lo
+        self.max = hi
+        #: value -> occurrence count; only present at ``exact`` precision.
+        self.counts = counts
+
+    def record(self, value, delta: int) -> None:
+        if self.counts is not None:
+            try:
+                n = self.counts.get(value, 0) + delta
+            except TypeError:           # unhashable value: degrade
+                self.counts = None
+            else:
+                if n <= 0:
+                    self.counts.pop(value, None)
+                    if value == self.min or value == self.max:
+                        self.min = self.max = None
+                        self.refresh_bounds()
+                else:
+                    self.counts[value] = n
+                    self._widen(value)
+                self.n_distinct = len(self.counts)
+                return
+        # Summary precision: grow the distinct estimate on insert of a
+        # value outside the known bounds; never shrink (deletes of the
+        # last occurrence of a value are invisible without counts).
+        if delta > 0 and self.n_distinct == 0:
+            self.n_distinct = 1
+        self._widen(value)
+
+    def _widen(self, value) -> None:
+        try:
+            if value is None:
+                return
+            if self.min is None or value < self.min:
+                self.min = value
+            if self.max is None or value > self.max:
+                self.max = value
+        except TypeError:
+            pass  # un-orderable type: bounds stay unknown
+
+    def refresh_bounds(self) -> None:
+        """Recompute min/max from exact counts (after deletes)."""
+        if not self.counts:
+            return
+        try:
+            keys = [k for k in self.counts if k is not None]
+            if keys:
+                self.min = min(keys)
+                self.max = max(keys)
+        except TypeError:
+            pass
+
+    def to_state(self) -> List:
+        return [self.n_distinct, self.min, self.max]
+
+    @classmethod
+    def from_state(cls, state: List) -> "FieldStats":
+        return cls(state[0], state[1], state[2])
+
+
+class ClusterStats:
+    """Statistics for one cluster: count plus per-field detail."""
+
+    __slots__ = ("cluster", "count", "fields", "exact", "mutations",
+                 "version")
+
+    def __init__(self, cluster: str, count: int = 0,
+                 fields: Optional[Dict[str, FieldStats]] = None,
+                 exact: bool = False):
+        self.cluster = cluster
+        self.count = count
+        self.fields = fields if fields is not None else {}
+        self.exact = exact
+        #: mutations since the summary was last persisted.
+        self.mutations = 0
+        #: monotone mutation counter — the plan cache compares versions to
+        #: detect statistics drift and replan.
+        self.version = 0
+
+    def field(self, name: str) -> Optional[FieldStats]:
+        return self.fields.get(name)
+
+    def track_field(self, name: str) -> FieldStats:
+        fs = self.fields.get(name)
+        if fs is None:
+            fs = FieldStats(counts={} if self.exact else None)
+            self.fields[name] = fs
+        return fs
+
+    def to_state(self) -> Dict:
+        return {"count": self.count,
+                "fields": {f: fs.to_state() for f, fs in self.fields.items()}}
+
+    @classmethod
+    def from_state(cls, cluster: str, state: Dict) -> "ClusterStats":
+        fields = {f: FieldStats.from_state(s)
+                  for f, s in state.get("fields", {}).items()}
+        return cls(cluster, state.get("count", 0), fields, exact=False)
+
+    def __repr__(self):
+        return ("ClusterStats(%s, count=%d, %s, fields=%r)"
+                % (self.cluster, self.count,
+                   "exact" if self.exact else "summary",
+                   sorted(self.fields)))
+
+
+class StatsManager:
+    """Owns every cluster's statistics for one open database."""
+
+    META_PREFIX = "stats:"
+
+    def __init__(self, db):
+        self._db = db
+        self._stats: Dict[str, ClusterStats] = {}
+
+    # -- access -----------------------------------------------------------
+
+    def get(self, cluster: str) -> Optional[ClusterStats]:
+        """Statistics for *cluster*, loading the persisted summary if this
+        is the first request since open/abort. None when nothing is known
+        (the optimizer then falls back to default selectivities)."""
+        stats = self._stats.get(cluster)
+        if stats is not None:
+            return stats
+        state = self._db.store.catalog.get_meta(self.META_PREFIX + cluster)
+        if state is None:
+            return None
+        stats = ClusterStats.from_state(cluster, state)
+        self._stats[cluster] = stats
+        return stats
+
+    def tracked_fields(self, cluster: str) -> List[str]:
+        """The fields whose values this cluster's indexes (hence the cost
+        model) care about."""
+        fields: List[str] = []
+        for info in self._db.store.indexes_on(cluster).values():
+            for f in info.fields:
+                if f not in fields:
+                    fields.append(f)
+        return fields
+
+    # -- lifecycle hooks ---------------------------------------------------
+
+    def register_new(self, cluster: str) -> None:
+        """A cluster was just created (empty): exact tracking starts now."""
+        self._stats[cluster] = ClusterStats(cluster, exact=True)
+
+    def record_insert(self, cluster: str, state: Dict) -> None:
+        stats = self.get(cluster)
+        if stats is None:
+            return
+        stats.count += 1
+        stats.mutations += 1
+        stats.version += 1
+        for f in self.tracked_fields(cluster):
+            stats.track_field(f).record(state.get(f), +1)
+        self._maybe_persist(stats)
+
+    def record_delete(self, cluster: str, state: Dict) -> None:
+        stats = self.get(cluster)
+        if stats is None:
+            return
+        stats.count = max(0, stats.count - 1)
+        stats.mutations += 1
+        stats.version += 1
+        for f in self.tracked_fields(cluster):
+            fs = stats.field(f)
+            if fs is not None:
+                fs.record(state.get(f), -1)
+        self._maybe_persist(stats)
+
+    def record_update(self, cluster: str, old_state: Optional[Dict],
+                      new_state: Dict) -> None:
+        if old_state is None:       # first write of a new object: counted
+            return                  # by record_insert already
+        stats = self.get(cluster)
+        if stats is None:
+            return
+        stats.mutations += 1
+        stats.version += 1
+        for f in self.tracked_fields(cluster):
+            old_v, new_v = old_state.get(f), new_state.get(f)
+            if old_v == new_v:
+                continue
+            fs = stats.track_field(f)
+            fs.record(old_v, -1)
+            fs.record(new_v, +1)
+        self._maybe_persist(stats)
+
+    def dirty(self) -> bool:
+        """True when some summary has unpersisted mutations."""
+        return any(s.mutations for s in self._stats.values())
+
+    def invalidate(self) -> None:
+        """Drop in-memory state (an abort may have rolled anything back);
+        summaries reload lazily from the catalog."""
+        self._stats.clear()
+
+    # -- analyze -----------------------------------------------------------
+
+    def analyze(self, cluster: str) -> ClusterStats:
+        """Rebuild *cluster*'s statistics exactly by scanning it."""
+        store = self._db.store
+        fields = self.tracked_fields(cluster)
+        stats = ClusterStats(cluster, exact=True)
+        for f in fields:
+            stats.track_field(f)
+        for _rid, record in store.scan(cluster):
+            serial, version = record["__key"]
+            if version != 0:
+                continue
+            stats.count += 1
+            if fields:
+                state = store.get(cluster, (serial, record["current"]))
+                if state is not None:
+                    for f in fields:
+                        stats.fields[f].record(state["state"].get(f), +1)
+        for fs in stats.fields.values():
+            fs.refresh_bounds()
+        self._stats[cluster] = stats
+        return stats
+
+    # -- persistence -------------------------------------------------------
+
+    def _maybe_persist(self, stats: ClusterStats) -> None:
+        if stats.mutations >= PERSIST_EVERY:
+            self.persist_one(stats)
+
+    def persist_one(self, stats: ClusterStats) -> None:
+        db = self._db
+        if db._txn is None:
+            return  # no open transaction: checkpoint/close will catch up
+        db.store.catalog.set_meta(db._txn.txn_id,
+                                  self.META_PREFIX + stats.cluster,
+                                  stats.to_state())
+        stats.mutations = 0
+
+    def persist_all(self, txn: int) -> None:
+        """Write every dirty summary (checkpoint/close path)."""
+        catalog = self._db.store.catalog
+        for stats in self._stats.values():
+            if stats.mutations:
+                catalog.set_meta(txn, self.META_PREFIX + stats.cluster,
+                                 stats.to_state())
+                stats.mutations = 0
+
+    def snapshot(self) -> Dict[str, Dict]:
+        """Summaries of every known cluster (for ``db.stats()``)."""
+        out = {}
+        for name, stats in sorted(self._stats.items()):
+            out[name] = {
+                "objects": stats.count,
+                "precision": "exact" if stats.exact else "summary",
+                "fields": {f: {"n_distinct": fs.n_distinct,
+                               "min": fs.min, "max": fs.max}
+                           for f, fs in sorted(stats.fields.items())},
+            }
+        return out

@@ -24,8 +24,7 @@ that page's LSN.
 from __future__ import annotations
 
 from collections import OrderedDict
-from contextlib import contextmanager
-from typing import Dict, Iterator, Optional
+from typing import Dict, Optional
 
 from ..errors import BufferPoolError
 from .page import PAGE_SIZE, SlottedPage, PageType
@@ -93,14 +92,9 @@ class BufferPool:
             frame.dirty = True
         frame.pin_count -= 1
 
-    @contextmanager
-    def page(self, page_no: int, write: bool = False) -> Iterator[SlottedPage]:
+    def page(self, page_no: int, write: bool = False) -> "_PinnedPage":
         """Context manager combining :meth:`pin` and :meth:`unpin`."""
-        view = self.pin(page_no)
-        try:
-            yield view
-        finally:
-            self.unpin(page_no, dirty=write)
+        return _PinnedPage(self, page_no, write)
 
     def new_page(self, page_type: int) -> int:
         """Allocate a page, format it in the pool, and return its number.
@@ -115,6 +109,10 @@ class BufferPool:
         SlottedPage.format(frame.buf, page_no, page_type)
         frame.dirty = True
         return page_no
+
+    def ensure_allocated(self, page_no: int) -> None:
+        """Extend the page file so *page_no* exists (crash recovery only)."""
+        self._pagefile.ensure_allocated(page_no)
 
     def free_page(self, page_no: int) -> None:
         """Drop *page_no* from the pool and return it to the file free list."""
@@ -191,3 +189,26 @@ class BufferPool:
             "cached": len(self._frames),
             "capacity": self._capacity,
         }
+
+
+class _PinnedPage:
+    """Hand-rolled pin/unpin context manager (see :meth:`BufferPool.page`).
+
+    A plain class instead of ``@contextmanager``: page fetches happen on
+    every record read in the engine, where the generator machinery is
+    measurable overhead.
+    """
+
+    __slots__ = ("_pool", "_page_no", "_write")
+
+    def __init__(self, pool: BufferPool, page_no: int, write: bool):
+        self._pool = pool
+        self._page_no = page_no
+        self._write = write
+
+    def __enter__(self) -> SlottedPage:
+        return self._pool.pin(self._page_no)
+
+    def __exit__(self, exc_type, exc, tb) -> bool:
+        self._pool.unpin(self._page_no, dirty=self._write)
+        return False

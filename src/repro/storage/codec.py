@@ -137,7 +137,151 @@ def decode_value(data: bytes) -> Any:
     return value
 
 
+def decode_prefix(data: bytes) -> Tuple[Any, int]:
+    """Decode one value from the front of *data*, ignoring what follows.
+
+    Returns ``(value, consumed)``. For callers that store an encoded value
+    inside a larger, possibly padded buffer (e.g. fixed-size index
+    records).
+    """
+    return _decode_from(data, 0)
+
+
+# Encoding dispatches on exact type first (one dict lookup instead of a
+# ten-branch isinstance chain — this is the hottest loop in the engine:
+# every page record, WAL payload and index bucket passes through it).
+# Subclasses, extension types and the odd bytearray fall through to
+# _encode_slow, which preserves the original semantics.
+
 def _encode_into(out: bytearray, value: Any) -> None:
+    enc = _ENCODERS.get(value.__class__)
+    if enc is not None:
+        enc(out, value)
+    else:
+        _encode_slow(out, value)
+
+
+def _enc_none(out, value):
+    out.append(TAG_NONE)
+
+
+def _enc_bool(out, value):
+    out.append(TAG_TRUE if value else TAG_FALSE)
+
+
+def _enc_int(out, value):
+    if _INT64_MIN <= value <= _INT64_MAX:
+        out.append(TAG_INT64)
+        out += _I64.pack(value)
+    else:
+        raw = value.to_bytes(
+            (value.bit_length() + 8) // 8, "little", signed=True)
+        out.append(TAG_BIGINT)
+        out += _U32.pack(len(raw))
+        out += raw
+
+
+def _enc_float(out, value):
+    out.append(TAG_FLOAT)
+    out += _F64.pack(value)
+
+
+def _enc_str(out, value):
+    raw = value.encode("utf-8")
+    out.append(TAG_STR)
+    out += _U32.pack(len(raw))
+    out += raw
+
+
+def _enc_bytes(out, value):
+    out.append(TAG_BYTES)
+    out += _U32.pack(len(value))
+    out += value
+
+
+def _enc_list(out, value):
+    out.append(TAG_LIST)
+    out += _U32.pack(len(value))
+    encoders = _ENCODERS
+    for item in value:
+        enc = encoders.get(item.__class__)
+        if enc is not None:
+            enc(out, item)
+        else:
+            _encode_slow(out, item)
+
+
+def _enc_tuple(out, value):
+    out.append(TAG_TUPLE)
+    out += _U32.pack(len(value))
+    encoders = _ENCODERS
+    for item in value:
+        enc = encoders.get(item.__class__)
+        if enc is not None:
+            enc(out, item)
+        else:
+            _encode_slow(out, item)
+
+
+def _enc_dict(out, value):
+    out.append(TAG_DICT)
+    out += _U32.pack(len(value))
+    encoders = _ENCODERS
+    for key, item in value.items():
+        enc = encoders.get(key.__class__)
+        if enc is not None:
+            enc(out, key)
+        else:
+            _encode_slow(out, key)
+        enc = encoders.get(item.__class__)
+        if enc is not None:
+            enc(out, item)
+        else:
+            _encode_slow(out, item)
+
+
+def _enc_set(out, value):
+    out.append(TAG_SET)
+    out += _U32.pack(len(value))
+    for item in _stable_order(value):
+        _encode_into(out, item)
+
+
+def _enc_frozenset(out, value):
+    out.append(TAG_FROZENSET)
+    out += _U32.pack(len(value))
+    for item in _stable_order(value):
+        _encode_into(out, item)
+
+
+def _enc_oid(out, value):
+    out.append(TAG_OID)
+    out += _OID.pack(*value)
+
+
+def _enc_vref(out, value):
+    out.append(TAG_VREF)
+    out += _OID.pack(*value)
+
+
+_ENCODERS = {
+    type(None): _enc_none,
+    bool: _enc_bool,
+    int: _enc_int,
+    float: _enc_float,
+    str: _enc_str,
+    bytes: _enc_bytes,
+    list: _enc_list,
+    tuple: _enc_tuple,
+    dict: _enc_dict,
+    set: _enc_set,
+    frozenset: _enc_frozenset,
+    OidTriple: _enc_oid,
+    VrefTriple: _enc_vref,
+}
+
+
+def _encode_slow(out: bytearray, value: Any) -> None:
     ext = _EXT_BY_CLASS.get(type(value))
     if ext is not None:
         tag, to_state, _ = ext
@@ -152,60 +296,27 @@ def _encode_into(out: bytearray, value: Any) -> None:
     elif value is True:
         out.append(TAG_TRUE)
     elif isinstance(value, VrefTriple):
-        out.append(TAG_VREF)
-        out += _OID.pack(*value)
+        _enc_vref(out, value)
     elif isinstance(value, OidTriple):
-        out.append(TAG_OID)
-        out += _OID.pack(*value)
+        _enc_oid(out, value)
     elif isinstance(value, int):
-        if _INT64_MIN <= value <= _INT64_MAX:
-            out.append(TAG_INT64)
-            out += _I64.pack(value)
-        else:
-            raw = value.to_bytes(
-                (value.bit_length() + 8) // 8, "little", signed=True)
-            out.append(TAG_BIGINT)
-            out += _U32.pack(len(raw))
-            out += raw
+        _enc_int(out, value)
     elif isinstance(value, float):
-        out.append(TAG_FLOAT)
-        out += _F64.pack(value)
+        _enc_float(out, value)
     elif isinstance(value, str):
-        raw = value.encode("utf-8")
-        out.append(TAG_STR)
-        out += _U32.pack(len(raw))
-        out += raw
+        _enc_str(out, value)
     elif isinstance(value, (bytes, bytearray, memoryview)):
-        raw = bytes(value)
-        out.append(TAG_BYTES)
-        out += _U32.pack(len(raw))
-        out += raw
+        _enc_bytes(out, bytes(value))
     elif isinstance(value, list):
-        out.append(TAG_LIST)
-        out += _U32.pack(len(value))
-        for item in value:
-            _encode_into(out, item)
+        _enc_list(out, value)
     elif isinstance(value, tuple):
-        out.append(TAG_TUPLE)
-        out += _U32.pack(len(value))
-        for item in value:
-            _encode_into(out, item)
+        _enc_tuple(out, value)
     elif isinstance(value, dict):
-        out.append(TAG_DICT)
-        out += _U32.pack(len(value))
-        for key, item in value.items():
-            _encode_into(out, key)
-            _encode_into(out, item)
+        _enc_dict(out, value)
     elif isinstance(value, frozenset):
-        out.append(TAG_FROZENSET)
-        out += _U32.pack(len(value))
-        for item in _stable_order(value):
-            _encode_into(out, item)
+        _enc_frozenset(out, value)
     elif isinstance(value, set):
-        out.append(TAG_SET)
-        out += _U32.pack(len(value))
-        for item in _stable_order(value):
-            _encode_into(out, item)
+        _enc_set(out, value)
     else:
         raise CodecError("cannot encode value of type %s" % type(value).__name__)
 
@@ -218,68 +329,130 @@ def _stable_order(items):
         return sorted(items, key=lambda x: (type(x).__name__, repr(x)))
 
 
+# Decoding dispatches on the tag byte through a 256-entry table (one
+# index instead of a branch chain); extension tags and unknown tags take
+# the slow path.
+
 def _decode_from(data: bytes, offset: int) -> Tuple[Any, int]:
     try:
         tag = data[offset]
     except IndexError:
         raise CodecError("truncated value: no tag byte at offset %d" % offset)
-    offset += 1
-    if tag == TAG_NONE:
-        return None, offset
-    if tag == TAG_FALSE:
-        return False, offset
-    if tag == TAG_TRUE:
-        return True, offset
-    if tag == TAG_INT64:
-        _check(data, offset, 8)
-        return _I64.unpack_from(data, offset)[0], offset + 8
-    if tag == TAG_BIGINT:
-        length, offset = _read_length(data, offset)
-        _check(data, offset, length)
-        raw = data[offset:offset + length]
-        return int.from_bytes(raw, "little", signed=True), offset + length
-    if tag == TAG_FLOAT:
-        _check(data, offset, 8)
-        return _F64.unpack_from(data, offset)[0], offset + 8
-    if tag == TAG_STR:
-        length, offset = _read_length(data, offset)
-        _check(data, offset, length)
-        try:
-            text = data[offset:offset + length].decode("utf-8")
-        except UnicodeDecodeError as exc:
-            raise CodecError("invalid utf-8 in string payload: %s" % exc)
-        return text, offset + length
-    if tag == TAG_BYTES:
-        length, offset = _read_length(data, offset)
-        _check(data, offset, length)
-        return bytes(data[offset:offset + length]), offset + length
-    if tag in (TAG_LIST, TAG_TUPLE, TAG_SET, TAG_FROZENSET):
-        count, offset = _read_length(data, offset)
-        items = []
-        for _ in range(count):
-            item, offset = _decode_from(data, offset)
-            items.append(item)
-        if tag == TAG_LIST:
-            return items, offset
-        if tag == TAG_TUPLE:
-            return tuple(items), offset
-        if tag == TAG_SET:
-            return set(items), offset
-        return frozenset(items), offset
-    if tag == TAG_DICT:
-        count, offset = _read_length(data, offset)
-        result = {}
-        for _ in range(count):
-            key, offset = _decode_from(data, offset)
-            item, offset = _decode_from(data, offset)
-            result[key] = item
-        return result, offset
-    if tag == TAG_OID:
-        _check(data, offset, 24)
-        return OidTriple(*_OID.unpack_from(data, offset)), offset + 24
-    if tag == TAG_VREF:
-        _check(data, offset, 24)
-        return VrefTriple(*_OID.unpack_from(data, offset)), offset + 24
+    dec = _DECODERS[tag]
+    if dec is None:
+        return _decode_ext(data, offset + 1, tag)
+    return dec(data, offset + 1)
+
+
+def _dec_none(data, offset):
+    return None, offset
+
+
+def _dec_false(data, offset):
+    return False, offset
+
+
+def _dec_true(data, offset):
+    return True, offset
+
+
+def _dec_int64(data, offset):
+    _check(data, offset, 8)
+    return _I64.unpack_from(data, offset)[0], offset + 8
+
+
+def _dec_bigint(data, offset):
+    length, offset = _read_length(data, offset)
+    _check(data, offset, length)
+    raw = data[offset:offset + length]
+    return int.from_bytes(raw, "little", signed=True), offset + length
+
+
+def _dec_float(data, offset):
+    _check(data, offset, 8)
+    return _F64.unpack_from(data, offset)[0], offset + 8
+
+
+def _dec_str(data, offset):
+    length, offset = _read_length(data, offset)
+    _check(data, offset, length)
+    try:
+        text = data[offset:offset + length].decode("utf-8")
+    except UnicodeDecodeError as exc:
+        raise CodecError("invalid utf-8 in string payload: %s" % exc)
+    return text, offset + length
+
+
+def _dec_bytes(data, offset):
+    length, offset = _read_length(data, offset)
+    _check(data, offset, length)
+    return bytes(data[offset:offset + length]), offset + length
+
+
+def _dec_list(data, offset):
+    count, offset = _read_length(data, offset)
+    items = []
+    append = items.append
+    for _ in range(count):
+        item, offset = _decode_from(data, offset)
+        append(item)
+    return items, offset
+
+
+def _dec_tuple(data, offset):
+    items, offset = _dec_list(data, offset)
+    return tuple(items), offset
+
+
+def _dec_set(data, offset):
+    items, offset = _dec_list(data, offset)
+    return set(items), offset
+
+
+def _dec_frozenset(data, offset):
+    items, offset = _dec_list(data, offset)
+    return frozenset(items), offset
+
+
+def _dec_dict(data, offset):
+    count, offset = _read_length(data, offset)
+    result = {}
+    for _ in range(count):
+        key, offset = _decode_from(data, offset)
+        item, offset = _decode_from(data, offset)
+        result[key] = item
+    return result, offset
+
+
+def _dec_oid(data, offset):
+    _check(data, offset, 24)
+    return OidTriple(*_OID.unpack_from(data, offset)), offset + 24
+
+
+def _dec_vref(data, offset):
+    _check(data, offset, 24)
+    return VrefTriple(*_OID.unpack_from(data, offset)), offset + 24
+
+
+_DECODERS = [None] * 256
+_DECODERS[TAG_NONE] = _dec_none
+_DECODERS[TAG_FALSE] = _dec_false
+_DECODERS[TAG_TRUE] = _dec_true
+_DECODERS[TAG_INT64] = _dec_int64
+_DECODERS[TAG_BIGINT] = _dec_bigint
+_DECODERS[TAG_FLOAT] = _dec_float
+_DECODERS[TAG_STR] = _dec_str
+_DECODERS[TAG_BYTES] = _dec_bytes
+_DECODERS[TAG_LIST] = _dec_list
+_DECODERS[TAG_TUPLE] = _dec_tuple
+_DECODERS[TAG_DICT] = _dec_dict
+_DECODERS[TAG_SET] = _dec_set
+_DECODERS[TAG_FROZENSET] = _dec_frozenset
+_DECODERS[TAG_OID] = _dec_oid
+_DECODERS[TAG_VREF] = _dec_vref
+
+
+def _decode_ext(data: bytes, offset: int, tag: int) -> Tuple[Any, int]:
     ext = _EXT_BY_TAG.get(tag)
     if ext is not None:
         _cls, from_state = ext

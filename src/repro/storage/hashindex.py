@@ -8,7 +8,7 @@ Structure: a *directory* of 2**global_depth bucket pointers plus *bucket*
 pages. Each bucket page stores one codec-encoded record: its local depth
 and its entry list. When a bucket overflows, it splits; if its local depth
 equals the global depth, the directory doubles first. Keys hash through a
-stable (seeded, process-independent) 64-bit FNV-1a over the order-preserving
+stable (process-independent) 64-bit blake2b digest of the order-preserving
 key encoding, so the on-disk layout does not depend on Python's randomized
 ``hash()``.
 
@@ -21,36 +21,48 @@ degenerating gracefully to a linked list for pathological ones.
 
 from __future__ import annotations
 
+import struct
+from hashlib import blake2b
 from typing import Any, Iterator, List, Tuple
 
 from ..errors import DuplicateKeyError, IndexError_
-from .codec import decode_value, encode_key, encode_value
+from .codec import (TAG_INT64, TAG_LIST, decode_prefix, encode_key,
+                    encode_value)
 from .journal import Journal
 from .page import MAX_RECORD_SIZE, NO_PAGE, PageType
+
+_U32 = struct.Struct("<I")
 
 #: Hard capacity of one bucket page's record.
 MAX_BUCKET_BYTES = MAX_RECORD_SIZE - 512
 
+#: Every directory/bucket record is zero-padded to this fixed size. A
+#: same-length update never relocates the record within its page, so an
+#: append changes only the entry count word and the appended bytes — which
+#: the journal's run diff then logs as two tiny UPDATE images instead of
+#: the whole shifted record.
+RECORD_SIZE = MAX_RECORD_SIZE
+
 #: Preferred bucket size: buckets split well before the page fills, so the
-#: whole-bucket re-encode each insert pays stays small. Duplicate-heavy
+#: per-insert work stays proportional to one entry. Duplicate-heavy
 #: buckets that cannot split still grow to MAX_BUCKET_BYTES and chain.
-SPLIT_TARGET_BYTES = 1536
+SPLIT_TARGET_BYTES = 3072
+
+
+def _pad(raw: bytes) -> bytes:
+    return raw + b"\x00" * (RECORD_SIZE - len(raw))
 
 #: Directory growth stops here (pointers must fit on the directory page).
 MAX_GLOBAL_DEPTH = 8
 
-_FNV_OFFSET = 0xcbf29ce484222325
-_FNV_PRIME = 0x100000001b3
-_MASK64 = (1 << 64) - 1
+def hash_key_bytes(data: bytes) -> int:
+    """64-bit blake2b of an already-encoded key. Stable across runs."""
+    return int.from_bytes(blake2b(data, digest_size=8).digest(), "little")
 
 
 def stable_hash(key: Any) -> int:
-    """64-bit FNV-1a of the canonical key encoding. Stable across runs."""
-    data = encode_key(key)
-    h = _FNV_OFFSET
-    for byte in data:
-        h = ((h ^ byte) * _FNV_PRIME) & _MASK64
-    return h
+    """64-bit stable hash of the canonical key encoding."""
+    return hash_key_bytes(encode_key(key))
 
 
 class HashIndex:
@@ -75,27 +87,35 @@ class HashIndex:
         dir_page = journal._pool.new_page(PageType.HASH_DIRECTORY)
         bucket_page = journal._pool.new_page(PageType.HASH_BUCKET)
         with journal.edit(txn, bucket_page) as page:
-            page.insert(encode_value([0, []]))  # [local_depth, entries]
+            page.insert(_pad(encode_value([0, []])))  # [local_depth, entries]
         with journal.edit(txn, dir_page) as page:
-            page.insert(encode_value([0, [bucket_page]]))  # [global_depth, ptrs]
+            page.insert(_pad(encode_value([0, [bucket_page]])))  # [depth, ptrs]
         return cls(journal, dir_page, unique=unique)
 
     # -- directory / bucket I/O ------------------------------------------------
 
     def _read_decoded(self, page_no: int):
         """Decode a page's record, memoised against the page LSN. The
-        cached value is returned as-is; callers must not mutate it."""
-        with self._pool.page(page_no) as page:
+        cached value is returned as-is; callers must not mutate it.
+
+        Pins/unpins directly instead of going through ``pool.page()``:
+        the generator-based context manager costs more than the decode
+        cache hit it wraps, and this runs on every index probe."""
+        pool = self._pool
+        page = pool.pin(page_no)
+        try:
             lsn = page.page_lsn
             cached = self._decoded.get(page_no)
             if cached is not None and cached[0] == lsn:
                 return cached[1], page.next_page
-            value = decode_value(page.read(0))
+            value, used = decode_prefix(page.read(0))
             nxt = page.next_page
+        finally:
+            pool.unpin(page_no)
         if self.CACHE_SIZE > 0:  # 0 disables the cache (ablation studies)
             if len(self._decoded) >= self.CACHE_SIZE:
                 self._decoded.clear()
-            self._decoded[page_no] = (lsn, value)
+            self._decoded[page_no] = (lsn, value, used)
         return value, nxt
 
     def _read_directory(self) -> Tuple[int, List[int]]:
@@ -104,8 +124,13 @@ class HashIndex:
 
     def _write_directory(self, txn: int, depth: int,
                          pointers: List[int]) -> None:
+        raw = encode_value([depth, pointers])
         with self._journal.edit(txn, self.directory_page) as page:
-            page.update(0, encode_value([depth, pointers]))
+            page.update(0, _pad(raw))
+        if self.CACHE_SIZE > 0:
+            self._decoded[self.directory_page] = (page.page_lsn,
+                                                  (depth, pointers),
+                                                  len(raw))
 
     def _read_bucket(self, page_no: int) -> Tuple[int, List]:
         """Read a bucket, concatenating its overflow chain."""
@@ -134,18 +159,27 @@ class HashIndex:
             raw = encode_value([local_depth, entries])
         if len(raw) <= MAX_BUCKET_BYTES:
             raws = [raw]
+            chunks = [entries]
         else:  # rare: hash-identical keys forced an overflow chain
-            raws = [encode_value([local_depth, chunk])
-                    for chunk in self._chunk_entries(entries)]
+            chunks = self._chunk_entries(entries)
+            raws = [encode_value([local_depth, chunk]) for chunk in chunks]
+        # The decoded cache is refreshed with what is being written (keyed
+        # on the post-edit LSN): the next probe — and insert's append fast
+        # path — then never re-decodes the bucket. Callers hand over the
+        # entry lists; they must not mutate them afterwards.
+        cache = self._decoded if self.CACHE_SIZE > 0 else None
         current = page_no
         for i, chunk_raw in enumerate(raws):
             nxt = self._next_chain_page(txn, current,
                                         need_more=i + 1 < len(raws))
             with self._journal.edit(txn, current) as page:
                 if page.slot_count == 0:  # freshly allocated page
-                    page.insert(chunk_raw)
+                    page.insert(_pad(chunk_raw))
                 else:
-                    page.update(0, chunk_raw)
+                    page.update(0, _pad(chunk_raw))
+            if cache is not None:
+                cache[current] = (page.page_lsn, (local_depth, chunks[i]),
+                                  len(chunk_raw))
             current = nxt
         # Blank out any surplus chain pages left from a larger bucket.
         while current != NO_PAGE:
@@ -154,9 +188,11 @@ class HashIndex:
             raw = encode_value([local_depth, []])
             with self._journal.edit(txn, current) as page:
                 if page.slot_count == 0:
-                    page.insert(raw)
+                    page.insert(_pad(raw))
                 else:
-                    page.update(0, raw)
+                    page.update(0, _pad(raw))
+            if cache is not None:
+                cache[current] = (page.page_lsn, (local_depth, []), len(raw))
             current = nxt
 
     def _next_chain_page(self, txn: int, current: int, need_more: bool) -> int:
@@ -186,9 +222,10 @@ class HashIndex:
         chunks.append(chunk)
         return chunks
 
-    def _bucket_for(self, key: Any) -> Tuple[int, int, List[int]]:
+    def _bucket_for(self, kb: bytes) -> Tuple[int, int, List[int]]:
+        """The bucket page for an already-encoded key."""
         depth, pointers = self._read_directory()
-        slot = stable_hash(key) & ((1 << depth) - 1)
+        slot = hash_key_bytes(kb) & ((1 << depth) - 1)
         return pointers[slot], depth, pointers
 
     # -- operations ---------------------------------------------------------------
@@ -196,7 +233,9 @@ class HashIndex:
     def insert(self, txn: int, key: Any, value: Any) -> None:
         """Insert ``(key, value)``, splitting buckets as needed."""
         kb = encode_key(key)
-        bucket_page, _, _ = self._bucket_for(key)
+        bucket_page, _, _ = self._bucket_for(kb)
+        if self._append_fast(txn, bucket_page, kb, key, value):
+            return
         local_depth, entries = self._read_bucket(bucket_page)
         if self.unique and any(e[0] == kb for e in entries):
             raise DuplicateKeyError("duplicate key %r in unique hash index"
@@ -209,12 +248,69 @@ class HashIndex:
             return
         self._split_bucket(txn, bucket_page, local_depth, entries)
 
+    #: Byte offset of the entry-count u32 inside a bucket record
+    #: ``[local_depth, entries]``: TAG_LIST + u32(2) + (TAG_INT64 + i64)
+    #: + TAG_LIST, then the count.
+    _COUNT_OFF = 1 + 4 + 9 + 1
+
+    def _append_fast(self, txn: int, page_no: int, kb: bytes, key: Any,
+                     value: Any) -> bool:
+        """Append an entry to a warm single-page bucket by patching bytes.
+
+        The bucket record's entries are a suffix of its encoding, so an
+        insert only needs the entry count bumped and the new entry's
+        encoding concatenated — no decode or whole-bucket re-encode. Only
+        taken when the decoded cache matches the page LSN (giving the
+        dup-check its entry list for free), the bucket has no overflow
+        chain, and the result stays under the split target; anything else
+        falls back to the general path. The page diff the journal logs is
+        just the count word plus the appended bytes.
+        """
+        cached = self._decoded.get(page_no)
+        if cached is None:
+            return False
+        pool = self._pool
+        page = pool.pin(page_no)
+        try:
+            if page.page_lsn != cached[0] or page.next_page != NO_PAGE:
+                return False
+            local_depth, entries = cached[1]
+            used = cached[2]
+            if self.unique:
+                for entry in entries:
+                    if entry[0] == kb:
+                        raise DuplicateKeyError(
+                            "duplicate key %r in unique hash index" % (key,))
+            raw = page.read(0)
+        finally:
+            pool.unpin(page_no)
+        off = self._COUNT_OFF
+        if (len(raw) != RECORD_SIZE or used < off + 4 or raw[0] != TAG_LIST
+                or raw[5] != TAG_INT64 or raw[off - 1] != TAG_LIST):
+            return False
+        new_entry = [kb, key, value]
+        entry_raw = encode_value(new_entry)
+        if used + len(entry_raw) > SPLIT_TARGET_BYTES:
+            return False  # needs a split: take the general path
+        # Splice the bumped count and the appended entry into the padding;
+        # total length is unchanged, so the page update stays in place.
+        new_raw = b"".join((raw[:off], _U32.pack(len(entries) + 1),
+                            raw[off + 4:used], entry_raw,
+                            raw[used + len(entry_raw):]))
+        with self._journal.edit(txn, page_no) as page:
+            page.update(0, new_raw)
+        if self.CACHE_SIZE > 0:
+            self._decoded[page_no] = (page.page_lsn,
+                                      (local_depth, entries + [new_entry]),
+                                      used + len(entry_raw))
+        return True
+
     def _split_bucket(self, txn: int, bucket_page: int, local_depth: int,
                       entries: List) -> None:
         # Futile-split guard: when every entry has the same full hash
         # (duplicate keys, or colliding ones), no amount of splitting can
         # separate them — store the bucket as an overflow chain instead.
-        hashes = {stable_hash(e[1]) for e in entries}
+        hashes = {hash_key_bytes(e[0]) for e in entries}
         if len(hashes) == 1:
             self._write_bucket(txn, bucket_page, local_depth, entries)
             return
@@ -231,7 +327,7 @@ class HashIndex:
         bit = 1 << local_depth
         stay, move = [], []
         for entry in entries:
-            (move if stable_hash(entry[1]) & bit else stay).append(entry)
+            (move if hash_key_bytes(entry[0]) & bit else stay).append(entry)
         new_page = self._pool.new_page(PageType.HASH_BUCKET)
         self._write_bucket(txn, bucket_page, local_depth + 1, stay)
         self._write_bucket(txn, new_page, local_depth + 1, move)
@@ -250,7 +346,7 @@ class HashIndex:
     def search(self, key: Any) -> List[Any]:
         """All values stored under *key*."""
         kb = encode_key(key)
-        bucket_page, _, _ = self._bucket_for(key)
+        bucket_page, _, _ = self._bucket_for(kb)
         _, entries = self._read_bucket(bucket_page)
         return [e[2] for e in entries if e[0] == kb]
 
@@ -260,7 +356,7 @@ class HashIndex:
     def delete(self, txn: int, key: Any, value: Any = None) -> int:
         """Remove entries for *key* (optionally only matching *value*)."""
         kb = encode_key(key)
-        bucket_page, _, _ = self._bucket_for(key)
+        bucket_page, _, _ = self._bucket_for(kb)
         local_depth, entries = self._read_bucket(bucket_page)
         kept = [e for e in entries
                 if not (e[0] == kb and (value is None or e[2] == value))]
@@ -290,7 +386,7 @@ class HashIndex:
             if local_depth > depth:
                 raise IndexError_("local depth exceeds global depth")
             for entry in entries:
-                h = stable_hash(entry[1])
+                h = hash_key_bytes(entry[0])
                 if (h ^ i) & ((1 << local_depth) - 1):
                     raise IndexError_(
                         "entry hashed to wrong bucket (slot %d)" % i)

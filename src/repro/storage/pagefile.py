@@ -147,6 +147,23 @@ class PageFile:
         self._write_header()
         return page_no
 
+    def ensure_allocated(self, page_no: int) -> None:
+        """Extend the file so *page_no* is addressable (crash recovery).
+
+        A crash can leave the fsynced WAL ahead of the page file: a page
+        was allocated and its edits logged, but the buffered file
+        extension never reached disk. Redo rebuilds such pages from
+        after-images; this makes them readable first. Zero fill is fine —
+        every record since the page's birth is still in the log (the log
+        only truncates at quiescent checkpoints, which flush all pages).
+        """
+        if page_no < self._page_count:
+            return
+        self._file.seek(self._page_count * PAGE_SIZE)
+        self._file.write(b"\x00" * (PAGE_SIZE * (page_no + 1 - self._page_count)))
+        self._page_count = page_no + 1
+        self._write_header()
+
     def free_page(self, page_no: int) -> None:
         """Return *page_no* to the free list."""
         self._check_page_no(page_no)

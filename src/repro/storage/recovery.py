@@ -72,6 +72,9 @@ def recover(pool: BufferPool, wal: WriteAheadLog) -> RecoveryReport:
         if record["type"] not in (LogRecordType.UPDATE, LogRecordType.CLR):
             continue
         page_no = record["page_no"]
+        # The fsynced log can reference pages whose (buffered) file
+        # extension never reached disk; materialize them before pinning.
+        pool.ensure_allocated(page_no)
         page = pool.pin(page_no)
         if page.page_lsn < lsn:
             after = record["after"]

@@ -37,18 +37,21 @@ from .wal import WriteAheadLog
 class Store:
     """Single-file object store with WAL durability and 2PL locking."""
 
-    def __init__(self, path: str, pool_size: int = DEFAULT_POOL_SIZE):
+    def __init__(self, path: str, pool_size: int = DEFAULT_POOL_SIZE,
+                 durability: str = "full"):
         """Open (or create) the store rooted at *path*.
 
         Two files are used: ``<path>`` for pages and ``<path>.wal`` for the
         log. If the log holds records from a previous crash, recovery runs
         before the store becomes usable; the report is kept at
-        :attr:`last_recovery`.
+        :attr:`last_recovery`. *durability* selects the commit fsync
+        policy — ``"full"``, ``"group"`` or ``"none"`` (see
+        :mod:`repro.storage.wal`).
         """
         self.path = path
         self._pagefile = PageFile(path)
         self._pool = BufferPool(self._pagefile, capacity=pool_size)
-        self._wal = WriteAheadLog(path + ".wal")
+        self._wal = WriteAheadLog(path + ".wal", durability=durability)
         self.last_recovery: Optional[RecoveryReport] = None
         if self._wal.end_lsn > 0:
             self.last_recovery = recover(self._pool, self._wal)
@@ -94,6 +97,15 @@ class Store:
         """Flush dirty pages; truncate the WAL if quiescent."""
         self._journal.checkpoint()
         self._pagefile.sync()
+
+    def set_durability(self, mode: str, group_size: Optional[int] = None,
+                       group_window: Optional[float] = None) -> None:
+        """Switch the commit fsync policy (see :mod:`repro.storage.wal`)."""
+        self._wal.set_durability(mode, group_size, group_window)
+
+    @property
+    def durability(self) -> str:
+        return self._wal.durability
 
     @property
     def active_transactions(self) -> List[int]:
@@ -166,17 +178,24 @@ class Store:
 
     # -- objects --------------------------------------------------------------------
 
-    def put(self, txn: int, cluster: str, key: Tuple, data: Dict) -> None:
-        """Insert or overwrite the object at *key* in *cluster*."""
+    def put(self, txn: int, cluster: str, key: Tuple, data: Dict,
+            new: bool = False) -> None:
+        """Insert or overwrite the object at *key* in *cluster*.
+
+        *new=True* asserts the key does not exist yet and skips the
+        directory probe (the directory is unique, so a wrong assertion
+        raises rather than corrupting). Freshly allocated serials qualify.
+        """
         heap = self._heap(cluster)
         directory = self._directory(cluster)
         payload = encode_value(data)
-        existing = directory.search(key)
-        if existing:
-            heap.update(txn, RID(*existing[0]), payload)
-        else:
-            rid = heap.insert(txn, payload)
-            directory.insert(txn, key, tuple(rid))
+        if not new:
+            existing = directory.search(key)
+            if existing:
+                heap.update(txn, RID(*existing[0]), payload)
+                return
+        rid = heap.insert(txn, payload)
+        directory.insert(txn, key, tuple(rid))
 
     def get(self, cluster: str, key: Tuple) -> Optional[Dict]:
         """Fetch the object at *key*, or None."""
@@ -433,6 +452,9 @@ class Store:
             "pool": self._pool.stats(),
             "wal_appends": self._wal.appends,
             "wal_syncs": self._wal.syncs,
+            "wal_flush_calls": self._wal.flush_calls,
+            "wal_group_deferrals": self._wal.group_deferrals,
+            "durability": self._wal.durability,
             "locks": self.locks.stats(),
             "pages": self._pagefile.page_count,
         }

@@ -10,7 +10,12 @@ sequence of length-prefixed, CRC-protected records::
 
     u32 payload_length | u32 crc32(payload) | payload
 
-where the payload is a codec-encoded dict. An LSN is the base plus the byte
+The payload of the standard record types is struct-packed (a type code,
+txn, prev_lsn, then type-specific fields) — log appends sit on the commit
+path of every transaction, where the generic codec's per-field tagging is
+measurable overhead. Records of any other shape fall back to a
+codec-encoded dict behind a zero type code, so the log remains a generic
+dict journal at the API level. An LSN is the base plus the byte
 offset of the record within the log — strictly increasing and directly
 seekable. The base advances every time the log is truncated (at quiescent
 checkpoints), so LSNs are monotone for the lifetime of the database; this
@@ -18,6 +23,31 @@ is essential for redo, which compares page LSNs against record LSNs and
 would otherwise skip committed work after a checkpoint reset the offsets.
 A torn tail (short read or CRC mismatch) terminates the scan silently,
 which is exactly the crash-atomicity the WAL needs.
+
+**Durability modes.** Committing durably costs one fsync; at high commit
+rates the fsync *is* the bottleneck. The log therefore supports three
+modes (the ``durability=`` knob threaded down from
+:class:`~repro.core.database.Database`):
+
+``"full"`` (default)
+    fsync on every commit — a committed transaction survives any crash.
+
+``"group"``
+    Group commit: commit records are appended immediately (so ordering
+    and atomicity are unchanged) but the fsync is deferred until either
+    :data:`GROUP_SIZE` commits are pending or :data:`GROUP_WINDOW`
+    seconds have passed since the first pending commit — one fsync pays
+    for the whole batch. A crash may lose the last window's commits
+    (they disappear atomically; recovery sees no COMMIT record), never
+    corrupt anything. Reads are unaffected: pages are in memory.
+
+``"none"``
+    No fsync at commit at all; only checkpoints/page-writeback flush.
+    For bulk loads and tests.
+
+The WAL rule is enforced in every mode: before a dirty page reaches disk
+the log is flushed past that page's LSN, so redo/undo information is
+always durable first.
 
 Record types and their fields (beyond ``type``, ``txn``, ``prev_lsn``):
 
@@ -36,6 +66,7 @@ from __future__ import annotations
 
 import os
 import struct
+import time
 import zlib
 from typing import Dict, Iterator, Optional, Tuple
 
@@ -48,6 +79,18 @@ _WAL_MAGIC = b"ODEWAL01"
 
 NULL_LSN = -1
 
+#: The recognised durability modes (see the module docs).
+DURABILITY_MODES = ("full", "group", "none")
+
+#: Group commit: flush after this many pending commits ...
+GROUP_SIZE = 64
+#: ... or once this many seconds have passed since the first pending
+#: commit, whichever comes first. The window bounds how stale the log can
+#: be, not how long a commit waits (commits never block on it) — so it is
+#: sized like a checkpoint interval, generously enough that the size
+#: threshold does the batching under load.
+GROUP_WINDOW = 0.05
+
 
 class LogRecordType:
     BEGIN = "begin"
@@ -59,10 +102,82 @@ class LogRecordType:
     CHECKPOINT = "checkpoint"
 
 
+# -- record payload packing ----------------------------------------------------
+#
+# Code 0 is the escape hatch: the whole record codec-encoded as a dict.
+
+_TYPE_CODE = {
+    LogRecordType.BEGIN: 1,
+    LogRecordType.UPDATE: 2,
+    LogRecordType.COMMIT: 3,
+    LogRecordType.ABORT: 4,
+    LogRecordType.END: 5,
+    LogRecordType.CLR: 6,
+    LogRecordType.CHECKPOINT: 7,
+}
+_CODE_TYPE = {code: rtype for rtype, code in _TYPE_CODE.items()}
+
+_COMMON = struct.Struct("<Bqq")       # type code, txn, prev_lsn
+_UPDATE_EXT = struct.Struct("<IHH")   # page_no, offset, len(before)
+_CLR_EXT = struct.Struct("<IHq")      # page_no, offset, undo_next
+
+_CODE_UPDATE = _TYPE_CODE[LogRecordType.UPDATE]
+_CODE_CLR = _TYPE_CODE[LogRecordType.CLR]
+_CODE_CHECKPOINT = _TYPE_CODE[LogRecordType.CHECKPOINT]
+
+
+def _pack_payload(record: Dict) -> bytes:
+    code = _TYPE_CODE.get(record.get("type"))
+    if code is None:
+        return b"\x00" + encode_value(record)
+    head = _COMMON.pack(code, record["txn"], record["prev_lsn"])
+    if code == _CODE_UPDATE:
+        before = record["before"]
+        return b"".join((head,
+                         _UPDATE_EXT.pack(record["page_no"],
+                                          record["offset"], len(before)),
+                         before, record["after"]))
+    if code == _CODE_CLR:
+        return b"".join((head,
+                         _CLR_EXT.pack(record["page_no"], record["offset"],
+                                       record["undo_next"]),
+                         record["after"]))
+    if code == _CODE_CHECKPOINT:
+        return head + encode_value(record["active"])
+    return head
+
+
+def _unpack_payload(payload: bytes) -> Dict:
+    if payload[0] == 0:
+        return decode_value(payload[1:])
+    code, txn, prev_lsn = _COMMON.unpack_from(payload, 0)
+    record = {"type": _CODE_TYPE[code], "txn": txn, "prev_lsn": prev_lsn}
+    off = _COMMON.size
+    if code == _CODE_UPDATE:
+        page_no, offset, blen = _UPDATE_EXT.unpack_from(payload, off)
+        off += _UPDATE_EXT.size
+        record["page_no"] = page_no
+        record["offset"] = offset
+        record["before"] = payload[off:off + blen]
+        record["after"] = payload[off + blen:]
+    elif code == _CODE_CLR:
+        page_no, offset, undo_next = _CLR_EXT.unpack_from(payload, off)
+        off += _CLR_EXT.size
+        record["page_no"] = page_no
+        record["offset"] = offset
+        record["undo_next"] = undo_next
+        record["after"] = payload[off:]
+    elif code == _CODE_CHECKPOINT:
+        record["active"] = decode_value(payload[off:])
+    return record
+
+
 class WriteAheadLog:
     """Append-only log with CRC-framed records addressed by byte-offset LSN."""
 
-    def __init__(self, path: str):
+    def __init__(self, path: str, durability: str = "full",
+                 group_size: int = GROUP_SIZE,
+                 group_window: float = GROUP_WINDOW):
         self.path = path
         exists = os.path.exists(path) and os.path.getsize(path) > 0
         self._file = open(path, "r+b" if exists else "w+b")
@@ -81,9 +196,33 @@ class WriteAheadLog:
         self._end = self._base + self._file.tell() - _FILE_HDR.size
         self._flushed = self._end if exists else self._base
         self._closed = False
+        self.set_durability(durability, group_size, group_window)
+        self._pending_commits = 0
+        self._first_pending = 0.0
         # statistics
         self.appends = 0
         self.syncs = 0
+        self.flush_calls = 0
+        self.group_deferrals = 0
+
+    def set_durability(self, mode: str, group_size: Optional[int] = None,
+                       group_window: Optional[float] = None) -> None:
+        """Switch the commit durability mode (see module docs).
+
+        Tightening the mode (e.g. ``group`` -> ``full``) flushes pending
+        commits first so nothing already committed is left vulnerable.
+        """
+        if mode not in DURABILITY_MODES:
+            raise WalError("unknown durability mode %r (expected one of %s)"
+                           % (mode, ", ".join(DURABILITY_MODES)))
+        if group_size is not None:
+            self._group_size = group_size
+        if group_window is not None:
+            self._group_window = group_window
+        self.durability = mode
+        if mode == "full" and not self._closed \
+                and getattr(self, "_pending_commits", 0):
+            self.flush()
 
     def _write_header(self) -> None:
         self._file.seek(0)
@@ -100,11 +239,11 @@ class WriteAheadLog:
         """Append *record* (a dict) and return its LSN. Does not fsync."""
         if self._closed:
             raise WalError("log %s is closed" % self.path)
-        payload = encode_value(record)
+        payload = _pack_payload(record)
         lsn = self._end
         self._file.seek(self._end - self._base + _FILE_HDR.size)
-        self._file.write(_REC_HDR.pack(len(payload), zlib.crc32(payload)))
-        self._file.write(payload)
+        self._file.write(
+            _REC_HDR.pack(len(payload), zlib.crc32(payload)) + payload)
         self._end += _REC_HDR.size + len(payload)
         self.appends += 1
         return lsn
@@ -122,7 +261,19 @@ class WriteAheadLog:
     def log_commit(self, txn: int, prev_lsn: int) -> int:
         lsn = self.append({"type": LogRecordType.COMMIT, "txn": txn,
                            "prev_lsn": prev_lsn})
-        self.flush()
+        if self.durability == "full":
+            self.flush()
+        elif self.durability == "group":
+            now = time.monotonic()
+            if self._pending_commits == 0:
+                self._first_pending = now
+            self._pending_commits += 1
+            if (self._pending_commits >= self._group_size
+                    or now - self._first_pending >= self._group_window):
+                self.flush()
+            else:
+                self.group_deferrals += 1
+        # "none": the checkpoint / page write-back flushes catch up.
         return lsn
 
     def log_abort(self, txn: int, prev_lsn: int) -> int:
@@ -155,11 +306,13 @@ class WriteAheadLog:
         """
         if self._closed:
             raise WalError("log %s is closed" % self.path)
+        self.flush_calls += 1
         if up_to_lsn is not None and up_to_lsn <= self._flushed:
             return
         self._file.flush()
         os.fsync(self._file.fileno())
         self._flushed = self._end
+        self._pending_commits = 0
         self.syncs += 1
 
     # -- read side ------------------------------------------------------------
@@ -194,7 +347,7 @@ class WriteAheadLog:
         payload = self._file.read(length)
         if len(payload) < length or zlib.crc32(payload) != crc:
             return None  # torn tail
-        return decode_value(payload), lsn + _REC_HDR.size + length
+        return _unpack_payload(payload), lsn + _REC_HDR.size + length
 
     # -- maintenance ------------------------------------------------------------
 
@@ -211,6 +364,7 @@ class WriteAheadLog:
         self._file.flush()
         os.fsync(self._file.fileno())
         self._flushed = self._end
+        self._pending_commits = 0
 
     def close(self) -> None:
         if not self._closed:

@@ -1,0 +1,186 @@
+"""Tests for fused multi-variable joins (V[...] predicates)."""
+
+import pytest
+
+from repro.core import FloatField, IntField, OdeObject, StringField
+from repro.errors import QueryError
+from repro.query import A, V, forall, is_multivar
+
+
+class Emp(OdeObject):
+    name = StringField(default="")
+    dept = StringField(default="")
+    age = IntField(default=0)
+
+
+class Kid(OdeObject):
+    parent = StringField(default="")
+    school = StringField(default="")
+    grade = IntField(default=0)
+
+
+class Dept(OdeObject):
+    dname = StringField(default="")
+    budget = FloatField(default=0.0)
+
+
+@pytest.fixture
+def family_db(db):
+    db.create(Emp)
+    db.create(Kid)
+    db.create(Dept)
+    for i in range(40):
+        db.pnew(Emp, name="e%d" % i, dept="d%d" % (i % 4), age=25 + i % 30)
+    for i in range(60):
+        db.pnew(Kid, parent="e%d" % (i % 40), school="s%d" % (i % 3),
+                grade=i % 8)
+    for i in range(4):
+        db.pnew(Dept, dname="d%d" % i, budget=1000.0 * i)
+    return db
+
+
+def brute(db, cond):
+    return {(e.name, k.parent, k.school)
+            for e in db.cluster(Emp) for k in db.cluster(Kid) if cond(e, k)}
+
+
+class TestVBuilder:
+    def test_v_builds_multivar_predicates(self):
+        pred = (V[0].name == V[1].parent) & (V[1].grade > 3)
+        assert is_multivar(pred)
+
+    def test_same_var_comparison_is_single_var(self):
+        pred = V[0].age > V[0].grade
+        assert is_multivar(pred)
+        assert pred.var == 0
+
+    def test_mixing_a_and_v_rejected(self):
+        with pytest.raises(QueryError):
+            V[0].name == A.parent
+
+    def test_v_predicate_on_single_source_rejected(self, family_db):
+        q = forall(family_db.cluster(Emp)).suchthat(V[0].age > 30)
+        with pytest.raises(QueryError):
+            list(q)
+
+    def test_var_index_out_of_range_rejected(self, family_db):
+        q = forall(family_db.cluster(Emp), family_db.cluster(Kid)).suchthat(
+            V[0].name == V[2].parent)
+        with pytest.raises(QueryError):
+            list(q)
+
+
+class TestFusedJoinCorrectness:
+    def test_plain_equijoin(self, family_db):
+        q = forall(family_db.cluster(Emp), family_db.cluster(Kid)).suchthat(
+            V[0].name == V[1].parent)
+        got = {(e.name, k.parent, k.school) for e, k in q}
+        assert got == brute(family_db, lambda e, k: e.name == k.parent)
+        assert got
+
+    def test_single_var_conjuncts_pushed_down(self, family_db):
+        q = forall(family_db.cluster(Emp), family_db.cluster(Kid)).suchthat(
+            (V[0].name == V[1].parent) & (V[0].age > 35)
+            & (V[1].school == "s1"))
+        got = {(e.name, k.parent, k.school) for e, k in q}
+        assert got == brute(family_db,
+                            lambda e, k: e.name == k.parent and e.age > 35
+                            and k.school == "s1")
+        assert got
+
+    def test_multi_key_join(self, family_db):
+        # Two equality conjuncts between the same pair of variables
+        # combine into one multi-key hash probe.
+        q = forall(family_db.cluster(Emp), family_db.cluster(Emp)).suchthat(
+            (V[0].dept == V[1].dept) & (V[0].age == V[1].age))
+        got = {(a.name, b.name) for a, b in q}
+        expected = {(a.name, b.name)
+                    for a in family_db.cluster(Emp)
+                    for b in family_db.cluster(Emp)
+                    if a.dept == b.dept and a.age == b.age}
+        assert got == expected
+
+    def test_non_equality_cross_var_is_residual(self, family_db):
+        q = forall(family_db.cluster(Emp), family_db.cluster(Kid)).suchthat(
+            (V[0].name == V[1].parent) & (V[0].age > V[1].grade))
+        got = {(e.name, k.parent, k.school) for e, k in q}
+        assert got == brute(family_db,
+                            lambda e, k: e.name == k.parent
+                            and e.age > k.grade)
+
+    def test_no_equality_degenerates_to_filtered_cross(self, family_db):
+        q = forall(family_db.cluster(Emp), family_db.cluster(Dept)).suchthat(
+            V[0].age > V[1].budget)
+        got = {(e.name, d.dname) for e, d in q}
+        expected = {(e.name, d.dname)
+                    for e in family_db.cluster(Emp)
+                    for d in family_db.cluster(Dept) if e.age > d.budget}
+        assert got == expected
+        assert got
+
+    def test_three_way_left_deep(self, family_db):
+        q = forall(family_db.cluster(Emp), family_db.cluster(Kid),
+                   family_db.cluster(Dept)).suchthat(
+            (V[0].name == V[1].parent) & (V[0].dept == V[2].dname)
+            & (V[2].budget > 0.0))
+        got = {(e.name, k.school, d.dname) for e, k, d in q}
+        expected = {(e.name, k.school, d.dname)
+                    for e in family_db.cluster(Emp)
+                    for k in family_db.cluster(Kid)
+                    for d in family_db.cluster(Dept)
+                    if e.name == k.parent and e.dept == d.dname
+                    and d.budget > 0.0}
+        assert got == expected
+        assert got
+
+    def test_indexes_used_below_join(self, family_db):
+        family_db.create_index(Kid, "school", kind="hash")
+        q = forall(family_db.cluster(Emp), family_db.cluster(Kid)).suchthat(
+            (V[0].name == V[1].parent) & (V[1].school == "s2"))
+        text = q.explain()
+        assert "fused hash join" in text
+        assert "eq-lookup" in text  # the pushed-down conjunct uses the index
+        got = {(e.name, k.parent, k.school) for e, k in q}
+        assert got == brute(family_db,
+                            lambda e, k: e.name == k.parent
+                            and k.school == "s2")
+
+    def test_ordering_and_limit_apply(self, family_db):
+        q = forall(family_db.cluster(Emp), family_db.cluster(Kid)).suchthat(
+            V[0].name == V[1].parent).by(
+            lambda e, k: (e.name, k.grade)).limit(5)
+        rows = q.to_list()
+        assert len(rows) == 5
+        keys = [(e.name, k.grade) for e, k in rows]
+        assert keys == sorted(keys)
+
+    def test_or_of_cross_var_is_residual(self, family_db):
+        q = forall(family_db.cluster(Emp), family_db.cluster(Kid)).suchthat(
+            (V[0].name == V[1].parent)
+            & ((V[1].school == "s0") | (V[1].grade > 5)))
+        got = {(e.name, k.parent, k.school) for e, k in q}
+        assert got == brute(family_db,
+                            lambda e, k: e.name == k.parent
+                            and (k.school == "s0" or k.grade > 5))
+        assert got
+
+
+class TestExplain:
+    def test_explain_lists_per_variable_plans(self, family_db):
+        q = forall(family_db.cluster(Emp), family_db.cluster(Kid)).suchthat(
+            (V[0].name == V[1].parent) & (V[0].age > 30))
+        text = q.explain()
+        assert "fused hash join over 2 sources" in text
+        assert "V[0]:" in text and "V[1]:" in text
+        assert "est" in text and "cost" in text
+
+    def test_callable_join_still_nested_loop(self, family_db):
+        q = forall(family_db.cluster(Emp), family_db.cluster(Kid)).suchthat(
+            lambda e, k: e.name == k.parent)
+        assert "nested-loop" in q.explain()
+
+    def test_callable_join_matches_brute_force(self, family_db):
+        q = forall(family_db.cluster(Emp), family_db.cluster(Kid)).suchthat(
+            lambda e, k: e.name == k.parent)
+        got = {(e.name, k.parent, k.school) for e, k in q}
+        assert got == brute(family_db, lambda e, k: e.name == k.parent)
