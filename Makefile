@@ -1,10 +1,14 @@
 PYTHON ?= python
 export PYTHONPATH := src
 
-.PHONY: test bench bench-smoke bench-baseline
+.PHONY: test test-concurrency bench bench-smoke bench-baseline
 
 test:
 	$(PYTHON) -m pytest tests/ -x -q
+
+# Threaded stress tests only (deadlock/retry, serializability, lock leaks).
+test-concurrency:
+	$(PYTHON) -m pytest tests/ -x -q -m concurrency
 
 bench:
 	$(PYTHON) -m pytest benchmarks/ --benchmark-only -q

@@ -1,0 +1,126 @@
+"""Concurrency benchmarks: multi-threaded transaction throughput.
+
+Measures what the lock manager and thread-local transaction sessions cost
+and buy: single-thread vs multi-thread commit streams on disjoint objects
+(lock overhead + latch contention), contended read-modify-write on one hot
+object (serialization cost), and concurrent readers against a writer under
+group commit. Python threads share the GIL, so these benchmarks bound lock
+*overhead* and fairness rather than parallel speedup — the interesting
+number is how close N threads stay to 1 thread on the same total work.
+"""
+
+import threading
+
+import pytest
+
+from conftest import BenchItem, BenchSupplier
+
+from repro import Database, IntField, OdeObject
+
+
+class BenchCounter(OdeObject):
+    n = IntField(default=0)
+
+
+def run_threads(workers):
+    errors = []
+
+    def guard(fn):
+        def wrapped():
+            try:
+                fn()
+            except BaseException as exc:  # noqa: BLE001
+                errors.append(exc)
+        return wrapped
+
+    threads = [threading.Thread(target=guard(fn)) for fn in workers]
+    for t in threads:
+        t.start()
+    for t in threads:
+        t.join()
+    if errors:
+        raise errors[0]
+
+
+class TestDisjointThroughput:
+    """Same total work split across threads on disjoint objects."""
+
+    TOTAL_TXNS = 80
+
+    def _run(self, db, oids, n_threads):
+        per_thread = self.TOTAL_TXNS // n_threads
+
+        def writer(oid):
+            def work():
+                for _ in range(per_thread):
+                    def txn():
+                        db.deref(oid).n += 1
+                    db.run_transaction(txn, retries=20)
+            return work
+
+        run_threads([writer(oids[i]) for i in range(n_threads)])
+
+    @pytest.fixture
+    def counters(self, db):
+        db.create(BenchCounter)
+        oids = [db.pnew(BenchCounter).oid for i in range(8)]
+        return db, oids
+
+    def test_txn_stream_1_thread(self, benchmark, counters):
+        db, oids = counters
+        benchmark(lambda: self._run(db, oids, 1))
+
+    def test_txn_stream_4_threads(self, benchmark, counters):
+        db, oids = counters
+        benchmark(lambda: self._run(db, oids, 4))
+
+    def test_txn_stream_8_threads(self, benchmark, counters):
+        db, oids = counters
+        benchmark(lambda: self._run(db, oids, 8))
+
+
+class TestContendedWrites:
+    """All threads read-modify-write the same hot object."""
+
+    def test_hot_object_4_threads(self, benchmark, db):
+        db.create(BenchCounter)
+        oid = db.pnew(BenchCounter).oid
+
+        def run():
+            def work():
+                for _ in range(10):
+                    def txn():
+                        db.deref(oid).n += 1
+                    db.run_transaction(txn, retries=100)
+            run_threads([work] * 4)
+
+        benchmark(run)
+
+
+class TestReadersWithWriter:
+    """Readers deref a working set while one writer commits under group
+    durability — the group-commit flush must not stall readers."""
+
+    def test_readers_during_group_commit(self, benchmark, tmp_path):
+        db = Database(str(tmp_path / "grp.odb"), durability="group")
+        db.create(BenchCounter)
+        oids = [db.pnew(BenchCounter).oid for _ in range(16)]
+
+        def run():
+            def reader():
+                for _ in range(5):
+                    def txn():
+                        for oid in oids:
+                            db.deref(oid)
+                    db.run_transaction(txn, retries=50)
+
+            def writer():
+                for i in range(10):
+                    def txn():
+                        db.deref(oids[i % len(oids)]).n += 1
+                    db.run_transaction(txn, retries=50)
+
+            run_threads([reader, reader, writer])
+
+        benchmark(run)
+        db.close()

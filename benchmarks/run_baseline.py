@@ -32,14 +32,16 @@ HERE = os.path.dirname(os.path.abspath(__file__))
 REPO = os.path.dirname(HERE)
 
 #: The subset exercised by ``--smoke`` (and ``make bench-smoke``): the
-#: files covering the four tracked groups — iteration, persistence,
-#: storage, triggers — kept small enough to finish in ~30 seconds.
+#: files covering the five tracked groups — iteration, persistence,
+#: storage, triggers, multi-threaded throughput — kept small enough to
+#: finish in ~30 seconds.
 SMOKE_FILES = [
     "bench_iteration.py::TestSelection",
     "bench_iteration.py::TestEquijoin",
     "bench_persistence.py::TestCreation",
     "bench_storage.py",
     "bench_triggers.py",
+    "bench_concurrency.py::TestDisjointThroughput",
 ]
 
 FULL_FILES = ["."]  # the whole benchmarks directory

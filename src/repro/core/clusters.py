@@ -58,6 +58,7 @@ class ClusterHandle:
             return
         if db._txn is not None and db._dirty:
             db._flush(db._txn.txn_id)
+        db._lock_cluster_scan(cluster_name)
         for _rid, record in db.store.scan(cluster_name):
             serial, version = record["__key"]
             if version != 0:

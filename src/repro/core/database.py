@@ -36,16 +36,23 @@ key                record
 
 from __future__ import annotations
 
+import random
+import threading
+import time
 from collections import deque
 from contextlib import contextmanager
-from typing import Any, Dict, Iterator, List, Optional, Type, Union
+from typing import (Any, Callable, Dict, Iterator, List, Optional, Set,
+                    Tuple, Type, Union)
 
 from ..errors import (ClusterExistsError, ClusterNotFoundError,
                       ConstraintViolation, DanglingReferenceError,
-                      NotPersistentError, SchemaError, TransactionError,
+                      DeadlockError, LockTimeoutError, NotPersistentError,
+                      SchemaError, TransactionError, TriggerActionError,
                       VersionError)
 from ..query.optimizer import PlanCache
 from ..query.stats import StatsManager
+from ..storage.locks import (EXCLUSIVE, INTENT_EXCLUSIVE, INTENT_SHARED,
+                             SHARED)
 from ..storage.store import Store
 from .objects import OdeMeta, OdeObject, class_registry
 from .oid import Oid, Vref
@@ -66,9 +73,19 @@ def _state_key(state: Dict, fields: List[str]):
 
 
 class Transaction:
-    """Handle for an open transaction (mostly informational)."""
+    """Handle for an open transaction.
 
-    __slots__ = ("txn_id", "db", "_done", "_begin_lsn")
+    Besides identifying the storage transaction, the handle carries the
+    per-transaction bookkeeping the concurrency layer needs: the *read
+    set* and *write set* of ``(cluster, serial)`` keys the transaction
+    has locked (so repeated derefs skip the lock manager), the subset of
+    keys *created* by this transaction, the cluster-level lock modes
+    already taken, and whether the transaction performed DDL (which
+    widens what an abort must invalidate).
+    """
+
+    __slots__ = ("txn_id", "db", "_done", "_begin_lsn", "read_set",
+                 "write_set", "created", "_cluster_modes", "ddl")
 
     def __init__(self, txn_id: int, db: "Database"):
         self.txn_id = txn_id
@@ -77,23 +94,51 @@ class Transaction:
         # Where this transaction's log chain starts; a commit whose chain
         # never advanced past this wrote nothing (read-only transaction).
         self._begin_lsn = db.store._journal.active.get(txn_id)
+        self.read_set: Set[Tuple[str, int]] = set()
+        self.write_set: Set[Tuple[str, int]] = set()
+        self.created: Set[Tuple[str, int]] = set()
+        self._cluster_modes: Set[Tuple[str, str]] = set()
+        self.ddl = False
+
+    def lock_cluster(self, locks, cluster: str, mode: str) -> None:
+        """Take (once per mode) the cluster-level lock for this txn."""
+        if (cluster, mode) in self._cluster_modes:
+            return
+        locks.acquire(self.txn_id, ("cluster", cluster), mode)
+        self._cluster_modes.add((cluster, mode))
 
     def __repr__(self):
         return "Transaction(%d%s)" % (self.txn_id,
                                       ", done" if self._done else "")
 
 
+class _Session(threading.local):
+    """Per-thread transaction state.
+
+    Each thread talking to a :class:`Database` gets its own open
+    transaction handle and its own deferred-dirty map, so concurrent
+    threads never observe (or clobber) each other's in-flight state.
+    """
+
+    def __init__(self):
+        self.txn: Optional[Transaction] = None
+        self.dirty: Dict[int, OdeObject] = {}  # id(obj) -> obj
+
+
 class Database:
     """An Ode database: persistent objects, clusters, versions, triggers."""
 
     def __init__(self, path: str, pool_size: int = 256,
-                 durability: str = "full"):
+                 durability: str = "full",
+                 concurrent_triggers: bool = False):
         """Open (creating if absent) the database stored at *path*.
 
         *durability* selects the commit fsync policy: ``"full"`` (fsync
         every commit), ``"group"`` (group commit — one fsync per batch)
         or ``"none"`` (only checkpoints fsync). See
-        :mod:`repro.storage.wal`.
+        :mod:`repro.storage.wal`. With *concurrent_triggers* fired
+        trigger actions of one commit run in parallel threads (each is an
+        independent transaction either way).
         """
         self.store = Store(path, pool_size=pool_size, durability=durability)
         self.triggers = TriggerManager(self)
@@ -107,12 +152,83 @@ class Database:
         self._cache: Dict[tuple, OdeObject] = {}
         #: Vref -> live pinned-version object
         self._vcache: Dict[Vref, OdeObject] = {}
-        self._dirty: Dict[int, OdeObject] = {}  # id(obj) -> obj
-        self._txn: Optional[Transaction] = None
+        #: Guards _cache/_vcache mutation (they are shared across threads;
+        #: the objects inside are protected by the lock manager instead).
+        self._cache_lock = threading.RLock()
+        #: Per-thread open transaction + deferred-dirty map.
+        self._session = _Session()
+        self.concurrent_triggers = concurrent_triggers
         self._clock: float = float(
             self.store.catalog.get_meta("clock", 0.0))
         self._clock_dirty = False
         self._closed = False
+
+    # The historical single-threaded attributes survive as views over the
+    # per-thread session, so the query layer (and tests) keep reading
+    # ``db._txn`` / ``db._dirty`` and naturally see their own thread's
+    # state.
+
+    @property
+    def _txn(self) -> Optional[Transaction]:
+        return self._session.txn
+
+    @_txn.setter
+    def _txn(self, handle: Optional[Transaction]) -> None:
+        self._session.txn = handle
+
+    @property
+    def _dirty(self) -> Dict[int, OdeObject]:
+        return self._session.dirty
+
+    # ------------------------------------------------------------------
+    # logical locking (strict 2PL over the store's lock manager)
+    # ------------------------------------------------------------------
+
+    def _lock_for_read(self, cluster: str, serial: int) -> None:
+        """S-lock one object (plus IS on its cluster) for the open txn.
+
+        Outside a transaction reads are unlocked — autocommitted reads
+        see the latest committed state, which is all a transactionless
+        caller can ask for.
+        """
+        handle = self._session.txn
+        if handle is None:
+            return
+        key = (cluster, serial)
+        if key in handle.read_set or key in handle.write_set:
+            return
+        locks = self.store.locks
+        handle.lock_cluster(locks, cluster, INTENT_SHARED)
+        locks.acquire(handle.txn_id, ("obj", cluster, serial), SHARED)
+        handle.read_set.add(key)
+
+    def _lock_for_write(self, cluster: str, serial: int,
+                        created: bool = False) -> None:
+        """X-lock one object (plus IX on its cluster) for the open txn."""
+        handle = self._session.txn
+        if handle is None:
+            return
+        key = (cluster, serial)
+        if key not in handle.write_set:
+            locks = self.store.locks
+            handle.lock_cluster(locks, cluster, INTENT_EXCLUSIVE)
+            locks.acquire(handle.txn_id, ("obj", cluster, serial), EXCLUSIVE)
+            handle.write_set.add(key)
+        if created:
+            handle.created.add(key)
+
+    def _lock_cluster_scan(self, cluster: str) -> None:
+        """S-lock a whole cluster for a scan (``forall`` iteration)."""
+        handle = self._session.txn
+        if handle is not None:
+            handle.lock_cluster(self.store.locks, cluster, SHARED)
+
+    def _lock_cluster_ddl(self, cluster: str) -> None:
+        """X-lock a whole cluster (index DDL, cluster rewrites)."""
+        handle = self._session.txn
+        if handle is not None:
+            handle.lock_cluster(self.store.locks, cluster, EXCLUSIVE)
+            handle.ddl = True
 
     # ------------------------------------------------------------------
     # clock (virtual time for timed triggers)
@@ -156,6 +272,29 @@ class Database:
         fired = self._commit(handle)
         self._run_fired_actions(fired)
 
+    def run_transaction(self, fn: Callable[[], Any], retries: int = 3,
+                        backoff: float = 0.01) -> Any:
+        """Run *fn* inside a transaction, retrying on lock conflicts.
+
+        Under concurrency a transaction can be picked as a deadlock
+        victim (:class:`DeadlockError`) or time out on a lock
+        (:class:`LockTimeoutError`); both mean "aborted through no fault
+        of its own — run it again". This helper re-runs *fn* up to
+        *retries* more times with jittered exponential backoff, re-raising
+        the last error if every attempt fails. *fn* takes no arguments
+        and its return value is passed through.
+        """
+        attempt = 0
+        while True:
+            try:
+                with self.transaction():
+                    return fn()
+            except (DeadlockError, LockTimeoutError):
+                attempt += 1
+                if attempt > retries:
+                    raise
+                time.sleep(backoff * attempt * (0.5 + random.random()))
+
     def _implicit_txn(self) -> "_ImplicitTxn":
         """Join the open transaction, or wrap the block in a private one.
 
@@ -192,72 +331,166 @@ class Database:
         return fired
 
     def _abort(self, handle: Transaction) -> None:
-        self.store.abort(handle.txn_id)
-        handle._done = True
-        self._txn = None
-        self._dirty.clear()
-        self.triggers.invalidate()
-        self.cluster_stats.invalidate()
-        self.plan_cache.clear()
-        self._reload_cache_after_abort()
+        # Keep the transaction's locks through the cache reload: once the
+        # locks drop, another thread may start rewriting the very objects
+        # we are restoring.
+        self.store.abort(handle.txn_id, release_locks=False)
+        try:
+            handle._done = True
+            self._txn = None
+            touched = self._touched_keys(handle)
+            self._dirty.clear()
+            self.triggers.invalidate()
+            self.cluster_stats.invalidate()
+            if handle.ddl:
+                # DDL changed the plan space itself; every plan is suspect.
+                self.plan_cache.clear()
+            else:
+                for cluster in {key[0] for key in touched}:
+                    self.plan_cache.invalidate_cluster(cluster)
+            self._reload_cache_after_abort(touched)
+        finally:
+            self.store.locks.release_all(handle.txn_id)
 
-    def _reload_cache_after_abort(self) -> None:
-        """Refresh live objects from post-abort storage.
+    def _touched_keys(self, handle: Transaction) -> Set[Tuple[str, int]]:
+        """Keys whose cached state the aborted *handle* may have changed:
+        everything it wrote plus everything dirty-in-memory but unflushed."""
+        touched = set(handle.write_set)
+        for obj in self._dirty.values():
+            if obj.is_persistent:
+                oid = obj.oid
+                touched.add((oid.cluster, oid.serial))
+        return touched
 
-        Objects that no longer exist (created inside the aborted
+    def _reload_cache_after_abort(self,
+                                  touched: Set[Tuple[str, int]]) -> None:
+        """Refresh live objects the aborted transaction touched.
+
+        Only the transaction's own read/write footprint is visited — an
+        abort is O(objects it touched), not O(objects resident in the
+        cache). Objects that no longer exist (created inside the aborted
         transaction) are unbound: they become volatile instances again,
         keeping their in-memory field values.
         """
-        for key, obj in list(self._cache.items()):
-            cluster, serial = key
-            head = self.store.get(cluster, (serial, 0))
-            if head is None:
-                obj.__dict__["_p_oid"] = None
-                obj.__dict__["_p_db"] = None
-                obj.__dict__["_p_version"] = 0
-                del self._cache[key]
-                continue
-            state = self.store.get(cluster, (serial, head["current"]))
-            obj._p_load_state(state["state"])
-            obj.__dict__["_p_version"] = head["current"]
-        for vref, obj in list(self._vcache.items()):
-            state = self.store.get(vref.cluster, (vref.serial, vref.version))
-            if state is None:
-                obj.__dict__["_p_oid"] = None
-                obj.__dict__["_p_db"] = None
-                obj.__dict__["_p_version"] = 0
-                del self._vcache[vref]
-            else:
-                obj._p_load_state(state["state"])
+        with self._cache_lock:
+            for key in touched:
+                cluster, serial = key
+                obj = self._cache.get(key)
+                if obj is not None:
+                    head = self.store.get(cluster, (serial, 0))
+                    if head is None:
+                        obj.__dict__["_p_oid"] = None
+                        obj.__dict__["_p_db"] = None
+                        obj.__dict__["_p_version"] = 0
+                        del self._cache[key]
+                    else:
+                        state = self.store.get(cluster,
+                                               (serial, head["current"]))
+                        obj._p_load_state(state["state"])
+                        obj.__dict__["_p_version"] = head["current"]
+                for vref in [v for v in self._vcache
+                             if (v.cluster, v.serial) == key]:
+                    stale = self._vcache[vref]
+                    state = self.store.get(cluster, (serial, vref.version))
+                    if state is None:
+                        stale.__dict__["_p_oid"] = None
+                        stale.__dict__["_p_db"] = None
+                        stale.__dict__["_p_version"] = 0
+                        del self._vcache[vref]
+                    else:
+                        stale._p_load_state(state["state"])
 
     def _run_fired_actions(self, fired: List[FiredAction]) -> None:
         """Weak coupling: run trigger actions as independent transactions.
 
         Actions may fire further triggers; the cascade is processed
-        breadth-first with a hard bound.
+        breadth-first with a hard bound. The activating transaction has
+        already committed when this runs, so a failing action cannot undo
+        it: the failing action's *own* transaction is aborted, the rest
+        of the queue still runs, and a :class:`TriggerActionError`
+        carrying every action's outcome is raised at the end if anything
+        failed. With :attr:`concurrent_triggers` each breadth-first wave
+        runs in parallel threads.
         """
         queue = deque(fired)
+        results: List[Tuple[str, Optional[BaseException]]] = []
         steps = 0
         while queue:
-            steps += 1
-            if steps > MAX_TRIGGER_CASCADE:
-                raise TransactionError(
-                    "trigger cascade exceeded %d actions" % MAX_TRIGGER_CASCADE)
-            action = queue.popleft()
-            txn_id = self.store.begin()
-            handle = Transaction(txn_id, self)
-            self._txn = handle
-            try:
-                action.thunk()
-            except BaseException:
-                self._abort(handle)
-                raise
-            queue.extend(self._commit(handle))
+            if self.concurrent_triggers and len(queue) > 1:
+                wave = list(queue)
+                queue.clear()
+                steps += len(wave)
+                if steps > MAX_TRIGGER_CASCADE:
+                    raise TransactionError(
+                        "trigger cascade exceeded %d actions"
+                        % MAX_TRIGGER_CASCADE)
+                outcomes: List = [None] * len(wave)
+
+                def _runner(i: int, action: FiredAction) -> None:
+                    outcomes[i] = self._run_one_action(action)
+
+                threads = [threading.Thread(target=_runner, args=(i, a))
+                           for i, a in enumerate(wave)]
+                for t in threads:
+                    t.start()
+                for t in threads:
+                    t.join()
+                for action, (follow, exc) in zip(wave, outcomes):
+                    queue.extend(follow)
+                    results.append((action.description, exc))
+            else:
+                steps += 1
+                if steps > MAX_TRIGGER_CASCADE:
+                    raise TransactionError(
+                        "trigger cascade exceeded %d actions"
+                        % MAX_TRIGGER_CASCADE)
+                action = queue.popleft()
+                follow, exc = self._run_one_action(action)
+                queue.extend(follow)
+                results.append((action.description, exc))
+        failed = [desc for desc, exc in results if exc is not None]
+        if failed:
+            raise TriggerActionError(
+                "%d of %d fired trigger action(s) failed: %s"
+                % (len(failed), len(results), ", ".join(failed)),
+                results=results)
+
+    def _run_one_action(
+            self, action: FiredAction
+    ) -> Tuple[List[FiredAction], Optional[BaseException]]:
+        """Run one fired action as its own transaction.
+
+        Returns ``(follow_on_actions, error)``; the error (if any) has
+        already aborted the action's transaction and is reported, not
+        raised, so the remaining queue still runs.
+        """
+        txn_id = self.store.begin()
+        handle = Transaction(txn_id, self)
+        self._txn = handle
+        try:
+            action.thunk()
+        except Exception as exc:
+            self._abort(handle)
+            return [], exc
+        except BaseException:
+            # KeyboardInterrupt/SystemExit: abort and propagate.
+            self._abort(handle)
+            raise
+        try:
+            return self._commit(handle), None
+        except Exception as exc:  # _commit aborts internally before raising
+            return [], exc
 
     # -- dirty tracking -------------------------------------------------------
 
     def _note_dirty(self, obj: OdeObject) -> None:
-        self._dirty[id(obj)] = obj
+        self._session.dirty[id(obj)] = obj
+        # Inside a transaction the write lock is taken at the moment of
+        # the first field write (strict 2PL); outside one, the deferred
+        # autocommit's flush locks the object instead.
+        if self._session.txn is not None and obj.is_persistent:
+            oid = obj.oid
+            self._lock_for_write(oid.cluster, oid.serial)
 
     def _flush(self, txn: int) -> None:
         """Write every dirty object's state to its current version."""
@@ -265,6 +498,7 @@ class Database:
             if not obj.is_persistent:
                 continue
             oid = obj.oid
+            self._lock_for_write(oid.cluster, oid.serial)
             version = obj.__dict__["_p_version"]
             old = self.store.get(oid.cluster, (oid.serial, version))
             new_state = obj._p_state_dict()
@@ -320,6 +554,9 @@ class Database:
             parents = [p.__name__ for p in type(cls).parents.fget(cls)]
             self.store.create_cluster(txn, cls.__name__, parents)
             self.cluster_stats.register_new(cls.__name__)
+            handle = self._session.txn
+            if handle is not None:
+                handle.ddl = True  # an abort must re-check the catalog
 
     def has_cluster(self, cls: Union[Type[OdeObject], str]) -> bool:
         name = cls if isinstance(cls, str) else cls.__name__
@@ -372,6 +609,7 @@ class Database:
         obj.check_constraints()
         with self._implicit_txn() as txn:
             serial = self.store.allocate_serial(txn, cluster)
+            self._lock_for_write(cluster, serial, created=True)
             oid = Oid(cluster, serial)
             obj.__dict__["_p_oid"] = oid
             obj.__dict__["_p_db"] = self
@@ -384,7 +622,8 @@ class Database:
                            {"__key": [serial, 1], "state": state}, new=True)
             self._index_insert(txn, obj)
             self.cluster_stats.record_insert(cluster, state)
-            self._cache[(cluster, serial)] = obj
+            with self._cache_lock:
+                self._cache[(cluster, serial)] = obj
         return obj
 
     def pdelete(self, ref: Ref) -> None:
@@ -401,6 +640,7 @@ class Database:
             return
         oid = self._as_oid(ref)
         with self._implicit_txn() as txn:
+            self._lock_for_write(oid.cluster, oid.serial)
             head = self.store.get(oid.cluster, (oid.serial, 0))
             if head is None:
                 raise DanglingReferenceError("pdelete of missing %r" % (oid,))
@@ -414,6 +654,7 @@ class Database:
 
     def _pdelete_version(self, vref: Vref) -> None:
         with self._implicit_txn() as txn:
+            self._lock_for_write(vref.cluster, vref.serial)
             head = self.store.get(vref.cluster, (vref.serial, 0))
             if head is None or vref.version not in head["chain"]:
                 raise DanglingReferenceError("pdelete of missing %r" % (vref,))
@@ -428,21 +669,24 @@ class Database:
             self.store.put(txn, vref.cluster, (vref.serial, 0),
                            {"__key": [vref.serial, 0],
                             "current": current, "chain": chain})
-            self._vcache.pop(vref, None)
-            cached = self._cache.pop((vref.cluster, vref.serial), None)
+            with self._cache_lock:
+                self._vcache.pop(vref, None)
+                cached = self._cache.pop((vref.cluster, vref.serial), None)
             if cached is not None:
                 # Re-derefing rebinds the cache to the right version.
                 self._dirty.pop(id(cached), None)
 
     def _evict(self, oid: Oid) -> None:
-        obj = self._cache.pop((oid.cluster, oid.serial), None)
+        with self._cache_lock:
+            obj = self._cache.pop((oid.cluster, oid.serial), None)
+            stale_vrefs = [v for v in self._vcache if v.oid == oid]
+            stale_objs = [self._vcache.pop(v) for v in stale_vrefs]
         if obj is not None:
             self._dirty.pop(id(obj), None)
             obj.__dict__["_p_oid"] = None
             obj.__dict__["_p_db"] = None
             obj.__dict__["_p_version"] = 0
-        for vref in [v for v in self._vcache if v.oid == oid]:
-            stale = self._vcache.pop(vref)
+        for stale in stale_objs:
             stale.__dict__["_p_oid"] = None
             stale.__dict__["_p_db"] = None
 
@@ -464,6 +708,10 @@ class Database:
             return ref
         if isinstance(ref, Vref):
             return self._deref_version(ref, _missing_ok)
+        # Lock before looking at the cache: the cached instance may be
+        # mid-rewrite by a concurrent transaction, and the S lock is what
+        # waits that write out.
+        self._lock_for_read(ref.cluster, ref.serial)
         cached = self._cache.get((ref.cluster, ref.serial))
         if cached is not None:
             return cached
@@ -473,13 +721,18 @@ class Database:
                 return None
             raise DanglingReferenceError("dangling reference %r" % (ref,))
         state = self.store.get(ref.cluster, (ref.serial, head["current"]))
-        obj = self._materialize(ref, head["current"], state["state"],
-                                readonly=False)
-        self._cache[(ref.cluster, ref.serial)] = obj
+        with self._cache_lock:
+            cached = self._cache.get((ref.cluster, ref.serial))
+            if cached is not None:  # another thread materialized it first
+                return cached
+            obj = self._materialize(ref, head["current"], state["state"],
+                                    readonly=False)
+            self._cache[(ref.cluster, ref.serial)] = obj
         return obj
 
     def _deref_version(self, vref: Vref,
                        missing_ok: bool) -> Optional[OdeObject]:
+        self._lock_for_read(vref.cluster, vref.serial)
         head = self.store.get(vref.cluster, (vref.serial, 0))
         if head is None or vref.version not in head["chain"]:
             if missing_ok:
@@ -491,9 +744,13 @@ class Database:
         if cached is not None:
             return cached
         state = self.store.get(vref.cluster, (vref.serial, vref.version))
-        obj = self._materialize(vref.oid, vref.version, state["state"],
-                                readonly=True)
-        self._vcache[vref] = obj
+        with self._cache_lock:
+            cached = self._vcache.get(vref)
+            if cached is not None:
+                return cached
+            obj = self._materialize(vref.oid, vref.version, state["state"],
+                                    readonly=True)
+            self._vcache[vref] = obj
         return obj
 
     def _materialize(self, oid: Oid, version: int, state: Dict,
@@ -535,6 +792,7 @@ class Database:
         """
         oid = self._as_oid(ref)
         with self._implicit_txn() as txn:
+            self._lock_for_write(oid.cluster, oid.serial)
             head = self.store.get(oid.cluster, (oid.serial, 0))
             if head is None:
                 raise DanglingReferenceError("newversion of missing %r"
@@ -597,6 +855,7 @@ class Database:
         return Vref(oid.cluster, oid.serial, self._head_of(oid)["chain"][-1])
 
     def _head_of(self, oid: Oid) -> Dict:
+        self._lock_for_read(oid.cluster, oid.serial)
         head = self.store.get(oid.cluster, (oid.serial, 0))
         if head is None:
             raise DanglingReferenceError("dangling reference %r" % (oid,))
@@ -634,16 +893,17 @@ class Database:
             if fname not in cls._ode_fields:
                 raise SchemaError("%s has no field %r" % (cluster, fname))
         with self._implicit_txn() as txn:
+            self._lock_cluster_ddl(cluster)
             info = self.store.create_index(txn, cluster, field, kind=kind,
                                            unique=unique)
-            index = self.store.index(cluster, info.field)
             for _rid, record in self.store.scan(cluster):
                 serial, version = record["__key"]
                 if version != 0:
                     continue
                 state = self.store.get(cluster, (serial, record["current"]))
-                index.insert(txn, _state_key(state["state"], info.fields),
-                             serial)
+                self.store.index_insert(
+                    txn, cluster, info.field,
+                    _state_key(state["state"], info.fields), serial)
             # Index DDL changes the plan space: invalidate cached plans
             # and rebuild exact statistics (the new field needs tracking).
             self._plan_epoch += 1
@@ -658,15 +918,17 @@ class Database:
         cluster = type(obj).__name__
         for name, info in self._indexed_fields(cluster).items():
             key = tuple(self._stored_field(obj, f) for f in info.fields)
-            self.store.index(cluster, name).insert(
-                txn, key[0] if len(key) == 1 else key, obj.oid.serial)
+            self.store.index_insert(
+                txn, cluster, name, key[0] if len(key) == 1 else key,
+                obj.oid.serial)
 
     def _index_delete(self, txn: int, oid: Oid,
                       stored_state: Dict) -> None:
         """Remove index entries using the *stored* (not live) field values."""
         for name, info in self._indexed_fields(oid.cluster).items():
-            self.store.index(oid.cluster, name).delete(
-                txn, _state_key(stored_state, info.fields), oid.serial)
+            self.store.index_delete(
+                txn, oid.cluster, name,
+                _state_key(stored_state, info.fields), oid.serial)
 
     def _index_update(self, txn: int, obj: OdeObject,
                       old_state: Optional[Dict]) -> None:
@@ -678,10 +940,11 @@ class Database:
                          else _state_key(old_state, info.fields))
             if old_state is not None and old_value == new_value:
                 continue
-            index = self.store.index(cluster, name)
             if old_state is not None:
-                index.delete(txn, old_value, obj.oid.serial)
-            index.insert(txn, new_value, obj.oid.serial)
+                self.store.index_delete(txn, cluster, name, old_value,
+                                        obj.oid.serial)
+            self.store.index_insert(txn, cluster, name, new_value,
+                                    obj.oid.serial)
 
     def _stored_field(self, obj: OdeObject, field: str):
         return obj._ode_fields[field].to_stored(obj, getattr(obj, field))

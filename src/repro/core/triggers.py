@@ -39,6 +39,7 @@ database reopens, as an active database requires.
 
 from __future__ import annotations
 
+import threading
 from typing import Any, Callable, Dict, List, Optional
 
 from ..errors import TriggerError
@@ -198,6 +199,10 @@ class TriggerManager:
     def __init__(self, db):
         self._db = db
         self._cache: Optional[Dict[int, _Activation]] = None
+        # Guards the activation mirror: concurrent transactions evaluate
+        # triggers at commit and may race a lazy rebuild against an
+        # abort-driven invalidate.
+        self._mutex = threading.RLock()
         # statistics
         self.evaluations = 0
         self.firings = 0
@@ -211,18 +216,21 @@ class TriggerManager:
             store.create_cluster(txn, ACTIVATION_CLUSTER)
 
     def _activations(self) -> Dict[int, _Activation]:
-        if self._cache is None:
-            self._cache = {}
-            store = self._db.store
-            if store.has_cluster(ACTIVATION_CLUSTER):
-                for _rid, state in store.scan(ACTIVATION_CLUSTER):
-                    act = _Activation.from_state(state)
-                    self._cache[act.serial] = act
-        return self._cache
+        with self._mutex:
+            if self._cache is None:
+                cache: Dict[int, _Activation] = {}
+                store = self._db.store
+                if store.has_cluster(ACTIVATION_CLUSTER):
+                    for _rid, state in store.scan(ACTIVATION_CLUSTER):
+                        act = _Activation.from_state(state)
+                        cache[act.serial] = act
+                self._cache = cache
+            return self._cache
 
     def invalidate(self) -> None:
         """Drop the in-memory mirror (after an abort)."""
-        self._cache = None
+        with self._mutex:
+            self._cache = None
 
     def _save(self, txn: int, act: _Activation) -> None:
         self._db.store.put(txn, ACTIVATION_CLUSTER, (act.serial, 0),

@@ -1,17 +1,33 @@
 """Version macros — newversion, vprev, vnext, vfirst, vlast (section 4).
 
 The paper exposes versioning through macros; this module provides them as
-module-level functions operating on live persistent objects or references,
-delegating to the object's database::
+module-level functions operating on live persistent objects — or, for
+``vprev``/``vnext``, on raw :class:`~repro.core.oid.Vref` references when
+the owning database is passed explicitly (a raw reference does not know
+which database it belongs to). The example below runs as a doctest:
 
-    from repro.core.versions import newversion, vprev, vnext
-
-    item = db.pnew(StockItem, name="512 dram", price=5.0)
-    old = item.vref
-    newversion(item)                 # item now reads/writes version 2
-    item.price = 6.0
-    assert db.deref(old).price == 5.0    # history is intact
-    assert vnext(old) == item.vref
+    >>> import tempfile, os.path
+    >>> from repro.core import Database, OdeObject, StringField, FloatField
+    >>> from repro.core.versions import newversion, vprev, vnext
+    >>> class StockItem(OdeObject):
+    ...     name = StringField(default="")
+    ...     price = FloatField(default=0.0)
+    >>> tmp = tempfile.mkdtemp()
+    >>> db = Database(os.path.join(tmp, "v.odedb"))
+    >>> db.create(StockItem)
+    >>> item = db.pnew(StockItem, name="512 dram", price=5.0)
+    >>> old = item.vref
+    >>> _ = newversion(item)             # item now reads/writes version 2
+    >>> item.price = 6.0
+    >>> db.deref(old).price             # history is intact
+    5.0
+    >>> vnext(old, db) == item.vref     # raw Vref: pass the database
+    True
+    >>> vnext(item) is None             # live object: newest version
+    True
+    >>> vprev(item, db) == old          # db is accepted (and ignored) here
+    True
+    >>> db.close()
 
 Only the linear chain of the paper is implemented (footnote 15: the tree
 version graph is deferred to the Ode versioning paper).
@@ -49,18 +65,42 @@ def versions(obj: OdeObject) -> List[Vref]:
     return _db_of(obj).versions(obj)
 
 
-def vprev(obj_or_ref) -> Optional[Vref]:
-    """The version before the given one (None at the oldest)."""
+def vprev(obj_or_ref, db=None) -> Optional[Vref]:
+    """The version before the given one (None at the oldest).
+
+    Accepts a live persistent object, or a raw ``Oid``/``Vref`` together
+    with the owning *db* (raw references carry no database pointer).
+    """
     if isinstance(obj_or_ref, OdeObject):
         return _db_of(obj_or_ref).vprev(obj_or_ref)
-    raise NotPersistentError("use db.vprev(ref) for raw references")
+    if isinstance(obj_or_ref, (Oid, Vref)):
+        if db is None:
+            raise NotPersistentError(
+                "a raw reference does not know its database; call "
+                "vprev(ref, db) or db.vprev(ref)")
+        return db.vprev(obj_or_ref)
+    raise NotPersistentError(
+        "vprev() takes a persistent object or an Oid/Vref, not %r"
+        % (obj_or_ref,))
 
 
-def vnext(obj_or_ref) -> Optional[Vref]:
-    """The version after the given one (None at the newest)."""
+def vnext(obj_or_ref, db=None) -> Optional[Vref]:
+    """The version after the given one (None at the newest).
+
+    Accepts a live persistent object, or a raw ``Oid``/``Vref`` together
+    with the owning *db* (raw references carry no database pointer).
+    """
     if isinstance(obj_or_ref, OdeObject):
         return _db_of(obj_or_ref).vnext(obj_or_ref)
-    raise NotPersistentError("use db.vnext(ref) for raw references")
+    if isinstance(obj_or_ref, (Oid, Vref)):
+        if db is None:
+            raise NotPersistentError(
+                "a raw reference does not know its database; call "
+                "vnext(ref, db) or db.vnext(ref)")
+        return db.vnext(obj_or_ref)
+    raise NotPersistentError(
+        "vnext() takes a persistent object or an Oid/Vref, not %r"
+        % (obj_or_ref,))
 
 
 def vfirst(obj: OdeObject) -> Vref:

@@ -140,6 +140,29 @@ class TransactionAborted(TransactionError):
         self.reason = reason
 
 
+class TriggerActionError(TransactionError):
+    """One or more fired trigger actions failed.
+
+    Fired actions run as independent transactions *after* the activating
+    transaction commits (the paper's weak coupling, section 6), so a
+    failure cannot — and must not — undo that commit. Instead each failing
+    action's own transaction is aborted, the remaining queued actions still
+    run, and this error is raised at the end carrying the per-action
+    outcomes in :attr:`results`: a list of ``(description, exception_or_
+    None)`` pairs, one per executed action, in execution order.
+    """
+
+    def __init__(self, message, results=None):
+        super().__init__(message)
+        self.results = list(results or [])
+
+    @property
+    def failures(self):
+        """The ``(description, exception)`` pairs for failed actions."""
+        return [(desc, exc) for desc, exc in self.results
+                if exc is not None]
+
+
 # ---------------------------------------------------------------------------
 # Query layer
 # ---------------------------------------------------------------------------

@@ -44,6 +44,7 @@ memory-resident anyway).
 
 from __future__ import annotations
 
+import threading
 from collections import OrderedDict
 from typing import Any, Iterator, List, Optional, Tuple
 
@@ -121,14 +122,15 @@ class IndexEquality(Plan):
     def execute(self) -> Iterator:
         db = self.handle.db
         self._flush_pending(db)
-        index = db.store.index(self.handle.name, self.field)
+        cluster = self.handle.name
+        db._lock_cluster_scan(cluster)
         check = (None if isinstance(self.residual, TrueP)
                  else self.residual.compiled())
-        cluster = self.handle.name
         cache = db._cache
         deref = db.deref
         from ..core.oid import Oid
-        for serial in index.search(self.value):
+        for serial in db.store.index_search(cluster, self.field,
+                                            self.value):
             obj = cache.get((cluster, serial))
             if obj is None:
                 obj = deref(Oid(cluster, serial), _missing_ok=True)
@@ -164,15 +166,16 @@ class IndexRange(Plan):
         db = self.handle.db
         if db._txn is not None and db._dirty:
             db._flush(db._txn.txn_id)
-        index = db.store.index(self.handle.name, self.field)
+        cluster = self.handle.name
+        db._lock_cluster_scan(cluster)
         check = (None if isinstance(self.residual, TrueP)
                  else self.residual.compiled())
-        cluster = self.handle.name
         cache = db._cache
         deref = db.deref
         from ..core.oid import Oid
-        for key, serial in index.range(self.lo, self.hi,
-                                       include_hi=not self.hi_strict):
+        for key, serial in db.store.index_range(
+                cluster, self.field, self.lo, self.hi,
+                include_hi=not self.hi_strict):
             if self.lo_strict and key == self.lo:
                 continue
             obj = cache.get((cluster, serial))
@@ -216,17 +219,18 @@ class CompositeScan(Plan):
         db = self.handle.db
         if db._txn is not None and db._dirty:
             db._flush(db._txn.txn_id)
-        index = db.store.index(self.handle.name, self.index_name)
+        cluster = self.handle.name
+        db._lock_cluster_scan(cluster)
         check = (None if isinstance(self.residual, TrueP)
                  else self.residual.compiled())
-        cluster = self.handle.name
         cache = db._cache
         deref = db.deref
         from ..core.oid import Oid
         prefix = tuple(self.eq_values)
         lo_key = prefix if self.lo is None else prefix + (self.lo,)
         k = len(prefix)
-        for key, serial in index.range(lo_key, None):
+        for key, serial in db.store.index_range(cluster, self.index_name,
+                                                lo_key, None):
             if key[:k] != prefix:
                 break  # past the matching prefix: done
             if (self.lo is not None and self.lo_strict
@@ -573,29 +577,35 @@ class _CacheEntry:
 
 
 class PlanCache:
-    """LRU cache of access-path choices keyed on (cluster, shape)."""
+    """LRU cache of access-path choices keyed on (cluster, shape).
+
+    Thread-safe: lookups and stores from concurrent sessions share one
+    mutex (plan specs themselves are immutable once stored).
+    """
 
     def __init__(self, capacity: int = 256):
         self._capacity = capacity
         self._entries: "OrderedDict[Tuple, _CacheEntry]" = OrderedDict()
+        self._mutex = threading.RLock()
         self.hits = 0
         self.misses = 0
         self.invalidations = 0
 
     def lookup(self, cluster: str, shape, epoch: int, stats):
-        key = (cluster, shape)
-        entry = self._entries.get(key)
-        if entry is None:
-            self.misses += 1
-            return None
-        if entry.epoch != epoch or self._drifted(entry, stats):
-            del self._entries[key]
-            self.invalidations += 1
-            self.misses += 1
-            return None
-        self._entries.move_to_end(key)
-        self.hits += 1
-        return entry
+        with self._mutex:
+            key = (cluster, shape)
+            entry = self._entries.get(key)
+            if entry is None:
+                self.misses += 1
+                return None
+            if entry.epoch != epoch or self._drifted(entry, stats):
+                del self._entries[key]
+                self.invalidations += 1
+                self.misses += 1
+                return None
+            self._entries.move_to_end(key)
+            self.hits += 1
+            return entry
 
     @staticmethod
     def _drifted(entry: _CacheEntry, stats) -> bool:
@@ -608,27 +618,43 @@ class PlanCache:
         return drift > limit
 
     def store(self, cluster: str, shape, spec, epoch: int, stats) -> None:
-        key = (cluster, shape)
-        self._entries[key] = _CacheEntry(
-            spec, epoch,
-            None if stats is None else stats.version,
-            0 if stats is None else stats.count)
-        self._entries.move_to_end(key)
-        while len(self._entries) > self._capacity:
-            self._entries.popitem(last=False)
+        with self._mutex:
+            key = (cluster, shape)
+            self._entries[key] = _CacheEntry(
+                spec, epoch,
+                None if stats is None else stats.version,
+                0 if stats is None else stats.count)
+            self._entries.move_to_end(key)
+            while len(self._entries) > self._capacity:
+                self._entries.popitem(last=False)
 
     def clear(self) -> None:
-        self._entries.clear()
+        with self._mutex:
+            self._entries.clear()
+
+    def invalidate_cluster(self, cluster: str) -> None:
+        """Drop the cached plans for one cluster, keeping the rest.
+
+        An aborted transaction only disturbs the statistics (and hence
+        plan choices) of the clusters it touched; plans over other
+        clusters stay warm.
+        """
+        with self._mutex:
+            doomed = [key for key in self._entries if key[0] == cluster]
+            for key in doomed:
+                del self._entries[key]
+            self.invalidations += len(doomed)
 
     def stats(self) -> dict:
-        total = self.hits + self.misses
-        return {
-            "hits": self.hits,
-            "misses": self.misses,
-            "hit_rate": (self.hits / total) if total else 0.0,
-            "entries": len(self._entries),
-            "invalidations": self.invalidations,
-        }
+        with self._mutex:
+            total = self.hits + self.misses
+            return {
+                "hits": self.hits,
+                "misses": self.misses,
+                "hit_rate": (self.hits / total) if total else 0.0,
+                "entries": len(self._entries),
+                "invalidations": self.invalidations,
+            }
 
 
 # -- entry point --------------------------------------------------------------

@@ -33,6 +33,7 @@ query's result set.
 
 from __future__ import annotations
 
+import threading
 from typing import Any, Dict, List, Optional
 
 #: Persist a cluster's summary after this many mutations since the last
@@ -162,6 +163,10 @@ class StatsManager:
     def __init__(self, db):
         self._db = db
         self._stats: Dict[str, ClusterStats] = {}
+        # Statistics are advisory, but the dicts backing them must not be
+        # structurally corrupted by concurrent mutators; one reentrant
+        # mutex keeps every update/rebuild atomic.
+        self._mutex = threading.RLock()
 
     # -- access -----------------------------------------------------------
 
@@ -169,15 +174,17 @@ class StatsManager:
         """Statistics for *cluster*, loading the persisted summary if this
         is the first request since open/abort. None when nothing is known
         (the optimizer then falls back to default selectivities)."""
-        stats = self._stats.get(cluster)
-        if stats is not None:
+        with self._mutex:
+            stats = self._stats.get(cluster)
+            if stats is not None:
+                return stats
+            state = self._db.store.catalog.get_meta(
+                self.META_PREFIX + cluster)
+            if state is None:
+                return None
+            stats = ClusterStats.from_state(cluster, state)
+            self._stats[cluster] = stats
             return stats
-        state = self._db.store.catalog.get_meta(self.META_PREFIX + cluster)
-        if state is None:
-            return None
-        stats = ClusterStats.from_state(cluster, state)
-        self._stats[cluster] = stats
-        return stats
 
     def tracked_fields(self, cluster: str) -> List[str]:
         """The fields whose values this cluster's indexes (hence the cost
@@ -193,58 +200,64 @@ class StatsManager:
 
     def register_new(self, cluster: str) -> None:
         """A cluster was just created (empty): exact tracking starts now."""
-        self._stats[cluster] = ClusterStats(cluster, exact=True)
+        with self._mutex:
+            self._stats[cluster] = ClusterStats(cluster, exact=True)
 
     def record_insert(self, cluster: str, state: Dict) -> None:
-        stats = self.get(cluster)
-        if stats is None:
-            return
-        stats.count += 1
-        stats.mutations += 1
-        stats.version += 1
-        for f in self.tracked_fields(cluster):
-            stats.track_field(f).record(state.get(f), +1)
-        self._maybe_persist(stats)
+        with self._mutex:
+            stats = self.get(cluster)
+            if stats is None:
+                return
+            stats.count += 1
+            stats.mutations += 1
+            stats.version += 1
+            for f in self.tracked_fields(cluster):
+                stats.track_field(f).record(state.get(f), +1)
+            self._maybe_persist(stats)
 
     def record_delete(self, cluster: str, state: Dict) -> None:
-        stats = self.get(cluster)
-        if stats is None:
-            return
-        stats.count = max(0, stats.count - 1)
-        stats.mutations += 1
-        stats.version += 1
-        for f in self.tracked_fields(cluster):
-            fs = stats.field(f)
-            if fs is not None:
-                fs.record(state.get(f), -1)
-        self._maybe_persist(stats)
+        with self._mutex:
+            stats = self.get(cluster)
+            if stats is None:
+                return
+            stats.count = max(0, stats.count - 1)
+            stats.mutations += 1
+            stats.version += 1
+            for f in self.tracked_fields(cluster):
+                fs = stats.field(f)
+                if fs is not None:
+                    fs.record(state.get(f), -1)
+            self._maybe_persist(stats)
 
     def record_update(self, cluster: str, old_state: Optional[Dict],
                       new_state: Dict) -> None:
         if old_state is None:       # first write of a new object: counted
             return                  # by record_insert already
-        stats = self.get(cluster)
-        if stats is None:
-            return
-        stats.mutations += 1
-        stats.version += 1
-        for f in self.tracked_fields(cluster):
-            old_v, new_v = old_state.get(f), new_state.get(f)
-            if old_v == new_v:
-                continue
-            fs = stats.track_field(f)
-            fs.record(old_v, -1)
-            fs.record(new_v, +1)
-        self._maybe_persist(stats)
+        with self._mutex:
+            stats = self.get(cluster)
+            if stats is None:
+                return
+            stats.mutations += 1
+            stats.version += 1
+            for f in self.tracked_fields(cluster):
+                old_v, new_v = old_state.get(f), new_state.get(f)
+                if old_v == new_v:
+                    continue
+                fs = stats.track_field(f)
+                fs.record(old_v, -1)
+                fs.record(new_v, +1)
+            self._maybe_persist(stats)
 
     def dirty(self) -> bool:
         """True when some summary has unpersisted mutations."""
-        return any(s.mutations for s in self._stats.values())
+        with self._mutex:
+            return any(s.mutations for s in self._stats.values())
 
     def invalidate(self) -> None:
         """Drop in-memory state (an abort may have rolled anything back);
         summaries reload lazily from the catalog."""
-        self._stats.clear()
+        with self._mutex:
+            self._stats.clear()
 
     # -- analyze -----------------------------------------------------------
 
@@ -267,7 +280,8 @@ class StatsManager:
                         stats.fields[f].record(state["state"].get(f), +1)
         for fs in stats.fields.values():
             fs.refresh_bounds()
-        self._stats[cluster] = stats
+        with self._mutex:
+            self._stats[cluster] = stats
         return stats
 
     # -- persistence -------------------------------------------------------
@@ -288,16 +302,19 @@ class StatsManager:
     def persist_all(self, txn: int) -> None:
         """Write every dirty summary (checkpoint/close path)."""
         catalog = self._db.store.catalog
-        for stats in self._stats.values():
-            if stats.mutations:
-                catalog.set_meta(txn, self.META_PREFIX + stats.cluster,
-                                 stats.to_state())
-                stats.mutations = 0
+        with self._mutex:
+            for stats in self._stats.values():
+                if stats.mutations:
+                    catalog.set_meta(txn, self.META_PREFIX + stats.cluster,
+                                     stats.to_state())
+                    stats.mutations = 0
 
     def snapshot(self) -> Dict[str, Dict]:
         """Summaries of every known cluster (for ``db.stats()``)."""
         out = {}
-        for name, stats in sorted(self._stats.items()):
+        with self._mutex:
+            items = sorted(self._stats.items())
+        for name, stats in items:
             out[name] = {
                 "objects": stats.count,
                 "precision": "exact" if stats.exact else "summary",

@@ -23,6 +23,7 @@ that page's LSN.
 
 from __future__ import annotations
 
+import threading
 from collections import OrderedDict
 from typing import Dict, Optional
 
@@ -54,6 +55,14 @@ class BufferPool:
         # OrderedDict as LRU: most recently used at the end.
         self._frames: "OrderedDict[int, _Frame]" = OrderedDict()
         self._wal = None
+        #: The storage latch. One reentrant lock guards *physical* state —
+        #: frames, the page file, the WAL tail, catalog caches — across the
+        #: whole storage layer. :meth:`pin` acquires it and the matching
+        #: :meth:`unpin` releases it, so a pinned page is never mutated or
+        #: evicted under a concurrent thread. Logical isolation between
+        #: transactions is the LockManager's job, not the latch's; callers
+        #: must never block on the lock manager while holding the latch.
+        self.latch = threading.RLock()
         # statistics
         self.hits = 0
         self.misses = 0
@@ -71,7 +80,12 @@ class BufferPool:
     # -- pinning ---------------------------------------------------------------
 
     def pin(self, page_no: int) -> SlottedPage:
-        """Pin *page_no*, faulting it in if needed, and return a page view."""
+        """Pin *page_no*, faulting it in if needed, and return a page view.
+
+        Acquires the storage latch; the matching :meth:`unpin` releases it.
+        The latch is reentrant, so nested pins from one thread are fine.
+        """
+        self.latch.acquire()
         frame = self._frames.get(page_no)
         if frame is not None:
             self.hits += 1
@@ -87,10 +101,12 @@ class BufferPool:
         """Release one pin on *page_no*, optionally marking it dirty."""
         frame = self._frames.get(page_no)
         if frame is None or frame.pin_count == 0:
+            # The caller never pinned, so it does not hold this pin's latch.
             raise BufferPoolError("unpin of page %d that is not pinned" % page_no)
         if dirty:
             frame.dirty = True
         frame.pin_count -= 1
+        self.latch.release()
 
     def page(self, page_no: int, write: bool = False) -> "_PinnedPage":
         """Context manager combining :meth:`pin` and :meth:`unpin`."""
@@ -102,54 +118,62 @@ class BufferPool:
         The new page enters the pool already formatted and dirty; it is not
         left pinned.
         """
-        page_no = self._pagefile.allocate_page()
-        frame = self._frames.get(page_no)
-        if frame is None:
-            frame = self._admit(page_no)
-        SlottedPage.format(frame.buf, page_no, page_type)
-        frame.dirty = True
-        return page_no
+        with self.latch:
+            page_no = self._pagefile.allocate_page()
+            frame = self._frames.get(page_no)
+            if frame is None:
+                frame = self._admit(page_no)
+            SlottedPage.format(frame.buf, page_no, page_type)
+            frame.dirty = True
+            return page_no
 
     def ensure_allocated(self, page_no: int) -> None:
         """Extend the page file so *page_no* exists (crash recovery only)."""
-        self._pagefile.ensure_allocated(page_no)
+        with self.latch:
+            self._pagefile.ensure_allocated(page_no)
 
     def free_page(self, page_no: int) -> None:
         """Drop *page_no* from the pool and return it to the file free list."""
-        frame = self._frames.pop(page_no, None)
-        if frame is not None and frame.pin_count > 0:
-            raise BufferPoolError("cannot free pinned page %d" % page_no)
-        self._pagefile.free_page(page_no)
+        with self.latch:
+            frame = self._frames.pop(page_no, None)
+            if frame is not None and frame.pin_count > 0:
+                raise BufferPoolError("cannot free pinned page %d" % page_no)
+            self._pagefile.free_page(page_no)
 
     # -- write-back ---------------------------------------------------------------
 
     def flush_page(self, page_no: int) -> None:
         """Write *page_no* back to disk if dirty (stays cached)."""
-        frame = self._frames.get(page_no)
-        if frame is not None and frame.dirty:
-            self._write_back(frame)
+        with self.latch:
+            frame = self._frames.get(page_no)
+            if frame is not None and frame.dirty:
+                self._write_back(frame)
 
     def flush_all(self) -> None:
         """Write every dirty frame back to disk (checkpoint/close path)."""
-        for frame in self._frames.values():
-            if frame.dirty:
-                self._write_back(frame)
+        with self.latch:
+            for frame in self._frames.values():
+                if frame.dirty:
+                    self._write_back(frame)
 
     def dirty_page_numbers(self):
         """Page numbers of currently dirty frames (for checkpointing)."""
-        return [f.page_no for f in self._frames.values() if f.dirty]
+        with self.latch:
+            return [f.page_no for f in self._frames.values() if f.dirty]
 
     def invalidate_all(self) -> None:
         """Drop every frame without writing back (crash simulation)."""
-        for frame in self._frames.values():
-            if frame.pin_count > 0:
-                raise BufferPoolError(
-                    "cannot invalidate: page %d is pinned" % frame.page_no)
-        self._frames.clear()
+        with self.latch:
+            for frame in self._frames.values():
+                if frame.pin_count > 0:
+                    raise BufferPoolError(
+                        "cannot invalidate: page %d is pinned" % frame.page_no)
+            self._frames.clear()
 
     def close(self) -> None:
-        self.flush_all()
-        self._frames.clear()
+        with self.latch:
+            self.flush_all()
+            self._frames.clear()
 
     # -- internals --------------------------------------------------------------
 

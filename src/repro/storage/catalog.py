@@ -157,49 +157,59 @@ class Catalog:
     # -- clusters ---------------------------------------------------------------
 
     def clusters(self) -> Iterator[ClusterInfo]:
-        return iter(list(self._clusters.values()))
+        with self._journal.latch:
+            return iter(list(self._clusters.values()))
 
     def get_cluster(self, name: str) -> Optional[ClusterInfo]:
-        return self._clusters.get(name)
+        with self._journal.latch:
+            return self._clusters.get(name)
 
     def has_cluster(self, name: str) -> bool:
-        return name in self._clusters
+        with self._journal.latch:
+            return name in self._clusters
 
     def add_cluster(self, txn: int, name: str, parents: List[str],
                     heap_page: int, directory_page: int) -> ClusterInfo:
-        if name in self._clusters:
-            raise CatalogError("cluster %r already exists" % name)
-        info = ClusterInfo(name, self._next_cluster_id, parents,
-                           heap_page, directory_page)
-        self._next_cluster_id += 1
-        info._rid = self._heap.insert(txn, info.to_record())
-        self._clusters[name] = info
-        return info
+        with self._journal.latch:
+            if name in self._clusters:
+                raise CatalogError("cluster %r already exists" % name)
+            info = ClusterInfo(name, self._next_cluster_id, parents,
+                               heap_page, directory_page)
+            self._next_cluster_id += 1
+            info._rid = self._heap.insert(txn, info.to_record())
+            self._clusters[name] = info
+            return info
 
     def save_cluster(self, txn: int, info: ClusterInfo) -> None:
         """Persist changed fields (serial counter, indexes) of a cluster."""
-        if info._rid is None:
-            raise CatalogError("cluster %r has no catalog record" % info.name)
-        self._heap.update(txn, info._rid, info.to_record())
+        with self._journal.latch:
+            if info._rid is None:
+                raise CatalogError("cluster %r has no catalog record"
+                                   % info.name)
+            self._heap.update(txn, info._rid, info.to_record())
 
     def children_of(self, name: str) -> List[ClusterInfo]:
         """Direct subclusters (clusters listing *name* as a parent)."""
-        return [c for c in self._clusters.values() if name in c.parents]
+        with self._journal.latch:
+            return [c for c in self._clusters.values() if name in c.parents]
 
     # -- metadata ---------------------------------------------------------------
 
     def get_meta(self, key, default=None):
-        return self._meta.get(key, default)
+        with self._journal.latch:
+            return self._meta.get(key, default)
 
     def set_meta(self, txn: int, key, value) -> None:
         record = encode_value({"kind": "meta", "key": key, "value": value})
-        rid = self._meta_rids.get(key)
-        if rid is None:
-            self._meta_rids[key] = self._heap.insert(txn, record)
-        else:
-            self._heap.update(txn, rid, record)
-        self._meta[key] = value
+        with self._journal.latch:
+            rid = self._meta_rids.get(key)
+            if rid is None:
+                self._meta_rids[key] = self._heap.insert(txn, record)
+            else:
+                self._heap.update(txn, rid, record)
+            self._meta[key] = value
 
     def invalidate(self) -> None:
         """Re-read everything from disk (after an abort touched the catalog)."""
-        self._reload()
+        with self._journal.latch:
+            self._reload()

@@ -29,6 +29,9 @@ class Journal:
         self._pool = pool
         self._wal = wal
         pool.attach_wal(wal)
+        #: The storage latch, shared with (and owned by) the buffer pool.
+        #: Guards the txn table, the WAL tail, and pending-free lists.
+        self.latch = pool.latch
         self._next_txn = 1
         #: txn id -> LSN of that transaction's most recent log record.
         self.active: Dict[int, int] = {}
@@ -40,29 +43,32 @@ class Journal:
     # -- transaction lifecycle ---------------------------------------------------
 
     def begin(self) -> int:
-        txn = self._next_txn
-        self._next_txn += 1
-        lsn = self._wal.log_begin(txn)
-        self.active[txn] = lsn
-        return txn
+        with self.latch:
+            txn = self._next_txn
+            self._next_txn += 1
+            lsn = self._wal.log_begin(txn)
+            self.active[txn] = lsn
+            return txn
 
     def commit(self, txn: int) -> None:
-        last = self._require_active(txn)
-        # log_commit fsyncs per the log's durability mode (full/group/none)
-        self._wal.log_commit(txn, last)
-        self._wal.log_end(txn, last)
-        del self.active[txn]
-        for page_no in self._pending_frees.pop(txn, ()):
-            self._pool.free_page(page_no)
+        with self.latch:
+            last = self._require_active(txn)
+            # log_commit fsyncs per the log's durability mode (full/group/none)
+            self._wal.log_commit(txn, last)
+            self._wal.log_end(txn, last)
+            del self.active[txn]
+            for page_no in self._pending_frees.pop(txn, ()):
+                self._pool.free_page(page_no)
 
     def abort(self, txn: int) -> None:
         """Roll back *txn* by applying before-images, logging CLRs."""
-        last = self._require_active(txn)
-        last = undo_transaction(self._pool, self._wal, txn, last)
-        self._wal.log_abort(txn, last)
-        self._wal.log_end(txn, last)
-        del self.active[txn]
-        self._pending_frees.pop(txn, None)
+        with self.latch:
+            last = self._require_active(txn)
+            last = undo_transaction(self._pool, self._wal, txn, last)
+            self._wal.log_abort(txn, last)
+            self._wal.log_end(txn, last)
+            del self.active[txn]
+            self._pending_frees.pop(txn, None)
 
     def free_page_deferred(self, txn: int, page_no: int) -> None:
         """Schedule *page_no* for the free list when *txn* commits.
@@ -71,8 +77,9 @@ class Journal:
         transaction stops referencing: an in-flight transaction's undo
         images may still point at them.
         """
-        self._require_active(txn)
-        self._pending_frees.setdefault(txn, []).append(page_no)
+        with self.latch:
+            self._require_active(txn)
+            self._pending_frees.setdefault(txn, []).append(page_no)
 
     def _require_active(self, txn: int) -> int:
         if txn not in self.active:
@@ -94,12 +101,13 @@ class Journal:
 
     def checkpoint(self) -> None:
         """Flush everything; truncate the log if no transaction is active."""
-        self._wal.flush()
-        self._pool.flush_all()
-        if self.active:
-            self._wal.log_checkpoint(self.active)
-        else:
-            self._wal.truncate()
+        with self.latch:
+            self._wal.flush()
+            self._pool.flush_all()
+            if self.active:
+                self._wal.log_checkpoint(self.active)
+            else:
+                self._wal.truncate()
 
 
 class _PageEdit:
@@ -120,8 +128,14 @@ class _PageEdit:
 
     def __enter__(self) -> SlottedPage:
         journal = self._journal
-        self._last = journal._require_active(self._txn)
+        # Pin first: it takes the storage latch, so the txn-table check and
+        # the snapshot happen atomically with respect to other threads.
         page = journal._pool.pin(self._page_no)
+        try:
+            self._last = journal._require_active(self._txn)
+        except BaseException:
+            journal._pool.unpin(self._page_no, dirty=False)
+            raise
         self._snapshot = bytes(page.buf)
         self._page = page
         return page

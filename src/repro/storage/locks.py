@@ -1,22 +1,37 @@
-"""Lock manager — strict two-phase locking with deadlock detection.
+"""Lock manager — strict two-phase locking with hierarchical modes.
 
 The paper defers concurrency ("any O++ program that interacts with the
 database will be considered to be a single transaction"), but the substrate
-still provides a real lock manager so the transaction layer can interleave
+provides a real lock manager so the transaction layer can interleave
 transactions (and so trigger-action transactions, which the paper requires
 to be *independent* transactions, are properly isolated).
 
-Granularity is logical: a lock name is any hashable (the object layer locks
-object ids and cluster names). Modes are shared (S) and exclusive (X) with
-upgrade support. Deadlocks are detected eagerly by cycle search in the
-waits-for graph; the requesting transaction is the victim and receives
-:class:`DeadlockError`.
+Granularity is logical: a lock name is any hashable. The object layer locks
+``("obj", cluster, serial)`` pairs and ``("cluster", name)`` containers.
+Modes form the classic hierarchical lattice:
 
-The manager is synchronous: a request that cannot be granted and would not
-deadlock raises :class:`LockTimeoutError` if waiting is disabled, or blocks
-the calling thread on a condition variable otherwise. Single-threaded use
-(the common case here) never blocks: conflicts only arise between distinct
-transactions run from distinct threads.
+========  =============================================================
+mode      meaning
+========  =============================================================
+``IS``    intention shared — will take S locks on children
+``IX``    intention exclusive — will take X locks on children
+``S``     shared — read the whole resource
+``SIX``   S + IX — read whole resource, will write some children
+``X``     exclusive — write the whole resource
+========  =============================================================
+
+A transaction re-requesting a resource it already holds *converts* its
+mode to the least upper bound of the held and requested modes (S + IX =
+SIX, anything + X = X, ...). The conversion is granted only if the new
+mode is compatible with every *other* holder, so an S→X upgrade with a
+concurrent reader blocks, exactly as in the plain S/X model.
+
+Deadlocks are detected eagerly by cycle search in the waits-for graph; the
+requesting transaction is the victim and receives :class:`DeadlockError`.
+A request that cannot be granted blocks on a condition variable and raises
+:class:`LockTimeoutError` after ``wait_timeout`` seconds. Single-threaded
+use never blocks: conflicts only arise between distinct transactions run
+from distinct threads.
 """
 
 from __future__ import annotations
@@ -27,21 +42,72 @@ from typing import Dict, Hashable, List, Optional, Set, Tuple
 
 from ..errors import DeadlockError, LockError, LockTimeoutError
 
+INTENT_SHARED = "IS"
+INTENT_EXCLUSIVE = "IX"
 SHARED = "S"
+SHARED_INTENT_EXCLUSIVE = "SIX"
 EXCLUSIVE = "X"
+
+MODES = (INTENT_SHARED, INTENT_EXCLUSIVE, SHARED, SHARED_INTENT_EXCLUSIVE,
+         EXCLUSIVE)
+
+#: mode -> set of modes it coexists with (the standard hierarchical matrix).
+_COMPATIBLE = {
+    INTENT_SHARED: {INTENT_SHARED, INTENT_EXCLUSIVE, SHARED,
+                    SHARED_INTENT_EXCLUSIVE},
+    INTENT_EXCLUSIVE: {INTENT_SHARED, INTENT_EXCLUSIVE},
+    SHARED: {INTENT_SHARED, SHARED},
+    SHARED_INTENT_EXCLUSIVE: {INTENT_SHARED},
+    EXCLUSIVE: set(),
+}
+
+#: Least upper bound of two modes in the conversion lattice
+#: (IS < IX < SIX < X, IS < S < SIX < X).
+_LUB = {}
+for _a in MODES:
+    for _b in MODES:
+        if _a == _b:
+            _LUB[(_a, _b)] = _a
+_order = {INTENT_SHARED: 0, INTENT_EXCLUSIVE: 1, SHARED: 1,
+          SHARED_INTENT_EXCLUSIVE: 2, EXCLUSIVE: 3}
+for _a in MODES:
+    for _b in MODES:
+        if (_a, _b) in _LUB:
+            continue
+        if {_a, _b} == {INTENT_SHARED, INTENT_EXCLUSIVE}:
+            _LUB[(_a, _b)] = INTENT_EXCLUSIVE
+        elif {_a, _b} == {INTENT_SHARED, SHARED}:
+            _LUB[(_a, _b)] = SHARED
+        elif EXCLUSIVE in (_a, _b):
+            _LUB[(_a, _b)] = EXCLUSIVE
+        elif SHARED_INTENT_EXCLUSIVE in (_a, _b):
+            _LUB[(_a, _b)] = SHARED_INTENT_EXCLUSIVE
+        else:  # {IX, S} and any remaining mixed pair below X
+            _LUB[(_a, _b)] = SHARED_INTENT_EXCLUSIVE
+del _a, _b, _order
+
+#: mode -> modes it satisfies when a caller asks "do you hold at least M?"
+_COVERS = {
+    INTENT_SHARED: {INTENT_SHARED},
+    INTENT_EXCLUSIVE: {INTENT_SHARED, INTENT_EXCLUSIVE},
+    SHARED: {INTENT_SHARED, SHARED},
+    SHARED_INTENT_EXCLUSIVE: {INTENT_SHARED, INTENT_EXCLUSIVE, SHARED,
+                              SHARED_INTENT_EXCLUSIVE},
+    EXCLUSIVE: set(MODES),
+}
 
 
 class _LockState:
-    __slots__ = ("holders", "mode", "waiters")
+    __slots__ = ("holders", "waiters")
 
     def __init__(self):
-        self.holders: Set[int] = set()
-        self.mode: Optional[str] = None
+        #: txn id -> mode it currently holds.
+        self.holders: Dict[int, str] = {}
         self.waiters: List[Tuple[int, str]] = []
 
 
 class LockManager:
-    """S/X lock table keyed by arbitrary hashable resource names."""
+    """Hierarchical (IS/IX/S/SIX/X) lock table keyed by hashable names."""
 
     def __init__(self, wait_timeout: float = 5.0):
         self._lock = threading.Lock()
@@ -60,15 +126,18 @@ class LockManager:
     # -- public API ------------------------------------------------------------
 
     def acquire(self, txn: int, resource: Hashable, mode: str) -> None:
-        """Acquire *resource* in *mode* for *txn*; blocks, upgrades, detects
+        """Acquire *resource* in *mode* for *txn*; blocks, converts, detects
         deadlock (raising :class:`DeadlockError` with *txn* as victim)."""
-        if mode not in (SHARED, EXCLUSIVE):
+        if mode not in _COMPATIBLE:
             raise LockError("unknown lock mode %r" % mode)
         with self._cond:
             deadline = None
             while True:
-                if self._compatible(txn, resource, mode):
-                    self._grant(txn, resource, mode)
+                target = self._target_mode(txn, resource, mode)
+                if target is None:  # held mode already covers the request
+                    return
+                if self._compatible(txn, resource, target):
+                    self._grant(txn, resource, target)
                     return
                 self._check_deadlock(txn, resource)
                 self._waiting_for[txn] = resource
@@ -88,9 +157,8 @@ class LockManager:
                 state = self._table.get(resource)
                 if state is None:
                     continue
-                state.holders.discard(txn)
+                state.holders.pop(txn, None)
                 if not state.holders:
-                    state.mode = None
                     del self._table[resource]
             self._waiting_for.pop(txn, None)
             self._cond.notify_all()
@@ -102,30 +170,37 @@ class LockManager:
             state = self._table.get(resource)
             if state is None or txn not in state.holders:
                 return False
-            if mode == EXCLUSIVE:
-                return state.mode == EXCLUSIVE
-            return True
+            if mode is None:
+                return True
+            return mode in _COVERS[state.holders[txn]]
 
     # -- internals ------------------------------------------------------------
 
-    def _compatible(self, txn: int, resource: Hashable, mode: str) -> bool:
+    def _target_mode(self, txn: int, resource: Hashable,
+                     mode: str) -> Optional[str]:
+        """Mode *txn* must end up holding, or None if already covered."""
         state = self._table.get(resource)
-        if state is None or not state.holders:
+        if state is None:
+            return mode
+        held = state.holders.get(txn)
+        if held is None:
+            return mode
+        if mode in _COVERS[held]:
+            return None
+        return _LUB[(held, mode)]
+
+    def _compatible(self, txn: int, resource: Hashable, target: str) -> bool:
+        state = self._table.get(resource)
+        if state is None:
             return True
-        if txn in state.holders:
-            if mode == SHARED or state.mode == EXCLUSIVE:
-                return True  # already strong enough
-            # Upgrade S -> X: allowed only as the sole holder.
-            return state.holders == {txn}
-        if mode == SHARED and state.mode == SHARED:
-            return True
-        return False
+        compat = _COMPATIBLE[target]
+        return all(other_mode in compat
+                   for other, other_mode in state.holders.items()
+                   if other != txn)
 
     def _grant(self, txn: int, resource: Hashable, mode: str) -> None:
         state = self._table[resource]
-        state.holders.add(txn)
-        if state.mode != EXCLUSIVE:
-            state.mode = mode if mode == EXCLUSIVE else (state.mode or SHARED)
+        state.holders[txn] = mode
         self._held[txn].add(resource)
         self.grants += 1
 
@@ -155,8 +230,10 @@ class LockManager:
                 self.deadlocks += 1
                 raise DeadlockError(
                     "txn %d would deadlock waiting for %r" % (txn, resource))
-            frontier |= next_state.holders - visited
+            frontier |= set(next_state.holders) - visited
 
     def stats(self) -> Dict[str, int]:
+        with self._lock:
+            held = sum(len(resources) for resources in self._held.values())
         return {"grants": self.grants, "waits": self.waits,
-                "deadlocks": self.deadlocks}
+                "deadlocks": self.deadlocks, "held": held}

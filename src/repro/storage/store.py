@@ -56,6 +56,11 @@ class Store:
         if self._wal.end_lsn > 0:
             self.last_recovery = recover(self._pool, self._wal)
         self._journal = Journal(self._pool, self._wal)
+        #: The storage latch (shared with the pool and journal): short
+        #: critical sections protecting physical state. Logical isolation
+        #: is the lock manager's job; never block on :attr:`locks` while
+        #: holding the latch.
+        self.latch = self._pool.latch
         self.locks = LockManager()
         self.catalog = Catalog(self._journal, self._pagefile,
                                self._journal.begin)
@@ -77,21 +82,27 @@ class Store:
         self._journal.commit(txn)
         self.locks.release_all(txn)
 
-    def abort(self, txn: int) -> None:
+    def abort(self, txn: int, release_locks: bool = True) -> None:
         """Roll back *txn* (undoing all its page effects), release locks.
 
         The in-memory catalog is re-read from disk because the aborted
-        transaction may have created clusters or indexes.
+        transaction may have created clusters or indexes. With
+        *release_locks=False* the caller keeps the transaction's locks —
+        the object layer uses this to reload its caches from the rolled
+        back store before other transactions can touch the same objects,
+        and then calls ``locks.release_all(txn)`` itself.
         """
-        self._journal.abort(txn)
-        self.locks.release_all(txn)
-        self.catalog.invalidate()
-        self._heaps.clear()
-        self._directories.clear()
-        self._indexes.clear()
-        # The aborted transaction may have reserved a serial block whose
-        # catalog update was rolled back; drop all in-memory blocks.
-        self._serial_blocks.clear()
+        with self.latch:
+            self._journal.abort(txn)
+            self.catalog.invalidate()
+            self._heaps.clear()
+            self._directories.clear()
+            self._indexes.clear()
+            # The aborted transaction may have reserved a serial block whose
+            # catalog update was rolled back; drop all in-memory blocks.
+            self._serial_blocks.clear()
+        if release_locks:
+            self.locks.release_all(txn)
 
     def checkpoint(self) -> None:
         """Flush dirty pages; truncate the WAL if quiescent."""
@@ -117,18 +128,20 @@ class Store:
                        parents: Optional[List[str]] = None) -> ClusterInfo:
         """Create the extent for *name* (the paper's ``create`` macro)."""
         parents = parents or []
-        for parent in parents:
-            if not self.catalog.has_cluster(parent):
-                raise CatalogError(
-                    "parent cluster %r of %r does not exist" % (parent, name))
-        heap = HeapFile.create(self._journal, txn)
-        directory = HashIndex.create(self._journal, txn, unique=True)
-        info = self.catalog.add_cluster(txn, name, parents,
-                                        heap.first_page,
-                                        directory.directory_page)
-        self._heaps[name] = heap
-        self._directories[name] = directory
-        return info
+        with self.latch:
+            for parent in parents:
+                if not self.catalog.has_cluster(parent):
+                    raise CatalogError(
+                        "parent cluster %r of %r does not exist"
+                        % (parent, name))
+            heap = HeapFile.create(self._journal, txn)
+            directory = HashIndex.create(self._journal, txn, unique=True)
+            info = self.catalog.add_cluster(txn, name, parents,
+                                            heap.first_page,
+                                            directory.directory_page)
+            self._heaps[name] = heap
+            self._directories[name] = directory
+            return info
 
     def has_cluster(self, name: str) -> bool:
         return self.catalog.has_cluster(name)
@@ -164,17 +177,18 @@ class Store:
 
     def allocate_serial(self, txn: int, cluster: str) -> int:
         """Hand out the next object serial number for *cluster*."""
-        block = self._serial_blocks.get(cluster)
-        if block is None or block[0] >= block[1]:
-            info = self.cluster_info(cluster)
-            start = info.next_serial
-            info.next_serial += self.SERIAL_BLOCK
-            self.catalog.save_cluster(txn, info)
-            block = [start, info.next_serial]
-            self._serial_blocks[cluster] = block
-        serial = block[0]
-        block[0] += 1
-        return serial
+        with self.latch:
+            block = self._serial_blocks.get(cluster)
+            if block is None or block[0] >= block[1]:
+                info = self.cluster_info(cluster)
+                start = info.next_serial
+                info.next_serial += self.SERIAL_BLOCK
+                self.catalog.save_cluster(txn, info)
+                block = [start, info.next_serial]
+                self._serial_blocks[cluster] = block
+            serial = block[0]
+            block[0] += 1
+            return serial
 
     # -- objects --------------------------------------------------------------------
 
@@ -186,36 +200,41 @@ class Store:
         directory probe (the directory is unique, so a wrong assertion
         raises rather than corrupting). Freshly allocated serials qualify.
         """
-        heap = self._heap(cluster)
-        directory = self._directory(cluster)
         payload = encode_value(data)
-        if not new:
-            existing = directory.search(key)
-            if existing:
-                heap.update(txn, RID(*existing[0]), payload)
-                return
-        rid = heap.insert(txn, payload)
-        directory.insert(txn, key, tuple(rid))
+        with self.latch:
+            heap = self._heap(cluster)
+            directory = self._directory(cluster)
+            if not new:
+                existing = directory.search(key)
+                if existing:
+                    heap.update(txn, RID(*existing[0]), payload)
+                    return
+            rid = heap.insert(txn, payload)
+            directory.insert(txn, key, tuple(rid))
 
     def get(self, cluster: str, key: Tuple) -> Optional[Dict]:
         """Fetch the object at *key*, or None."""
-        hit = self._directory(cluster).search(key)
-        if not hit:
-            return None
-        return decode_value(self._heap(cluster).read(RID(*hit[0])))
+        with self.latch:
+            hit = self._directory(cluster).search(key)
+            if not hit:
+                return None
+            raw = self._heap(cluster).read(RID(*hit[0]))
+        return decode_value(raw)
 
     def exists(self, cluster: str, key: Tuple) -> bool:
-        return bool(self._directory(cluster).search(key))
+        with self.latch:
+            return bool(self._directory(cluster).search(key))
 
     def delete(self, txn: int, cluster: str, key: Tuple) -> bool:
         """Delete the object at *key*; returns whether it existed."""
-        directory = self._directory(cluster)
-        hit = directory.search(key)
-        if not hit:
-            return False
-        self._heap(cluster).delete(txn, RID(*hit[0]))
-        directory.delete(txn, key)
-        return True
+        with self.latch:
+            directory = self._directory(cluster)
+            hit = directory.search(key)
+            if not hit:
+                return False
+            self._heap(cluster).delete(txn, RID(*hit[0]))
+            directory.delete(txn, key)
+            return True
 
     def scan(self, cluster: str) -> Iterator[Tuple[RID, Dict]]:
         """Yield ``(rid, data)`` for every object in *cluster*.
@@ -225,11 +244,17 @@ class Store:
         iteration are visited — the property the paper's fixpoint queries
         require (section 3.2).
         """
-        for rid, raw in self._heap(cluster).scan():
+        with self.latch:
+            heap = self._heap(cluster)
+        # The heap scan pins (and thereby latches) per record advance and
+        # never holds a pin across a yield, so concurrent mutators only
+        # ever see the scan between records.
+        for rid, raw in heap.scan():
             yield rid, decode_value(raw)
 
     def count(self, cluster: str) -> int:
-        return self._heap(cluster).count()
+        with self.latch:
+            return self._heap(cluster).count()
 
     # -- secondary indexes ------------------------------------------------------------
 
@@ -247,44 +272,84 @@ class Store:
         else:
             fields = [field]
             name = field
-        info = self.cluster_info(cluster)
-        if name in info.indexes:
-            raise CatalogError("cluster %r already has an index on %r"
-                               % (cluster, name))
-        if kind == "btree":
-            index = BTree.create(self._journal, txn, unique=unique)
-            root = index.root_page
-        elif kind == "hash":
-            index = HashIndex.create(self._journal, txn, unique=unique)
-            root = index.directory_page
-        else:
-            raise CatalogError("unknown index kind %r" % kind)
-        ix_info = IndexInfo(name, kind, root, unique, fields)
-        info.indexes[name] = ix_info
-        self.catalog.save_cluster(txn, info)
-        self._indexes[(cluster, name)] = index
-        return ix_info
+        with self.latch:
+            info = self.cluster_info(cluster)
+            if name in info.indexes:
+                raise CatalogError("cluster %r already has an index on %r"
+                                   % (cluster, name))
+            if kind == "btree":
+                index = BTree.create(self._journal, txn, unique=unique)
+                root = index.root_page
+            elif kind == "hash":
+                index = HashIndex.create(self._journal, txn, unique=unique)
+                root = index.directory_page
+            else:
+                raise CatalogError("unknown index kind %r" % kind)
+            ix_info = IndexInfo(name, kind, root, unique, fields)
+            info.indexes[name] = ix_info
+            self.catalog.save_cluster(txn, info)
+            self._indexes[(cluster, name)] = index
+            return ix_info
 
     def index(self, cluster: str, field: str):
         """The :class:`BTree` or :class:`HashIndex` registered on *field*."""
-        cached = self._indexes.get((cluster, field))
-        if cached is not None:
-            return cached
-        info = self.cluster_info(cluster)
-        ix_info = info.indexes.get(field)
-        if ix_info is None:
-            raise CatalogError("cluster %r has no index on %r"
-                               % (cluster, field))
-        if ix_info.kind == "btree":
-            index = BTree(self._journal, ix_info.root_page, ix_info.unique)
-        else:
-            index = HashIndex(self._journal, ix_info.root_page,
+        with self.latch:
+            cached = self._indexes.get((cluster, field))
+            if cached is not None:
+                return cached
+            info = self.cluster_info(cluster)
+            ix_info = info.indexes.get(field)
+            if ix_info is None:
+                raise CatalogError("cluster %r has no index on %r"
+                                   % (cluster, field))
+            if ix_info.kind == "btree":
+                index = BTree(self._journal, ix_info.root_page,
                               ix_info.unique)
-        self._indexes[(cluster, field)] = index
-        return index
+            else:
+                index = HashIndex(self._journal, ix_info.root_page,
+                                  ix_info.unique)
+            self._indexes[(cluster, field)] = index
+            return index
 
     def indexes_on(self, cluster: str) -> Dict[str, IndexInfo]:
-        return dict(self.cluster_info(cluster).indexes)
+        with self.latch:
+            return dict(self.cluster_info(cluster).indexes)
+
+    # Latched index entry points. A multi-level B+tree descent (or a hash
+    # bucket split) touches several pages; holding the latch for the whole
+    # operation keeps a concurrent reader from observing the intermediate
+    # states between those page edits.
+
+    def index_insert(self, txn: int, cluster: str, field: str, key,
+                     value) -> None:
+        with self.latch:
+            self.index(cluster, field).insert(txn, key, value)
+
+    def index_delete(self, txn: int, cluster: str, field: str, key,
+                     value=None) -> None:
+        with self.latch:
+            self.index(cluster, field).delete(txn, key, value)
+
+    def index_search(self, cluster: str, field: str, key) -> List:
+        with self.latch:
+            return list(self.index(cluster, field).search(key))
+
+    def index_range(self, cluster: str, field: str, lo=None, hi=None,
+                    include_hi: bool = False):
+        """Lazy ``(key, serial)`` range scan of a B+tree index.
+
+        The walk latches page-at-a-time (every node read pins under the
+        storage latch), which keeps early-exiting consumers — prefix
+        scans, LIMIT-style iteration — from paying for keys they never
+        look at. Logical consistency against concurrent writers comes
+        from the *caller's* lock, not from here: plan executors inside a
+        transaction hold the cluster's S lock for the duration of the
+        scan, and reads outside transactions are the documented unlocked
+        fast path (same contract as :meth:`scan`).
+        """
+        with self.latch:
+            ix = self.index(cluster, field)
+        return ix.range(lo, hi, include_hi=include_hi)
 
     # -- maintenance ----------------------------------------------------------------
 
@@ -301,29 +366,35 @@ class Store:
         Runs as its own transaction; returns ``{"objects": n, "pages_freed"
         : m}``.
         """
-        info = self.cluster_info(cluster)
-        old_heap = self._heap(cluster)
-        old_directory = self._directory(cluster)
         txn = self.begin()
+        # Take the cluster exclusively *before* latching (the lock can
+        # block; the latch must not be held while it does), so concurrent
+        # transactions reading or writing the cluster are shut out for the
+        # duration of the rewrite.
+        self.locks.acquire(txn, ("cluster", cluster), "X")
         try:
-            new_heap = HeapFile.create(self._journal, txn)
-            new_directory = HashIndex.create(self._journal, txn,
-                                             unique=True)
-            moved = 0
-            for key, rid_tuple in list(old_directory.items()):
-                payload = old_heap.read(RID(*rid_tuple))
-                new_rid = new_heap.insert(txn, payload)
-                new_directory.insert(txn, key, tuple(new_rid))
-                moved += 1
-            old_pages = (self._pages_of_heap(old_heap)
-                         + self._pages_of_hash(old_directory))
-            info.heap_page = new_heap.first_page
-            info.directory_page = new_directory.directory_page
-            self.catalog.save_cluster(txn, info)
-            for page_no in old_pages:
-                self._journal.free_page_deferred(txn, page_no)
-            self._heaps[cluster] = new_heap
-            self._directories[cluster] = new_directory
+            with self.latch:
+                info = self.cluster_info(cluster)
+                old_heap = self._heap(cluster)
+                old_directory = self._directory(cluster)
+                new_heap = HeapFile.create(self._journal, txn)
+                new_directory = HashIndex.create(self._journal, txn,
+                                                 unique=True)
+                moved = 0
+                for key, rid_tuple in list(old_directory.items()):
+                    payload = old_heap.read(RID(*rid_tuple))
+                    new_rid = new_heap.insert(txn, payload)
+                    new_directory.insert(txn, key, tuple(new_rid))
+                    moved += 1
+                old_pages = (self._pages_of_heap(old_heap)
+                             + self._pages_of_hash(old_directory))
+                info.heap_page = new_heap.first_page
+                info.directory_page = new_directory.directory_page
+                self.catalog.save_cluster(txn, info)
+                for page_no in old_pages:
+                    self._journal.free_page_deferred(txn, page_no)
+                self._heaps[cluster] = new_heap
+                self._directories[cluster] = new_directory
         except BaseException:
             self.abort(txn)
             raise
@@ -377,6 +448,13 @@ class Store:
         serials that exist in the directory.
         """
         problems: List[str] = []
+        self.latch.acquire()
+        try:
+            return self._verify_integrity_locked(problems)
+        finally:
+            self.latch.release()
+
+    def _verify_integrity_locked(self, problems: List[str]) -> List[str]:
         for info in self.catalog.clusters():
             cluster = info.name
             directory = self._directory(cluster)
@@ -420,15 +498,16 @@ class Store:
 
     def close(self) -> None:
         """Checkpoint and close. Active transactions are aborted first."""
-        if self._closed:
-            return
-        for txn in list(self._journal.active):
-            self.abort(txn)
-        self.checkpoint()
-        self._pool.close()
-        self._wal.close()
-        self._pagefile.close()
-        self._closed = True
+        with self.latch:
+            if self._closed:
+                return
+            for txn in list(self._journal.active):
+                self.abort(txn)
+            self.checkpoint()
+            self._pool.close()
+            self._wal.close()
+            self._pagefile.close()
+            self._closed = True
 
     def crash(self) -> None:
         """Simulate a crash: drop everything volatile without flushing.

@@ -4,7 +4,7 @@ import pytest
 
 from repro.core import (IntField, OdeObject, SetField, StringField, Trigger,
                         constraint)
-from repro.errors import SchemaError, TransactionError
+from repro.errors import SchemaError, TransactionError, TriggerActionError
 
 
 class FragileItem(OdeObject):
@@ -89,9 +89,13 @@ class TestTriggerFailures:
         db.create(Jumpy)
         obj = db.pnew(Jumpy)
         obj.explode()
-        with pytest.raises(RuntimeError):
+        with pytest.raises(TriggerActionError) as excinfo:
             with db.transaction():
                 obj.n = 1
+        # The per-action outcome carries the original error.
+        failures = excinfo.value.failures
+        assert len(failures) == 1
+        assert isinstance(failures[0][1], RuntimeError)
         # Weak coupling: the triggering transaction committed before the
         # action ran; the action's own transaction aborted.
         db._cache.clear()

@@ -187,3 +187,40 @@ class TestVersionDurability:
             newversion(d)
         assert len(versions(d)) == 41
         assert d.version == 41
+
+
+class TestModuleFunctions:
+    """The module-level macros, including raw-reference forms."""
+
+    def test_docstring_example_runs(self):
+        """The module docstring is an executable doctest; run it."""
+        import doctest
+        import importlib
+
+        # ``repro.core`` re-exports the ``versions`` *function*, shadowing
+        # the submodule attribute; resolve the module explicitly.
+        versions_module = importlib.import_module("repro.core.versions")
+        results = doctest.testmod(versions_module, verbose=False)
+        assert results.attempted > 0
+        assert results.failed == 0
+
+    def test_vnext_vprev_accept_raw_vref_with_db(self, design_db):
+        db = design_db
+        d = db.pnew(Design, name="x")
+        v1 = d.vref
+        v2 = newversion(d)
+        assert vnext(v1, db) == v2
+        assert vnext(v2, db) is None
+        assert vprev(v2, db) == v1
+        assert vprev(v1, db) is None
+
+    def test_raw_vref_without_db_rejected(self, design_db):
+        d = design_db.pnew(Design)
+        with pytest.raises(NotPersistentError):
+            vnext(d.vref)
+        with pytest.raises(NotPersistentError):
+            vprev(d.vref)
+
+    def test_non_reference_rejected(self):
+        with pytest.raises(NotPersistentError):
+            vnext("not a ref")
