@@ -1,0 +1,147 @@
+"""EXP-14: the scan & materialization fast path.
+
+Measures the four layers this optimisation stack adds on top of the
+baseline engine:
+
+* **cold clustered scan** — a full iteration with the buffer pool and all
+  caches dropped first, so every page comes off disk through the batched
+  page-at-a-time pipeline plus readahead;
+* **hot repeated scan** — the same iteration with the store's decoded
+  page cache warm;
+* **hot deref** — repeated pointer chasing with the live-object cache
+  cleared each round, so every deref goes through the decoded-object
+  cache's LSN-token validation instead of two directory probes, two heap
+  reads and two ``decode_value`` calls;
+* **clustered vs fragmented** — the same scan over a cluster grown alone
+  (contiguous extents) and one grown interleaved with a sibling cluster
+  (pages alternate), quantifying what cluster-local placement buys.
+"""
+
+import pytest
+
+from conftest import BenchItem, populate_items
+
+from repro import A, forall
+from repro.core import IntField, OdeObject, StringField
+
+N = 2000
+
+
+class BenchShadow(OdeObject):
+    """Sibling cluster used to interleave page allocation."""
+
+    name = StringField(default="")
+    weight = IntField(default=0)
+
+
+def _drop_caches(db):
+    """Make the next operation cold: object, decoded, page, buffer caches."""
+    db._cache.clear()
+    db._decoded.clear()
+    db.store._page_cache.clear()
+    pool = db.store._pool
+    pool.flush_all()
+    pool.invalidate_all()
+
+
+@pytest.fixture
+def plain_db(db):
+    return populate_items(db, N)
+
+
+@pytest.fixture
+def interleaved_db(db):
+    """BenchItem pages alternating with BenchShadow pages."""
+    db.create(BenchItem, exist_ok=True)
+    db.create(BenchShadow, exist_ok=True)
+    with db.transaction():
+        for i in range(N):
+            db.pnew(BenchItem, name="item%06d" % i, price=float(i % 100),
+                    qty=i % 1000, category=i % 10)
+            db.pnew(BenchShadow, name="pad%06d" % i, weight=i)
+    return db
+
+
+class TestScan:
+    def test_cold_clustered_scan(self, benchmark, plain_db):
+        handle = plain_db.cluster(BenchItem)
+
+        def scan():
+            _drop_caches(plain_db)
+            return sum(1 for _ in handle)
+
+        assert benchmark(scan) == N
+
+    def test_hot_repeated_scan(self, benchmark, plain_db):
+        handle = plain_db.cluster(BenchItem)
+        sum(1 for _ in handle)          # warm every cache
+
+        def scan():
+            plain_db._cache.clear()     # re-materialize from page cache
+            return sum(1 for _ in handle)
+
+        assert benchmark(scan) == N
+
+    def test_scan_with_compiled_residual(self, benchmark, plain_db):
+        q = forall(plain_db.cluster(BenchItem)).suchthat(A.category == 3)
+        assert benchmark(q.count) == N // 10
+
+
+class TestDeref:
+    def test_hot_deref(self, benchmark, plain_db):
+        oids = list(plain_db.cluster(BenchItem).oids())[:200]
+        plain_db._cache.clear()
+        for oid in oids:                # warm the decoded cache
+            plain_db.deref(oid)
+
+        def chase():
+            plain_db._cache.clear()
+            total = 0
+            for oid in oids:
+                total += plain_db.deref(oid).qty
+            return total
+
+        benchmark(chase)
+
+    def test_cold_deref(self, benchmark, plain_db):
+        oids = list(plain_db.cluster(BenchItem).oids())[:200]
+
+        def chase():
+            _drop_caches(plain_db)
+            total = 0
+            for oid in oids:
+                total += plain_db.deref(oid).qty
+            return total
+
+        benchmark(chase)
+
+
+class TestPlacement:
+    def test_cold_scan_contiguous(self, benchmark, plain_db):
+        handle = plain_db.cluster(BenchItem)
+
+        def scan():
+            _drop_caches(plain_db)
+            return sum(1 for _ in handle)
+
+        assert benchmark(scan) == N
+
+    def test_cold_scan_interleaved(self, benchmark, interleaved_db):
+        handle = interleaved_db.cluster(BenchItem)
+
+        def scan():
+            _drop_caches(interleaved_db)
+            return sum(1 for _ in handle)
+
+        assert benchmark(scan) == N
+
+    def test_cold_scan_interleaved_after_vacuum(self, benchmark,
+                                                interleaved_db):
+        interleaved_db.vacuum()
+        handle = interleaved_db.cluster(BenchItem)
+
+        def scan():
+            _drop_caches(interleaved_db)
+            return sum(1 for _ in handle)
+
+        assert benchmark(scan) == N

@@ -12,6 +12,7 @@ Usage::
     PYTHONPATH=src python benchmarks/run_baseline.py            # full suite
     PYTHONPATH=src python benchmarks/run_baseline.py --smoke    # fast subset
     PYTHONPATH=src python benchmarks/run_baseline.py --diff     # vs last file
+    PYTHONPATH=src python benchmarks/run_baseline.py --profile  # cProfile top-25
 
 ``--diff`` compares against the newest committed ``BENCH_*.json`` (other
 than the one being written) and prints per-benchmark speedup ratios.
@@ -82,6 +83,38 @@ def run_suite(smoke: bool = False, extra_args=()) -> dict:
     return results
 
 
+def run_profile(smoke: bool = False, top: int = 25) -> None:
+    """Run the suite under cProfile and print the hottest *top* functions.
+
+    Profiles the whole pytest process, so fixture setup is included; the
+    cumulative-time ranking still surfaces the engine hot spots (decode,
+    pin, lock, scan) clearly above the harness noise.
+    """
+    import pstats
+    with tempfile.TemporaryDirectory() as tmp:
+        prof_path = os.path.join(tmp, "bench.prof")
+        targets = SMOKE_FILES if smoke else FULL_FILES
+        cmd = [
+            sys.executable, "-m", "cProfile", "-o", prof_path,
+            "-m", "pytest",
+            *targets,
+            "--benchmark-only",
+            "--benchmark-max-time=0.5",
+            "--benchmark-min-rounds=3",
+            "-q", "-p", "no:cacheprovider",
+        ]
+        env = dict(os.environ)
+        src = os.path.join(REPO, "src")
+        env["PYTHONPATH"] = src + (
+            os.pathsep + env["PYTHONPATH"] if env.get("PYTHONPATH") else "")
+        proc = subprocess.run(cmd, cwd=HERE, env=env)
+        if proc.returncode not in (0, 5):
+            raise SystemExit("profile run failed (exit %d)" % proc.returncode)
+        stats = pstats.Stats(prof_path)
+    print("\ntop %d functions by cumulative time:" % top)
+    stats.sort_stats("cumulative").print_stats(top)
+
+
 def write_report(results: dict, label: str = "") -> str:
     date = datetime.date.today().isoformat()
     name = "BENCH_%s%s.json" % (date, ("_" + label) if label else "")
@@ -131,7 +164,13 @@ def main(argv=None) -> int:
                         help="suffix for the output file name")
     parser.add_argument("--diff", action="store_true",
                         help="diff the new report against the previous one")
+    parser.add_argument("--profile", action="store_true",
+                        help="run under cProfile and print the top-25 "
+                             "functions instead of recording medians")
     args = parser.parse_args(argv)
+    if args.profile:
+        run_profile(smoke=args.smoke)
+        return 0
     results = run_suite(smoke=args.smoke)
     if args.smoke:
         # A partial suite must never become a BENCH_*.json: a later --diff

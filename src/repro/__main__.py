@@ -78,6 +78,20 @@ def _print_stats(db: Database) -> None:
              100.0 * pool.get("hits", 0)
              / max(1, pool.get("hits", 0) + pool.get("misses", 0)),
              pool.get("evictions", 0)))
+    print("readahead:    %d prefetch calls, %d pages fetched"
+          % (pool.get("prefetches", 0), pool.get("readahead_pages", 0)))
+    pages = stats["page_cache"]
+    print("page cache:   %d hits, %d misses, %d/%d pages cached"
+          % (pages["hits"], pages["misses"], pages["cached_pages"],
+             pages["capacity_pages"]))
+    decoded = stats["decoded_cache"]
+    print("decoded cache: %d hits, %d misses (%.1f%% hit rate), "
+          "%d evictions, %d/%d entries"
+          % (decoded["hits"], decoded["misses"],
+             100.0 * decoded["hits"]
+             / max(1, decoded["hits"] + decoded["misses"]),
+             decoded["evictions"], decoded["entries"],
+             decoded["capacity"]))
     print("WAL:          %d appends, %d fsyncs, %d flush calls, "
           "%d group deferrals (durability: %s)"
           % (wal["appends"], wal["syncs"], wal["flush_calls"],
@@ -87,6 +101,14 @@ def _print_stats(db: Database) -> None:
           % (cache["hits"], cache["misses"], 100.0 * cache["hit_rate"],
              cache["entries"], cache["invalidations"]))
     print("pages:        %d in file" % stats["pages"])
+    frag = stats["fragmentation"]
+    if frag:
+        print("cluster placement:")
+        for name, info in sorted(frag.items()):
+            print("  %-20s %4d pages in %3d run(s), span %4d "
+                  "(fragmentation %.2f)"
+                  % (name, info["pages"], info["runs"], info["span"],
+                     info["fragmentation"]))
     # Persisted summaries exist for analyzed/mutated clusters only; load
     # every cluster's summary so the report is complete.
     for name in db.clusters():

@@ -53,19 +53,47 @@ class ClusterHandle:
         return DeepView(self)
 
     def _iter_one(self, cluster_name: str) -> Iterator[OdeObject]:
+        for batch in self._iter_batches_one(cluster_name):
+            yield from batch
+
+    def iter_batches(self) -> Iterator[List[OdeObject]]:
+        """Page-at-a-time batches of live objects (the scan fast path).
+
+        Each yielded list holds the objects whose version heads share one
+        heap page. The query layer's full-scan plan consumes these so the
+        compiled residual filter runs across a batch at a time.
+        """
+        return self._iter_batches_one(self.name)
+
+    def _iter_batches_one(self,
+                          cluster_name: str) -> Iterator[List[OdeObject]]:
         db = self.db
         if not db.store.has_cluster(cluster_name):
             return
         if db._txn is not None and db._dirty:
             db._flush(db._txn.txn_id)
         db._lock_cluster_scan(cluster_name)
-        for _rid, record in db.store.scan(cluster_name):
-            serial, version = record["__key"]
-            if version != 0:
-                continue  # version-state record; heads drive iteration
-            obj = db.deref(Oid(cluster_name, serial), _missing_ok=True)
-            if obj is not None:
-                yield obj
+        # Page-at-a-time batches: one cluster S lock covers the whole
+        # scan, and each batch carries the state records that share the
+        # page with their version heads, so most objects materialize with
+        # zero extra storage round-trips.
+        for batch in db.store.scan_batches(cluster_name):
+            heads = []
+            states = {}
+            for _rid, record in batch:
+                record_key = record["__key"]
+                if record_key[1] == 0:
+                    heads.append(record)
+                else:
+                    states[(record_key[0], record_key[1])] = record
+            objs = []
+            for record in heads:
+                obj = db._materialize_from_scan(
+                    cluster_name, record["__key"][0], record, states)
+                if obj is not None:
+                    objs.append(obj)
+            if objs:
+                yield objs
 
     def hierarchy(self) -> List[str]:
         """This cluster plus all transitively derived cluster names.
@@ -104,9 +132,10 @@ class ClusterHandle:
             if stats is not None and stats.exact:
                 total += stats.count
                 continue
-            for _rid, record in self.db.store.scan(name):
-                if record["__key"][1] == 0:
-                    total += 1
+            for batch in self.db.store.scan_batches(name):
+                for _rid, record in batch:
+                    if record["__key"][1] == 0:
+                        total += 1
         return total
 
     def oids(self, deep: bool = False) -> Iterator[Oid]:
@@ -115,10 +144,11 @@ class ClusterHandle:
         for name in names:
             if not self.db.store.has_cluster(name):
                 continue
-            for _rid, record in self.db.store.scan(name):
-                serial, version = record["__key"]
-                if version == 0:
-                    yield Oid(name, serial)
+            for batch in self.db.store.scan_batches(name):
+                for _rid, record in batch:
+                    serial, version = record["__key"]
+                    if version == 0:
+                        yield Oid(name, serial)
 
     def __repr__(self) -> str:
         return "ClusterHandle(%s)" % self.name
@@ -134,6 +164,11 @@ class DeepView:
         for name in self.handle.hierarchy():
             for obj in self.handle._iter_one(name):
                 yield obj
+
+    def iter_batches(self) -> Iterator[List[OdeObject]]:
+        """Page-at-a-time batches across the whole hierarchy."""
+        for name in self.handle.hierarchy():
+            yield from self.handle._iter_batches_one(name)
 
     def count(self) -> int:
         return self.handle.count(deep=True)

@@ -65,6 +65,80 @@ MAX_TRIGGER_CASCADE = 1000
 Ref = Union[Oid, Vref, OdeObject]
 
 
+class DecodedCache:
+    """Bounded LRU of decoded object images keyed by ``(cluster, serial)``.
+
+    Each entry carries the decoded *head* and *state* dicts together with
+    their ``(page_no, page_lsn)`` physical tokens. An entry is served only
+    after :meth:`Store.tokens_valid` confirms both tokens, so correctness
+    never depends on eager invalidation: any mutation of either record —
+    including transaction abort (CLRs) and crash recovery — bumps the home
+    page's LSN and the entry silently misses. Eager :meth:`invalidate`
+    calls on the write paths exist for hygiene (they free memory sooner
+    and avoid pointless validations), not for safety.
+
+    Entries whose tokens carry ``lsn == 0`` are never stored (a freshly
+    formatted page starts at 0, so 0 cannot distinguish versions).
+    """
+
+    __slots__ = ("capacity", "_entries", "_lock", "hits", "misses",
+                 "evictions")
+
+    def __init__(self, capacity: int = 4096):
+        self.capacity = capacity
+        # (cluster, serial) -> (tokens, head, version, state)
+        #   tokens: ((head_page, head_lsn), (state_page, state_lsn))
+        self._entries: "Dict[tuple, tuple]" = {}
+        self._lock = threading.Lock()
+        self.hits = 0
+        self.misses = 0
+        self.evictions = 0
+
+    def get(self, key: tuple):
+        # Single dict reads/deletes are GIL-atomic; only `put`'s eviction
+        # sweep (a len check plus bulk delete) needs the lock. Keeping
+        # `get`/`invalidate` lock-free keeps the deref fast path and the
+        # write path (which invalidates under the object X lock) from
+        # serializing on one global lock.
+        return self._entries.get(key)
+
+    def put(self, key: tuple, tokens: tuple, head: Dict, version: int,
+            state: Dict) -> None:
+        if any(lsn == 0 for _page, lsn in tokens):
+            return
+        with self._lock:
+            if len(self._entries) >= self.capacity:
+                # Random-ish wholesale trim (dict order = insertion order):
+                # drop the oldest half. Cheaper than per-get LRU updates,
+                # and the LSN tokens make over-eviction merely a perf
+                # effect.
+                drop = len(self._entries) // 2 + 1
+                for stale in list(self._entries)[:drop]:
+                    # pop, not del: a lock-free invalidate may race the sweep
+                    self._entries.pop(stale, None)
+                self.evictions += drop
+            self._entries[key] = (tokens, head, version, state)
+
+    def invalidate(self, key: tuple) -> None:
+        self._entries.pop(key, None)
+
+    def clear(self) -> None:
+        with self._lock:
+            self._entries.clear()
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def stats(self) -> Dict[str, int]:
+        return {
+            "entries": len(self._entries),
+            "capacity": self.capacity,
+            "hits": self.hits,
+            "misses": self.misses,
+            "evictions": self.evictions,
+        }
+
+
 def _state_key(state: Dict, fields: List[str]):
     """Index key for *fields* out of a stored state dict."""
     if len(fields) == 1:
@@ -150,6 +224,10 @@ class Database:
         self._plan_epoch = 0
         #: (cluster, serial) -> live current-version object
         self._cache: Dict[tuple, OdeObject] = {}
+        #: Decoded head/state images with LSN validity tokens: repeated
+        #: derefs of an unchanged object skip the directory probes and
+        #: ``decode_value`` entirely (see :class:`DecodedCache`).
+        self._decoded = DecodedCache()
         #: Vref -> live pinned-version object
         self._vcache: Dict[Vref, OdeObject] = {}
         #: Guards _cache/_vcache mutation (they are shared across threads;
@@ -197,6 +275,12 @@ class Database:
         key = (cluster, serial)
         if key in handle.read_set or key in handle.write_set:
             return
+        modes = handle._cluster_modes
+        if (cluster, SHARED) in modes or (cluster, EXCLUSIVE) in modes:
+            # A cluster-level S (scan) or X (DDL) lock subsumes per-object
+            # S locks: one lock-manager call covers the whole forall
+            # instead of one per object visited.
+            return
         locks = self.store.locks
         handle.lock_cluster(locks, cluster, INTENT_SHARED)
         locks.acquire(handle.txn_id, ("obj", cluster, serial), SHARED)
@@ -210,10 +294,16 @@ class Database:
             return
         key = (cluster, serial)
         if key not in handle.write_set:
-            locks = self.store.locks
-            handle.lock_cluster(locks, cluster, INTENT_EXCLUSIVE)
-            locks.acquire(handle.txn_id, ("obj", cluster, serial), EXCLUSIVE)
-            handle.write_set.add(key)
+            if (cluster, EXCLUSIVE) in handle._cluster_modes:
+                # Cluster X (DDL/vacuum) subsumes object X locks; still
+                # record the write so abort invalidation stays scoped.
+                handle.write_set.add(key)
+            else:
+                locks = self.store.locks
+                handle.lock_cluster(locks, cluster, INTENT_EXCLUSIVE)
+                locks.acquire(handle.txn_id, ("obj", cluster, serial),
+                              EXCLUSIVE)
+                handle.write_set.add(key)
         if created:
             handle.created.add(key)
 
@@ -375,6 +465,7 @@ class Database:
         with self._cache_lock:
             for key in touched:
                 cluster, serial = key
+                self._decoded.invalidate(key)
                 obj = self._cache.get(key)
                 if obj is not None:
                     head = self.store.get(cluster, (serial, 0))
@@ -499,6 +590,7 @@ class Database:
                 continue
             oid = obj.oid
             self._lock_for_write(oid.cluster, oid.serial)
+            self._decoded.invalidate((oid.cluster, oid.serial))
             version = obj.__dict__["_p_version"]
             old = self.store.get(oid.cluster, (oid.serial, version))
             new_state = obj._p_state_dict()
@@ -669,6 +761,7 @@ class Database:
             self.store.put(txn, vref.cluster, (vref.serial, 0),
                            {"__key": [vref.serial, 0],
                             "current": current, "chain": chain})
+            self._decoded.invalidate((vref.cluster, vref.serial))
             with self._cache_lock:
                 self._vcache.pop(vref, None)
                 cached = self._cache.pop((vref.cluster, vref.serial), None)
@@ -677,6 +770,7 @@ class Database:
                 self._dirty.pop(id(cached), None)
 
     def _evict(self, oid: Oid) -> None:
+        self._decoded.invalidate((oid.cluster, oid.serial))
         with self._cache_lock:
             obj = self._cache.pop((oid.cluster, oid.serial), None)
             stale_vrefs = [v for v in self._vcache if v.oid == oid]
@@ -715,20 +809,56 @@ class Database:
         cached = self._cache.get((ref.cluster, ref.serial))
         if cached is not None:
             return cached
-        head = self.store.get(ref.cluster, (ref.serial, 0))
+        head, version, state = self._load_current(ref.cluster, ref.serial)
         if head is None:
             if _missing_ok:
                 return None
             raise DanglingReferenceError("dangling reference %r" % (ref,))
-        state = self.store.get(ref.cluster, (ref.serial, head["current"]))
         with self._cache_lock:
             cached = self._cache.get((ref.cluster, ref.serial))
             if cached is not None:  # another thread materialized it first
                 return cached
-            obj = self._materialize(ref, head["current"], state["state"],
+            obj = self._materialize(ref, version, dict(state),
                                     readonly=False)
             self._cache[(ref.cluster, ref.serial)] = obj
         return obj
+
+    def _load_current(self, cluster: str, serial: int):
+        """Decoded ``(head, current_version, state)`` for one object.
+
+        The materialization fast path: a :class:`DecodedCache` hit costs
+        one or two page-LSN validations (buffer-pool hits) instead of two
+        directory probes, two heap reads and two ``decode_value`` calls.
+        Served state dicts are shared — callers must treat them as
+        immutable (deref copies before loading into a live object).
+        Returns ``(None, 0, None)`` for a missing object.
+        """
+        key = (cluster, serial)
+        store = self.store
+        entry = self._decoded.get(key)
+        if entry is not None:
+            tokens, head, version, state = entry
+            if store.tokens_valid(tokens):
+                self._decoded.hits += 1
+                return head, version, state
+            self._decoded.invalidate(key)
+        self._decoded.misses += 1
+        head, head_rid, head_lsn = store.get_with_token(cluster, (serial, 0))
+        if head is None:
+            return None, 0, None
+        version = head["current"]
+        stored, state_rid, state_lsn = store.get_with_token(
+            cluster, (serial, version))
+        if stored is None:
+            raise DanglingReferenceError(
+                "version %d of %s:%d has no state record"
+                % (version, cluster, serial))
+        state = stored["state"]
+        self._decoded.put(key,
+                          ((head_rid.page_no, head_lsn),
+                           (state_rid.page_no, state_lsn)),
+                          head, version, state)
+        return head, version, state
 
     def _deref_version(self, vref: Vref,
                        missing_ok: bool) -> Optional[OdeObject]:
@@ -751,6 +881,36 @@ class Database:
             obj = self._materialize(vref.oid, vref.version, state["state"],
                                     readonly=True)
             self._vcache[vref] = obj
+        return obj
+
+    def _materialize_from_scan(self, cluster: str, serial: int, head: Dict,
+                               states: Dict) -> Optional[OdeObject]:
+        """Materialize one scanned head record, preferring in-batch state.
+
+        *states* maps ``(serial, version)`` to state records decoded from
+        the same scan batch. Version heads and their current state land on
+        the same page for freshly created objects (pnew writes them back
+        to back), so the common case needs no extra storage round-trip at
+        all; otherwise the deref path (with its decoded cache) picks up
+        the slack. Per-object locks are already subsumed by the scan's
+        cluster S lock.
+        """
+        key = (cluster, serial)
+        cached = self._cache.get(key)
+        if cached is not None:
+            return cached
+        version = head["current"]
+        state_rec = states.get((serial, version))
+        if state_rec is None:
+            return self.deref(Oid(cluster, serial), _missing_ok=True)
+        with self._cache_lock:
+            cached = self._cache.get(key)
+            if cached is not None:
+                return cached
+            obj = self._materialize(Oid(cluster, serial), version,
+                                    dict(state_rec["state"]),
+                                    readonly=False)
+            self._cache[key] = obj
         return obj
 
     def _materialize(self, oid: Oid, version: int, state: Dict,
@@ -810,6 +970,7 @@ class Database:
                            {"__key": [oid.serial, 0],
                             "current": new_version,
                             "chain": head["chain"] + [new_version]})
+            self._decoded.invalidate((oid.cluster, oid.serial))
             cached = self._cache.get((oid.cluster, oid.serial))
             if cached is not None:
                 cached.__dict__["_p_version"] = new_version
@@ -962,6 +1123,10 @@ class Database:
         if self._dirty:
             with self._implicit_txn():
                 pass
+        # A vacuum rewrites every record of the cluster into new pages;
+        # the old tokens all die at once, so wholesale clearing beats
+        # per-key invalidation.
+        self._decoded.clear()
         if cls is not None:
             name = cls if isinstance(cls, str) else cls.__name__
             return {name: self.store.vacuum(name)}
@@ -1018,8 +1183,15 @@ class Database:
         is about *how* the engine is running, not what is stored.
         """
         store_stats = self.store.stats()
+        fragmentation = {
+            name: self.store.fragmentation(name)
+            for name in self.clusters()
+        }
         return {
             "buffer_pool": store_stats["pool"],
+            "page_cache": store_stats["page_cache"],
+            "decoded_cache": self._decoded.stats(),
+            "fragmentation": fragmentation,
             "wal": {
                 "appends": store_stats["wal_appends"],
                 "syncs": store_stats["wal_syncs"],
@@ -1091,6 +1263,7 @@ class Database:
         self.store.close()
         self._cache.clear()
         self._vcache.clear()
+        self._decoded.clear()
         self._closed = True
 
     def __enter__(self) -> "Database":

@@ -116,12 +116,17 @@ def tokenize(source: str) -> List[Token]:
                 while i < n and source[i] in digits:
                     i += 1
             if i < n and source[i] in "eE":
-                is_float = True
-                i += 1
-                if i < n and source[i] in "+-":
-                    i += 1
-                while i < n and source[i] in digits:
-                    i += 1
+                # Only an exponent if digits follow (past an optional
+                # sign): "0E" is the int 0 then the identifier E, not a
+                # malformed float literal.
+                j = i + 1
+                if j < n and source[j] in "+-":
+                    j += 1
+                if j < n and source[j] in digits:
+                    is_float = True
+                    i = j
+                    while i < n and source[i] in digits:
+                        i += 1
             text = source[start:i]
             tokens.append(Token("float" if is_float else "int",
                                 text, line, col))

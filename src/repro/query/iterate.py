@@ -141,24 +141,24 @@ class Forall:
             pred = self._pred
             arity = len(self._sources)
             if pred is None:
-                filter_fn = None
+                row_check = None
             elif callable(pred) and not isinstance(pred, Predicate):
-                filter_fn = pred
+                row_check = _row_filter(pred)
             else:
                 raise QueryError(
                     "multi-variable suchthat takes a callable of %d "
                     "arguments or a V[...] predicate" % arity)
-            rows = self._cross_product(filter_fn)
+            rows = self._cross_product(row_check)
         if self._order:
             rows = iter(self._sorted_tuples(list(rows)))
         if self._limit is not None:
             rows = _take(rows, self._limit)
         return rows
 
-    def _cross_product(self, filter_fn) -> Iterator[Tuple]:
+    def _cross_product(self, row_check) -> Iterator[Tuple]:
         def recurse(depth: int, chosen: tuple):
             if depth == len(self._sources):
-                if filter_fn is None or filter_fn(*chosen):
+                if row_check is None or row_check(chosen):
                     yield chosen
                 return
             for item in self._sources[depth]:
@@ -305,6 +305,7 @@ class Forall:
         pred = self._pred
         if pred is not None and isinstance(pred, Predicate):
             raise QueryError("join_on takes a callable residual filter")
+        row_check = None if pred is None else _row_filter(pred)
         # Build hash tables for every source after the first.
         tables = []
         for source, key_fn in zip(self._sources[1:], keys[1:]):
@@ -315,7 +316,7 @@ class Forall:
 
         def expand(depth: int, chosen: tuple, join_key):
             if depth == len(self._sources):
-                if pred is None or pred(*chosen):
+                if row_check is None or row_check(chosen):
                     yield chosen
                 return
             for item in tables[depth - 1].get(join_key, ()):
@@ -378,6 +379,20 @@ def _orient(jc: JoinCompare, k: int) -> Tuple[int, str, str]:
     if jc.lvar == k:
         return (jc.rvar, jc.rattr, jc.lattr)
     return (jc.lvar, jc.lattr, jc.rattr)
+
+
+def _row_filter(pred) -> Callable:
+    """Compile a multi-argument residual filter into a row-tuple closure.
+
+    Opaque suchthat callables on joins receive the loop variables as
+    separate arguments; introspectable predicates are specialised via
+    :meth:`Predicate.compiled` so the hot residual loop never goes
+    through interpreted double dispatch.
+    """
+    if isinstance(pred, Predicate):
+        check = pred.compiled()
+        return lambda row, _check=check: _check(row)
+    return lambda row, _func=pred, _bool=bool: _bool(_func(*row))
 
 
 def _tuple_check(conj: Predicate) -> Callable:

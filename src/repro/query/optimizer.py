@@ -92,7 +92,13 @@ class Plan:
 
 
 class FullScan(Plan):
-    """Iterate the source, filtering with the whole predicate."""
+    """Iterate the source, filtering with the whole predicate.
+
+    Cluster (and deep-view) sources expose ``iter_batches()`` — page-at-a-
+    time lists of decoded objects — and the compiled residual is applied
+    across each batch, so the per-object cost is one closure call instead
+    of a generator-chain hop per row.
+    """
 
     def __init__(self, source, pred: Predicate):
         self.source = source
@@ -100,14 +106,62 @@ class FullScan(Plan):
 
     def execute(self) -> Iterator:
         pred = self.pred
+        iter_batches = getattr(self.source, "iter_batches", None)
+        if iter_batches is None:
+            if isinstance(pred, TrueP):
+                return iter(self.source)
+            check = pred.compiled() if isinstance(pred, Predicate) else pred
+            return (obj for obj in self.source if check(obj))
         if isinstance(pred, TrueP):
-            return iter(self.source)
+            return (obj for batch in iter_batches() for obj in batch)
         check = pred.compiled() if isinstance(pred, Predicate) else pred
-        return (obj for obj in self.source if check(obj))
+
+        def batched() -> Iterator:
+            for batch in iter_batches():
+                # One list-comprehension pass per page: the filter loop
+                # runs in C instead of hopping through a generator chain.
+                matched = [obj for obj in batch if check(obj)]
+                if matched:
+                    yield from matched
+        return batched()
 
     def describe(self) -> str:
         return ("full scan of %r filter %r" % (self.source, self.pred)
                 + self._estimate_suffix())
+
+
+#: Objects materialized per chunk by index-driven plans before the
+#: residual filter runs across the chunk. Bounds the extra work an
+#: early-exiting consumer pays while still amortizing the filter loop.
+INDEX_BATCH = 32
+
+
+def _batched_matches(db, cluster: str, serials, check) -> Iterator:
+    """Materialize *serials*, applying *check* a chunk at a time.
+
+    The deref path behind this hits the database's decoded-object cache,
+    so re-visiting an unchanged object costs page-LSN validations, not
+    directory probes + decodes. Yield order follows *serials* (index key
+    order), which ordered iteration relies on.
+    """
+    from ..core.oid import Oid
+    cache = db._cache
+    deref = db.deref
+    chunk: List = []
+    for serial in serials:
+        obj = cache.get((cluster, serial))
+        if obj is None:
+            obj = deref(Oid(cluster, serial), _missing_ok=True)
+            if obj is None:
+                continue
+        chunk.append(obj)
+        if len(chunk) >= INDEX_BATCH:
+            yield from (chunk if check is None
+                        else [o for o in chunk if check(o)])
+            chunk = []
+    if chunk:
+        yield from (chunk if check is None
+                    else [o for o in chunk if check(o)])
 
 
 class IndexEquality(Plan):
@@ -126,18 +180,8 @@ class IndexEquality(Plan):
         db._lock_cluster_scan(cluster)
         check = (None if isinstance(self.residual, TrueP)
                  else self.residual.compiled())
-        cache = db._cache
-        deref = db.deref
-        from ..core.oid import Oid
-        for serial in db.store.index_search(cluster, self.field,
-                                            self.value):
-            obj = cache.get((cluster, serial))
-            if obj is None:
-                obj = deref(Oid(cluster, serial), _missing_ok=True)
-                if obj is None:
-                    continue
-            if check is None or check(obj):
-                yield obj
+        serials = db.store.index_search(cluster, self.field, self.value)
+        return _batched_matches(db, cluster, serials, check)
 
     def _flush_pending(self, db) -> None:
         if db._txn is not None and db._dirty:
@@ -170,21 +214,15 @@ class IndexRange(Plan):
         db._lock_cluster_scan(cluster)
         check = (None if isinstance(self.residual, TrueP)
                  else self.residual.compiled())
-        cache = db._cache
-        deref = db.deref
-        from ..core.oid import Oid
-        for key, serial in db.store.index_range(
-                cluster, self.field, self.lo, self.hi,
-                include_hi=not self.hi_strict):
-            if self.lo_strict and key == self.lo:
-                continue
-            obj = cache.get((cluster, serial))
-            if obj is None:
-                obj = deref(Oid(cluster, serial), _missing_ok=True)
-                if obj is None:
+
+        def serials():
+            for key, serial in db.store.index_range(
+                    cluster, self.field, self.lo, self.hi,
+                    include_hi=not self.hi_strict):
+                if self.lo_strict and key == self.lo:
                     continue
-            if check is None or check(obj):
-                yield obj
+                yield serial
+        yield from _batched_matches(db, cluster, serials(), check)
 
     def describe(self) -> str:
         lo_b = "(" if self.lo_strict else "["
@@ -223,30 +261,24 @@ class CompositeScan(Plan):
         db._lock_cluster_scan(cluster)
         check = (None if isinstance(self.residual, TrueP)
                  else self.residual.compiled())
-        cache = db._cache
-        deref = db.deref
-        from ..core.oid import Oid
         prefix = tuple(self.eq_values)
         lo_key = prefix if self.lo is None else prefix + (self.lo,)
         k = len(prefix)
-        for key, serial in db.store.index_range(cluster, self.index_name,
-                                                lo_key, None):
-            if key[:k] != prefix:
-                break  # past the matching prefix: done
-            if (self.lo is not None and self.lo_strict
-                    and len(key) > k and key[k] == self.lo):
-                continue
-            if self.hi is not None and len(key) > k:
-                if key[k] > self.hi or (self.hi_strict
-                                        and key[k] == self.hi):
-                    break
-            obj = cache.get((cluster, serial))
-            if obj is None:
-                obj = deref(Oid(cluster, serial), _missing_ok=True)
-                if obj is None:
+
+        def serials():
+            for key, serial in db.store.index_range(
+                    cluster, self.index_name, lo_key, None):
+                if key[:k] != prefix:
+                    break  # past the matching prefix: done
+                if (self.lo is not None and self.lo_strict
+                        and len(key) > k and key[k] == self.lo):
                     continue
-            if check is None or check(obj):
-                yield obj
+                if self.hi is not None and len(key) > k:
+                    if key[k] > self.hi or (self.hi_strict
+                                            and key[k] == self.hi):
+                        break
+                yield serial
+        yield from _batched_matches(db, cluster, serials(), check)
 
     def describe(self) -> str:
         bound = ""

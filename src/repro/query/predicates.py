@@ -258,13 +258,21 @@ def _combine_shapes(tag: str, parts):
 class Callable_(Predicate):
     """Wrapper for an opaque Python callable (never optimized)."""
 
-    __slots__ = ("func",)
+    __slots__ = ("func", "_compiled")
 
     def __init__(self, func: Callable):
         self.func = func
+        self._compiled = None
 
     def __call__(self, obj) -> bool:
         return bool(self.func(obj))
+
+    def compiled(self) -> Callable:
+        if self._compiled is None:
+            def check(obj, _func=self.func, _bool=bool):
+                return _bool(_func(obj))
+            self._compiled = check
+        return self._compiled
 
     def __repr__(self):
         return "<opaque %s>" % getattr(self.func, "__name__", "lambda")

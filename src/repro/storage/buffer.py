@@ -35,13 +35,17 @@ DEFAULT_POOL_SIZE = 256
 
 
 class _Frame:
-    __slots__ = ("page_no", "buf", "pin_count", "dirty")
+    __slots__ = ("page_no", "buf", "pin_count", "dirty", "cold")
 
     def __init__(self, page_no: int):
         self.page_no = page_no
         self.buf = bytearray(PAGE_SIZE)
         self.pin_count = 0
         self.dirty = False
+        #: Scan-resistance flag: cold frames (readahead, scan touches) sit
+        #: at the LRU end and are evicted first; a frame only becomes hot
+        #: — and earns a trip to the MRU end — on a non-cold pin.
+        self.cold = False
 
 
 class BufferPool:
@@ -68,6 +72,8 @@ class BufferPool:
         self.misses = 0
         self.evictions = 0
         self.writebacks = 0
+        self.prefetches = 0
+        self.readahead_pages = 0
 
     def attach_wal(self, wal) -> None:
         """Attach a write-ahead log; enforces flush-log-before-page."""
@@ -77,25 +83,90 @@ class BufferPool:
     def capacity(self) -> int:
         return self._capacity
 
+    @property
+    def has_free_pages(self) -> bool:
+        """Whether the underlying page file has recyclable freed pages."""
+        return self._pagefile.has_free_pages
+
     # -- pinning ---------------------------------------------------------------
 
-    def pin(self, page_no: int) -> SlottedPage:
+    def pin(self, page_no: int, cold: bool = False) -> SlottedPage:
         """Pin *page_no*, faulting it in if needed, and return a page view.
 
         Acquires the storage latch; the matching :meth:`unpin` releases it.
         The latch is reentrant, so nested pins from one thread are fine.
+
+        *cold* pins (sequential scans) are scan-resistant: a cold fault
+        enters the frame at the LRU end instead of the MRU end, and a cold
+        hit on a cold frame does not promote it — so one large scan churns
+        through at most the cold end of the pool and cannot evict the hot
+        working set. Any non-cold pin rehabilitates the frame.
         """
         self.latch.acquire()
         frame = self._frames.get(page_no)
         if frame is not None:
             self.hits += 1
-            self._frames.move_to_end(page_no)
+            if cold and frame.cold:
+                pass  # scan re-touch: leave it where it is
+            else:
+                frame.cold = False
+                self._frames.move_to_end(page_no)
         else:
             self.misses += 1
             frame = self._admit(page_no)
             self._pagefile.read_page(page_no, frame.buf)
+            if cold:
+                frame.cold = True
+                self._frames.move_to_end(page_no, last=False)
         frame.pin_count += 1
         return SlottedPage(frame.buf)
+
+    def prefetch(self, page_no: int, count: int) -> int:
+        """Fault pages ``[page_no, page_no+count)`` in with one read.
+
+        Heap readahead: the span is read from the file in a single I/O and
+        the pages not already resident are admitted as *cold* frames (see
+        :meth:`pin`), so the readahead itself cannot evict the working
+        set. Pages already in the pool keep their (possibly dirty) frames.
+        Returns the number of pages actually admitted.
+        """
+        with self.latch:
+            count = min(count, max(self._capacity - 1, 1))
+            # Pages resident when the span is read. For these, `raw` may be
+            # STALE: a resident frame can be dirty, with the only current
+            # bytes in memory. They are never admitted from the span — not
+            # even if an eviction below drops them mid-loop (the eviction's
+            # write-back makes disk fresher than `raw`; a later pin must
+            # re-fault them from disk). For never-resident pages `raw` is
+            # current: no dirty frame existed at read time, and mid-loop
+            # write-backs only touch pages that *were* resident.
+            resident = {page_no + i for i in range(count)
+                        if page_no + i in self._frames}
+            if len(resident) == count:
+                return 0
+            raw = self._pagefile.read_span(page_no, count)
+            batch = []
+            for i in range(len(raw) // PAGE_SIZE):
+                no = page_no + i
+                if no in resident:
+                    continue
+                # Admit at the MRU end first so evictions triggered by the
+                # batch itself pick older frames, never batch-mates ...
+                try:
+                    frame = self._admit(no)
+                except BufferPoolError:
+                    break  # everything pinned — readahead is best-effort
+                frame.buf[:] = raw[i * PAGE_SIZE:(i + 1) * PAGE_SIZE]
+                frame.cold = True
+                batch.append(no)
+            # ... then rotate the whole batch to the LRU end (reversed, so
+            # forward page order is preserved there): by the time the next
+            # prefetch needs victims, these pages have been consumed.
+            for no in reversed(batch):
+                self._frames.move_to_end(no, last=False)
+            self.prefetches += 1
+            self.readahead_pages += len(batch)
+            return len(batch)
 
     def unpin(self, page_no: int, dirty: bool = False) -> None:
         """Release one pin on *page_no*, optionally marking it dirty."""
@@ -108,9 +179,10 @@ class BufferPool:
         frame.pin_count -= 1
         self.latch.release()
 
-    def page(self, page_no: int, write: bool = False) -> "_PinnedPage":
+    def page(self, page_no: int, write: bool = False,
+             cold: bool = False) -> "_PinnedPage":
         """Context manager combining :meth:`pin` and :meth:`unpin`."""
-        return _PinnedPage(self, page_no, write)
+        return _PinnedPage(self, page_no, write, cold)
 
     def new_page(self, page_type: int) -> int:
         """Allocate a page, format it in the pool, and return its number.
@@ -124,8 +196,27 @@ class BufferPool:
             if frame is None:
                 frame = self._admit(page_no)
             SlottedPage.format(frame.buf, page_no, page_type)
+            frame.cold = False
             frame.dirty = True
             return page_no
+
+    def new_extent(self, page_type: int, count: int) -> list:
+        """Allocate *count* physically contiguous pages, formatted.
+
+        Like :meth:`new_page` but the pages come from one end-of-file
+        extent (bypassing the free list), so a later sequential scan over
+        them is a single contiguous read.
+        """
+        with self.latch:
+            page_nos = self._pagefile.allocate_extent(count)
+            for page_no in page_nos:
+                frame = self._frames.get(page_no)
+                if frame is None:
+                    frame = self._admit(page_no)
+                SlottedPage.format(frame.buf, page_no, page_type)
+                frame.cold = False
+                frame.dirty = True
+            return page_nos
 
     def ensure_allocated(self, page_no: int) -> None:
         """Extend the page file so *page_no* exists (crash recovery only)."""
@@ -205,11 +296,15 @@ class BufferPool:
 
     def stats(self) -> Dict[str, int]:
         """Counters for benchmarks and tests."""
+        lookups = self.hits + self.misses
         return {
             "hits": self.hits,
             "misses": self.misses,
+            "hit_ratio": (self.hits / lookups) if lookups else 0.0,
             "evictions": self.evictions,
             "writebacks": self.writebacks,
+            "prefetches": self.prefetches,
+            "readahead_pages": self.readahead_pages,
             "cached": len(self._frames),
             "capacity": self._capacity,
         }
@@ -223,15 +318,17 @@ class _PinnedPage:
     measurable overhead.
     """
 
-    __slots__ = ("_pool", "_page_no", "_write")
+    __slots__ = ("_pool", "_page_no", "_write", "_cold")
 
-    def __init__(self, pool: BufferPool, page_no: int, write: bool):
+    def __init__(self, pool: BufferPool, page_no: int, write: bool,
+                 cold: bool = False):
         self._pool = pool
         self._page_no = page_no
         self._write = write
+        self._cold = cold
 
     def __enter__(self) -> SlottedPage:
-        return self._pool.pin(self._page_no)
+        return self._pool.pin(self._page_no, cold=self._cold)
 
     def __exit__(self, exc_type, exc, tb) -> bool:
         self._pool.unpin(self._page_no, dirty=self._write)

@@ -73,22 +73,28 @@ def _unpack_record(raw: bytes) -> Tuple[int, bytes]:
 class HeapFile:
     """A chain of heap pages storing variable-length records."""
 
-    def __init__(self, journal: Journal, first_page: int):
+    def __init__(self, journal: Journal, first_page: int,
+                 extent: int = 1):
         self._journal = journal
         self._pool = journal._pool
         self._first_page = first_page
+        #: Pages added per :meth:`_grow`. With ``extent > 1`` growth
+        #: allocates physically contiguous end-of-file runs, so a cluster's
+        #: records land together and sequential scans read whole spans.
+        self._extent = max(1, extent)
         # Session-local cache of pages believed to have free room. Not
         # persisted: correctness never depends on it, only insert locality.
         self._free_candidates: list = []
         self._tail_page = self._find_tail()
 
     @classmethod
-    def create(cls, journal: Journal, txn: int) -> "HeapFile":
+    def create(cls, journal: Journal, txn: int,
+               extent: int = 1) -> "HeapFile":
         """Allocate a fresh single-page heap file."""
         page_no = journal._pool.new_page(PageType.HEAP)
         with journal.edit(txn, page_no):
             pass  # formatting happened in new_page; edit stamps nothing
-        return cls(journal, page_no)
+        return cls(journal, page_no, extent=extent)
 
     @property
     def first_page(self) -> int:
@@ -129,6 +135,32 @@ class HeapFile:
         if kind == KIND_OVERFLOW:
             first_ovf, total = _OVERFLOW.unpack(body)
             return self._read_overflow_chain(first_ovf, total)
+        raise StorageError("unknown record kind %d at %r" % (kind, rid))
+
+    def read_with_lsn(self, rid: RID) -> Tuple[bytes, int]:
+        """Like :meth:`read`, also returning the *home* page's LSN.
+
+        The home-page LSN is a physical version token for the record:
+        every mutation of the record — in-place update, relocation,
+        overflow rewrite, delete — edits the home page (that is where the
+        slot or stub lives), so a later LSN mismatch is exactly "this
+        record may have changed".
+        """
+        with self._pool.page(rid.page_no) as page:
+            raw = page.read(rid.slot)
+            lsn = page.page_lsn
+        kind, body = _unpack_record(raw)
+        if kind in (KIND_DATA, KIND_MOVED):
+            return body, lsn
+        if kind == KIND_FORWARD:
+            target = RID(*_FORWARD.unpack(body))
+            kind2, body2 = self._read_raw(target)
+            if kind2 != KIND_MOVED:
+                raise StorageError("dangling forward stub at %r" % (rid,))
+            return body2, lsn
+        if kind == KIND_OVERFLOW:
+            first_ovf, total = _OVERFLOW.unpack(body)
+            return self._read_overflow_chain(first_ovf, total), lsn
         raise StorageError("unknown record kind %d at %r" % (kind, rid))
 
     def update(self, txn: int, rid: RID, payload: bytes) -> None:
@@ -211,6 +243,81 @@ class HeapFile:
                 # KIND_MOVED: skipped, reached via its stub
             page_no = next_page
 
+    #: Pages fetched per readahead request during batched scans.
+    READAHEAD = 8
+
+    def read_page_records(self, page_no: int, start_slot: int = 0):
+        """Decode-free bulk read of one page under a single pin.
+
+        Returns ``(records, slot_count, next_page, page_lsn)`` where
+        *records* is a list of ``(RID, payload)`` for the live records in
+        slots ``[start_slot, slot_count)``. Forwarding stubs and overflow
+        stubs are resolved *after* the home pin is released (their chains
+        take their own short pins), so no pin spans the whole batch.
+        ``page_lsn`` is the page's physical version — any later mutation
+        of any record homed here bumps it, which is what makes the LSN a
+        safe cache-validity token for every payload in *records*.
+        """
+        out = []
+        indirect = []
+        with self._pool.page(page_no, cold=True) as page:
+            slot_count = page.slot_count
+            next_page = page.next_page
+            page_lsn = page.page_lsn
+            for slot in range(start_slot, slot_count):
+                try:
+                    raw = page.read(slot)
+                except PageError:
+                    continue
+                kind, body = _unpack_record(raw)
+                if kind == KIND_DATA:
+                    out.append((RID(page_no, slot), body))
+                elif kind in (KIND_FORWARD, KIND_OVERFLOW):
+                    out.append(None)
+                    indirect.append((len(out) - 1, RID(page_no, slot),
+                                     kind, body))
+                # KIND_MOVED: skipped, reached via its stub
+        for i, rid, kind, body in indirect:
+            if kind == KIND_FORWARD:
+                out[i] = (rid, self.read(rid))
+            else:
+                first_ovf, total = _OVERFLOW.unpack(body)
+                out[i] = (rid, self._read_overflow_chain(first_ovf, total))
+        return out, slot_count, next_page, page_lsn
+
+    def scan_batches(self):
+        """Page-at-a-time scan: yield ``(page_no, page_lsn, records, start)``.
+
+        *records* is the :meth:`read_page_records` list for slots
+        ``[start, slot_count)``. Costs ~2 pins per page (the batch read
+        plus one re-check) instead of one pin per slot, and issues
+        readahead for the pages ahead of the cursor.
+
+        The fixpoint property (records inserted behind the cursor during
+        iteration are visited) survives batching because of the re-check:
+        after the consumer processes a batch, the page is read again from
+        the previous high-water slot, so same-page inserts made while the
+        batch was being consumed show up as a follow-up batch, and the
+        chain pointer is re-read each pass so newly grown tail pages are
+        walked too.
+        """
+        page_no = self._first_page
+        span_lo = span_hi = -1  # last readahead window
+        while page_no != NO_PAGE:
+            if not span_lo <= page_no < span_hi:
+                self._pool.prefetch(page_no, self.READAHEAD)
+                span_lo, span_hi = page_no, page_no + self.READAHEAD
+            start = 0
+            while True:
+                records, slot_count, next_page, lsn = \
+                    self.read_page_records(page_no, start)
+                if slot_count <= start:
+                    break
+                if records:
+                    yield page_no, lsn, records, start
+                start = slot_count
+            page_no = next_page
+
     def count(self) -> int:
         """Number of live records (scans the file)."""
         return sum(1 for _ in self.scan())
@@ -236,13 +343,52 @@ class HeapFile:
             slot = page.insert(record)
         return RID(page_no, slot)
 
-    def _grow(self, txn: int) -> int:
-        """Append a fresh page to the chain; return its number."""
-        new_no = self._pool.new_page(PageType.HEAP)
+    def _grow(self, txn: int, force_extent: bool = False) -> int:
+        """Append fresh page(s) to the chain; return the first new number.
+
+        With an extent size > 1 a whole contiguous run is allocated and
+        linked at once; inserts fill it front to back (via the
+        free-candidate stack), so the chain order matches the physical
+        order and readahead stays effective. While the page file still
+        has freed pages, growth recycles those one at a time instead
+        (keeping the file bounded); *force_extent* overrides this for
+        vacuum's reclustering rewrite, where contiguity is the point.
+        """
+        if self._extent <= 1 or \
+                (self._pool.has_free_pages and not force_extent):
+            new_no = self._pool.new_page(PageType.HEAP)
+            with self._journal.edit(txn, self._tail_page) as tail:
+                tail.next_page = new_no
+            self._tail_page = new_no
+            return new_no
+        pages = self._pool.new_extent(PageType.HEAP, self._extent)
         with self._journal.edit(txn, self._tail_page) as tail:
-            tail.next_page = new_no
-        self._tail_page = new_no
-        return new_no
+            tail.next_page = pages[0]
+        for i in range(len(pages) - 1):
+            with self._journal.edit(txn, pages[i]) as page:
+                page.next_page = pages[i + 1]
+        self._tail_page = pages[-1]
+        # LIFO stack peeks at [-1]: reversed() makes pages[1] the first
+        # candidate tried, so the run fills in physical order.
+        self._free_candidates.extend(reversed(pages[1:]))
+        return pages[0]
+
+    def preallocate(self, txn: int, pages: int) -> None:
+        """Grow the chain by one contiguous *pages*-page extent now.
+
+        Used by vacuum to reserve the rewrite target up front so the
+        copied records land in one physical run instead of interleaving
+        with the pages of other structures grown during the same pass.
+        """
+        if pages < 1:
+            return
+        saved = self._extent
+        self._extent = pages
+        try:
+            first = self._grow(txn, force_extent=True)
+        finally:
+            self._extent = saved
+        self._free_candidates.append(first)
 
     def _delete_slot(self, txn: int, rid: RID) -> None:
         with self._journal.edit(txn, rid.page_no) as page:

@@ -147,6 +147,40 @@ class PageFile:
         self._write_header()
         return page_no
 
+    @property
+    def has_free_pages(self) -> bool:
+        """Whether the freed-page chain is non-empty."""
+        return self._free_head != NO_PAGE
+
+    def allocate_extent(self, count: int) -> list:
+        """Allocate *count* physically contiguous pages at end-of-file.
+
+        Extents deliberately bypass the free list: recycled pages are
+        scattered, and the whole point of an extent is that a sequential
+        scan over it turns into one large read. Returned pages are
+        unformatted, like :meth:`allocate_page`.
+        """
+        if count < 1:
+            raise PageError("extent size must be >= 1")
+        start = self._page_count
+        self._page_count += count
+        self._file.seek(start * PAGE_SIZE)
+        self._file.write(b"\x00" * (PAGE_SIZE * count))
+        self._write_header()
+        return list(range(start, start + count))
+
+    def read_span(self, page_no: int, count: int) -> bytes:
+        """Read up to *count* consecutive pages in one I/O.
+
+        The span is clamped to the end of the file; the result's length
+        tells the caller how many pages actually came back. Used by the
+        buffer pool's readahead.
+        """
+        self._check_page_no(page_no)
+        end = min(page_no + count, self._page_count)
+        self._file.seek(page_no * PAGE_SIZE)
+        return self._file.read((end - page_no) * PAGE_SIZE)
+
     def ensure_allocated(self, page_no: int) -> None:
         """Extend the file so *page_no* is addressable (crash recovery).
 

@@ -266,3 +266,83 @@ class TestScanVsWriter:
         assert all(t == 45 for t in totals)
         assert db.cluster(Counter).count() == 20
         assert db.store.locks.stats()["held"] == 0
+
+
+class TestDecodedCacheCoherence:
+    def test_decoded_cache_coherent_under_concurrent_writers(self, db):
+        """Each thread re-materializes its own object every round (popping
+        its live instance between transactions), so every deref goes
+        through the decoded cache's LSN-token validation — while the
+        *other* threads' commits keep bumping the LSNs of the heap pages
+        the objects share. A stale decoded entry would surface as a
+        value below the thread's own committed count."""
+        db.create(Account)
+        n_threads, n_rounds = 5, 20
+        oids = [db.pnew(Account, owner="t%d" % i).oid
+                for i in range(n_threads)]
+        stale = []
+
+        def worker(oid):
+            key = (oid.cluster, oid.serial)
+
+            def work():
+                for i in range(n_rounds):
+                    # Only this thread ever touches `key`, so dropping the
+                    # live instance between transactions is safe — and it
+                    # forces the next deref through _load_current.
+                    db._cache.pop(key, None)
+
+                    def txn():
+                        acct = db.deref(oid)
+                        if acct.balance != i:
+                            stale.append((key, i, acct.balance))
+                        acct.balance += 1
+                    db.run_transaction(txn, retries=50)
+            return work
+
+        run_threads([worker(oid) for oid in oids])
+        assert not stale
+        for oid in oids:
+            db._cache.pop((oid.cluster, oid.serial), None)
+            assert db.deref(oid).balance == n_rounds
+        stats = db._decoded.stats()
+        assert stats["hits"] + stats["misses"] > 0
+        assert db.store.locks.stats()["held"] == 0
+
+    def test_abort_invalidates_decoded_cache(self, db):
+        """A flushed-then-aborted write must not linger in the decoded
+        cache: the post-abort deref sees the pre-transaction state."""
+        db.create(Counter)
+        oid = db.pnew(Counter, n=0).oid
+        db._cache.clear()
+        assert db.deref(oid).n == 0    # warm the decoded cache
+        with pytest.raises(RuntimeError):
+            with db.transaction() as txn:
+                obj = db.deref(oid)
+                obj.n = 99
+                db._flush(txn.txn_id)  # write reaches the heap pages
+                raise RuntimeError("force abort")
+        db._cache.clear()
+        assert db.deref(oid).n == 0
+        assert db.store.locks.stats()["held"] == 0
+
+    def test_cache_validation_survives_writer_between_reads(self, db):
+        """Sequential interleaving: read (cache fills), another session
+        commits a change, read again — the second read must miss (token
+        LSN moved) and return the new state."""
+        db.create(Account)
+        oid = db.pnew(Account, owner="x", balance=1).oid
+        db._cache.clear()
+        assert db.deref(oid).balance == 1
+        done = threading.Event()
+
+        def other_writer():
+            def txn():
+                db.deref(oid).balance = 2
+            db.run_transaction(txn, retries=50)
+            done.set()
+
+        run_threads([other_writer])
+        assert done.is_set()
+        db._cache.clear()
+        assert db.deref(oid).balance == 2

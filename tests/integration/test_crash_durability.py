@@ -101,3 +101,46 @@ class TestCrashDurability:
         db = Database(db_path)
         assert db.cluster(Ledger).count() == expected
         db.close()
+
+
+class TestDecodedCacheAfterRecovery:
+    def test_stale_decoded_entry_rejected_after_recovery(self, db_path):
+        """Recovery redo bumps the page LSNs, so a decoded-cache entry
+        captured before the crash (with pre-crash tokens) must fail
+        validation and re-read the recovered state."""
+        db = Database(db_path)
+        db.create(Ledger)
+        oid = db.pnew(Ledger, entry="a", amount=1).oid
+        key = (oid.cluster, oid.serial)
+        db._cache.clear()
+        assert db.deref(oid).amount == 1     # warm the decoded cache
+        stale_entry = db._decoded._entries[key]
+        with db.transaction():
+            db.deref(oid).amount = 99        # committed; WAL survives
+        crash(db)
+
+        db2 = Database(db_path)
+        assert db2.store.last_recovery is not None
+        # Transplant the pre-crash entry (amount=1, old LSN tokens) into
+        # the recovered database's cache: validation must reject it.
+        db2._decoded._entries[key] = stale_entry
+        db2._cache.clear()
+        assert db2.deref(oid).amount == 99
+        assert db2._decoded.stats()["misses"] >= 1
+        db2.close()
+
+    def test_cache_refills_and_serves_after_recovery(self, db_path):
+        """After a crash+recovery cycle the decoded cache works normally:
+        the second deref of an unchanged object is a validated hit."""
+        db = Database(db_path)
+        db.create(Ledger)
+        oid = db.pnew(Ledger, entry="b", amount=7).oid
+        crash(db)
+
+        db2 = Database(db_path)
+        db2._cache.clear()
+        assert db2.deref(oid).amount == 7
+        db2._cache.clear()
+        assert db2.deref(oid).amount == 7
+        assert db2._decoded.stats()["hits"] >= 1
+        db2.close()

@@ -25,6 +25,14 @@ class TestBasics:
                         ("float", "1e10"), ("float", "2.5e-3"),
                         ("float", "7.")]
 
+    def test_exponent_requires_digits(self):
+        # "0E" is the int 0 then the identifier E — consuming the bare
+        # E as an exponent produced a float token float() rejects.
+        assert kinds_values("0E") == [("int", "0"), ("ident", "E")]
+        assert kinds_values("1e+") == [("int", "1"), ("ident", "e"),
+                                       ("op", "+")]
+        assert kinds_values("2.5E-3")[0] == ("float", "2.5E-3")
+
     def test_strings(self):
         toks = kinds_values(r'"hello" "with \"escape\"" "tab\t"')
         assert toks == [("string", "hello"), ("string", 'with "escape"'),

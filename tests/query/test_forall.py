@@ -281,3 +281,58 @@ class TestIndexOrderedScan:
             A.qty >= 0).by(A.qty, desc=True)
         qtys = [i.qty for i in q]
         assert qtys == sorted(qtys, reverse=True)
+
+
+class TestCompiledResiduals:
+    """The hot residual-filter loops must run the *compiled* closures, not
+    interpreted ``Predicate.__call__`` double dispatch. Breaking
+    ``__call__`` and observing that queries still work proves it."""
+
+    def test_full_scan_residual_runs_compiled_closure(self, stocked,
+                                                      monkeypatch):
+        from repro.query import predicates
+
+        def boom(self, obj):
+            raise AssertionError("interpreted Compare.__call__ used "
+                                 "in a scan residual")
+        monkeypatch.setattr(predicates.Compare, "__call__", boom)
+        # A non-indexed field comparison: full scan + residual filter.
+        q = forall(stocked.cluster(ShopItem)).suchthat(A.qty >= 100)
+        assert {i.name for i in q} == {"dram", "led"}
+
+    def test_fused_join_residual_runs_compiled_closure(self, stocked,
+                                                       monkeypatch):
+        from repro.query import predicates
+        from repro.query.predicates import V
+        stocked.create(ShopChild)
+        stocked.pnew(ShopChild, parent_name="dram", age=3)
+        stocked.pnew(ShopChild, parent_name="led", age=9)
+
+        def boom(self, row):
+            raise AssertionError("interpreted JoinCompare.__call__ used "
+                                 "in a join residual")
+        monkeypatch.setattr(predicates.JoinCompare, "__call__", boom)
+        items = stocked.cluster(ShopItem)
+        kids = stocked.cluster(ShopChild)
+        # Equality joins hash; the < comparison is a residual conjunct.
+        q = forall(items, kids).suchthat(
+            (V[0].name == V[1].parent_name) & (V[0].price < V[1].age))
+        assert {(i.name, c.age) for i, c in q} == {("led", 9)}
+
+    def test_callable_residual_compiled_in_hash_join(self, stocked):
+        stocked.create(ShopChild)
+        stocked.pnew(ShopChild, parent_name="dram", age=3)
+        stocked.pnew(ShopChild, parent_name="z80", age=5)
+        items = stocked.cluster(ShopItem)
+        kids = stocked.cluster(ShopChild)
+        q = forall(items, kids).join_on(A.name, A.parent_name).suchthat(
+            lambda i, c: c.age > 4)
+        assert {(i.name, c.age) for i, c in q} == {("z80", 5)}
+
+    def test_callable_predicate_has_compiled_form(self):
+        from repro.query.predicates import Callable_
+        pred = Callable_(lambda obj: obj > 3)
+        check = pred.compiled()
+        assert check is pred.compiled()      # cached
+        assert check(5) is True
+        assert check(1) is False
