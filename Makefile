@@ -14,10 +14,15 @@ bench:
 	$(PYTHON) -m pytest benchmarks/ --benchmark-only -q
 
 # Fast local perf gate: a ~30 s benchmark subset plus the tier-1 tests,
-# so a perf regression or breakage fails before a PR goes up.
+# so a perf regression or breakage fails before a PR goes up. Also
+# exports a metrics snapshot from a scratch database in Prometheus text
+# format and lints it, so the exposition endpoint can't silently rot.
 bench-smoke:
 	$(PYTHON) benchmarks/run_baseline.py --smoke
 	$(PYTHON) -m pytest tests/ -x -q
+	$(PYTHON) -m repro stats /tmp/bench-smoke.odb --format=prom > metrics.prom
+	$(PYTHON) -m repro promlint metrics.prom
+	rm -f /tmp/bench-smoke.odb
 
 # Full suite, recorded as BENCH_<date>.json and diffed against the last
 # committed baseline (see benchmarks/run_baseline.py).

@@ -38,11 +38,35 @@ class BenchFaculty(BenchPerson):
 
 
 @pytest.fixture
-def db(tmp_path):
+def db(tmp_path, request):
     database = Database(str(tmp_path / "bench.odb"))
     yield database
+    _embed_metrics(request, database)
     if not database._closed:
         database.close()
+
+
+def _embed_metrics(request, database):
+    """Attach an engine-metrics snapshot to the benchmark's extra_info.
+
+    ``run_baseline.py`` copies this into each BENCH_*.json entry so a
+    regression report can distinguish "the code got slower" from "the
+    cache stopped hitting".
+    """
+    benchmark = request.node.funcargs.get("benchmark")
+    if benchmark is None or database._closed:
+        return
+    snap = database.metrics.snapshot()
+    benchmark.extra_info["metrics"] = {
+        "buffer_hit_ratio": round(snap.get("buffer.hit_ratio", 0.0), 4),
+        "buffer_hits": snap.get("buffer.hits", 0),
+        "buffer_misses": snap.get("buffer.misses", 0),
+        "wal_appends": snap.get("wal.appends", 0),
+        "wal_syncs": snap.get("wal.syncs", 0),
+        "lock_waits": snap.get("lock.waits", 0),
+        "lock_deadlocks": snap.get("lock.deadlocks", 0),
+        "txn_commits": snap.get("txn.commits", 0),
+    }
 
 
 def populate_items(db, n, with_indexes=()):

@@ -75,11 +75,18 @@ def run_suite(smoke: bool = False, extra_args=()) -> dict:
     results = {}
     for bench in raw.get("benchmarks", []):
         # fullname is e.g. "bench_iteration.py::TestSelection::test_indexed_eq"
-        results[bench["fullname"]] = {
+        entry = {
             "median_ns": bench["stats"]["median"] * 1e9,
             "ops_per_sec": bench["stats"]["ops"],
             "rounds": bench["stats"]["rounds"],
         }
+        # The db fixture snapshots engine metrics (buffer hit ratio, WAL
+        # flushes, lock waits) into extra_info; carry them so a report
+        # diff can tell "slower code" apart from "colder cache".
+        metrics = bench.get("extra_info", {}).get("metrics")
+        if metrics:
+            entry["metrics"] = metrics
+        results[bench["fullname"]] = entry
     return results
 
 

@@ -9,6 +9,10 @@ Usage::
     python -m repro DB.odb --vacuum                       # compact storage
     python -m repro stats DB.odb                          # runtime counters
     python -m repro DB.odb --stats                        # same, flag form
+    python -m repro stats DB.odb --format=json            # machine readable
+    python -m repro stats DB.odb --format=prom            # Prometheus text
+    python -m repro events DB.odb                         # event log
+    python -m repro promlint metrics.prom                 # lint exposition
 
 In interactive mode each submitted chunk is parsed and executed against
 the open database; state (variables, classes) persists for the session.
@@ -18,10 +22,13 @@ A chunk ends on an empty line, so multi-line declarations work.
 from __future__ import annotations
 
 import argparse
+import json
 import sys
 
 from .core.database import Database
 from .errors import OdeError
+from .obs import load_events, parse_prometheus, render_prometheus
+from .obs.metrics import PromParseError
 from .opp.interp import Interpreter
 
 
@@ -43,6 +50,16 @@ def _build_parser() -> argparse.ArgumentParser:
                         help="print runtime statistics (buffer pool, WAL, "
                              "plan cache, per-cluster optimizer stats) "
                              "and exit")
+    parser.add_argument("--format", choices=("text", "json", "prom"),
+                        default="text", dest="format",
+                        help="stats output format: human text (default), "
+                             "JSON, or Prometheus text exposition")
+    parser.add_argument("--events", action="store_true",
+                        help="print the persisted event log "
+                             "(slow queries, lock waits, deadlocks, "
+                             "group-commit flushes, vacuums) and exit")
+    parser.add_argument("--limit", type=int, default=None,
+                        help="with --events: show only the last N events")
     parser.add_argument("--quiet", action="store_true",
                         help="suppress program output (still executed)")
     return parser
@@ -124,6 +141,39 @@ def _print_stats(db: Database) -> None:
                       % (field, fs["n_distinct"], fs["min"], fs["max"]))
 
 
+def _print_events(db: Database, limit=None) -> None:
+    """Merge the persisted sidecar with this process's (empty) ring."""
+    events = load_events(str(db.store.path) + ".events")
+    events.extend(db.events.snapshot())
+    if limit is not None:
+        events = events[-limit:]
+    if not events:
+        print("(no events)")
+        return
+    for event in events:
+        data = " ".join("%s=%s" % (k, json.dumps(v, sort_keys=True))
+                        for k, v in sorted(event["data"].items()))
+        print("#%-5d %.3f %-18s %s"
+              % (event["seq"], event["ts"], event["kind"], data))
+
+
+def _promlint(argv) -> int:
+    """``python -m repro promlint [FILE]`` — validate Prometheus text."""
+    if argv and argv[0] not in ("-",):
+        with open(argv[0], "r", encoding="utf-8") as handle:
+            text = handle.read()
+    else:
+        text = sys.stdin.read()
+    try:
+        families = parse_prometheus(text)
+    except PromParseError as exc:
+        print("promlint: %s" % exc, file=sys.stderr)
+        return 1
+    samples = sum(len(v) for v in families.values())
+    print("ok: %d metric families, %d samples" % (len(families), samples))
+    return 0
+
+
 def _repl(db: Database, interp: Interpreter) -> None:
     print("Ode environment — O++ interpreter. Empty line runs the chunk; "
           "Ctrl-D exits.")
@@ -155,14 +205,27 @@ def _repl(db: Database, interp: Interpreter) -> None:
 def main(argv=None) -> int:
     if argv is None:
         argv = sys.argv[1:]
-    # Subcommand form: ``python -m repro stats DB.odb``.
+    # Subcommand forms: ``python -m repro stats DB.odb`` etc.
+    if argv and argv[0] == "promlint":
+        return _promlint(argv[1:])
     if argv and argv[0] == "stats":
         argv = argv[1:] + ["--stats"]
+    elif argv and argv[0] == "events":
+        argv = argv[1:] + ["--events"]
     args = _build_parser().parse_args(argv)
     db = Database(args.database)
     try:
         if args.stats:
-            _print_stats(db)
+            if args.format == "json":
+                print(json.dumps(db.stats(), indent=2, sort_keys=True,
+                                 default=str))
+            elif args.format == "prom":
+                sys.stdout.write(render_prometheus(db.metrics))
+            else:
+                _print_stats(db)
+            return 0
+        if args.events:
+            _print_events(db, args.limit)
             return 0
         if args.schema:
             _print_schema(db)

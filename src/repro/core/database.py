@@ -65,6 +65,17 @@ MAX_TRIGGER_CASCADE = 1000
 Ref = Union[Oid, Vref, OdeObject]
 
 
+def _abort_reason(exc: BaseException) -> str:
+    """Classify an abort-triggering exception for ``txn.aborts{reason}``."""
+    if isinstance(exc, DeadlockError):
+        return "deadlock"
+    if isinstance(exc, LockTimeoutError):
+        return "timeout"
+    if isinstance(exc, ConstraintViolation):
+        return "constraint"
+    return "error"
+
+
 class DecodedCache:
     """Bounded LRU of decoded object images keyed by ``(cluster, serial)``.
 
@@ -240,6 +251,72 @@ class Database:
             self.store.catalog.get_meta("clock", 0.0))
         self._clock_dirty = False
         self._closed = False
+        #: The observability registry + event ring (owned by the store so
+        #: storage components can reach them; shared verbatim here).
+        self.metrics = self.store.metrics
+        self.events = self.store.events
+        self._register_metrics()
+
+    def _register_metrics(self) -> None:
+        from ..query import optimizer as _optimizer
+        metrics = self.metrics
+        decoded = self._decoded
+        metrics.counter_fn("decoded.hits", lambda: decoded.hits)
+        metrics.counter_fn("decoded.misses", lambda: decoded.misses)
+        metrics.counter_fn("decoded.evictions", lambda: decoded.evictions)
+        metrics.gauge_fn("decoded.entries", lambda: len(decoded))
+        plan_cache = self.plan_cache
+        metrics.counter_fn("plan_cache.hits", lambda: plan_cache.hits)
+        metrics.counter_fn("plan_cache.misses", lambda: plan_cache.misses)
+        metrics.counter_fn("plan_cache.invalidations",
+                           lambda: plan_cache.invalidations)
+        metrics.gauge_fn("plan_cache.entries",
+                         lambda: len(plan_cache._entries))
+        metrics.counter_fn("plan.builds", lambda: _optimizer.PLAN_BUILDS)
+        metrics.gauge_fn("txn.active",
+                         lambda: len(self.store._journal.active))
+        # Owned (GIL-atomic) counters: bumped directly on the txn/query
+        # paths rather than sampled from component state.
+        self._txn_commits = metrics.counter("txn.commits")
+        self._query_count = metrics.counter("query.count")
+        self._query_slow = metrics.counter("query.slow")
+        self._query_ns = metrics.histogram(
+            "query.duration_ns",
+            (1e4, 1e5, 1e6, 1e7, 1e8, 1e9, 1e10))
+
+    def _record_query(self, kind: str, detail: str, ns: int,
+                      rows: int) -> None:
+        """Account one finished (traced or materialized) query.
+
+        Called from the query layer only on paths that already know their
+        wall time — tracing, ``explain analyze``, the O++ forall
+        statement — so untraced streaming iteration pays nothing.
+        """
+        self._query_count.inc()
+        self._query_ns.observe(ns)
+        if ns >= self.events.slow_query_ns:
+            self._query_slow.inc()
+            self.events.emit("slow_query", query=kind, detail=detail,
+                             ms=ns / 1e6, rows=rows)
+
+    def forall(self, *sources, trace: bool = False):
+        """Begin a :class:`~repro.query.iterate.Forall` iteration.
+
+        Sources may be cluster handles, Ode classes, cluster names, or
+        any re-iterable; classes and names resolve to this database's
+        cluster handles. With *trace=True* the iteration records
+        per-operator spans (see :meth:`Forall.trace`)."""
+        from ..query.iterate import Forall
+        resolved = []
+        for source in sources:
+            if isinstance(source, (str, OdeMeta)):
+                resolved.append(self.cluster(source))
+            else:
+                resolved.append(source)
+        it = Forall(*resolved)
+        if trace:
+            it.trace()
+        return it
 
     # The historical single-threaded attributes survive as views over the
     # per-thread session, so the query layer (and tests) keep reading
@@ -356,8 +433,8 @@ class Database:
         self._txn = handle
         try:
             yield handle
-        except BaseException:
-            self._abort(handle)
+        except BaseException as exc:
+            self._abort(handle, reason=_abort_reason(exc))
             raise
         fired = self._commit(handle)
         self._run_fired_actions(fired)
@@ -412,15 +489,17 @@ class Database:
                 fired = self.triggers.evaluate(txn)
             else:
                 fired = []
-        except BaseException:
-            self._abort(handle)
+        except BaseException as exc:
+            self._abort(handle, reason=_abort_reason(exc))
             raise
         self.store.commit(txn)
+        self._txn_commits.inc()
         handle._done = True
         self._txn = None
         return fired
 
-    def _abort(self, handle: Transaction) -> None:
+    def _abort(self, handle: Transaction, reason: str = "error") -> None:
+        self.metrics.counter("txn.aborts", reason=reason).inc()
         # Keep the transaction's locks through the cache reload: once the
         # locks drop, another thread may start rewriting the very objects
         # we are restoring.
@@ -561,11 +640,11 @@ class Database:
         try:
             action.thunk()
         except Exception as exc:
-            self._abort(handle)
+            self._abort(handle, reason=_abort_reason(exc))
             return [], exc
-        except BaseException:
+        except BaseException as exc:
             # KeyboardInterrupt/SystemExit: abort and propagate.
-            self._abort(handle)
+            self._abort(handle, reason=_abort_reason(exc))
             raise
         try:
             return self._commit(handle), None
@@ -1187,8 +1266,13 @@ class Database:
             name: self.store.fragmentation(name)
             for name in self.clusters()
         }
-        return {
-            "buffer_pool": store_stats["pool"],
+        pool = store_stats["pool"]
+        lookups = pool["hits"] + pool["misses"]
+        buffer = dict(pool)
+        buffer["hit_ratio"] = (pool["hits"] / lookups) if lookups else 0.0
+        out = {
+            # Canonical component namespaces.
+            "buffer": buffer,
             "page_cache": store_stats["page_cache"],
             "decoded_cache": self._decoded.stats(),
             "fragmentation": fragmentation,
@@ -1202,8 +1286,21 @@ class Database:
             "plan_cache": self.plan_cache.stats(),
             "clusters": self.cluster_stats.snapshot(),
             "locks": store_stats["locks"],
+            "txn": {
+                "commits": self._txn_commits.value,
+                "aborts": self.metrics.get("txn.aborts") or 0,
+                "active": len(self.store._journal.active),
+            },
+            "query": {
+                "count": self._query_count.value,
+                "slow": self._query_slow.value,
+            },
             "pages": store_stats["pages"],
         }
+        # Compatibility shim: older tooling parsed --stats output keyed
+        # by "buffer_pool"; keep it as an alias of the canonical dict.
+        out["buffer_pool"] = out["buffer"]
+        return out
 
     def set_durability(self, mode: str, group_size: Optional[int] = None,
                        group_window: Optional[float] = None) -> None:
@@ -1260,6 +1357,11 @@ class Database:
         if self._dirty or self.cluster_stats.dirty():
             with self._implicit_txn() as txn:
                 self.cluster_stats.persist_all(txn)
+        if len(self.events):
+            try:
+                self.events.save(str(self.store.path) + ".events")
+            except OSError:
+                pass  # an unwritable sidecar must not block close()
         self.store.close()
         self._cache.clear()
         self._vcache.clear()
@@ -1304,7 +1406,7 @@ class _ImplicitTxn:
             return False
         db = self._db
         if exc_type is not None:
-            db._abort(self._handle)
+            db._abort(self._handle, reason=_abort_reason(exc))
             return False
         fired = db._commit(self._handle)
         db._run_fired_actions(fired)

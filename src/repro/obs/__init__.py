@@ -1,0 +1,25 @@
+"""Observability primitives: metrics registry, event ring, query tracing.
+
+This package is deliberately dependency-free within the engine — storage
+and query layers import *it*, never the other way around. Three pieces:
+
+- :mod:`repro.obs.metrics` — counters / gauges / fixed-bucket histograms
+  under a dotted namespace, plus Prometheus text exposition and a tiny
+  validating parser for it.
+- :mod:`repro.obs.events` — a bounded ring buffer of notable engine
+  events (slow queries, long lock waits, deadlocks, group-commit
+  flushes, vacuum runs) with a JSONL sidecar for post-mortem reads.
+- :mod:`repro.obs.trace` — per-operator spans recorded onto a plan tree
+  during a traced query and rendered as an ``explain analyze`` block.
+"""
+
+from .events import EventLog, load_events
+from .metrics import (Counter, Gauge, Histogram, MetricsRegistry,
+                      PromParseError, parse_prometheus, render_prometheus)
+from .trace import QueryTracer, Span, render_trace
+
+__all__ = [
+    "Counter", "Gauge", "Histogram", "MetricsRegistry", "PromParseError",
+    "parse_prometheus", "render_prometheus",
+    "EventLog", "load_events", "QueryTracer", "Span", "render_trace",
+]

@@ -1,0 +1,111 @@
+"""Bounded ring buffer of notable engine events.
+
+Captures the moments worth a post-mortem: slow queries, lock waits past
+a deadline, deadlock victim/waits-for snapshots, group-commit flushes,
+and vacuum/placement runs. The ring is a ``collections.deque`` with a
+``maxlen`` — ``append`` on a deque is a single C call, so emitting from
+concurrent transaction threads is safe under the GIL without a lock.
+
+Events persist across sessions via a JSONL sidecar (``<db>.odb.events``)
+written on :meth:`Database.close`, which is what ``python -m repro
+events DB.odb`` reads.
+"""
+
+from __future__ import annotations
+
+import itertools
+import json
+import os
+import time
+from collections import deque
+from typing import Dict, List, Optional
+
+
+class EventLog:
+    """Fixed-capacity ring of ``{"seq", "ts", "kind", "data"}`` events."""
+
+    #: default thresholds, overridable per instance
+    SLOW_QUERY_MS = 100.0
+    LONG_LOCK_WAIT_MS = 100.0
+
+    def __init__(self, capacity: int = 512,
+                 slow_query_ms: Optional[float] = None,
+                 long_lock_wait_ms: Optional[float] = None):
+        self.capacity = capacity
+        self._ring: deque = deque(maxlen=capacity)
+        self._seq = itertools.count(1)
+        self.slow_query_ms = (self.SLOW_QUERY_MS if slow_query_ms is None
+                              else slow_query_ms)
+        self.long_lock_wait_ms = (self.LONG_LOCK_WAIT_MS
+                                  if long_lock_wait_ms is None
+                                  else long_lock_wait_ms)
+
+    # ns-denominated views of the thresholds, for hot paths that compare
+    # perf_counter_ns deltas directly.
+    @property
+    def slow_query_ns(self) -> float:
+        return self.slow_query_ms * 1e6
+
+    @property
+    def long_lock_wait_ns(self) -> float:
+        return self.long_lock_wait_ms * 1e6
+
+    def emit(self, kind: str, **data) -> Dict:
+        """Record an event. *data* values must be JSON-serializable."""
+        event = {
+            "seq": next(self._seq),
+            "ts": time.time(),
+            "kind": kind,
+            "data": data,
+        }
+        self._ring.append(event)     # atomic: deque.append is one C call
+        return event
+
+    def snapshot(self, kind: Optional[str] = None,
+                 limit: Optional[int] = None) -> List[Dict]:
+        """Events oldest-first, optionally filtered by *kind* / truncated."""
+        events = list(self._ring)
+        if kind is not None:
+            events = [e for e in events if e["kind"] == kind]
+        if limit is not None:
+            events = events[-limit:]
+        return events
+
+    def clear(self) -> None:
+        self._ring.clear()
+
+    def __len__(self) -> int:
+        return len(self._ring)
+
+    # -- sidecar persistence ---------------------------------------------
+    def save(self, path: str) -> None:
+        """Merge this ring into the JSONL sidecar at *path*.
+
+        Existing events are kept (oldest first) and the file is truncated
+        to the ring capacity, so the sidecar behaves like a durable
+        continuation of the in-memory ring.
+        """
+        merged = load_events(path) + list(self._ring)
+        merged = merged[-self.capacity:]
+        tmp = path + ".tmp"
+        with open(tmp, "w") as fh:
+            for event in merged:
+                fh.write(json.dumps(event, sort_keys=True) + "\n")
+        os.replace(tmp, path)
+
+
+def load_events(path: str) -> List[Dict]:
+    """Read a JSONL event sidecar; missing or torn lines are skipped."""
+    if not os.path.exists(path):
+        return []
+    events: List[Dict] = []
+    with open(path) as fh:
+        for line in fh:
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                events.append(json.loads(line))
+            except ValueError:
+                continue            # torn tail line from a crash
+    return events

@@ -277,6 +277,23 @@ class Forall(Node):
         self.body = body
 
 
+class Explain(Node):
+    """``explain [analyze] forall ...`` — print the query plan.
+
+    ``explain`` is a *soft* keyword (still a valid identifier elsewhere).
+    With ``analyze`` the query is executed under tracing and the
+    per-operator measurements are printed after the plan. *query* is a
+    :class:`Forall` whose body is typically the empty statement.
+    """
+
+    __slots__ = ("query", "analyze")
+
+    def __init__(self, query: "Forall", analyze: bool, line: int = 0):
+        super().__init__(line)
+        self.query = query
+        self.analyze = analyze
+
+
 class ForIn(Node):
     """``for x in set_expr stmt`` — iteration over a set value."""
 

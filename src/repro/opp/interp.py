@@ -34,6 +34,7 @@ optionally echoed to a stream).
 from __future__ import annotations
 
 import math
+import time
 from typing import Any, Callable, Dict, List, Optional
 
 from ..core.database import Database
@@ -436,6 +437,17 @@ class Interpreter:
                 continue
 
     def _stmt_Forall(self, node: ast.Forall, scope: Scope) -> None:
+        started = time.perf_counter_ns()
+        rows_seen = 0
+        try:
+            rows_seen = self._run_forall(node, scope)
+        finally:
+            record = getattr(self.db, "_record_query", None)
+            if record is not None:
+                record("opp.forall", "forall at line %d" % node.line,
+                       time.perf_counter_ns() - started, rows_seen)
+
+    def _run_forall(self, node: ast.Forall, scope: Scope) -> int:
         iterables = [(var, self._forall_source(src, deep, scope, node.line))
                      for var, src, deep in node.sources]
         rows = self._forall_optimized(iterables, node, scope)
@@ -454,7 +466,9 @@ class Interpreter:
         inner = Scope(scope)
         for var, _ in iterables:
             inner.declare(var, None)
+        seen = 0
         for binding in rows:
+            seen += 1
             for (var, _), value in zip(iterables, binding):
                 inner.vars[var] = value
             try:
@@ -463,6 +477,7 @@ class Interpreter:
                 break
             except _Continue:
                 continue
+        return seen
 
     def _forall_optimized(self, iterables, node: ast.Forall, scope: Scope):
         """Try to run a single-cluster suchthat through the query optimizer.
@@ -579,6 +594,99 @@ class Interpreter:
         if value is None:
             raise OppRuntimeError("forall over null", line=line)
         return value
+
+    def _stmt_Explain(self, node: ast.Explain, scope: Scope) -> None:
+        """``explain [analyze] forall ...`` — print plan (and trace)."""
+        query = self._build_query(node.query, scope)
+        text = query.explain(analyze=node.analyze)
+        self.output.append(text + "\n")
+
+    def _build_query(self, fnode: ast.Forall, scope: Scope):
+        """Lower an O++ forall header to a :class:`repro.query.Forall`.
+
+        Compilable suchthat clauses become introspectable predicates (so
+        the optimizer can pick indexes / hash joins and ``explain`` shows
+        the real plan); opaque clauses fall back to an interpreted row
+        check, which still executes faithfully under ``analyze`` but
+        plans as a filtered scan / nested loop.
+        """
+        from ..query.iterate import Forall as QueryForall
+        iterables = [(var, self._forall_source(src, deep, scope,
+                                               fnode.line))
+                     for var, src, deep in fnode.sources]
+        var_names = [var for var, _ in iterables]
+        query = QueryForall(*[source for _, source in iterables])
+        if fnode.suchthat is not None:
+            if len(iterables) == 1:
+                pred = self._compile_predicate(fnode.suchthat, var_names[0],
+                                               scope)
+            else:
+                pred = self._compile_join_predicate(fnode.suchthat,
+                                                    var_names, scope)
+            if pred is None:
+                def row_check(*binding):
+                    inner = Scope(scope)
+                    for name, value in zip(var_names, binding):
+                        inner.declare(name, value)
+                    return bool(self.eval(fnode.suchthat, inner))
+                pred = row_check
+            query = query.suchthat(pred)
+        if fnode.by is not None:
+            def sort_key(*binding):
+                inner = Scope(scope)
+                for name, value in zip(var_names, binding):
+                    inner.declare(name, value)
+                return self.eval(fnode.by, inner)
+            query = query.by(sort_key, desc=fnode.by_desc)
+        return query
+
+    def _compile_join_predicate(self, expr: ast.Node, var_names, scope):
+        """Compile a multi-variable suchthat to a V[...] predicate, or None.
+
+        ``vari->f op varj->g`` becomes a join comparison (hash-joinable
+        when op is ``==``); ``vari->f op constant`` becomes a per-source
+        restriction pushed into that source's scan.
+        """
+        from ..query.predicates import And, VarAttrExpr
+        if isinstance(expr, ast.Binary) and expr.op == "&&":
+            left = self._compile_join_predicate(expr.left, var_names, scope)
+            right = self._compile_join_predicate(expr.right, var_names,
+                                                 scope)
+            if left is None or right is None:
+                return None
+            return And(left, right)
+        if isinstance(expr, ast.Binary) and expr.op in (
+                "==", "!=", "<", "<=", ">", ">="):
+            lhs = self._any_var_field(expr.left, var_names)
+            rhs = self._any_var_field(expr.right, var_names)
+            op = expr.op
+            if lhs is not None and rhs is not None:
+                return VarAttrExpr(*lhs)._compare(op, VarAttrExpr(*rhs))
+            if lhs is None and rhs is None:
+                return None
+            other = expr.right if lhs is not None else expr.left
+            if lhs is None:
+                lhs = rhs
+                op = {"<": ">", "<=": ">=", ">": "<",
+                      ">=": "<="}.get(op, op)
+            for name in var_names:
+                if self._mentions_var(other, name):
+                    return None
+            try:
+                value = self.eval(other, scope)
+            except Exception:
+                return None
+            return VarAttrExpr(*lhs)._compare(op, self._as_ref(value))
+        return None
+
+    @staticmethod
+    def _any_var_field(node: ast.Node, var_names):
+        """``vari->field`` -> ``(i, field)`` for any loop variable."""
+        if (isinstance(node, ast.Member)
+                and isinstance(node.target, ast.Name)
+                and node.target.ident in var_names):
+            return var_names.index(node.target.ident), node.field
+        return None
 
     def _stmt_Return(self, node: ast.Return, scope: Scope) -> None:
         value = None if node.value is None else self.eval(node.value, scope)

@@ -401,6 +401,13 @@ class Parser:
                 self.advance()
                 body = self.block()
                 return ast.TransactionBlock(body, line=tok.line)
+        if tok.kind == "ident" and tok.value == "explain":
+            # Soft keyword: only a statement when followed by `forall`
+            # or `analyze` — `explain` stays usable as a variable name.
+            nxt = self.peek(1)
+            if ((nxt.kind == "keyword" and nxt.value == "forall")
+                    or (nxt.kind == "ident" and nxt.value == "analyze")):
+                return self._explain_stmt()
         if self._at_type():
             return self._var_decl_stmt()
         expr = self.expression()
@@ -485,6 +492,17 @@ class Parser:
         source = self.expression()
         body = self.statement()
         return ast.ForIn(var, source, body, line=line)
+
+    def _explain_stmt(self) -> ast.Explain:
+        line = self.advance().line  # 'explain'
+        analyze = False
+        if self.check("ident", "analyze"):
+            self.advance()
+            analyze = True
+        if not self.check("keyword", "forall"):
+            raise self.error("expected 'forall' after 'explain'")
+        query = self._forall_stmt()
+        return ast.Explain(query, analyze, line=line)
 
     def _forall_stmt(self) -> ast.Forall:
         line = self.peek().line

@@ -60,6 +60,11 @@ class Forall:
         #: (re-validated against the database's index-DDL epoch).
         self._plan = None
         self._plan_epoch = -1
+        #: Tracing: off by default (the untraced path is byte-for-byte
+        #: the pre-tracing code); trace() turns it on, last_trace holds
+        #: the span tree of the most recent traced run.
+        self._trace_on = False
+        self._last_trace = None
 
     # -- clause builders (each returns self for chaining) ---------------------
 
@@ -79,12 +84,35 @@ class Forall:
             self._order.append((key, desc))
         return self
 
+    def trace(self, on: bool = True) -> "Forall":
+        """Record per-operator spans (rows, pages, time) while iterating.
+
+        After a traced iteration, :attr:`last_trace` holds the span tree
+        and ``explain(analyze=True)`` renders it. Tracing materializes
+        each operator stage (so time and IO attribute cleanly), trading
+        laziness for measurement — leave it off on hot paths.
+        """
+        self._trace_on = on
+        return self
+
+    @property
+    def last_trace(self):
+        """Root :class:`~repro.obs.trace.Span` of the last traced run."""
+        return self._last_trace
+
     # -- execution ------------------------------------------------------------
 
     def __iter__(self) -> Iterator:
+        if self._trace_on:
+            if len(self._sources) == 1:
+                return self._iter_single_traced()
+            return self._iter_join_traced()
         if len(self._sources) == 1:
             return self._iter_single()
         return self._iter_join()
+
+    def _db(self):
+        return getattr(self._sources[0], "db", None)
 
     def _single_plan(self):
         """The access plan for a one-source iteration.
@@ -131,6 +159,112 @@ class Forall:
         if not isinstance(key, AttrExpr):
             return False
         return isinstance(plan, IndexRange) and plan.field == key.name
+
+    # -- traced execution --------------------------------------------------
+
+    def _iter_single_traced(self) -> Iterator:
+        from ..obs.trace import QueryTracer
+        plan = self._single_plan()
+        db = self._db()
+        tracer = QueryTracer(db, "forall", "1 source")
+        root = tracer.root
+        scan = root.child("scan", plan.describe())
+        with tracer.measure(root):
+            with tracer.measure(scan):
+                rows = list(plan.execute(span=scan))
+            if self._order and not (self._plan_orders_by(plan)
+                                    and not self._order[0][1]):
+                sort = root.child("sort", "%d key(s)" % len(self._order))
+                sort.rows_in = len(rows)
+                with tracer.measure(sort):
+                    rows = self._sorted(rows)
+                sort.rows_out = len(rows)
+            if self._limit is not None:
+                lim = root.child("limit", "n=%d" % self._limit)
+                lim.rows_in = len(rows)
+                rows = rows[:self._limit]
+                lim.rows_out = len(rows)
+            root.rows_in = scan.rows_in
+            root.rows_out = len(rows)
+        plan.last_span = scan
+        self._last_trace = root
+        self._record_traced(db, plan.describe(), root)
+        return iter(rows)
+
+    def _iter_join_traced(self) -> Iterator[Tuple]:
+        from ..obs.trace import QueryTracer
+        db = self._db()
+        tracer = QueryTracer(db, "forall", "%d sources" % len(self._sources))
+        root = tracer.root
+        with tracer.measure(root):
+            if self._join_keys is not None:
+                root.detail += ", hash equijoin"
+                rows = list(self._iter_hash_join())
+            elif is_multivar(self._pred):
+                root.detail += ", fused join"
+                rows = self._iter_fused_join_traced(tracer)
+            else:
+                root.detail += ", nested loop"
+                pred = self._pred
+                if pred is None:
+                    row_check = None
+                elif callable(pred) and not isinstance(pred, Predicate):
+                    row_check = _row_filter(pred)
+                else:
+                    raise QueryError(
+                        "multi-variable suchthat takes a callable of %d "
+                        "arguments or a V[...] predicate"
+                        % len(self._sources))
+                rows = list(self._cross_product(row_check))
+            if self._order:
+                sort = root.child("sort", "%d key(s)" % len(self._order))
+                sort.rows_in = len(rows)
+                with tracer.measure(sort):
+                    rows = self._sorted_tuples(rows)
+                sort.rows_out = len(rows)
+            if self._limit is not None:
+                lim = root.child("limit", "n=%d" % self._limit)
+                lim.rows_in = len(rows)
+                rows = rows[:self._limit]
+                lim.rows_out = len(rows)
+            root.rows_out = len(rows)
+        self._last_trace = root
+        self._record_traced(db, root.detail, root)
+        return iter(rows)
+
+    def _iter_fused_join_traced(self, tracer) -> List[Tuple]:
+        """Traced counterpart of :meth:`_iter_fused_join`: each scan and
+        each join step is materialized under its own measured span."""
+        plans, eq_pairs, residual_at = self._fusion()
+        arity = len(self._sources)
+        root = tracer.root
+        scan0 = root.child("scan V[0]", plans[0].describe())
+        with tracer.measure(scan0):
+            rows = [(obj,) for obj in plans[0].execute(span=scan0)]
+            for check in residual_at[0]:
+                rows = [row for row in rows if check(row)]
+        for k in range(1, arity):
+            keys = [_orient(jc, k) for jc in eq_pairs
+                    if max(jc.lvar, jc.rvar) == k]
+            scan_k = root.child("scan V[%d]" % k, plans[k].describe())
+            with tracer.measure(scan_k):
+                items = list(plans[k].execute(span=scan_k))
+            join = root.child("hash join" if keys else "nested-loop join",
+                              "V[0..%d] x V[%d] (%d key(s))"
+                              % (k - 1, k, len(keys)))
+            join.rows_in = len(rows) + len(items)
+            with tracer.measure(join):
+                rows = list(self._join_step(iter(rows), plans, k, keys,
+                                            residual_at[k], right=items))
+            join.rows_out = len(rows)
+        root.rows_in = scan0.rows_in
+        return rows
+
+    def _record_traced(self, db, detail: str, root) -> None:
+        record = getattr(db, "_record_query", None) if db is not None \
+            else None
+        if record is not None:
+            record("forall", detail, root.ns, root.rows_out)
 
     def _iter_join(self) -> Iterator[Tuple]:
         if self._join_keys is not None:
@@ -225,16 +359,21 @@ class Forall:
 
     def _join_step(self, rows: Iterator[Tuple], plans, k: int,
                    keys: List[Tuple[int, str, str]],
-                   checks: List[Callable]) -> Iterator[Tuple]:
+                   checks: List[Callable], right=None) -> Iterator[Tuple]:
         """Extend each prefix row with source *k*.
 
         *keys* holds ``(probe_var, probe_attr, build_attr)`` triples: the
         hash table over source *k* is keyed on the build attrs, probed
         with the prefix row's attrs. Without keys this degenerates to a
-        (filtered) cross product.
+        (filtered) cross product. *right* overrides where source *k*'s
+        rows come from (the traced path pre-materializes them under a
+        measured span); by default the plan executes here. Every branch
+        consumes *right* exactly once.
         """
+        if right is None:
+            right = plans[k].execute()
         if not keys:
-            items = list(plans[k].execute())
+            items = list(right)
             for row in rows:
                 for obj in items:
                     new = row + (obj,)
@@ -247,7 +386,7 @@ class Forall:
             for row in rows:
                 probe = tuple(getattr(row[v], a) for v, a, _ in keys)
                 table.setdefault(probe, []).append(row)
-            for obj in plans[1].execute():
+            for obj in right:
                 build = tuple(getattr(obj, b) for _, _, b in keys)
                 for row in table.get(build, ()):
                     new = row + (obj,)
@@ -255,7 +394,7 @@ class Forall:
                         yield new
             return
         table = {}
-        for obj in plans[k].execute():
+        for obj in right:
             build = tuple(getattr(obj, b) for _, _, b in keys)
             table.setdefault(build, []).append(obj)
         for row in rows:
@@ -350,8 +489,28 @@ class Forall:
     def count(self) -> int:
         return sum(1 for _ in self)
 
-    def explain(self) -> str:
-        """Human-readable description of the chosen plan."""
+    def explain(self, analyze: bool = False) -> str:
+        """Human-readable description of the chosen plan.
+
+        With *analyze=True* the query is actually executed with tracing
+        on and the per-operator measurements (rows in/out, pages touched,
+        cache hits, wall time) are appended to the plan text.
+        """
+        text = self._explain_plan()
+        if not analyze:
+            return text
+        from ..obs.trace import render_trace
+        was_on = self._trace_on
+        self._trace_on = True
+        try:
+            for _ in self:
+                pass
+        finally:
+            self._trace_on = was_on
+        return text + "\nanalyze:\n" + "\n".join(
+            "  " + line for line in render_trace(self._last_trace))
+
+    def _explain_plan(self) -> str:
         if len(self._sources) != 1:
             if self._join_keys is not None:
                 return "hash equijoin over %d sources" % len(self._sources)

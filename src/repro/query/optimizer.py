@@ -79,8 +79,17 @@ class Plan:
     estimated_rows: float = 0.0
     #: Estimated execution cost in cost-model units.
     estimated_cost: float = 0.0
+    #: The operator span from the most recent traced execution (set by
+    #: the iteration layer when tracing is on; None otherwise).
+    last_span = None
 
-    def execute(self) -> Iterator:
+    def execute(self, span=None) -> Iterator:
+        """Iterate the plan's rows.
+
+        *span* (a :class:`repro.obs.trace.Span`) turns on row accounting
+        at batch granularity; when it is None — the default — every plan
+        runs its original untraced code path.
+        """
         raise NotImplementedError
 
     def describe(self) -> str:
@@ -104,26 +113,56 @@ class FullScan(Plan):
         self.source = source
         self.pred = pred
 
-    def execute(self) -> Iterator:
+    def execute(self, span=None) -> Iterator:
         pred = self.pred
         iter_batches = getattr(self.source, "iter_batches", None)
         if iter_batches is None:
             if isinstance(pred, TrueP):
-                return iter(self.source)
-            check = pred.compiled() if isinstance(pred, Predicate) else pred
-            return (obj for obj in self.source if check(obj))
-        if isinstance(pred, TrueP):
-            return (obj for batch in iter_batches() for obj in batch)
-        check = pred.compiled() if isinstance(pred, Predicate) else pred
+                check = None
+            else:
+                check = (pred.compiled() if isinstance(pred, Predicate)
+                         else pred)
+            if span is None:
+                if check is None:
+                    return iter(self.source)
+                return (obj for obj in self.source if check(obj))
 
-        def batched() -> Iterator:
+            def counted() -> Iterator:
+                for obj in self.source:
+                    span.rows_in += 1
+                    if check is None or check(obj):
+                        span.rows_out += 1
+                        yield obj
+            return counted()
+        if isinstance(pred, TrueP):
+            if span is None:
+                return (obj for batch in iter_batches() for obj in batch)
+
+            def passthrough() -> Iterator:
+                for batch in iter_batches():
+                    span.rows_in += len(batch)
+                    span.rows_out += len(batch)
+                    yield from batch
+            return passthrough()
+        check = pred.compiled() if isinstance(pred, Predicate) else pred
+        if span is None:
+            def batched() -> Iterator:
+                for batch in iter_batches():
+                    # One list-comprehension pass per page: the filter loop
+                    # runs in C instead of hopping through a generator chain.
+                    matched = [obj for obj in batch if check(obj)]
+                    if matched:
+                        yield from matched
+            return batched()
+
+        def batched_traced() -> Iterator:
             for batch in iter_batches():
-                # One list-comprehension pass per page: the filter loop
-                # runs in C instead of hopping through a generator chain.
+                span.rows_in += len(batch)
                 matched = [obj for obj in batch if check(obj)]
+                span.rows_out += len(matched)
                 if matched:
                     yield from matched
-        return batched()
+        return batched_traced()
 
     def describe(self) -> str:
         return ("full scan of %r filter %r" % (self.source, self.pred)
@@ -136,13 +175,14 @@ class FullScan(Plan):
 INDEX_BATCH = 32
 
 
-def _batched_matches(db, cluster: str, serials, check) -> Iterator:
+def _batched_matches(db, cluster: str, serials, check, span=None) -> Iterator:
     """Materialize *serials*, applying *check* a chunk at a time.
 
     The deref path behind this hits the database's decoded-object cache,
     so re-visiting an unchanged object costs page-LSN validations, not
     directory probes + decodes. Yield order follows *serials* (index key
-    order), which ordered iteration relies on.
+    order), which ordered iteration relies on. *span* adds row accounting
+    at chunk granularity (traced executions only).
     """
     from ..core.oid import Oid
     cache = db._cache
@@ -156,12 +196,20 @@ def _batched_matches(db, cluster: str, serials, check) -> Iterator:
                 continue
         chunk.append(obj)
         if len(chunk) >= INDEX_BATCH:
-            yield from (chunk if check is None
-                        else [o for o in chunk if check(o)])
+            matched = (chunk if check is None
+                       else [o for o in chunk if check(o)])
+            if span is not None:
+                span.rows_in += len(chunk)
+                span.rows_out += len(matched)
+            yield from matched
             chunk = []
     if chunk:
-        yield from (chunk if check is None
-                    else [o for o in chunk if check(o)])
+        matched = (chunk if check is None
+                   else [o for o in chunk if check(o)])
+        if span is not None:
+            span.rows_in += len(chunk)
+            span.rows_out += len(matched)
+        yield from matched
 
 
 class IndexEquality(Plan):
@@ -173,7 +221,7 @@ class IndexEquality(Plan):
         self.value = value
         self.residual = residual
 
-    def execute(self) -> Iterator:
+    def execute(self, span=None) -> Iterator:
         db = self.handle.db
         self._flush_pending(db)
         cluster = self.handle.name
@@ -181,7 +229,7 @@ class IndexEquality(Plan):
         check = (None if isinstance(self.residual, TrueP)
                  else self.residual.compiled())
         serials = db.store.index_search(cluster, self.field, self.value)
-        return _batched_matches(db, cluster, serials, check)
+        return _batched_matches(db, cluster, serials, check, span)
 
     def _flush_pending(self, db) -> None:
         if db._txn is not None and db._dirty:
@@ -206,7 +254,7 @@ class IndexRange(Plan):
         self.hi_strict = hi_strict
         self.residual = residual
 
-    def execute(self) -> Iterator:
+    def execute(self, span=None) -> Iterator:
         db = self.handle.db
         if db._txn is not None and db._dirty:
             db._flush(db._txn.txn_id)
@@ -222,7 +270,7 @@ class IndexRange(Plan):
                 if self.lo_strict and key == self.lo:
                     continue
                 yield serial
-        yield from _batched_matches(db, cluster, serials(), check)
+        yield from _batched_matches(db, cluster, serials(), check, span)
 
     def describe(self) -> str:
         lo_b = "(" if self.lo_strict else "["
@@ -253,7 +301,7 @@ class CompositeScan(Plan):
         self.hi_strict = hi_strict
         self.residual = residual
 
-    def execute(self) -> Iterator:
+    def execute(self, span=None) -> Iterator:
         db = self.handle.db
         if db._txn is not None and db._dirty:
             db._flush(db._txn.txn_id)
@@ -278,7 +326,7 @@ class CompositeScan(Plan):
                                             and key[k] == self.hi):
                         break
                 yield serial
-        yield from _batched_matches(db, cluster, serials(), check)
+        yield from _batched_matches(db, cluster, serials(), check, span)
 
     def describe(self) -> str:
         bound = ""

@@ -37,6 +37,7 @@ from distinct threads.
 from __future__ import annotations
 
 import threading
+import time
 from collections import defaultdict
 from typing import Dict, Hashable, List, Optional, Set, Tuple
 
@@ -122,6 +123,38 @@ class LockManager:
         self.grants = 0
         self.waits = 0
         self.deadlocks = 0
+        # observability hooks (attach_observability wires the real ones)
+        self._obs_wait_hist = None
+        self._obs_events = None
+
+    #: lock-wait histogram buckets, nanoseconds (10µs .. 5s)
+    WAIT_NS_BUCKETS = (1e4, 1e5, 1e6, 1e7, 1e8, 1e9, 5e9)
+
+    def attach_observability(self, metrics, events) -> None:
+        """Register the lock counters with a metrics registry and start
+        emitting lock-wait / deadlock events. Separate from the
+        constructor so standalone unit tests need no registry."""
+        metrics.counter_fn("lock.grants", lambda: self.grants)
+        metrics.counter_fn("lock.waits", lambda: self.waits)
+        metrics.counter_fn("lock.deadlocks", lambda: self.deadlocks)
+        metrics.gauge_fn(
+            "lock.held",
+            lambda: sum(len(r) for r in list(self._held.values())))
+        self._obs_wait_hist = metrics.histogram("lock.wait_ns",
+                                                self.WAIT_NS_BUCKETS)
+        self._obs_events = events
+
+    def _record_wait(self, txn: int, resource: Hashable, wait_start: int,
+                     outcome: str) -> None:
+        """Observe a finished wait (called with ``self._cond`` held)."""
+        waited_ns = time.perf_counter_ns() - wait_start
+        if self._obs_wait_hist is not None:
+            self._obs_wait_hist.observe(waited_ns)
+        if (self._obs_events is not None
+                and waited_ns >= self._obs_events.long_lock_wait_ns):
+            self._obs_events.emit("lock_wait", txn=txn,
+                                  resource=repr(resource),
+                                  wait_ms=waited_ns / 1e6, outcome=outcome)
 
     # -- public API ------------------------------------------------------------
 
@@ -132,23 +165,36 @@ class LockManager:
             raise LockError("unknown lock mode %r" % mode)
         with self._cond:
             deadline = None
-            while True:
-                target = self._target_mode(txn, resource, mode)
-                if target is None:  # held mode already covers the request
-                    return
-                if self._compatible(txn, resource, target):
-                    self._grant(txn, resource, target)
-                    return
-                self._check_deadlock(txn, resource)
-                self._waiting_for[txn] = resource
-                self.waits += 1
-                if deadline is None:
-                    deadline = self.wait_timeout
-                if not self._cond.wait(timeout=deadline):
-                    del self._waiting_for[txn]
-                    raise LockTimeoutError(
-                        "txn %d timed out waiting for %r" % (txn, resource))
-                self._waiting_for.pop(txn, None)
+            wait_start = 0
+            outcome = "granted"
+            try:
+                while True:
+                    target = self._target_mode(txn, resource, mode)
+                    if target is None:  # held mode already covers the request
+                        return
+                    if self._compatible(txn, resource, target):
+                        self._grant(txn, resource, target)
+                        return
+                    self._check_deadlock(txn, resource)
+                    self._waiting_for[txn] = resource
+                    self.waits += 1
+                    if wait_start == 0:
+                        wait_start = time.perf_counter_ns()
+                    if deadline is None:
+                        deadline = self.wait_timeout
+                    if not self._cond.wait(timeout=deadline):
+                        del self._waiting_for[txn]
+                        outcome = "timeout"
+                        raise LockTimeoutError(
+                            "txn %d timed out waiting for %r"
+                            % (txn, resource))
+                    self._waiting_for.pop(txn, None)
+            except DeadlockError:
+                outcome = "deadlock"
+                raise
+            finally:
+                if wait_start:
+                    self._record_wait(txn, resource, wait_start, outcome)
 
     def release_all(self, txn: int) -> None:
         """Release every lock held by *txn* (end of strict 2PL)."""
@@ -228,6 +274,12 @@ class LockManager:
                 continue
             if txn in next_state.holders:
                 self.deadlocks += 1
+                if self._obs_events is not None:
+                    self._obs_events.emit(
+                        "deadlock", victim=txn, resource=repr(resource),
+                        holders=sorted(state.holders),
+                        waits_for={str(waiter): repr(res) for waiter, res
+                                   in self._waiting_for.items()})
                 raise DeadlockError(
                     "txn %d would deadlock waiting for %r" % (txn, resource))
             frontier |= set(next_state.holders) - visited

@@ -22,6 +22,7 @@ from collections import OrderedDict
 from typing import Any, Dict, Iterator, List, Optional, Tuple
 
 from ..errors import CatalogError, StorageError
+from ..obs import EventLog, MetricsRegistry
 from .btree import BTree
 from .codec import decode_value, encode_value
 from .buffer import DEFAULT_POOL_SIZE, BufferPool
@@ -78,6 +79,38 @@ class Store:
         self.page_cache_hits = 0
         self.page_cache_misses = 0
         self._closed = False
+        # Observability: one registry + event ring per store, shared with
+        # the Database layer. Components keep their plain-int counters
+        # (bumped under their existing locks) and the registry samples
+        # them lazily — absorbing the old stats() dicts costs nothing on
+        # the hot paths.
+        self.metrics = MetricsRegistry()
+        self.events = EventLog()
+        self._register_metrics()
+        self.locks.attach_observability(self.metrics, self.events)
+        self._wal.attach_observability(self.metrics, self.events)
+
+    def _register_metrics(self) -> None:
+        pool = self._pool
+        metrics = self.metrics
+        metrics.counter_fn("buffer.hits", lambda: pool.hits)
+        metrics.counter_fn("buffer.misses", lambda: pool.misses)
+        metrics.counter_fn("buffer.evictions", lambda: pool.evictions)
+        metrics.counter_fn("buffer.writebacks", lambda: pool.writebacks)
+        metrics.counter_fn("buffer.prefetches", lambda: pool.prefetches)
+        metrics.counter_fn("buffer.readahead_pages",
+                           lambda: pool.readahead_pages)
+        metrics.gauge_fn("buffer.hit_ratio",
+                         lambda: (pool.hits / (pool.hits + pool.misses))
+                         if (pool.hits + pool.misses) else 0.0)
+        metrics.gauge_fn("buffer.cached", lambda: len(pool._frames))
+        metrics.gauge_fn("buffer.capacity", lambda: pool.capacity)
+        metrics.counter_fn("page_cache.hits", lambda: self.page_cache_hits)
+        metrics.counter_fn("page_cache.misses",
+                           lambda: self.page_cache_misses)
+        metrics.gauge_fn("page_cache.cached_pages",
+                         lambda: len(self._page_cache))
+        metrics.gauge_fn("store.pages", lambda: self._pagefile.page_count)
 
     #: Pages per heap-growth extent for cluster heaps: objects of one
     #: cluster land in physically contiguous runs (cluster-local
@@ -490,6 +523,8 @@ class Store:
         Runs as its own transaction; returns ``{"objects": n, "pages_freed"
         : m}``.
         """
+        import time as _time
+        started = _time.perf_counter()
         txn = self.begin()
         # Take the cluster exclusively *before* latching (the lock can
         # block; the latch must not be held while it does), so concurrent
@@ -543,6 +578,9 @@ class Store:
             self.abort(txn)
             raise
         self.commit(txn)
+        self.events.emit("vacuum", cluster=cluster, objects=moved,
+                         pages_freed=len(old_pages),
+                         ms=(_time.perf_counter() - started) * 1e3)
         return {"objects": moved, "pages_freed": len(old_pages)}
 
     @staticmethod

@@ -196,7 +196,6 @@ class WriteAheadLog:
         self._end = self._base + self._file.tell() - _FILE_HDR.size
         self._flushed = self._end if exists else self._base
         self._closed = False
-        self.set_durability(durability, group_size, group_window)
         self._pending_commits = 0
         self._first_pending = 0.0
         # statistics
@@ -204,6 +203,28 @@ class WriteAheadLog:
         self.syncs = 0
         self.flush_calls = 0
         self.group_deferrals = 0
+        # observability hooks (attach_observability wires the real ones)
+        self._obs_hist = None
+        self._obs_events = None
+        self.set_durability(durability, group_size, group_window)
+
+    #: flush-batch-size histogram buckets (commits per fsync)
+    FLUSH_BATCH_BUCKETS = (1, 2, 4, 8, 16, 32, 64, 128)
+
+    def attach_observability(self, metrics, events) -> None:
+        """Register this log's counters with a metrics registry and start
+        emitting group-commit flush events. Keeps the constructor free of
+        observability dependencies for standalone unit tests."""
+        metrics.counter_fn("wal.appends", lambda: self.appends)
+        metrics.counter_fn("wal.syncs", lambda: self.syncs)
+        metrics.counter_fn("wal.flush_calls", lambda: self.flush_calls)
+        metrics.counter_fn("wal.group_deferrals",
+                           lambda: self.group_deferrals)
+        metrics.gauge_fn("wal.durability", lambda: self.durability)
+        metrics.gauge_fn("wal.end_lsn", lambda: self._end)
+        self._obs_hist = metrics.histogram("wal.flush_batch_size",
+                                           self.FLUSH_BATCH_BUCKETS)
+        self._obs_events = events
 
     def set_durability(self, mode: str, group_size: Optional[int] = None,
                        group_window: Optional[float] = None) -> None:
@@ -262,6 +283,7 @@ class WriteAheadLog:
         lsn = self.append({"type": LogRecordType.COMMIT, "txn": txn,
                            "prev_lsn": prev_lsn})
         if self.durability == "full":
+            self._pending_commits += 1
             self.flush()
         elif self.durability == "group":
             now = time.monotonic()
@@ -309,11 +331,19 @@ class WriteAheadLog:
         self.flush_calls += 1
         if up_to_lsn is not None and up_to_lsn <= self._flushed:
             return
+        batch = self._pending_commits
         self._file.flush()
         os.fsync(self._file.fileno())
         self._flushed = self._end
         self._pending_commits = 0
         self.syncs += 1
+        if batch:
+            if self._obs_hist is not None:
+                self._obs_hist.observe(batch)
+            if self._obs_events is not None and batch > 1:
+                self._obs_events.emit("group_commit_flush", commits=batch,
+                                      end_lsn=self._end,
+                                      durability=self.durability)
 
     # -- read side ------------------------------------------------------------
 

@@ -1,0 +1,150 @@
+"""Observability under concurrency: exact counters, deadlock events.
+
+ISSUE 4's instrumentation contract is that metrics stay *exact* under
+the PR 2 concurrent-transaction paths without adding locks: owned
+counters bump GIL-atomically, and sampled counters read component ints
+that are already bumped under that component's own lock.
+"""
+
+import threading
+
+import pytest
+
+from repro.core import Database, IntField, OdeObject
+from repro.errors import DeadlockError
+
+pytestmark = pytest.mark.concurrency
+
+
+class Slot(OdeObject):
+    n = IntField(default=0)
+
+
+def run_threads(workers):
+    errors = []
+
+    def guard(fn):
+        def wrapped():
+            try:
+                fn()
+            except BaseException as exc:  # noqa: BLE001
+                errors.append(exc)
+        return wrapped
+
+    threads = [threading.Thread(target=guard(fn)) for fn in workers]
+    for t in threads:
+        t.start()
+    for t in threads:
+        t.join(timeout=60)
+    assert not [t for t in threads if t.is_alive()], "threads hung"
+    return errors
+
+
+class TestExactCounters:
+    def test_commit_counter_exact_across_threads(self, db):
+        """N threads x M run_transaction each => exactly N*M+setup commits."""
+        db.create(Slot)
+        oids = []
+        with db.transaction():
+            for i in range(6):
+                oids.append(db.pnew(Slot, n=0).oid)
+        base = db.metrics.get("txn.commits")
+        n_threads, n_rounds = 6, 20
+
+        def worker(idx):
+            def body():
+                obj = db.deref(oids[idx])
+                obj.n += 1
+            return lambda: [db.run_transaction(body)
+                            for _ in range(n_rounds)]
+
+        errors = run_threads([worker(i) for i in range(n_threads)])
+        assert not errors
+        assert (db.metrics.get("txn.commits") - base
+                == n_threads * n_rounds)
+        for oid in oids:
+            assert db.deref(oid).n == n_rounds
+
+    def test_abort_counter_labels_by_reason(self, db):
+        db.create(Slot)
+        oid = db.pnew(Slot, n=0).oid
+
+        class Boom(Exception):
+            pass
+
+        with pytest.raises(Boom):
+            with db.transaction():
+                db.deref(oid).n = 1
+                raise Boom()
+        snap = db.metrics.snapshot()
+        assert snap.get('txn.aborts{reason="error"}') == 1
+
+
+class TestDeadlockEvents:
+    def test_deadlock_event_records_victim_and_holder(self, db):
+        """A real two-transaction deadlock emits an event naming both the
+        victim txn and the holder(s) it collided with."""
+        db.create(Slot)
+        a = db.pnew(Slot, n=0).oid
+        b = db.pnew(Slot, n=0).oid
+        barrier = threading.Barrier(2, timeout=30)
+        txn_ids = {}
+
+        def worker(name, mine, theirs):
+            def run():
+                try:
+                    with db.transaction() as handle:
+                        txn_ids[name] = handle.txn_id
+                        db.deref(mine).n += 1     # X lock on mine
+                        barrier.wait()            # both now hold one lock
+                        db.deref(theirs).n += 1   # closes the cycle
+                except Exception:
+                    pass  # victim (DeadlockError) or timeout: both fine
+            return run
+
+        errors = run_threads([worker("t1", a, b), worker("t2", b, a)])
+        assert not errors
+        assert db.store.locks.deadlocks >= 1
+        events = db.events.snapshot(kind="deadlock")
+        assert events, "deadlock fired but no event recorded"
+        data = events[-1]["data"]
+        assert data["victim"] in txn_ids.values()
+        holders = set(data["holders"])
+        assert holders & (set(txn_ids.values()) - {data["victim"]}), \
+            "event must name the holder the victim collided with"
+        assert data["waits_for"], "waits-for snapshot missing"
+        # sampled counter agrees with the component int
+        assert db.metrics.get("lock.deadlocks") == db.store.locks.deadlocks
+
+    def test_lock_wait_event_past_deadline(self, db):
+        db.create(Slot)
+        oid = db.pnew(Slot, n=0).oid
+        db.events.long_lock_wait_ms = 0.0  # every wait is "long" now
+        started = threading.Event()
+        release = threading.Event()
+
+        def holder():
+            with db.transaction():
+                db.deref(oid).n += 1     # X lock held until release fires
+                started.set()
+                release.wait(timeout=30)
+
+        def waiter():
+            started.wait(timeout=30)
+
+            def body():
+                db.deref(oid).n += 1
+            # Free the holder shortly after we park on its X lock.
+            timer = threading.Timer(0.3, release.set)
+            timer.start()
+            try:
+                db.run_transaction(body)
+            finally:
+                timer.cancel()
+                release.set()
+
+        errors = run_threads([holder, waiter])
+        assert not errors
+        waits = db.events.snapshot(kind="lock_wait")
+        assert waits, "no lock_wait event despite a blocked acquire"
+        assert waits[-1]["data"]["wait_ms"] > 0

@@ -1,0 +1,99 @@
+"""EventLog: ring bounds, thresholds, sidecar persistence, engine events."""
+
+import json
+
+from repro.core.database import Database
+from repro.obs import EventLog, load_events
+
+
+class TestRing:
+    def test_emit_and_snapshot(self):
+        log = EventLog()
+        log.emit("slow_query", detail="scan", ms=120.0)
+        events = log.snapshot()
+        assert len(events) == 1
+        assert events[0]["kind"] == "slow_query"
+        assert events[0]["data"]["ms"] == 120.0
+        assert events[0]["seq"] == 1
+
+    def test_capacity_bound(self):
+        log = EventLog(capacity=4)
+        for i in range(10):
+            log.emit("tick", i=i)
+        events = log.snapshot()
+        assert len(events) == 4
+        assert [e["data"]["i"] for e in events] == [6, 7, 8, 9]
+
+    def test_kind_filter_and_limit(self):
+        log = EventLog()
+        log.emit("a", n=1)
+        log.emit("b", n=2)
+        log.emit("a", n=3)
+        assert [e["data"]["n"] for e in log.snapshot(kind="a")] == [1, 3]
+        assert [e["data"]["n"] for e in log.snapshot(limit=1)] == [3]
+
+    def test_threshold_properties(self):
+        log = EventLog(slow_query_ms=50.0, long_lock_wait_ms=10.0)
+        assert log.slow_query_ns == 50e6
+        assert log.long_lock_wait_ns == 10e6
+
+
+class TestSidecar:
+    def test_save_and_load(self, tmp_path):
+        path = str(tmp_path / "db.odb.events")
+        log = EventLog(capacity=8)
+        log.emit("deadlock", victim=3)
+        log.save(path)
+        events = load_events(path)
+        assert len(events) == 1
+        assert events[0]["data"]["victim"] == 3
+
+    def test_save_merges_and_truncates(self, tmp_path):
+        path = str(tmp_path / "db.odb.events")
+        first = EventLog(capacity=4)
+        for i in range(3):
+            first.emit("tick", i=i)
+        first.save(path)
+        second = EventLog(capacity=4)
+        for i in range(3, 6):
+            second.emit("tick", i=i)
+        second.save(path)
+        events = load_events(path)
+        assert [e["data"]["i"] for e in events] == [2, 3, 4, 5]
+
+    def test_load_skips_torn_lines(self, tmp_path):
+        path = str(tmp_path / "torn.events")
+        with open(path, "w") as fh:
+            fh.write(json.dumps({"seq": 1, "ts": 0, "kind": "a",
+                                 "data": {}}) + "\n")
+            fh.write('{"seq": 2, "ts": 0, "kind"')  # crash mid-write
+        assert len(load_events(path)) == 1
+
+
+class TestEngineEvents:
+    def test_slow_query_event_recorded(self, db):
+        db.events.slow_query_ms = 0.0  # everything is "slow" now
+        db._record_query("forall", "test scan", 5_000_000, 10)
+        events = db.events.snapshot(kind="slow_query")
+        assert len(events) == 1
+        assert events[0]["data"]["ms"] == 5.0
+        assert events[0]["data"]["rows"] == 10
+
+    def test_fast_query_not_recorded(self, db):
+        db.events.slow_query_ms = 1000.0
+        db._record_query("forall", "test scan", 1_000, 10)
+        assert db.events.snapshot(kind="slow_query") == []
+
+    def test_close_persists_sidecar(self, db_path):
+        db = Database(db_path)
+        db.events.emit("vacuum", cluster="c", objects=1, pages_freed=0,
+                       ms=1.0)
+        db.close()
+        events = load_events(db_path + ".events")
+        assert any(e["kind"] == "vacuum" for e in events)
+
+    def test_close_without_events_writes_no_sidecar(self, db_path):
+        import os
+        db = Database(db_path)
+        db.close()
+        assert not os.path.exists(db_path + ".events")

@@ -1,0 +1,140 @@
+"""MetricsRegistry: counters, gauges, histograms, Prometheus round-trip."""
+
+import threading
+
+import pytest
+
+from repro.obs import (Counter, Histogram, MetricsRegistry, PromParseError,
+                       parse_prometheus, render_prometheus)
+
+
+class TestCounters:
+    def test_inc_and_value(self):
+        reg = MetricsRegistry()
+        c = reg.counter("txn.commits")
+        assert c.value == 0
+        c.inc()
+        c.inc(3)
+        assert c.value == 4
+
+    def test_same_name_same_instance(self):
+        reg = MetricsRegistry()
+        assert reg.counter("a.b") is reg.counter("a.b")
+
+    def test_labels_distinguish_instances(self):
+        reg = MetricsRegistry()
+        dead = reg.counter("txn.aborts", reason="deadlock")
+        err = reg.counter("txn.aborts", reason="error")
+        assert dead is not err
+        dead.inc(2)
+        err.inc()
+        assert reg.get("txn.aborts") == 3
+        assert reg.counter("txn.aborts", reason="deadlock").value == 2
+
+    def test_get_missing_is_none(self):
+        assert MetricsRegistry().get("no.such") is None
+
+    def test_concurrent_increments_exact(self):
+        """GIL-atomic bumps: no lost updates across threads."""
+        reg = MetricsRegistry()
+        c = reg.counter("hot")
+        n_threads, n_incs = 8, 10_000
+
+        def worker():
+            for _ in range(n_incs):
+                c.inc()
+
+        threads = [threading.Thread(target=worker)
+                   for _ in range(n_threads)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert c.value == n_threads * n_incs
+
+
+class TestGaugesAndSampling:
+    def test_gauge_set(self):
+        reg = MetricsRegistry()
+        g = reg.gauge("buffer.cached")
+        g.set(42)
+        assert g.value == 42
+
+    def test_sampled_counter_reads_live_value(self):
+        reg = MetricsRegistry()
+        state = {"n": 0}
+        reg.counter_fn("component.ticks", lambda: state["n"])
+        assert reg.snapshot()["component.ticks"] == 0
+        state["n"] = 7
+        assert reg.snapshot()["component.ticks"] == 7
+
+
+class TestHistogram:
+    def test_bucket_assignment(self):
+        h = Histogram("h", buckets=(10, 100, 1000))
+        for v in (5, 10, 50, 500, 5000):
+            h.observe(v)
+        assert h.count == 5
+        assert h.sum == 5565
+        assert h.counts == [2, 1, 1, 1]  # <=10, <=100, <=1000, +Inf
+
+    def test_registry_histogram_in_snapshot(self):
+        reg = MetricsRegistry()
+        h = reg.histogram("wal.flush_batch_size", (1, 4, 16))
+        h.observe(2)
+        snap = reg.snapshot()["wal.flush_batch_size"]
+        assert snap["count"] == 1
+        assert snap["buckets"]["4"] == 1
+
+
+class TestPrometheus:
+    def _registry(self):
+        reg = MetricsRegistry()
+        reg.counter("buffer.hits").inc(10)
+        reg.counter("txn.aborts", reason="deadlock").inc(2)
+        reg.gauge("buffer.cached").set(5)
+        reg.gauge_fn("wal.durability", lambda: "group")
+        h = reg.histogram("lock.wait_ns", (100, 1000))
+        h.observe(50)
+        h.observe(5000)
+        return reg
+
+    def test_render_counter_total_suffix(self):
+        text = render_prometheus(self._registry())
+        assert "# TYPE ode_buffer_hits_total counter" in text
+        assert "ode_buffer_hits_total 10" in text
+
+    def test_render_labels(self):
+        text = render_prometheus(self._registry())
+        assert 'ode_txn_aborts_total{reason="deadlock"} 2' in text
+
+    def test_render_string_gauge_as_labeled_constant(self):
+        text = render_prometheus(self._registry())
+        assert 'ode_wal_durability{value="group"} 1' in text
+
+    def test_render_histogram_cumulative(self):
+        text = render_prometheus(self._registry())
+        assert 'ode_lock_wait_ns_bucket{le="100"} 1' in text
+        assert 'ode_lock_wait_ns_bucket{le="1000"} 1' in text
+        assert 'ode_lock_wait_ns_bucket{le="+Inf"} 2' in text
+        assert "ode_lock_wait_ns_count 2" in text
+
+    def test_roundtrip_through_parser(self):
+        text = render_prometheus(self._registry())
+        families = parse_prometheus(text)
+        assert families["ode_buffer_hits_total"] == [({}, 10.0)]
+        assert ({"reason": "deadlock"}, 2.0) in families["ode_txn_aborts_total"]
+        assert "ode_lock_wait_ns_bucket" in families
+
+    def test_parser_rejects_bad_sample(self):
+        with pytest.raises(PromParseError):
+            parse_prometheus("this is } not a metric line\n")
+
+    def test_parser_rejects_bad_value(self):
+        with pytest.raises(PromParseError):
+            parse_prometheus("ode_x{a=\"b\"} notanumber\n")
+
+    def test_parser_rejects_incomplete_histogram(self):
+        with pytest.raises(PromParseError):
+            parse_prometheus("# TYPE ode_h histogram\n"
+                             "ode_h_bucket{le=\"+Inf\"} 1\n")

@@ -1,0 +1,130 @@
+"""Query tracing: spans, explain analyze, and the trace-off contract."""
+
+import pytest
+
+from repro import A, IntField, OdeObject, StringField, V, forall
+from repro.obs import Span, render_trace
+
+
+class Widget(OdeObject):
+    name = StringField(default="")
+    grade = IntField(default=0)
+
+
+class Order(OdeObject):
+    widget = StringField(default="")
+    qty = IntField(default=0)
+
+
+@pytest.fixture
+def widget_db(db):
+    db.create(Widget)
+    db.create(Order)
+    with db.transaction():
+        for i in range(60):
+            db.pnew(Widget, name="w%02d" % (i % 20), grade=i % 6)
+        for i in range(30):
+            db.pnew(Order, widget="w%02d" % (i % 10), qty=i)
+    return db
+
+
+class TestSpans:
+    def test_child_nesting_and_to_dict(self):
+        root = Span("forall", "1 source")
+        scan = root.child("scan", "full scan")
+        scan.rows_out = 5
+        d = root.to_dict()
+        assert d["op"] == "forall"
+        assert d["children"][0]["rows_out"] == 5
+
+    def test_render_empty_no_division(self):
+        root = Span("forall")
+        lines = render_trace(root)
+        assert "rows=0" in lines[0]
+        assert "avg=" not in lines[0]
+
+
+class TestSingleSourceTrace:
+    def test_trace_records_rows_pages_time(self, widget_db):
+        q = widget_db.forall(Widget, trace=True).suchthat(A.grade < 3)
+        rows = list(q)
+        assert len(rows) == 30
+        root = q.last_trace
+        assert root is not None
+        assert root.rows_out == 30
+        assert root.rows_in == 60
+        assert root.ns > 0
+        scan = root.children[0]
+        assert scan.op == "scan"
+        assert scan.rows_in == 60 and scan.rows_out == 30
+
+    def test_untraced_has_no_trace(self, widget_db):
+        q = forall(widget_db.cluster(Widget)).suchthat(A.grade < 3)
+        assert len(list(q)) == 30
+        assert q.last_trace is None
+
+    def test_explain_analyze_text(self, widget_db):
+        q = widget_db.forall(Widget, trace=True).suchthat(
+            A.grade < 3).by(A.name)
+        text = q.explain(analyze=True)
+        assert "analyze:" in text
+        assert "rows=30" in text
+        assert "time=" in text
+        assert "pages=" in text
+        assert "sort" in text
+
+    def test_traced_results_match_untraced(self, widget_db):
+        pred = A.grade == 2
+        traced = [o.oid for o in
+                  widget_db.forall(Widget, trace=True).suchthat(pred)]
+        plain = [o.oid for o in
+                 forall(widget_db.cluster(Widget)).suchthat(pred)]
+        assert traced == plain
+
+    def test_empty_cluster_no_div_zero(self, db):
+        db.create(Widget)
+        q = db.forall(Widget, trace=True).suchthat(A.grade < 3)
+        assert list(q) == []
+        text = q.explain(analyze=True)
+        assert "rows=0" in text
+
+
+class TestJoinTrace:
+    def test_fused_join_spans(self, widget_db):
+        q = widget_db.forall(Widget, Order, trace=True).suchthat(
+            (V[0].name == V[1].widget) & (V[0].grade < 3))
+        rows = list(q)
+        assert rows
+        root = q.last_trace
+        ops = [c.op for c in root.children]
+        assert any(op.startswith("scan") for op in ops)
+        assert any("join" in op for op in ops)
+        join = [c for c in root.children if "join" in c.op][0]
+        assert join.rows_out == len(rows)
+
+    def test_multi_join_explain_analyze(self, widget_db):
+        q = widget_db.forall(Widget, Order, trace=True).suchthat(
+            V[0].name == V[1].widget)
+        text = q.explain(analyze=True)
+        assert "analyze:" in text
+        assert "hash join" in text
+        assert "scan V[0]" in text and "scan V[1]" in text
+        assert "time=" in text and "pages=" in text
+
+    def test_nested_loop_trace(self, widget_db):
+        q = widget_db.forall(Widget, Order, trace=True).suchthat(
+            lambda w, o: w.name == o.widget)
+        rows = list(q)
+        assert q.last_trace.rows_out == len(rows)
+
+
+class TestQueryMetrics:
+    def test_traced_query_counted(self, widget_db):
+        before = widget_db.metrics.get("query.count") or 0
+        list(widget_db.forall(Widget, trace=True).suchthat(A.grade < 3))
+        assert widget_db.metrics.get("query.count") == before + 1
+
+    def test_plain_list_source_traces_without_db(self):
+        q = forall([1, 2, 3, 4]).suchthat(lambda x: x > 2).trace()
+        assert list(q) == [3, 4]
+        assert q.last_trace.rows_out == 2
