@@ -1,7 +1,7 @@
 PYTHON ?= python
 export PYTHONPATH := src
 
-.PHONY: test test-concurrency bench bench-smoke bench-baseline
+.PHONY: test test-concurrency crash-smoke crash-full bench bench-smoke bench-baseline
 
 test:
 	$(PYTHON) -m pytest tests/ -x -q
@@ -9,6 +9,16 @@ test:
 # Threaded stress tests only (deadlock/retry, serializability, lock leaks).
 test-concurrency:
 	$(PYTHON) -m pytest tests/ -x -q -m concurrency
+
+# Crash/recovery cycles: every failpoint at two hit depths plus the WAL
+# tail-damage and torn-page suites (~40 subprocess cycles, <15 s).
+crash-smoke:
+	$(PYTHON) -m pytest tests/crash/ -x -q -m crash
+
+# The full randomized matrix: 2 seeds x 17 failpoints x 6 hit depths
+# (204 cycles, ~1 min). Run before touching wal.py/recovery.py/pagefile.py.
+crash-full:
+	REPRO_CRASH_FULL=1 $(PYTHON) -m pytest tests/crash/ -x -q -m crash
 
 bench:
 	$(PYTHON) -m pytest benchmarks/ --benchmark-only -q

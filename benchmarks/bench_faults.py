@@ -1,0 +1,126 @@
+"""Checksum + failpoint overhead guards (PR 5).
+
+The robustness layer's contract is that it is (nearly) free when idle:
+
+* failpoints on the page-file/WAL I/O paths are a ``None``-or-``enabled``
+  attribute check per call;
+* checksum *verification* runs once per pool admit (cold reads only;
+  cache hits never recompute), and *stamping* once per page write.
+
+Two guards enforce the acceptance bound — the instrumented build must
+stay within 3% of the same build with checksumming bypassed and the
+fault layer detached — and two plain benchmarks record the absolute
+costs so BENCH diffs track them over time.
+"""
+
+import timeit
+
+import pytest
+
+from conftest import BenchItem, populate_items
+
+from repro import Database
+from repro.storage import buffer as buffer_mod
+
+N = 2000
+
+
+def _measured_pair(tmp_path, workload, prepare, number=3, rounds=10):
+    """Time *workload* on ONE database, alternating shipped config and
+    robustness-stripped config between rounds; return
+    ``(base, overhead)`` where *base* is the stripped-config minimum and
+    *overhead* is the smallest per-round (instrumented - stripped) gap.
+
+    Interleaving on a single instance cancels the instance-to-instance
+    variance — file layout, allocator state, interpreter warmup — that a
+    two-database comparison cannot tell apart from the few-percent
+    effect being gated. Pairing the two configs *within* each round and
+    gating on the best round's difference additionally cancels
+    round-level noise (scheduler, page-cache pressure) that independent
+    per-config minima still suffer: one clean round is enough to expose
+    the true cost.
+
+    Stripping detaches the fault injector from the page file and WAL and
+    swaps the pool's module-level ``verify_checksum`` for a constant.
+    Write-side stamping stays on: the gated workloads are read-side, and
+    an unstamped file would fail its own close-time reads.
+    """
+    path = str(tmp_path / "pair.odb")
+    db = Database(path)
+    populate_items(db, N)
+    prepare(db)
+    pagefile, wal = db.store._pagefile, db.store._wal
+    faults = pagefile._faults
+    verify = buffer_mod.verify_checksum
+    base = overhead = float("inf")
+    try:
+        for _ in range(rounds):
+            instrumented = timeit.timeit(lambda: workload(db), number=number)
+            pagefile._faults = wal._faults = None
+            buffer_mod.verify_checksum = lambda buf: True
+            try:
+                stripped = timeit.timeit(
+                    lambda: workload(db), number=number)
+            finally:
+                pagefile._faults = wal._faults = faults
+                buffer_mod.verify_checksum = verify
+            base = min(base, stripped)
+            overhead = min(overhead, instrumented - stripped)
+    finally:
+        db.close()
+    return base, overhead
+
+
+def _cold_scan(db):
+    db.store._pool.flush_all()
+    db.store._pool._frames.clear()
+    db._cache.clear()
+    db._decoded.clear()
+    return sum(1 for _ in db.cluster(BenchItem))
+
+
+def _hot_deref(db):
+    total = 0
+    for oid in db._bench_oids:
+        total += db.deref(oid).qty
+    return total
+
+
+def _prepare_scan(db):
+    assert _cold_scan(db) == N  # prime allocation, keep the pool cold
+
+
+def _prepare_deref(db):
+    db._bench_oids = [obj.oid for obj in db.cluster(BenchItem)][:500]
+    _hot_deref(db)  # warm every cache: this benchmark is the hit path
+
+
+def test_checksums_within_3pct_on_cold_scan(tmp_path):
+    base, overhead = _measured_pair(tmp_path, _cold_scan, _prepare_scan)
+    # 3% tolerance plus an absolute floor (one page fault outweighs the
+    # relative slack at this scale).
+    assert overhead <= base * 0.03 + 5e-4, (
+        "cold-scan checksum overhead %.3fms on a %.3fms scan (> 3%%)"
+        % (overhead * 1e3, base * 1e3))
+
+
+def test_faultpoints_within_3pct_on_hot_deref(tmp_path):
+    base, overhead = _measured_pair(tmp_path, _hot_deref, _prepare_deref)
+    assert overhead <= base * 0.03 + 5e-4, (
+        "hot-deref fault-layer overhead %.3fms on a %.3fms run (> 3%%)"
+        % (overhead * 1e3, base * 1e3))
+
+
+def test_cold_scan_with_checksums(benchmark, db):
+    populate_items(db, N)
+    assert benchmark(lambda: _cold_scan(db)) == N
+
+
+def test_scrub_throughput(benchmark, db):
+    populate_items(db, N)
+    db.store.checkpoint()
+
+    def scrub():
+        return db.scrub()["pages_checked"]
+
+    assert benchmark(scrub) > 0

@@ -6,7 +6,10 @@ Usage::
     python -m repro DB.odb                                # interactive
     python -m repro DB.odb --schema                       # show clusters
     python -m repro DB.odb --verify                       # integrity check
+    python -m repro verify DB.odb                         # same, subcommand
     python -m repro DB.odb --vacuum                       # compact storage
+    python -m repro scrub DB.odb                          # checksum scrub
+    python -m repro DB.odb --scrub                        # same, flag form
     python -m repro stats DB.odb                          # runtime counters
     python -m repro DB.odb --stats                        # same, flag form
     python -m repro stats DB.odb --format=json            # machine readable
@@ -46,6 +49,9 @@ def _build_parser() -> argparse.ArgumentParser:
                         help="run the integrity checker and exit")
     parser.add_argument("--vacuum", action="store_true",
                         help="compact every cluster and exit")
+    parser.add_argument("--scrub", action="store_true",
+                        help="checksum-verify every on-disk page and exit "
+                             "(bad pages are quarantined; exit status 1)")
     parser.add_argument("--stats", action="store_true",
                         help="print runtime statistics (buffer pool, WAL, "
                              "plan cache, per-cluster optimizer stats) "
@@ -212,6 +218,10 @@ def main(argv=None) -> int:
         argv = argv[1:] + ["--stats"]
     elif argv and argv[0] == "events":
         argv = argv[1:] + ["--events"]
+    elif argv and argv[0] == "scrub":
+        argv = argv[1:] + ["--scrub"]
+    elif argv and argv[0] == "verify":
+        argv = argv[1:] + ["--verify"]
     args = _build_parser().parse_args(argv)
     db = Database(args.database)
     try:
@@ -237,6 +247,18 @@ def main(argv=None) -> int:
                     print("PROBLEM:", problem)
                 return 1
             print("ok: store is internally consistent")
+            return 0
+        if args.scrub:
+            report = db.scrub()
+            print("scrub: %d pages checked, %d bad, %d quarantined"
+                  % (report["pages_checked"], len(report["bad_pages"]),
+                     report["quarantined"]))
+            if report["bad_pages"]:
+                print("bad pages: %s"
+                      % ", ".join(str(p) for p in report["bad_pages"]))
+                print("database is read-only (degraded): %s"
+                      % report["degraded"])
+                return 1
             return 0
         if args.vacuum:
             for name, report in db.vacuum().items():

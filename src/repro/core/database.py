@@ -47,8 +47,8 @@ from typing import (Any, Callable, Dict, Iterator, List, Optional, Set,
 from ..errors import (ClusterExistsError, ClusterNotFoundError,
                       ConstraintViolation, DanglingReferenceError,
                       DeadlockError, LockTimeoutError, NotPersistentError,
-                      SchemaError, TransactionError, TriggerActionError,
-                      VersionError)
+                      SchemaError, TransactionError, TransientIOError,
+                      TriggerActionError, VersionError)
 from ..query.optimizer import PlanCache
 from ..query.stats import StatsManager
 from ..storage.locks import (EXCLUSIVE, INTENT_EXCLUSIVE, INTENT_SHARED,
@@ -445,22 +445,29 @@ class Database:
 
         Under concurrency a transaction can be picked as a deadlock
         victim (:class:`DeadlockError`) or time out on a lock
-        (:class:`LockTimeoutError`); both mean "aborted through no fault
-        of its own — run it again". This helper re-runs *fn* up to
-        *retries* more times with jittered exponential backoff, re-raising
-        the last error if every attempt fails. *fn* takes no arguments
-        and its return value is passed through.
+        (:class:`LockTimeoutError`); a flaky disk can fail a read with
+        :class:`TransientIOError` (EIO / short read — the OS may well
+        serve the same sectors on the next attempt). All three mean
+        "aborted through no fault of its own — run it again". This
+        helper re-runs *fn* up to *retries* more times with jittered
+        exponential backoff (`backoff * 2^attempt`, halved-to-1.5x
+        jitter), re-raising the last error if every attempt fails. *fn*
+        takes no arguments and its return value is passed through.
+        Permanent failures — checksum corruption, degraded mode, WAL
+        flush failure — are typed differently and are never retried.
         """
         attempt = 0
         while True:
             try:
                 with self.transaction():
                     return fn()
-            except (DeadlockError, LockTimeoutError):
+            except (DeadlockError, LockTimeoutError, TransientIOError):
                 attempt += 1
                 if attempt > retries:
                     raise
-                time.sleep(backoff * attempt * (0.5 + random.random()))
+                self.metrics.counter("txn.retries").inc()
+                time.sleep(backoff * (2 ** (attempt - 1))
+                           * (0.5 + random.random()))
 
     def _implicit_txn(self) -> "_ImplicitTxn":
         """Join the open transaction, or wrap the block in a private one.
@@ -1236,6 +1243,134 @@ class Database:
                             % (name, serial, v))
         return problems
 
+    def scrub(self) -> Dict[str, Any]:
+        """Checksum-verify every allocated page's on-disk image.
+
+        Background-maintenance / CLI entry point (``repro scrub``); see
+        :meth:`Store.scrub`. Bad pages are quarantined and flip the
+        database into read-only degraded mode; :meth:`repair` (or fixing
+        the disk and reopening) clears it.
+        """
+        if self.store.degraded is None:
+            # Flush and checkpoint first: a dirty frame's disk image is
+            # legitimately stale and the scrub would have to skip it.
+            if self._dirty:
+                with self._implicit_txn():
+                    pass
+            self.store.checkpoint()
+        return self.store.scrub()
+
+    @property
+    def degraded(self) -> Optional[str]:
+        """Why the database is read-only, or ``None`` when healthy."""
+        return self.store.degraded
+
+    @property
+    def faults(self):
+        """The storage :class:`~repro.storage.faults.FaultInjector`.
+
+        Test/crash-harness hook: ``db.faults.arm("wal.flush.fsync",
+        "error")`` makes the next log fsync fail, and so on — see
+        :mod:`repro.storage.faults` for the failpoint catalogue.
+        """
+        return self.store.faults
+
+    def repair(self) -> Dict[str, Any]:
+        """Salvage corruption-hit clusters and leave the database writable.
+
+        Wraps :meth:`Store.repair_quarantined` with the object-layer
+        aftermath the store cannot do itself: version chains of salvaged
+        clusters are mended (versions whose state records were lost are
+        pruned, ``current`` re-pointed at the newest survivor, objects
+        with no surviving state dropped) and secondary indexes —
+        recreated empty by the salvage — are repopulated from the
+        surviving current versions. Clears degraded mode on success.
+        Raises :class:`~repro.errors.StorageError` if the WAL has failed
+        (only a close-and-reopen recovers that).
+        """
+        report = self.store.repair_quarantined()
+        for cluster in report["clusters"]:
+            if cluster.startswith("__"):
+                continue  # internal clusters don't use the version layout
+            fixes = self._repair_cluster_objects(cluster)
+            report["clusters"][cluster].update(fixes)
+        # The salvage rewrote records wholesale; every cache is suspect.
+        self._decoded.clear()
+        self.plan_cache.clear()
+        with self._cache_lock:
+            self._cache.clear()
+            self._vcache.clear()
+        for cluster in report["clusters"]:
+            if not cluster.startswith("__"):
+                self.cluster_stats.analyze(cluster)
+        self.events.emit("db_repair", clusters=sorted(report["clusters"]),
+                         leaked_pages=report.get("leaked_pages", 0))
+        return report
+
+    def _repair_cluster_objects(self, cluster: str) -> Dict[str, int]:
+        """Mend version chains and rebuild index entries after a salvage."""
+        infos = self.store.indexes_on(cluster)
+        chains_fixed = 0
+        objects_dropped = 0
+        index_entries = 0
+        with self._implicit_txn() as txn:
+            self._lock_cluster_ddl(cluster)
+            heads: Dict[int, Optional[Dict]] = {}
+            states: Dict[int, set] = {}
+            for _rid, record in self.store.scan(cluster):
+                serial, version = record["__key"]
+                if version == 0:
+                    heads[serial] = record
+                else:
+                    states.setdefault(serial, set()).add(version)
+            # Orphan states (their head was lost): synthesize a head.
+            for serial, versions in states.items():
+                if serial not in heads:
+                    head = {"__key": [serial, 0],
+                            "current": max(versions),
+                            "chain": sorted(versions)}
+                    heads[serial] = head
+                    self.store.put(txn, cluster, (serial, 0), head)
+                    chains_fixed += 1
+            for serial, head in heads.items():
+                have = states.get(serial, set())
+                chain = [v for v in head["chain"] if v in have]
+                if not chain:
+                    # Every state of this object was lost with the page.
+                    self.store.delete(txn, cluster, (serial, 0))
+                    heads[serial] = None
+                    objects_dropped += 1
+                    continue
+                current = head["current"]
+                if current not in chain:
+                    current = chain[-1]
+                if chain != head["chain"] or current != head["current"]:
+                    self.store.put(txn, cluster, (serial, 0),
+                                   {"__key": [serial, 0],
+                                    "current": current, "chain": chain})
+                    head["current"] = current
+                    head["chain"] = chain
+                    chains_fixed += 1
+                for version in have - set(chain):
+                    self.store.delete(txn, cluster, (serial, version))
+            if infos:
+                for serial, head in heads.items():
+                    if head is None:
+                        continue
+                    state = self.store.get(cluster,
+                                           (serial, head["current"]))
+                    if state is None:
+                        continue
+                    for name, info in infos.items():
+                        self.store.index_insert(
+                            txn, cluster, name,
+                            _state_key(state["state"], info.fields),
+                            serial)
+                        index_entries += 1
+        return {"chains_fixed": chains_fixed,
+                "objects_dropped": objects_dropped,
+                "index_entries_rebuilt": index_entries}
+
     def analyze(self, cls: Union[Type[OdeObject], str, None] = None) -> Dict:
         """Rebuild optimizer statistics exactly by scanning clusters.
 
@@ -1296,6 +1431,7 @@ class Database:
                 "slow": self._query_slow.value,
             },
             "pages": store_stats["pages"],
+            "storage": store_stats["storage_health"],
         }
         # Compatibility shim: older tooling parsed --stats output keyed
         # by "buffer_pool"; keep it as an alias of the canonical dict.
@@ -1354,7 +1490,10 @@ class Database:
             return
         if self._txn is not None:
             raise TransactionError("close() inside an open transaction")
-        if self._dirty or self.cluster_stats.dirty():
+        if ((self._dirty or self.cluster_stats.dirty())
+                and self.store.degraded is None):
+            # In degraded mode nothing can be flushed; the store's close
+            # preserves the durable prefix instead.
             with self._implicit_txn() as txn:
                 self.cluster_stats.persist_all(txn)
         if len(self.events):

@@ -34,12 +34,55 @@ class PageFullError(PageError):
     """There is not enough contiguous free space on a page for a record."""
 
 
+class CorruptPageError(PageError):
+    """A page failed its checksum (torn write, lost write, or bit rot).
+
+    Raised instead of whatever decode exception the damaged bytes would
+    otherwise produce. The store quarantines the page and flips into
+    read-only degraded mode; reads of healthy pages keep working.
+    """
+
+    def __init__(self, message, page_no=None):
+        super().__init__(message)
+        self.page_no = page_no
+
+
+class DegradedModeError(StorageError):
+    """The store is in read-only degraded mode and rejects writes.
+
+    Entered when a corrupt page is detected or the WAL can no longer be
+    flushed durably. Reads of healthy pages keep working; writes raise
+    this until the damage is repaired (``db.repair()``) or the database
+    is reopened (crash recovery).
+    """
+
+    def __init__(self, message, reason=None):
+        super().__init__(message)
+        self.reason = reason
+
+
+class TransientIOError(StorageError):
+    """An I/O operation failed in a way that may succeed on retry (EIO,
+    short read). ``db.run_transaction`` retries these with backoff."""
+
+
 class BufferPoolError(StorageError):
     """The buffer pool could not satisfy a request (e.g. all pages pinned)."""
 
 
 class WalError(StorageError):
     """The write-ahead log is corrupt or was used incorrectly."""
+
+
+class WalFlushError(WalError):
+    """An fsync of the log failed; durability can no longer be promised.
+
+    The failure is *sticky*: once a flush fails, the log refuses further
+    appends and flushes (retrying fsync after a reported failure can
+    silently drop the very pages that failed — the "fsync-gate" trap), so
+    a falsely-acked commit is impossible. The store degrades to read-only;
+    reopening the database recovers to the durable prefix of the log.
+    """
 
 
 class RecoveryError(StorageError):

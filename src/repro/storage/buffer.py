@@ -27,8 +27,8 @@ import threading
 from collections import OrderedDict
 from typing import Dict, Optional
 
-from ..errors import BufferPoolError
-from .page import PAGE_SIZE, SlottedPage, PageType
+from ..errors import BufferPoolError, CorruptPageError
+from .page import PAGE_SIZE, SlottedPage, PageType, verify_checksum
 from .pagefile import PageFile
 
 DEFAULT_POOL_SIZE = 256
@@ -67,6 +67,21 @@ class BufferPool:
         #: transactions is the LockManager's job, not the latch's; callers
         #: must never block on the lock manager while holding the latch.
         self.latch = threading.RLock()
+        #: Pages that failed their checksum: pinning one raises
+        #: :class:`CorruptPageError` until it is repaired or reformatted.
+        #: The empty-set truthiness check keeps the healthy path at one
+        #: attribute load.
+        self.quarantined: set = set()
+        #: Called (under the latch) with ``(page_no, exc)`` when a page
+        #: fails verification; the store quarantines/degrades here.
+        self.on_corrupt_page = None
+        #: Pages formatted by :meth:`new_page`/:meth:`new_extent` whose
+        #: format has not been WAL-logged yet. The journal diffs such a
+        #: page's first edit against a *zero* page, so the format itself
+        #: lands in the log — otherwise a crash before the frame's
+        #: writeback leaves a page the log cannot rebuild (and, for pages
+        #: whose only edit was empty, not even extend the file for).
+        self.fresh_pages: set = set()
         # statistics
         self.hits = 0
         self.misses = 0
@@ -74,6 +89,7 @@ class BufferPool:
         self.writebacks = 0
         self.prefetches = 0
         self.readahead_pages = 0
+        self.checksum_failures = 0
 
     def attach_wal(self, wal) -> None:
         """Attach a write-ahead log; enforces flush-log-before-page."""
@@ -90,7 +106,8 @@ class BufferPool:
 
     # -- pinning ---------------------------------------------------------------
 
-    def pin(self, page_no: int, cold: bool = False) -> SlottedPage:
+    def pin(self, page_no: int, cold: bool = False,
+            unchecked: bool = False) -> SlottedPage:
         """Pin *page_no*, faulting it in if needed, and return a page view.
 
         Acquires the storage latch; the matching :meth:`unpin` releases it.
@@ -101,24 +118,53 @@ class BufferPool:
         hit on a cold frame does not promote it — so one large scan churns
         through at most the cold end of the pool and cannot evict the hot
         working set. Any non-cold pin rehabilitates the frame.
+
+        A faulted-in page is checksum-verified before it is served; a
+        mismatch raises :class:`CorruptPageError` (after notifying
+        :attr:`on_corrupt_page`) and nothing is admitted. *unchecked*
+        skips both the verification and the quarantine gate — crash
+        recovery uses it to pin a torn page it is about to rebuild from
+        the log.
         """
         self.latch.acquire()
-        frame = self._frames.get(page_no)
-        if frame is not None:
-            self.hits += 1
-            if cold and frame.cold:
-                pass  # scan re-touch: leave it where it is
+        try:
+            if self.quarantined and not unchecked \
+                    and page_no in self.quarantined:
+                raise CorruptPageError(
+                    "page %d is quarantined (failed checksum)" % page_no,
+                    page_no=page_no)
+            frame = self._frames.get(page_no)
+            if frame is not None:
+                self.hits += 1
+                if cold and frame.cold:
+                    pass  # scan re-touch: leave it where it is
+                else:
+                    frame.cold = False
+                    self._frames.move_to_end(page_no)
             else:
-                frame.cold = False
-                self._frames.move_to_end(page_no)
-        else:
-            self.misses += 1
-            frame = self._admit(page_no)
-            self._pagefile.read_page(page_no, frame.buf)
-            if cold:
-                frame.cold = True
-                self._frames.move_to_end(page_no, last=False)
-        frame.pin_count += 1
+                self.misses += 1
+                frame = self._admit(page_no)
+                try:
+                    self._pagefile.read_page(page_no, frame.buf)
+                    if not unchecked and not verify_checksum(frame.buf):
+                        self.checksum_failures += 1
+                        exc = CorruptPageError(
+                            "page %d failed its checksum" % page_no,
+                            page_no=page_no)
+                        if self.on_corrupt_page is not None:
+                            self.on_corrupt_page(page_no, exc)
+                        raise exc
+                except BaseException:
+                    # Never leave a half-faulted frame behind.
+                    self._frames.pop(page_no, None)
+                    raise
+                if cold:
+                    frame.cold = True
+                    self._frames.move_to_end(page_no, last=False)
+            frame.pin_count += 1
+        except BaseException:
+            self.latch.release()
+            raise
         return SlottedPage(frame.buf)
 
     def prefetch(self, page_no: int, count: int) -> int:
@@ -150,13 +196,24 @@ class BufferPool:
                 no = page_no + i
                 if no in resident:
                     continue
+                span_page = raw[i * PAGE_SIZE:(i + 1) * PAGE_SIZE]
+                if not verify_checksum(span_page):
+                    # Never admit corrupt bytes. Quarantine via the
+                    # handler; the later pin of this page raises the
+                    # typed error on the reader's own stack.
+                    self.checksum_failures += 1
+                    if self.on_corrupt_page is not None:
+                        self.on_corrupt_page(no, CorruptPageError(
+                            "page %d failed its checksum (readahead)" % no,
+                            page_no=no))
+                    continue
                 # Admit at the MRU end first so evictions triggered by the
                 # batch itself pick older frames, never batch-mates ...
                 try:
                     frame = self._admit(no)
                 except BufferPoolError:
                     break  # everything pinned — readahead is best-effort
-                frame.buf[:] = raw[i * PAGE_SIZE:(i + 1) * PAGE_SIZE]
+                frame.buf[:] = span_page
                 frame.cold = True
                 batch.append(no)
             # ... then rotate the whole batch to the LRU end (reversed, so
@@ -192,12 +249,14 @@ class BufferPool:
         """
         with self.latch:
             page_no = self._pagefile.allocate_page()
+            self.quarantined.discard(page_no)  # a reformat heals the page
             frame = self._frames.get(page_no)
             if frame is None:
                 frame = self._admit(page_no)
             SlottedPage.format(frame.buf, page_no, page_type)
             frame.cold = False
             frame.dirty = True
+            self.fresh_pages.add(page_no)
             return page_no
 
     def new_extent(self, page_type: int, count: int) -> list:
@@ -210,12 +269,14 @@ class BufferPool:
         with self.latch:
             page_nos = self._pagefile.allocate_extent(count)
             for page_no in page_nos:
+                self.quarantined.discard(page_no)
                 frame = self._frames.get(page_no)
                 if frame is None:
                     frame = self._admit(page_no)
                 SlottedPage.format(frame.buf, page_no, page_type)
                 frame.cold = False
                 frame.dirty = True
+                self.fresh_pages.add(page_no)
             return page_nos
 
     def ensure_allocated(self, page_no: int) -> None:
@@ -229,6 +290,8 @@ class BufferPool:
             frame = self._frames.pop(page_no, None)
             if frame is not None and frame.pin_count > 0:
                 raise BufferPoolError("cannot free pinned page %d" % page_no)
+            self.quarantined.discard(page_no)  # free_page rewrites it
+            self.fresh_pages.discard(page_no)
             self._pagefile.free_page(page_no)
 
     # -- write-back ---------------------------------------------------------------
@@ -236,6 +299,8 @@ class BufferPool:
     def flush_page(self, page_no: int) -> None:
         """Write *page_no* back to disk if dirty (stays cached)."""
         with self.latch:
+            if self._wal_failed():
+                return  # see flush_all: the WAL rule cannot be honoured
             frame = self._frames.get(page_no)
             if frame is not None and frame.dirty:
                 self._write_back(frame)
@@ -243,9 +308,19 @@ class BufferPool:
     def flush_all(self) -> None:
         """Write every dirty frame back to disk (checkpoint/close path)."""
         with self.latch:
+            if self._wal_failed():
+                # The WAL rule cannot be honoured (the log will not fsync);
+                # writing these pages could persist changes whose log
+                # records are not durable. Leave disk at the durable
+                # prefix; reopening recovers to it.
+                return
             for frame in self._frames.values():
                 if frame.dirty:
                     self._write_back(frame)
+
+    def sync(self) -> None:
+        """fsync the underlying page file (checkpoint durability point)."""
+        self._pagefile.sync()
 
     def dirty_page_numbers(self):
         """Page numbers of currently dirty frames (for checkpointing)."""
@@ -276,8 +351,12 @@ class BufferPool:
         return frame
 
     def _evict_one(self) -> None:
+        # With a failed WAL dirty frames must stay resident (their log
+        # records will never be durable; writing them back would break
+        # the WAL rule) — evict clean frames only.
+        wal_dead = self._wal_failed()
         for victim_no, frame in self._frames.items():
-            if frame.pin_count == 0:
+            if frame.pin_count == 0 and not (frame.dirty and wal_dead):
                 if frame.dirty:
                     self._write_back(frame)
                 del self._frames[victim_no]
@@ -285,6 +364,9 @@ class BufferPool:
                 return
         raise BufferPoolError(
             "buffer pool exhausted: all %d frames pinned" % self._capacity)
+
+    def _wal_failed(self) -> bool:
+        return self._wal is not None and self._wal.failed is not None
 
     def _write_back(self, frame: _Frame) -> None:
         if self._wal is not None:
@@ -305,6 +387,8 @@ class BufferPool:
             "writebacks": self.writebacks,
             "prefetches": self.prefetches,
             "readahead_pages": self.readahead_pages,
+            "checksum_failures": self.checksum_failures,
+            "quarantined": len(self.quarantined),
             "cached": len(self._frames),
             "capacity": self._capacity,
         }

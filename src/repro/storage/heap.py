@@ -74,7 +74,7 @@ class HeapFile:
     """A chain of heap pages storing variable-length records."""
 
     def __init__(self, journal: Journal, first_page: int,
-                 extent: int = 1):
+                 extent: int = 1, find_tail: bool = True):
         self._journal = journal
         self._pool = journal._pool
         self._first_page = first_page
@@ -85,7 +85,10 @@ class HeapFile:
         # Session-local cache of pages believed to have free room. Not
         # persisted: correctness never depends on it, only insert locality.
         self._free_candidates: list = []
-        self._tail_page = self._find_tail()
+        # ``find_tail=False`` is the read-only salvage mode: locating the
+        # tail walks the whole chain, which is exactly what a corrupt
+        # mid-chain page makes impossible. Such a heap must never insert.
+        self._tail_page = self._find_tail() if find_tail else first_page
 
     @classmethod
     def create(cls, journal: Journal, txn: int,
@@ -367,6 +370,9 @@ class HeapFile:
         for i in range(len(pages) - 1):
             with self._journal.edit(txn, pages[i]) as page:
                 page.next_page = pages[i + 1]
+        with self._journal.edit(txn, pages[-1]):
+            pass  # log the reserve tail's format: the chain now points at
+            # it, so recovery must be able to rebuild it from the log
         self._tail_page = pages[-1]
         # LIFO stack peeks at [-1]: reversed() makes pages[1] the first
         # candidate tried, so the run fills in physical order.

@@ -16,9 +16,16 @@ from __future__ import annotations
 
 from typing import Dict
 
-from ..errors import TransactionError, WalError
+from ..errors import (DegradedModeError, TransactionError, WalError,
+                      WalFlushError)
 from .buffer import BufferPool
-from .page import SlottedPage
+from .page import PAGE_SIZE, SlottedPage
+
+#: Base image for the first logged edit of a freshly formatted page: the
+#: diff is taken against zeros, so the format itself lands in the log and
+#: redo can rebuild the page on a file that never saw it (see
+#: ``BufferPool.fresh_pages``).
+_ZERO_PAGE = bytes(PAGE_SIZE)
 from .wal import NULL_LSN, LogRecordType, WriteAheadLog
 
 
@@ -33,6 +40,11 @@ class Journal:
         #: Guards the txn table, the WAL tail, and pending-free lists.
         self.latch = pool.latch
         self._next_txn = 1
+        #: Reason string when the store is in read-only degraded mode
+        #: (corrupt page quarantined, or WAL flush failure); gates
+        #: :meth:`edit`, the single choke point every page mutation goes
+        #: through. Reads and aborts bypass edit and keep working.
+        self.degraded = None
         #: txn id -> LSN of that transaction's most recent log record.
         self.active: Dict[int, int] = {}
         #: txn id -> pages to return to the free list at commit. Freeing is
@@ -46,29 +58,108 @@ class Journal:
         with self.latch:
             txn = self._next_txn
             self._next_txn += 1
-            lsn = self._wal.log_begin(txn)
+            # A failed log takes no BEGIN record, but read-only
+            # transactions must still be able to start (and commit
+            # trivially) in degraded mode.
+            lsn = (self._wal.log_begin(txn)
+                   if self._wal.failed is None else NULL_LSN)
             self.active[txn] = lsn
             return txn
 
     def commit(self, txn: int) -> None:
         with self.latch:
             last = self._require_active(txn)
-            # log_commit fsyncs per the log's durability mode (full/group/none)
-            self._wal.log_commit(txn, last)
+            if self._wal.failed is not None:
+                self._commit_on_failed_wal(txn, last)
+                return
+            try:
+                # log_commit fsyncs per the durability mode (full/group/none)
+                self._wal.log_commit(txn, last)
+            except WalFlushError:
+                # The fsync failed: this commit — and every earlier commit
+                # in the same group-commit batch — is not durable, and the
+                # error says so to each of their committers (the batch
+                # members already past log_commit see it on their next
+                # log call; recovery on reopen rolls them back). Runtime
+                # state is rolled back in memory so no "committed" effects
+                # linger visible.
+                self.degraded = self.degraded or "WAL flush failed"
+                self._undo_in_memory(txn, last)
+                del self.active[txn]
+                self._pending_frees.pop(txn, None)
+                raise
             self._wal.log_end(txn, last)
             del self.active[txn]
             for page_no in self._pending_frees.pop(txn, ()):
                 self._pool.free_page(page_no)
 
+    def _commit_on_failed_wal(self, txn: int, last: int) -> None:
+        """Commit called after the log already died.
+
+        A read-only transaction (no log records beyond its BEGIN, or
+        begun after the failure) commits trivially; a writer cannot be
+        made durable — its effects are rolled back in memory and the
+        typed error reaches the committer.
+        """
+        wrote = (last != NULL_LSN and
+                 self._wal.read_record(last)["type"] != LogRecordType.BEGIN)
+        if wrote:
+            self.degraded = self.degraded or "WAL flush failed"
+            self._undo_in_memory(txn, last)
+        del self.active[txn]
+        self._pending_frees.pop(txn, None)
+        if wrote:
+            raise WalFlushError(
+                "transaction %d cannot commit durably: the log failed "
+                "(%s); its effects were rolled back in memory"
+                % (txn, self._wal.failed))
+
     def abort(self, txn: int) -> None:
         """Roll back *txn* by applying before-images, logging CLRs."""
         with self.latch:
             last = self._require_active(txn)
-            last = undo_transaction(self._pool, self._wal, txn, last)
-            self._wal.log_abort(txn, last)
-            self._wal.log_end(txn, last)
+            if self._wal.failed is not None:
+                # The log takes no CLRs; undo the effects in memory only.
+                # Disk still holds the durable prefix, which reopening
+                # recovers to — identical to what the CLRs would rebuild.
+                self._undo_in_memory(txn, last)
+            else:
+                last = undo_transaction(self._pool, self._wal, txn, last)
+                self._wal.log_abort(txn, last)
+                self._wal.log_end(txn, last)
             del self.active[txn]
             self._pending_frees.pop(txn, None)
+
+    def _undo_in_memory(self, txn: int, from_lsn: int) -> None:
+        """Apply before-images of *txn* without logging (dead-WAL path).
+
+        The log's read side still works after an fsync failure — the
+        unflushed tail is readable through the same file object. Pages
+        are stamped with the log end LSN (newer than any update of the
+        chain) so decoded-cache tokens taken during the transaction can
+        never validate against the rolled-back bytes; the stamp never
+        reaches disk because a failed WAL blocks all page write-back.
+        """
+        pool, wal = self._pool, self._wal
+        stamp = wal.end_lsn
+        lsn = from_lsn
+        while lsn != NULL_LSN:
+            record = wal.read_record(lsn)
+            rtype = record["type"]
+            if rtype == LogRecordType.UPDATE:
+                before = record["before"]
+                offset = record["offset"]
+                page = pool.pin(record["page_no"])
+                page.buf[offset:offset + len(before)] = before
+                page.page_lsn = stamp
+                pool.unpin(record["page_no"], dirty=True)
+                lsn = record["prev_lsn"]
+            elif rtype == LogRecordType.CLR:
+                lsn = record["undo_next"]
+            elif rtype == LogRecordType.BEGIN:
+                break
+            else:
+                lsn = record["prev_lsn"]
 
     def free_page_deferred(self, txn: int, page_no: int) -> None:
         """Schedule *page_no* for the free list when *txn* commits.
@@ -94,7 +185,17 @@ class Journal:
         Context manager. If the block raises, the page buffer is restored
         from the snapshot and nothing is logged — the failed edit leaves
         no trace.
+
+        Every page mutation in the engine funnels through here, which is
+        what makes the degraded-mode gate complete: one check blocks all
+        writes while reads (plain pins) and aborts (before-image
+        application) continue to work.
         """
+        if self.degraded is not None or self._wal.failed is not None:
+            raise DegradedModeError(
+                "store is read-only (degraded mode): %s"
+                % (self.degraded or "WAL flush failed"),
+                reason=self.degraded)
         return _PageEdit(self, txn, page_no)
 
     # -- checkpointing ----------------------------------------------------------
@@ -107,6 +208,13 @@ class Journal:
             if self.active:
                 self._wal.log_checkpoint(self.active)
             else:
+                # The WAL rule, checkpoint edition: the log may only be
+                # truncated once every page image it covers is *durable*.
+                # flush_all leaves the writes in volatile file buffers; a
+                # crash between an unsynced flush and the truncate would
+                # lose committed data with no log left to replay it from
+                # (found by the crash harness at pagefile.sync.pre).
+                self._pool.sync()
                 self._wal.truncate()
 
 
@@ -149,7 +257,13 @@ class _PageEdit:
             return False
         snapshot = self._snapshot
         new = bytes(page.buf)
-        runs = _diff_runs(snapshot, new)
+        pool = journal._pool
+        fresh = pool.fresh_pages and self._page_no in pool.fresh_pages
+        # A fresh page's format was applied in-pool without logging; diff
+        # its first edit against zeros so the whole image is replayable
+        # (and undo of the creating transaction restores a zero page).
+        base = _ZERO_PAGE if fresh else snapshot
+        runs = _diff_runs(base, new)
         if not runs:
             journal._pool.unpin(self._page_no, dirty=False)
             return False
@@ -157,9 +271,11 @@ class _PageEdit:
         lsn = self._last
         for lo, hi in runs:
             lsn = wal.log_update(self._txn, lsn, self._page_no, lo,
-                                 snapshot[lo:hi], new[lo:hi])
+                                 base[lo:hi], new[lo:hi])
         journal.active[self._txn] = lsn
         page.page_lsn = lsn
+        if fresh:
+            pool.fresh_pages.discard(self._page_no)
         journal._pool.unpin(self._page_no, dirty=True)
         return False
 

@@ -24,26 +24,36 @@ import os
 import struct
 from typing import Dict, Optional
 
-from ..errors import PageError, StorageError
+from ..errors import PageError, StorageError, TransientIOError
 from .codec import decode_value, encode_value
-from .page import NO_PAGE, PAGE_SIZE, PageType
+from .page import NO_PAGE, PAGE_SIZE, PageType, stamp_checksum
 
 _MAGIC = b"ODEREPRO"
-_FORMAT_VERSION = 1
+# v2: page headers grew a crc32c checksum field (see repro.storage.page).
+_FORMAT_VERSION = 2
 _FILE_HDR = struct.Struct("<8sIxxxxQQ")
+
+#: Test hook: set to skip checksum stamping on write — an intentionally
+#: broken build the crash harness must catch (and does).
+_SKIP_CHECKSUM_ENV = "REPRO_SKIP_CHECKSUM"
 
 
 class PageFile:
     """Fixed-size-page file with allocation, free list, and named roots."""
 
-    def __init__(self, path: str, create: Optional[bool] = None):
+    def __init__(self, path: str, create: Optional[bool] = None,
+                 faults=None):
         """Open (or create) the page file at *path*.
 
         ``create=None`` (default) creates the file if it does not exist.
         ``create=True`` requires creating a fresh file; ``create=False``
-        requires an existing one.
+        requires an existing one. *faults* is an optional
+        :class:`~repro.storage.faults.FaultInjector` shared with the rest
+        of the store.
         """
         self.path = path
+        self._faults = faults
+        self._stamp = not os.environ.get(_SKIP_CHECKSUM_ENV)
         exists = os.path.exists(path) and os.path.getsize(path) > 0
         if create is True and exists:
             raise StorageError("page file already exists: %s" % path)
@@ -110,21 +120,61 @@ class PageFile:
         return self._page_count
 
     def read_page(self, page_no: int, buf: bytearray) -> None:
-        """Read page *page_no* into *buf* (must be PAGE_SIZE bytes)."""
+        """Read page *page_no* into *buf* (must be PAGE_SIZE bytes).
+
+        OS-level read failures (``EIO``) surface as
+        :class:`~repro.errors.TransientIOError` — they may succeed on
+        retry and ``db.run_transaction`` treats them that way.
+        """
         self._check_page_no(page_no)
-        self._file.seek(page_no * PAGE_SIZE)
-        raw = self._file.read(PAGE_SIZE)
+        f = self._faults
+        try:
+            if f is not None and f.enabled:
+                f.fire("pagefile.read.pre", page_no=page_no)
+            self._file.seek(page_no * PAGE_SIZE)
+            raw = self._file.read(PAGE_SIZE)
+        except OSError as exc:
+            raise TransientIOError("read of page %d in %s failed: %s"
+                                   % (page_no, self.path, exc)) from exc
+        if f is not None and f.enabled \
+                and f.fire("pagefile.read.short", page_no=page_no):
+            raw = raw[:len(raw) // 2]
         if len(raw) != PAGE_SIZE:
-            raise StorageError("short read of page %d in %s" % (page_no, self.path))
+            raise TransientIOError("short read of page %d in %s (%d bytes)"
+                                   % (page_no, self.path, len(raw)))
         buf[:] = raw
 
-    def write_page(self, page_no: int, buf: bytes) -> None:
-        """Write *buf* (PAGE_SIZE bytes) to page *page_no*."""
+    def write_page(self, page_no: int, buf) -> None:
+        """Write *buf* (PAGE_SIZE bytes) to page *page_no*.
+
+        The page checksum is stamped here — every page that reaches disk
+        through this method carries one (raw zero fills elsewhere are
+        valid unstamped by convention).
+        """
         self._check_page_no(page_no)
         if len(buf) != PAGE_SIZE:
             raise PageError("page buffer must be %d bytes" % PAGE_SIZE)
+        if self._stamp:
+            if not isinstance(buf, bytearray):
+                buf = bytearray(buf)
+            stamp_checksum(buf)
+        f = self._faults
+        if f is not None and f.enabled:
+            f.fire("pagefile.write.pre", page_no=page_no)
+            if f.fire("pagefile.write.lost", page_no=page_no):
+                return  # the write vanishes; the caller believes it landed
+            torn = f.fire("pagefile.write.torn", page_no=page_no)
+            if torn is not None:
+                keep = (torn.param if torn.param is not None
+                        else f.rng.randrange(1, PAGE_SIZE))
+                self._file.seek(page_no * PAGE_SIZE)
+                self._file.write(bytes(buf[:keep]))
+                self._file.flush()
+                f.die()  # a torn write is only observable across a crash
         self._file.seek(page_no * PAGE_SIZE)
         self._file.write(buf)
+        if f is not None and f.enabled:
+            f.fire("pagefile.write.post", page_no=page_no)
 
     def allocate_page(self) -> int:
         """Return a fresh page number, recycling freed pages first.
@@ -211,8 +261,15 @@ class PageFile:
 
     def sync(self) -> None:
         """Flush OS buffers to stable storage (fsync)."""
+        f = self._faults
+        if f is not None and f.enabled:
+            f.fire("pagefile.sync.pre")
+            if f.fire("pagefile.sync.lie"):
+                return  # claimed durable, actually still in the OS cache
         self._file.flush()
         os.fsync(self._file.fileno())
+        if f is not None and f.enabled:
+            f.fire("pagefile.sync.post")
 
     def close(self) -> None:
         if not self._closed:

@@ -19,6 +19,7 @@ from __future__ import annotations
 
 from typing import Dict, Set
 
+from ..errors import CorruptPageError
 from .buffer import BufferPool
 from .journal import Journal, undo_transaction
 from .wal import LogRecordType, WriteAheadLog
@@ -33,16 +34,34 @@ class RecoveryReport:
         self.skipped_redo = 0
         self.winners: Set[int] = set()
         self.losers: Set[int] = set()
+        #: Pages that failed their checksum during redo (torn/lost
+        #: writes) and were rebuilt from the log by unconditional redo.
+        self.repaired_pages: Set[int] = set()
+        #: Where and why the log scan stopped before its physical end
+        #: (``None`` for a clean tail; see ``WriteAheadLog.scan_stop``).
+        self.wal_stop = None
+        self.wal_stop_kind = None
 
     def __repr__(self):
         return ("RecoveryReport(scanned=%d, redone=%d, skipped=%d, "
-                "winners=%d, losers=%d)"
+                "winners=%d, losers=%d, repaired=%d)"
                 % (self.records_scanned, self.redone, self.skipped_redo,
-                   len(self.winners), len(self.losers)))
+                   len(self.winners), len(self.losers),
+                   len(self.repaired_pages)))
 
 
 def recover(pool: BufferPool, wal: WriteAheadLog) -> RecoveryReport:
-    """Run analysis/redo/undo; leave the store consistent and the log empty."""
+    """Run analysis/redo/undo; leave the store consistent and the log empty.
+
+    Pages that fail their checksum during redo are rebuilt in place by
+    *unconditional* redo: a torn page's on-disk LSN is meaningless (the
+    tear may or may not include the stamped header), but the log retains
+    every change to every page since the last quiescent checkpoint —
+    which flushed all pages — so replaying all of the page's records over
+    the torn image reconstructs its exact pre-crash state. Bytes the tear
+    reverted are rewritten by some record; bytes no record touches were
+    identical on both sides of the tear.
+    """
     report = RecoveryReport()
 
     # ---- analysis ----
@@ -68,6 +87,7 @@ def recover(pool: BufferPool, wal: WriteAheadLog) -> RecoveryReport:
     report.losers = began - committed - ended
 
     # ---- redo: repeat history ----
+    suspect: Set[int] = set()
     for lsn, record in wal.records():
         if record["type"] not in (LogRecordType.UPDATE, LogRecordType.CLR):
             continue
@@ -75,8 +95,15 @@ def recover(pool: BufferPool, wal: WriteAheadLog) -> RecoveryReport:
         # The fsynced log can reference pages whose (buffered) file
         # extension never reached disk; materialize them before pinning.
         pool.ensure_allocated(page_no)
-        page = pool.pin(page_no)
-        if page.page_lsn < lsn:
+        try:
+            page = pool.pin(page_no)
+        except CorruptPageError:
+            # Torn/lost write. Admit the damaged bytes anyway and switch
+            # this page to unconditional redo (its LSN is untrustworthy).
+            page = pool.pin(page_no, unchecked=True)
+            suspect.add(page_no)
+            report.repaired_pages.add(page_no)
+        if page_no in suspect or page.page_lsn < lsn:
             after = record["after"]
             offset = record["offset"]
             page.buf[offset:offset + len(after)] = after
@@ -93,9 +120,15 @@ def recover(pool: BufferPool, wal: WriteAheadLog) -> RecoveryReport:
         last = undo_transaction(pool, wal, txn, start)
         wal.log_end(txn, last)
 
+    report.wal_stop = wal.scan_stop
+    report.wal_stop_kind = wal.scan_stop_kind
+
     # ---- quiescent checkpoint ----
+    # flush_all rewrites every repaired page with a fresh checksum; the
+    # page file must be durable *before* the log is truncated (WAL rule).
     wal.flush()
     pool.flush_all()
+    pool.sync()
     wal.truncate()
     return report
 

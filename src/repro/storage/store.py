@@ -21,12 +21,13 @@ import os
 from collections import OrderedDict
 from typing import Any, Dict, Iterator, List, Optional, Tuple
 
-from ..errors import CatalogError, StorageError
+from ..errors import CatalogError, CorruptPageError, StorageError
 from ..obs import EventLog, MetricsRegistry
 from .btree import BTree
 from .codec import decode_value, encode_value
 from .buffer import DEFAULT_POOL_SIZE, BufferPool
 from .catalog import Catalog, ClusterInfo, IndexInfo
+from .faults import FaultInjector
 from .hashindex import HashIndex
 from .heap import RID, HeapFile
 from .journal import Journal
@@ -51,13 +52,34 @@ class Store:
         :mod:`repro.storage.wal`).
         """
         self.path = path
-        self._pagefile = PageFile(path)
+        # Observability first: one registry + event ring per store, shared
+        # with the Database layer, attached before recovery so recovery
+        # events (stopped-early scans, fault injections) are captured.
+        self.metrics = MetricsRegistry()
+        self.events = EventLog()
+        #: Shared fault injector (see :mod:`repro.storage.faults`); armed
+        #: from the environment so a harness subprocess injects before it
+        #: finishes opening, or programmatically via ``db.faults``.
+        self.faults = FaultInjector.from_env()
+        self.faults.attach_observability(self.events)
+        self._pagefile = PageFile(path, faults=self.faults)
         self._pool = BufferPool(self._pagefile, capacity=pool_size)
-        self._wal = WriteAheadLog(path + ".wal", durability=durability)
+        self._wal = WriteAheadLog(path + ".wal", durability=durability,
+                                  faults=self.faults)
+        self._wal.attach_observability(self.metrics, self.events)
         self.last_recovery: Optional[RecoveryReport] = None
         if self._wal.end_lsn > 0:
+            # No corruption handler is attached yet: a torn page found
+            # here is *repaired* by redo, not quarantined.
             self.last_recovery = recover(self._pool, self._wal)
+            if self.last_recovery.repaired_pages:
+                self.events.emit("recovery_repair",
+                                 pages=sorted(
+                                     self.last_recovery.repaired_pages))
         self._journal = Journal(self._pool, self._wal)
+        #: Count of checksum failures seen at runtime (pages quarantined).
+        self.corrupt_pages = 0
+        self._pool.on_corrupt_page = self._on_corrupt_page
         #: The storage latch (shared with the pool and journal): short
         #: critical sections protecting physical state. Logical isolation
         #: is the lock manager's job; never block on :attr:`locks` while
@@ -79,16 +101,11 @@ class Store:
         self.page_cache_hits = 0
         self.page_cache_misses = 0
         self._closed = False
-        # Observability: one registry + event ring per store, shared with
-        # the Database layer. Components keep their plain-int counters
-        # (bumped under their existing locks) and the registry samples
-        # them lazily — absorbing the old stats() dicts costs nothing on
-        # the hot paths.
-        self.metrics = MetricsRegistry()
-        self.events = EventLog()
+        # Components keep their plain-int counters (bumped under their
+        # existing locks) and the registry samples them lazily — absorbing
+        # the old stats() dicts costs nothing on the hot paths.
         self._register_metrics()
         self.locks.attach_observability(self.metrics, self.events)
-        self._wal.attach_observability(self.metrics, self.events)
 
     def _register_metrics(self) -> None:
         pool = self._pool
@@ -111,6 +128,15 @@ class Store:
         metrics.gauge_fn("page_cache.cached_pages",
                          lambda: len(self._page_cache))
         metrics.gauge_fn("store.pages", lambda: self._pagefile.page_count)
+        metrics.counter_fn("storage.corrupt_pages",
+                           lambda: self.corrupt_pages)
+        metrics.counter_fn("buffer.checksum_failures",
+                           lambda: pool.checksum_failures)
+        metrics.gauge_fn("storage.quarantined_pages",
+                         lambda: len(pool.quarantined))
+        metrics.gauge_fn("storage.degraded",
+                         lambda: 0 if self.degraded is None else 1)
+        metrics.counter_fn("faults.injected", lambda: self.faults.injected)
 
     #: Pages per heap-growth extent for cluster heaps: objects of one
     #: cluster land in physically contiguous runs (cluster-local
@@ -715,16 +741,354 @@ class Store:
                             % (cluster, field, serial))
         return problems
 
+    # -- corruption containment, scrubbing & repair ---------------------------------
+
+    def _on_corrupt_page(self, page_no: int, exc: Exception) -> None:
+        """Buffer-pool callback: a page failed its checksum at admit time.
+
+        Called under the storage latch. Quarantines the page and flips
+        the store into read-only degraded mode: reads off healthy pages
+        keep working, writers get :class:`DegradedModeError` until
+        :meth:`repair_quarantined` (or a reopen after the disk is fixed)
+        clears it.
+        """
+        self._pool.quarantined.add(page_no)
+        self.corrupt_pages += 1
+        if self._journal.degraded is None:
+            self._journal.degraded = "page %d failed its checksum" % page_no
+        self.events.emit("page_corrupt", page_no=page_no, error=str(exc),
+                         quarantined=len(self._pool.quarantined))
+
+    @property
+    def degraded(self) -> Optional[str]:
+        """Why the store is read-only, or ``None`` when healthy."""
+        if self._journal.degraded is not None:
+            return self._journal.degraded
+        if self._wal.failed is not None:
+            return "WAL flush failed: %s" % self._wal.failed
+        return None
+
+    #: Pages per scrub read batch (one I/O each).
+    SCRUB_SPAN = 64
+
+    def scrub(self) -> Dict[str, Any]:
+        """Verify the checksum of every allocated page's on-disk image.
+
+        Reads straight from the page file (bypassing the pool) in large
+        spans. Pages with a dirty in-memory frame are skipped — their
+        disk image is legitimately stale and will be rewritten, with a
+        fresh checksum, at the next flush. Bad pages are quarantined
+        exactly as if a pin had found them, flipping the store into
+        degraded mode.
+        """
+        import time as _time
+        from .page import PAGE_SIZE, verify_checksum
+        started = _time.perf_counter()
+        bad: List[int] = []
+        checked = 0
+        with self.latch:
+            frames = self._pool._frames
+            count = self._pagefile.page_count
+            for start in range(1, count, self.SCRUB_SPAN):
+                raw = self._pagefile.read_span(
+                    start, min(self.SCRUB_SPAN, count - start))
+                mv = memoryview(raw)
+                for i in range(len(raw) // PAGE_SIZE):
+                    page_no = start + i
+                    frame = frames.get(page_no)
+                    if frame is not None and frame.dirty:
+                        continue
+                    checked += 1
+                    if not verify_checksum(
+                            mv[i * PAGE_SIZE:(i + 1) * PAGE_SIZE]):
+                        bad.append(page_no)
+            for page_no in bad:
+                if page_no not in self._pool.quarantined:
+                    self._on_corrupt_page(page_no, CorruptPageError(
+                        "scrub: page %d failed its checksum" % page_no,
+                        page_no=page_no))
+        self.events.emit("scrub", pages_checked=checked, bad_pages=len(bad),
+                         quarantined=len(self._pool.quarantined),
+                         ms=(_time.perf_counter() - started) * 1e3)
+        return {"pages_checked": checked, "bad_pages": bad,
+                "quarantined": len(self._pool.quarantined),
+                "degraded": self.degraded}
+
+    def repair_quarantined(self) -> Dict[str, Any]:
+        """Salvage every cluster touched by corruption; clear degraded mode.
+
+        Each cluster whose heap, object directory or secondary indexes
+        hit a corrupt page has its surviving objects copied into a fresh
+        heap and directory — directory-driven when the directory is
+        readable, otherwise a tolerant heap-chain walk recovering keys
+        from the payloads' embedded ``__key`` — and all of its secondary
+        indexes recreated *empty* (the object layer knows the field
+        semantics and repopulates them; see ``Database.repair``). Old
+        pages still reachable without touching corruption are freed;
+        corrupt pages and anything stranded behind them stay quarantined
+        and are leaked — never reused, never decoded.
+
+        Raises :class:`StorageError` if the WAL itself has failed (only
+        a reopen recovers that) and propagates the corruption error if
+        the catalog is damaged (unrepairable in place).
+        """
+        if self._wal.failed is not None:
+            raise StorageError(
+                "cannot repair in place: the WAL has failed (%s); close "
+                "and reopen the store to recover from the durable prefix"
+                % self._wal.failed)
+        report: Dict[str, Any] = {"clusters": {}}
+        prior = self._journal.degraded
+        # Lift the write gate for the repair itself; restored on failure.
+        self._journal.degraded = None
+        try:
+            with self.latch:
+                affected = []
+                for info in self.catalog.clusters():
+                    probe = self._probe_cluster(info)
+                    if probe is not None:
+                        affected.append((info.name, probe))
+            for name, (items, lost, authoritative) in affected:
+                stats = self._rebuild_cluster(name, items)
+                stats["lost_objects"] = lost
+                stats["directory_authoritative"] = authoritative
+                report["clusters"][name] = stats
+        except BaseException:
+            self._journal.degraded = prior
+            raise
+        report["leaked_pages"] = len(self._pool.quarantined)
+        report["degraded"] = self.degraded
+        self.events.emit("repair", clusters=sorted(report["clusters"]),
+                         leaked_pages=report["leaked_pages"])
+        return report
+
+    def _probe_cluster(self, info: ClusterInfo):
+        """Health-check one cluster under the latch.
+
+        Returns ``None`` when every page of the cluster is reachable and
+        sound, else ``(items, lost, directory_authoritative)`` where
+        *items* is an ordered ``key -> payload`` map of the salvageable
+        objects.
+        """
+        cluster = info.name
+        healthy = True
+        items: "OrderedDict[Tuple, bytes]" = OrderedDict()
+        lost = 0
+        authoritative = True
+        heap = directory = None
+        try:
+            # find_tail=False: the probe must be able to read records by
+            # RID even when a corrupt page cuts the chain walk short.
+            heap = HeapFile(self._journal, info.heap_page,
+                            extent=self.EXTENT_PAGES, find_tail=False)
+            directory = self._directory(cluster)
+            rid_items = list(directory.items())
+        except Exception:
+            healthy = False
+            rid_items = None
+        if rid_items is not None:
+            for key, rid_tuple in rid_items:
+                try:
+                    items[tuple(key)] = heap.read(RID(*rid_tuple))
+                except Exception:
+                    healthy = False
+                    lost += 1
+        else:
+            authoritative = False
+            for key, payload in self._salvage_heap_chain(cluster):
+                if key is None:
+                    lost += 1
+                else:
+                    items[key] = payload
+        if healthy:
+            try:
+                # Structural walks: chains can hold corrupt pages that no
+                # live directory entry references (tombstone-only pages),
+                # and index corruption is invisible to heap reads.
+                self._pages_of_heap(heap)
+                self._pages_of_hash(directory)
+                for field in info.indexes:
+                    self.index(cluster, field).check_invariants()
+            except Exception:
+                healthy = False
+        if healthy:
+            return None
+        return items, lost, authoritative
+
+    def _salvage_heap_chain(self, cluster: str):
+        """Tolerantly walk *cluster*'s heap, yielding ``(key, payload)``.
+
+        Used when the object directory is unreadable. Stops at the first
+        broken chain link (records beyond it are lost). Payloads that do
+        not decode to a dict carrying the object layer's embedded
+        ``__key`` yield ``(None, payload)`` so the caller can count them
+        as lost.
+        """
+        from .page import NO_PAGE
+        try:
+            heap = HeapFile(self._journal,
+                            self.cluster_info(cluster).heap_page,
+                            extent=self.EXTENT_PAGES, find_tail=False)
+        except Exception:
+            return
+        page_no = heap.first_page
+        seen = set()
+        while page_no != NO_PAGE and page_no not in seen:
+            seen.add(page_no)
+            try:
+                records, _slots, next_page, _lsn = \
+                    heap.read_page_records(page_no, 0)
+            except Exception:
+                return
+            for _rid, raw in records:
+                key = None
+                try:
+                    value = decode_value(raw)
+                    if isinstance(value, dict):
+                        key = value.get("__key")
+                except Exception:
+                    key = None
+                yield (None if key is None else tuple(key)), raw
+            page_no = next_page
+
+    def _rebuild_cluster(self, cluster: str, items) -> Dict[str, Any]:
+        """Rewrite *cluster* from salvaged *items*; fresh empty indexes."""
+        txn = self.begin()
+        self.locks.acquire(txn, ("cluster", cluster), "X")
+        try:
+            with self.latch:
+                info = self.cluster_info(cluster)
+                old_pages = self._enumerable_pages(info)
+                new_heap = HeapFile.create(self._journal, txn,
+                                           extent=self.EXTENT_PAGES)
+                new_directory = HashIndex.create(self._journal, txn,
+                                                 unique=True)
+                for key, payload in items.items():
+                    rid = new_heap.insert(txn, payload)
+                    new_directory.insert(txn, key, tuple(rid))
+                info.heap_page = new_heap.first_page
+                info.directory_page = new_directory.directory_page
+                for field, ix_info in list(info.indexes.items()):
+                    if ix_info.kind == "btree":
+                        index = BTree.create(self._journal, txn,
+                                             unique=ix_info.unique)
+                        root = index.root_page
+                    else:
+                        index = HashIndex.create(self._journal, txn,
+                                                 unique=ix_info.unique)
+                        root = index.directory_page
+                    info.indexes[field] = IndexInfo(
+                        field, ix_info.kind, root, ix_info.unique,
+                        list(ix_info.fields))
+                    self._indexes[(cluster, field)] = index
+                self.catalog.save_cluster(txn, info)
+                for page_no in old_pages:
+                    if page_no not in self._pool.quarantined:
+                        self._journal.free_page_deferred(txn, page_no)
+                self._heaps[cluster] = new_heap
+                self._directories[cluster] = new_directory
+                self._page_cache.clear()
+        except BaseException:
+            self.abort(txn)
+            raise
+        self.commit(txn)
+        return {"objects": len(items), "pages_freed": len(old_pages)}
+
+    def _enumerable_pages(self, info: ClusterInfo) -> List[int]:
+        """Pages of the cluster reachable without touching corruption.
+
+        Chains are truncated at the first unreadable link; B+tree
+        subtrees under an unreadable node are skipped. The result is safe
+        to free — a page only appears if a sound pointer led to it.
+        """
+        from .page import NO_PAGE
+        from . import heap as heap_mod
+        pages: List[int] = []
+        seen: set = set()
+
+        def chain(first: int) -> None:
+            page_no = first
+            while page_no != NO_PAGE and page_no not in seen:
+                seen.add(page_no)
+                try:
+                    with self._pool.page(page_no) as page:
+                        nxt = page.next_page
+                except Exception:
+                    return
+                pages.append(page_no)
+                page_no = nxt
+
+        chain(info.heap_page)
+        for home in list(pages):
+            try:
+                with self._pool.page(home) as page:
+                    records = list(page.slots())
+                for _slot, raw in records:
+                    kind, body = heap_mod._unpack_record(raw)
+                    if kind == heap_mod.KIND_OVERFLOW:
+                        first, _total = heap_mod._OVERFLOW.unpack(body)
+                        chain(first)
+            except Exception:
+                continue
+        try:
+            directory = self._directory(info.name)
+            with self._pool.page(info.directory_page):
+                pass
+            seen.add(info.directory_page)
+            pages.append(info.directory_page)
+            _, pointers = directory._read_directory()
+            for bucket in dict.fromkeys(pointers):
+                chain(bucket)
+        except Exception:
+            pass
+        for field, ix_info in info.indexes.items():
+            try:
+                index = self.index(info.name, field)
+            except Exception:
+                continue
+            if ix_info.kind == "hash":
+                try:
+                    with self._pool.page(ix_info.root_page):
+                        pass
+                    seen.add(ix_info.root_page)
+                    pages.append(ix_info.root_page)
+                    _, pointers = index._read_directory()
+                    for bucket in dict.fromkeys(pointers):
+                        chain(bucket)
+                except Exception:
+                    pass
+            else:
+                queue = [ix_info.root_page]
+                while queue:
+                    page_no = queue.pop()
+                    if page_no in seen:
+                        continue
+                    seen.add(page_no)
+                    try:
+                        node = index._read(page_no)
+                    except Exception:
+                        continue
+                    pages.append(page_no)
+                    if not node.leaf:
+                        queue.extend(node.children)
+        return pages
+
     # -- lifecycle -----------------------------------------------------------------
 
     def close(self) -> None:
-        """Checkpoint and close. Active transactions are aborted first."""
+        """Checkpoint and close. Active transactions are aborted first.
+
+        After a WAL flush failure the checkpoint is skipped entirely —
+        nothing volatile may reach the page file past the durable log
+        prefix; the reopen recovers to it.
+        """
         with self.latch:
             if self._closed:
                 return
             for txn in list(self._journal.active):
                 self.abort(txn)
-            self.checkpoint()
+            if self._wal.failed is None:
+                self.checkpoint()
             self._pool.close()
             self._wal.close()
             self._pagefile.close()
@@ -763,4 +1127,12 @@ class Store:
             "durability": self._wal.durability,
             "locks": self.locks.stats(),
             "pages": self._pagefile.page_count,
+            "storage_health": {
+                "degraded": self.degraded,
+                "corrupt_pages": self.corrupt_pages,
+                "quarantined": sorted(self._pool.quarantined),
+                "wal_failed": (None if self._wal.failed is None
+                               else str(self._wal.failed)),
+                "faults_injected": self.faults.injected,
+            },
         }

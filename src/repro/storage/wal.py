@@ -70,7 +70,7 @@ import time
 import zlib
 from typing import Dict, Iterator, Optional, Tuple
 
-from ..errors import WalError
+from ..errors import WalError, WalFlushError
 from .codec import decode_value, encode_value
 
 _REC_HDR = struct.Struct("<II")
@@ -78,6 +78,10 @@ _FILE_HDR = struct.Struct("<8sQ")
 _WAL_MAGIC = b"ODEWAL01"
 
 NULL_LSN = -1
+
+
+class _FsyncLied(Exception):
+    """Internal control flow for the ``wal.flush.lie`` failpoint."""
 
 #: The recognised durability modes (see the module docs).
 DURABILITY_MODES = ("full", "group", "none")
@@ -177,8 +181,19 @@ class WriteAheadLog:
 
     def __init__(self, path: str, durability: str = "full",
                  group_size: int = GROUP_SIZE,
-                 group_window: float = GROUP_WINDOW):
+                 group_window: float = GROUP_WINDOW, faults=None):
         self.path = path
+        self._faults = faults
+        #: The exception of the first failed fsync, or None. Sticky: a
+        #: failed log refuses all further appends/flushes (see
+        #: :class:`~repro.errors.WalFlushError`). Reads keep working.
+        self.failed = None
+        #: Where the last full scan stopped short of the valid end
+        #: (LSN), and why: ``"torn_tail"`` (a crash mid-append — normal)
+        #: or ``"mid_log_corruption"`` (valid records exist beyond the
+        #: bad one — the log itself was damaged).
+        self.scan_stop = None
+        self.scan_stop_kind = None
         exists = os.path.exists(path) and os.path.getsize(path) > 0
         self._file = open(path, "r+b" if exists else "w+b")
         if exists:
@@ -260,6 +275,12 @@ class WriteAheadLog:
         """Append *record* (a dict) and return its LSN. Does not fsync."""
         if self._closed:
             raise WalError("log %s is closed" % self.path)
+        if self.failed is not None:
+            raise WalFlushError("log %s failed earlier and accepts no "
+                                "more records: %s" % (self.path, self.failed))
+        f = self._faults
+        if f is not None and f.enabled:
+            f.fire("wal.append.pre", rtype=record.get("type"))
         payload = _pack_payload(record)
         lsn = self._end
         self._file.seek(self._end - self._base + _FILE_HDR.size)
@@ -267,6 +288,8 @@ class WriteAheadLog:
             _REC_HDR.pack(len(payload), zlib.crc32(payload)) + payload)
         self._end += _REC_HDR.size + len(payload)
         self.appends += 1
+        if f is not None and f.enabled:
+            f.fire("wal.append.post", rtype=record.get("type"))
         return lsn
 
     def log_begin(self, txn: int) -> int:
@@ -328,15 +351,44 @@ class WriteAheadLog:
         """
         if self._closed:
             raise WalError("log %s is closed" % self.path)
+        if self.failed is not None:
+            raise WalFlushError("log %s failed earlier: %s"
+                                % (self.path, self.failed))
         self.flush_calls += 1
         if up_to_lsn is not None and up_to_lsn <= self._flushed:
             return
         batch = self._pending_commits
-        self._file.flush()
-        os.fsync(self._file.fileno())
+        f = self._faults
+        try:
+            if f is not None and f.enabled:
+                f.fire("wal.flush.pre", end_lsn=self._end)
+                f.fire("wal.flush.fsync", end_lsn=self._end)
+                if f.fire("wal.flush.lie", end_lsn=self._end):
+                    # fsync claimed success without persisting anything;
+                    # fall through to the success bookkeeping below.
+                    raise _FsyncLied
+            self._file.flush()
+            os.fsync(self._file.fileno())
+        except _FsyncLied:
+            pass
+        except OSError as exc:
+            # Sticky: never retry an fsync that reported failure — the
+            # kernel may have dropped the dirty pages, so a "successful"
+            # retry would silently lose the very records that failed.
+            self.failed = exc
+            self._pending_commits = 0
+            if self._obs_events is not None:
+                self._obs_events.emit("wal_flush_failed", error=str(exc),
+                                      end_lsn=self._end,
+                                      pending_commits=batch)
+            raise WalFlushError(
+                "fsync of log %s failed (%d commit(s) in the batch are "
+                "not durable): %s" % (self.path, batch, exc)) from exc
         self._flushed = self._end
         self._pending_commits = 0
         self.syncs += 1
+        if f is not None and f.enabled:
+            f.fire("wal.flush.post", end_lsn=self._end)
         if batch:
             if self._obs_hist is not None:
                 self._obs_hist.observe(batch)
@@ -356,15 +408,49 @@ class WriteAheadLog:
 
     def records(self, start_lsn: Optional[int] = None) -> Iterator[Tuple[int, Dict]]:
         """Yield ``(lsn, record)`` from *start_lsn* (default: the oldest
-        retained record) until the valid tail ends."""
+        retained record) until the valid tail ends.
+
+        A scan that stops before :attr:`end_lsn` records where and *why*
+        in :attr:`scan_stop` / :attr:`scan_stop_kind`: a torn tail (the
+        crash-atomicity the WAL relies on — nothing after the tear) is
+        distinguished from mid-log corruption (valid records exist beyond
+        the bad one) by probing forward for an intact framed record, and
+        a ``wal.scan.stopped_early`` event is emitted.
+        """
         lsn = self._base if start_lsn is None else max(start_lsn, self._base)
         while True:
             result = self._read_at(lsn)
             if result is None:
+                if lsn < self._end:
+                    self._note_scan_stop(lsn)
                 return
             record, next_lsn = result
             yield lsn, record
             lsn = next_lsn
+
+    #: How far past a bad record to probe for a valid one when deciding
+    #: torn-tail vs mid-log corruption.
+    PROBE_WINDOW = 65536
+
+    def _note_scan_stop(self, lsn: int) -> None:
+        if self.scan_stop == lsn:
+            return  # analysis and redo both scan; report once per offset
+        self.scan_stop = lsn
+        self.scan_stop_kind = self._classify_tail(lsn)
+        if self._obs_events is not None:
+            self._obs_events.emit("wal.scan.stopped_early",
+                                  offset=lsn - self._base, lsn=lsn,
+                                  classification=self.scan_stop_kind,
+                                  end_lsn=self._end)
+
+    def _classify_tail(self, stop_lsn: int) -> str:
+        limit = min(self._end, stop_lsn + self.PROBE_WINDOW)
+        probe = stop_lsn + 1
+        while probe < limit:
+            if self._read_at(probe) is not None:
+                return "mid_log_corruption"
+            probe += 1
+        return "torn_tail"
 
     def _read_at(self, lsn: int) -> Optional[Tuple[Dict, int]]:
         if lsn < self._base or lsn >= self._end:
@@ -374,10 +460,21 @@ class WriteAheadLog:
         if len(header) < _REC_HDR.size:
             return None
         length, crc = _REC_HDR.unpack(header)
+        if length == 0 or length > self._end - lsn - _REC_HDR.size:
+            # Records are never empty; a run of zero bytes would otherwise
+            # frame as length=0 crc=0 (crc32 of b"" is 0) when the
+            # classifier probes misaligned offsets.
+            return None
         payload = self._file.read(length)
         if len(payload) < length or zlib.crc32(payload) != crc:
             return None  # torn tail
-        return _unpack_payload(payload), lsn + _REC_HDR.size + length
+        try:
+            record = _unpack_payload(payload)
+        except Exception:
+            # A CRC collision on garbage bytes (seen only while probing
+            # misaligned offsets) is not a record.
+            return None
+        return record, lsn + _REC_HDR.size + length
 
     # -- maintenance ------------------------------------------------------------
 
@@ -388,6 +485,12 @@ class WriteAheadLog:
     def truncate(self) -> None:
         """Discard the retained records (only safe after all pages are
         flushed). The LSN base advances so LSNs stay monotone forever."""
+        if self.failed is not None:
+            raise WalFlushError("log %s failed earlier: %s"
+                                % (self.path, self.failed))
+        f = self._faults
+        if f is not None and f.enabled:
+            f.fire("wal.truncate.pre", end_lsn=self._end)
         self._base = self._end
         self._file.truncate(_FILE_HDR.size)
         self._write_header()
@@ -395,10 +498,18 @@ class WriteAheadLog:
         os.fsync(self._file.fileno())
         self._flushed = self._end
         self._pending_commits = 0
+        self.scan_stop = None
+        self.scan_stop_kind = None
+        if f is not None and f.enabled:
+            f.fire("wal.truncate.post", end_lsn=self._end)
 
     def close(self) -> None:
         if not self._closed:
-            self._file.flush()
+            try:
+                self._file.flush()
+            except OSError:
+                if self.failed is None:
+                    raise  # only a known-failed log may close unflushed
             self._file.close()
             self._closed = True
 

@@ -1,0 +1,1 @@
+"""Crash-consistency harness: kill a workload at failpoints, recover, audit."""

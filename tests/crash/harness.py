@@ -1,0 +1,178 @@
+"""The crash-consistency harness (EXP-16).
+
+One *cycle* = run the deterministic workload (:mod:`tests.crash.workload`)
+in a subprocess with one or more failpoints armed through ``REPRO_FAULTS``,
+let the injected fault kill it (or fail its current operation), then reopen
+the database **in this process** — which runs crash recovery — and audit:
+
+1. the database opens at all (recovery never leaves an unopenable store);
+2. it is not in degraded mode after recovery;
+3. the storage + object integrity checker (``db.verify()``) is clean;
+4. the surviving contents equal the workload model after exactly ``k``
+   operations for some ``k ≥`` the number of *acknowledged* commits in the
+   oracle file (every acked-durable commit survived; nothing partial,
+   nothing reordered — the sequential workload makes the committed set a
+   prefix);
+5. the recovered database still accepts writes (create + delete probe).
+
+For faults that model *lying hardware* (``wal.flush.lie``) losing
+acknowledged commits is exactly the simulated failure, so the audit drops
+invariant 4's lower bound to zero (``strict=False``) but still requires
+the state to be *some* consistent prefix.
+"""
+
+from __future__ import annotations
+
+import os
+import subprocess
+import sys
+
+from repro.storage.faults import DIE_EXIT_CODE, KNOWN_FAILPOINTS
+
+from .workload import CrashItem, ERROR_EXIT_CODE, generate
+
+WORKLOAD = os.path.join(os.path.dirname(os.path.abspath(__file__)),
+                        "workload.py")
+
+#: Exit codes a faulted child may legitimately end with.
+OK_EXIT_CODES = (0, ERROR_EXIT_CODE, DIE_EXIT_CODE)
+
+
+class CycleResult:
+    """Everything one crash/recover cycle produced."""
+
+    def __init__(self, spec, returncode, acked, problems, stderr):
+        self.spec = spec
+        self.returncode = returncode
+        self.acked = acked
+        self.problems = problems
+        self.stderr = stderr
+
+    def __repr__(self):
+        return ("CycleResult(spec=%r, rc=%d, acked=%d, problems=%r)"
+                % (self.spec, self.returncode, self.acked, self.problems))
+
+
+def read_oracle(oracle_path: str) -> int:
+    """Number of acknowledged commits (with a contiguity sanity check)."""
+    if not os.path.exists(oracle_path):
+        return 0
+    with open(oracle_path, "rb") as handle:
+        lines = handle.read().split()
+    for i, line in enumerate(lines):
+        assert int(line) == i, "oracle file is not contiguous: %r" % lines
+    return len(lines)
+
+
+def run_cycle(tmpdir: str, spec: str, seed: int = 1337, n_ops: int = 40,
+              durability: str = "full", strict: bool = True,
+              extra_env=None, timeout: float = 120.0) -> CycleResult:
+    """Run one crash/recover/audit cycle; see the module docstring."""
+    db_path = os.path.join(tmpdir, "crash.odb")
+    oracle_path = os.path.join(tmpdir, "oracle.log")
+    env = dict(os.environ)
+    env.pop("REPRO_SKIP_CHECKSUM", None)
+    env["REPRO_FAULTS"] = spec
+    env["REPRO_FAULTS_SEED"] = str(seed)
+    if extra_env:
+        env.update(extra_env)
+    proc = subprocess.run(
+        [sys.executable, WORKLOAD, db_path, oracle_path,
+         str(seed), str(n_ops), durability],
+        env=env, capture_output=True, timeout=timeout)
+    acked = read_oracle(oracle_path)
+    problems = []
+    if proc.returncode not in OK_EXIT_CODES:
+        problems.append("child exited %d: %s"
+                        % (proc.returncode, proc.stderr.decode()[-500:]))
+    problems.extend(audit(db_path, seed, n_ops, acked, strict=strict))
+    return CycleResult(spec, proc.returncode, acked, problems,
+                       proc.stderr.decode())
+
+
+def audit(db_path: str, seed: int, n_ops: int, acked: int,
+          strict: bool = True):
+    """Recover the database in-process and check every invariant.
+
+    Returns a list of violation strings (empty = the cycle is sound).
+    """
+    problems = []
+    if not os.path.exists(db_path):
+        if acked:
+            problems.append("no database file, yet %d commits acked" % acked)
+        return problems
+    from repro import Database
+    try:
+        db = Database(db_path)
+    except Exception as exc:  # an unopenable store is always a violation
+        problems.append("recovery failed to reopen the store: %s: %s"
+                        % (type(exc).__name__, exc))
+        return problems
+    try:
+        if db.degraded is not None:
+            problems.append("degraded after recovery: %s" % db.degraded)
+        for issue in db.verify():
+            problems.append("integrity: %s" % issue)
+        state = {}
+        if "CrashItem" in db.clusters():
+            state = {obj.name: obj.qty for obj in db.cluster(CrashItem)}
+        _, models = generate(seed, n_ops)
+        lower = acked if strict else 0
+        matched = None
+        for k in range(lower, n_ops + 1):
+            if models[k] == state:
+                matched = k
+                break
+        if matched is None:
+            problems.append(
+                "state matches no committed prefix >= %d acked ops "
+                "(%d objects recovered)" % (lower, len(state)))
+        # A recovered store must still take writes (the crash may have
+        # predated the cluster's creation; creating it is then the probe).
+        if not problems:
+            if "CrashItem" not in db.clusters():
+                db.create(CrashItem)
+            with db.transaction():
+                probe = db.pnew(CrashItem, name="__probe__", qty=1)
+            db.pdelete(probe.oid)
+    except Exception as exc:
+        problems.append("audit raised %s: %s" % (type(exc).__name__, exc))
+    finally:
+        try:
+            db.close()
+        except Exception as exc:
+            problems.append("close after recovery raised %s: %s"
+                            % (type(exc).__name__, exc))
+    return problems
+
+
+def kill_specs(hits=(2, 13)):
+    """The kill-point matrix: ``(label, REPRO_FAULTS spec, strict)``.
+
+    Derived from :data:`~repro.storage.faults.KNOWN_FAILPOINTS`, with two
+    failure modes needing company to be observable:
+
+    * a **lost** page write is undetectable until the next crash (the old
+      page image carries a valid checksum), so it is paired with a death
+      at the next log truncation — the classic "lost write, then crash
+      before the checkpoint completes";
+    * a **lying WAL fsync** only loses data when the process dies while
+      the lie is still in the write cache, so it is paired with a death
+      at the next flush. Losing acked commits is then the *simulated*
+      hardware fault, so those cycles audit with ``strict=False``.
+    """
+    specs = []
+    for name, action in KNOWN_FAILPOINTS:
+        for at_hit in hits:
+            if action == "lost":
+                spec = "%s:lost:%d;wal.truncate.pre:die:1" % (name, at_hit)
+                strict = True
+            elif name == "wal.flush.lie":
+                spec = ("wal.flush.lie:lie:%d;wal.flush.pre:die:%d"
+                        % (at_hit, at_hit + 1))
+                strict = False
+            else:
+                spec = "%s:%s:%d" % (name, action, at_hit)
+                strict = True
+            specs.append(("%s@%d" % (name, at_hit), spec, strict))
+    return specs

@@ -1,0 +1,156 @@
+"""WAL tail semantics under damage.
+
+Three scenarios the recovery path must distinguish and survive:
+
+* the log ends mid-record (a crash during append — the normal torn
+  tail): recovery at **every** byte boundary of the last record;
+* a record in the *middle* of the log is damaged while valid records
+  follow — not crash atomicity but real log corruption, classified as
+  ``mid_log_corruption`` and surfaced via ``wal.scan.stopped_early``;
+* a heap page torn mid-flush (new prefix, old suffix, stale LSN) is
+  rebuilt from the log by unconditional redo.
+"""
+
+import os
+import shutil
+
+import pytest
+
+from repro.storage import wal as wal_mod
+from repro.storage.page import PAGE_SIZE
+from repro.storage.store import Store
+
+pytestmark = pytest.mark.crash
+
+_HDR = wal_mod._FILE_HDR.size
+
+
+def _crashed_store(tmp_path, n_commits=3):
+    """A store killed with *n_commits* committed puts only in the WAL.
+
+    Returns ``(db_path, records, end_lsn)`` where *records* is the
+    ``(lsn, record)`` list — the byte-exact boundaries let the tests
+    compute file offsets (``offset = lsn + header``; the log was never
+    truncated, so ``base_lsn`` is 0).
+    """
+    path = str(tmp_path / "t.odb")
+    store = Store(path)
+    txn = store.begin()
+    store.create_cluster(txn, "c")
+    store.commit(txn)
+    for i in range(n_commits):
+        txn = store.begin()
+        store.put(txn, "c", (i, 0), {"n": i})
+        store.commit(txn)
+    records = list(store._wal.records())
+    end = store._wal.end_lsn
+    assert store._wal.base_lsn == 0
+    store.crash()
+    return path, records, end
+
+
+def _snapshot(path, into):
+    for suffix in ("", ".wal"):
+        shutil.copy(path + suffix, into + suffix)
+
+
+def _restore(path, frm):
+    for suffix in ("", ".wal"):
+        shutil.copy(frm + suffix, path + suffix)
+
+
+def test_truncation_at_every_byte_of_tail_records(tmp_path):
+    path, records, end = _crashed_store(tmp_path)
+    pristine = str(tmp_path / "pristine")
+    _snapshot(path, pristine)
+    lsns = [lsn for lsn, _ in records]
+    boundaries = set(lsns)
+    # Cut at every byte from the last COMMIT record's start to the log's
+    # physical end — spanning that commit and any trailing records.
+    last_commit_idx = max(i for i, (_, r) in enumerate(records)
+                          if r["type"] == "commit")
+    commit_end = (lsns[last_commit_idx + 1]
+                  if last_commit_idx + 1 < len(lsns) else end)
+    start = lsns[last_commit_idx]
+    assert end - start < 1024, "unexpectedly large tail"
+    for cut in range(start, end):
+        _restore(path, pristine)
+        with open(path + ".wal", "r+b") as f:
+            f.truncate(_HDR + cut)
+        store = Store(path)
+        report = store.last_recovery
+        assert report is not None
+        if cut in boundaries:
+            # clean boundary: the scan ends exactly at the file's end
+            assert report.wal_stop_kind is None, "cut at %d" % cut
+        else:
+            assert report.wal_stop_kind == "torn_tail", "cut at %d" % cut
+        # The last commit survives iff its COMMIT record is whole.
+        assert store.get("c", (0, 0)) == {"n": 0}
+        assert store.get("c", (1, 0)) == {"n": 1}
+        expected = {"n": 2} if cut >= commit_end else None
+        assert store.get("c", (2, 0)) == expected, "cut at %d" % cut
+        assert store.verify_integrity() == []
+        assert store.degraded is None
+        store.close()
+
+
+def test_mid_log_corruption_is_classified(tmp_path):
+    path, records, _end = _crashed_store(tmp_path)
+    victim = records[len(records) // 2][0]
+    with open(path + ".wal", "r+b") as f:
+        f.seek(_HDR + victim + wal_mod._REC_HDR.size + 1)
+        byte = f.read(1)
+        f.seek(-1, os.SEEK_CUR)
+        f.write(bytes([byte[0] ^ 0xFF]))
+    store = Store(path)
+    report = store.last_recovery
+    assert report.wal_stop == victim
+    assert report.wal_stop_kind == "mid_log_corruption"
+    events = store.events.snapshot(kind="wal.scan.stopped_early")
+    assert events and \
+        events[0]["data"]["classification"] == "mid_log_corruption"
+    # Recovery still lands on the longest intact committed prefix.
+    assert store.verify_integrity() == []
+    assert store.degraded is None
+    store.close()
+
+
+@pytest.mark.parametrize("torn_bytes",
+                         [64, 1024, PAGE_SIZE // 2, PAGE_SIZE - 8])
+def test_torn_heap_page_rebuilt_by_unconditional_redo(tmp_path, torn_bytes):
+    path = str(tmp_path / "t.odb")
+    store = Store(path)
+    txn = store.begin()
+    store.create_cluster(txn, "c")
+    for i in range(20):
+        store.put(txn, "c", (i, 0), {"n": i})
+    store.commit(txn)
+    store.checkpoint()  # on-disk image now checksummed + durable
+    heap_page = store.catalog.get_cluster("c").heap_page
+    txn = store.begin()
+    for i in range(20):
+        store.put(txn, "c", (i, 1), {"n": i * 10})
+    store.commit(txn)
+    # The post-checkpoint image exists only in the pool; capture it to
+    # forge the torn flush below.
+    page = store._pool.pin(heap_page)
+    new_image = bytes(page.buf)
+    store._pool.unpin(heap_page, dirty=False)
+    store.crash()
+
+    # Torn write: the first torn_bytes of the new image land (including
+    # the header with its new LSN), the rest keeps the checkpoint image.
+    with open(path, "r+b") as f:
+        f.seek(heap_page * PAGE_SIZE)
+        f.write(new_image[:torn_bytes])
+
+    store = Store(path)
+    report = store.last_recovery
+    assert heap_page in report.repaired_pages
+    for i in range(20):
+        assert store.get("c", (i, 0)) == {"n": i}
+        assert store.get("c", (i, 1)) == {"n": i * 10}
+    assert store.verify_integrity() == []
+    assert store.degraded is None
+    store.close()

@@ -1,0 +1,127 @@
+"""Randomized-but-deterministic workload for the crash harness.
+
+This module plays two roles:
+
+* **Imported by the harness** (parent process) for :func:`generate`, the
+  pure function that maps ``(seed, n_ops)`` to the exact operation list
+  and the model state after every prefix. The harness replays it to know
+  what the database *should* contain after recovering from a crash at an
+  arbitrary point.
+
+* **Run as a script** (child process) it executes that same operation
+  list against a real :class:`~repro.core.database.Database`, one
+  transaction per operation, appending each acknowledged commit to an
+  fsynced *oracle* file **after** the commit returns. Faults are armed
+  through ``REPRO_FAULTS`` (see :mod:`repro.storage.faults`), so the
+  child can be killed at any registered failpoint; the oracle then lower-
+  bounds the set of operations recovery must preserve.
+
+Exit codes: 0 = workload completed and closed cleanly; 47 = injected
+process death (``faults.DIE_EXIT_CODE``); 3 = an operation raised (an
+injected EIO, a failed WAL, degraded mode, ...) — the child stops
+without closing, which the harness treats like a crash.
+"""
+
+from __future__ import annotations
+
+import os
+import random
+import sys
+
+_SRC = os.path.join(os.path.dirname(os.path.abspath(__file__)),
+                    os.pardir, os.pardir, "src")
+if os.path.isdir(_SRC) and _SRC not in sys.path:
+    sys.path.insert(0, _SRC)
+
+from repro import Database, IntField, OdeObject, StringField, newversion
+
+#: Exit code when an operation raised instead of dying at a failpoint.
+ERROR_EXIT_CODE = 3
+
+
+class CrashItem(OdeObject):
+    """The one persistent class the workload exercises."""
+
+    name = StringField(default="")
+    qty = IntField(default=0)
+
+
+def generate(seed: int, n_ops: int):
+    """The deterministic op list and per-prefix model states.
+
+    Returns ``(ops, models)`` where ``ops[i]`` is ``(kind, name, arg)``
+    and ``models[k]`` is the ``{name: qty}`` mapping the database must
+    hold after exactly the first ``k`` operations have committed
+    (``len(models) == n_ops + 1``; ``models[0]`` is empty). Everything
+    is a pure function of ``seed``, so parent and child independently
+    agree on the workload without sharing state.
+    """
+    rng = random.Random(seed)
+    model = {}
+    ops = []
+    models = [dict(model)]
+    for i in range(n_ops):
+        if not model or rng.random() < 0.5:
+            op = ("create", "obj-%d" % i, rng.randrange(1000))
+        else:
+            name = sorted(model)[rng.randrange(len(model))]
+            roll = rng.random()
+            if roll < 0.45:
+                op = ("update", name, rng.randrange(1000))
+            elif roll < 0.70:
+                op = ("newversion", name, rng.randrange(1000))
+            else:
+                op = ("delete", name, None)
+        kind, name, arg = op
+        if kind == "delete":
+            del model[name]
+        else:
+            model[name] = arg
+        ops.append(op)
+        models.append(dict(model))
+    return ops, models
+
+
+def run_child(db_path: str, oracle_path: str, seed: int, n_ops: int,
+              durability: str) -> int:
+    """Execute the workload; returns the exit code (may ``os._exit`` 47)."""
+    ops, _ = generate(seed, n_ops)
+    # Unbuffered append + fsync per line: an oracle entry on disk means
+    # the commit it names was acknowledged as durable before the entry
+    # was written, so oracle ⊆ recovered must hold (full/group modes).
+    oracle = open(oracle_path, "ab", buffering=0)
+    try:
+        db = Database(db_path, durability=durability)
+        if "CrashItem" not in db.clusters():
+            db.create(CrashItem)
+            db.create_index(CrashItem, "qty", kind="hash")
+        live = {obj.name: obj for obj in db.cluster(CrashItem)}
+        for i, (kind, name, arg) in enumerate(ops):
+            with db.transaction():
+                if kind == "create":
+                    live[name] = db.pnew(CrashItem, name=name, qty=arg)
+                elif kind == "update":
+                    live[name].qty = arg
+                elif kind == "newversion":
+                    newversion(live[name])
+                    live[name].qty = arg
+                else:
+                    db.pdelete(live[name].oid)
+                    del live[name]
+            oracle.write(b"%d\n" % i)
+            os.fsync(oracle.fileno())
+    except BaseException:
+        import traceback
+        traceback.print_exc()
+        return ERROR_EXIT_CODE
+    db.close()
+    return 0
+
+
+def main(argv) -> int:
+    db_path, oracle_path, seed, n_ops, durability = argv
+    return run_child(db_path, oracle_path, int(seed), int(n_ops), durability)
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv[1:]))

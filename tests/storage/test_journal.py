@@ -5,6 +5,7 @@ import pytest
 from repro.errors import TransactionError
 from repro.storage.journal import Journal, _diff_range
 from repro.storage.page import PageType
+from repro.storage.wal import LogRecordType
 
 
 class TestDiffRange:
@@ -53,10 +54,33 @@ class TestTransactions:
         pool, wal, journal = stack
         txn = journal.begin()
         page_no = pool.new_page(PageType.HEAP)
+        with journal.edit(txn, page_no):
+            pass  # a fresh page's first edit logs its (unlogged) format
+        appends = wal.appends
+        with journal.edit(txn, page_no):
+            pass  # a true no-op edit logs nothing
+        assert wal.appends == appends
+        journal.commit(txn)
+
+    def test_fresh_page_format_is_logged(self, stack):
+        # The format applied by new_page happens outside any edit; the
+        # first logged edit must diff against zeros so redo can rebuild
+        # the page on a file that never saw it (crash-harness find).
+        pool, wal, journal = stack
+        txn = journal.begin()
+        page_no = pool.new_page(PageType.HEAP)
+        assert page_no in pool.fresh_pages
         appends = wal.appends
         with journal.edit(txn, page_no):
             pass
-        assert wal.appends == appends
+        assert wal.appends > appends
+        assert page_no not in pool.fresh_pages
+        # The logged before-image is the zero page: undo restores zeros.
+        records = [r for _, r in wal.records()
+                   if r["type"] == LogRecordType.UPDATE
+                   and r["page_no"] == page_no]
+        assert records, "format edit produced no UPDATE records"
+        assert all(set(r["before"]) == {0} for r in records)
         journal.commit(txn)
 
     def test_edit_exception_restores_page(self, stack):
