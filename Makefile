@@ -1,7 +1,7 @@
 PYTHON ?= python
 export PYTHONPATH := src
 
-.PHONY: test test-concurrency crash-smoke crash-full bench bench-smoke bench-baseline
+.PHONY: test test-concurrency crash-smoke crash-full bench bench-smoke bench-codegen-smoke bench-baseline
 
 test:
 	$(PYTHON) -m pytest tests/ -x -q
@@ -33,6 +33,15 @@ bench-smoke:
 	$(PYTHON) -m repro stats /tmp/bench-smoke.odb --format=prom > metrics.prom
 	$(PYTHON) -m repro promlint metrics.prom
 	rm -f /tmp/bench-smoke.odb
+
+# Codegen perf + correctness gate: the fused-vs-interpreted benchmark
+# shapes (EXP-17) plus the differential harness that proves compiled
+# and interpreted pipelines return identical rows under concurrency.
+bench-codegen-smoke:
+	$(PYTHON) -m pytest benchmarks/bench_codegen.py --benchmark-only \
+		--benchmark-max-time=0.3 --benchmark-min-rounds=3 -q
+	$(PYTHON) -m pytest tests/query/test_codegen.py \
+		tests/query/test_codegen_differential.py -x -q
 
 # Full suite, recorded as BENCH_<date>.json and diffed against the last
 # committed baseline (see benchmarks/run_baseline.py).

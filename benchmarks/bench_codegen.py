@@ -1,0 +1,134 @@
+"""EXP-17: plan-to-code backend — generated pipelines vs the iterator stack.
+
+Every shape is measured twice: once through the codegen backend (the
+default) and once with ``.codegen(False)`` (or ``REPRO_CODEGEN=0`` for
+O++ bodies), so a BENCH diff shows exactly what compilation buys per
+plan shape — scan/filter, index lookup, fused hash join, aggregation,
+and trigger-cascade condition/action bodies.
+"""
+
+import pytest
+
+from conftest import BenchItem, populate_items
+
+from repro import A, V, forall
+from repro.opp.interp import Interpreter
+
+N = 2000
+
+
+@pytest.fixture
+def plain_db(db):
+    return populate_items(db, N)
+
+
+@pytest.fixture
+def indexed_db(db):
+    return populate_items(db, N, with_indexes=[("category", "hash")])
+
+
+class TestFilter:
+    def test_scan_filter_compiled(self, benchmark, plain_db):
+        q = forall(plain_db.cluster(BenchItem)).suchthat(A.category == 3)
+        assert "execution: compiled" in q.explain()
+        assert benchmark(q.count) == N // 10
+
+    def test_scan_filter_interpreted(self, benchmark, plain_db):
+        q = forall(plain_db.cluster(BenchItem)).suchthat(
+            A.category == 3).codegen(False)
+        assert "execution: interpreted" in q.explain()
+        assert benchmark(q.count) == N // 10
+
+    def test_indexed_filter_compiled(self, benchmark, indexed_db):
+        q = forall(indexed_db.cluster(BenchItem)).suchthat(A.category == 3)
+        assert benchmark(q.count) == N // 10
+
+    def test_indexed_filter_interpreted(self, benchmark, indexed_db):
+        q = forall(indexed_db.cluster(BenchItem)).suchthat(
+            A.category == 3).codegen(False)
+        assert benchmark(q.count) == N // 10
+
+
+class TestJoin:
+    @pytest.fixture
+    def join_db(self, db):
+        return populate_items(db, 400)
+
+    def test_fused_join_compiled(self, benchmark, join_db):
+        items = join_db.cluster(BenchItem)
+        q = forall(items, items).suchthat(V[0].category == V[1].category)
+        assert benchmark(q.count) == 10 * 40 * 40
+
+    def test_fused_join_interpreted(self, benchmark, join_db):
+        items = join_db.cluster(BenchItem)
+        q = forall(items, items).suchthat(
+            V[0].category == V[1].category).codegen(False)
+        assert benchmark(q.count) == 10 * 40 * 40
+
+
+class TestAggregate:
+    def test_sum_compiled(self, benchmark, plain_db):
+        q = forall(plain_db.cluster(BenchItem)).suchthat(A.price < 50.0)
+
+        def agg():
+            return sum(item.qty for item in q)
+
+        benchmark(agg)
+
+    def test_sum_interpreted(self, benchmark, plain_db):
+        q = forall(plain_db.cluster(BenchItem)).suchthat(
+            A.price < 50.0).codegen(False)
+
+        def agg():
+            return sum(item.qty for item in q)
+
+        benchmark(agg)
+
+
+CASCADE_SOURCE = """
+class tank {
+    public:
+        int level;
+        int low;
+    trigger:
+        perpetual watch() : level < low ==> { level = level + 10; };
+};
+
+create tank;
+persistent tank *t0;
+transaction { t0 = pnew tank(100, 5); }
+"""
+
+
+class TestTriggerCascade:
+    """Per-commit condition evaluation with compiled vs interpreted bodies.
+
+    A perpetual O++ trigger is activated on many objects; each benchmark
+    round commits one write, which re-evaluates every activation's
+    condition body. ``REPRO_CODEGEN`` must be set before the class is
+    defined — the compile decision is taken in ``_define_class``.
+    """
+
+    ACTIVATIONS = 50
+
+    def _setup(self, db):
+        interp = Interpreter(db)
+        interp.run(CASCADE_SOURCE)
+        interp.run("transaction { int i; for (i = 0; i < %d; i = i + 1) "
+                   "{ tank* t = pnew tank(100, 5); t->watch(); } }\n"
+                   % self.ACTIVATIONS)
+        return interp
+
+    def _bench(self, benchmark, interp):
+        def commit():
+            interp.run("transaction { t0->level = t0->level + 1; }\n")
+
+        benchmark(commit)
+
+    def test_cascade_compiled(self, benchmark, db, monkeypatch):
+        monkeypatch.setenv("REPRO_CODEGEN", "1")
+        self._bench(benchmark, self._setup(db))
+
+    def test_cascade_interpreted(self, benchmark, db, monkeypatch):
+        monkeypatch.setenv("REPRO_CODEGEN", "0")
+        self._bench(benchmark, self._setup(db))

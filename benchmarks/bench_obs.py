@@ -39,6 +39,14 @@ def test_trace_off_within_2pct(obs_db):
     def traced_off():
         return forall(handle).suchthat(A.price < 50.0).trace(False).count()
 
+    # Both sides must take the compiled path: trace(False) is not
+    # tracing, so it must not disqualify the plan from codegen — the 2%
+    # gate below then holds with the code generator on, not just for
+    # the old interpreted pipeline.
+    assert "execution: compiled" in (
+        forall(handle).suchthat(A.price < 50.0).explain())
+    assert "execution: compiled" in (
+        forall(handle).suchthat(A.price < 50.0).trace(False).explain())
     assert untouched() == traced_off()  # warm caches, same answer
     base = min(timeit.repeat(untouched, number=3, repeat=7))
     off = min(timeit.repeat(traced_off, number=3, repeat=7))

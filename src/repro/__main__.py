@@ -68,6 +68,9 @@ def _build_parser() -> argparse.ArgumentParser:
                         help="with --events: show only the last N events")
     parser.add_argument("--quiet", action="store_true",
                         help="suppress program output (still executed)")
+    parser.add_argument("--dump-code", action="store_true",
+                        help="with explain statements: also print the "
+                             "generated (compiled) query source")
     return parser
 
 
@@ -265,7 +268,7 @@ def main(argv=None) -> int:
                 print("%s: %d objects rewritten, %d pages freed"
                       % (name, report["objects"], report["pages_freed"]))
             return 0
-        interp = Interpreter(db, echo=False)
+        interp = Interpreter(db, echo=False, dump_code=args.dump_code)
         if args.scripts:
             for path in args.scripts:
                 before = len(interp.output)

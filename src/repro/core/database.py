@@ -231,6 +231,13 @@ class Database:
         self.cluster_stats = StatsManager(self)
         #: Cached plans keyed on (cluster, predicate shape).
         self.plan_cache = PlanCache()
+        #: Generated (fused) query pipelines, keyed on plan structure;
+        #: invalidated alongside the plan cache.
+        from ..query.codegen import CodegenCache
+        self.codegen_cache = CodegenCache()
+        #: Master switch for generated-code query execution on this
+        #: database (the REPRO_CODEGEN env var also applies).
+        self.codegen_enabled = True
         #: Bumped on index DDL; outstanding cached plans become invalid.
         self._plan_epoch = 0
         #: (cluster, serial) -> live current-version object
@@ -273,11 +280,26 @@ class Database:
         metrics.gauge_fn("plan_cache.entries",
                          lambda: len(plan_cache._entries))
         metrics.counter_fn("plan.builds", lambda: _optimizer.PLAN_BUILDS)
+        codegen_cache = self.codegen_cache
+        metrics.counter_fn("codegen.cache.hits",
+                           lambda: codegen_cache.hits)
+        metrics.counter_fn("codegen.cache.misses",
+                           lambda: codegen_cache.misses)
+        metrics.counter_fn("codegen.cache.invalidations",
+                           lambda: codegen_cache.invalidations)
+        metrics.counter_fn("codegen.compile_ns",
+                           lambda: codegen_cache.compile_ns)
+        metrics.gauge_fn("codegen.cache.entries",
+                         lambda: len(codegen_cache._entries))
         metrics.gauge_fn("txn.active",
                          lambda: len(self.store._journal.active))
         # Owned (GIL-atomic) counters: bumped directly on the txn/query
         # paths rather than sampled from component state.
         self._txn_commits = metrics.counter("txn.commits")
+        self._q_mode_compiled = metrics.counter("query.exec.mode",
+                                                mode="compiled")
+        self._q_mode_interpreted = metrics.counter("query.exec.mode",
+                                                   mode="interpreted")
         self._query_count = metrics.counter("query.count")
         self._query_slow = metrics.counter("query.slow")
         self._query_ns = metrics.histogram(
@@ -521,9 +543,11 @@ class Database:
             if handle.ddl:
                 # DDL changed the plan space itself; every plan is suspect.
                 self.plan_cache.clear()
+                self.codegen_cache.clear()
             else:
                 for cluster in {key[0] for key in touched}:
                     self.plan_cache.invalidate_cluster(cluster)
+                    self.codegen_cache.invalidate_cluster(cluster)
             self._reload_cache_after_abort(touched)
         finally:
             self.store.locks.release_all(handle.txn_id)
@@ -1154,6 +1178,7 @@ class Database:
             # Index DDL changes the plan space: invalidate cached plans
             # and rebuild exact statistics (the new field needs tracking).
             self._plan_epoch += 1
+            self.codegen_cache.invalidate_cluster(cluster)
             self.cluster_stats.analyze(cluster)
 
     def _indexed_fields(self, cluster: str) -> Dict[str, Any]:
@@ -1297,6 +1322,7 @@ class Database:
         # The salvage rewrote records wholesale; every cache is suspect.
         self._decoded.clear()
         self.plan_cache.clear()
+        self.codegen_cache.clear()
         with self._cache_lock:
             self._cache.clear()
             self._vcache.clear()
@@ -1388,6 +1414,7 @@ class Database:
                 raise ClusterNotFoundError("no cluster named %r" % name)
             self.cluster_stats.analyze(name)
         self.plan_cache.clear()
+        self.codegen_cache.clear()
         return self.cluster_stats.snapshot()
 
     def stats(self) -> Dict[str, Any]:
@@ -1419,6 +1446,7 @@ class Database:
                 "durability": store_stats["durability"],
             },
             "plan_cache": self.plan_cache.stats(),
+            "codegen": self.codegen_cache.stats(),
             "clusters": self.cluster_stats.snapshot(),
             "locks": store_stats["locks"],
             "txn": {

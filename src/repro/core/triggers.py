@@ -49,6 +49,29 @@ from .oid import Oid, Vref
 ACTIVATION_CLUSTER = "__activations__"
 
 
+def _compile_condition(condition):
+    """Allow introspectable query predicates as trigger conditions.
+
+    ``Trigger(condition=A.qty <= 100, ...)`` compiles the predicate's
+    row check once at declaration time (``Predicate.compiled()``), so
+    end-of-transaction evaluation runs a closure instead of walking the
+    predicate tree per activation; activation arguments are ignored by
+    the check, like the paper's clause form.
+    """
+    try:
+        from ..query.predicates import Predicate
+    except ImportError:  # pragma: no cover — partial installs
+        return condition
+    if not isinstance(condition, Predicate):
+        return condition
+    check = condition.compiled()
+
+    def run(obj, *args):
+        return bool(check(obj))
+    run._ode_predicate = condition
+    return run
+
+
 class Trigger:
     """Class-level trigger declaration (a descriptor).
 
@@ -65,6 +88,7 @@ class Trigger:
                  timeout_action: Optional[Callable] = None):
         if timeout_action is not None and within is None:
             raise TriggerError("timeout_action requires within=")
+        condition = _compile_condition(condition)
         self.condition = condition
         self.action = action
         self.perpetual = perpetual

@@ -47,6 +47,7 @@ from ..core.triggers import Trigger, TriggerId
 from ..errors import (OppNameError, OppRuntimeError, OppSyntaxError,
                       OppTypeError)
 from . import ast_nodes as ast
+from . import codegen as opp_codegen
 from .parser import Parser
 
 
@@ -115,9 +116,12 @@ class Scope:
 class Interpreter:
     """Evaluates O++ programs against a Database."""
 
-    def __init__(self, db: Database, echo: bool = False):
+    def __init__(self, db: Database, echo: bool = False,
+                 dump_code: bool = False):
         self.db = db
         self.echo = echo
+        #: when set, ``explain`` statements also print generated code
+        self.dump_code = dump_code
         self.globals = Scope()
         #: lines printed by printf/puts, for tests and callers
         self.output: List[str] = []
@@ -196,11 +200,15 @@ class Interpreter:
                 continue
             namespace[method.name] = self._make_method(method)
 
+        # field names visible to compiled constraint/trigger bodies —
+        # assignments to these lower to a member store
+        fields = frozenset(field_order)
         for i, cons in enumerate(decl.constraints):
-            namespace["constraint_%d" % i] = self._make_constraint(cons)
+            namespace["constraint_%d" % i] = self._make_constraint(cons,
+                                                                   fields)
 
         for trig in decl.triggers:
-            namespace[trig.name] = self._make_trigger(trig)
+            namespace[trig.name] = self._make_trigger(trig, fields)
 
         cls = OdeMeta(decl.name, tuple(bases), namespace)
         self.globals.declare(decl.name, cls)
@@ -294,9 +302,17 @@ class Interpreter:
         method.__name__ = name
         return method
 
-    def _make_constraint(self, decl: ast.ConstraintDecl) -> Callable:
+    def _make_constraint(self, decl: ast.ConstraintDecl,
+                         fields: frozenset = frozenset()) -> Callable:
         interp = self
         expr = decl.expr
+
+        compiled = opp_codegen.compile_expr(
+            self, expr, (), "bool", "constraint %s" % decl.name, fields)
+        if compiled is not None:
+            compiled.__name__ = decl.name
+            compiled._is_ode_constraint = True
+            return compiled
 
         def check(self):
             scope = Scope(interp.globals, this=self)
@@ -305,9 +321,12 @@ class Interpreter:
         check._is_ode_constraint = True
         return check
 
-    def _make_trigger(self, decl: ast.TriggerDecl) -> Trigger:
+    def _make_trigger(self, decl: ast.TriggerDecl,
+                      fields: frozenset = frozenset()) -> Trigger:
         interp = self
         params = decl.params
+        pnames = tuple(p.name for p in params)
+        label = "trigger %s" % decl.name
 
         def bind(self, args) -> Scope:
             scope = Scope(interp.globals, this=self)
@@ -321,15 +340,35 @@ class Interpreter:
         def action(self, *args):
             interp.exec_stmt(decl.action, bind(self, args))
 
+        # Bodies compile once here, at class-definition time, so cascades
+        # stop re-walking the AST per firing; anything the lowering does
+        # not cover keeps the interpreted closure above.
+        condition = opp_codegen.with_fallback(
+            opp_codegen.compile_expr(self, decl.condition, pnames, "bool",
+                                     label + " condition", fields),
+            len(params), condition)
+        action = opp_codegen.with_fallback(
+            opp_codegen.compile_body(self, decl.action, pnames,
+                                     label + " action", fields),
+            len(params), action)
+
         within = None
         if decl.within is not None:
             def within(self, *args):  # noqa: F811 — deliberate rebind
                 return float(interp.eval(decl.within, bind(self, args)))
+            within = opp_codegen.with_fallback(
+                opp_codegen.compile_expr(self, decl.within, pnames, "float",
+                                         label + " within", fields),
+                len(params), within)
 
         timeout_action = None
         if decl.timeout_action is not None:
             def timeout_action(self, *args):
                 interp.exec_stmt(decl.timeout_action, bind(self, args))
+            timeout_action = opp_codegen.with_fallback(
+                opp_codegen.compile_body(self, decl.timeout_action, pnames,
+                                         label + " timeout", fields),
+                len(params), timeout_action)
 
         return Trigger(condition=condition, action=action,
                        perpetual=decl.perpetual, within=within,
@@ -488,6 +527,10 @@ class Interpreter:
         be used to advantage in query optimization" realised for O++
         source, not just the Python API. Returns None when the clause is
         not compilable (the interpreted path then runs it faithfully).
+
+        The query runs through :class:`repro.query.Forall`, so repeated
+        forall statements hit the database's compiled-plan and codegen
+        caches instead of re-planning (and re-interpreting) every time.
         """
         from ..core.clusters import ClusterHandle
         if len(iterables) != 1 or node.suchthat is None:
@@ -498,9 +541,9 @@ class Interpreter:
         pred = self._compile_predicate(node.suchthat, var, scope)
         if pred is None:
             return None
-        from ..query.optimizer import choose_plan
-        plan = choose_plan(source, pred)
-        return ((obj,) for obj in plan.execute())
+        from ..query.iterate import Forall as QueryForall
+        query = QueryForall(source).suchthat(pred)
+        return ((obj,) for obj in query)
 
     def _compile_predicate(self, expr: ast.Node, var: str, scope: Scope):
         """Compile *expr* to a repro.query Predicate, or None.
@@ -598,7 +641,7 @@ class Interpreter:
     def _stmt_Explain(self, node: ast.Explain, scope: Scope) -> None:
         """``explain [analyze] forall ...`` — print plan (and trace)."""
         query = self._build_query(node.query, scope)
-        text = query.explain(analyze=node.analyze)
+        text = query.explain(analyze=node.analyze, code=self.dump_code)
         self.output.append(text + "\n")
 
     def _build_query(self, fnode: ast.Forall, scope: Scope):

@@ -39,6 +39,7 @@ from __future__ import annotations
 from typing import Any, Callable, Iterator, List, Optional, Sequence, Tuple
 
 from ..errors import QueryError
+from . import codegen as _codegen
 from .optimizer import choose_plan
 from .predicates import (A, And, AttrExpr, Callable_, JoinCompare, Predicate,
                          TrueP, VarCompare, as_predicate, is_multivar,
@@ -55,7 +56,10 @@ class Forall:
         self._pred: Optional[Any] = None       # Predicate or callable
         self._order: List[Tuple[Any, bool]] = []  # (key, desc) pairs
         self._join_keys: Optional[List[Callable]] = None  # hash equijoin
+        self._join_key_specs: Optional[List[Any]] = None  # original keys
         self._limit: Optional[int] = None
+        #: Per-query opt-out from generated-code execution.
+        self._codegen_off = False
         #: The chosen plan, kept across iterations of the same Forall
         #: (re-validated against the database's index-DDL epoch).
         self._plan = None
@@ -100,6 +104,15 @@ class Forall:
         """Root :class:`~repro.obs.trace.Span` of the last traced run."""
         return self._last_trace
 
+    def codegen(self, on: bool = True) -> "Forall":
+        """Opt this query in or out of generated-code execution.
+
+        ``codegen(False)`` forces the interpreted pipeline regardless of
+        the database flag and the ``REPRO_CODEGEN`` environment switch.
+        """
+        self._codegen_off = not on
+        return self
+
     # -- execution ------------------------------------------------------------
 
     def __iter__(self) -> Iterator:
@@ -113,6 +126,26 @@ class Forall:
 
     def _db(self):
         return getattr(self._sources[0], "db", None)
+
+    def _exec_db(self):
+        """The database behind any source (deep views included)."""
+        for source in self._sources:
+            db = getattr(source, "db", None)
+            if db is None:
+                db = getattr(getattr(source, "handle", None), "db", None)
+            if db is not None:
+                return db
+        return None
+
+    def _note_mode(self, compiled: bool) -> None:
+        db = self._exec_db()
+        if db is None:
+            return
+        counter = getattr(
+            db, "_q_mode_compiled" if compiled else "_q_mode_interpreted",
+            None)
+        if counter is not None:
+            counter.inc()
 
     def _single_plan(self):
         """The access plan for a one-source iteration.
@@ -136,6 +169,11 @@ class Forall:
 
     def _iter_single(self) -> Iterator:
         plan = self._single_plan()
+        fused = _codegen.run_single(self, plan, "iter")
+        if fused is not _codegen.INELIGIBLE:
+            self._note_mode(compiled=True)
+            return fused
+        self._note_mode(compiled=False)
         rows = plan.execute()
         if self._order:
             if self._plan_orders_by(plan) and not self._order[0][1]:
@@ -168,6 +206,8 @@ class Forall:
         db = self._db()
         tracer = QueryTracer(db, "forall", "1 source")
         root = tracer.root
+        if _codegen.would_run(self):
+            root.detail += ", interpreted fallback (tracing)"
         scan = root.child("scan", plan.describe())
         with tracer.measure(root):
             with tracer.measure(scan):
@@ -196,6 +236,8 @@ class Forall:
         db = self._db()
         tracer = QueryTracer(db, "forall", "%d sources" % len(self._sources))
         root = tracer.root
+        if _codegen.would_run(self):
+            root.detail += ", interpreted fallback (tracing)"
         with tracer.measure(root):
             if self._join_keys is not None:
                 root.detail += ", hash equijoin"
@@ -241,7 +283,8 @@ class Forall:
         scan0 = root.child("scan V[0]", plans[0].describe())
         with tracer.measure(scan0):
             rows = [(obj,) for obj in plans[0].execute(span=scan0)]
-            for check in residual_at[0]:
+            for conj in residual_at[0]:
+                check = _tuple_check(conj)
                 rows = [row for row in rows if check(row)]
         for k in range(1, arity):
             keys = [_orient(jc, k) for jc in eq_pairs
@@ -254,8 +297,10 @@ class Forall:
                               % (k - 1, k, len(keys)))
             join.rows_in = len(rows) + len(items)
             with tracer.measure(join):
-                rows = list(self._join_step(iter(rows), plans, k, keys,
-                                            residual_at[k], right=items))
+                rows = list(self._join_step(
+                    iter(rows), plans, k, keys,
+                    [_tuple_check(c) for c in residual_at[k]],
+                    right=items))
             join.rows_out = len(rows)
         root.rows_in = scan0.rows_in
         return rows
@@ -267,6 +312,11 @@ class Forall:
             record("forall", detail, root.ns, root.rows_out)
 
     def _iter_join(self) -> Iterator[Tuple]:
+        fused = _codegen.run_join(self, "iter")
+        if fused is not _codegen.INELIGIBLE:
+            self._note_mode(compiled=True)
+            return fused
+        self._note_mode(compiled=False)
         if self._join_keys is not None:
             rows = self._iter_hash_join()
         elif is_multivar(self._pred):
@@ -325,7 +375,7 @@ class Forall:
                 "source(s)" % (highest, arity))
         per_var: List[List[Predicate]] = [[] for _ in range(arity)]
         eq_pairs: List[JoinCompare] = []
-        residual_at: List[List[Callable]] = [[] for _ in range(arity)]
+        residual_at: List[List[Predicate]] = [[] for _ in range(arity)]
         for conj in pred.conjuncts():
             if isinstance(conj, VarCompare):
                 per_var[conj.var].append(conj.inner)
@@ -333,8 +383,7 @@ class Forall:
                 eq_pairs.append(conj)
             else:
                 at = max_var(conj)
-                residual_at[at if at >= 0 else arity - 1].append(
-                    _tuple_check(conj))
+                residual_at[at if at >= 0 else arity - 1].append(conj)
         plans = []
         for i, source in enumerate(self._sources):
             sub = per_var[i]
@@ -349,12 +398,13 @@ class Forall:
         plans, eq_pairs, residual_at = self._fusion()
         arity = len(self._sources)
         rows: Iterator[Tuple] = ((obj,) for obj in plans[0].execute())
-        for check in residual_at[0]:
-            rows = (row for row in rows if check(row))
+        for conj in residual_at[0]:
+            rows = filter(_tuple_check(conj), rows)
         for k in range(1, arity):
             keys = [_orient(jc, k) for jc in eq_pairs
                     if max(jc.lvar, jc.rvar) == k]
-            rows = self._join_step(rows, plans, k, keys, residual_at[k])
+            rows = self._join_step(rows, plans, k, keys,
+                                   [_tuple_check(c) for c in residual_at[k]])
         return rows
 
     def _join_step(self, rows: Iterator[Tuple], plans, k: int,
@@ -437,6 +487,7 @@ class Forall:
             raise QueryError("join_on needs one key per source (%d given, "
                              "%d sources)" % (len(keys), len(self._sources)))
         self._join_keys = [_key_fn(k) for k in keys]
+        self._join_key_specs = list(keys)
         return self
 
     def _iter_hash_join(self) -> Iterator[Tuple]:
@@ -474,6 +525,15 @@ class Forall:
         return self
 
     def to_list(self) -> List:
+        if not self._trace_on:
+            if len(self._sources) == 1:
+                rows = _codegen.run_single(self, self._single_plan(),
+                                           "collect")
+            else:
+                rows = _codegen.run_join(self, "collect")
+            if rows is not _codegen.INELIGIBLE:
+                self._note_mode(compiled=True)
+                return rows
         return list(self)
 
     def first(self):
@@ -487,16 +547,35 @@ class Forall:
         return self.first() is not None
 
     def count(self) -> int:
+        if not self._trace_on:
+            if len(self._sources) == 1:
+                n = _codegen.run_single(self, self._single_plan(), "count")
+            else:
+                n = _codegen.run_join(self, "count")
+            if n is not _codegen.INELIGIBLE:
+                self._note_mode(compiled=True)
+                return n
         return sum(1 for _ in self)
 
-    def explain(self, analyze: bool = False) -> str:
+    def explain(self, analyze: bool = False, code: bool = False) -> str:
         """Human-readable description of the chosen plan.
 
         With *analyze=True* the query is actually executed with tracing
         on and the per-operator measurements (rows in/out, pages touched,
-        cache hits, wall time) are appended to the plan text.
+        cache hits, wall time) are appended to the plan text. Tracing
+        always runs the interpreted pipeline; when the untraced query
+        would have used generated code, the trace header says so. With
+        *code=True* the generated source (if any) is appended.
         """
         text = self._explain_plan()
+        mode, source = _codegen.describe_mode(self)
+        text += "\nexecution: %s" % mode
+        if code:
+            if source is None:
+                text += "\ngenerated code: none (interpreted)"
+            else:
+                text += "\ngenerated code:\n" + "\n".join(
+                    "  " + line for line in source.rstrip().splitlines())
         if not analyze:
             return text
         from ..obs.trace import render_trace

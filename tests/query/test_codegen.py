@@ -1,0 +1,249 @@
+"""Unit tests for the plan-to-code backend (query/codegen.py) and the
+O++ body compiler (opp/codegen.py): cache keying and invalidation,
+linecache registration, explain/dump-code output, metrics wiring, and
+the disable switches."""
+
+import linecache
+
+import pytest
+
+from repro.core import Database, IntField, OdeObject, StringField
+from repro.obs import render_prometheus
+from repro.opp import codegen as opp_codegen
+from repro.opp.interp import Interpreter
+from repro.query import V, forall
+from repro.query import codegen as qcodegen
+from repro.query.predicates import Compare
+
+
+@pytest.fixture(autouse=True)
+def _strict_codegen(monkeypatch):
+    monkeypatch.setenv("REPRO_CODEGEN", "1")
+    monkeypatch.setenv("REPRO_CODEGEN_STRICT", "1")
+
+
+class CacheRow(OdeObject):
+    num = IntField(default=0)
+    tag = StringField(default="")
+
+
+@pytest.fixture
+def filled(db):
+    db.create(CacheRow)
+    with db.transaction():
+        for i in range(40):
+            db.pnew(CacheRow, num=i, tag="t%d" % (i % 4))
+    return db
+
+
+class TestCache:
+    def test_repeat_shape_hits_cache(self, filled):
+        db = filled
+        handle = db.cluster(CacheRow)
+        base_misses = db.codegen_cache.misses
+        base_hits = db.codegen_cache.hits
+        assert forall(handle).suchthat(Compare("num", "<", 10)).count() == 10
+        assert db.codegen_cache.misses == base_misses + 1
+        # same shape, different constant: the structural key matches
+        assert forall(handle).suchthat(Compare("num", "<", 20)).count() == 20
+        assert db.codegen_cache.misses == base_misses + 1
+        assert db.codegen_cache.hits == base_hits + 1
+
+    def test_ddl_invalidates_cluster_entries(self, filled):
+        db = filled
+        handle = db.cluster(CacheRow)
+        forall(handle).suchthat(Compare("num", "<", 10)).count()
+        before = db.codegen_cache.invalidations
+        db.create_index(CacheRow, "num", kind="btree")
+        assert db.codegen_cache.invalidations > before
+
+    def test_analyze_clears_cache(self, filled):
+        db = filled
+        forall(db.cluster(CacheRow)).suchthat(Compare("num", "<", 5)).count()
+        assert db.codegen_cache.stats()["entries"] > 0
+        db.analyze(CacheRow)
+        assert db.codegen_cache.stats()["entries"] == 0
+
+    def test_generated_source_in_linecache(self, filled):
+        db = filled
+        q = forall(db.cluster(CacheRow)).suchthat(Compare("num", ">", 35))
+        assert q.count() == 4
+        entry = next(iter(db.codegen_cache._entries.values()))
+        assert entry.filename.startswith("<ode-codegen:")
+        lines = linecache.getlines(entry.filename)
+        assert lines and lines[0].startswith("def __ode_pipeline")
+
+    def test_compile_ns_accounted(self, filled):
+        db = filled
+        forall(db.cluster(CacheRow)).suchthat(Compare("num", "<", 3)).count()
+        assert db.codegen_cache.stats()["compile_ns"] > 0
+
+
+class TestExplain:
+    def test_explain_shows_mode_and_code(self, filled):
+        db = filled
+        q = forall(db.cluster(CacheRow)).suchthat(Compare("num", "<", 7))
+        text = q.explain()
+        assert "execution: compiled" in text
+        with_code = q.explain(code=True)
+        assert "def __ode_pipeline" in with_code
+        q2 = forall(db.cluster(CacheRow)).suchthat(
+            Compare("num", "<", 7)).codegen(False)
+        assert "execution: interpreted" in q2.explain()
+        assert "generated code: none" in q2.explain(code=True)
+
+    def test_explain_analyze_notes_fallback(self, filled):
+        db = filled
+        q = forall(db.cluster(CacheRow)).suchthat(Compare("num", "<", 7))
+        text = q.explain(analyze=True)
+        assert "interpreted fallback (tracing)" in text
+
+    def test_join_explain_mode(self, filled):
+        db = filled
+        handle = db.cluster(CacheRow)
+        q = forall(handle, handle).suchthat(V[0].num == V[1].num)
+        assert "execution: compiled" in q.explain()
+
+
+class TestMetrics:
+    def test_prometheus_exposition(self, filled):
+        db = filled
+        forall(db.cluster(CacheRow)).suchthat(Compare("num", "<", 9)).count()
+        text = render_prometheus(db.metrics)
+        assert "codegen_cache_hits" in text
+        assert "codegen_cache_misses" in text
+        assert "codegen_cache_invalidations" in text
+        assert "codegen_compile_ns" in text
+        assert 'query_exec_mode_total{mode="compiled"}' in text
+
+    def test_exec_mode_counters(self, filled):
+        db = filled
+        handle = db.cluster(CacheRow)
+        compiled_before = db._q_mode_compiled.value
+        interp_before = db._q_mode_interpreted.value
+        forall(handle).suchthat(Compare("num", "<", 9)).count()
+        assert db._q_mode_compiled.value == compiled_before + 1
+        forall(handle).suchthat(Compare("num", "<", 9)).codegen(False).count()
+        assert db._q_mode_interpreted.value == interp_before + 1
+
+
+class TestOppCodegen:
+    SOURCE = """
+class gadget {
+    public:
+        char* name;
+        int qty;
+        int level;
+    constraint:
+        qty >= 0;
+    trigger:
+        restock(int n) : qty <= level ==> refill(this, n);
+};
+
+void refill(gadget* g, int n) {
+    g->qty = g->qty + n;
+}
+
+create gadget;
+persistent gadget *gp;
+transaction { gp = pnew gadget("widget", 50, 10); }
+"""
+
+    def test_bodies_compile(self, db):
+        before = dict(opp_codegen.stats)
+        interp = Interpreter(db)
+        interp.run(self.SOURCE)
+        assert opp_codegen.stats["compiled"] >= before["compiled"] + 3
+        cls = interp.globals.vars["gadget"]
+        check = cls.__dict__["constraint_0"]
+        assert hasattr(check, "_ode_source")
+        trig = cls._ode_triggers["restock"]
+        assert hasattr(trig.condition, "_ode_compiled")
+        assert hasattr(trig.action, "_ode_compiled")
+        source = trig.action._ode_compiled._ode_source
+        assert source.startswith("def __ode_body")
+
+    def test_trigger_fires_compiled(self, db):
+        interp = Interpreter(db)
+        interp.run(self.SOURCE)
+        interp.run("transaction { gp->restock(100); }\n"
+                   "transaction { gp->qty = 5; }\n")
+        cls = interp.globals.vars["gadget"]
+        obj = next(iter(db.cluster(cls)))
+        assert obj.qty == 105  # condition fired at 5 <= 10, +100
+
+    def test_constraint_enforced_compiled(self, db):
+        from repro.errors import ConstraintViolation
+        interp = Interpreter(db)
+        interp.run(self.SOURCE)
+        with pytest.raises(ConstraintViolation):
+            interp.run("transaction { gp->qty = -1; }\n")
+
+    def test_disabled_falls_back(self, db, monkeypatch):
+        monkeypatch.setenv("REPRO_CODEGEN", "0")
+        before = opp_codegen.stats["compiled"]
+        interp = Interpreter(db)
+        interp.run(self.SOURCE)
+        assert opp_codegen.stats["compiled"] == before
+        cls = interp.globals.vars["gadget"]
+        assert not hasattr(cls.__dict__["constraint_0"], "_ode_source")
+        # behavior is identical regardless
+        interp.run("transaction { gp->restock(7); }\n"
+                   "transaction { gp->qty = 3; }\n")
+        obj = next(iter(db.cluster(cls)))
+        assert obj.qty == 10
+
+    def test_unsupported_body_falls_back(self, db):
+        # a forall statement inside a trigger action has no lowering
+        src = """
+class oddball {
+    public:
+        int v;
+    trigger:
+        t() : v > 5 ==> { forall x in oddball printf("%d\\n", x->v); };
+};
+"""
+        before = opp_codegen.stats["fallbacks"]
+        interp = Interpreter(db)
+        interp.run(src)
+        assert opp_codegen.stats["fallbacks"] > before
+        cls = interp.globals.vars["oddball"]
+        trig = cls._ode_triggers["t"]
+        assert not hasattr(trig.action, "_ode_compiled")
+
+    def test_opp_forall_uses_plan_cache(self, db):
+        interp = Interpreter(db)
+        interp.run(self.SOURCE)
+        interp.run("transaction { pnew gadget(\"b\", 5, 1); }\n")
+        base = db.codegen_cache.misses
+        interp.run('forall g in gadget suchthat (g->qty > 0) '
+                   'printf("%s\\n", g->name);\n')
+        assert db.codegen_cache.misses == base + 1
+        interp.run('forall g in gadget suchthat (g->qty > 3) '
+                   'printf("%s\\n", g->name);\n')
+        # same structural shape: served from the codegen cache
+        assert db.codegen_cache.misses == base + 1
+        assert db.codegen_cache.hits > 0
+
+
+class TestPredicateTriggerCondition:
+    def test_predicate_condition_compiles(self, db):
+        from repro.core.triggers import Trigger
+        from repro.query.predicates import A
+
+        fired = []
+
+        class Widget(OdeObject):
+            qty = IntField(default=0)
+            poke = Trigger(condition=A.qty <= 2,
+                           action=lambda self, *a: fired.append(self.qty))
+
+        decl = Widget.__dict__["poke"]
+        assert hasattr(decl.condition, "_ode_predicate")
+        db.create(Widget)
+        with db.transaction():
+            w = db.pnew(Widget, qty=10)
+        w.poke()
+        with db.transaction():
+            w.qty = 1
+        assert fired == [1]
