@@ -1,7 +1,7 @@
 PYTHON ?= python
 export PYTHONPATH := src
 
-.PHONY: test test-concurrency crash-smoke crash-full bench bench-smoke bench-codegen-smoke bench-baseline
+.PHONY: test test-concurrency crash-smoke crash-full bench bench-smoke bench-codegen-smoke bench-mvcc-smoke bench-baseline
 
 test:
 	$(PYTHON) -m pytest tests/ -x -q
@@ -42,6 +42,16 @@ bench-codegen-smoke:
 		--benchmark-max-time=0.3 --benchmark-min-rounds=3 -q
 	$(PYTHON) -m pytest tests/query/test_codegen.py \
 		tests/query/test_codegen_differential.py -x -q
+
+# MVCC gate: readers-vs-writer throughput (snapshot reads must let the
+# writer through at >= 2x the S-lock baseline) and the single-thread
+# overhead geomean, plus the snapshot rounds of the differential harness
+# and the MVCC behaviour suite.
+bench-mvcc-smoke:
+	$(PYTHON) -m pytest benchmarks/bench_concurrency.py::TestMvccScanReaders \
+		--benchmark-only -q
+	$(PYTHON) -m pytest tests/concurrency/test_mvcc.py \
+		"tests/query/test_codegen_differential.py::TestSnapshotDifferential" -x -q
 
 # Full suite, recorded as BENCH_<date>.json and diffed against the last
 # committed baseline (see benchmarks/run_baseline.py).

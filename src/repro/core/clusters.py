@@ -20,6 +20,7 @@ from __future__ import annotations
 
 from typing import Iterator, List, Type
 
+from .mvcc import STORE as _MVCC_STORE
 from .objects import OdeObject, class_registry
 from .oid import Oid
 
@@ -65,18 +66,40 @@ class ClusterHandle:
         """
         return self._iter_batches_one(self.name)
 
-    def _iter_batches_one(self,
-                          cluster_name: str) -> Iterator[List[OdeObject]]:
+    def as_of(self, token: int) -> "AsOfHandle":
+        """Time-travel view of this extent as of *token* (an opaque value
+        from :meth:`Database.snapshot_token`). Iterating it yields the
+        committed state of each object at that moment; objects created
+        later are invisible, objects deleted later reappear. Requires
+        MVCC; tokens older than the retention window raise
+        :class:`~repro.errors.SnapshotTooOldError`."""
+        return AsOfHandle(self, int(token))
+
+    def _iter_batches_one(self, cluster_name: str,
+                          as_of=None) -> Iterator[List[OdeObject]]:
         db = self.db
         if not db.store.has_cluster(cluster_name):
             return
         if db._txn is not None and db._dirty:
             db._flush(db._txn.txn_id)
-        db._lock_cluster_scan(cluster_name)
-        # Page-at-a-time batches: one cluster S lock covers the whole
-        # scan, and each batch carries the state records that share the
-        # page with their version heads, so most objects materialize with
-        # zero extra storage round-trips.
+        vis = db._scan_visibility(cluster_name, as_of)
+        if as_of is None:
+            # Under MVCC this only notes the cluster in the transaction's
+            # read set (no lock); as-of reads are not the transaction's
+            # own reads and must not create write-write conflicts.
+            db._lock_cluster_scan(cluster_name)
+        # Page-at-a-time batches: each batch carries the state records
+        # that share the page with their version heads, so most objects
+        # materialize with zero extra storage round-trips. Under MVCC the
+        # per-record history check replaces the cluster S lock.
+        if vis is None:
+            for batch in db.store.scan_batches(cluster_name):
+                objs = self._batch_objs(cluster_name, batch)
+                if objs:
+                    yield objs
+            return
+        hget, needs, seen = vis.hget, vis.needs, vis.seen
+        batch_clean = vis.batch_clean
         for batch in db.store.scan_batches(cluster_name):
             heads = []
             states = {}
@@ -86,14 +109,50 @@ class ClusterHandle:
                     heads.append(record)
                 else:
                     states[(record_key[0], record_key[1])] = record
+            # Checked after the batch is decoded (see batch_clean): a
+            # clean cluster skips the two per-head history probes.
+            checked = not batch_clean()
             objs = []
             for record in heads:
+                serial = record["__key"][0]
+                if checked:
+                    hist = hget(serial)
+                    if hist is not None and needs(hist):
+                        obj = vis.materialize(serial)
+                        if obj is not None:
+                            objs.append(obj)
+                        continue
+                if serial in seen:
+                    continue  # record relocated; already yielded once
+                seen.add(serial)
                 obj = db._materialize_from_scan(
-                    cluster_name, record["__key"][0], record, states)
+                    cluster_name, serial, record, states)
                 if obj is not None:
                     objs.append(obj)
             if objs:
                 yield objs
+        extra = vis.tail()
+        if extra:
+            yield extra
+
+    def _batch_objs(self, cluster_name: str, batch) -> List[OdeObject]:
+        """One scan batch to live objects (the pre-MVCC fast path)."""
+        db = self.db
+        heads = []
+        states = {}
+        for _rid, record in batch:
+            record_key = record["__key"]
+            if record_key[1] == 0:
+                heads.append(record)
+            else:
+                states[(record_key[0], record_key[1])] = record
+        objs = []
+        for record in heads:
+            obj = db._materialize_from_scan(
+                cluster_name, record["__key"][0], record, states)
+            if obj is not None:
+                objs.append(obj)
+        return objs
 
     def hierarchy(self) -> List[str]:
         """This cluster plus all transitively derived cluster names.
@@ -117,38 +176,103 @@ class ClusterHandle:
 
     # -- conveniences ------------------------------------------------------------
 
-    def count(self, deep: bool = False) -> int:
+    def count(self, deep: bool = False, as_of=None) -> int:
         """Number of objects in the extent (heads only, versions uncounted).
 
         Served from the incrementally-maintained cluster statistics when
         they are exact (tracked since the cluster was empty, or rebuilt by
-        ``db.analyze()``); otherwise counted by scanning."""
+        ``db.analyze()``) and no concurrent writer has touched the cluster
+        relative to this reader's snapshot; otherwise counted by scanning
+        through the visibility overlay."""
+        db = self.db
         total = 0
         names = self.hierarchy() if deep else [self.name]
         for name in names:
-            if not self.db.store.has_cluster(name):
+            if not db.store.has_cluster(name):
                 continue
-            stats = self.db.cluster_stats.get(name)
-            if stats is not None and stats.exact:
-                total += stats.count
+            vis = db._scan_visibility(name, as_of)
+            if vis is not None and not db._mvcc.cluster_dirty(
+                    name, vis.snapshot):
+                # No in-flight writer and no commit newer than the
+                # snapshot: store content is exactly the snapshot.
+                vis = None
+            if vis is None:
+                stats = db.cluster_stats.get(name)
+                if stats is not None and stats.exact:
+                    total += stats.count
+                    continue
+                for batch in db.store.scan_batches(name):
+                    for _rid, record in batch:
+                        if record["__key"][1] == 0:
+                            total += 1
                 continue
-            for batch in self.db.store.scan_batches(name):
-                for _rid, record in batch:
-                    if record["__key"][1] == 0:
-                        total += 1
+            total += self._count_visible(name, vis)
         return total
 
-    def oids(self, deep: bool = False) -> Iterator[Oid]:
+    def _count_visible(self, name: str, vis) -> int:
+        """Head count through the MVCC overlay (no materialization)."""
+        db = self.db
+        mvcc = db._mvcc
+        seen = vis.seen
+        n = 0
+        for batch in db.store.scan_batches(name):
+            for _rid, record in batch:
+                serial, version = record["__key"]
+                if version != 0 or serial in seen:
+                    continue
+                seen.add(serial)
+                hist = vis.hget(serial)
+                if hist is not None and vis.needs(hist):
+                    if mvcc.visible(hist, vis.snapshot, vis.txn_id) is None:
+                        continue  # created after the snapshot
+                n += 1
+        for serial, hist in list(vis.hists.items()):
+            if serial in seen:
+                continue
+            img = mvcc.visible(hist, vis.snapshot, vis.txn_id)
+            if img is None or img is _MVCC_STORE:
+                continue
+            if not db.store.exists(name, (serial, 0)):
+                n += 1  # deleted after the snapshot: still visible
+        return n
+
+    def oids(self, deep: bool = False, as_of=None) -> Iterator[Oid]:
         """Object ids in the extent, without materialising the objects."""
+        db = self.db
         names = self.hierarchy() if deep else [self.name]
         for name in names:
-            if not self.db.store.has_cluster(name):
+            if not db.store.has_cluster(name):
                 continue
-            for batch in self.db.store.scan_batches(name):
+            vis = db._scan_visibility(name, as_of)
+            if vis is None:
+                for batch in db.store.scan_batches(name):
+                    for _rid, record in batch:
+                        serial, version = record["__key"]
+                        if version == 0:
+                            yield Oid(name, serial)
+                continue
+            mvcc = db._mvcc
+            seen = vis.seen
+            for batch in db.store.scan_batches(name):
                 for _rid, record in batch:
                     serial, version = record["__key"]
-                    if version == 0:
-                        yield Oid(name, serial)
+                    if version != 0 or serial in seen:
+                        continue
+                    seen.add(serial)
+                    hist = vis.hget(serial)
+                    if hist is not None and vis.needs(hist):
+                        if mvcc.visible(hist, vis.snapshot,
+                                        vis.txn_id) is None:
+                            continue
+                    yield Oid(name, serial)
+            for serial, hist in list(vis.hists.items()):
+                if serial in seen:
+                    continue
+                img = mvcc.visible(hist, vis.snapshot, vis.txn_id)
+                if img is None or img is _MVCC_STORE:
+                    continue
+                if not db.store.exists(name, (serial, 0)):
+                    yield Oid(name, serial)
 
     def __repr__(self) -> str:
         return "ClusterHandle(%s)" % self.name
@@ -170,8 +294,59 @@ class DeepView:
         for name in self.handle.hierarchy():
             yield from self.handle._iter_batches_one(name)
 
+    def as_of(self, token: int) -> "AsOfHandle":
+        """Time-travel view over the whole hierarchy as of *token*."""
+        return AsOfHandle(self.handle, int(token), deep=True)
+
     def count(self) -> int:
         return self.handle.count(deep=True)
 
     def __repr__(self) -> str:
         return "DeepView(%s*)" % self.handle.name
+
+
+class AsOfHandle:
+    """Time-travel view of an extent at a snapshot token (re-iterable).
+
+    Produced by :meth:`ClusterHandle.as_of` / :meth:`DeepView.as_of`; the
+    token comes from :meth:`Database.snapshot_token`. Iteration yields
+    private read-only materializations of the committed state as of the
+    token — writing through them raises
+    :class:`~repro.errors.SnapshotConflictError`. Not a
+    :class:`ClusterHandle`, so the query optimizer always full-scans it
+    (index contents describe the present, not the past).
+    """
+
+    def __init__(self, handle: ClusterHandle, token: int,
+                 deep: bool = False):
+        self.handle = handle
+        self.db = handle.db
+        self.cls = handle.cls
+        self.name = handle.name
+        self.token = token
+        self._deep = deep
+
+    def _names(self) -> List[str]:
+        return self.handle.hierarchy() if self._deep else [self.name]
+
+    def __iter__(self) -> Iterator[OdeObject]:
+        for batch in self.iter_batches():
+            yield from batch
+
+    def iter_batches(self) -> Iterator[List[OdeObject]]:
+        for name in self._names():
+            yield from self.handle._iter_batches_one(name,
+                                                     as_of=self.token)
+
+    def deep(self) -> "AsOfHandle":
+        return AsOfHandle(self.handle, self.token, deep=True)
+
+    def count(self) -> int:
+        return self.handle.count(deep=self._deep, as_of=self.token)
+
+    def oids(self) -> Iterator[Oid]:
+        return self.handle.oids(deep=self._deep, as_of=self.token)
+
+    def __repr__(self) -> str:
+        star = "*" if self._deep else ""
+        return "AsOfHandle(%s%s @ %d)" % (self.name, star, self.token)

@@ -36,6 +36,7 @@ key                record
 
 from __future__ import annotations
 
+import os
 import random
 import threading
 import time
@@ -47,13 +48,15 @@ from typing import (Any, Callable, Dict, Iterator, List, Optional, Set,
 from ..errors import (ClusterExistsError, ClusterNotFoundError,
                       ConstraintViolation, DanglingReferenceError,
                       DeadlockError, LockTimeoutError, NotPersistentError,
-                      SchemaError, TransactionError, TransientIOError,
-                      TriggerActionError, VersionError)
+                      SchemaError, SnapshotConflictError, TransactionError,
+                      TransientIOError, TriggerActionError, VersionError)
 from ..query.optimizer import PlanCache
 from ..query.stats import StatsManager
 from ..storage.locks import (EXCLUSIVE, INTENT_EXCLUSIVE, INTENT_SHARED,
                              SHARED)
 from ..storage.store import Store
+from .mvcc import STORE as _MVCC_STORE
+from .mvcc import MVCCManager
 from .objects import OdeMeta, OdeObject, class_registry
 from .oid import Oid, Vref
 from .triggers import ACTIVATION_CLUSTER, FiredAction, TriggerManager
@@ -73,6 +76,8 @@ def _abort_reason(exc: BaseException) -> str:
         return "timeout"
     if isinstance(exc, ConstraintViolation):
         return "constraint"
+    if isinstance(exc, SnapshotConflictError):
+        return "conflict"
     return "error"
 
 
@@ -150,6 +155,73 @@ class DecodedCache:
         }
 
 
+class VersionCache:
+    """Bounded cache of pinned-version materializations keyed by Vref.
+
+    Replaces the previously unbounded ``_vcache`` dict: version-churn
+    workloads (many ``newversion`` calls, each pinning read-only
+    history) used to leak one live object per pinned version forever.
+    Same trim strategy as :class:`DecodedCache` — insertion-order
+    wholesale trim under the lock, lock-free GIL-atomic ``get`` — because
+    entries are pure caches: a miss just re-materializes from the store.
+    """
+
+    __slots__ = ("capacity", "_entries", "_lock", "hits", "evictions")
+
+    def __init__(self, capacity: int = 2048):
+        self.capacity = capacity
+        self._entries: Dict[Vref, OdeObject] = {}
+        self._lock = threading.Lock()
+        self.hits = 0
+        self.evictions = 0
+
+    def get(self, vref: Vref):
+        obj = self._entries.get(vref)
+        if obj is not None:
+            self.hits += 1
+        return obj
+
+    def put(self, vref: Vref, obj: OdeObject) -> None:
+        with self._lock:
+            if len(self._entries) >= self.capacity:
+                drop = len(self._entries) // 2 + 1
+                for stale in list(self._entries)[:drop]:
+                    self._entries.pop(stale, None)
+                self.evictions += drop
+            self._entries[vref] = obj
+
+    def pop(self, vref: Vref, default=None):
+        return self._entries.pop(vref, default)
+
+    def clear(self) -> None:
+        with self._lock:
+            dropped = len(self._entries)
+            self._entries.clear()
+            self.evictions += dropped
+
+    def invalidate_cluster(self, cluster: str) -> int:
+        """Drop every entry of *cluster* (vacuum rewrote its chains)."""
+        with self._lock:
+            stale = [v for v in self._entries if v.cluster == cluster]
+            for vref in stale:
+                self._entries.pop(vref, None)
+            self.evictions += len(stale)
+        return len(stale)
+
+    def __iter__(self):
+        return iter(list(self._entries))
+
+    def __getitem__(self, vref: Vref) -> OdeObject:
+        return self._entries[vref]
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def stats(self) -> Dict[str, int]:
+        return {"entries": len(self._entries), "capacity": self.capacity,
+                "hits": self.hits, "evictions": self.evictions}
+
+
 def _state_key(state: Dict, fields: List[str]):
     """Index key for *fields* out of a stored state dict."""
     if len(fields) == 1:
@@ -170,7 +242,8 @@ class Transaction:
     """
 
     __slots__ = ("txn_id", "db", "_done", "_begin_lsn", "read_set",
-                 "write_set", "created", "_cluster_modes", "ddl")
+                 "write_set", "created", "_cluster_modes", "ddl",
+                 "snapshot_lsn", "read_clusters")
 
     def __init__(self, txn_id: int, db: "Database"):
         self.txn_id = txn_id
@@ -184,6 +257,15 @@ class Transaction:
         self.created: Set[Tuple[str, int]] = set()
         self._cluster_modes: Set[Tuple[str, str]] = set()
         self.ddl = False
+        #: MVCC snapshot: reads resolve to the newest content committed
+        #: at or before this LSN (None when MVCC is disabled — then reads
+        #: take S locks instead).
+        self.snapshot_lsn: Optional[int] = (
+            db._mvcc.begin_snapshot(txn_id) if db._mvcc_on else None)
+        #: Clusters this transaction has scanned (forall iteration);
+        #: writes to objects of these clusters get the write-conflict
+        #: check even when the individual object was never derefed.
+        self.read_clusters: Set[str] = set()
 
     def lock_cluster(self, locks, cluster: str, mode: str) -> None:
         """Take (once per mode) the cluster-level lock for this txn."""
@@ -226,6 +308,15 @@ class Database:
         independent transaction either way).
         """
         self.store = Store(path, pool_size=pool_size, durability=durability)
+        #: MVCC snapshot reads (the default): transactions read as of a
+        #: snapshot LSN through per-object version histories instead of
+        #: taking S locks; X locks remain for write-write conflicts.
+        #: ``REPRO_MVCC=0`` (or flipping this attribute before any
+        #: transaction runs) restores strict-2PL shared locking — the
+        #: differential harness uses that to prove read equivalence.
+        self._mvcc_on = os.environ.get("REPRO_MVCC", "1") != "0"
+        self._mvcc = MVCCManager(start_lsn=self.store._wal.end_lsn)
+        self.store.on_commit = self._on_store_commit
         self.triggers = TriggerManager(self)
         #: Incremental per-cluster statistics for the cost-based optimizer.
         self.cluster_stats = StatsManager(self)
@@ -246,8 +337,8 @@ class Database:
         #: derefs of an unchanged object skip the directory probes and
         #: ``decode_value`` entirely (see :class:`DecodedCache`).
         self._decoded = DecodedCache()
-        #: Vref -> live pinned-version object
-        self._vcache: Dict[Vref, OdeObject] = {}
+        #: Vref -> live pinned-version object (bounded; see VersionCache)
+        self._vcache = VersionCache()
         #: Guards _cache/_vcache mutation (they are shared across threads;
         #: the objects inside are protected by the lock manager instead).
         self._cache_lock = threading.RLock()
@@ -272,6 +363,15 @@ class Database:
         metrics.counter_fn("decoded.misses", lambda: decoded.misses)
         metrics.counter_fn("decoded.evictions", lambda: decoded.evictions)
         metrics.gauge_fn("decoded.entries", lambda: len(decoded))
+        vcache = self._vcache
+        metrics.counter_fn("vcache.hits", lambda: vcache.hits)
+        metrics.counter_fn("vcache.evictions", lambda: vcache.evictions)
+        metrics.gauge_fn("vcache.entries", lambda: len(vcache))
+        mvcc = self._mvcc
+        metrics.counter_fn("mvcc.resolutions", lambda: mvcc.resolutions)
+        metrics.counter_fn("mvcc.conflicts", lambda: mvcc.conflicts)
+        metrics.gauge_fn("mvcc.histories", mvcc.history_count)
+        metrics.gauge_fn("mvcc.active_snapshots", mvcc.active_snapshots)
         plan_cache = self.plan_cache
         metrics.counter_fn("plan_cache.hits", lambda: plan_cache.hits)
         metrics.counter_fn("plan_cache.misses", lambda: plan_cache.misses)
@@ -362,14 +462,23 @@ class Database:
     # ------------------------------------------------------------------
 
     def _lock_for_read(self, cluster: str, serial: int) -> None:
-        """S-lock one object (plus IS on its cluster) for the open txn.
+        """Record (MVCC) or S-lock (2PL) one object read for the open txn.
 
-        Outside a transaction reads are unlocked — autocommitted reads
-        see the latest committed state, which is all a transactionless
-        caller can ask for.
+        Under MVCC snapshot reads no lock is taken at all — visibility
+        comes from the snapshot LSN and the version histories — but the
+        read is noted in the read set so a later write to the same object
+        gets the write-conflict check. With MVCC disabled this is the
+        original strict-2PL path: S on the object plus IS on its cluster.
+
+        Outside a transaction reads are unlocked either way —
+        autocommitted reads see the latest committed state, which is all
+        a transactionless caller can ask for.
         """
         handle = self._session.txn
         if handle is None:
+            return
+        if self._mvcc_on:
+            handle.read_set.add((cluster, serial))
             return
         key = (cluster, serial)
         if key in handle.read_set or key in handle.write_set:
@@ -386,8 +495,21 @@ class Database:
         handle.read_set.add(key)
 
     def _lock_for_write(self, cluster: str, serial: int,
-                        created: bool = False) -> None:
-        """X-lock one object (plus IX on its cluster) for the open txn."""
+                        created: bool = False,
+                        full_image: bool = False,
+                        lazy: bool = False) -> None:
+        """X-lock one object (plus IX on its cluster) for the open txn.
+
+        Under MVCC the grant additionally runs the first-updater-wins
+        check (writing an object this transaction has *read* — directly
+        or via a cluster scan — that another transaction committed to
+        since our snapshot raises :class:`SnapshotConflictError`) and
+        registers the object's committed pre-image with the MVCC
+        histories before the first store mutation can happen. *lazy*
+        marks the deferred field-write path, whose store mutation only
+        happens at flush: registration skips the image load and the
+        flush materializes the pre-image just before writing.
+        """
         handle = self._session.txn
         if handle is None:
             return
@@ -403,14 +525,201 @@ class Database:
                 locks.acquire(handle.txn_id, ("obj", cluster, serial),
                               EXCLUSIVE)
                 handle.write_set.add(key)
+            if self._mvcc_on:
+                snapshot = handle.snapshot_lsn
+                if (snapshot is not None and not created
+                        and (key in handle.read_set
+                             or cluster in handle.read_clusters)
+                        and self._mvcc.committed_after(cluster, serial,
+                                                       snapshot)):
+                    self._mvcc.conflicts += 1
+                    raise SnapshotConflictError(
+                        "write to %s:%d conflicts with a commit newer "
+                        "than this transaction's snapshot (lsn %d)"
+                        % (cluster, serial, snapshot))
+                if created:
+                    # Fresh serial: the committed pre-image is "no
+                    # object" by construction — skip the store probe.
+                    self._mvcc.register(handle.txn_id, cluster, serial,
+                                        lambda: None)
+                elif lazy:
+                    # Deferred field write: the store stays clean until
+                    # flush, so defer the image load too. The loader is
+                    # only invoked if a concurrent reader needs the
+                    # pre-image before the flush fills it for free.
+                    self._mvcc.register(
+                        handle.txn_id, cluster, serial,
+                        lambda: self._load_image(cluster, serial),
+                        lazy=True)
+                else:
+                    self._mvcc.register(
+                        handle.txn_id, cluster, serial,
+                        lambda: self._load_image(cluster, serial,
+                                                 full_image))
+        elif self._mvcc_on and not lazy:
+            # Already registered earlier in this transaction. If that
+            # registration was lazy (deferred field write — the store is
+            # still clean), the coming immediate mutation needs the
+            # pre-image captured now; and if the mutation deletes
+            # non-current version records, a partial image must grow to
+            # cover the whole chain first.
+            self._mvcc.register(
+                handle.txn_id, cluster, serial,
+                lambda: self._load_image(cluster, serial, full_image))
+            if full_image:
+                self._mvcc.upgrade_image(
+                    handle.txn_id, cluster, serial,
+                    lambda img: self._fill_image(cluster, serial, img))
         if created:
             handle.created.add(key)
 
     def _lock_cluster_scan(self, cluster: str) -> None:
-        """S-lock a whole cluster for a scan (``forall`` iteration)."""
+        """Note (MVCC) or S-lock (2PL) a whole-cluster scan (``forall``)."""
         handle = self._session.txn
-        if handle is not None:
-            handle.lock_cluster(self.store.locks, cluster, SHARED)
+        if handle is None:
+            return
+        if self._mvcc_on:
+            handle.read_clusters.add(cluster)
+            return
+        handle.lock_cluster(self.store.locks, cluster, SHARED)
+
+    # ------------------------------------------------------------------
+    # MVCC plumbing (snapshot visibility over the version histories)
+    # ------------------------------------------------------------------
+
+    def _on_store_commit(self, txn: int, clsn: Optional[int]) -> None:
+        """Store commit hook: stamp this transaction's pre-images.
+
+        Runs after the WAL commit record exists and before lock release.
+        *clsn* is None only on the degraded trivial-commit path, where a
+        writer was rolled back in memory — its pre-images are dropped as
+        an abort.
+        """
+        if clsn is not None:
+            self._mvcc.commit(txn, clsn)
+        else:
+            self._mvcc.abort(txn)
+
+    def _load_image(self, cluster: str, serial: int, full: bool = False):
+        """The committed image of one object: ``(head, {version: state})``
+        or None when the object does not exist. Called under the object's
+        X lock, so the records cannot move while being read.
+
+        The default image is *partial* — head plus the current version's
+        state only, which is all a field write or ``newversion`` can
+        touch, so registration stays O(1) in the chain length. Mutations
+        that remove non-current version records (``pdelete``) load the
+        whole chain (``full=True``); pinned-version readers handle the
+        partial case by falling back to the store, sound because old
+        version states are immutable short of such a full-image delete.
+        """
+        if not full:
+            try:
+                head, version, state = self._load_current(cluster, serial)
+            except DanglingReferenceError:
+                pass  # chain missing its state record: take the slow path
+            else:
+                if head is None:
+                    return None
+                return (head, {version: state})
+        store = self.store
+        head = store.get(cluster, (serial, 0))
+        if head is None:
+            return None
+        states: Dict[int, Dict] = {}
+        versions = head["chain"] if full else (head["current"],)
+        for version in versions:
+            rec = store.get(cluster, (serial, version))
+            if rec is not None:
+                states[version] = rec["state"]
+        return (head, states)
+
+    def _fill_image(self, cluster: str, serial: int, img) -> None:
+        """Extend a partial pre-image to the full chain, in place.
+
+        Called (under the registry lock, before the deleting mutation)
+        when a transaction that registered a partial image goes on to
+        remove version records. Only versions missing from the image are
+        read — everything this transaction already mutated (head, the
+        old current state) is in the image, and the rest are immutable.
+        """
+        head, states = img
+        store = self.store
+        for version in head["chain"]:
+            if version not in states:
+                rec = store.get(cluster, (serial, version))
+                if rec is not None:
+                    states[version] = rec["state"]
+
+    def _lazy_image(self, cluster: str, serial: int, head,
+                    version: int, state):
+        """Pre-image for a lazily registered flush write.
+
+        The flush already holds the old head and state (loaded for index
+        maintenance); only a decoded-cache miss on the head costs a
+        store read here. Runs inside the registry lock via
+        :meth:`MVCCManager.fill_lazy`, before the flush's store write.
+        """
+        if head is None:
+            head = self.store.get(cluster, (serial, 0))
+            if head is None:
+                return None
+        return (head, {version: state} if state is not None else {})
+
+    def _materialize_snapshot(self, cluster: str, serial: int,
+                              img) -> OdeObject:
+        """A private, read-only materialization of a resolved image.
+
+        Never the shared cache object (whose in-memory state may carry a
+        concurrent writer's uncommitted mutations) and never cached: the
+        object belongs to the resolving reader alone. Writing to it
+        raises :class:`SnapshotConflictError` — the reader is looking at
+        data that is (or is about to be) superseded, so a read-modify-
+        write through it must retry on a fresh snapshot, not silently
+        lose the concurrent update.
+        """
+        head, states = img
+        version = head["current"]
+        obj = self._materialize(Oid(cluster, serial), version,
+                                dict(states[version]), readonly=True)
+        obj.__dict__["_p_snapshot_stale"] = True
+        return obj
+
+    def snapshot_token(self) -> int:
+        """An opaque token naming "the database as of now" for time-travel
+        reads: pass it to ``ClusterHandle.as_of`` / ``Forall.as_of`` (or
+        O++ ``forall ... as of``). Tokens are session-scoped (histories
+        live in memory) and reach back only over recent activity; older
+        tokens raise :class:`SnapshotTooOldError` rather than answer
+        wrongly."""
+        return self._mvcc.last_commit_lsn
+
+    def _scan_visibility(self, cluster: str, as_of: Optional[int] = None):
+        """The visibility overlay for one cluster scan, or None (2PL mode).
+
+        The overlay holds a *live* reference to the cluster's history
+        dict, so writers that register mid-scan are visible to the
+        per-record check — combined with registration-before-mutation
+        this means a scan that decodes a writer's uncommitted bytes
+        always finds the history entry and resolves the committed
+        pre-image instead.
+        """
+        if not self._mvcc_on:
+            if as_of is not None:
+                raise TransactionError(
+                    "as-of reads require MVCC (REPRO_MVCC=0 disables it)")
+            return None
+        if as_of is not None:
+            self._mvcc.check_snapshot(as_of)
+            snapshot, txn_id = as_of, -2  # never matches a real txn
+        else:
+            handle = self._session.txn
+            if handle is not None:
+                snapshot, txn_id = handle.snapshot_lsn, handle.txn_id
+            else:
+                snapshot, txn_id = None, -1  # autocommit: read-committed
+        return _ScanVis(self, cluster, self._mvcc.histories(cluster),
+                        snapshot, txn_id)
 
     def _lock_cluster_ddl(self, cluster: str) -> None:
         """X-lock a whole cluster (index DDL, cluster rewrites)."""
@@ -483,7 +792,8 @@ class Database:
             try:
                 with self.transaction():
                     return fn()
-            except (DeadlockError, LockTimeoutError, TransientIOError):
+            except (DeadlockError, LockTimeoutError, TransientIOError,
+                    SnapshotConflictError):
                 attempt += 1
                 if attempt > retries:
                     raise
@@ -521,7 +831,14 @@ class Database:
         except BaseException as exc:
             self._abort(handle, reason=_abort_reason(exc))
             raise
-        self.store.commit(txn)
+        try:
+            self.store.commit(txn)
+        except BaseException:
+            # WalFlushError path: the journal undid the transaction in
+            # memory — drop its MVCC pre-images (and snapshot pin) the
+            # same way an abort would.
+            self._mvcc.abort(txn)
+            raise
         self._txn_commits.inc()
         handle._done = True
         self._txn = None
@@ -533,6 +850,10 @@ class Database:
         # locks drop, another thread may start rewriting the very objects
         # we are restoring.
         self.store.abort(handle.txn_id, release_locks=False)
+        # After the store rollback: readers resolving through a still-
+        # pending history entry saw the pre-image, which is exactly the
+        # rolled-back content, so either order is consistent.
+        self._mvcc.abort(handle.txn_id)
         try:
             handle._done = True
             self._txn = None
@@ -597,7 +918,7 @@ class Database:
                         stale.__dict__["_p_oid"] = None
                         stale.__dict__["_p_db"] = None
                         stale.__dict__["_p_version"] = 0
-                        del self._vcache[vref]
+                        self._vcache.pop(vref, None)
                     else:
                         stale._p_load_state(state["state"])
 
@@ -691,27 +1012,84 @@ class Database:
         # autocommit's flush locks the object instead.
         if self._session.txn is not None and obj.is_persistent:
             oid = obj.oid
-            self._lock_for_write(oid.cluster, oid.serial)
+            self._lock_for_write(oid.cluster, oid.serial, lazy=True)
 
     def _flush(self, txn: int) -> None:
-        """Write every dirty object's state to its current version."""
+        """Write every dirty object's state to its current version.
+
+        Two passes, reads before writes: state records are small and
+        share pages, so a write invalidates the decoded-cache tokens of
+        every not-yet-flushed neighbour on its page — a single pass
+        would force a raw re-decode per object. Reading first keeps the
+        whole batch on cache hits; a final sweep re-primes the cache
+        with the states just written at their settled page LSNs, so the
+        *next* transaction's flush (and any MVCC image load) hits too.
+        """
+        handle = self._session.txn
+        todo = []
         for obj in list(self._dirty.values()):
             if not obj.is_persistent:
                 continue
             oid = obj.oid
-            self._lock_for_write(oid.cluster, oid.serial)
-            self._decoded.invalidate((oid.cluster, oid.serial))
+            self._lock_for_write(oid.cluster, oid.serial, lazy=True)
             version = obj.__dict__["_p_version"]
-            old = self.store.get(oid.cluster, (oid.serial, version))
+            key = (oid.cluster, oid.serial)
+            old_state = None
+            head = head_page = None
+            try:
+                self._load_current(oid.cluster, oid.serial)
+            except DanglingReferenceError:
+                pass
+            entry = self._decoded.get(key)
+            if entry is not None and entry[2] == version:
+                tokens, head, _cur, old_state = entry
+                head_page = tokens[0][0]
+            else:
+                old = self.store.get(oid.cluster, (oid.serial, version))
+                old_state = None if old is None else old["state"]
+            if self._mvcc_on and handle is not None:
+                # A lazily registered pre-image must exist before the
+                # store write below; build it from the state just read
+                # (the loader only runs if the image is still lazy).
+                self._mvcc.fill_lazy(
+                    handle.txn_id, oid.cluster, oid.serial,
+                    lambda h=head, v=version, s=old_state,
+                    c=oid.cluster, n=oid.serial: self._lazy_image(
+                        c, n, h, v, s))
+            todo.append((obj, oid, key, version, head, head_page,
+                         old_state))
+
+        primed = []
+        for obj, oid, key, version, head, head_page, old_state in todo:
+            self._decoded.invalidate(key)
             new_state = obj._p_state_dict()
-            self.store.put(txn, oid.cluster, (oid.serial, version),
-                           {"__key": [oid.serial, version],
-                            "state": new_state})
-            old_state = None if old is None else old["state"]
+            payload = {"__key": [oid.serial, version], "state": new_state}
+            if head_page is None:
+                self.store.put(txn, oid.cluster, (oid.serial, version),
+                               payload)
+            else:
+                rid, _lsn = self.store.put_with_token(
+                    txn, oid.cluster, (oid.serial, version), payload)
+                primed.append((key, oid.cluster, head_page, rid.page_no,
+                               head, version, new_state))
             self._index_update(txn, obj, old_state)
             self.cluster_stats.record_update(oid.cluster, old_state,
                                              new_state)
         self._dirty.clear()
+
+        if primed:
+            by_cluster: Dict[str, set] = {}
+            for _key, cluster, head_page, state_page, *_rest in primed:
+                by_cluster.setdefault(cluster, set()).update(
+                    (head_page, state_page))
+            lsns = {c: self.store.page_lsns(c, pages)
+                    for c, pages in by_cluster.items()}
+            for (key, cluster, head_page, state_page, head, version,
+                    new_state) in primed:
+                got = lsns[cluster]
+                self._decoded.put(key, ((head_page, got[head_page]),
+                                        (state_page, got[state_page])),
+                                  head, version, new_state)
 
     def _constraint_violated(self) -> None:
         """Hook called when a public member function's constraint check
@@ -842,7 +1220,7 @@ class Database:
             return
         oid = self._as_oid(ref)
         with self._implicit_txn() as txn:
-            self._lock_for_write(oid.cluster, oid.serial)
+            self._lock_for_write(oid.cluster, oid.serial, full_image=True)
             head = self.store.get(oid.cluster, (oid.serial, 0))
             if head is None:
                 raise DanglingReferenceError("pdelete of missing %r" % (oid,))
@@ -856,7 +1234,7 @@ class Database:
 
     def _pdelete_version(self, vref: Vref) -> None:
         with self._implicit_txn() as txn:
-            self._lock_for_write(vref.cluster, vref.serial)
+            self._lock_for_write(vref.cluster, vref.serial, full_image=True)
             head = self.store.get(vref.cluster, (vref.serial, 0))
             if head is None or vref.version not in head["chain"]:
                 raise DanglingReferenceError("pdelete of missing %r" % (vref,))
@@ -884,7 +1262,9 @@ class Database:
         with self._cache_lock:
             obj = self._cache.pop((oid.cluster, oid.serial), None)
             stale_vrefs = [v for v in self._vcache if v.oid == oid]
-            stale_objs = [self._vcache.pop(v) for v in stale_vrefs]
+            stale_objs = [o for o in (self._vcache.pop(v)
+                                      for v in stale_vrefs)
+                          if o is not None]
         if obj is not None:
             self._dirty.pop(id(obj), None)
             obj.__dict__["_p_oid"] = None
@@ -912,14 +1292,42 @@ class Database:
             return ref
         if isinstance(ref, Vref):
             return self._deref_version(ref, _missing_ok)
-        # Lock before looking at the cache: the cached instance may be
-        # mid-rewrite by a concurrent transaction, and the S lock is what
-        # waits that write out.
+        # Under MVCC this records the read (no lock); under 2PL it takes
+        # the S lock that waits out a concurrent rewrite of the cached
+        # instance.
         self._lock_for_read(ref.cluster, ref.serial)
+        mvcc_on = self._mvcc_on
+        if mvcc_on:
+            # History check *before* trusting the shared cache: when a
+            # writer is in flight (or committed past our snapshot) the
+            # canonical object must not be served — resolve to the
+            # visible committed image instead.
+            resolved = self._mvcc_check(ref.cluster, ref.serial)
+            if resolved is not _MVCC_STORE:
+                return self._serve_image(ref, resolved, _missing_ok)
         cached = self._cache.get((ref.cluster, ref.serial))
         if cached is not None:
             return cached
-        head, version, state = self._load_current(ref.cluster, ref.serial)
+        try:
+            head, version, state = self._load_current(ref.cluster,
+                                                      ref.serial)
+        except DanglingReferenceError:
+            # Head present but state record gone: a concurrent version
+            # relink mid-flight. The history (registered before the
+            # writer's first mutation) serves the committed image.
+            if mvcc_on:
+                resolved = self._mvcc_check(ref.cluster, ref.serial)
+                if resolved is not _MVCC_STORE:
+                    return self._serve_image(ref, resolved, _missing_ok)
+            raise
+        if mvcc_on:
+            # Decode-then-validate: a writer may have registered (and
+            # begun mutating records) between the first check and the
+            # store read; registration-before-mutation guarantees this
+            # re-check catches any such writer.
+            resolved = self._mvcc_check(ref.cluster, ref.serial)
+            if resolved is not _MVCC_STORE:
+                return self._serve_image(ref, resolved, _missing_ok)
         if head is None:
             if _missing_ok:
                 return None
@@ -932,6 +1340,32 @@ class Database:
                                     readonly=False)
             self._cache[(ref.cluster, ref.serial)] = obj
         return obj
+
+    def _mvcc_check(self, cluster: str, serial: int):
+        """Resolve one object read against the MVCC histories.
+
+        Returns :data:`_MVCC_STORE` (current store content / shared cache
+        is correct for this reader), an image tuple, or None (no object
+        visible at this snapshot).
+        """
+        hist = self._mvcc.lookup(cluster, serial)
+        if hist is None:
+            return _MVCC_STORE
+        handle = self._session.txn
+        if handle is not None:
+            snapshot, txn_id = handle.snapshot_lsn, handle.txn_id
+        else:
+            snapshot, txn_id = None, -1  # autocommit: read-committed
+        if not self._mvcc.needs_resolve(hist, snapshot, txn_id):
+            return _MVCC_STORE
+        return self._mvcc.visible(hist, snapshot, txn_id)
+
+    def _serve_image(self, ref, img, missing_ok: bool):
+        if img is None:
+            if missing_ok:
+                return None
+            raise DanglingReferenceError("dangling reference %r" % (ref,))
+        return self._materialize_snapshot(ref.cluster, ref.serial, img)
 
     def _load_current(self, cluster: str, serial: int):
         """Decoded ``(head, current_version, state)`` for one object.
@@ -973,25 +1407,87 @@ class Database:
     def _deref_version(self, vref: Vref,
                        missing_ok: bool) -> Optional[OdeObject]:
         self._lock_for_read(vref.cluster, vref.serial)
+        if self._mvcc_on:
+            resolved = self._mvcc_check(vref.cluster, vref.serial)
+            if resolved is not _MVCC_STORE:
+                if resolved is None:
+                    if missing_ok:
+                        return None
+                    raise DanglingReferenceError(
+                        "dangling reference %r" % (vref,))
+                head, states = resolved
+                state = (states.get(vref.version)
+                         if vref.version in head["chain"] else None)
+                if state is None and vref.version in head["chain"]:
+                    # Partial image (see _load_image): the pinned state
+                    # is immutable, so it lives in a later full
+                    # pre-image (a delete registers the chain before
+                    # mutating) or is still the store's record.
+                    state = self._pinned_state_fallback(vref)
+                if state is None:
+                    if missing_ok:
+                        return None
+                    raise DanglingReferenceError(
+                        "dangling reference %r" % (vref,))
+                obj = self._materialize(vref.oid, vref.version,
+                                        dict(state), readonly=True)
+                obj.__dict__["_p_snapshot_stale"] = True
+                return obj
         head = self.store.get(vref.cluster, (vref.serial, 0))
         if head is None or vref.version not in head["chain"]:
             if missing_ok:
                 return None
             raise DanglingReferenceError("dangling reference %r" % (vref,))
         if head["current"] == vref.version:
-            return self.deref(vref.oid)
+            return self.deref(vref.oid, _missing_ok=missing_ok)
         cached = self._vcache.get(vref)
         if cached is not None:
             return cached
         state = self.store.get(vref.cluster, (vref.serial, vref.version))
+        if state is None:
+            # A concurrent delete/vacuum can remove the state record
+            # between the chain-membership check above and this read;
+            # that is a dangling reference, not a TypeError.
+            if missing_ok:
+                return None
+            raise DanglingReferenceError("dangling reference %r" % (vref,))
         with self._cache_lock:
             cached = self._vcache.get(vref)
             if cached is not None:
                 return cached
             obj = self._materialize(vref.oid, vref.version, state["state"],
                                     readonly=True)
-            self._vcache[vref] = obj
+            self._vcache.put(vref, obj)
         return obj
+
+    def _pinned_state_fallback(self, vref: Vref) -> Optional[Dict]:
+        """Resolve a pinned version missing from a partial pre-image.
+
+        Order matters: a history probe first (a registered delete carries
+        the state), then the store record, then the history again — if
+        the record vanished between the probes, the deleter had
+        registered its full pre-image before deleting, so the re-check
+        finds it. A final None is a genuinely dangling version.
+        """
+        handle = self._session.txn
+        if handle is not None:
+            snapshot, txn_id = handle.snapshot_lsn, handle.txn_id
+        else:
+            snapshot, txn_id = None, -1
+        hist = self._mvcc.lookup(vref.cluster, vref.serial)
+        if hist is not None:
+            state = self._mvcc.version_state(hist, snapshot, txn_id,
+                                             vref.version)
+            if state is not None:
+                return state
+        rec = self.store.get(vref.cluster, (vref.serial, vref.version))
+        if rec is not None:
+            return rec["state"]
+        hist = self._mvcc.lookup(vref.cluster, vref.serial)
+        if hist is not None:
+            return self._mvcc.version_state(hist, snapshot, txn_id,
+                                            vref.version)
+        return None
 
     def _materialize_from_scan(self, cluster: str, serial: int, head: Dict,
                                states: Dict) -> Optional[OdeObject]:
@@ -1063,19 +1559,19 @@ class Database:
         oid = self._as_oid(ref)
         with self._implicit_txn() as txn:
             self._lock_for_write(oid.cluster, oid.serial)
-            head = self.store.get(oid.cluster, (oid.serial, 0))
+            # Flush pending in-memory changes into the old current version
+            # first, so the copy is faithful; then one decoded-cache read
+            # serves both the head and the state to copy.
+            self._flush(txn)
+            head, _cur, old_state = self._load_current(oid.cluster,
+                                                       oid.serial)
             if head is None:
                 raise DanglingReferenceError("newversion of missing %r"
                                              % (oid,))
-            # Flush pending in-memory changes into the old current version
-            # first, so the copy is faithful.
-            self._flush(txn)
-            old_state = self.store.get(oid.cluster,
-                                       (oid.serial, head["current"]))
             new_version = max(head["chain"]) + 1
             self.store.put(txn, oid.cluster, (oid.serial, new_version),
                            {"__key": [oid.serial, new_version],
-                            "state": dict(old_state["state"])})
+                            "state": dict(old_state)})
             self.store.put(txn, oid.cluster, (oid.serial, 0),
                            {"__key": [oid.serial, 0],
                             "current": new_version,
@@ -1127,6 +1623,13 @@ class Database:
 
     def _head_of(self, oid: Oid) -> Dict:
         self._lock_for_read(oid.cluster, oid.serial)
+        if self._mvcc_on:
+            resolved = self._mvcc_check(oid.cluster, oid.serial)
+            if resolved is not _MVCC_STORE:
+                if resolved is None:
+                    raise DanglingReferenceError(
+                        "dangling reference %r" % (oid,))
+                return resolved[0]
         head = self.store.get(oid.cluster, (oid.serial, 0))
         if head is None:
             raise DanglingReferenceError("dangling reference %r" % (oid,))
@@ -1236,12 +1739,18 @@ class Database:
                 pass
         # A vacuum rewrites every record of the cluster into new pages;
         # the old tokens all die at once, so wholesale clearing beats
-        # per-key invalidation.
+        # per-key invalidation. Pinned-version materializations of the
+        # rewritten chains are dropped too (counted as evictions) — a
+        # later deref re-pins from the new records.
         self._decoded.clear()
         if cls is not None:
             name = cls if isinstance(cls, str) else cls.__name__
-            return {name: self.store.vacuum(name)}
-        return {name: self.store.vacuum(name) for name in self.clusters()}
+            result = {name: self.store.vacuum(name)}
+            self._vcache.invalidate_cluster(name)
+            return result
+        result = {name: self.store.vacuum(name) for name in self.clusters()}
+        self._vcache.clear()
+        return result
 
     def verify(self) -> List[str]:
         """Run the storage integrity checker plus object-layer checks.
@@ -1437,6 +1946,8 @@ class Database:
             "buffer": buffer,
             "page_cache": store_stats["page_cache"],
             "decoded_cache": self._decoded.stats(),
+            "vcache": self._vcache.stats(),
+            "mvcc": self._mvcc.stats(),
             "fragmentation": fragmentation,
             "wal": {
                 "appends": store_stats["wal_appends"],
@@ -1547,6 +2058,91 @@ class Database:
 
     def __repr__(self) -> str:
         return "Database(%r)" % self.store.path
+
+
+class _ScanVis:
+    """Per-scan MVCC visibility overlay for one cluster.
+
+    The scan loop consults it per head record: serials with an active
+    history entry that matters for this reader (``needs``) are resolved
+    through :meth:`materialize` (committed image at the snapshot, own
+    writes from the store, invisible objects skipped); everything else
+    takes the unchanged fast path, with the serial noted in ``seen`` so
+    the post-scan :meth:`tail` pass can resurrect objects whose records
+    were deleted from the store mid-scan without double-yielding anything
+    the page walk already produced.
+    """
+
+    __slots__ = ("db", "cluster", "hists", "hget", "snapshot", "txn_id",
+                 "seen")
+
+    def __init__(self, db: Database, cluster: str, hists,
+                 snapshot: Optional[int], txn_id: int):
+        self.db = db
+        self.cluster = cluster
+        self.hists = hists
+        self.hget = hists.get
+        self.snapshot = snapshot
+        self.txn_id = txn_id
+        self.seen: Set[int] = set()
+
+    def needs(self, hist) -> bool:
+        return self.db._mvcc.needs_resolve(hist, self.snapshot, self.txn_id)
+
+    def batch_clean(self) -> bool:
+        """May a just-decoded batch skip the per-head history checks?
+
+        Safe to call once per batch *after* its records are decoded:
+        registration-before-mutation means any writer whose uncommitted
+        bytes could have been decoded is registered (pending) by now, and
+        a commit newer than the snapshot shows in the cluster's max
+        commit LSN — either flips :meth:`MVCCManager.cluster_dirty`. With
+        the cluster clean, ``needs_resolve`` is False for every history,
+        so the whole batch takes the unchecked fast path.
+        """
+        return not self.db._mvcc.cluster_dirty(self.cluster, self.snapshot)
+
+    def materialize(self, serial: int) -> Optional[OdeObject]:
+        """Resolve one history-flagged serial; None = skip (invisible or
+        already yielded)."""
+        seen = self.seen
+        if serial in seen:
+            return None
+        seen.add(serial)
+        db = self.db
+        hist = self.hget(serial)
+        if hist is not None:
+            img = db._mvcc.visible(hist, self.snapshot, self.txn_id)
+            if img is None:
+                return None
+            if img is not _MVCC_STORE:
+                return db._materialize_snapshot(self.cluster, serial, img)
+        # Own write, or the writer finished in our favour: current store
+        # content is right — the deref path re-resolves defensively.
+        return db.deref(Oid(self.cluster, serial), _missing_ok=True)
+
+    def tail(self) -> List[OdeObject]:
+        """Visible-at-snapshot objects whose store records are gone
+        (deleted mid-scan by another transaction): the page walk could
+        not have yielded them, so they are resurrected from their
+        committed images here."""
+        db = self.db
+        store = db.store
+        seen = self.seen
+        out: List[OdeObject] = []
+        for serial, hist in list(self.hists.items()):
+            if serial in seen:
+                continue
+            seen.add(serial)
+            img = db._mvcc.visible(hist, self.snapshot, self.txn_id)
+            if img is _MVCC_STORE or img is None:
+                continue
+            if store.exists(self.cluster, (serial, 0)):
+                # The live record was visited (or skipped as invisible)
+                # by the page walk itself.
+                continue
+            out.append(db._materialize_snapshot(self.cluster, serial, img))
+        return out
 
 
 class _ImplicitTxn:

@@ -68,11 +68,15 @@ class Field:
 
     def __set__(self, obj, value) -> None:
         value = self.validate(value)
-        obj.__dict__["_f_" + self.name] = value
-        self.post_set(obj, value)
+        # Mark dirty BEFORE storing the new value: dirty-marking acquires
+        # the object's write lock and (under MVCC) captures the pre-image
+        # and runs the write-write conflict check. If either raises, the
+        # in-memory object must still hold the old value.
         mark = getattr(obj, "_p_mark_dirty", None)
         if mark is not None:
             mark()
+        obj.__dict__["_f_" + self.name] = value
+        self.post_set(obj, value)
 
     def post_set(self, obj, value) -> None:
         """Hook after assignment (container fields bind their owner)."""

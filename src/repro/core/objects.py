@@ -213,6 +213,18 @@ class OdeObject(metaclass=OdeMeta):
     def _p_mark_dirty(self) -> None:
         if self.__dict__.get("_p_loading"):
             return
+        if self.__dict__.get("_p_snapshot_stale"):
+            # A private snapshot materialization: this reader saw the
+            # committed image as of its snapshot, and a concurrent
+            # transaction has since written (or is writing) the object.
+            # Writing through this copy would base the update on stale
+            # data — surface the conflict so run_transaction retries the
+            # whole read-modify-write on a fresh snapshot.
+            from ..errors import SnapshotConflictError
+            raise SnapshotConflictError(
+                "%r was read from a snapshot that a concurrent "
+                "transaction has since overwritten; retry the "
+                "transaction" % (self.__dict__.get("_p_oid"),))
         if self.__dict__.get("_p_readonly"):
             raise NotPersistentError(
                 "version %d of %r is not the current version; old versions "

@@ -1,10 +1,11 @@
 """Version macros — newversion, vprev, vnext, vfirst, vlast (section 4).
 
 The paper exposes versioning through macros; this module provides them as
-module-level functions operating on live persistent objects — or, for
-``vprev``/``vnext``, on raw :class:`~repro.core.oid.Vref` references when
-the owning database is passed explicitly (a raw reference does not know
-which database it belongs to). The example below runs as a doctest:
+module-level functions with one uniform signature, ``macro(obj_or_ref,
+db=None)``: a live persistent object needs no database (it carries its
+own), a raw :class:`~repro.core.oid.Oid`/:class:`~repro.core.oid.Vref`
+needs the owning database passed explicitly (a raw reference does not
+know which database it belongs to). The example below runs as a doctest:
 
     >>> import tempfile, os.path
     >>> from repro.core import Database, OdeObject, StringField, FloatField
@@ -25,7 +26,7 @@ which database it belongs to). The example below runs as a doctest:
     True
     >>> vnext(item) is None             # live object: newest version
     True
-    >>> vprev(item, db) == old          # db is accepted (and ignored) here
+    >>> vprev(item) == old              # live object: no db needed
     True
     >>> db.close()
 
@@ -42,72 +43,60 @@ from .objects import OdeObject
 from .oid import Oid, Vref
 
 
-def _db_of(ref):
-    if isinstance(ref, OdeObject):
-        db = ref.database
-        if db is None:
+def _resolve(name: str, obj_or_ref, db):
+    """Uniform argument handling shared by all five macros.
+
+    A live persistent object carries its database (passing *db* anyway is
+    allowed and must agree); a raw ``Oid``/``Vref`` needs *db* explicitly
+    (raw references carry no database pointer).
+    """
+    if isinstance(obj_or_ref, OdeObject):
+        owner = obj_or_ref.database
+        if owner is None:
             raise NotPersistentError(
                 "versioning applies to persistent objects only; %r is "
-                "volatile" % ref)
+                "volatile" % obj_or_ref)
+        if db is not None and db is not owner:
+            raise NotPersistentError(
+                "%s(): object belongs to %r, not the database passed"
+                % (name, owner))
+        return owner
+    if isinstance(obj_or_ref, (Oid, Vref)):
+        if db is None:
+            raise NotPersistentError(
+                "a raw reference does not know its database; call "
+                "%s(ref, db) or db.%s(ref)" % (name, name))
         return db
     raise NotPersistentError(
-        "pass a live persistent object, or use the Database methods "
-        "directly for raw references: db.newversion(oid), db.vprev(vref)...")
+        "%s() takes a persistent object or an Oid/Vref, not %r"
+        % (name, obj_or_ref))
 
 
-def newversion(obj: OdeObject) -> Vref:
-    """Create a new current version of *obj*; returns its specific ref."""
-    return _db_of(obj).newversion(obj)
+def newversion(obj_or_ref, db=None) -> Vref:
+    """Create a new current version; returns its specific ref."""
+    return _resolve("newversion", obj_or_ref, db).newversion(obj_or_ref)
 
 
-def versions(obj: OdeObject) -> List[Vref]:
-    """All versions of *obj*, oldest first."""
-    return _db_of(obj).versions(obj)
+def versions(obj_or_ref, db=None) -> List[Vref]:
+    """All versions of the object, oldest first."""
+    return _resolve("versions", obj_or_ref, db).versions(obj_or_ref)
 
 
 def vprev(obj_or_ref, db=None) -> Optional[Vref]:
-    """The version before the given one (None at the oldest).
-
-    Accepts a live persistent object, or a raw ``Oid``/``Vref`` together
-    with the owning *db* (raw references carry no database pointer).
-    """
-    if isinstance(obj_or_ref, OdeObject):
-        return _db_of(obj_or_ref).vprev(obj_or_ref)
-    if isinstance(obj_or_ref, (Oid, Vref)):
-        if db is None:
-            raise NotPersistentError(
-                "a raw reference does not know its database; call "
-                "vprev(ref, db) or db.vprev(ref)")
-        return db.vprev(obj_or_ref)
-    raise NotPersistentError(
-        "vprev() takes a persistent object or an Oid/Vref, not %r"
-        % (obj_or_ref,))
+    """The version before the given one (None at the oldest)."""
+    return _resolve("vprev", obj_or_ref, db).vprev(obj_or_ref)
 
 
 def vnext(obj_or_ref, db=None) -> Optional[Vref]:
-    """The version after the given one (None at the newest).
-
-    Accepts a live persistent object, or a raw ``Oid``/``Vref`` together
-    with the owning *db* (raw references carry no database pointer).
-    """
-    if isinstance(obj_or_ref, OdeObject):
-        return _db_of(obj_or_ref).vnext(obj_or_ref)
-    if isinstance(obj_or_ref, (Oid, Vref)):
-        if db is None:
-            raise NotPersistentError(
-                "a raw reference does not know its database; call "
-                "vnext(ref, db) or db.vnext(ref)")
-        return db.vnext(obj_or_ref)
-    raise NotPersistentError(
-        "vnext() takes a persistent object or an Oid/Vref, not %r"
-        % (obj_or_ref,))
+    """The version after the given one (None at the newest)."""
+    return _resolve("vnext", obj_or_ref, db).vnext(obj_or_ref)
 
 
-def vfirst(obj: OdeObject) -> Vref:
+def vfirst(obj_or_ref, db=None) -> Vref:
     """The oldest version of the object."""
-    return _db_of(obj).vfirst(obj)
+    return _resolve("vfirst", obj_or_ref, db).vfirst(obj_or_ref)
 
 
-def vlast(obj: OdeObject) -> Vref:
+def vlast(obj_or_ref, db=None) -> Vref:
     """The newest version of the object."""
-    return _db_of(obj).vlast(obj)
+    return _resolve("vlast", obj_or_ref, db).vlast(obj_or_ref)

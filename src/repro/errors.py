@@ -183,6 +183,29 @@ class TransactionAborted(TransactionError):
         self.reason = reason
 
 
+class SnapshotConflictError(TransactionError):
+    """A write collided with a commit newer than this txn's snapshot.
+
+    Under MVCC snapshot reads a transaction reads as of its snapshot LSN
+    without S locks; when it then writes an object it has read (or an
+    object of a cluster it has scanned) that another transaction has
+    committed to since the snapshot, proceeding would silently base the
+    write on stale data (a lost update). First-updater-wins: the later
+    writer aborts with this error. Like a deadlock, it means "aborted
+    through no fault of its own — run it again": ``db.run_transaction``
+    retries it with a fresh snapshot.
+    """
+
+
+class SnapshotTooOldError(TransactionError):
+    """A historical (``as of``) read asked for a pruned snapshot.
+
+    Version history for snapshot resolution is retained in memory only
+    as far back as the oldest active snapshot; a time-travel query whose
+    token predates what is retained cannot be answered consistently.
+    """
+
+
 class TriggerActionError(TransactionError):
     """One or more fired trigger actions failed.
 

@@ -258,23 +258,28 @@ class CFor(Node):
 
 
 class Forall(Node):
-    """``forall x in source [suchthat (e)] [by (e)] stmt`` (section 3.1).
+    """``forall x in source [as of (e)] [suchthat (e)] [by (e)] stmt``
+    (section 3.1).
 
     *sources* is a list of ``(var_name, source_expr, deep)`` triples —
     more than one means a join. ``deep`` marks the ``cluster*`` form.
+    ``as_of`` (a snapshot-token expression) makes the iteration a
+    time-travel read over the committed state at that token.
     """
 
-    __slots__ = ("sources", "suchthat", "by", "by_desc", "body")
+    __slots__ = ("sources", "suchthat", "by", "by_desc", "body", "as_of")
 
     def __init__(self, sources: List[Tuple[str, Node, bool]],
                  suchthat: Optional[Node], by: Optional[Node],
-                 by_desc: bool, body: Node, line: int = 0):
+                 by_desc: bool, body: Node, line: int = 0,
+                 as_of: Optional[Node] = None):
         super().__init__(line)
         self.sources = sources
         self.suchthat = suchthat
         self.by = by
         self.by_desc = by_desc
         self.body = body
+        self.as_of = as_of
 
 
 class Explain(Node):

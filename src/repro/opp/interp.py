@@ -489,6 +489,9 @@ class Interpreter:
     def _run_forall(self, node: ast.Forall, scope: Scope) -> int:
         iterables = [(var, self._forall_source(src, deep, scope, node.line))
                      for var, src, deep in node.sources]
+        if node.as_of is not None:
+            iterables = self._apply_as_of(iterables, node.as_of, scope,
+                                          node.line)
         rows = self._forall_optimized(iterables, node, scope)
         if rows is None:
             rows = self._forall_rows(iterables, node, scope)
@@ -532,11 +535,11 @@ class Interpreter:
         forall statements hit the database's compiled-plan and codegen
         caches instead of re-planning (and re-interpreting) every time.
         """
-        from ..core.clusters import ClusterHandle
+        from ..core.clusters import AsOfHandle, ClusterHandle
         if len(iterables) != 1 or node.suchthat is None:
             return None
         var, source = iterables[0]
-        if not isinstance(source, ClusterHandle):
+        if not isinstance(source, (ClusterHandle, AsOfHandle)):
             return None
         pred = self._compile_predicate(node.suchthat, var, scope)
         if pred is None:
@@ -638,6 +641,27 @@ class Interpreter:
             raise OppRuntimeError("forall over null", line=line)
         return value
 
+    def _apply_as_of(self, iterables, expr: ast.Node, scope: Scope,
+                     line: int):
+        """Rewrite cluster sources to their as-of views for time travel."""
+        token = self.eval(expr, scope)
+        if not isinstance(token, int) or isinstance(token, bool):
+            raise OppRuntimeError(
+                "as of expects a snapshot token (from snapshot_token()), "
+                "got %r" % (token,), line=line)
+        out = []
+        wrapped = False
+        for var, source in iterables:
+            make = getattr(source, "as_of", None)
+            if make is not None:
+                source = make(token)
+                wrapped = True
+            out.append((var, source))
+        if not wrapped:
+            raise OppRuntimeError(
+                "as of applies to cluster sources only", line=line)
+        return out
+
     def _stmt_Explain(self, node: ast.Explain, scope: Scope) -> None:
         """``explain [analyze] forall ...`` — print plan (and trace)."""
         query = self._build_query(node.query, scope)
@@ -657,6 +681,9 @@ class Interpreter:
         iterables = [(var, self._forall_source(src, deep, scope,
                                                fnode.line))
                      for var, src, deep in fnode.sources]
+        if fnode.as_of is not None:
+            iterables = self._apply_as_of(iterables, fnode.as_of, scope,
+                                          fnode.line)
         var_names = [var for var, _ in iterables]
         query = QueryForall(*[source for _, source in iterables])
         if fnode.suchthat is not None:
@@ -1059,6 +1086,7 @@ class Interpreter:
                   if isinstance(tid, TriggerId) else False)
         g.declare("advance_time", lambda s: self.db.advance_time(s))
         g.declare("now", lambda: self.db.now())
+        g.declare("snapshot_token", lambda: self.db.snapshot_token())
         g.declare("min", min)
         g.declare("max", max)
         g.declare("exp", math.exp)

@@ -516,6 +516,16 @@ class Parser:
             self.match("op", ",")
             if not self.check("keyword", "forall"):
                 break
+        as_of = None
+        # `as of (expr)` — soft keywords, so `as` and `of` stay valid
+        # identifiers everywhere else.
+        if self.check("ident", "as") and self.peek(1).kind == "ident" \
+                and self.peek(1).value == "of":
+            self.advance()
+            self.advance()
+            self.expect("op", "(")
+            as_of = self.expression()
+            self.expect("op", ")")
         suchthat = None
         if self.match("keyword", "suchthat"):
             self.expect("op", "(")
@@ -531,7 +541,8 @@ class Parser:
                 self.advance()
                 by_desc = True
         body = self.statement()
-        return ast.Forall(sources, suchthat, by, by_desc, body, line=line)
+        return ast.Forall(sources, suchthat, by, by_desc, body, line=line,
+                          as_of=as_of)
 
     def _forall_source(self) -> Tuple[ast.Node, bool]:
         """A cluster name (optionally starred: deep) or a set expression."""

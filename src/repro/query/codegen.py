@@ -456,8 +456,21 @@ def _emit_cluster_scan(w: _Writer, terminal: str, expr: Optional[str],
     w.w("db._flush(db._txn.txn_id)")
     w.indent -= 1
     w.w("db._lock_cluster_scan(_cl)")
+    w.w("_vis = db._scan_visibility(_cl)")
     w.w("_cget = db._cache.get")
     w.w("_mat = db._materialize_from_scan")
+    # The MVCC overlay mirrors the interpreted _iter_batches_one loop:
+    # history-flagged serials resolve through the visibility check, the
+    # fast path notes serials in the seen-set, and a tail pass resurrects
+    # objects whose records were deleted from the store mid-scan.
+    w.w("if _vis is not None:")
+    w.indent += 1
+    w.w("_hget = _vis.hget")
+    w.w("_needs = _vis.needs")
+    w.w("_seen = _vis.seen")
+    w.w("_vmat = _vis.materialize")
+    w.w("_clean = _vis.batch_clean")
+    w.indent -= 1
     w.w("for _batch in store.scan_batches(_cl):")
     w.indent += 1
     w.w("_heads = []")
@@ -476,9 +489,33 @@ def _emit_cluster_scan(w: _Writer, terminal: str, expr: Optional[str],
     w.indent -= 2
     w.w("objs = []")
     w.w("_oa = objs.append")
+    # Decide once per decoded batch whether the per-head history probes
+    # are needed (registration-before-mutation makes the post-decode
+    # check sound — see _ScanVis.batch_clean).
+    w.w("_checked = _vis is not None and not _clean()")
     w.w("for _rec in _heads:")
     w.indent += 1
     w.w('_serial = _rec["__key"][0]')
+    w.w("if _checked:")
+    w.indent += 1
+    w.w("_hist = _hget(_serial)")
+    w.w("if _hist is not None and _needs(_hist):")
+    w.indent += 1
+    w.w("obj = _vmat(_serial)")
+    w.w("if obj is not None:")
+    w.indent += 1
+    w.w("_oa(obj)")
+    w.indent -= 1
+    w.w("continue")
+    w.indent -= 2
+    w.w("if _vis is not None:")
+    w.indent += 1
+    w.w("if _serial in _seen:")
+    w.indent += 1
+    w.w("continue")
+    w.indent -= 1
+    w.w("_seen.add(_serial)")
+    w.indent -= 1
     w.w("obj = _cget((_cl, _serial))")
     w.w("if obj is None:")
     w.indent += 1
@@ -492,6 +529,13 @@ def _emit_cluster_scan(w: _Writer, terminal: str, expr: Optional[str],
     w.indent += 1
     _emit_consume(w, terminal, expr, guard, has_limit)
     w.indent -= 2  # out of if objs + for batch
+    w.w("if _vis is not None:")
+    w.indent += 1
+    w.w("objs = _vis.tail()")
+    w.w("if objs:")
+    w.indent += 1
+    _emit_consume(w, terminal, expr, guard, has_limit)
+    w.indent -= 2
     w.indent -= 1  # out of cluster guard / hierarchy loop
 
 

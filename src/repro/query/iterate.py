@@ -40,7 +40,7 @@ from typing import Any, Callable, Iterator, List, Optional, Sequence, Tuple
 
 from ..errors import QueryError
 from . import codegen as _codegen
-from .optimizer import choose_plan
+from .optimizer import FullScan, choose_plan
 from .predicates import (A, And, AttrExpr, Callable_, JoinCompare, Predicate,
                          TrueP, VarCompare, as_predicate, is_multivar,
                          max_var)
@@ -103,6 +103,32 @@ class Forall:
     def last_trace(self):
         """Root :class:`~repro.obs.trace.Span` of the last traced run."""
         return self._last_trace
+
+    def as_of(self, token: int) -> "Forall":
+        """Time-travel: iterate the committed state as of *token* (from
+        :meth:`~repro.core.database.Database.snapshot_token`).
+
+        Every cluster source (handle or deep view) is replaced by its
+        as-of view; non-cluster sources (lists, sets) are unaffected.
+        Requires MVCC (``REPRO_MVCC=0`` disables it) and a token within
+        the retention window.
+        """
+        wrapped = []
+        any_cluster = False
+        for source in self._sources:
+            make = getattr(source, "as_of", None)
+            if make is not None:
+                wrapped.append(make(token))
+                any_cluster = True
+            else:
+                wrapped.append(source)
+        if not any_cluster:
+            raise QueryError(
+                "as_of needs a cluster source (a ClusterHandle or deep "
+                "view); got only plain iterables")
+        self._sources = tuple(wrapped)
+        self._plan = None  # source identity changed: re-plan
+        return self
 
     def codegen(self, on: bool = True) -> "Forall":
         """Opt this query in or out of generated-code execution.
@@ -167,8 +193,38 @@ class Forall:
             self._plan_epoch = epoch
         return self._plan
 
-    def _iter_single(self) -> Iterator:
+    def _active_plan(self):
+        """The plan to execute *now*: the cached plan, unless it is
+        index-driven and a concurrent writer has touched the cluster
+        relative to this reader's snapshot. Index entries (and the
+        direct object-cache probes index plans make) describe the
+        present; under churn the full scan's per-record visibility check
+        is the only snapshot-correct access path. The cached plan is
+        untouched — the substitution lasts one execution."""
         plan = self._single_plan()
+        if isinstance(plan, FullScan):
+            return plan
+        pred = as_predicate(self._pred) if self._pred is not None else TrueP()
+        return self._mvcc_safe_plan(self._sources[0], plan, pred)
+
+    @staticmethod
+    def _mvcc_safe_plan(source, plan, pred):
+        if isinstance(plan, FullScan):
+            return plan
+        db = getattr(source, "db", None)
+        if db is None or not getattr(db, "_mvcc_on", False):
+            return plan
+        handle = db._txn
+        snapshot = handle.snapshot_lsn if handle is not None else None
+        if not db._mvcc.cluster_dirty(source.name, snapshot):
+            return plan
+        fallback = FullScan(source, pred)
+        fallback.estimated_rows = plan.estimated_rows
+        fallback.estimated_cost = plan.estimated_cost
+        return fallback
+
+    def _iter_single(self) -> Iterator:
+        plan = self._active_plan()
         fused = _codegen.run_single(self, plan, "iter")
         if fused is not _codegen.INELIGIBLE:
             self._note_mode(compiled=True)
@@ -202,7 +258,7 @@ class Forall:
 
     def _iter_single_traced(self) -> Iterator:
         from ..obs.trace import QueryTracer
-        plan = self._single_plan()
+        plan = self._active_plan()
         db = self._db()
         tracer = QueryTracer(db, "forall", "1 source")
         root = tracer.root
@@ -389,7 +445,8 @@ class Forall:
             sub = per_var[i]
             sub_pred = (TrueP() if not sub
                         else sub[0] if len(sub) == 1 else And(*sub))
-            plans.append(choose_plan(source, sub_pred))
+            plan = choose_plan(source, sub_pred)
+            plans.append(self._mvcc_safe_plan(source, plan, sub_pred))
         return plans, eq_pairs, residual_at
 
     def _iter_fused_join(self) -> Iterator[Tuple]:
@@ -527,7 +584,7 @@ class Forall:
     def to_list(self) -> List:
         if not self._trace_on:
             if len(self._sources) == 1:
-                rows = _codegen.run_single(self, self._single_plan(),
+                rows = _codegen.run_single(self, self._active_plan(),
                                            "collect")
             else:
                 rows = _codegen.run_join(self, "collect")
@@ -549,7 +606,7 @@ class Forall:
     def count(self) -> int:
         if not self._trace_on:
             if len(self._sources) == 1:
-                n = _codegen.run_single(self, self._single_plan(), "count")
+                n = _codegen.run_single(self, self._active_plan(), "count")
             else:
                 n = _codegen.run_join(self, "count")
             if n is not _codegen.INELIGIBLE:

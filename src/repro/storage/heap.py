@@ -140,6 +140,11 @@ class HeapFile:
             return self._read_overflow_chain(first_ovf, total)
         raise StorageError("unknown record kind %d at %r" % (kind, rid))
 
+    def page_lsn(self, page_no: int) -> int:
+        """Current LSN of *page_no* (token semantics of read_with_lsn)."""
+        with self._pool.page(page_no) as page:
+            return page.page_lsn
+
     def read_with_lsn(self, rid: RID) -> Tuple[bytes, int]:
         """Like :meth:`read`, also returning the *home* page's LSN.
 

@@ -66,15 +66,18 @@ class Journal:
             self.active[txn] = lsn
             return txn
 
-    def commit(self, txn: int) -> None:
+    def commit(self, txn: int):
+        """Commit *txn*. Returns the commit record's LSN (the commit's
+        position in the serial order, used as the MVCC visibility stamp),
+        or ``None`` for the degraded trivial-commit path."""
         with self.latch:
             last = self._require_active(txn)
             if self._wal.failed is not None:
                 self._commit_on_failed_wal(txn, last)
-                return
+                return None
             try:
                 # log_commit fsyncs per the durability mode (full/group/none)
-                self._wal.log_commit(txn, last)
+                clsn = self._wal.log_commit(txn, last)
             except WalFlushError:
                 # The fsync failed: this commit — and every earlier commit
                 # in the same group-commit batch — is not durable, and the
@@ -92,6 +95,7 @@ class Journal:
             del self.active[txn]
             for page_no in self._pending_frees.pop(txn, ()):
                 self._pool.free_page(page_no)
+            return clsn
 
     def _commit_on_failed_wal(self, txn: int, last: int) -> None:
         """Commit called after the log already died.

@@ -18,6 +18,7 @@ process killed mid-transaction leaves exactly the committed state.
 from __future__ import annotations
 
 import os
+import threading
 from collections import OrderedDict
 from typing import Any, Dict, Iterator, List, Optional, Tuple
 
@@ -100,6 +101,19 @@ class Store:
         self._page_cache: "OrderedDict[int, tuple]" = OrderedDict()
         self.page_cache_hits = 0
         self.page_cache_misses = 0
+        #: Commit hook: called as ``on_commit(txn, clsn)`` after the WAL
+        #: commit record exists but *before* the transaction's locks are
+        #: released (clsn is None for degraded trivial commits). The
+        #: object layer uses it to stamp MVCC visibility.
+        self.on_commit = None
+        #: Scan/vacuum gate. MVCC scans walk heap page chains without a
+        #: cluster lock, but vacuum frees (and the allocator may recycle)
+        #: the old chain's pages at commit; the gate makes vacuum wait
+        #: until no other thread is inside a chain walk. Readers are
+        #: counted per thread (re-entrant; a scanning thread that itself
+        #: vacuums cannot deadlock against its own count).
+        self._scan_gate = threading.Condition(threading.Lock())
+        self._scan_readers: Dict[int, int] = {}
         self._closed = False
         # Components keep their plain-int counters (bumped under their
         # existing locks) and the registry samples them lazily — absorbing
@@ -154,7 +168,13 @@ class Store:
 
     def commit(self, txn: int) -> None:
         """Durably commit *txn* and release its locks."""
-        self._journal.commit(txn)
+        clsn = self._journal.commit(txn)
+        hook = self.on_commit
+        if hook is not None:
+            # Before lock release: a conflicting writer waiting on one of
+            # this transaction's X locks must find the commit already
+            # stamped when it is granted.
+            hook(txn, clsn)
         self.locks.release_all(txn)
 
     def abort(self, txn: int, release_locks: bool = True) -> None:
@@ -289,6 +309,42 @@ class Store:
             rid = heap.insert(txn, payload)
             directory.insert(txn, key, tuple(rid))
 
+    def put_with_token(self, txn: int, cluster: str, key: Tuple,
+                       data: Dict) -> Tuple[RID, int]:
+        """Like :meth:`put`, returning ``(rid, home_page_lsn)``.
+
+        The token pair is the post-write physical validity token for the
+        record (see :meth:`get_with_token`): the home page is edited on
+        every path of a heap update — in-place, overflow rewrite, and
+        relocation all stamp its LSN — so callers may cache the decoded
+        *data* under ``(rid.page_no, lsn)`` and trust
+        :meth:`tokens_valid` to catch any later mutation, including an
+        abort's compensation writes.
+        """
+        payload = encode_value(data)
+        with self.latch:
+            heap = self._heap(cluster)
+            directory = self._directory(cluster)
+            existing = directory.search(key)
+            if existing:
+                rid = RID(*existing[0])
+                heap.update(txn, rid, payload)
+            else:
+                rid = heap.insert(txn, payload)
+                directory.insert(txn, key, tuple(rid))
+            return rid, heap.page_lsn(rid.page_no)
+
+    def page_lsns(self, cluster: str, page_nos) -> Dict[int, int]:
+        """Current LSNs of a set of *cluster* heap pages, one latch trip.
+
+        Token-refresh helper for batch writers: after a run of puts has
+        settled, the caller re-primes its decoded cache against these
+        LSNs (see :meth:`get_with_token` for the token contract).
+        """
+        with self.latch:
+            heap = self._heap(cluster)
+            return {p: heap.page_lsn(p) for p in set(page_nos)}
+
     def get(self, cluster: str, key: Tuple) -> Optional[Dict]:
         """Fetch the object at *key*, or None."""
         with self.latch:
@@ -353,6 +409,30 @@ class Store:
             directory.delete(txn, key)
             return True
 
+    # -- scan/vacuum gate --------------------------------------------------------
+
+    def _scan_enter(self) -> None:
+        ident = threading.get_ident()
+        with self._scan_gate:
+            self._scan_readers[ident] = self._scan_readers.get(ident, 0) + 1
+
+    def _scan_exit(self) -> None:
+        ident = threading.get_ident()
+        with self._scan_gate:
+            depth = self._scan_readers.get(ident, 0) - 1
+            if depth <= 0:
+                self._scan_readers.pop(ident, None)
+                self._scan_gate.notify_all()
+            else:
+                self._scan_readers[ident] = depth
+
+    def _await_no_scans(self) -> None:
+        """Block until no *other* thread is inside a chain walk."""
+        ident = threading.get_ident()
+        with self._scan_gate:
+            while any(t != ident for t in self._scan_readers):
+                self._scan_gate.wait(timeout=1.0)
+
     def scan(self, cluster: str) -> Iterator[Tuple[RID, Dict]]:
         """Yield ``(rid, data)`` for every object in *cluster*.
 
@@ -366,8 +446,12 @@ class Store:
         # The heap scan pins (and thereby latches) per record advance and
         # never holds a pin across a yield, so concurrent mutators only
         # ever see the scan between records.
-        for rid, raw in heap.scan():
-            yield rid, decode_value(raw)
+        self._scan_enter()
+        try:
+            for rid, raw in heap.scan():
+                yield rid, decode_value(raw)
+        finally:
+            self._scan_exit()
 
     def scan_batches(self, cluster: str) -> Iterator[List[Tuple[RID, Dict]]]:
         """Yield page-at-a-time batches of ``(rid, data)`` for *cluster*.
@@ -385,6 +469,14 @@ class Store:
         pool = self._pool
         readahead = HeapFile.READAHEAD
         from .page import NO_PAGE
+        self._scan_enter()
+        try:
+            yield from self._scan_batches_inner(heap, pool, readahead,
+                                                NO_PAGE)
+        finally:
+            self._scan_exit()
+
+    def _scan_batches_inner(self, heap, pool, readahead, NO_PAGE):
         page_no = heap.first_page
         span_lo = span_hi = -1
         while page_no != NO_PAGE:
@@ -558,6 +650,11 @@ class Store:
         # duration of the rewrite.
         self.locks.acquire(txn, ("cluster", cluster), "X")
         try:
+            # MVCC readers walk heap chains without a cluster lock; wait
+            # for in-flight walks to drain before pages start moving to
+            # the free list (a walker could otherwise read recycled
+            # garbage).
+            self._await_no_scans()
             with self.latch:
                 info = self.cluster_info(cluster)
                 old_heap = self._heap(cluster)
@@ -956,6 +1053,7 @@ class Store:
         txn = self.begin()
         self.locks.acquire(txn, ("cluster", cluster), "X")
         try:
+            self._await_no_scans()
             with self.latch:
                 info = self.cluster_info(cluster)
                 old_pages = self._enumerable_pages(info)

@@ -95,9 +95,17 @@ class TestDeadlockEvents:
                 try:
                     with db.transaction() as handle:
                         txn_ids[name] = handle.txn_id
-                        db.deref(mine).n += 1     # X lock on mine
-                        barrier.wait()            # both now hold one lock
-                        db.deref(theirs).n += 1   # closes the cycle
+                        # Read both objects before either writer starts:
+                        # under MVCC a deref *after* the peer's write
+                        # would resolve to a snapshot copy and conflict
+                        # out instead of deadlocking. Write-write cycles
+                        # still deadlock, which is what this test wants.
+                        objm = db.deref(mine)
+                        objt = db.deref(theirs)
+                        barrier.wait()            # both have read both
+                        objm.n += 1               # X lock on mine
+                        barrier.wait()            # both hold one X lock
+                        objt.n += 1               # closes the cycle
                 except Exception:
                     pass  # victim (DeadlockError) or timeout: both fine
             return run
@@ -133,7 +141,10 @@ class TestDeadlockEvents:
             started.wait(timeout=30)
 
             def body():
-                db.deref(oid).n += 1
+                # A blind write: under MVCC a read-modify-write would
+                # resolve the holder's pre-image and conflict instead of
+                # waiting; pdelete contends on the X lock in both modes.
+                db.pdelete(oid)
             # Free the holder shortly after we park on its X lock.
             timer = threading.Timer(0.3, release.set)
             timer.start()

@@ -131,9 +131,16 @@ class TestDeadlock:
             def work():
                 try:
                     with db.transaction():
-                        db.deref(mine).balance += 1
+                        # Read both before either writes: a deref after
+                        # the peer's write would, under MVCC, resolve a
+                        # snapshot copy and conflict out rather than
+                        # deadlock. Opposite-order writes still cycle.
+                        objm = db.deref(mine)
+                        objt = db.deref(theirs)
+                        first_locked.wait()   # both have read both
+                        objm.balance += 1
                         first_locked.wait()   # both hold their X lock
-                        db.deref(theirs).balance += 1
+                        objt.balance += 1
                     outcomes.append("committed")
                 except (DeadlockError, LockTimeoutError):
                     outcomes.append("aborted")

@@ -312,6 +312,150 @@ class TestMidQueryAbort:
         assert results["fast"][2] == 30
 
 
+class TestSnapshotDifferential:
+    """ISSUE 7 rounds: MVCC snapshot reads must be indistinguishable
+    from S-lock (2PL) reads on a quiesced database, and stably
+    repeatable under a concurrent writer — identical on the compiled
+    and interpreted paths."""
+
+    def _seed(self, db, n=60):
+        db.create(GrowRow)
+        with db.transaction():
+            for i in range(n):
+                db.pnew(GrowRow, alpha=i % 7)
+
+    @staticmethod
+    def _join(threads):
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join(timeout=60)
+        assert not any(t.is_alive() for t in threads), "threads hung"
+
+    def test_quiesced_snapshot_equals_slock_reads(self, tmp_path,
+                                                  monkeypatch):
+        """With no concurrent writer, every (mode, path) combination
+        returns byte-identical row sets for the same predicate."""
+        rowsets = {}
+        for mode, env in (("mvcc", "1"), ("2pl", "0")):
+            monkeypatch.setenv("REPRO_MVCC", env)
+            db = Database(str(tmp_path / ("q_%s.odb" % mode)))
+            assert db._mvcc_on == (env == "1")
+            self._seed(db)
+            for path in ("fast", "slow"):
+                q = forall(db.cluster(GrowRow)).suchthat(
+                    Compare("alpha", ">=", 3))
+                if path == "slow":
+                    q = q.codegen(False)
+                with db.transaction():
+                    rowsets[(mode, path)] = sorted(serials(q))
+            db.close()
+        base = rowsets[("mvcc", "fast")]
+        assert len(base) > 0
+        assert all(rows == base for rows in rowsets.values()), rowsets
+
+    def test_repeatable_read_under_writer_both_paths(self, tmp_path):
+        """Phased: a reader transaction counts matching rows, a writer
+        commits an update + insert, the reader counts again — both
+        counts (compiled and interpreted) must repeat the snapshot;
+        a fresh transaction then sees the writer's result."""
+        db = Database(str(tmp_path / "rr.odb"))
+        self._seed(db)
+        in_txn = threading.Event()
+        committed = threading.Event()
+        results = {}
+        errors = []
+
+        def counts():
+            base = lambda: forall(db.cluster(GrowRow)).suchthat(  # noqa: E731
+                Compare("alpha", "==", 3))
+            return (base().count(), base().codegen(False).count())
+
+        def writer():
+            try:
+                assert in_txn.wait(timeout=30)
+                with db.transaction():
+                    for obj in forall(db.cluster(GrowRow)).suchthat(
+                            Compare("alpha", "==", 3)):
+                        obj.alpha = 100
+                    db.pnew(GrowRow, alpha=3)
+            except BaseException as exc:  # noqa: BLE001
+                errors.append(exc)
+            finally:
+                committed.set()
+
+        def reader():
+            try:
+                with db.transaction():
+                    results["before"] = counts()
+                    in_txn.set()
+                    assert committed.wait(timeout=30)
+                    results["repeat"] = counts()
+            except BaseException as exc:  # noqa: BLE001
+                errors.append(exc)
+
+        self._join([threading.Thread(target=reader),
+                    threading.Thread(target=writer)])
+        assert not errors
+        # 60 rows, alpha = i % 7 == 3 -> 9 seed matches.
+        assert results["before"] == (9, 9)
+        assert results["repeat"] == (9, 9)   # snapshot repeated, both paths
+        with db.transaction():
+            assert counts() == (1, 1)        # writer's world afterwards
+        db.close()
+
+    def test_index_plan_falls_back_under_writer(self, tmp_path):
+        """An index probe inside a reader transaction must not leak the
+        writer's newer index entries: with the cluster dirty relative to
+        the snapshot, both paths substitute a visibility-aware full scan
+        and repeat the original count."""
+        db = Database(str(tmp_path / "idx.odb"))
+        db.create(GrowRow)
+        with db.transaction():
+            for i in range(40):
+                db.pnew(GrowRow, alpha=i % 5)
+        db.create_index(GrowRow, "alpha", kind="hash")
+        in_txn = threading.Event()
+        committed = threading.Event()
+        results = {}
+        errors = []
+
+        def counts():
+            base = lambda: forall(db.cluster(GrowRow)).suchthat(  # noqa: E731
+                Compare("alpha", "==", 2))
+            return (base().count(), base().codegen(False).count())
+
+        def writer():
+            try:
+                assert in_txn.wait(timeout=30)
+                with db.transaction():
+                    db.pnew(GrowRow, alpha=2)
+            except BaseException as exc:  # noqa: BLE001
+                errors.append(exc)
+            finally:
+                committed.set()
+
+        def reader():
+            try:
+                with db.transaction():
+                    results["before"] = counts()   # index plan, clean
+                    in_txn.set()
+                    assert committed.wait(timeout=30)
+                    results["repeat"] = counts()   # dirty: full-scan swap
+            except BaseException as exc:  # noqa: BLE001
+                errors.append(exc)
+
+        self._join([threading.Thread(target=reader),
+                    threading.Thread(target=writer)])
+        assert not errors
+        assert results["before"] == (8, 8)
+        assert results["repeat"] == (8, 8)
+        q = forall(db.cluster(GrowRow)).suchthat(Compare("alpha", "==", 2))
+        assert q.count() == 9
+        assert "index" in q.explain().lower()  # plan itself still indexed
+        db.close()
+
+
 class TestDisableSwitches:
     """Disabling codegen at any level restores the interpreted path."""
 
