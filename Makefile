@@ -1,7 +1,7 @@
 PYTHON ?= python
 export PYTHONPATH := src
 
-.PHONY: test test-concurrency crash-smoke crash-full bench bench-smoke bench-codegen-smoke bench-mvcc-smoke bench-baseline
+.PHONY: test test-concurrency crash-smoke crash-full bench bench-smoke bench-codegen-smoke bench-mvcc-smoke bench-shard-smoke bench-baseline
 
 test:
 	$(PYTHON) -m pytest tests/ -x -q
@@ -52,6 +52,18 @@ bench-mvcc-smoke:
 		--benchmark-only -q
 	$(PYTHON) -m pytest tests/concurrency/test_mvcc.py \
 		"tests/query/test_codegen_differential.py::TestSnapshotDifferential" -x -q
+
+# Sharded-storage gate (EXP-18): the scan benchmarks plus the two
+# acceptance ratios — parallel cold scan >= 1.5x the single-latch
+# baseline (>= 4 cores; skipped below that) and single-shard facade
+# parity within 1.1x of the raw page walk — plus the shard unit tests
+# and the shard-parallel race suite.
+bench-shard-smoke:
+	$(PYTHON) -m pytest benchmarks/bench_shard.py --benchmark-only \
+		--benchmark-max-time=0.3 --benchmark-min-rounds=3 -q
+	$(PYTHON) benchmarks/bench_shard.py --gate
+	$(PYTHON) -m pytest tests/storage/test_sharding.py \
+		tests/concurrency/test_shard_parallel.py -x -q
 
 # Full suite, recorded as BENCH_<date>.json and diffed against the last
 # committed baseline (see benchmarks/run_baseline.py).

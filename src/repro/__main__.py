@@ -127,6 +127,18 @@ def _print_stats(db: Database) -> None:
           % (cache["hits"], cache["misses"], 100.0 * cache["hit_rate"],
              cache["entries"], cache["invalidations"]))
     print("pages:        %d in file" % stats["pages"])
+    shards = stats["shards"]
+    if shards["count"] > 1:
+        print("shards:       %d shards, %d recluster run(s), "
+              "%d object(s) migrated"
+              % (shards["count"], shards["recluster_runs"],
+                 shards["recluster_moved_objects"]))
+        for entry in shards["per_shard"]:
+            print("  shard %-3d %6d pages (%.1f%% occupancy), "
+                  "%d scan(s)"
+                  % (entry["shard"], entry["pages"],
+                     100.0 * entry["occupancy"],
+                     shards["scans"][entry["shard"]]))
     frag = stats["fragmentation"]
     if frag:
         print("cluster placement:")

@@ -297,7 +297,8 @@ class Database:
 
     def __init__(self, path: str, pool_size: int = 256,
                  durability: str = "full",
-                 concurrent_triggers: bool = False):
+                 concurrent_triggers: bool = False,
+                 shards: Optional[int] = None):
         """Open (creating if absent) the database stored at *path*.
 
         *durability* selects the commit fsync policy: ``"full"`` (fsync
@@ -305,9 +306,14 @@ class Database:
         or ``"none"`` (only checkpoints fsync). See
         :mod:`repro.storage.wal`. With *concurrent_triggers* fired
         trigger actions of one commit run in parallel threads (each is an
-        independent transaction either way).
+        independent transaction either way). *shards* splits the storage
+        across N hash-ranged shards when the database is first created
+        (``REPRO_SHARDS`` applies when omitted; an existing database
+        keeps its creation-time count) — see
+        :mod:`repro.storage.sharding`.
         """
-        self.store = Store(path, pool_size=pool_size, durability=durability)
+        self.store = Store(path, pool_size=pool_size, durability=durability,
+                           shards=shards)
         #: MVCC snapshot reads (the default): transactions read as of a
         #: snapshot LSN through per-object version histories instead of
         #: taking S locks; X locks remain for write-write conflicts.
@@ -354,6 +360,15 @@ class Database:
         self.metrics = self.store.metrics
         self.events = self.store.events
         self._register_metrics()
+        #: Background reclustering daemon: watches the store's access
+        #: profile and migrates hot co-accessed objects into shared
+        #: extents (see :mod:`repro.storage.recluster`). Disabled with
+        #: ``REPRO_RECLUSTER=0``.
+        from ..storage import recluster as _recluster
+        self.recluster_daemon = None
+        if _recluster.enabled():
+            self.recluster_daemon = _recluster.ReclusterDaemon(self.store)
+            self.recluster_daemon.start()
 
     def _register_metrics(self) -> None:
         from ..query import optimizer as _optimizer
@@ -1970,6 +1985,7 @@ class Database:
                 "slow": self._query_slow.value,
             },
             "pages": store_stats["pages"],
+            "shards": store_stats["shards"],
             "storage": store_stats["storage_health"],
         }
         # Compatibility shim: older tooling parsed --stats output keyed
@@ -2029,6 +2045,11 @@ class Database:
             return
         if self._txn is not None:
             raise TransactionError("close() inside an open transaction")
+        if self.recluster_daemon is not None:
+            # Stop the daemon before anything is torn down; a migration
+            # racing close would find the store half-closed.
+            self.recluster_daemon.stop()
+            self.recluster_daemon = None
         if ((self._dirty or self.cluster_stats.dirty())
                 and self.store.degraded is None):
             # In degraded mode nothing can be flushed; the store's close
@@ -2054,6 +2075,9 @@ class Database:
             if self._txn is None:
                 self.close()
             else:
+                if self.recluster_daemon is not None:
+                    self.recluster_daemon.stop()
+                    self.recluster_daemon = None
                 self.store.close()
 
     def __repr__(self) -> str:

@@ -16,11 +16,11 @@ paths. Two techniques make that work:
   registry reads them lazily at snapshot time, so absorbing those stats
   costs zero extra work on the hot path.
 
-Histograms keep per-bucket plain-int counts; ``observe()`` is a handful
-of bytecodes and is only called from sites that already hold a component
-lock (lock-manager condition for ``lock.wait_ns``, the WAL flush path
-for ``wal.flush_batch_size``) or from single-query tracing code, so the
-counts stay exact.
+Histograms keep per-bucket plain-int counts guarded by a per-histogram
+lock: the updates are read-modify-write (not GIL-atomic), and since the
+sharded parallel scan path observations can arrive from worker threads
+that hold no component lock, so exactness needs the lock. It is
+uncontended on single-threaded paths.
 """
 
 from __future__ import annotations
@@ -79,12 +79,17 @@ class Gauge:
 class Histogram:
     """Fixed-bucket histogram (upper bounds + implicit +Inf overflow).
 
-    ``observe()`` is not independently locked: every call site either
-    holds a component lock already or runs on a single-query trace path,
-    so the plain-int bucket counts stay exact without new locks.
+    ``observe()`` takes a small per-histogram lock. The bucket/count/sum
+    updates are read-modify-write on plain ints and floats — *not*
+    GIL-atomic like ``Counter.inc`` — and since the sharded parallel
+    scan path (ISSUE 8) observations arrive from pool worker threads
+    that hold no component lock, so the old "call sites already hold a
+    lock" contract no longer holds. The lock is uncontended on every
+    single-threaded path and costs a few hundred ns when it is not.
     """
 
-    __slots__ = ("name", "labels", "buckets", "counts", "count", "sum")
+    __slots__ = ("name", "labels", "buckets", "counts", "count", "sum",
+                 "_lock")
 
     def __init__(self, name: str, buckets: Sequence[float],
                  labels: Optional[Dict[str, str]] = None):
@@ -94,6 +99,7 @@ class Histogram:
         self.counts = [0] * (len(self.buckets) + 1)   # last = +Inf
         self.count = 0
         self.sum = 0.0
+        self._lock = threading.Lock()
 
     def observe(self, value) -> None:
         idx = len(self.buckets)
@@ -101,9 +107,10 @@ class Histogram:
             if value <= bound:
                 idx = i
                 break
-        self.counts[idx] += 1
-        self.count += 1
-        self.sum += value
+        with self._lock:
+            self.counts[idx] += 1
+            self.count += 1
+            self.sum += value
 
 
 class _Sampled:

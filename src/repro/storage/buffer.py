@@ -95,6 +95,12 @@ class BufferPool:
         """Attach a write-ahead log; enforces flush-log-before-page."""
         self._wal = wal
 
+    def all_latches(self):
+        """The pool's latch as a context manager — the single-shard
+        counterpart of ``ShardedPool.all_latches()``, so the journal's
+        abort/checkpoint paths are shard-agnostic."""
+        return self.latch
+
     @property
     def capacity(self) -> int:
         return self._capacity

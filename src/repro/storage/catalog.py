@@ -20,6 +20,7 @@ Catalog records are codec-encoded dicts. Two record shapes exist:
 
 from __future__ import annotations
 
+import threading
 from typing import Dict, Iterator, List, Optional
 
 from ..errors import CatalogError
@@ -67,15 +68,23 @@ class IndexInfo:
 
 
 class ClusterInfo:
-    """Catalog entry for one cluster (type extent)."""
+    """Catalog entry for one cluster (type extent).
+
+    ``shards`` lists one ``[heap_page, directory_page]`` pair (global page
+    ids) per store shard. ``heap_page``/``directory_page`` always mirror
+    ``shards[0]`` so records written by single-shard stores — which omit
+    the field entirely — and readers predating it stay interchangeable.
+    """
 
     __slots__ = ("name", "cluster_id", "parents", "heap_page",
-                 "directory_page", "next_serial", "indexes", "_rid")
+                 "directory_page", "next_serial", "indexes", "shards",
+                 "_rid")
 
     def __init__(self, name: str, cluster_id: int, parents: List[str],
                  heap_page: int, directory_page: int, next_serial: int = 1,
                  indexes: Optional[Dict[str, IndexInfo]] = None,
-                 rid: Optional[RID] = None):
+                 rid: Optional[RID] = None,
+                 shards: Optional[List[List[int]]] = None):
         self.name = name
         self.cluster_id = cluster_id
         self.parents = list(parents)
@@ -83,10 +92,12 @@ class ClusterInfo:
         self.directory_page = directory_page
         self.next_serial = next_serial
         self.indexes = indexes if indexes is not None else {}
+        self.shards = (list(shards) if shards
+                       else [[heap_page, directory_page]])
         self._rid = rid
 
     def to_record(self) -> bytes:
-        return encode_value({
+        record = {
             "kind": "cluster",
             "name": self.name,
             "cluster_id": self.cluster_id,
@@ -95,7 +106,10 @@ class ClusterInfo:
             "directory_page": self.directory_page,
             "next_serial": self.next_serial,
             "indexes": {f: ix.to_state() for f, ix in self.indexes.items()},
-        })
+        }
+        if len(self.shards) > 1:
+            record["shards"] = [list(pair) for pair in self.shards]
+        return encode_value(record)
 
     @classmethod
     def from_record(cls, raw: bytes, rid: RID) -> "ClusterInfo":
@@ -104,7 +118,8 @@ class ClusterInfo:
                    for f, s in state["indexes"].items()}
         return cls(state["name"], state["cluster_id"], state["parents"],
                    state["heap_page"], state["directory_page"],
-                   state["next_serial"], indexes, rid)
+                   state["next_serial"], indexes, rid,
+                   shards=state.get("shards"))
 
 
 class Catalog:
@@ -120,6 +135,12 @@ class Catalog:
         """
         self._journal = journal
         self._pagefile = pagefile
+        #: The catalog's own lock. It used to share the journal/storage
+        #: latch; with sharded pools the catalog sits *above* the shard
+        #: latches in the lock order (catalog lock -> shard latch via the
+        #: catalog heap's page pins), and store methods resolve cluster
+        #: metadata before taking a shard latch — never the other way.
+        self._lock = threading.RLock()
         first_page = pagefile.get_root(self.BOOTSTRAP_KEY)
         if first_page == 0:
             txn = txn_factory()
@@ -157,24 +178,25 @@ class Catalog:
     # -- clusters ---------------------------------------------------------------
 
     def clusters(self) -> Iterator[ClusterInfo]:
-        with self._journal.latch:
+        with self._lock:
             return iter(list(self._clusters.values()))
 
     def get_cluster(self, name: str) -> Optional[ClusterInfo]:
-        with self._journal.latch:
+        with self._lock:
             return self._clusters.get(name)
 
     def has_cluster(self, name: str) -> bool:
-        with self._journal.latch:
+        with self._lock:
             return name in self._clusters
 
     def add_cluster(self, txn: int, name: str, parents: List[str],
-                    heap_page: int, directory_page: int) -> ClusterInfo:
-        with self._journal.latch:
+                    heap_page: int, directory_page: int,
+                    shards: Optional[List[List[int]]] = None) -> ClusterInfo:
+        with self._lock:
             if name in self._clusters:
                 raise CatalogError("cluster %r already exists" % name)
             info = ClusterInfo(name, self._next_cluster_id, parents,
-                               heap_page, directory_page)
+                               heap_page, directory_page, shards=shards)
             self._next_cluster_id += 1
             info._rid = self._heap.insert(txn, info.to_record())
             self._clusters[name] = info
@@ -182,7 +204,7 @@ class Catalog:
 
     def save_cluster(self, txn: int, info: ClusterInfo) -> None:
         """Persist changed fields (serial counter, indexes) of a cluster."""
-        with self._journal.latch:
+        with self._lock:
             if info._rid is None:
                 raise CatalogError("cluster %r has no catalog record"
                                    % info.name)
@@ -190,18 +212,18 @@ class Catalog:
 
     def children_of(self, name: str) -> List[ClusterInfo]:
         """Direct subclusters (clusters listing *name* as a parent)."""
-        with self._journal.latch:
+        with self._lock:
             return [c for c in self._clusters.values() if name in c.parents]
 
     # -- metadata ---------------------------------------------------------------
 
     def get_meta(self, key, default=None):
-        with self._journal.latch:
+        with self._lock:
             return self._meta.get(key, default)
 
     def set_meta(self, txn: int, key, value) -> None:
         record = encode_value({"kind": "meta", "key": key, "value": value})
-        with self._journal.latch:
+        with self._lock:
             rid = self._meta_rids.get(key)
             if rid is None:
                 self._meta_rids[key] = self._heap.insert(txn, record)
@@ -211,5 +233,5 @@ class Catalog:
 
     def invalidate(self) -> None:
         """Re-read everything from disk (after an abort touched the catalog)."""
-        with self._journal.latch:
+        with self._lock:
             self._reload()

@@ -72,6 +72,13 @@ KNOWN_FAILPOINTS: Tuple[Tuple[str, str], ...] = (
     ("wal.flush.post", "die"),
     ("wal.truncate.pre", "die"),
     ("wal.truncate.post", "die"),
+    # Sharded-store metadata points (fired only when the store runs with
+    # more than one shard — the harness covers them via shard_kill_specs).
+    ("shard.open.pre", "die"),
+    ("shard.open.post", "die"),
+    ("shard.root.pre", "die"),
+    ("recluster.pre", "die"),
+    ("recluster.commit.pre", "die"),
 )
 
 _KNOWN = dict(KNOWN_FAILPOINTS)

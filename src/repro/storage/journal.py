@@ -10,10 +10,20 @@ about logging.
 
 The journal also owns the transaction table (txn id -> last LSN), commit,
 abort (which undoes in place, writing CLRs), and fuzzy checkpoints.
+
+Locking: the journal has its *own* latch (it used to share the buffer
+pool's). The order is journal latch -> shard/pool latches -> WAL mutex;
+abort and checkpoint acquire the pool's ``all_latches()`` *inside* the
+journal latch, and no path acquires the journal latch while holding a
+pool latch — which is why :meth:`Journal.free_page_deferred` and
+:meth:`Journal._require_active` are lock-free (GIL-atomic dict operations
+plus the invariant that a transaction is only ever driven by one thread):
+they are called from structures that already hold their shard's latch.
 """
 
 from __future__ import annotations
 
+import threading
 from typing import Dict
 
 from ..errors import (DegradedModeError, TransactionError, WalError,
@@ -36,9 +46,10 @@ class Journal:
         self._pool = pool
         self._wal = wal
         pool.attach_wal(wal)
-        #: The storage latch, shared with (and owned by) the buffer pool.
-        #: Guards the txn table, the WAL tail, and pending-free lists.
-        self.latch = pool.latch
+        #: The journal latch. Guards the txn table and transaction
+        #: lifecycle transitions; ordered *before* the pool/shard latches
+        #: (see the module docs).
+        self.latch = threading.RLock()
         self._next_txn = 1
         #: Reason string when the store is in read-only degraded mode
         #: (corrupt page quarantined, or WAL flush failure); gates
@@ -87,15 +98,22 @@ class Journal:
                 # state is rolled back in memory so no "committed" effects
                 # linger visible.
                 self.degraded = self.degraded or "WAL flush failed"
-                self._undo_in_memory(txn, last)
+                with self._pool.all_latches():
+                    self._undo_in_memory(txn, last)
                 del self.active[txn]
                 self._pending_frees.pop(txn, None)
                 raise
             self._wal.log_end(txn, last)
             del self.active[txn]
-            for page_no in self._pending_frees.pop(txn, ()):
-                self._pool.free_page(page_no)
-            return clsn
+            frees = self._pending_frees.pop(txn, ())
+        # Outside the journal latch: freeing takes shard latches, which
+        # are ordered after it but must not be interleaved with another
+        # thread's in-latch lifecycle work longer than necessary. The
+        # transaction is committed and gone from the table; nothing can
+        # resurrect references to these pages.
+        for page_no in frees:
+            self._pool.free_page(page_no)
+        return clsn
 
     def _commit_on_failed_wal(self, txn: int, last: int) -> None:
         """Commit called after the log already died.
@@ -109,7 +127,8 @@ class Journal:
                  self._wal.read_record(last)["type"] != LogRecordType.BEGIN)
         if wrote:
             self.degraded = self.degraded or "WAL flush failed"
-            self._undo_in_memory(txn, last)
+            with self._pool.all_latches():
+                self._undo_in_memory(txn, last)
         del self.active[txn]
         self._pending_frees.pop(txn, None)
         if wrote:
@@ -122,15 +141,21 @@ class Journal:
         """Roll back *txn* by applying before-images, logging CLRs."""
         with self.latch:
             last = self._require_active(txn)
-            if self._wal.failed is not None:
-                # The log takes no CLRs; undo the effects in memory only.
-                # Disk still holds the durable prefix, which reopening
-                # recovers to — identical to what the CLRs would rebuild.
-                self._undo_in_memory(txn, last)
-            else:
-                last = undo_transaction(self._pool, self._wal, txn, last)
-                self._wal.log_abort(txn, last)
-                self._wal.log_end(txn, last)
+            # Holding every pool latch for the undo preserves the old
+            # single-latch atomicity: a lock-free (MVCC) reader can never
+            # interleave with the middle of a multi-page rollback and see
+            # a half-compensated record.
+            with self._pool.all_latches():
+                if self._wal.failed is not None:
+                    # The log takes no CLRs; undo the effects in memory
+                    # only. Disk still holds the durable prefix, which
+                    # reopening recovers to — identical to what the CLRs
+                    # would rebuild.
+                    self._undo_in_memory(txn, last)
+                else:
+                    last = undo_transaction(self._pool, self._wal, txn, last)
+                    self._wal.log_abort(txn, last)
+                    self._wal.log_end(txn, last)
             del self.active[txn]
             self._pending_frees.pop(txn, None)
 
@@ -171,15 +196,22 @@ class Journal:
         Structures must use this (never ``pool.free_page``) for pages a
         transaction stops referencing: an in-flight transaction's undo
         images may still point at them.
+
+        Lock-free: callers hold their shard latch and the journal latch
+        is ordered before shard latches, so taking it here would invert
+        the order. The dict operations are GIL-atomic and a transaction
+        is only ever driven by one thread, so its list never races.
         """
-        with self.latch:
-            self._require_active(txn)
-            self._pending_frees.setdefault(txn, []).append(page_no)
+        self._require_active(txn)
+        self._pending_frees.setdefault(txn, []).append(page_no)
 
     def _require_active(self, txn: int) -> int:
-        if txn not in self.active:
+        # Lock-free for the same reason as free_page_deferred: called
+        # from _PageEdit while the page's shard latch is held.
+        last = self.active.get(txn)
+        if last is None:
             raise TransactionError("transaction %d is not active" % txn)
-        return self.active[txn]
+        return last
 
     # -- logged page edits ---------------------------------------------------
 

@@ -1,0 +1,188 @@
+"""Parallel shard-scan executor.
+
+A multi-shard cluster keeps one heap chain per shard, and those chains
+live in different page files behind different buffer-pool latches — so
+their page walks are independent work. :func:`parallel_scan_batches`
+fans the walks across a small thread pool (page reads release the GIL,
+and a cold scan is I/O + checksum + decode bound, so threads overlap
+usefully even on CPython) and merges the decoded batches back in shard
+order, giving consumers the same deterministic batch stream the serial
+path produces.
+
+Fixpoint contract. ``Store.scan_batches`` promises that records inserted
+*behind* the cursor during the scan are still visited (the paper's
+recursive queries rely on it). Worker threads can't see inserts that
+land after they pass a page, so each worker records its final cursor
+position and, after the workers drain, the consumer thread serially
+re-walks every shard from that position — repeating until a full round
+yields nothing new. The consumer holds the store's scan-gate reader slot
+for the whole duration (workers additionally hold their own), so vacuum
+or reclustering can never free a chain's pages between the parallel
+phase and the re-check rounds.
+
+Worker count comes from ``REPRO_SCAN_WORKERS`` (default: one per shard);
+shards round-robin over the workers when there are fewer workers than
+shards.
+"""
+
+from __future__ import annotations
+
+import queue
+import threading
+from typing import Iterator, List
+
+#: Per-shard handoff queue depth (batches). Bounds memory while letting
+#: a fast worker run ahead of a slow consumer.
+QUEUE_DEPTH = 8
+
+#: Seconds between cancellation checks on blocking queue operations.
+POLL = 0.05
+
+#: Sentinel meaning "this shard's worker finished its walk".
+_DONE = object()
+
+
+class _ShardError:
+    """A worker's exception, shipped through its queue to the consumer."""
+
+    __slots__ = ("exc",)
+
+    def __init__(self, exc: BaseException):
+        self.exc = exc
+
+
+def worker_count(n_shards: int, configured: int) -> int:
+    """Threads to use for *n_shards* given the configured worker count."""
+    return max(1, min(configured, n_shards))
+
+
+def parallel_scan_batches(store, heaps) -> Iterator[list]:
+    """Yield decoded batches of every heap in *heaps*, shard-major order.
+
+    *store* supplies the scan gate, routed pool, decoded-page cache and
+    per-shard scan counters; *heaps* is the cluster's per-shard
+    :class:`~repro.storage.heap.HeapFile` list, index == shard id.
+    """
+    from .page import NO_PAGE
+    from .heap import HeapFile
+
+    n_shards = len(heaps)
+    workers = worker_count(n_shards, store._scan_worker_count)
+    pool = store._pool
+    readahead = HeapFile.READAHEAD
+    queues: List["queue.Queue"] = [queue.Queue(QUEUE_DEPTH)
+                                   for _ in range(n_shards)]
+    done = [threading.Event() for _ in range(n_shards)]
+    #: per shard: [last_page_no, consumed_slots] — the worker's final
+    #: cursor, where the fixpoint re-check resumes.
+    finals: List[list] = [[None, 0] for _ in range(n_shards)]
+    cancel = threading.Event()
+
+    def put_batch(sid: int, item) -> bool:
+        """Blocking put that gives up when the consumer cancels."""
+        while not cancel.is_set():
+            try:
+                queues[sid].put(item, timeout=POLL)
+                return True
+            except queue.Full:
+                continue
+        return False
+
+    def walk_shard(sid: int) -> None:
+        # force=True: the consumer already holds a reader slot, so the
+        # workers ride under its umbrella. Without it a maintenance
+        # waiter arriving mid-scan would block the workers while the
+        # consumer waits on their queues — a three-way deadlock.
+        store._scan_enter(force=True)
+        try:
+            store._shard_scans[sid] += 1
+            for batch in store._scan_batches_inner(
+                    heaps[sid], pool, readahead, NO_PAGE,
+                    final_pos=finals[sid]):
+                if not put_batch(sid, batch):
+                    return
+        except BaseException as exc:  # ship it; the consumer re-raises
+            put_batch(sid, _ShardError(exc))
+        finally:
+            store._scan_exit()
+            done[sid].set()
+            # Wake a consumer blocked in Queue.get on this shard. The
+            # put must block (cancellation-aware) rather than be a
+            # put_nowait: when the walk ends with its queue full, a
+            # dropped sentinel would leave the consumer to discover the
+            # end only by a get() timeout — one full POLL stall per
+            # shard.
+            put_batch(sid, _DONE)
+
+    def run_shards(shard_ids: List[int]) -> None:
+        for sid in shard_ids:
+            if cancel.is_set():
+                done[sid].set()
+                continue
+            walk_shard(sid)
+
+    # Round-robin shards over the workers; with the default
+    # workers == n_shards each thread owns exactly one shard.
+    assignments: List[List[int]] = [[] for _ in range(workers)]
+    for sid in range(n_shards):
+        assignments[sid % workers].append(sid)
+    threads = [threading.Thread(target=run_shards, args=(shard_ids,),
+                                name="repro-scan-w%d" % i, daemon=True)
+               for i, shard_ids in enumerate(assignments)]
+
+    # The consumer registers as a scan reader *before* the workers start
+    # and stays registered until every fixpoint round is done: there is
+    # never a moment when the chains are unprotected.
+    store._scan_enter()
+    try:
+        for thread in threads:
+            thread.start()
+        # Phase 1: drain the workers, shard-major.
+        for sid in range(n_shards):
+            q = queues[sid]
+            while True:
+                # Fast path: the worker is done and everything it ever
+                # queued has been consumed — no need to block at all.
+                if done[sid].is_set() and q.empty():
+                    break
+                try:
+                    item = q.get(timeout=POLL)
+                except queue.Empty:
+                    continue
+                if item is _DONE:
+                    if done[sid].is_set() and q.empty():
+                        break
+                    continue
+                if isinstance(item, _ShardError):
+                    raise item.exc
+                yield item
+        # Phase 2: serial fixpoint re-check. Resume each shard from its
+        # worker's final position; inserts behind those cursors (or on
+        # tail pages grown since) surface here. Repeat until one full
+        # round is quiet.
+        while True:
+            grew = False
+            for sid in range(n_shards):
+                start_page, start_slot = finals[sid]
+                if start_page is None:  # empty heap: re-walk from the top
+                    start_page = heaps[sid].first_page
+                    start_slot = 0
+                for batch in store._scan_batches_inner(
+                        heaps[sid], pool, readahead, NO_PAGE,
+                        start_page=start_page, start_slot=start_slot,
+                        final_pos=finals[sid]):
+                    grew = True
+                    yield batch
+            if not grew:
+                return
+    finally:
+        cancel.set()
+        for q in queues:
+            while True:
+                try:
+                    q.get_nowait()
+                except queue.Empty:
+                    break
+        for thread in threads:
+            thread.join()
+        store._scan_exit()

@@ -13,13 +13,34 @@ manager and catalog behind an API of *clusters* holding *objects*:
 
 Opening a store whose WAL is non-empty runs crash recovery first, so a
 process killed mid-transaction leaves exactly the committed state.
+
+**Sharding** (ISSUE 8). A store may be created with N > 1 *shards*: the
+pages split across N page files (``<path>``, ``<path>.s1`` ...), each
+with its own buffer pool and latch, behind the gpid router of
+:mod:`repro.storage.sharding`. Every cluster then keeps one heap + object
+directory *per shard*, objects route to a shard by their key's serial,
+and per-key operations only contend on their shard's latch — threads
+working different shards proceed in parallel. The WAL, journal, catalog
+and secondary indexes stay shared (single commit protocol, single
+recovery pass); catalog and index pages all live in shard 0. A one-shard
+store takes none of these paths and its file format is byte-identical to
+the pre-sharding layout. The shard count is fixed at creation (persisted
+in the bootstrap root table) and read back on reopen.
+
+Lock order (see also ``journal.py`` / ``sharding.py``): lock-manager
+locks (blocking, outermost, never requested under a latch) -> the
+store's metadata ``latch`` -> catalog lock -> journal latch -> shard
+latches in ascending order -> WAL mutex -> leaf locks (decoded-page
+cache, scan gate, metrics).
 """
 
 from __future__ import annotations
 
 import os
 import threading
+import zlib
 from collections import OrderedDict
+from contextlib import contextmanager
 from typing import Any, Dict, Iterator, List, Optional, Tuple
 
 from ..errors import CatalogError, CorruptPageError, StorageError
@@ -35,22 +56,37 @@ from .journal import Journal
 from .locks import LockManager
 from .pagefile import PageFile
 from .recovery import RecoveryReport, recover
+from .sharding import (MAX_SHARDS, ShardedPool, ShardJournal, ShardView,
+                       global_page, local_page, shard_path)
 from .wal import WriteAheadLog
+
+#: Shard count at creation when the ``shards=`` parameter is not given.
+ENV_SHARDS = "REPRO_SHARDS"
+#: Worker threads for the parallel shard scan (default: one per shard,
+#: capped at the core count; ``1`` forces the serial path).
+ENV_SCAN_WORKERS = "REPRO_SCAN_WORKERS"
 
 
 class Store:
-    """Single-file object store with WAL durability and 2PL locking."""
+    """Object store with WAL durability, 2PL locking and optional shards."""
+
+    #: Bootstrap root entry persisting the shard count (0/absent = 1).
+    SHARDS_ROOT_KEY = "shards"
 
     def __init__(self, path: str, pool_size: int = DEFAULT_POOL_SIZE,
-                 durability: str = "full"):
+                 durability: str = "full", shards: Optional[int] = None):
         """Open (or create) the store rooted at *path*.
 
-        Two files are used: ``<path>`` for pages and ``<path>.wal`` for the
-        log. If the log holds records from a previous crash, recovery runs
-        before the store becomes usable; the report is kept at
-        :attr:`last_recovery`. *durability* selects the commit fsync
+        Files: ``<path>`` for shard-0 pages (and all metadata),
+        ``<path>.sN`` for each further shard, ``<path>.wal`` for the
+        shared log. If the log holds records from a previous crash,
+        recovery runs before the store becomes usable; the report is kept
+        at :attr:`last_recovery`. *durability* selects the commit fsync
         policy — ``"full"``, ``"group"`` or ``"none"`` (see
-        :mod:`repro.storage.wal`).
+        :mod:`repro.storage.wal`). *shards* fixes the shard count when
+        the store is first created (the ``REPRO_SHARDS`` environment
+        variable applies when the parameter is omitted); an existing
+        store always reopens with the count it was created with.
         """
         self.path = path
         # Observability first: one registry + event ring per store, shared
@@ -64,41 +100,73 @@ class Store:
         self.faults = FaultInjector.from_env()
         self.faults.attach_observability(self.events)
         self._pagefile = PageFile(path, faults=self.faults)
-        self._pool = BufferPool(self._pagefile, capacity=pool_size)
+        self._n_shards = self._resolve_shards(shards)
+        self._pagefiles = [self._pagefile]
+        for sid in range(1, self._n_shards):
+            self.faults.fire("shard.open.pre", shard=sid)
+            self._pagefiles.append(
+                PageFile(shard_path(path, sid), faults=self.faults))
+            self.faults.fire("shard.open.post", shard=sid)
+        if self._n_shards == 1:
+            self._pool = BufferPool(self._pagefile, capacity=pool_size)
+            self._router: Optional[ShardedPool] = None
+        else:
+            per_shard = max(pool_size // self._n_shards, 16)
+            self._router = ShardedPool(
+                [BufferPool(pf, capacity=per_shard)
+                 for pf in self._pagefiles])
+            self._pool = self._router
         self._wal = WriteAheadLog(path + ".wal", durability=durability,
                                   faults=self.faults)
         self._wal.attach_observability(self.metrics, self.events)
         self.last_recovery: Optional[RecoveryReport] = None
         if self._wal.end_lsn > 0:
             # No corruption handler is attached yet: a torn page found
-            # here is *repaired* by redo, not quarantined.
+            # here is *repaired* by redo, not quarantined. Log records
+            # carry gpids, so the one recovery pass covers every shard.
             self.last_recovery = recover(self._pool, self._wal)
             if self.last_recovery.repaired_pages:
                 self.events.emit("recovery_repair",
                                  pages=sorted(
                                      self.last_recovery.repaired_pages))
         self._journal = Journal(self._pool, self._wal)
+        if self._router is None:
+            self._shard_journals: List[Any] = [self._journal]
+        else:
+            self._shard_journals = [
+                ShardJournal(self._journal, ShardView(self._router, sid))
+                for sid in range(self._n_shards)]
         #: Count of checksum failures seen at runtime (pages quarantined).
         self.corrupt_pages = 0
-        self._pool.on_corrupt_page = self._on_corrupt_page
-        #: The storage latch (shared with the pool and journal): short
-        #: critical sections protecting physical state. Logical isolation
-        #: is the lock manager's job; never block on :attr:`locks` while
-        #: holding the latch.
-        self.latch = self._pool.latch
+        if self._router is None:
+            self._pool.on_corrupt_page = self._on_corrupt_page
+        else:
+            for sid, pool in enumerate(self._router.pools):
+                pool.on_corrupt_page = (
+                    lambda no, exc, s=sid:
+                    self._on_corrupt_page(global_page(s, no), exc))
+        #: The store's metadata latch: guards the catalog-backed state
+        #: (structure caches, serial blocks, cluster DDL) and orders
+        #: before every shard latch. Logical isolation is the lock
+        #: manager's job; never block on :attr:`locks` while holding it.
+        self.latch = threading.RLock()
         self.locks = LockManager()
         self.catalog = Catalog(self._journal, self._pagefile,
                                self._journal.begin)
-        self._heaps: Dict[str, HeapFile] = {}
-        self._directories: Dict[str, HashIndex] = {}
+        #: (cluster, shard) -> structure caches.
+        self._heaps: Dict[Tuple[str, int], HeapFile] = {}
+        self._directories: Dict[Tuple[str, int], HashIndex] = {}
         self._indexes: Dict[Tuple[str, str], Any] = {}
         #: cluster -> [next unissued serial, end of reserved block)
         self._serial_blocks: Dict[str, list] = {}
-        #: page_no -> (page_lsn, slot_count, decoded records) for batched
+        #: gpid -> (page_lsn, slot_count, decoded records) for batched
         #: scans; entries self-invalidate on LSN mismatch (LSNs are
         #: globally monotone, even across WAL truncation, so a stale
-        #: entry can never match a rewritten page). Guarded by the latch.
+        #: entry can never match a rewritten page). Guarded by its own
+        #: leaf lock so parallel scan workers share it without touching
+        #: the metadata latch.
         self._page_cache: "OrderedDict[int, tuple]" = OrderedDict()
+        self._pc_lock = threading.Lock()
         self.page_cache_hits = 0
         self.page_cache_misses = 0
         #: Commit hook: called as ``on_commit(txn, clsn)`` after the WAL
@@ -114,12 +182,64 @@ class Store:
         #: vacuums cannot deadlock against its own count).
         self._scan_gate = threading.Condition(threading.Lock())
         self._scan_readers: Dict[int, int] = {}
+        #: Maintenance rewrites currently draining/holding the gate.
+        self._maint_waiters = 0
+        #: Scans started per shard (metric ``shard.scans{shard=...}``).
+        self._shard_scans = [0] * self._n_shards
+        #: Reclustering counters (``recluster.*`` metrics).
+        self.recluster_runs = 0
+        self.recluster_moved = 0
+        #: Access profile feeding the reclustering daemon: (cluster,
+        #: serial) -> hit count, recorded by ``get``/``get_with_token``
+        #: when :attr:`track_access` is on. Bumps are GIL-atomic dict
+        #: ops; racing threads can lose a count, which a usage *profile*
+        #: tolerates.
+        self.track_access = False
+        self._access_counts: Dict[Tuple[str, Any], int] = {}
+        raw_workers = os.environ.get(ENV_SCAN_WORKERS, "")
+        try:
+            workers = int(raw_workers)
+        except ValueError:
+            workers = 0
+        if workers <= 0:
+            # Default: one worker per shard, but never more threads than
+            # cores — on a single-core host the executor's handoff
+            # overhead can only lose, so the scan stays serial there.
+            workers = min(self._n_shards, os.cpu_count() or 1)
+        self._scan_worker_count = workers
         self._closed = False
         # Components keep their plain-int counters (bumped under their
         # existing locks) and the registry samples them lazily — absorbing
         # the old stats() dicts costs nothing on the hot paths.
         self._register_metrics()
         self.locks.attach_observability(self.metrics, self.events)
+
+    def _resolve_shards(self, shards: Optional[int]) -> int:
+        """The store's shard count: persisted on an existing store, else
+        chosen at creation (parameter, then ``REPRO_SHARDS``, then 1) and
+        persisted *durably before* any shard file exists — a crash at any
+        point leaves either a plain 1-shard file or a root that names
+        every shard file to (re)create on reopen."""
+        persisted = self._pagefile.get_root(self.SHARDS_ROOT_KEY)
+        if persisted:
+            return persisted
+        if self._pagefile.get_root(Catalog.BOOTSTRAP_KEY) != 0:
+            return 1  # pre-sharding store: format is frozen at 1 shard
+        if shards is None:
+            raw = os.environ.get(ENV_SHARDS, "")
+            try:
+                shards = int(raw) if raw else 1
+            except ValueError:
+                shards = 1
+        if shards <= 1:
+            return 1
+        if shards > MAX_SHARDS:
+            raise StorageError("shard count %d exceeds the maximum %d"
+                               % (shards, MAX_SHARDS))
+        self.faults.fire("shard.root.pre", shards=shards)
+        self._pagefile.set_root(self.SHARDS_ROOT_KEY, shards)
+        self._pagefile.sync()
+        return shards
 
     def _register_metrics(self) -> None:
         pool = self._pool
@@ -134,23 +254,36 @@ class Store:
         metrics.gauge_fn("buffer.hit_ratio",
                          lambda: (pool.hits / (pool.hits + pool.misses))
                          if (pool.hits + pool.misses) else 0.0)
-        metrics.gauge_fn("buffer.cached", lambda: len(pool._frames))
+        if self._router is None:
+            metrics.gauge_fn("buffer.cached", lambda: len(pool._frames))
+        else:
+            metrics.gauge_fn("buffer.cached", lambda: pool.cached_frames)
         metrics.gauge_fn("buffer.capacity", lambda: pool.capacity)
         metrics.counter_fn("page_cache.hits", lambda: self.page_cache_hits)
         metrics.counter_fn("page_cache.misses",
                            lambda: self.page_cache_misses)
         metrics.gauge_fn("page_cache.cached_pages",
                          lambda: len(self._page_cache))
-        metrics.gauge_fn("store.pages", lambda: self._pagefile.page_count)
+        metrics.gauge_fn("store.pages",
+                         lambda: sum(pf.page_count
+                                     for pf in self._pagefiles))
         metrics.counter_fn("storage.corrupt_pages",
                            lambda: self.corrupt_pages)
         metrics.counter_fn("buffer.checksum_failures",
                            lambda: pool.checksum_failures)
         metrics.gauge_fn("storage.quarantined_pages",
-                         lambda: len(pool.quarantined))
+                         lambda: len(self._pool.quarantined))
         metrics.gauge_fn("storage.degraded",
                          lambda: 0 if self.degraded is None else 1)
         metrics.counter_fn("faults.injected", lambda: self.faults.injected)
+        metrics.gauge_fn("shard.count", lambda: self._n_shards)
+        for sid in range(self._n_shards):
+            metrics.counter_fn("shard.scans",
+                               (lambda s=sid: self._shard_scans[s]),
+                               shard=str(sid))
+        metrics.counter_fn("recluster.runs", lambda: self.recluster_runs)
+        metrics.counter_fn("recluster.moved_objects",
+                           lambda: self.recluster_moved)
 
     #: Pages per heap-growth extent for cluster heaps: objects of one
     #: cluster land in physically contiguous runs (cluster-local
@@ -159,6 +292,96 @@ class Store:
 
     #: Bound on the decoded-page cache (pages, not bytes).
     PAGE_CACHE_PAGES = 512
+
+    #: Bound on the access-profile table feeding the recluster daemon.
+    ACCESS_TABLE_MAX = 8192
+
+    # -- sharding helpers --------------------------------------------------------
+
+    @property
+    def n_shards(self) -> int:
+        return self._n_shards
+
+    def _shard_of_key(self, key) -> int:
+        """The shard an object key routes to. Serial-keyed objects (the
+        object layer's ``(serial, version)`` tuples) map by serial, so
+        every version of one object — head beside its states — shares a
+        shard; other key shapes hash stably (crc32, not ``hash()``, so
+        the placement survives process restarts)."""
+        if self._n_shards == 1:
+            return 0
+        first = key[0] if isinstance(key, tuple) and key else key
+        if isinstance(first, int):
+            return first % self._n_shards
+        return zlib.crc32(repr(first).encode("utf-8", "replace")) \
+            % self._n_shards
+
+    def _latch_of(self, shard: int):
+        """The latch serializing per-key work in *shard* (the metadata
+        latch on a single-shard store, preserving the pre-sharding
+        critical sections exactly)."""
+        if self._router is None:
+            return self.latch
+        return self._router.latch_of(shard)
+
+    def _pool_of(self, shard: int):
+        if self._router is None:
+            return self._pool
+        return self._router.pools[shard]
+
+    @contextmanager
+    def _keyed(self, cluster: str, key):
+        """Yield ``(heap, directory)`` for *key*'s shard, shard latch held.
+
+        Structure resolution must not run under the shard latch (it takes
+        the metadata latch and catalog lock, both ordered before shard
+        latches), so the caches are primed first and re-read — plain
+        GIL-atomic dict gets — inside the latch; a concurrent
+        vacuum/recluster/abort that swapped or dropped the entry is
+        caught by the re-read and the resolution retries.
+        """
+        if self._router is None:
+            with self.latch:
+                yield self._heap(cluster), self._directory(cluster)
+            return
+        sid = self._shard_of_key(key)
+        self._ensure_structs(cluster, sid)
+        latch = self._router.latch_of(sid)
+        while True:
+            with latch:
+                heap = self._heaps.get((cluster, sid))
+                directory = self._directories.get((cluster, sid))
+                if heap is not None and directory is not None:
+                    yield heap, directory
+                    return
+            self._ensure_structs(cluster, sid)
+
+    def _ensure_structs(self, cluster: str, shard: int) -> None:
+        with self.latch:
+            self._heap(cluster, shard)
+            self._directory(cluster, shard)
+
+    def _all_heaps(self, cluster: str) -> List[HeapFile]:
+        with self.latch:
+            return [self._heap(cluster, sid)
+                    for sid in range(self._n_shards)]
+
+    def _note_access(self, cluster: str, key) -> None:
+        counts = self._access_counts
+        serial = key[0] if isinstance(key, tuple) and key else key
+        entry = (cluster, serial)
+        counts[entry] = counts.get(entry, 0) + 1
+        if len(counts) > self.ACCESS_TABLE_MAX:
+            # Keep the hot half; racing bumps against the old dict are
+            # lost, which the profile tolerates.
+            floor = sorted(counts.values())[len(counts) // 2]
+            self._access_counts = {k: v for k, v in counts.items()
+                                   if v > floor}
+
+    def take_access_profile(self) -> Dict[Tuple[str, Any], int]:
+        """Hand the accumulated access counts to the caller and reset."""
+        counts, self._access_counts = self._access_counts, {}
+        return counts
 
     # -- transactions ------------------------------------------------------------
 
@@ -202,7 +425,8 @@ class Store:
     def checkpoint(self) -> None:
         """Flush dirty pages; truncate the WAL if quiescent."""
         self._journal.checkpoint()
-        self._pagefile.sync()
+        for pagefile in self._pagefiles:
+            pagefile.sync()
 
     def set_durability(self, mode: str, group_size: Optional[int] = None,
                        group_window: Optional[float] = None) -> None:
@@ -221,7 +445,12 @@ class Store:
 
     def create_cluster(self, txn: int, name: str,
                        parents: Optional[List[str]] = None) -> ClusterInfo:
-        """Create the extent for *name* (the paper's ``create`` macro)."""
+        """Create the extent for *name* (the paper's ``create`` macro).
+
+        On a sharded store every shard gets its own heap + object
+        directory up front, so the catalog record fixes the cluster's
+        full physical layout at creation.
+        """
         parents = parents or []
         with self.latch:
             for parent in parents:
@@ -229,14 +458,24 @@ class Store:
                     raise CatalogError(
                         "parent cluster %r of %r does not exist"
                         % (parent, name))
-            heap = HeapFile.create(self._journal, txn,
-                                   extent=self.EXTENT_PAGES)
-            directory = HashIndex.create(self._journal, txn, unique=True)
-            info = self.catalog.add_cluster(txn, name, parents,
-                                            heap.first_page,
-                                            directory.directory_page)
-            self._heaps[name] = heap
-            self._directories[name] = directory
+            heaps: List[HeapFile] = []
+            directories: List[HashIndex] = []
+            shard_pairs: List[List[int]] = []
+            for sid in range(self._n_shards):
+                journal = self._shard_journals[sid]
+                heap = HeapFile.create(journal, txn,
+                                       extent=self.EXTENT_PAGES)
+                directory = HashIndex.create(journal, txn, unique=True)
+                heaps.append(heap)
+                directories.append(directory)
+                shard_pairs.append([heap.first_page,
+                                    directory.directory_page])
+            info = self.catalog.add_cluster(
+                txn, name, parents, shard_pairs[0][0], shard_pairs[0][1],
+                shards=shard_pairs if self._n_shards > 1 else None)
+            for sid in range(self._n_shards):
+                self._heaps[(name, sid)] = heaps[sid]
+                self._directories[(name, sid)] = directories[sid]
             return info
 
     def has_cluster(self, name: str) -> bool:
@@ -248,23 +487,34 @@ class Store:
             raise CatalogError("no cluster named %r" % name)
         return info
 
-    def _heap(self, name: str) -> HeapFile:
-        heap = self._heaps.get(name)
-        if heap is None:
-            info = self.cluster_info(name)
-            heap = HeapFile(self._journal, info.heap_page,
-                            extent=self.EXTENT_PAGES)
-            self._heaps[name] = heap
-        return heap
+    def _shard_pair(self, info: ClusterInfo, shard: int) -> List[int]:
+        if shard >= len(info.shards):
+            raise StorageError(
+                "cluster %r has %d shard(s) but the store expects %d"
+                % (info.name, len(info.shards), self._n_shards))
+        return info.shards[shard]
 
-    def _directory(self, name: str) -> HashIndex:
-        directory = self._directories.get(name)
-        if directory is None:
-            info = self.cluster_info(name)
-            directory = HashIndex(self._journal, info.directory_page,
-                                  unique=True)
-            self._directories[name] = directory
-        return directory
+    def _heap(self, name: str, shard: int = 0) -> HeapFile:
+        with self.latch:
+            heap = self._heaps.get((name, shard))
+            if heap is None:
+                info = self.cluster_info(name)
+                heap = HeapFile(self._shard_journals[shard],
+                                self._shard_pair(info, shard)[0],
+                                extent=self.EXTENT_PAGES)
+                self._heaps[(name, shard)] = heap
+            return heap
+
+    def _directory(self, name: str, shard: int = 0) -> HashIndex:
+        with self.latch:
+            directory = self._directories.get((name, shard))
+            if directory is None:
+                info = self.cluster_info(name)
+                directory = HashIndex(self._shard_journals[shard],
+                                      self._shard_pair(info, shard)[1],
+                                      unique=True)
+                self._directories[(name, shard)] = directory
+            return directory
 
     #: Serials are reserved from the catalog in blocks of this size, so a
     #: catalog write is paid once per block instead of once per pnew. A
@@ -298,9 +548,7 @@ class Store:
         raises rather than corrupting). Freshly allocated serials qualify.
         """
         payload = encode_value(data)
-        with self.latch:
-            heap = self._heap(cluster)
-            directory = self._directory(cluster)
+        with self._keyed(cluster, key) as (heap, directory):
             if not new:
                 existing = directory.search(key)
                 if existing:
@@ -322,9 +570,7 @@ class Store:
         abort's compensation writes.
         """
         payload = encode_value(data)
-        with self.latch:
-            heap = self._heap(cluster)
-            directory = self._directory(cluster)
+        with self._keyed(cluster, key) as (heap, directory):
             existing = directory.search(key)
             if existing:
                 rid = RID(*existing[0])
@@ -335,23 +581,30 @@ class Store:
             return rid, heap.page_lsn(rid.page_no)
 
     def page_lsns(self, cluster: str, page_nos) -> Dict[int, int]:
-        """Current LSNs of a set of *cluster* heap pages, one latch trip.
+        """Current LSNs of a set of *cluster* heap pages.
 
         Token-refresh helper for batch writers: after a run of puts has
         settled, the caller re-primes its decoded cache against these
-        LSNs (see :meth:`get_with_token` for the token contract).
+        LSNs (see :meth:`get_with_token` for the token contract). Page
+        numbers are gpids, so each pin routes to (and briefly latches)
+        only its own shard.
         """
-        with self.latch:
-            heap = self._heap(cluster)
-            return {p: heap.page_lsn(p) for p in set(page_nos)}
+        pool = self._pool
+        lsns: Dict[int, int] = {}
+        for page_no in set(page_nos):
+            with pool.page(page_no) as page:
+                lsns[page_no] = page.page_lsn
+        return lsns
 
     def get(self, cluster: str, key: Tuple) -> Optional[Dict]:
         """Fetch the object at *key*, or None."""
-        with self.latch:
-            hit = self._directory(cluster).search(key)
+        if self.track_access:
+            self._note_access(cluster, key)
+        with self._keyed(cluster, key) as (heap, directory):
+            hit = directory.search(key)
             if not hit:
                 return None
-            raw = self._heap(cluster).read(RID(*hit[0]))
+            raw = heap.read(RID(*hit[0]))
         return decode_value(raw)
 
     def get_with_token(self, cluster: str,
@@ -367,12 +620,14 @@ class Store:
         must not trust tokens with ``lsn == 0`` — freshly formatted pages
         start there.
         """
-        with self.latch:
-            hit = self._directory(cluster).search(key)
+        if self.track_access:
+            self._note_access(cluster, key)
+        with self._keyed(cluster, key) as (heap, directory):
+            hit = directory.search(key)
             if not hit:
                 return None, None, 0
             rid = RID(*hit[0])
-            raw, lsn = self._heap(cluster).read_with_lsn(rid)
+            raw, lsn = heap.read_with_lsn(rid)
         return decode_value(raw), rid, lsn
 
     def tokens_valid(self, tokens) -> bool:
@@ -381,39 +636,54 @@ class Store:
         Pages for repeated page numbers are pinned once. This is the
         whole validation cost of the object layer's decoded cache: a
         couple of buffer-pool hits instead of directory probes + decodes.
+        Each pin latches only its own shard's pool.
         """
-        with self.latch:
-            seen: Dict[int, int] = {}
-            for page_no, lsn in tokens:
-                current = seen.get(page_no)
-                if current is None:
-                    with self._pool.page(page_no) as page:
-                        current = page.page_lsn
-                    seen[page_no] = current
-                if current != lsn:
-                    return False
+        pool = self._pool
+        seen: Dict[int, int] = {}
+        for page_no, lsn in tokens:
+            current = seen.get(page_no)
+            if current is None:
+                with pool.page(page_no) as page:
+                    current = page.page_lsn
+                seen[page_no] = current
+            if current != lsn:
+                return False
         return True
 
     def exists(self, cluster: str, key: Tuple) -> bool:
-        with self.latch:
-            return bool(self._directory(cluster).search(key))
+        with self._keyed(cluster, key) as (_heap, directory):
+            return bool(directory.search(key))
 
     def delete(self, txn: int, cluster: str, key: Tuple) -> bool:
         """Delete the object at *key*; returns whether it existed."""
-        with self.latch:
-            directory = self._directory(cluster)
+        with self._keyed(cluster, key) as (heap, directory):
             hit = directory.search(key)
             if not hit:
                 return False
-            self._heap(cluster).delete(txn, RID(*hit[0]))
+            heap.delete(txn, RID(*hit[0]))
             directory.delete(txn, key)
             return True
 
     # -- scan/vacuum gate --------------------------------------------------------
 
-    def _scan_enter(self) -> None:
+    def _scan_enter(self, force: bool = False) -> None:
+        """Register this thread as a chain walker.
+
+        A pending maintenance rewrite (vacuum/recluster) blocks *new*
+        walkers until it commits — without that priority, back-to-back
+        scans starve :meth:`_maintenance_begin` forever. Re-entrant
+        admission (this thread already walks) always passes, and
+        *force=True* lets the parallel executor's worker threads in under
+        their consumer's admission (the consumer is registered for the
+        whole parallel scan; blocking its workers would deadlock it
+        against the waiting vacuum).
+        """
         ident = threading.get_ident()
         with self._scan_gate:
+            if not force:
+                while (self._maint_waiters
+                       and not self._scan_readers.get(ident)):
+                    self._scan_gate.wait(timeout=1.0)
             self._scan_readers[ident] = self._scan_readers.get(ident, 0) + 1
 
     def _scan_exit(self) -> None:
@@ -426,12 +696,27 @@ class Store:
             else:
                 self._scan_readers[ident] = depth
 
-    def _await_no_scans(self) -> None:
-        """Block until no *other* thread is inside a chain walk."""
+    def _maintenance_begin(self) -> None:
+        """Drain chain walkers and hold new ones out.
+
+        Returns once no *other* thread is inside a walk; scans arriving
+        meanwhile (and until :meth:`_maintenance_end`) block at
+        :meth:`_scan_enter`, so the caller's page rewrite + commit —
+        which moves records and frees the old chain — can never overlap
+        a walk of the chains it is retiring. Callers must already hold
+        the cluster's X lock and must pair with ``_maintenance_end`` in
+        a ``finally``.
+        """
         ident = threading.get_ident()
         with self._scan_gate:
+            self._maint_waiters += 1
             while any(t != ident for t in self._scan_readers):
                 self._scan_gate.wait(timeout=1.0)
+
+    def _maintenance_end(self) -> None:
+        with self._scan_gate:
+            self._maint_waiters -= 1
+            self._scan_gate.notify_all()
 
     def scan(self, cluster: str) -> Iterator[Tuple[RID, Dict]]:
         """Yield ``(rid, data)`` for every object in *cluster*.
@@ -439,17 +724,21 @@ class Store:
         The object layer embeds its own key in the payload, so the RID is
         informational. Objects inserted behind the scan cursor during the
         iteration are visited — the property the paper's fixpoint queries
-        require (section 3.2).
+        require (section 3.2). Shards are walked in order.
         """
-        with self.latch:
-            heap = self._heap(cluster)
-        # The heap scan pins (and thereby latches) per record advance and
-        # never holds a pin across a yield, so concurrent mutators only
-        # ever see the scan between records.
+        # Enter the gate before resolving structures: a vacuum that was
+        # admitted first swaps the caches before letting us through, so
+        # the heaps we resolve can never be mid-retirement.
         self._scan_enter()
         try:
-            for rid, raw in heap.scan():
-                yield rid, decode_value(raw)
+            heaps = self._all_heaps(cluster)
+            # The heap scan pins (and thereby latches) per record advance
+            # and never holds a pin across a yield, so concurrent mutators
+            # only ever see the scan between records.
+            for sid, heap in enumerate(heaps):
+                self._shard_scans[sid] += 1
+                for rid, raw in heap.scan():
+                    yield rid, decode_value(raw)
         finally:
             self._scan_exit()
 
@@ -463,27 +752,48 @@ class Store:
         entirely. The fixpoint property holds: each page is re-checked
         after its batch is consumed, so records inserted behind the cursor
         (same page or grown tail pages) are still visited.
+
+        On a multi-shard store the shards' page walks fan out across a
+        worker pool (see :mod:`repro.storage.parallel`) and batches merge
+        back in shard order, with a serial fixpoint re-check after the
+        workers drain; a single-shard store takes the plain serial path.
         """
-        with self.latch:
-            heap = self._heap(cluster)
-        pool = self._pool
-        readahead = HeapFile.READAHEAD
-        from .page import NO_PAGE
+        # Gate before structure resolution, as in :meth:`scan`.
         self._scan_enter()
         try:
-            yield from self._scan_batches_inner(heap, pool, readahead,
-                                                NO_PAGE)
+            heaps = self._all_heaps(cluster)
+            if len(heaps) > 1 and self._scan_worker_count > 1:
+                from .parallel import parallel_scan_batches
+                yield from parallel_scan_batches(self, heaps)
+                return
+            pool = self._pool
+            readahead = HeapFile.READAHEAD
+            from .page import NO_PAGE
+            for sid, heap in enumerate(heaps):
+                self._shard_scans[sid] += 1
+                yield from self._scan_batches_inner(heap, pool, readahead,
+                                                    NO_PAGE)
         finally:
             self._scan_exit()
 
-    def _scan_batches_inner(self, heap, pool, readahead, NO_PAGE):
-        page_no = heap.first_page
+    def _scan_batches_inner(self, heap, pool, readahead, NO_PAGE,
+                            start_page=None, start_slot=0, final_pos=None):
+        """One heap's batched page walk.
+
+        *start_page*/*start_slot* resume a previous walk (the parallel
+        executor's fixpoint re-check); *final_pos*, when given, is a
+        2-slot list updated in place with the cursor's last position
+        ``[page_no, consumed_slots]`` so the walk can be resumed later.
+        """
+        page_no = heap.first_page if start_page is None else start_page
+        resume_slot = start_slot
         span_lo = span_hi = -1
         while page_no != NO_PAGE:
             if not span_lo <= page_no < span_hi:
                 pool.prefetch(page_no, readahead)
                 span_lo, span_hi = page_no, page_no + readahead
-            start = 0
+            start = resume_slot
+            resume_slot = 0
             while True:
                 # Header peek: one (cold) pin tells us whether the cached
                 # decode is current before we touch any slot.
@@ -494,7 +804,7 @@ class Store:
                 if slot_count <= start:
                     break
                 if start == 0 and lsn:
-                    with self.latch:
+                    with self._pc_lock:
                         hit = self._page_cache.get(page_no)
                         if (hit is not None and hit[0] == lsn
                                 and hit[1] == slot_count):
@@ -512,20 +822,23 @@ class Store:
                 decoded = [(rid, decode_value(raw)) for rid, raw in records]
                 if (start == 0 and lsn and lsn2 == lsn
                         and slot_count2 == slot_count):
-                    with self.latch:
+                    with self._pc_lock:
                         self.page_cache_misses += 1
-                        self._page_cache[page_no] = (lsn, slot_count, decoded)
+                        self._page_cache[page_no] = (lsn, slot_count,
+                                                     decoded)
                         self._page_cache.move_to_end(page_no)
                         while len(self._page_cache) > self.PAGE_CACHE_PAGES:
                             self._page_cache.popitem(last=False)
                 if decoded:
                     yield decoded
                 start = slot_count2
+            if final_pos is not None:
+                final_pos[0] = page_no
+                final_pos[1] = start
             page_no = next_page
 
     def count(self, cluster: str) -> int:
-        with self.latch:
-            return self._heap(cluster).count()
+        return sum(heap.count() for heap in self._all_heaps(cluster))
 
     # -- secondary indexes ------------------------------------------------------------
 
@@ -535,7 +848,7 @@ class Store:
 
         *field* is a field name, or a tuple/list of field names for a
         composite index (keyed on the value tuple, registered under the
-        comma-joined name).
+        comma-joined name). Index pages always live in shard 0.
         """
         if isinstance(field, (tuple, list)):
             fields = list(field)
@@ -589,7 +902,9 @@ class Store:
     # Latched index entry points. A multi-level B+tree descent (or a hash
     # bucket split) touches several pages; holding the latch for the whole
     # operation keeps a concurrent reader from observing the intermediate
-    # states between those page edits.
+    # states between those page edits. Index pages are shard-0 residents,
+    # so the metadata latch (ordered before shard latches) is the right
+    # guard.
 
     def index_insert(self, txn: int, cluster: str, field: str, key,
                      value) -> None:
@@ -610,7 +925,7 @@ class Store:
         """Lazy ``(key, serial)`` range scan of a B+tree index.
 
         The walk latches page-at-a-time (every node read pins under the
-        storage latch), which keeps early-exiting consumers — prefix
+        shard-0 pool latch), which keeps early-exiting consumers — prefix
         scans, LIMIT-style iteration — from paying for keys they never
         look at. Logical consistency against concurrent writers comes
         from the *caller's* lock, not from here: plan executors inside a
@@ -625,7 +940,7 @@ class Store:
     # -- maintenance ----------------------------------------------------------------
 
     def vacuum(self, cluster: str) -> Dict[str, int]:
-        """Rewrite *cluster*'s heap and object directory compactly.
+        """Rewrite *cluster*'s heap(s) and object director(ies) compactly.
 
         Deletes and relocations leave tombstones, forwarding stubs and
         sparse pages behind; vacuuming copies every live object into a
@@ -638,6 +953,12 @@ class Store:
         keys to *serials*, not RIDs, so they remain valid and are not
         rebuilt.
 
+        On a multi-shard store the per-shard rewrites run in parallel
+        worker threads, each as its own transaction touching only its
+        shard; the parent transaction then swaps the catalog record and
+        frees the old pages, so a crash anywhere leaks pages but never
+        loses an object.
+
         Runs as its own transaction; returns ``{"objects": n, "pages_freed"
         : m}``.
         """
@@ -649,62 +970,233 @@ class Store:
         # transactions reading or writing the cluster are shut out for the
         # duration of the rewrite.
         self.locks.acquire(txn, ("cluster", cluster), "X")
+        # MVCC readers walk heap chains without a cluster lock; drain
+        # in-flight walks and hold new ones out until the commit frees
+        # the old chain (a walker admitted mid-rewrite could otherwise
+        # read recycled garbage).
+        self._maintenance_begin()
         try:
-            # MVCC readers walk heap chains without a cluster lock; wait
-            # for in-flight walks to drain before pages start moving to
-            # the free list (a walker could otherwise read recycled
-            # garbage).
-            self._await_no_scans()
-            with self.latch:
-                info = self.cluster_info(cluster)
-                old_heap = self._heap(cluster)
-                old_directory = self._directory(cluster)
-                # Copy in old *physical chain order*, not hash-bucket
-                # order: insertion placed related records (an object's
-                # head next to its state) adjacently, and the batched
-                # scan's materializer depends on that adjacency. A
-                # bucket-order rewrite would scatter them and degrade
-                # post-vacuum scans to per-object directory probes.
-                chain_pos = {no: i for i, no in
-                             enumerate(self._pages_of_heap(old_heap))}
-                rid_items = sorted(
-                    old_directory.items(),
-                    key=lambda kv: (chain_pos.get(kv[1][0], 1 << 60),
-                                    kv[1][1]))
-                items = [(key, old_heap.read(RID(*rid_tuple)))
-                         for key, rid_tuple in rid_items]
-                new_heap = HeapFile.create(self._journal, txn,
-                                           extent=self.EXTENT_PAGES)
-                new_directory = HashIndex.create(self._journal, txn,
-                                                 unique=True)
-                need = self._pages_for(payload for _key, payload in items)
-                if need > 1:
-                    # Cap the single extent well below the pool size so
-                    # formatting it cannot churn the whole buffer pool.
-                    new_heap.preallocate(
-                        txn, min(need, max(self._pool.capacity // 2, 1)))
-                moved = 0
-                for key, payload in items:
-                    new_rid = new_heap.insert(txn, payload)
-                    new_directory.insert(txn, key, tuple(new_rid))
-                    moved += 1
-                old_pages = (self._pages_of_heap(old_heap)
-                             + self._pages_of_hash(old_directory))
-                info.heap_page = new_heap.first_page
-                info.directory_page = new_directory.directory_page
-                self.catalog.save_cluster(txn, info)
-                for page_no in old_pages:
-                    self._journal.free_page_deferred(txn, page_no)
-                self._heaps[cluster] = new_heap
-                self._directories[cluster] = new_directory
-        except BaseException:
-            self.abort(txn)
-            raise
-        self.commit(txn)
+            try:
+                with self.latch:
+                    if self._router is None:
+                        moved, old_pages = self._vacuum_shard_locked(
+                            txn, cluster, 0)
+                    else:
+                        moved, old_pages = self._vacuum_sharded_locked(
+                            txn, cluster)
+            except BaseException:
+                self.abort(txn)
+                raise
+            self.commit(txn)
+        finally:
+            self._maintenance_end()
         self.events.emit("vacuum", cluster=cluster, objects=moved,
                          pages_freed=len(old_pages),
                          ms=(_time.perf_counter() - started) * 1e3)
         return {"objects": moved, "pages_freed": len(old_pages)}
+
+    def _vacuum_shard_locked(self, txn: int, cluster: str,
+                             shard: int) -> Tuple[int, List[int]]:
+        """Rewrite one shard of *cluster* under *txn*; swap it into the
+        catalog. Caller holds the metadata latch and the cluster X lock."""
+        info = self.cluster_info(cluster)
+        new_heap, new_directory, moved, old_pages = self._rewrite_shard(
+            txn, cluster, shard, hot_rank=None)
+        info.shards[shard] = [new_heap.first_page,
+                              new_directory.directory_page]
+        if shard == 0:
+            info.heap_page, info.directory_page = info.shards[0]
+        self.catalog.save_cluster(txn, info)
+        for page_no in old_pages:
+            self._journal.free_page_deferred(txn, page_no)
+        self._swap_structs(cluster, shard, new_heap, new_directory)
+        return moved, old_pages
+
+    def _vacuum_sharded_locked(self, parent: int,
+                               cluster: str) -> Tuple[int, List[int]]:
+        """Shard-parallel vacuum body (metadata latch + cluster X held).
+
+        Each shard's rewrite runs in its own worker thread as its own
+        committed transaction — shard-local page traffic only, so the
+        workers' latch footprints are disjoint. The *parent* transaction
+        then performs the single catalog swap and schedules every old
+        page for the free list, making the whole vacuum atomic at the
+        catalog level: a crash after some children committed leaks their
+        fresh (unreferenced) pages and nothing else.
+        """
+        info = self.cluster_info(cluster)
+        old = [(self._heap(cluster, sid), self._directory(cluster, sid))
+               for sid in range(self._n_shards)]
+        results: List[Any] = [None] * self._n_shards
+        errors: List[BaseException] = []
+
+        def rewrite(sid: int) -> None:
+            child = self.begin()
+            try:
+                with self._router.latch_of(sid):
+                    new_heap, new_directory, moved, old_pages = \
+                        self._rewrite_shard(child, cluster, sid,
+                                            hot_rank=None,
+                                            structs=old[sid])
+                # Commit outside the shard latch: the journal latch is
+                # ordered before shard latches.
+                self._journal.commit(child)
+                results[sid] = (new_heap, new_directory, moved, old_pages)
+            except BaseException as exc:
+                try:
+                    self._journal.abort(child)
+                except Exception:
+                    pass
+                errors.append(exc)
+
+        threads = [threading.Thread(target=rewrite, args=(sid,),
+                                    name="repro-vacuum-s%d" % sid)
+                   for sid in range(self._n_shards)]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        if errors:
+            raise errors[0]
+        moved = 0
+        old_pages: List[int] = []
+        for sid, (new_heap, new_directory, n, pages) in enumerate(results):
+            info.shards[sid] = [new_heap.first_page,
+                                new_directory.directory_page]
+            moved += n
+            old_pages.extend(pages)
+        info.heap_page, info.directory_page = info.shards[0]
+        self.catalog.save_cluster(parent, info)
+        for page_no in old_pages:
+            self._journal.free_page_deferred(parent, page_no)
+        for sid, (new_heap, new_directory, _n, _pages) in \
+                enumerate(results):
+            self._swap_structs(cluster, sid, new_heap, new_directory)
+        return moved, old_pages
+
+    def _rewrite_shard(self, txn: int, cluster: str, shard: int,
+                       hot_rank: Optional[Dict[Any, int]] = None,
+                       structs=None):
+        """Copy one shard's live objects into a fresh heap + directory.
+
+        Returns ``(new_heap, new_directory, moved, old_pages)`` without
+        touching the catalog or the structure caches — the caller owns
+        the swap. With *hot_rank* (serial -> rank), hot objects are
+        copied first in rank order so they share the leading extent
+        (dynamic reclustering); the rest follow in old physical chain
+        order, which preserves the insertion adjacency the batched scan
+        materializer depends on.
+        """
+        if structs is None:
+            old_heap = self._heap(cluster, shard)
+            old_directory = self._directory(cluster, shard)
+        else:
+            old_heap, old_directory = structs
+        # Copy in old *physical chain order*, not hash-bucket order:
+        # insertion placed related records (an object's head next to its
+        # state) adjacently, and the batched scan's materializer depends
+        # on that adjacency. A bucket-order rewrite would scatter them
+        # and degrade post-vacuum scans to per-object directory probes.
+        chain_pos = {no: i for i, no in
+                     enumerate(self._pages_of_heap(old_heap))}
+
+        def order(kv):
+            key, rid_tuple = kv
+            chain = (chain_pos.get(rid_tuple[0], 1 << 60), rid_tuple[1])
+            if hot_rank is not None:
+                serial = key[0] if isinstance(key, tuple) and key else key
+                rank = hot_rank.get(serial)
+                if rank is not None:
+                    return (0, rank, chain)
+            return (1, 0, chain)
+
+        rid_items = sorted(old_directory.items(), key=order)
+        items = [(key, old_heap.read(RID(*rid_tuple)))
+                 for key, rid_tuple in rid_items]
+        journal = self._shard_journals[shard]
+        new_heap = HeapFile.create(journal, txn, extent=self.EXTENT_PAGES)
+        new_directory = HashIndex.create(journal, txn, unique=True)
+        need = self._pages_for(payload for _key, payload in items)
+        if need > 1:
+            # Cap the single extent well below the pool size so
+            # formatting it cannot churn the whole buffer pool.
+            new_heap.preallocate(
+                txn, min(need, max(self._pool_of(shard).capacity // 2, 1)))
+        moved = 0
+        for key, payload in items:
+            new_rid = new_heap.insert(txn, payload)
+            new_directory.insert(txn, key, tuple(new_rid))
+            moved += 1
+        old_pages = (self._pages_of_heap(old_heap)
+                     + self._pages_of_hash(old_directory))
+        return new_heap, new_directory, moved, old_pages
+
+    def _swap_structs(self, cluster: str, shard: int, heap: HeapFile,
+                      directory: HashIndex) -> None:
+        """Publish a rewritten shard's structures. The shard latch
+        brackets the dict writes so a per-key operation that re-reads the
+        caches inside its latch can never keep using a structure whose
+        pages are scheduled to be freed."""
+        with self._latch_of(shard):
+            self._heaps[(cluster, shard)] = heap
+            self._directories[(cluster, shard)] = directory
+
+    def recluster_shard(self, cluster: str, serials,
+                        shard: int = 0) -> Dict[str, int]:
+        """Migrate hot *serials* of *cluster* into the leading extent of
+        *shard* (the dynamic clustering policy from the Darmont studies:
+        co-accessed objects end up physically adjacent, so the scans and
+        dereference runs that made them hot read fewer pages).
+
+        The rewrite is exactly a shard vacuum with a placement hint, runs
+        as its own transaction under the cluster's X lock, and is invoked
+        by the background :class:`~repro.storage.recluster.ReclusterDaemon`
+        with serials ranked by observed access counts. MVCC readers are
+        safe for the same reason vacuum is: logical content is unchanged,
+        chain walkers are drained via the scan gate, and the page-LSN
+        tokens of every moved record stop validating.
+        """
+        serials = list(serials)
+        self.faults.fire("recluster.pre", cluster=cluster, shard=shard)
+        txn = self.begin()
+        self.locks.acquire(txn, ("cluster", cluster), "X")
+        self._maintenance_begin()
+        try:
+            try:
+                with self.latch:
+                    info = self.cluster_info(cluster)
+                    hot_rank = {serial: rank
+                                for rank, serial in enumerate(serials)}
+                    new_heap, new_directory, moved, old_pages = \
+                        self._rewrite_shard(txn, cluster, shard,
+                                            hot_rank=hot_rank)
+                    info.shards[shard] = [new_heap.first_page,
+                                          new_directory.directory_page]
+                    if shard == 0:
+                        info.heap_page, info.directory_page = \
+                            info.shards[0]
+                    self.catalog.save_cluster(txn, info)
+                    for page_no in old_pages:
+                        self._journal.free_page_deferred(txn, page_no)
+                    self._swap_structs(cluster, shard, new_heap,
+                                       new_directory)
+            except BaseException:
+                self.abort(txn)
+                raise
+            self.faults.fire("recluster.commit.pre", cluster=cluster,
+                             shard=shard)
+            self.commit(txn)
+        finally:
+            self._maintenance_end()
+        hot_here = sum(1 for serial in serials
+                       if self._shard_of_key((serial, 0)) == shard)
+        self.recluster_runs += 1
+        self.recluster_moved += hot_here
+        self.events.emit("recluster", cluster=cluster, shard=shard,
+                         hot=hot_here, objects=moved,
+                         pages_freed=len(old_pages))
+        return {"objects": moved, "moved": hot_here,
+                "pages_freed": len(old_pages)}
 
     @staticmethod
     def _pages_for(payloads) -> int:
@@ -719,31 +1211,49 @@ class Store:
         return -(-total // usable) if total else 1
 
     def fragmentation(self, cluster: str) -> Dict[str, Any]:
-        """Physical layout of *cluster*'s heap chain.
+        """Physical layout of *cluster*'s heap chain(s).
 
         ``pages`` is the chain length, ``span`` the page-number distance
         covered (max - min + 1; equals ``pages`` for a perfectly clustered
         heap), ``runs`` the number of maximal physically-contiguous runs
         (1 is ideal). ``span / pages`` is the Darmont-style fragmentation
-        factor the EXPERIMENTS entry tracks.
+        factor the EXPERIMENTS entry tracks. On a multi-shard store the
+        top-level numbers aggregate the shards (spans are computed on
+        local page numbers, per file) and ``shards`` holds the per-shard
+        breakdown.
         """
         from .page import NO_PAGE
-        pages: List[int] = []
+        per_shard: List[Dict[str, Any]] = []
         with self.latch:
-            heap = self._heap(cluster)
-            page_no = heap.first_page
-            while page_no != NO_PAGE:
-                pages.append(page_no)
-                with self._pool.page(page_no, cold=True) as page:
-                    page_no = page.next_page
-        runs = 1 + sum(1 for a, b in zip(pages, pages[1:]) if b != a + 1)
-        span = max(pages) - min(pages) + 1
-        return {
-            "pages": len(pages),
-            "span": span,
-            "runs": runs,
-            "fragmentation": span / len(pages),
+            for sid in range(self._n_shards):
+                heap = self._heap(cluster, sid)
+                pages: List[int] = []
+                page_no = heap.first_page
+                while page_no != NO_PAGE:
+                    pages.append(local_page(page_no))
+                    with self._pool.page(page_no, cold=True) as page:
+                        page_no = page.next_page
+                runs = 1 + sum(1 for a, b in zip(pages, pages[1:])
+                               if b != a + 1)
+                span = max(pages) - min(pages) + 1
+                per_shard.append({
+                    "shard": sid,
+                    "pages": len(pages),
+                    "span": span,
+                    "runs": runs,
+                    "fragmentation": span / len(pages),
+                })
+        total_pages = sum(entry["pages"] for entry in per_shard)
+        total_span = sum(entry["span"] for entry in per_shard)
+        out = {
+            "pages": total_pages,
+            "span": total_span,
+            "runs": sum(entry["runs"] for entry in per_shard),
+            "fragmentation": total_span / total_pages,
         }
+        if self._n_shards > 1:
+            out["shards"] = per_shard
+        return out
 
     def _pages_of_heap(self, heap: HeapFile) -> List[int]:
         from .page import NO_PAGE
@@ -755,7 +1265,6 @@ class Store:
                 page_no = page.next_page
         # Overflow chains hang off records; collect them via raw slots.
         from . import heap as heap_mod
-        import struct
         for home in list(pages):
             with self._pool.page(home) as page:
                 records = list(page.slots())
@@ -786,10 +1295,10 @@ class Store:
         """Cross-check every structure; returns a list of problems
         (empty means the store is internally consistent).
 
-        Checks per cluster: the directory's RIDs resolve to readable heap
-        records; heap record count matches directory entry count; index
-        structural invariants hold; secondary-index entries reference
-        serials that exist in the directory.
+        Checks per cluster (and per shard): the directory's RIDs resolve
+        to readable heap records; heap record count matches directory
+        entry count; index structural invariants hold; secondary-index
+        entries reference serials that exist in some shard's directory.
         """
         problems: List[str] = []
         self.latch.acquire()
@@ -801,28 +1310,32 @@ class Store:
     def _verify_integrity_locked(self, problems: List[str]) -> List[str]:
         for info in self.catalog.clusters():
             cluster = info.name
-            directory = self._directory(cluster)
-            heap = self._heap(cluster)
-            try:
-                directory.check_invariants()
-            except Exception as exc:
-                problems.append("%s: directory invariant: %s"
-                                % (cluster, exc))
             keys = set()
-            entries = 0
-            for key, rid_tuple in directory.items():
-                entries += 1
-                keys.add(key)
+            for sid in range(self._n_shards):
+                where = (cluster if self._n_shards == 1
+                         else "%s[s%d]" % (cluster, sid))
+                directory = self._directory(cluster, sid)
+                heap = self._heap(cluster, sid)
                 try:
-                    heap.read(RID(*rid_tuple))
+                    directory.check_invariants()
                 except Exception as exc:
-                    problems.append("%s: key %r -> unreadable RID %r: %s"
-                                    % (cluster, key, rid_tuple, exc))
-            heap_count = heap.count()
-            if heap_count != entries:
-                problems.append(
-                    "%s: heap has %d records but directory has %d entries"
-                    % (cluster, heap_count, entries))
+                    problems.append("%s: directory invariant: %s"
+                                    % (where, exc))
+                entries = 0
+                for key, rid_tuple in directory.items():
+                    entries += 1
+                    keys.add(key)
+                    try:
+                        heap.read(RID(*rid_tuple))
+                    except Exception as exc:
+                        problems.append(
+                            "%s: key %r -> unreadable RID %r: %s"
+                            % (where, key, rid_tuple, exc))
+                heap_count = heap.count()
+                if heap_count != entries:
+                    problems.append(
+                        "%s: heap has %d records but directory has %d "
+                        "entries" % (where, heap_count, entries))
             serials = {key[0] for key in keys}
             for field, ix_info in info.indexes.items():
                 index = self.index(cluster, field)
@@ -843,11 +1356,11 @@ class Store:
     def _on_corrupt_page(self, page_no: int, exc: Exception) -> None:
         """Buffer-pool callback: a page failed its checksum at admit time.
 
-        Called under the storage latch. Quarantines the page and flips
-        the store into read-only degraded mode: reads off healthy pages
-        keep working, writers get :class:`DegradedModeError` until
-        :meth:`repair_quarantined` (or a reopen after the disk is fixed)
-        clears it.
+        Called under the owning shard's latch with a *gpid*. Quarantines
+        the page and flips the store into read-only degraded mode: reads
+        off healthy pages keep working, writers get
+        :class:`DegradedModeError` until :meth:`repair_quarantined` (or a
+        reopen after the disk is fixed) clears it.
         """
         self._pool.quarantined.add(page_no)
         self.corrupt_pages += 1
@@ -871,12 +1384,12 @@ class Store:
     def scrub(self) -> Dict[str, Any]:
         """Verify the checksum of every allocated page's on-disk image.
 
-        Reads straight from the page file (bypassing the pool) in large
-        spans. Pages with a dirty in-memory frame are skipped — their
-        disk image is legitimately stale and will be rewritten, with a
-        fresh checksum, at the next flush. Bad pages are quarantined
-        exactly as if a pin had found them, flipping the store into
-        degraded mode.
+        Reads straight from each shard's page file (bypassing the pools)
+        in large spans. Pages with a dirty in-memory frame are skipped —
+        their disk image is legitimately stale and will be rewritten,
+        with a fresh checksum, at the next flush. Bad pages are
+        quarantined exactly as if a pin had found them, flipping the
+        store into degraded mode.
         """
         import time as _time
         from .page import PAGE_SIZE, verify_checksum
@@ -884,21 +1397,22 @@ class Store:
         bad: List[int] = []
         checked = 0
         with self.latch:
-            frames = self._pool._frames
-            count = self._pagefile.page_count
-            for start in range(1, count, self.SCRUB_SPAN):
-                raw = self._pagefile.read_span(
-                    start, min(self.SCRUB_SPAN, count - start))
-                mv = memoryview(raw)
-                for i in range(len(raw) // PAGE_SIZE):
-                    page_no = start + i
-                    frame = frames.get(page_no)
-                    if frame is not None and frame.dirty:
-                        continue
-                    checked += 1
-                    if not verify_checksum(
-                            mv[i * PAGE_SIZE:(i + 1) * PAGE_SIZE]):
-                        bad.append(page_no)
+            for sid, pagefile in enumerate(self._pagefiles):
+                frames = self._pool_of(sid)._frames
+                count = pagefile.page_count
+                for start in range(1, count, self.SCRUB_SPAN):
+                    raw = pagefile.read_span(
+                        start, min(self.SCRUB_SPAN, count - start))
+                    mv = memoryview(raw)
+                    for i in range(len(raw) // PAGE_SIZE):
+                        local_no = start + i
+                        frame = frames.get(local_no)
+                        if frame is not None and frame.dirty:
+                            continue
+                        checked += 1
+                        if not verify_checksum(
+                                mv[i * PAGE_SIZE:(i + 1) * PAGE_SIZE]):
+                            bad.append(global_page(sid, local_no))
             for page_no in bad:
                 if page_no not in self._pool.quarantined:
                     self._on_corrupt_page(page_no, CorruptPageError(
@@ -962,48 +1476,54 @@ class Store:
     def _probe_cluster(self, info: ClusterInfo):
         """Health-check one cluster under the latch.
 
-        Returns ``None`` when every page of the cluster is reachable and
-        sound, else ``(items, lost, directory_authoritative)`` where
-        *items* is an ordered ``key -> payload`` map of the salvageable
-        objects.
+        Returns ``None`` when every page of the cluster (all shards) is
+        reachable and sound, else ``(items, lost, directory_authoritative)``
+        where *items* is an ordered ``key -> payload`` map of the
+        salvageable objects across every shard.
         """
         cluster = info.name
         healthy = True
         items: "OrderedDict[Tuple, bytes]" = OrderedDict()
         lost = 0
         authoritative = True
-        heap = directory = None
-        try:
-            # find_tail=False: the probe must be able to read records by
-            # RID even when a corrupt page cuts the chain walk short.
-            heap = HeapFile(self._journal, info.heap_page,
-                            extent=self.EXTENT_PAGES, find_tail=False)
-            directory = self._directory(cluster)
-            rid_items = list(directory.items())
-        except Exception:
-            healthy = False
-            rid_items = None
-        if rid_items is not None:
-            for key, rid_tuple in rid_items:
-                try:
-                    items[tuple(key)] = heap.read(RID(*rid_tuple))
-                except Exception:
-                    healthy = False
-                    lost += 1
-        else:
-            authoritative = False
-            for key, payload in self._salvage_heap_chain(cluster):
-                if key is None:
-                    lost += 1
-                else:
-                    items[key] = payload
+        sound: List[Tuple[HeapFile, HashIndex]] = []
+        for sid in range(self._n_shards):
+            heap = directory = None
+            try:
+                # find_tail=False: the probe must be able to read records
+                # by RID even when a corrupt page cuts the chain walk
+                # short.
+                heap = HeapFile(self._shard_journals[sid],
+                                self._shard_pair(info, sid)[0],
+                                extent=self.EXTENT_PAGES, find_tail=False)
+                directory = self._directory(cluster, sid)
+                rid_items = list(directory.items())
+            except Exception:
+                healthy = False
+                rid_items = None
+            if rid_items is not None:
+                sound.append((heap, directory))
+                for key, rid_tuple in rid_items:
+                    try:
+                        items[tuple(key)] = heap.read(RID(*rid_tuple))
+                    except Exception:
+                        healthy = False
+                        lost += 1
+            else:
+                authoritative = False
+                for key, payload in self._salvage_heap_chain(cluster, sid):
+                    if key is None:
+                        lost += 1
+                    else:
+                        items[key] = payload
         if healthy:
             try:
                 # Structural walks: chains can hold corrupt pages that no
                 # live directory entry references (tombstone-only pages),
                 # and index corruption is invisible to heap reads.
-                self._pages_of_heap(heap)
-                self._pages_of_hash(directory)
+                for heap, directory in sound:
+                    self._pages_of_heap(heap)
+                    self._pages_of_hash(directory)
                 for field in info.indexes:
                     self.index(cluster, field).check_invariants()
             except Exception:
@@ -1012,8 +1532,8 @@ class Store:
             return None
         return items, lost, authoritative
 
-    def _salvage_heap_chain(self, cluster: str):
-        """Tolerantly walk *cluster*'s heap, yielding ``(key, payload)``.
+    def _salvage_heap_chain(self, cluster: str, shard: int = 0):
+        """Tolerantly walk one shard's heap, yielding ``(key, payload)``.
 
         Used when the object directory is unreadable. Stops at the first
         broken chain link (records beyond it are lost). Payloads that do
@@ -1023,8 +1543,9 @@ class Store:
         """
         from .page import NO_PAGE
         try:
-            heap = HeapFile(self._journal,
-                            self.cluster_info(cluster).heap_page,
+            info = self.cluster_info(cluster)
+            heap = HeapFile(self._shard_journals[shard],
+                            self._shard_pair(info, shard)[0],
                             extent=self.EXTENT_PAGES, find_tail=False)
         except Exception:
             return
@@ -1049,48 +1570,72 @@ class Store:
             page_no = next_page
 
     def _rebuild_cluster(self, cluster: str, items) -> Dict[str, Any]:
-        """Rewrite *cluster* from salvaged *items*; fresh empty indexes."""
+        """Rewrite *cluster* from salvaged *items*; fresh empty indexes.
+
+        Every shard gets new structures and each item routes back to its
+        home shard (the key -> shard mapping is deterministic, so a
+        rebuild reproduces the original placement).
+        """
         txn = self.begin()
         self.locks.acquire(txn, ("cluster", cluster), "X")
+        self._maintenance_begin()
         try:
-            self._await_no_scans()
-            with self.latch:
-                info = self.cluster_info(cluster)
-                old_pages = self._enumerable_pages(info)
-                new_heap = HeapFile.create(self._journal, txn,
-                                           extent=self.EXTENT_PAGES)
-                new_directory = HashIndex.create(self._journal, txn,
-                                                 unique=True)
-                for key, payload in items.items():
-                    rid = new_heap.insert(txn, payload)
-                    new_directory.insert(txn, key, tuple(rid))
-                info.heap_page = new_heap.first_page
-                info.directory_page = new_directory.directory_page
-                for field, ix_info in list(info.indexes.items()):
-                    if ix_info.kind == "btree":
-                        index = BTree.create(self._journal, txn,
-                                             unique=ix_info.unique)
-                        root = index.root_page
-                    else:
-                        index = HashIndex.create(self._journal, txn,
-                                                 unique=ix_info.unique)
-                        root = index.directory_page
-                    info.indexes[field] = IndexInfo(
-                        field, ix_info.kind, root, ix_info.unique,
-                        list(ix_info.fields))
-                    self._indexes[(cluster, field)] = index
-                self.catalog.save_cluster(txn, info)
-                for page_no in old_pages:
-                    if page_no not in self._pool.quarantined:
-                        self._journal.free_page_deferred(txn, page_no)
-                self._heaps[cluster] = new_heap
-                self._directories[cluster] = new_directory
-                self._page_cache.clear()
-        except BaseException:
-            self.abort(txn)
-            raise
-        self.commit(txn)
+            try:
+                with self.latch:
+                    old_pages = self._rebuild_cluster_locked(txn, cluster,
+                                                             items)
+            except BaseException:
+                self.abort(txn)
+                raise
+            self.commit(txn)
+        finally:
+            self._maintenance_end()
         return {"objects": len(items), "pages_freed": len(old_pages)}
+
+    def _rebuild_cluster_locked(self, txn: int, cluster: str,
+                                items) -> List[int]:
+        """The rebuild body; caller holds latch, X lock and the gate."""
+        info = self.cluster_info(cluster)
+        old_pages = self._enumerable_pages(info)
+        new_heaps: List[HeapFile] = []
+        new_directories: List[HashIndex] = []
+        for sid in range(self._n_shards):
+            journal = self._shard_journals[sid]
+            new_heaps.append(HeapFile.create(
+                journal, txn, extent=self.EXTENT_PAGES))
+            new_directories.append(HashIndex.create(
+                journal, txn, unique=True))
+        for key, payload in items.items():
+            sid = self._shard_of_key(key)
+            rid = new_heaps[sid].insert(txn, payload)
+            new_directories[sid].insert(txn, key, tuple(rid))
+        info.shards = [[heap.first_page, directory.directory_page]
+                       for heap, directory in
+                       zip(new_heaps, new_directories)]
+        info.heap_page, info.directory_page = info.shards[0]
+        for field, ix_info in list(info.indexes.items()):
+            if ix_info.kind == "btree":
+                index = BTree.create(self._journal, txn,
+                                     unique=ix_info.unique)
+                root = index.root_page
+            else:
+                index = HashIndex.create(self._journal, txn,
+                                         unique=ix_info.unique)
+                root = index.directory_page
+            info.indexes[field] = IndexInfo(
+                field, ix_info.kind, root, ix_info.unique,
+                list(ix_info.fields))
+            self._indexes[(cluster, field)] = index
+        self.catalog.save_cluster(txn, info)
+        for page_no in old_pages:
+            if page_no not in self._pool.quarantined:
+                self._journal.free_page_deferred(txn, page_no)
+        for sid in range(self._n_shards):
+            self._heaps[(cluster, sid)] = new_heaps[sid]
+            self._directories[(cluster, sid)] = new_directories[sid]
+        with self._pc_lock:
+            self._page_cache.clear()
+        return old_pages
 
     def _enumerable_pages(self, info: ClusterInfo) -> List[int]:
         """Pages of the cluster reachable without touching corruption.
@@ -1116,8 +1661,21 @@ class Store:
                 pages.append(page_no)
                 page_no = nxt
 
-        chain(info.heap_page)
-        for home in list(pages):
+        def hash_pages(directory_page: int, directory) -> None:
+            with self._pool.page(directory_page):
+                pass
+            seen.add(directory_page)
+            pages.append(directory_page)
+            _, pointers = directory._read_directory()
+            for bucket in dict.fromkeys(pointers):
+                chain(bucket)
+
+        heap_homes: List[int] = []
+        for sid in range(min(self._n_shards, len(info.shards))):
+            before = len(pages)
+            chain(info.shards[sid][0])
+            heap_homes.extend(pages[before:])
+        for home in heap_homes:
             try:
                 with self._pool.page(home) as page:
                     records = list(page.slots())
@@ -1128,17 +1686,12 @@ class Store:
                         chain(first)
             except Exception:
                 continue
-        try:
-            directory = self._directory(info.name)
-            with self._pool.page(info.directory_page):
+        for sid in range(min(self._n_shards, len(info.shards))):
+            try:
+                hash_pages(info.shards[sid][1],
+                           self._directory(info.name, sid))
+            except Exception:
                 pass
-            seen.add(info.directory_page)
-            pages.append(info.directory_page)
-            _, pointers = directory._read_directory()
-            for bucket in dict.fromkeys(pointers):
-                chain(bucket)
-        except Exception:
-            pass
         for field, ix_info in info.indexes.items():
             try:
                 index = self.index(info.name, field)
@@ -1146,13 +1699,7 @@ class Store:
                 continue
             if ix_info.kind == "hash":
                 try:
-                    with self._pool.page(ix_info.root_page):
-                        pass
-                    seen.add(ix_info.root_page)
-                    pages.append(ix_info.root_page)
-                    _, pointers = index._read_directory()
-                    for bucket in dict.fromkeys(pointers):
-                        chain(bucket)
+                    hash_pages(ix_info.root_page, index)
                 except Exception:
                     pass
             else:
@@ -1189,7 +1736,8 @@ class Store:
                 self.checkpoint()
             self._pool.close()
             self._wal.close()
-            self._pagefile.close()
+            for pagefile in self._pagefiles:
+                pagefile.close()
             self._closed = True
 
     def crash(self) -> None:
@@ -1199,7 +1747,8 @@ class Store:
         unusable; reopen the path to run recovery.
         """
         self._wal.close()
-        self._pagefile.close()
+        for pagefile in self._pagefiles:
+            pagefile.close()
         self._closed = True
 
     def __enter__(self) -> "Store":
@@ -1209,8 +1758,9 @@ class Store:
         self.close()
 
     def stats(self) -> Dict[str, Any]:
-        """Counters from the pool, WAL and lock manager."""
-        return {
+        """Counters from the pool(s), WAL and lock manager."""
+        total_pages = sum(pf.page_count for pf in self._pagefiles)
+        out = {
             "pool": self._pool.stats(),
             "page_cache": {
                 "hits": self.page_cache_hits,
@@ -1224,7 +1774,19 @@ class Store:
             "wal_group_deferrals": self._wal.group_deferrals,
             "durability": self._wal.durability,
             "locks": self.locks.stats(),
-            "pages": self._pagefile.page_count,
+            "pages": total_pages,
+            "shards": {
+                "count": self._n_shards,
+                "scans": list(self._shard_scans),
+                "recluster_runs": self.recluster_runs,
+                "recluster_moved_objects": self.recluster_moved,
+                "per_shard": [
+                    {"shard": sid,
+                     "pages": pf.page_count,
+                     "occupancy": (pf.page_count / total_pages)
+                     if total_pages else 0.0}
+                    for sid, pf in enumerate(self._pagefiles)],
+            },
             "storage_health": {
                 "degraded": self.degraded,
                 "corrupt_pages": self.corrupt_pages,
@@ -1234,3 +1796,4 @@ class Store:
                 "faults_injected": self.faults.injected,
             },
         }
+        return out

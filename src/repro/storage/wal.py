@@ -66,6 +66,7 @@ from __future__ import annotations
 
 import os
 import struct
+import threading
 import time
 import zlib
 from typing import Dict, Iterator, Optional, Tuple
@@ -184,6 +185,12 @@ class WriteAheadLog:
                  group_window: float = GROUP_WINDOW, faults=None):
         self.path = path
         self._faults = faults
+        #: Internal mutex: one log is shared by every shard, and appends /
+        #: flushes / random-access reads arrive from threads holding
+        #: *different* shard latches (the WAL is the innermost lock in the
+        #: storage order — nothing is acquired while holding it). Reentrant
+        #: because ``log_commit`` composes ``append`` + ``flush``.
+        self._lock = threading.RLock()
         #: The exception of the first failed fsync, or None. Sticky: a
         #: failed log refuses all further appends/flushes (see
         #: :class:`~repro.errors.WalFlushError`). Reads keep working.
@@ -273,24 +280,26 @@ class WriteAheadLog:
 
     def append(self, record: Dict) -> int:
         """Append *record* (a dict) and return its LSN. Does not fsync."""
-        if self._closed:
-            raise WalError("log %s is closed" % self.path)
-        if self.failed is not None:
-            raise WalFlushError("log %s failed earlier and accepts no "
-                                "more records: %s" % (self.path, self.failed))
-        f = self._faults
-        if f is not None and f.enabled:
-            f.fire("wal.append.pre", rtype=record.get("type"))
-        payload = _pack_payload(record)
-        lsn = self._end
-        self._file.seek(self._end - self._base + _FILE_HDR.size)
-        self._file.write(
-            _REC_HDR.pack(len(payload), zlib.crc32(payload)) + payload)
-        self._end += _REC_HDR.size + len(payload)
-        self.appends += 1
-        if f is not None and f.enabled:
-            f.fire("wal.append.post", rtype=record.get("type"))
-        return lsn
+        with self._lock:
+            if self._closed:
+                raise WalError("log %s is closed" % self.path)
+            if self.failed is not None:
+                raise WalFlushError(
+                    "log %s failed earlier and accepts no "
+                    "more records: %s" % (self.path, self.failed))
+            f = self._faults
+            if f is not None and f.enabled:
+                f.fire("wal.append.pre", rtype=record.get("type"))
+            payload = _pack_payload(record)
+            lsn = self._end
+            self._file.seek(self._end - self._base + _FILE_HDR.size)
+            self._file.write(
+                _REC_HDR.pack(len(payload), zlib.crc32(payload)) + payload)
+            self._end += _REC_HDR.size + len(payload)
+            self.appends += 1
+            if f is not None and f.enabled:
+                f.fire("wal.append.post", rtype=record.get("type"))
+            return lsn
 
     def log_begin(self, txn: int) -> int:
         return self.append({"type": LogRecordType.BEGIN, "txn": txn,
@@ -303,6 +312,10 @@ class WriteAheadLog:
                             "offset": offset, "before": before, "after": after})
 
     def log_commit(self, txn: int, prev_lsn: int) -> int:
+        with self._lock:
+            return self._log_commit_locked(txn, prev_lsn)
+
+    def _log_commit_locked(self, txn: int, prev_lsn: int) -> int:
         lsn = self.append({"type": LogRecordType.COMMIT, "txn": txn,
                            "prev_lsn": prev_lsn})
         if self.durability == "full":
@@ -349,6 +362,10 @@ class WriteAheadLog:
         The buffer pool calls this with a page's LSN before writing the page
         (the WAL rule); the transaction manager calls it at commit.
         """
+        with self._lock:
+            self._flush_locked(up_to_lsn)
+
+    def _flush_locked(self, up_to_lsn: Optional[int] = None) -> None:
         if self._closed:
             raise WalError("log %s is closed" % self.path)
         if self.failed is not None:
@@ -453,6 +470,10 @@ class WriteAheadLog:
         return "torn_tail"
 
     def _read_at(self, lsn: int) -> Optional[Tuple[Dict, int]]:
+        with self._lock:
+            return self._read_at_locked(lsn)
+
+    def _read_at_locked(self, lsn: int) -> Optional[Tuple[Dict, int]]:
         if lsn < self._base or lsn >= self._end:
             return None
         self._file.seek(lsn - self._base + _FILE_HDR.size)
@@ -485,6 +506,10 @@ class WriteAheadLog:
     def truncate(self) -> None:
         """Discard the retained records (only safe after all pages are
         flushed). The LSN base advances so LSNs stay monotone forever."""
+        with self._lock:
+            self._truncate_locked()
+
+    def _truncate_locked(self) -> None:
         if self.failed is not None:
             raise WalFlushError("log %s failed earlier: %s"
                                 % (self.path, self.failed))
@@ -504,14 +529,15 @@ class WriteAheadLog:
             f.fire("wal.truncate.post", end_lsn=self._end)
 
     def close(self) -> None:
-        if not self._closed:
-            try:
-                self._file.flush()
-            except OSError:
-                if self.failed is None:
-                    raise  # only a known-failed log may close unflushed
-            self._file.close()
-            self._closed = True
+        with self._lock:
+            if not self._closed:
+                try:
+                    self._file.flush()
+                except OSError:
+                    if self.failed is None:
+                        raise  # only a known-failed log may close unflushed
+                self._file.close()
+                self._closed = True
 
     def __enter__(self) -> "WriteAheadLog":
         return self

@@ -163,6 +163,11 @@ def kill_specs(hits=(2, 13)):
     """
     specs = []
     for name, action in KNOWN_FAILPOINTS:
+        if name.startswith(("shard.", "recluster.")):
+            # Multi-shard-only points: the default workload runs a
+            # 1-shard store where they never fire (the cycle would just
+            # be a fault-free run). shard_kill_specs() covers them.
+            continue
         for at_hit in hits:
             if action == "lost":
                 spec = "%s:lost:%d;wal.truncate.pre:die:1" % (name, at_hit)
@@ -175,4 +180,51 @@ def kill_specs(hits=(2, 13)):
                 spec = "%s:%s:%d" % (name, action, at_hit)
                 strict = True
             specs.append(("%s@%d" % (name, at_hit), spec, strict))
+    return specs
+
+
+#: Environment for the shard matrix: a 4-shard store, the background
+#: recluster daemon off (its timing is non-deterministic; reclustering is
+#: exercised via the workload's deterministic maintenance calls instead),
+#: and the workload's maintenance ops on.
+SHARD_ENV = {
+    "REPRO_SHARDS": "4",
+    "REPRO_RECLUSTER": "0",
+    "REPRO_WORKLOAD_MAINT": "1",
+}
+
+
+def shard_kill_specs():
+    """Kill-point matrix for the sharded store: ``(label, spec, strict,
+    extra_env)``.
+
+    Covers the shard-only failpoints (store creation and reclustering)
+    plus a sample of the core WAL/pagefile points re-run under a 4-shard
+    store with deterministic recluster maintenance — the recovery,
+    checkpoint and torn-write machinery all route through the gpid
+    router there, which the 1-shard matrix cannot see.
+
+    The ``shard.open.*`` points fire once per extra shard file (3 times
+    for 4 shards) and only during creation; ``shard.root.pre`` exactly
+    once; the recluster points once per maintenance call.
+    """
+    specs = []
+    for name in ("shard.root.pre", "shard.open.pre", "shard.open.post"):
+        hits = (1,) if name == "shard.root.pre" else (1, 2, 3)
+        for at_hit in hits:
+            specs.append(("%s@%d" % (name, at_hit),
+                          "%s:die:%d" % (name, at_hit), True, SHARD_ENV))
+    for name in ("recluster.pre", "recluster.commit.pre"):
+        for at_hit in (1, 2, 4):
+            specs.append(("%s@%d" % (name, at_hit),
+                          "%s:die:%d" % (name, at_hit), True, SHARD_ENV))
+    for name, action in (("wal.flush.pre", "die"),
+                         ("pagefile.write.pre", "die"),
+                         ("pagefile.write.torn", "torn"),
+                         ("wal.truncate.pre", "die"),
+                         ("pagefile.sync.pre", "die")):
+        for at_hit in (2, 13):
+            specs.append(("4shard-%s@%d" % (name, at_hit),
+                          "%s:%s:%d" % (name, action, at_hit), True,
+                          SHARD_ENV))
     return specs

@@ -10,11 +10,12 @@ import os
 
 import pytest
 
-from .harness import kill_specs, run_cycle
+from .harness import kill_specs, run_cycle, shard_kill_specs
 
 pytestmark = pytest.mark.crash
 
 SMOKE = kill_specs(hits=(2, 13))
+SHARD = shard_kill_specs()
 
 #: The full matrix crosses more seeds and hit depths; 2 seeds x 17
 #: failpoints x 6 depths = 204 crash/recover cycles (>= the 200 the
@@ -31,6 +32,20 @@ def test_crash_smoke(tmp_path, label, spec, strict):
     result = run_cycle(str(tmp_path), spec, strict=strict)
     assert result.problems == [], (
         "crash cycle %s violated recovery invariants: %s\n--- child "
+        "stderr ---\n%s" % (label, result.problems, result.stderr[-1500:]))
+
+
+@pytest.mark.parametrize(
+    "label,spec,strict,extra_env", SHARD,
+    ids=[label for label, _, _, _ in SHARD])
+def test_crash_shard_matrix(tmp_path, label, spec, strict, extra_env):
+    """Crash matrix over a 4-shard store (EXP-18): shard-creation and
+    recluster failpoints plus core WAL/pagefile points rerun with the
+    gpid router and deterministic recluster maintenance in play."""
+    result = run_cycle(str(tmp_path), spec, strict=strict,
+                       extra_env=extra_env)
+    assert result.problems == [], (
+        "shard crash cycle %s violated recovery invariants: %s\n--- child "
         "stderr ---\n%s" % (label, result.problems, result.stderr[-1500:]))
 
 

@@ -38,6 +38,24 @@ from repro import Database, IntField, OdeObject, StringField, newversion
 #: Exit code when an operation raised instead of dying at a failpoint.
 ERROR_EXIT_CODE = 3
 
+#: With ``REPRO_WORKLOAD_MAINT=1`` the child runs a deterministic
+#: recluster-maintenance call after every this-many committed ops — the
+#: shard matrix uses it to hit the ``recluster.*`` failpoints at
+#: reproducible points. Reclustering never changes logical content, so
+#: the model states are unaffected.
+MAINT_EVERY = 8
+
+
+def run_maintenance(db, i: int) -> None:
+    """One deterministic recluster call after op *i* (content-neutral)."""
+    store = db.store
+    shard = (i // MAINT_EVERY) % store.n_shards
+    serials = sorted(
+        serial for _rid, record in store.scan("CrashItem")
+        for serial in [record["__key"][0]]
+        if store._shard_of_key((serial, 0)) == shard)[:4]
+    store.recluster_shard("CrashItem", serials, shard=shard)
+
 
 class CrashItem(OdeObject):
     """The one persistent class the workload exercises."""
@@ -86,6 +104,7 @@ def run_child(db_path: str, oracle_path: str, seed: int, n_ops: int,
               durability: str) -> int:
     """Execute the workload; returns the exit code (may ``os._exit`` 47)."""
     ops, _ = generate(seed, n_ops)
+    maint = os.environ.get("REPRO_WORKLOAD_MAINT") == "1"
     # Unbuffered append + fsync per line: an oracle entry on disk means
     # the commit it names was acknowledged as durable before the entry
     # was written, so oracle ⊆ recovered must hold (full/group modes).
@@ -110,6 +129,8 @@ def run_child(db_path: str, oracle_path: str, seed: int, n_ops: int,
                     del live[name]
             oracle.write(b"%d\n" % i)
             os.fsync(oracle.fileno())
+            if maint and (i + 1) % MAINT_EVERY == 0:
+                run_maintenance(db, i)
     except BaseException:
         import traceback
         traceback.print_exc()
