@@ -1,7 +1,7 @@
 PYTHON ?= python
 export PYTHONPATH := src
 
-.PHONY: test test-concurrency crash-smoke crash-full bench bench-smoke bench-codegen-smoke bench-mvcc-smoke bench-shard-smoke bench-baseline
+.PHONY: test test-concurrency crash-smoke crash-full bench bench-smoke bench-codegen-smoke bench-mvcc-smoke bench-shard-smoke bench-macro-smoke bench-macro-full bench-baseline
 
 test:
 	$(PYTHON) -m pytest tests/ -x -q
@@ -64,6 +64,24 @@ bench-shard-smoke:
 	$(PYTHON) benchmarks/bench_shard.py --gate
 	$(PYTHON) -m pytest tests/storage/test_sharding.py \
 		tests/concurrency/test_shard_parallel.py -x -q
+
+# Macro workload gate (EXP-19): a tiny tier of every built-in scenario
+# (OLTP mix, ingest-then-analyze, trigger/version churn) with per-op
+# latency percentiles, one REPRO_FAULTS row proving the driver absorbs
+# injected faults, and the paired instrumented-vs-stripped overhead
+# check (<= 3%). Also writes a smoke report + timeline for the CI
+# artifact and exercises the bench-diff regression gate against itself.
+bench-macro-smoke:
+	$(PYTHON) benchmarks/bench_macro.py --smoke
+	$(PYTHON) -m repro simulate oltp --scale 0.15 --duration 1.0 \
+		--report macro-report.json --timeline macro-timeline.jsonl
+	$(PYTHON) -m repro top macro-timeline.jsonl --once
+	$(PYTHON) -m repro bench-diff macro-report.json macro-report.json
+
+# Full macro tier: scenario specs at full scale, recorded as a
+# BENCH-compatible json (per-op p50/p99 in ns + full reports in detail).
+bench-macro-full:
+	$(PYTHON) benchmarks/bench_macro.py --full
 
 # Full suite, recorded as BENCH_<date>.json and diffed against the last
 # committed baseline (see benchmarks/run_baseline.py).

@@ -1,0 +1,236 @@
+"""Macro workload matrix: smoke gate for CI, full tier for BENCH files.
+
+Unlike the pytest micro-benchmarks, this is a plain script (the macro
+scenarios manage their own databases and walltime):
+
+    PYTHONPATH=src python benchmarks/bench_macro.py --smoke
+    PYTHONPATH=src python benchmarks/bench_macro.py --full --out benchmarks/BENCH_<date>_pr9.json
+
+``--smoke`` runs a tiny tier of every built-in scenario and enforces
+three gates:
+
+* every scenario completes with ops > 0 and per-op percentiles for its
+  whole mix;
+* the same OLTP scenario survives a ``REPRO_FAULTS`` run in a
+  subprocess (faults actually injected, operations still complete);
+* instrumentation overhead: paired instrumented/uninstrumented rounds
+  on one database must agree within ``MAX_OVERHEAD_PCT`` on the best
+  round (interleaving cancels instance-to-instance variance the same
+  way ``bench_faults._measured_pair`` does).
+
+``--full`` runs the scenarios at full spec scale and writes a
+BENCH-compatible JSON file whose ``benchmarks`` entries are per-op p50
+latencies in nanoseconds, with the complete reports under ``detail``.
+"""
+
+import json
+import os
+import subprocess
+import sys
+import tempfile
+import shutil
+
+sys.path.insert(0, os.path.join(os.path.dirname(__file__), "..", "src"))
+
+from repro import Database                                    # noqa: E402
+from repro.obs.workload import (WorkloadDriver, get_scenario,  # noqa: E402
+                                BUILTIN_SCENARIOS)
+from repro.obs.workload.spec import parse_scenario             # noqa: E402
+
+MAX_OVERHEAD_PCT = 3.0
+SMOKE_SCALE = 0.15
+SMOKE_DURATION = 1.0
+
+#: A fault that injects a recoverable read error mid-run: the driver's
+#: ``run_transaction`` retry path must absorb it and keep going. The
+#: fault row runs with a tiny buffer pool so reads actually reach the
+#: page file (the smoke datasets otherwise fit in the pool entirely).
+SMOKE_FAULTS = "pagefile.read.short:short:40"
+SMOKE_FAULTS_POOL_PAGES = 16
+
+OVERHEAD_SPEC = {
+    "name": "overhead_probe",
+    "description": "deref-heavy closed loop, zero think time",
+    "dataset": {"items": 300},
+    "seed": 77,
+    "duration_s": 0.8,
+    "clients": [
+        {"count": 2, "arrival": "closed", "think_time_ms": 0.0,
+         "mix": {"deref": 6, "update": 1, "pnew": 1}},
+    ],
+}
+
+
+def _run_scenario(name, scale, duration=None, instrument=True, db_dir=None):
+    spec = get_scenario(name).scaled(scale)
+    if duration is not None:
+        spec = spec.with_duration(duration)
+    tmp = db_dir or tempfile.mkdtemp(prefix="bench-macro-")
+    db = Database(os.path.join(tmp, "%s.odb" % name))
+    try:
+        driver = WorkloadDriver(db, spec, instrument=instrument)
+        driver.setup()
+        return driver.run()
+    finally:
+        db.close()
+        if db_dir is None:
+            shutil.rmtree(tmp, ignore_errors=True)
+
+
+def _check_report(name, report):
+    assert report["ops"] > 0, "%s: no operations completed" % name
+    mix_ops = set()
+    for phase in report["scenario"]["phases"]:
+        for group in phase["clients"]:
+            mix_ops.update(group["mix"])
+    for op in sorted(mix_ops):
+        lat = report["latency_ms"].get(op)
+        assert lat and lat["count"] > 0, \
+            "%s: op %r has no latency samples" % (name, op)
+        for key in ("p50", "p90", "p99", "p99.9"):
+            assert key in lat, "%s/%s: missing %s" % (name, op, key)
+    err_pct = 100.0 * report["errors"] / report["ops"]
+    assert err_pct < 25.0, \
+        "%s: %.1f%% of operations errored" % (name, err_pct)
+    print("  %-12s %6d ops  %7.1f ops/s  %d errors  OK"
+          % (name, report["ops"], report["ops_per_s"], report["errors"]))
+
+
+def _smoke_faults():
+    """Re-run the OLTP smoke in a subprocess with a fault armed."""
+    tmp = tempfile.mkdtemp(prefix="bench-macro-faults-")
+    report_path = os.path.join(tmp, "report.json")
+    env = dict(os.environ)
+    env["REPRO_FAULTS"] = SMOKE_FAULTS
+    env["REPRO_FAULTS_SEED"] = "7"
+    env["PYTHONPATH"] = os.path.join(
+        os.path.dirname(__file__), "..", "src")
+    try:
+        proc = subprocess.run(
+            [sys.executable, "-m", "repro", "simulate", "oltp",
+             "--scale", str(SMOKE_SCALE),
+             "--duration", str(SMOKE_DURATION),
+             "--db", os.path.join(tmp, "faults.odb"),
+             "--pool-pages", str(SMOKE_FAULTS_POOL_PAGES),
+             "--report", report_path],
+            env=env, capture_output=True, text=True, timeout=300)
+        assert proc.returncode == 0, \
+            "fault run failed (exit %d):\n%s" % (proc.returncode,
+                                                 proc.stderr[-2000:])
+        with open(report_path) as fh:
+            report = json.load(fh)
+        injected = report.get("metrics", {}).get("faults.injected", 0)
+        assert injected > 0, "REPRO_FAULTS armed but nothing injected"
+        assert report["ops"] > 0, "no operations completed under faults"
+        print("  %-12s %6d ops  %d fault(s) injected  OK"
+              % ("oltp+faults", report["ops"], injected))
+    finally:
+        shutil.rmtree(tmp, ignore_errors=True)
+
+
+def _overhead_gate(rounds=6):
+    """Best-round instrumented-vs-stripped throughput gap must be small.
+
+    One database, one dataset; each round runs the probe scenario twice
+    — instrumented then uninstrumented — with fresh driver shells that
+    share the populated object refs. Gating on the *best* round follows
+    the bench_faults argument: one clean round exposes the true cost;
+    the others only add scheduler noise.
+    """
+    spec = parse_scenario(OVERHEAD_SPEC)
+    tmp = tempfile.mkdtemp(prefix="bench-macro-ovh-")
+    db = Database(os.path.join(tmp, "probe.odb"))
+    try:
+        base = WorkloadDriver(db, spec, instrument=True)
+        base.setup()
+
+        def run_once(instrument):
+            drv = WorkloadDriver(db, spec, instrument=instrument)
+            drv._refs = base._refs
+            drv._roots = base._roots
+            drv._trigger_refs = base._trigger_refs
+            drv._tokens = base._tokens
+            report = drv.run()
+            return report["ops_per_s"]
+
+        best_pct = float("inf")
+        for _ in range(rounds):
+            inst = run_once(True)
+            stripped = run_once(False)
+            pct = 100.0 * (stripped - inst) / stripped
+            best_pct = min(best_pct, pct)
+        assert best_pct <= MAX_OVERHEAD_PCT, \
+            "instrumentation overhead %.2f%% exceeds %.1f%% budget" \
+            % (best_pct, MAX_OVERHEAD_PCT)
+        print("  %-12s best-round overhead %+.2f%%  (budget %.1f%%)  OK"
+              % ("overhead", best_pct, MAX_OVERHEAD_PCT))
+    finally:
+        db.close()
+        shutil.rmtree(tmp, ignore_errors=True)
+
+
+def smoke() -> int:
+    print("bench_macro --smoke")
+    for name in sorted(BUILTIN_SCENARIOS):
+        report = _run_scenario(name, SMOKE_SCALE, SMOKE_DURATION)
+        _check_report(name, report)
+    _smoke_faults()
+    _overhead_gate()
+    print("bench_macro smoke: all gates passed")
+    return 0
+
+
+def full(out_path, scale=1.0) -> int:
+    import datetime
+    import platform
+    print("bench_macro --full (scale %g)" % scale)
+    benchmarks = {}
+    detail = {}
+    for name in sorted(BUILTIN_SCENARIOS):
+        report = _run_scenario(name, scale)
+        _check_report(name, report)
+        detail[name] = report
+        benchmarks["macro/%s/ops_per_s" % name] = report["ops_per_s"]
+        for op, lat in sorted(report["latency_ms"].items()):
+            for q in ("p50", "p99"):
+                if q in lat:
+                    benchmarks["macro/%s/%s_%s_ns" % (name, op, q)] = int(
+                        lat[q] * 1e6)
+    payload = {
+        "date": datetime.date.today().isoformat(),
+        "label": "macro",
+        "python": platform.python_version(),
+        "benchmarks": benchmarks,
+        "detail": detail,
+    }
+    with open(out_path, "w", encoding="utf-8") as fh:
+        json.dump(payload, fh, indent=2, sort_keys=True)
+    print("wrote %s (%d entries)" % (out_path, len(benchmarks)))
+    return 0
+
+
+def main(argv=None) -> int:
+    import argparse
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--smoke", action="store_true",
+                        help="tiny tier + fault row + overhead gate")
+    parser.add_argument("--full", action="store_true",
+                        help="full tier; writes a BENCH json")
+    parser.add_argument("--scale", type=float, default=1.0,
+                        help="with --full: dataset/client scale factor")
+    parser.add_argument("--out", default=None,
+                        help="with --full: output BENCH json path")
+    args = parser.parse_args(argv)
+    if args.smoke:
+        return smoke()
+    if args.full:
+        import datetime
+        out = args.out or os.path.join(
+            os.path.dirname(__file__),
+            "BENCH_%s_macro.json" % datetime.date.today().isoformat())
+        return full(out, args.scale)
+    parser.error("pass --smoke or --full")
+
+
+if __name__ == "__main__":
+    sys.exit(main())

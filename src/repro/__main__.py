@@ -16,6 +16,9 @@ Usage::
     python -m repro stats DB.odb --format=prom            # Prometheus text
     python -m repro events DB.odb                         # event log
     python -m repro promlint metrics.prom                 # lint exposition
+    python -m repro simulate oltp --report out.json       # macro workload
+    python -m repro top timeline.jsonl                    # live dashboard
+    python -m repro bench-diff old.json new.json          # regression gate
 
 In interactive mode each submitted chunk is parsed and executed against
 the open database; state (variables, classes) persists for the session.
@@ -229,6 +232,12 @@ def main(argv=None) -> int:
     # Subcommand forms: ``python -m repro stats DB.odb`` etc.
     if argv and argv[0] == "promlint":
         return _promlint(argv[1:])
+    if argv and argv[0] in ("simulate", "top", "bench-diff"):
+        from .obs.workload import cli as workload_cli
+        handler = {"simulate": workload_cli.cmd_simulate,
+                   "top": workload_cli.cmd_top,
+                   "bench-diff": workload_cli.cmd_bench_diff}[argv[0]]
+        return handler(argv[1:])
     if argv and argv[0] == "stats":
         argv = argv[1:] + ["--stats"]
     elif argv and argv[0] == "events":

@@ -1984,6 +1984,10 @@ class Database:
                 "count": self._query_count.value,
                 "slow": self._query_slow.value,
             },
+            "events": {
+                "ring": len(self.events),
+                "dropped": self.events.dropped,
+            },
             "pages": store_stats["pages"],
             "shards": store_stats["shards"],
             "storage": store_stats["storage_health"],

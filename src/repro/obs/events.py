@@ -27,6 +27,10 @@ class EventLog:
     #: default thresholds, overridable per instance
     SLOW_QUERY_MS = 100.0
     LONG_LOCK_WAIT_MS = 100.0
+    #: Byte cap on the JSONL sidecar; :meth:`save` rotates the previous
+    #: file to ``<path>.1`` rather than letting an event storm (many
+    #: large payloads still within the line-count cap) grow it unbounded.
+    SIDECAR_MAX_BYTES = 256 * 1024
 
     def __init__(self, capacity: int = 512,
                  slow_query_ms: Optional[float] = None,
@@ -34,6 +38,7 @@ class EventLog:
         self.capacity = capacity
         self._ring: deque = deque(maxlen=capacity)
         self._seq = itertools.count(1)
+        self._dropped = itertools.count()
         self.slow_query_ms = (self.SLOW_QUERY_MS if slow_query_ms is None
                               else slow_query_ms)
         self.long_lock_wait_ms = (self.LONG_LOCK_WAIT_MS
@@ -58,8 +63,20 @@ class EventLog:
             "kind": kind,
             "data": data,
         }
+        # A full ring means the append below evicts its oldest event.
+        # The length probe and the append are separate C calls, so two
+        # racing emitters can undercount by one — the counter is a storm
+        # indicator, not an audit ledger, and stays lock-free for it.
+        if len(self._ring) >= self.capacity:
+            next(self._dropped)
         self._ring.append(event)     # atomic: deque.append is one C call
         return event
+
+    @property
+    def dropped(self) -> int:
+        """Events evicted from the ring before anyone read them
+        (metric ``events.dropped``)."""
+        return self._dropped.__reduce__()[1][0]
 
     def snapshot(self, kind: Optional[str] = None,
                  limit: Optional[int] = None) -> List[Dict]:
@@ -78,19 +95,32 @@ class EventLog:
         return len(self._ring)
 
     # -- sidecar persistence ---------------------------------------------
-    def save(self, path: str) -> None:
+    def save(self, path: str, max_bytes: Optional[int] = None) -> None:
         """Merge this ring into the JSONL sidecar at *path*.
 
         Existing events are kept (oldest first) and the file is truncated
         to the ring capacity, so the sidecar behaves like a durable
-        continuation of the in-memory ring.
+        continuation of the in-memory ring. The line-count cap does not
+        bound the *bytes* (an event storm can carry large payloads), so
+        the merged payload is additionally capped at *max_bytes*
+        (default :attr:`SIDECAR_MAX_BYTES`): when it would overflow, the
+        current sidecar rotates to ``<path>.1`` — one generation kept
+        for post-mortems — and only the newest events that fit are
+        written.
         """
+        limit = self.SIDECAR_MAX_BYTES if max_bytes is None else max_bytes
         merged = load_events(path) + list(self._ring)
         merged = merged[-self.capacity:]
+        lines = [json.dumps(event, sort_keys=True) + "\n"
+                 for event in merged]
+        total = sum(len(line) for line in lines)
+        if total > limit and os.path.exists(path):
+            os.replace(path, path + ".1")
+        while len(lines) > 1 and total > limit:
+            total -= len(lines.pop(0))
         tmp = path + ".tmp"
         with open(tmp, "w") as fh:
-            for event in merged:
-                fh.write(json.dumps(event, sort_keys=True) + "\n")
+            fh.writelines(lines)
         os.replace(tmp, path)
 
 

@@ -112,6 +112,39 @@ class Histogram:
             self.count += 1
             self.sum += value
 
+    def quantile(self, q: float) -> Optional[float]:
+        """Estimate the *q*-quantile by linear interpolation in-bucket.
+
+        Observations are assumed uniformly distributed inside each
+        bucket ``(lower, upper]``; the first bucket's lower edge is 0.
+        Follows the ``histogram_quantile`` conventions: an empty
+        histogram has no quantiles (``None``), and a target rank that
+        lands in the +Inf overflow bucket reports the highest finite
+        bound (the estimate cannot exceed what the buckets resolve).
+        """
+        if not 0.0 <= q <= 1.0:
+            raise ValueError("quantile must be in [0, 1], got %r" % (q,))
+        with self._lock:
+            counts = list(self.counts)
+            total = self.count
+        if total == 0:
+            return None
+        rank = q * total
+        cumulative = 0
+        lower = 0.0
+        for bound, count in zip(self.buckets, counts):
+            if count and cumulative + count >= rank:
+                fraction = (rank - cumulative) / count
+                return lower + (bound - lower) * fraction
+            cumulative += count
+            lower = bound
+        return self.buckets[-1] if self.buckets else None
+
+    def percentiles(self, quantiles: Sequence[float] = (0.50, 0.90,
+                                                        0.99, 0.999)):
+        """``{"p50": ..., "p90": ...}`` for the given quantiles."""
+        return {"p%g" % (100 * q): self.quantile(q) for q in quantiles}
+
 
 class _Sampled:
     """A metric whose value is read from a callable at snapshot time."""
@@ -210,6 +243,9 @@ class MetricsRegistry:
                     "sum": metric.sum,
                     "buckets": {str(b): c for b, c in
                                 zip(metric.buckets, metric.counts)},
+                    "p50": metric.quantile(0.50),
+                    "p95": metric.quantile(0.95),
+                    "p99": metric.quantile(0.99),
                 }
             else:
                 out[key] = metric.value
@@ -279,6 +315,23 @@ def render_prometheus(registry: MetricsRegistry, prefix: str = "ode") -> str:
                 lines.append("%s_count%s %d" % (base,
                                                 _prom_labels(hist.labels),
                                                 hist.count))
+            # Quantile estimates as a sibling gauge family (a histogram
+            # family may only carry _bucket/_sum/_count samples).
+            qlines: List[str] = []
+            for hist in metrics:
+                if hist.count == 0:
+                    continue
+                for q in (0.50, 0.95, 0.99):
+                    labels = dict(hist.labels)
+                    labels["q"] = "%g" % q
+                    qlines.append("%s_quantile%s %s"
+                                  % (base, _prom_labels(labels),
+                                     _prom_value(float(hist.quantile(q)))))
+            if qlines:
+                lines.append("# HELP %s_quantile estimated quantiles of %s"
+                             % (base, name))
+                lines.append("# TYPE %s_quantile gauge" % base)
+                lines.extend(qlines)
             continue
         is_counter = (isinstance(first, Counter)
                       or (isinstance(first, _Sampled)

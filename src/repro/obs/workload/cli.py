@@ -1,0 +1,202 @@
+"""Command-line entry points: ``repro simulate``, ``repro top``,
+``repro bench-diff``.
+
+These are dispatched from :mod:`repro.__main__` before its normal
+argument parsing; each takes its own argv tail and returns an exit
+status.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import sys
+import tempfile
+import threading
+from typing import Optional
+
+from .compare import compare_reports, format_comparison
+from .dashboard import run_dashboard, tail_rows
+from .driver import WorkloadDriver
+from .sampler import TimeSeriesSampler
+from .spec import (BUILTIN_SCENARIOS, ScenarioError, get_scenario,
+                   load_scenario)
+
+
+def _resolve_scenario(name: str):
+    if os.path.sep in name or name.endswith((".json", ".toml")):
+        return load_scenario(name)
+    return get_scenario(name)
+
+
+def cmd_simulate(argv) -> int:
+    """``python -m repro simulate SCENARIO [options]``"""
+    parser = argparse.ArgumentParser(
+        prog="python -m repro simulate",
+        description="Run a macro workload scenario against a database.")
+    parser.add_argument("scenario",
+                        help="builtin scenario name (%s) or a spec file "
+                             "(.json/.toml)"
+                             % ", ".join(sorted(BUILTIN_SCENARIOS)))
+    parser.add_argument("--db", default=None,
+                        help="database path (default: a fresh temp file)")
+    parser.add_argument("--scale", type=float, default=1.0,
+                        help="multiply dataset sizes and client counts")
+    parser.add_argument("--duration", type=float, default=None,
+                        help="override every phase's duration (seconds)")
+    parser.add_argument("--seed", default=None,
+                        help="override the scenario seed")
+    parser.add_argument("--report", default=None, metavar="OUT.json",
+                        help="write the full report as JSON")
+    parser.add_argument("--timeline", default=None, metavar="OUT.jsonl",
+                        help="write the sampler time series as JSONL")
+    parser.add_argument("--sample-ms", type=float, default=None,
+                        help="sampler interval override (milliseconds)")
+    parser.add_argument("--top", action="store_true",
+                        help="show the live dashboard while running")
+    parser.add_argument("--uninstrumented", action="store_true",
+                        help="run without latency instrumentation "
+                             "(overhead baseline; no percentiles)")
+    parser.add_argument("--pool-pages", type=int, default=256,
+                        help="buffer pool size in pages (small values "
+                             "force cold reads: cache-pressure and "
+                             "fault-injection experiments)")
+    args = parser.parse_args(argv)
+    try:
+        spec = _resolve_scenario(args.scenario)
+    except ScenarioError as exc:
+        print("simulate: %s" % exc, file=sys.stderr)
+        return 2
+    if args.scale != 1.0:
+        spec = spec.scaled(args.scale)
+    if args.duration is not None:
+        spec = spec.with_duration(args.duration)
+    if args.seed is not None:
+        spec.seed = args.seed
+
+    from ...core.database import Database
+    tmpdir: Optional[str] = None
+    db_path = args.db
+    if db_path is None:
+        tmpdir = tempfile.mkdtemp(prefix="repro-sim-")
+        db_path = os.path.join(tmpdir, "sim.odb")
+    timeline = args.timeline
+    if timeline is None and args.top:
+        timeline = os.path.join(tmpdir or tempfile.gettempdir(),
+                                "sim-timeline.jsonl")
+    db = Database(db_path, pool_size=args.pool_pages)
+    try:
+        driver = WorkloadDriver(db, spec,
+                                instrument=not args.uninstrumented)
+        print("setup: %s (%s)" % (spec.name, ", ".join(
+            "%s=%d" % kv for kv in sorted(spec.dataset.items()))),
+            file=sys.stderr)
+        driver.setup()
+        interval = args.sample_ms or spec.sample_interval_ms
+        sampler = None
+        if not args.uninstrumented:
+            sampler = TimeSeriesSampler(db.metrics, interval,
+                                        path=timeline).start()
+        if args.top and sampler is not None:
+            report_box = {}
+
+            def _run():
+                report_box["report"] = driver.run()
+            worker = threading.Thread(target=_run, daemon=True)
+            worker.start()
+            stop = threading.Event()
+
+            def _watch():
+                worker.join()
+                stop.set()
+            threading.Thread(target=_watch, daemon=True).start()
+            run_dashboard(tail_rows(timeline, stop=stop))
+            worker.join()
+            report = report_box.get("report", {})
+        else:
+            report = driver.run()
+        if sampler is not None:
+            sampler.stop()
+        _print_summary(report)
+        if args.report:
+            with open(args.report, "w", encoding="utf-8") as fh:
+                json.dump(report, fh, indent=2, sort_keys=True)
+            print("report written to %s" % args.report, file=sys.stderr)
+        if timeline and sampler is not None:
+            print("timeline written to %s" % timeline, file=sys.stderr)
+        return 0
+    finally:
+        try:
+            db.close()
+        except Exception as exc:
+            # A fault-injection run can leave a transaction poisoned
+            # mid-commit; the report already captured what happened.
+            print("simulate: close failed: %s" % exc, file=sys.stderr)
+
+
+def _print_summary(report) -> None:
+    print("%s: %d ops in %.2fs (%.1f ops/s), %d errors"
+          % (report["scenario"]["name"], report["ops"],
+             report["elapsed_s"], report["ops_per_s"], report["errors"]))
+    latency = report.get("latency_ms") or {}
+    if latency:
+        print("%-12s %8s %9s %9s %9s %9s %7s"
+              % ("op", "count", "p50 ms", "p90 ms", "p99 ms",
+                 "p99.9 ms", "mean"))
+        for op, row in sorted(latency.items()):
+            print("%-12s %8d %9.3f %9.3f %9.3f %9.3f %7.3f"
+                  % (op, row["count"], row.get("p50", 0),
+                     row.get("p90", 0), row.get("p99", 0),
+                     row.get("p99.9", 0), row.get("mean", 0)))
+
+
+def cmd_top(argv) -> int:
+    """``python -m repro top TIMELINE.jsonl [options]``"""
+    parser = argparse.ArgumentParser(
+        prog="python -m repro top",
+        description="Live dashboard over a simulate timeline file.")
+    parser.add_argument("timeline", help="JSONL timeline file (written by "
+                                         "simulate --timeline; may still "
+                                         "be growing)")
+    parser.add_argument("--refresh", type=float, default=0.25,
+                        help="redraw interval in seconds")
+    parser.add_argument("--width", type=int, default=78)
+    parser.add_argument("--frames", type=int, default=None,
+                        help="stop after N frames (default: until Ctrl-C)")
+    parser.add_argument("--once", action="store_true",
+                        help="render the current state once and exit")
+    args = parser.parse_args(argv)
+    if args.once:
+        from .dashboard import render_frame
+        from .sampler import load_timeline
+        rows = load_timeline(args.timeline)
+        print(render_frame(rows[-120:], args.width))
+        return 0
+    frames = run_dashboard(tail_rows(args.timeline),
+                           refresh_s=args.refresh, width=args.width,
+                           max_frames=args.frames)
+    return 0 if frames else 1
+
+
+def cmd_bench_diff(argv) -> int:
+    """``python -m repro bench-diff OLD.json NEW.json [options]``"""
+    parser = argparse.ArgumentParser(
+        prog="python -m repro bench-diff",
+        description="Compare two simulate reports; exit 1 on regression.")
+    parser.add_argument("old", help="baseline report JSON")
+    parser.add_argument("new", help="candidate report JSON")
+    parser.add_argument("--max-p99-pct", type=float, default=25.0,
+                        help="flag ops whose p99 regressed more than this")
+    parser.add_argument("--max-tput-pct", type=float, default=20.0,
+                        help="flag throughput drops larger than this")
+    args = parser.parse_args(argv)
+    with open(args.old, "r", encoding="utf-8") as fh:
+        old = json.load(fh)
+    with open(args.new, "r", encoding="utf-8") as fh:
+        new = json.load(fh)
+    result = compare_reports(old, new,
+                             max_p99_regression_pct=args.max_p99_pct,
+                             max_throughput_drop_pct=args.max_tput_pct)
+    print(format_comparison(result))
+    return 0 if result["ok"] else 1

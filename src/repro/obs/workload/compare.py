@@ -1,0 +1,75 @@
+"""Macro regression gate: diff two simulation reports.
+
+``repro bench-diff old.json new.json`` compares per-op p99 latency and
+overall throughput between two ``repro simulate --report`` outputs and
+flags anything that regressed past the thresholds. Ops present in only
+one report are listed but never flagged — a scenario change is not a
+regression.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, List
+
+
+def compare_reports(old: Dict[str, Any], new: Dict[str, Any],
+                    max_p99_regression_pct: float = 25.0,
+                    max_throughput_drop_pct: float = 20.0) -> Dict[str, Any]:
+    """Compare two simulator reports; ``result["ok"]`` is the gate."""
+    regressions: List[Dict[str, Any]] = []
+    rows: List[Dict[str, Any]] = []
+    old_lat = old.get("latency_ms", {})
+    new_lat = new.get("latency_ms", {})
+    for op in sorted(set(old_lat) | set(new_lat)):
+        o = old_lat.get(op, {}).get("p99")
+        n = new_lat.get(op, {}).get("p99")
+        row = {"op": op, "old_p99_ms": o, "new_p99_ms": n, "delta_pct": None}
+        if o and n:
+            row["delta_pct"] = round(100.0 * (n - o) / o, 1)
+            if row["delta_pct"] > max_p99_regression_pct:
+                row["flag"] = "p99 +%.1f%% > +%.1f%% limit" % (
+                    row["delta_pct"], max_p99_regression_pct)
+                regressions.append(row)
+        rows.append(row)
+    o_tput = old.get("ops_per_s") or 0
+    n_tput = new.get("ops_per_s") or 0
+    tput = {"old_ops_s": o_tput, "new_ops_s": n_tput, "delta_pct": None}
+    if o_tput and n_tput:
+        tput["delta_pct"] = round(100.0 * (n_tput - o_tput) / o_tput, 1)
+        if -tput["delta_pct"] > max_throughput_drop_pct:
+            tput["flag"] = "throughput %.1f%% < -%.1f%% limit" % (
+                tput["delta_pct"], max_throughput_drop_pct)
+            regressions.append(tput)
+    return {
+        "ok": not regressions,
+        "ops": rows,
+        "throughput": tput,
+        "regressions": regressions,
+        "limits": {"p99_pct": max_p99_regression_pct,
+                   "throughput_pct": max_throughput_drop_pct},
+    }
+
+
+def format_comparison(result: Dict[str, Any]) -> str:
+    """Human-readable table for a :func:`compare_reports` result."""
+    lines = ["%-12s %12s %12s %9s" % ("op", "old p99 ms", "new p99 ms",
+                                      "delta")]
+    for row in result["ops"]:
+        delta = ("%+.1f%%" % row["delta_pct"]
+                 if row["delta_pct"] is not None else "-")
+        flag = "  <-- REGRESSION" if row.get("flag") else ""
+        lines.append("%-12s %12s %12s %9s%s" % (
+            row["op"],
+            row["old_p99_ms"] if row["old_p99_ms"] is not None else "-",
+            row["new_p99_ms"] if row["new_p99_ms"] is not None else "-",
+            delta, flag))
+    tput = result["throughput"]
+    delta = ("%+.1f%%" % tput["delta_pct"]
+             if tput["delta_pct"] is not None else "-")
+    flag = "  <-- REGRESSION" if tput.get("flag") else ""
+    lines.append("%-12s %12s %12s %9s%s" % (
+        "ops/s", tput["old_ops_s"], tput["new_ops_s"], delta, flag))
+    lines.append("gate: %s (p99 +%.0f%%, throughput -%.0f%%)" % (
+        "OK" if result["ok"] else "FAIL",
+        result["limits"]["p99_pct"], result["limits"]["throughput_pct"]))
+    return "\n".join(lines)

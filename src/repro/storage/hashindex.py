@@ -79,6 +79,11 @@ class HashIndex:
         self.unique = unique
         #: page_no -> (page_lsn at decode time, decoded record)
         self._decoded: dict = {}
+        #: first_page -> (tail_page, tail_lsn): where the last chain
+        #: append landed. A hint, not a source of truth — any later edit
+        #: of that page (another append, a chain extension, an abort's
+        #: compensation write) bumps its LSN and the hint is discarded.
+        self._chain_tails: dict = {}
 
     @classmethod
     def create(cls, journal: Journal, txn: int,
@@ -230,14 +235,38 @@ class HashIndex:
 
     # -- operations ---------------------------------------------------------------
 
-    def insert(self, txn: int, key: Any, value: Any) -> None:
-        """Insert ``(key, value)``, splitting buckets as needed."""
+    def insert(self, txn: int, key: Any, value: Any,
+               check_dup: bool = True) -> None:
+        """Insert ``(key, value)``, splitting buckets as needed.
+
+        *check_dup=False* lets a unique index skip the duplicate probe
+        when the caller already knows the key is absent (freshly
+        allocated serials, a preceding ``search`` that came back empty,
+        a rebuild from a source that was unique). On a bucket that has
+        degenerated into an overflow chain this avoids decoding the
+        whole chain just to prove what the caller knew.
+        """
         kb = encode_key(key)
         bucket_page, _, _ = self._bucket_for(kb)
         if self._append_fast(txn, bucket_page, kb, key, value):
             return
+        # A bucket whose local depth reached MAX_GLOBAL_DEPTH can never
+        # be separated by splitting again. Unless a duplicate probe
+        # forces a full read, append to its overflow chain's tail page:
+        # the insert then costs one tail-page rewrite instead of
+        # re-encoding the entire chain — the difference between O(1) and
+        # O(n) per insert, i.e. a linear vs quadratic bulk load. (The
+        # macro workload simulator found this: past ~10k objects every
+        # directory insert re-encoded a whole chained bucket, and bulk
+        # ingest fell from ~3k to ~600 objects/s and kept falling.)
+        (local_depth, _), nxt = self._read_decoded(bucket_page)
+        if (nxt != NO_PAGE and local_depth >= MAX_GLOBAL_DEPTH
+                and not (self.unique and check_dup)):
+            self._append_chain(txn, bucket_page, local_depth,
+                               [kb, key, value])
+            return
         local_depth, entries = self._read_bucket(bucket_page)
-        if self.unique and any(e[0] == kb for e in entries):
+        if self.unique and check_dup and any(e[0] == kb for e in entries):
             raise DuplicateKeyError("duplicate key %r in unique hash index"
                                     % (key,))
         entries.append([kb, key, value])
@@ -248,13 +277,79 @@ class HashIndex:
             return
         self._split_bucket(txn, bucket_page, local_depth, entries)
 
+    def _append_chain(self, txn: int, first_page: int, local_depth: int,
+                      entry: List) -> None:
+        """Append *entry* to the last page of a bucket's overflow chain.
+
+        Chain pages are never unlinked (see :meth:`_write_bucket`), so
+        the tail only ever moves forward; walking to it touches each
+        page's header but decodes only the tail's record (LSN-cached).
+        The walk itself is skipped when the ``_chain_tails`` hint still
+        matches the tail's LSN — any intervening edit (another append, a
+        chain extension, an abort's compensation write) bumps the LSN
+        and forces the full walk from *first_page*.
+        """
+        page_no = first_page
+        hint = self._chain_tails.get(first_page)
+        if hint is not None:
+            tail_page, tail_lsn = hint
+            page = self._pool.pin(tail_page)
+            try:
+                if page.page_lsn == tail_lsn and page.next_page == NO_PAGE:
+                    page_no = tail_page
+            finally:
+                self._pool.unpin(tail_page)
+        while True:
+            with self._pool.page(page_no) as page:
+                nxt = page.next_page
+            if nxt == NO_PAGE:
+                break
+            page_no = nxt
+        kb, key, value = entry
+        if self._append_fast(txn, page_no, kb, key, value,
+                             limit=MAX_BUCKET_BYTES, dup_check=False):
+            self._note_tail(first_page, page_no)
+            return
+        (_, part), _ = self._read_decoded(page_no)
+        tail_entries = list(part) + [entry]
+        raw = encode_value([local_depth, tail_entries])
+        if len(raw) > MAX_BUCKET_BYTES and part:
+            new_page = self._pool.new_page(PageType.HASH_BUCKET)
+            with self._journal.edit(txn, page_no) as page:
+                page.next_page = new_page
+            page_no = new_page
+            tail_entries = [entry]
+            raw = encode_value([local_depth, tail_entries])
+        with self._journal.edit(txn, page_no) as page:
+            if page.slot_count == 0:
+                page.insert(_pad(raw))
+            else:
+                page.update(0, _pad(raw))
+        if self.CACHE_SIZE > 0:
+            self._decoded[page_no] = (page.page_lsn,
+                                      (local_depth, tail_entries), len(raw))
+        self._chain_tails[first_page] = (page_no, page.page_lsn)
+
+    def _note_tail(self, first_page: int, tail_page: int) -> None:
+        """Record *tail_page* (at its current LSN) as the chain's tail."""
+        cached = self._decoded.get(tail_page)
+        if cached is not None:
+            self._chain_tails[first_page] = (tail_page, cached[0])
+            return
+        page = self._pool.pin(tail_page)
+        try:
+            self._chain_tails[first_page] = (tail_page, page.page_lsn)
+        finally:
+            self._pool.unpin(tail_page)
+
     #: Byte offset of the entry-count u32 inside a bucket record
     #: ``[local_depth, entries]``: TAG_LIST + u32(2) + (TAG_INT64 + i64)
     #: + TAG_LIST, then the count.
     _COUNT_OFF = 1 + 4 + 9 + 1
 
     def _append_fast(self, txn: int, page_no: int, kb: bytes, key: Any,
-                     value: Any) -> bool:
+                     value: Any, limit: int = SPLIT_TARGET_BYTES,
+                     dup_check: bool = True) -> bool:
         """Append an entry to a warm single-page bucket by patching bytes.
 
         The bucket record's entries are a suffix of its encoding, so an
@@ -262,9 +357,10 @@ class HashIndex:
         encoding concatenated — no decode or whole-bucket re-encode. Only
         taken when the decoded cache matches the page LSN (giving the
         dup-check its entry list for free), the bucket has no overflow
-        chain, and the result stays under the split target; anything else
-        falls back to the general path. The page diff the journal logs is
-        just the count word plus the appended bytes.
+        chain, and the result stays under *limit* (the split target; the
+        chain-tail append path passes the page capacity instead);
+        anything else falls back to the general path. The page diff the
+        journal logs is just the count word plus the appended bytes.
         """
         cached = self._decoded.get(page_no)
         if cached is None:
@@ -276,7 +372,7 @@ class HashIndex:
                 return False
             local_depth, entries = cached[1]
             used = cached[2]
-            if self.unique:
+            if self.unique and dup_check:
                 for entry in entries:
                     if entry[0] == kb:
                         raise DuplicateKeyError(
@@ -290,8 +386,8 @@ class HashIndex:
             return False
         new_entry = [kb, key, value]
         entry_raw = encode_value(new_entry)
-        if used + len(entry_raw) > SPLIT_TARGET_BYTES:
-            return False  # needs a split: take the general path
+        if used + len(entry_raw) > limit:
+            return False  # needs a split (or a new chain page)
         # Splice the bumped count and the appended entry into the padding;
         # total length is unchanged, so the page update stays in place.
         new_raw = b"".join((raw[:off], _U32.pack(len(entries) + 1),

@@ -95,7 +95,7 @@ def parallel_scan_batches(store, heaps) -> Iterator[list]:
         # consumer waits on their queues — a three-way deadlock.
         store._scan_enter(force=True)
         try:
-            store._shard_scans[sid] += 1
+            next(store._shard_scans[sid])
             for batch in store._scan_batches_inner(
                     heaps[sid], pool, readahead, NO_PAGE,
                     final_pos=finals[sid]):

@@ -36,6 +36,7 @@ cache, scan gate, metrics).
 
 from __future__ import annotations
 
+import itertools
 import os
 import threading
 import zlib
@@ -45,6 +46,7 @@ from typing import Any, Dict, Iterator, List, Optional, Tuple
 
 from ..errors import CatalogError, CorruptPageError, StorageError
 from ..obs import EventLog, MetricsRegistry
+from ..obs.metrics import _count_value
 from .btree import BTree
 from .codec import decode_value, encode_value
 from .buffer import DEFAULT_POOL_SIZE, BufferPool
@@ -185,7 +187,13 @@ class Store:
         #: Maintenance rewrites currently draining/holding the gate.
         self._maint_waiters = 0
         #: Scans started per shard (metric ``shard.scans{shard=...}``).
-        self._shard_scans = [0] * self._n_shards
+        #: ``itertools.count`` objects, not plain ints: concurrent scans
+        #: of the *same* shard bump the same slot from different threads
+        #: (the parallel executor's workers hold no lock here), and a
+        #: list-element ``+=`` is a read-modify-write that loses updates
+        #: under the GIL. ``next()`` is one C call, so it never does.
+        self._shard_scans = [itertools.count()
+                             for _ in range(self._n_shards)]
         #: Reclustering counters (``recluster.*`` metrics).
         self.recluster_runs = 0
         self.recluster_moved = 0
@@ -276,10 +284,12 @@ class Store:
         metrics.gauge_fn("storage.degraded",
                          lambda: 0 if self.degraded is None else 1)
         metrics.counter_fn("faults.injected", lambda: self.faults.injected)
+        metrics.counter_fn("events.dropped", lambda: self.events.dropped)
         metrics.gauge_fn("shard.count", lambda: self._n_shards)
         for sid in range(self._n_shards):
             metrics.counter_fn("shard.scans",
-                               (lambda s=sid: self._shard_scans[s]),
+                               (lambda s=sid: _count_value(
+                                   self._shard_scans[s])),
                                shard=str(sid))
         metrics.counter_fn("recluster.runs", lambda: self.recluster_runs)
         metrics.counter_fn("recluster.moved_objects",
@@ -555,7 +565,9 @@ class Store:
                     heap.update(txn, RID(*existing[0]), payload)
                     return
             rid = heap.insert(txn, payload)
-            directory.insert(txn, key, tuple(rid))
+            # new=True asserted the key absent; a probe above proved it
+            # otherwise — either way the dup check is already paid for.
+            directory.insert(txn, key, tuple(rid), check_dup=False)
 
     def put_with_token(self, txn: int, cluster: str, key: Tuple,
                        data: Dict) -> Tuple[RID, int]:
@@ -577,7 +589,7 @@ class Store:
                 heap.update(txn, rid, payload)
             else:
                 rid = heap.insert(txn, payload)
-                directory.insert(txn, key, tuple(rid))
+                directory.insert(txn, key, tuple(rid), check_dup=False)
             return rid, heap.page_lsn(rid.page_no)
 
     def page_lsns(self, cluster: str, page_nos) -> Dict[int, int]:
@@ -736,7 +748,7 @@ class Store:
             # and never holds a pin across a yield, so concurrent mutators
             # only ever see the scan between records.
             for sid, heap in enumerate(heaps):
-                self._shard_scans[sid] += 1
+                next(self._shard_scans[sid])
                 for rid, raw in heap.scan():
                     yield rid, decode_value(raw)
         finally:
@@ -770,7 +782,7 @@ class Store:
             readahead = HeapFile.READAHEAD
             from .page import NO_PAGE
             for sid, heap in enumerate(heaps):
-                self._shard_scans[sid] += 1
+                next(self._shard_scans[sid])
                 yield from self._scan_batches_inner(heap, pool, readahead,
                                                     NO_PAGE)
         finally:
@@ -1125,7 +1137,7 @@ class Store:
         moved = 0
         for key, payload in items:
             new_rid = new_heap.insert(txn, payload)
-            new_directory.insert(txn, key, tuple(new_rid))
+            new_directory.insert(txn, key, tuple(new_rid), check_dup=False)
             moved += 1
         old_pages = (self._pages_of_heap(old_heap)
                      + self._pages_of_hash(old_directory))
@@ -1608,7 +1620,8 @@ class Store:
         for key, payload in items.items():
             sid = self._shard_of_key(key)
             rid = new_heaps[sid].insert(txn, payload)
-            new_directories[sid].insert(txn, key, tuple(rid))
+            new_directories[sid].insert(txn, key, tuple(rid),
+                                        check_dup=False)
         info.shards = [[heap.first_page, directory.directory_page]
                        for heap, directory in
                        zip(new_heaps, new_directories)]
@@ -1777,7 +1790,7 @@ class Store:
             "pages": total_pages,
             "shards": {
                 "count": self._n_shards,
-                "scans": list(self._shard_scans),
+                "scans": [_count_value(c) for c in self._shard_scans],
                 "recluster_runs": self.recluster_runs,
                 "recluster_moved_objects": self.recluster_moved,
                 "per_shard": [

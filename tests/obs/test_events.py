@@ -97,3 +97,62 @@ class TestEngineEvents:
         db = Database(db_path)
         db.close()
         assert not os.path.exists(db_path + ".events")
+
+
+class TestDroppedCounter:
+    def test_no_drops_below_capacity(self):
+        log = EventLog(capacity=4)
+        for i in range(4):
+            log.emit("tick", i=i)
+        assert log.dropped == 0
+
+    def test_counts_ring_evictions(self):
+        log = EventLog(capacity=4)
+        for i in range(10):
+            log.emit("tick", i=i)
+        assert log.dropped == 6
+
+    def test_database_exposes_dropped_metric(self, db):
+        for i in range(db.events.capacity + 5):
+            db.events.emit("tick", i=i)
+        assert db.metrics.snapshot()["events.dropped"] == 5
+        assert db.stats()["events"]["dropped"] == 5
+
+
+class TestSidecarRotation:
+    def _fat_log(self, n=16, payload=900):
+        log = EventLog(capacity=64)
+        for i in range(n):
+            log.emit("storm", i=i, blob="x" * payload)
+        return log
+
+    def test_under_cap_no_rotation(self, tmp_path):
+        path = str(tmp_path / "db.odb.events")
+        log = self._fat_log(n=4)
+        log.save(path)
+        assert not (tmp_path / "db.odb.events.1").exists()
+        assert len(load_events(path)) == 4
+
+    def test_overflow_rotates_and_keeps_newest(self, tmp_path):
+        path = str(tmp_path / "db.odb.events")
+        log = self._fat_log(n=8)
+        log.save(path, max_bytes=100_000)      # all 8 fit
+        log2 = self._fat_log(n=8)
+        log2.save(path, max_bytes=4000)        # ~4 events fit
+        # Previous generation rotated aside for post-mortems.
+        rotated = load_events(path + ".1")
+        assert [e["data"]["i"] for e in rotated] == list(range(8))
+        # New sidecar holds only the newest events that fit the cap.
+        kept = load_events(path)
+        assert kept
+        assert sum(len(json.dumps(e)) for e in kept) <= 4200
+        assert kept[-1]["data"]["i"] == 7
+        assert all(e["data"]["i"] >= 4 for e in kept)
+
+    def test_rotation_keeps_single_generation(self, tmp_path):
+        path = str(tmp_path / "db.odb.events")
+        for round_ in range(3):
+            log = self._fat_log(n=8)
+            log.save(path, max_bytes=4000)
+        assert (tmp_path / "db.odb.events.1").exists()
+        assert not (tmp_path / "db.odb.events.1.1").exists()

@@ -138,3 +138,67 @@ class TestPrometheus:
         with pytest.raises(PromParseError):
             parse_prometheus("# TYPE ode_h histogram\n"
                              "ode_h_bucket{le=\"+Inf\"} 1\n")
+
+
+class TestQuantiles:
+    """Histogram.quantile: in-bucket linear interpolation (ISSUE 9)."""
+
+    def test_empty_histogram_has_no_quantile(self):
+        h = Histogram("h", buckets=(10, 100))
+        assert h.quantile(0.5) is None
+        assert h.percentiles() == {"p50": None, "p90": None,
+                                   "p99": None, "p99.9": None}
+
+    def test_interpolates_within_bucket(self):
+        h = Histogram("h", buckets=(0, 100))
+        for _ in range(100):
+            h.observe(50)        # all in the (0, 100] bucket
+        # rank 50 of 100 falls halfway through the bucket: 0 + 0.5*100.
+        assert h.quantile(0.5) == 50.0
+        assert h.quantile(0.25) == 25.0
+
+    def test_single_bucket_all_mass(self):
+        h = Histogram("h", buckets=(8,))
+        h.observe(1)
+        assert h.quantile(1.0) == 8.0          # top of the only bucket
+        assert 0 < h.quantile(0.5) < 8.0
+
+    def test_overflow_reports_highest_finite_bound(self):
+        h = Histogram("h", buckets=(10, 100))
+        h.observe(5000)          # +Inf overflow bucket
+        assert h.quantile(0.99) == 100
+
+    def test_monotone_in_q(self):
+        h = Histogram("h", buckets=(10, 100, 1000, 10000))
+        for v in (3, 9, 42, 850, 970, 4000, 9000, 20000):
+            h.observe(v)
+        qs = [h.quantile(q) for q in (0.1, 0.5, 0.9, 0.99, 1.0)]
+        assert qs == sorted(qs)
+
+    def test_rejects_out_of_range_q(self):
+        h = Histogram("h", buckets=(10,))
+        with pytest.raises(ValueError):
+            h.quantile(1.5)
+        with pytest.raises(ValueError):
+            h.quantile(-0.1)
+
+    def test_snapshot_includes_percentiles(self):
+        reg = MetricsRegistry()
+        h = reg.histogram("lock.wait_ns", (100, 1000))
+        for _ in range(10):
+            h.observe(500)
+        snap = reg.snapshot()["lock.wait_ns"]
+        assert 100 < snap["p50"] <= 1000
+        assert snap["p99"] <= 1000
+
+    def test_prom_quantile_family_renders_and_lints(self):
+        reg = MetricsRegistry()
+        h = reg.histogram("lock.wait_ns", (100, 1000))
+        for _ in range(10):
+            h.observe(500)
+        reg.histogram("op.empty_ns", (100,))    # no samples: no quantiles
+        text = render_prometheus(reg)
+        assert 'ode_lock_wait_ns_quantile{q="0.5"}' in text
+        assert 'ode_lock_wait_ns_quantile{q="0.99"}' in text
+        assert "ode_op_empty_ns_quantile" not in text
+        parse_prometheus(text)                  # promlint clean
