@@ -1,7 +1,7 @@
 PYTHON ?= python
 export PYTHONPATH := src
 
-.PHONY: test test-concurrency crash-smoke crash-full bench bench-smoke bench-codegen-smoke bench-mvcc-smoke bench-shard-smoke bench-macro-smoke bench-macro-full bench-baseline
+.PHONY: test test-concurrency crash-smoke crash-full bench bench-smoke bench-codegen-smoke bench-mvcc-smoke bench-shard-smoke bench-macro-smoke bench-macro-full bench-server-smoke bench-server-full bench-baseline
 
 test:
 	$(PYTHON) -m pytest tests/ -x -q
@@ -82,6 +82,24 @@ bench-macro-smoke:
 # BENCH-compatible json (per-op p50/p99 in ns + full reports in detail).
 bench-macro-full:
 	$(PYTHON) benchmarks/bench_macro.py --full
+
+# Network-server gate (EXP-20): N-client open-loop driver against a real
+# `repro serve` subprocess over TCP — throughput floor + client-observed
+# p99 ceiling, a REPRO_FAULTS row (socket read errors; clients reconnect
+# and finish), and the overload drill (1-slot server fast-fails with
+# ServerOverloadedError while clients keep progressing). Plus the wire
+# protocol / server behavior suites, a remote simulate for the CI
+# artifact, and the server kill-and-audit crash cycles.
+bench-server-smoke:
+	$(PYTHON) benchmarks/bench_server.py --smoke
+	$(PYTHON) -m pytest tests/server/ tests/obs/test_workload_remote.py \
+		tests/core/test_retry.py tests/storage/test_quiesce.py -x -q
+	$(PYTHON) -m pytest tests/crash/test_server_crash.py -x -q -m crash
+
+# Full server tier: 8-client open-loop rounds at full scale, recorded as
+# a BENCH-compatible json.
+bench-server-full:
+	$(PYTHON) benchmarks/bench_server.py --full
 
 # Full suite, recorded as BENCH_<date>.json and diffed against the last
 # committed baseline (see benchmarks/run_baseline.py).

@@ -1,0 +1,307 @@
+"""Network-server bench: open-loop multi-client driver against a real
+``repro serve`` subprocess (EXP-20).
+
+Plain script like ``bench_macro`` (it manages its own server processes
+and walltime):
+
+    PYTHONPATH=src python benchmarks/bench_server.py --smoke
+    PYTHONPATH=src python benchmarks/bench_server.py --full --out benchmarks/BENCH_<date>_pr10.json
+
+``--smoke`` gates, in order:
+
+* **baseline** — an N-client open-loop OLTP round over TCP completes
+  with a throughput floor and a client-observed p99 ceiling;
+* **faults** — the same round with ``REPRO_FAULTS`` injecting socket
+  read errors in the server: connections drop mid-op, clients reconnect
+  and continue, and the run still clears (degraded) floors while faults
+  were really injected;
+* **overload drill** — a 1-slot server under many clients fast-fails
+  with ``ServerOverloadedError`` (no unbounded queueing) while clients
+  still make progress through retry.
+
+``--full`` writes a BENCH-compatible JSON of remote throughput and
+latency percentiles for the remote-capable scenarios.
+"""
+
+import argparse
+import json
+import os
+import shutil
+import signal
+import subprocess
+import sys
+import tempfile
+import threading
+import time
+
+sys.path.insert(0, os.path.join(os.path.dirname(__file__), "..", "src"))
+
+from repro.errors import OdeError, ServerOverloadedError     # noqa: E402
+from repro.obs.workload.remote import RemoteWorkloadDriver   # noqa: E402
+from repro.obs.workload.spec import parse_scenario           # noqa: E402
+from repro.server.client import Client                       # noqa: E402
+
+SRC_ROOT = os.path.join(os.path.dirname(os.path.abspath(__file__)),
+                        "..", "src")
+
+#: Open-loop smoke scenario: 4 clients, Poisson arrivals, OLTP-ish mix.
+SMOKE_SPEC = {
+    "name": "server_oltp",
+    "description": "open-loop remote OLTP",
+    "dataset": {"items": 150},
+    "seed": 42,
+    "duration_s": 3.0,
+    "clients": [
+        {"count": 4, "arrival": "poisson", "rate": 40,
+         "mix": {"deref": 5, "update": 2, "pnew": 1, "scan": 1}},
+    ],
+}
+
+#: Socket read errors in the server every ~25 recvs: connections drop,
+#: clients reconnect. Recoverable by design.
+SMOKE_FAULTS = "server.recv.pre:error:25"
+
+SMOKE_MIN_OPS_PER_S = 50.0
+SMOKE_MAX_P99_MS = 2000.0
+FAULTS_MIN_OPS_PER_S = 20.0
+
+
+class ServeProc:
+    """A ``repro serve`` subprocess with parsed address."""
+
+    def __init__(self, tmpdir, extra_env=None, args=()):
+        env = dict(os.environ)
+        env["PYTHONPATH"] = SRC_ROOT + os.pathsep + env.get("PYTHONPATH", "")
+        env.pop("REPRO_FAULTS", None)
+        if extra_env:
+            env.update(extra_env)
+        self.proc = subprocess.Popen(
+            [sys.executable, "-m", "repro", "serve",
+             os.path.join(tmpdir, "bench.odb"), "--port", "0"]
+            + list(args),
+            env=env, stdout=subprocess.PIPE, stderr=subprocess.PIPE)
+        line = self.proc.stdout.readline().decode().split()
+        assert line[:1] == ["LISTENING"], (
+            "server never announced: %r / %s"
+            % (line, self.proc.stderr.read().decode()[-800:]))
+        self.host, self.port = line[1], int(line[2])
+
+    def stop(self, expect_clean=True):
+        self.proc.send_signal(signal.SIGTERM)
+        try:
+            rc = self.proc.wait(timeout=30)
+        except subprocess.TimeoutExpired:
+            self.proc.kill()
+            rc = self.proc.wait(timeout=10)
+        stderr = self.proc.stderr.read().decode()
+        self.proc.stdout.close()
+        self.proc.stderr.close()
+        if expect_clean:
+            assert rc == 0, ("server exited %d:\n%s" % (rc, stderr[-1500:]))
+        return rc
+
+
+def _run_remote(host, port, spec_dict, duration=None):
+    spec = parse_scenario(spec_dict)
+    if duration is not None:
+        spec = spec.with_duration(duration)
+    driver = RemoteWorkloadDriver(host, port, spec)
+    try:
+        driver.setup()
+        return driver.run()
+    finally:
+        driver.close()
+
+
+def _worst_p99_ms(report):
+    return max((row.get("p99", 0.0)
+                for row in report["latency_ms"].values()), default=0.0)
+
+
+def _smoke_baseline(tmp):
+    server = ServeProc(tmp)
+    try:
+        report = _run_remote(server.host, server.port, SMOKE_SPEC)
+    finally:
+        server.stop()
+    assert report["ops"] > 0, "no remote operations completed"
+    assert report["ops_per_s"] >= SMOKE_MIN_OPS_PER_S, (
+        "remote throughput %.1f ops/s below the %.0f floor"
+        % (report["ops_per_s"], SMOKE_MIN_OPS_PER_S))
+    p99 = _worst_p99_ms(report)
+    assert p99 <= SMOKE_MAX_P99_MS, (
+        "client-observed p99 %.1f ms above the %.0f ms ceiling"
+        % (p99, SMOKE_MAX_P99_MS))
+    err_pct = 100.0 * report["errors"] / report["ops"]
+    assert err_pct < 10.0, "%.1f%% of remote ops errored" % err_pct
+    print("  %-14s %6d ops  %7.1f ops/s  worst p99 %7.1f ms  OK"
+          % ("baseline", report["ops"], report["ops_per_s"], p99))
+    return report
+
+
+def _smoke_faults(tmp):
+    server = ServeProc(tmp, extra_env={"REPRO_FAULTS": SMOKE_FAULTS,
+                                       "REPRO_FAULTS_SEED": "7"})
+    try:
+        report = _run_remote(server.host, server.port, SMOKE_SPEC)
+        with Client(server.host, server.port) as probe:
+            stats = probe.stats()
+    finally:
+        server.stop()
+    injected = stats.get("events", {}).get("faults_injected",
+                                           stats.get("faults_injected", 0))
+    if not injected:  # stats layout fallback: search the tree
+        def walk(node):
+            if isinstance(node, dict):
+                for key, val in node.items():
+                    if key == "faults_injected" and val:
+                        return val
+                    found = walk(val)
+                    if found:
+                        return found
+            return 0
+        injected = walk(stats)
+    assert injected > 0, "REPRO_FAULTS armed but nothing injected"
+    assert report["ops"] > 0, "no operations completed under faults"
+    assert report["ops_per_s"] >= FAULTS_MIN_OPS_PER_S, (
+        "degraded throughput %.1f ops/s below the %.0f floor"
+        % (report["ops_per_s"], FAULTS_MIN_OPS_PER_S))
+    print("  %-14s %6d ops  %7.1f ops/s  %d fault(s) injected  OK"
+          % ("faults", report["ops"], report["ops_per_s"], injected))
+
+
+def _smoke_overload(tmp):
+    """1 execution slot, 6 hammering clients: overload must fast-fail
+    (typed, promptly) while work still completes overall."""
+    server = ServeProc(tmp, args=["--max-inflight", "1",
+                                  "--admission-wait", "0.01",
+                                  "--allow-debug-delay"])
+    rejects = []
+    completions = []
+    stop = threading.Event()
+
+    def hammer(idx):
+        try:
+            client = Client(server.host, server.port)
+        except OSError:
+            return
+        while not stop.is_set():
+            try:
+                client.ping(delay_ms=30)
+                completions.append(idx)
+            except ServerOverloadedError:
+                rejects.append(idx)
+                time.sleep(0.01)
+            except (OdeError, OSError):
+                return
+        client.close()
+
+    try:
+        threads = [threading.Thread(target=hammer, args=(i,))
+                   for i in range(6)]
+        for t in threads:
+            t.start()
+        time.sleep(3.0)
+        stop.set()
+        for t in threads:
+            t.join(timeout=10)
+    finally:
+        server.stop()
+    assert rejects, "no overload fast-fails under 6x load on 1 slot"
+    assert len(completions) > 20, (
+        "clients starved: only %d completions" % len(completions))
+    assert len(set(completions)) >= 3, (
+        "overload fast-fail did not keep multiple clients progressing")
+    print("  %-14s %6d completions, %d fast-fail rejects across %d "
+          "clients  OK" % ("overload", len(completions), len(rejects),
+                           len(set(completions))))
+
+
+def smoke() -> int:
+    print("bench_server --smoke")
+    baseline = None
+    for gate in (_smoke_baseline, _smoke_faults, _smoke_overload):
+        tmp = tempfile.mkdtemp(prefix="bench-server-")
+        try:
+            result = gate(tmp)
+            if gate is _smoke_baseline:
+                baseline = result
+        finally:
+            shutil.rmtree(tmp, ignore_errors=True)
+    if baseline is not None:  # CI artifact: the client-observed report
+        with open("server-report.json", "w", encoding="utf-8") as fh:
+            json.dump(baseline, fh, indent=2, sort_keys=True)
+    print("bench_server smoke: all gates passed")
+    return 0
+
+
+def full(out_path, scale=1.0) -> int:
+    import datetime
+    import platform
+    print("bench_server --full (scale %g)" % scale)
+    benchmarks = {}
+    detail = {}
+    # Two rows: a provisioned tier (offered load well under capacity, so
+    # the open-loop percentiles measure the server, not the queue) and a
+    # deliberately saturated tier (offered > capacity; throughput is the
+    # number that matters, latency is queue depth).
+    tiers = {
+        "oltp": {"count": 8, "rate": 20},
+        "saturated": {"count": 8, "rate": 60},
+    }
+    for tier, knobs in tiers.items():
+        spec = dict(SMOKE_SPEC)
+        spec["dataset"] = {"items": int(600 * scale)}
+        spec["duration_s"] = 8.0
+        spec["clients"] = [
+            {"count": knobs["count"], "arrival": "poisson",
+             "rate": knobs["rate"],
+             "mix": {"deref": 5, "update": 2, "pnew": 1, "scan": 1}},
+        ]
+        tmp = tempfile.mkdtemp(prefix="bench-server-full-")
+        try:
+            server = ServeProc(tmp)
+            try:
+                report = _run_remote(server.host, server.port, spec)
+            finally:
+                server.stop()
+            detail["server_%s" % tier] = report
+            benchmarks["server/%s/ops_per_s" % tier] = report["ops_per_s"]
+            for op, lat in sorted(report["latency_ms"].items()):
+                for q in ("p50", "p99"):
+                    if q in lat:
+                        benchmarks["server/%s/%s_%s_ns" % (tier, op, q)] = \
+                            int(lat[q] * 1e6)
+            print("  %-10s %6d ops  %7.1f ops/s"
+                  % (tier, report["ops"], report["ops_per_s"]))
+        finally:
+            shutil.rmtree(tmp, ignore_errors=True)
+    payload = {
+        "date": datetime.date.today().isoformat(),
+        "host": platform.node(),
+        "python": platform.python_version(),
+        "benchmarks": benchmarks,
+        "detail": detail,
+    }
+    with open(out_path, "w", encoding="utf-8") as fh:
+        json.dump(payload, fh, indent=2, sort_keys=True)
+    print("wrote %s (%d benchmark keys)" % (out_path, len(benchmarks)))
+    return 0
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__.split("\n")[0])
+    mode = parser.add_mutually_exclusive_group(required=True)
+    mode.add_argument("--smoke", action="store_true")
+    mode.add_argument("--full", action="store_true")
+    parser.add_argument("--out", default=None)
+    parser.add_argument("--scale", type=float, default=1.0)
+    args = parser.parse_args()
+    if args.smoke:
+        return smoke()
+    out = args.out or "bench_server_full.json"
+    return full(out, scale=args.scale)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -16,7 +16,9 @@ Usage::
     python -m repro stats DB.odb --format=prom            # Prometheus text
     python -m repro events DB.odb                         # event log
     python -m repro promlint metrics.prom                 # lint exposition
+    python -m repro serve DB.odb --port 7117              # network server
     python -m repro simulate oltp --report out.json       # macro workload
+    python -m repro simulate oltp --remote HOST:PORT      # drive a server
     python -m repro top timeline.jsonl                    # live dashboard
     python -m repro bench-diff old.json new.json          # regression gate
 
@@ -232,6 +234,9 @@ def main(argv=None) -> int:
     # Subcommand forms: ``python -m repro stats DB.odb`` etc.
     if argv and argv[0] == "promlint":
         return _promlint(argv[1:])
+    if argv and argv[0] == "serve":
+        from .server.cli import cmd_serve
+        return cmd_serve(argv[1:])
     if argv and argv[0] in ("simulate", "top", "bench-diff"):
         from .obs.workload import cli as workload_cli
         handler = {"simulate": workload_cli.cmd_simulate,

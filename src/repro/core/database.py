@@ -37,9 +37,7 @@ key                record
 from __future__ import annotations
 
 import os
-import random
 import threading
-import time
 from collections import deque
 from contextlib import contextmanager
 from typing import (Any, Callable, Dict, Iterator, List, Optional, Set,
@@ -49,7 +47,8 @@ from ..errors import (ClusterExistsError, ClusterNotFoundError,
                       ConstraintViolation, DanglingReferenceError,
                       DeadlockError, LockTimeoutError, NotPersistentError,
                       SchemaError, SnapshotConflictError, TransactionError,
-                      TransientIOError, TriggerActionError, VersionError)
+                      TransientError, TransientIOError, TriggerActionError,
+                      VersionError)
 from ..query.optimizer import PlanCache
 from ..query.stats import StatsManager
 from ..storage.locks import (EXCLUSIVE, INTENT_EXCLUSIVE, INTENT_SHARED,
@@ -786,35 +785,44 @@ class Database:
         self._run_fired_actions(fired)
 
     def run_transaction(self, fn: Callable[[], Any], retries: int = 3,
-                        backoff: float = 0.01) -> Any:
-        """Run *fn* inside a transaction, retrying on lock conflicts.
+                        backoff: float = 0.01,
+                        policy: Optional["RetryPolicy"] = None) -> Any:
+        """Run *fn* inside a transaction, retrying on transient failures.
 
         Under concurrency a transaction can be picked as a deadlock
-        victim (:class:`DeadlockError`) or time out on a lock
-        (:class:`LockTimeoutError`); a flaky disk can fail a read with
-        :class:`TransientIOError` (EIO / short read — the OS may well
-        serve the same sectors on the next attempt). All three mean
-        "aborted through no fault of its own — run it again". This
-        helper re-runs *fn* up to *retries* more times with jittered
-        exponential backoff (`backoff * 2^attempt`, halved-to-1.5x
-        jitter), re-raising the last error if every attempt fails. *fn*
-        takes no arguments and its return value is passed through.
-        Permanent failures — checksum corruption, degraded mode, WAL
-        flush failure — are typed differently and are never retried.
+        victim (:class:`DeadlockError`), time out on a lock
+        (:class:`LockTimeoutError`), or lose a first-updater-wins race
+        (:class:`SnapshotConflictError`); a flaky disk can fail a read
+        with :class:`TransientIOError`. All of these subclass
+        :class:`~repro.errors.TransientError` — "aborted through no
+        fault of its own, run it again" — and that single isinstance
+        check is the retry criterion. This helper re-runs *fn* up to
+        *retries* more times with jittered exponential backoff (see
+        :mod:`repro.retry`), re-raising the last error if every attempt
+        fails. *fn* takes no arguments and its return value is passed
+        through. Permanent failures — checksum corruption, degraded
+        mode, WAL flush failure — are not transient and never retried.
+
+        *policy* overrides the whole delay curve; the *retries*/*backoff*
+        pair is kept for callers of the historical signature and builds
+        an equivalent policy lazily (only once a retry actually happens,
+        so the no-conflict fast path allocates nothing).
         """
         attempt = 0
         while True:
             try:
                 with self.transaction():
                     return fn()
-            except (DeadlockError, LockTimeoutError, TransientIOError,
-                    SnapshotConflictError):
+            except TransientError:
                 attempt += 1
-                if attempt > retries:
+                if policy is None:
+                    from ..retry import RetryPolicy
+                    policy = RetryPolicy(retries=retries,
+                                         base_delay=backoff)
+                if attempt > policy.retries:
                     raise
                 self.metrics.counter("txn.retries").inc()
-                time.sleep(backoff * (2 ** (attempt - 1))
-                           * (0.5 + random.random()))
+                policy.sleep(policy.delay(attempt))
 
     def _implicit_txn(self) -> "_ImplicitTxn":
         """Join the open transaction, or wrap the block in a private one.
@@ -2051,7 +2059,9 @@ class Database:
             raise TransactionError("close() inside an open transaction")
         if self.recluster_daemon is not None:
             # Stop the daemon before anything is torn down; a migration
-            # racing close would find the store half-closed.
+            # racing close would find the store half-closed. The join
+            # must complete before the quiesce below — a daemon round
+            # holds the scan gate for its chain rewrite.
             self.recluster_daemon.stop()
             self.recluster_daemon = None
         if ((self._dirty or self.cluster_stats.dirty())
@@ -2065,6 +2075,11 @@ class Database:
                 self.events.save(str(self.store.path) + ".events")
             except OSError:
                 pass  # an unwritable sidecar must not block close()
+        # store.close() quiesces the scan gate before its final
+        # checkpoint: in-flight shard-parallel scans drain first and
+        # late-arriving scans fail cleanly instead of racing the page
+        # files closing. (The stats flush above must run *before* the
+        # quiesce — its commit may evaluate triggers, which scan.)
         self.store.close()
         self._cache.clear()
         self._vcache.clear()

@@ -14,6 +14,19 @@ class OdeError(Exception):
     """Base class for all errors raised by the Ode reproduction."""
 
 
+class TransientError(OdeError):
+    """The operation failed through no fault of the caller; a retry may
+    well succeed.
+
+    Mixed into the concrete error types that mean "aborted, run it
+    again": deadlock victims, snapshot write conflicts, flaky-disk I/O
+    errors, lock timeouts, and server overload fast-fails.
+    ``db.run_transaction`` and the network client's retry loop classify
+    retryable-vs-fatal with a single ``isinstance`` check against this
+    class instead of maintaining parallel ad-hoc tuples.
+    """
+
+
 # ---------------------------------------------------------------------------
 # Storage engine
 # ---------------------------------------------------------------------------
@@ -61,7 +74,7 @@ class DegradedModeError(StorageError):
         self.reason = reason
 
 
-class TransientIOError(StorageError):
+class TransientIOError(StorageError, TransientError):
     """An I/O operation failed in a way that may succeed on retry (EIO,
     short read). ``db.run_transaction`` retries these with backoff."""
 
@@ -105,11 +118,11 @@ class LockError(StorageError):
     """Base class for lock-manager errors."""
 
 
-class DeadlockError(LockError):
+class DeadlockError(LockError, TransientError):
     """A lock request would create a cycle in the waits-for graph."""
 
 
-class LockTimeoutError(LockError):
+class LockTimeoutError(LockError, TransientError):
     """A lock request timed out before it could be granted."""
 
 
@@ -183,7 +196,7 @@ class TransactionAborted(TransactionError):
         self.reason = reason
 
 
-class SnapshotConflictError(TransactionError):
+class SnapshotConflictError(TransactionError, TransientError):
     """A write collided with a commit newer than this txn's snapshot.
 
     Under MVCC snapshot reads a transaction reads as of its snapshot LSN
@@ -267,3 +280,55 @@ class OppNameError(OppError):
 
 class OppRuntimeError(OppError):
     """An O++ program failed at run time."""
+
+
+# ---------------------------------------------------------------------------
+# Network server / client
+# ---------------------------------------------------------------------------
+
+class ServerError(OdeError):
+    """Base class for errors raised by the network server and client."""
+
+
+class ProtocolError(ServerError):
+    """A wire frame was malformed: bad magic, oversized declared length,
+    checksum mismatch, or truncated (torn) payload. The connection that
+    produced it is closed — framing errors are not recoverable in-band."""
+
+
+class ConnectionClosedError(ServerError):
+    """The peer closed (or was evicted from) the connection.
+
+    Raised client-side when the server goes away mid-conversation. Not
+    transient by itself: an in-flight transaction's fate is *unknown*
+    (the commit may or may not have been acknowledged-durable), so a
+    blind retry could double-apply. The client retries it only for
+    requests it knows carry no open transaction state.
+    """
+
+
+class ServerOverloadedError(ServerError, TransientError):
+    """The server fast-failed the request under admission control.
+
+    Either the connection limit or the in-flight request limit was hit;
+    nothing was executed. Always safe — and expected — to retry with
+    backoff (the client library does).
+    """
+
+
+class DeadlineExceededError(ServerError):
+    """A request (or its enclosing transaction) overran its deadline.
+
+    The server aborts the transaction through the ordinary scoped-abort
+    path before responding, so no partial state remains. Not transient:
+    retrying the same work against the same deadline would fail the same
+    way — the *caller* decides whether to retry with a longer budget.
+    """
+
+
+class ServerShutdownError(ServerError, TransientError):
+    """The server is draining (graceful shutdown) and takes no new work.
+
+    Transient from the client's point of view: another replica — or the
+    same server after a restart — can serve the retry.
+    """

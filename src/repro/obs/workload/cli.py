@@ -41,6 +41,10 @@ def cmd_simulate(argv) -> int:
                              % ", ".join(sorted(BUILTIN_SCENARIOS)))
     parser.add_argument("--db", default=None,
                         help="database path (default: a fresh temp file)")
+    parser.add_argument("--remote", default=None, metavar="HOST:PORT",
+                        help="drive a running `repro serve` instance over "
+                             "TCP instead of an embedded database "
+                             "(latencies are then client-observed)")
     parser.add_argument("--scale", type=float, default=1.0,
                         help="multiply dataset sizes and client counts")
     parser.add_argument("--duration", type=float, default=None,
@@ -74,6 +78,8 @@ def cmd_simulate(argv) -> int:
         spec = spec.with_duration(args.duration)
     if args.seed is not None:
         spec.seed = args.seed
+    if args.remote is not None:
+        return _simulate_remote(args, spec)
 
     from ...core.database import Database
     tmpdir: Optional[str] = None
@@ -133,6 +139,51 @@ def cmd_simulate(argv) -> int:
             # A fault-injection run can leave a transaction poisoned
             # mid-commit; the report already captured what happened.
             print("simulate: close failed: %s" % exc, file=sys.stderr)
+
+
+def _simulate_remote(args, spec) -> int:
+    """``simulate SCENARIO --remote HOST:PORT`` — network-driver path."""
+    from ...errors import OdeError
+    from .remote import RemoteWorkloadDriver
+    try:
+        host, _, port_s = args.remote.rpartition(":")
+        port = int(port_s)
+    except ValueError:
+        print("simulate: --remote expects HOST:PORT, got %r" % args.remote,
+              file=sys.stderr)
+        return 2
+    try:
+        driver = RemoteWorkloadDriver(host or "127.0.0.1", port, spec,
+                                      instrument=not args.uninstrumented)
+    except OdeError as exc:
+        print("simulate: %s" % exc, file=sys.stderr)
+        return 2
+    try:
+        print("setup (remote %s): %s (%s)" % (args.remote, spec.name,
+              ", ".join("%s=%d" % kv for kv in sorted(spec.dataset.items()))),
+              file=sys.stderr)
+        driver.setup()
+        sampler = None
+        if not args.uninstrumented and args.timeline:
+            interval = args.sample_ms or spec.sample_interval_ms
+            sampler = TimeSeriesSampler(driver.db.metrics, interval,
+                                        path=args.timeline).start()
+        report = driver.run()
+        if sampler is not None:
+            sampler.stop()
+            print("timeline written to %s" % args.timeline, file=sys.stderr)
+        report["remote"] = args.remote
+        _print_summary(report)
+        if args.report:
+            with open(args.report, "w", encoding="utf-8") as fh:
+                json.dump(report, fh, indent=2, sort_keys=True)
+            print("report written to %s" % args.report, file=sys.stderr)
+        return 0
+    except OdeError as exc:
+        print("simulate: remote run failed: %s" % exc, file=sys.stderr)
+        return 1
+    finally:
+        driver.close()
 
 
 def _print_summary(report) -> None:

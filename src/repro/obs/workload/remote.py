@@ -1,0 +1,198 @@
+"""Remote workload mode: drive a ``repro serve`` instance over TCP.
+
+The same scenario machinery (phases, client groups, closed/open-loop
+arrivals, coordinated-omission-safe latency) runs against a *network*
+server instead of an embedded Database: every operation becomes O++
+source shipped over the wire, executed server-side, its output streamed
+back. Each client thread owns one connection — mirroring the server's
+connection-per-session model — and latencies land in a **client-side**
+metrics registry, so the report measures what a remote application
+would actually observe (protocol + scheduling + engine), not just the
+engine.
+
+Only operations expressible as self-contained O++ are supported
+(``pnew``, ``update``, ``deref``, ``scan``, ``ingest``, ``analyze`` —
+the ``oltp`` and ``ingest_scan`` scenarios); the churn ops need
+embedded-only APIs (``newversion`` handles, snapshot-token reuse across
+clients) and are rejected up front with a clear error.
+"""
+
+from __future__ import annotations
+
+import random
+import threading
+from typing import Dict
+
+from ...errors import OdeError
+from ...server.client import Client
+from ..metrics import MetricsRegistry
+from .driver import WorkloadDriver
+from .spec import ScenarioSpec
+
+#: Ops with an O++-over-the-wire implementation.
+REMOTE_OPS = frozenset(
+    {"pnew", "update", "deref", "scan", "ingest", "analyze"})
+
+_SCHEMA = """
+class ritem {
+  public:
+    char* name;
+    int id;
+    int qty;
+    int category;
+    double price;
+};
+create ritem;
+class revent {
+  public:
+    int run;
+    int seq;
+    int detector;
+    double energy;
+};
+create revent;
+"""
+
+
+class _RemoteHost:
+    """The ``db``-shaped sliver the base driver needs: a metrics registry
+    for client-side histograms and a snapshot-token source (served by
+    whatever connection the calling thread owns)."""
+
+    def __init__(self, driver: "RemoteWorkloadDriver"):
+        self.metrics = MetricsRegistry()
+        self._driver = driver
+
+    def snapshot_token(self):
+        return self._driver._conn().snapshot_token()
+
+
+class RemoteWorkloadDriver(WorkloadDriver):
+    """Run a scenario against ``repro serve`` at *host*:*port*."""
+
+    def __init__(self, host: str, port: int, spec: ScenarioSpec,
+                 instrument: bool = True):
+        used = set(op for ph in spec.phases
+                   for g in ph.clients for op in g.mix)
+        unsupported = sorted(used - REMOTE_OPS)
+        if unsupported:
+            raise OdeError(
+                "ops not supported in --remote mode: %s (remote scenarios "
+                "may use: %s)" % (", ".join(unsupported),
+                                  ", ".join(sorted(REMOTE_OPS))))
+        super().__init__(_RemoteHost(self), spec, instrument)
+        self.host = host
+        self.port = port
+        self._local = threading.local()
+        self._n_items = 0
+        self._id_lock = threading.Lock()
+        self._next_id = 0
+
+    def _conn(self) -> Client:
+        client = getattr(self._local, "client", None)
+        if client is None:
+            client = Client(self.host, self.port)
+            self._local.client = client
+        return client
+
+    def _claim_id(self) -> int:
+        with self._id_lock:
+            self._next_id += 1
+            return self._next_id
+
+    # -- setup ------------------------------------------------------------
+
+    def setup(self) -> None:
+        """Create the remote schema and populate it in batched txns."""
+        client = self._conn()
+        rng = random.Random("%s:setup" % self.spec.seed)
+        client.execute(_SCHEMA)
+        n_items = self.spec.dataset.get("items", 0)
+        n_cat = max(1, int(self.params["scan_categories"]))
+        for start in range(0, n_items, 500):
+            lines = []
+            for i in range(start, min(start + 500, n_items)):
+                lines.append(
+                    'pnew ritem("item%06d", %d, %d, %d, %.2f);'
+                    % (i, i, rng.randrange(50, 500), i % n_cat,
+                       rng.uniform(1, 500)))
+            client.run_transaction(
+                lambda c, src="\n".join(lines): c.execute(src))
+        self._n_items = n_items
+        self._next_id = n_items
+        n_events = self.spec.dataset.get("events", 0)
+        for start in range(0, n_events, 500):
+            lines = []
+            for i in range(start, min(start + 500, n_events)):
+                lines.append('pnew revent(0, %d, %d, %.3f);'
+                             % (i, i % 16, rng.uniform(0.1, 99.0)))
+            client.run_transaction(
+                lambda c, src="\n".join(lines): c.execute(src))
+        self._tokens.append(client.snapshot_token())
+
+    # -- operations (O++ over the wire) ------------------------------------
+
+    def _op_pnew(self, rng: random.Random) -> None:
+        new_id = self._claim_id()
+        self._conn().execute(
+            'pnew ritem("new%08d", %d, %d, %d, %.2f);'
+            % (new_id, new_id, rng.randrange(50, 500),
+               rng.randrange(max(1, int(self.params["scan_categories"]))),
+               rng.uniform(1, 500)))
+
+    def _op_update(self, rng: random.Random) -> None:
+        if not self._n_items:
+            return
+        target = rng.randrange(self._n_items)
+        delta = rng.randrange(-20, 21)
+        src = ("forall t in ritem suchthat (t->id == %d) "
+               "t->qty = t->qty + %d;" % (target, delta))
+        # Parity with the embedded driver: hot-row conflicts (deadlock,
+        # snapshot conflict) retry instead of counting as errors.
+        self._conn().run_transaction(lambda c: c.execute(src))
+
+    def _op_deref(self, rng: random.Random) -> None:
+        if not self._n_items:
+            return
+        target = rng.randrange(self._n_items)
+        self._conn().execute(
+            "forall t in ritem suchthat (t->id == %d) "
+            'printf("%%d\\n", t->qty);' % target)
+
+    def _op_scan(self, rng: random.Random) -> None:
+        cat = rng.randrange(max(1, int(self.params["scan_categories"])))
+        out = self._conn().execute(
+            "forall t in ritem suchthat (t->category == %d) "
+            'printf("%%d\\n", t->qty);' % cat)
+        sum(int(line) for line in out if line.strip())
+
+    def _op_ingest(self, rng: random.Random) -> None:
+        batch = int(self.params["ingest_batch"])
+        run = self._ingest_run = self._ingest_run + 1
+        lines = ['pnew revent(%d, %d, %d, %.3f);'
+                 % (run, i, i % 16, rng.uniform(0.1, 99.0))
+                 for i in range(batch)]
+        self._conn().run_transaction(
+            lambda c, src="\n".join(lines): c.execute(src))
+
+    def _op_analyze(self, rng: random.Random) -> None:
+        det = rng.randrange(16)
+        out = self._conn().execute(
+            "forall e in revent suchthat (e->detector == %d) "
+            'printf("%%g\\n", e->energy);' % det)
+        sum(float(line) for line in out if line.strip())
+
+    OPS: Dict = {
+        "pnew": _op_pnew, "update": _op_update, "deref": _op_deref,
+        "scan": _op_scan, "ingest": _op_ingest, "analyze": _op_analyze,
+    }
+
+    # -- teardown ----------------------------------------------------------
+
+    def close(self) -> None:
+        """Close the calling thread's connection (worker connections are
+        torn down by their threads exiting or the server's idle reaper)."""
+        client = getattr(self._local, "client", None)
+        if client is not None:
+            client.close()
+            self._local.client = None

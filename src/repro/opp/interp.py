@@ -125,33 +125,58 @@ class Interpreter:
         self.globals = Scope()
         #: lines printed by printf/puts, for tests and callers
         self.output: List[str] = []
+        self._step_hook = None
+        self._ticks = 0
         self._install_builtins()
 
     # ------------------------------------------------------------------
     # public API
     # ------------------------------------------------------------------
 
-    def run(self, source: str) -> List[str]:
-        """Parse and execute *source*; returns the captured output lines."""
+    def run(self, source: str, step_hook=None) -> List[str]:
+        """Parse and execute *source*; returns the captured output lines.
+
+        *step_hook*, when given, is called (with no arguments) before
+        each top-level declaration/statement executes — the network
+        session uses it to enforce request deadlines and stream output
+        between statements. An exception it raises aborts execution at
+        a statement boundary.
+        """
         known = set(class_registry())
         known.update(name for name, v in self.globals.vars.items()
                      if isinstance(v, OdeMeta))
         program = Parser(source, known_types=known).parse()
-        self.execute(program)
+        self.execute(program, step_hook=step_hook)
         return self.output
 
     def run_file(self, path: str) -> List[str]:
         with open(path) as handle:
             return self.run(handle.read())
 
-    def execute(self, program: ast.Program) -> None:
-        for decl in program.decls:
-            if isinstance(decl, ast.ClassDecl):
-                self._define_class(decl)
-            elif isinstance(decl, ast.FuncDecl):
-                self._define_function(decl)
-            else:
-                self.exec_stmt(decl, self.globals)
+    def execute(self, program: ast.Program, step_hook=None) -> None:
+        prev = self._step_hook
+        self._step_hook = step_hook
+        try:
+            for decl in program.decls:
+                if step_hook is not None:
+                    step_hook()
+                if isinstance(decl, ast.ClassDecl):
+                    self._define_class(decl)
+                elif isinstance(decl, ast.FuncDecl):
+                    self._define_function(decl)
+                else:
+                    self.exec_stmt(decl, self.globals)
+        finally:
+            self._step_hook = prev
+
+    def _loop_tick(self) -> None:
+        """Periodic hook call inside loop bodies (guarded at call
+        sites on ``self._step_hook``), so a single long while/for/forall
+        statement cannot outrun a deadline — the hook otherwise only
+        runs at top-level statement boundaries."""
+        self._ticks += 1
+        if not self._ticks & 1023:
+            self._step_hook()
 
     # ------------------------------------------------------------------
     # declarations
@@ -428,6 +453,8 @@ class Interpreter:
 
     def _stmt_While(self, node: ast.While, scope: Scope) -> None:
         while self.eval(node.cond, scope):
+            if self._step_hook is not None:
+                self._loop_tick()
             try:
                 self.exec_stmt(node.body, scope)
             except _Break:
@@ -437,6 +464,8 @@ class Interpreter:
 
     def _stmt_DoWhile(self, node: ast.DoWhile, scope: Scope) -> None:
         while True:
+            if self._step_hook is not None:
+                self._loop_tick()
             try:
                 self.exec_stmt(node.body, scope)
             except _Break:
@@ -451,6 +480,8 @@ class Interpreter:
         if node.init is not None:
             self.exec_stmt(node.init, inner)
         while node.cond is None or self.eval(node.cond, inner):
+            if self._step_hook is not None:
+                self._loop_tick()
             try:
                 self.exec_stmt(node.body, inner)
             except _Break:
@@ -467,6 +498,8 @@ class Interpreter:
         inner = Scope(scope)
         inner.declare(node.var, None)
         for item in source:
+            if self._step_hook is not None:
+                self._loop_tick()
             inner.vars[node.var] = self._materialize(item)
             try:
                 self.exec_stmt(node.body, inner)
@@ -510,6 +543,8 @@ class Interpreter:
             inner.declare(var, None)
         seen = 0
         for binding in rows:
+            if self._step_hook is not None:
+                self._loop_tick()
             seen += 1
             for (var, _), value in zip(iterables, binding):
                 inner.vars[var] = value

@@ -1,0 +1,105 @@
+"""Shared jittered-exponential-backoff retry policy.
+
+One policy object, two consumers: ``Database.run_transaction`` (server-
+side transaction retry on deadlock / snapshot conflict / transient I/O)
+and the network client's request loop (those plus overload and drain
+fast-fails). Both used to carry their own ad-hoc ``backoff * 2**n``
+arithmetic; centralizing it means the delay curve, the cap, and the
+jitter band are specified — and tested — in exactly one place.
+
+The delay for attempt *n* (1-based) is::
+
+    min(cap, base_delay * 2 ** (n - 1)) * uniform(jitter_lo, jitter_hi)
+
+which preserves the historical ``run_transaction`` behaviour
+(``base * 2**(attempt-1)`` with a 0.5–1.5x jitter band) while adding the
+cap the unbounded original lacked. A policy built with an explicit
+``rng=random.Random(seed)`` is fully deterministic, which is how the
+tests pin the curve.
+"""
+
+from __future__ import annotations
+
+import random
+import time
+from typing import Callable, Optional, Type
+
+from .errors import TransientError
+
+#: Delay curve defaults: 10 ms doubling up to 1 s, 0.5–1.5x jitter.
+DEFAULT_RETRIES = 3
+DEFAULT_BASE_DELAY = 0.01
+DEFAULT_CAP = 1.0
+DEFAULT_JITTER = (0.5, 1.5)
+
+
+class RetryPolicy:
+    """How many times to retry, and how long to sleep between attempts.
+
+    Immutable value object; safe to share across threads (each ``call``
+    keeps its own attempt counter; the rng is only read under the GIL
+    and jitter quality does not require isolation).
+    """
+
+    __slots__ = ("retries", "base_delay", "cap", "jitter_lo", "jitter_hi",
+                 "rng", "sleep")
+
+    def __init__(self, retries: int = DEFAULT_RETRIES,
+                 base_delay: float = DEFAULT_BASE_DELAY,
+                 cap: float = DEFAULT_CAP,
+                 jitter=DEFAULT_JITTER,
+                 rng: Optional[random.Random] = None,
+                 sleep: Callable[[float], None] = time.sleep):
+        if retries < 0:
+            raise ValueError("retries must be >= 0, got %r" % (retries,))
+        if base_delay < 0 or cap < 0:
+            raise ValueError("delays must be >= 0")
+        self.retries = retries
+        self.base_delay = base_delay
+        self.cap = cap
+        self.jitter_lo, self.jitter_hi = jitter
+        #: injectable for determinism; the module-level ``random`` is the
+        #: shared default (same source run_transaction always used)
+        self.rng = rng
+        #: injectable for tests (collect delays instead of sleeping)
+        self.sleep = sleep
+
+    def delay(self, attempt: int) -> float:
+        """Sleep duration before retry *attempt* (1-based), jittered."""
+        raw = min(self.cap, self.base_delay * (2 ** (attempt - 1)))
+        uniform = (self.rng.uniform if self.rng is not None
+                   else random.uniform)
+        return raw * uniform(self.jitter_lo, self.jitter_hi)
+
+    def call(self, fn: Callable, retry_on: Type[BaseException] =
+             TransientError, on_retry: Optional[Callable] = None):
+        """Run ``fn()``; on a *retry_on* error, back off and re-run.
+
+        Up to ``retries`` re-runs (``retries + 1`` attempts total); the
+        last error is re-raised when the budget is exhausted. *on_retry*,
+        when given, is called as ``on_retry(attempt, exc)`` before each
+        backoff sleep — the hook both consumers use to bump their retry
+        counters.
+        """
+        attempt = 0
+        while True:
+            try:
+                return fn()
+            except retry_on as exc:
+                attempt += 1
+                if attempt > self.retries:
+                    raise
+                if on_retry is not None:
+                    on_retry(attempt, exc)
+                self.sleep(self.delay(attempt))
+
+    def __repr__(self):
+        return ("RetryPolicy(retries=%d, base_delay=%g, cap=%g, "
+                "jitter=(%g, %g))"
+                % (self.retries, self.base_delay, self.cap,
+                   self.jitter_lo, self.jitter_hi))
+
+
+#: Shared default instance (allocation-free fast path for callers that
+#: accept a policy argument and fall back to this when given None).
+DEFAULT_POLICY = RetryPolicy()

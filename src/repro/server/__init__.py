@@ -1,0 +1,39 @@
+"""Network server mode: a TCP front end over an embedded Database.
+
+ODE assumes a shared persistent object store serving many concurrent
+applications; this package is that gateway. A thread-per-connection
+server (:mod:`~repro.server.server`) speaks a compact length-prefixed,
+checksummed wire protocol (:mod:`~repro.server.protocol`) carrying O++
+statements — including ``forall`` queries — and maps every connection
+onto its own transaction session (:mod:`~repro.server.session`) riding
+the Database's thread-local session machinery, so remote transactions
+get the same MVCC snapshots, 2PL writes and scoped aborts embedded ones
+do.
+
+The design is robustness-first:
+
+* **admission control** — a connection cap and an in-flight request cap,
+  both fast-failing with :class:`~repro.errors.ServerOverloadedError`
+  rather than queueing unboundedly;
+* **deadlines** — per-request and per-transaction budgets that abort the
+  session's transaction through the ordinary scoped-abort path;
+* **slow-client handling** — bounded send timeouts and idle read
+  timeouts, with eviction that never stalls other connections;
+* **graceful drain** — stop accepting, finish (or abort) in-flight
+  transactions, clean WAL checkpoint.
+
+:mod:`~repro.server.client` is the matching client library, retrying
+transient failures (deadlock, snapshot conflict, overload, drain) with
+the shared :mod:`repro.retry` policy.
+"""
+
+from .client import Client
+from .protocol import (DEFAULT_MAX_FRAME, decode_message, encode_frame,
+                       encode_message, read_frame)
+from .server import OdeServer, ServerConfig
+
+__all__ = [
+    "Client", "OdeServer", "ServerConfig",
+    "DEFAULT_MAX_FRAME", "decode_message", "encode_message",
+    "encode_frame", "read_frame",
+]

@@ -1,0 +1,77 @@
+"""``python -m repro serve DB.odb`` — run the network server.
+
+Prints exactly one ``LISTENING <host> <port>`` line on stdout once the
+socket is bound (the crash harness and the remote workload driver parse
+it), then serves until SIGTERM/SIGINT, which triggers the graceful
+drain: stop accepting, finish or abort in-flight transactions, close the
+database (clean final WAL checkpoint), exit 0.
+"""
+
+from __future__ import annotations
+
+import argparse
+import signal
+import sys
+import threading
+
+from ..core.database import Database
+from .server import OdeServer, ServerConfig
+
+
+def _build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro serve",
+        description="Serve an Ode database over TCP.")
+    parser.add_argument("database", help="path to the database file "
+                                         "(created if absent)")
+    parser.add_argument("--host", default="127.0.0.1")
+    parser.add_argument("--port", type=int, default=0,
+                        help="TCP port (default 0 = ephemeral)")
+    parser.add_argument("--max-connections", type=int, default=64,
+                        help="concurrent connection cap (admission)")
+    parser.add_argument("--max-inflight", type=int, default=8,
+                        help="concurrent executing-request cap")
+    parser.add_argument("--admission-wait", type=float, default=0.05,
+                        help="seconds a request may wait for a slot "
+                             "before the overload fast-fail")
+    parser.add_argument("--txn-timeout", type=float, default=30.0,
+                        help="explicit-transaction deadline in seconds "
+                             "(0 = unlimited)")
+    parser.add_argument("--idle-timeout", type=float, default=300.0,
+                        help="evict a connection silent this long")
+    parser.add_argument("--write-timeout", type=float, default=10.0,
+                        help="evict a client that cannot drain a reply "
+                             "within this many seconds")
+    parser.add_argument("--drain-timeout", type=float, default=10.0,
+                        help="graceful-drain budget at shutdown")
+    parser.add_argument("--allow-debug-delay", action="store_true",
+                        help="honor ping.delay_ms (load drills only)")
+    return parser
+
+
+def cmd_serve(argv) -> int:
+    args = _build_parser().parse_args(argv)
+    config = ServerConfig(
+        host=args.host, port=args.port,
+        max_connections=args.max_connections,
+        max_inflight=args.max_inflight,
+        admission_wait_s=args.admission_wait,
+        txn_timeout_s=args.txn_timeout,
+        idle_timeout_s=args.idle_timeout,
+        write_timeout_s=args.write_timeout,
+        drain_timeout_s=args.drain_timeout,
+        allow_debug_delay=args.allow_debug_delay)
+    db = Database(args.database)
+    server = OdeServer(db, config).start()
+    stop = threading.Event()
+    for signum in (signal.SIGTERM, signal.SIGINT):
+        signal.signal(signum, lambda *_: stop.set())
+    host, port = server.address
+    print("LISTENING %s %d" % (host, port), flush=True)
+    stop.wait()
+    print("DRAINING", flush=True)
+    server.shutdown()
+    # With every session gone this is the clean final checkpoint.
+    db.close()
+    print("STOPPED", flush=True)
+    return 0

@@ -1,0 +1,193 @@
+"""Client library for the network server.
+
+A :class:`Client` is a thin, blocking wrapper over one connection: it
+ships request messages, reassembles chunked response streams, and
+re-raises server-side failures as the *same typed exceptions* the
+embedded API uses — a remote ``DeadlockError`` hits the same ``except``
+clause a local one does.
+
+Retry discipline mirrors ``Database.run_transaction``: the shared
+:class:`~repro.retry.RetryPolicy` backs :meth:`Client.run_transaction`,
+which retries :class:`~repro.errors.TransientError` (deadlock, snapshot
+conflict, overload, drain) with jittered exponential backoff and
+reconnects when the server evicted the connection along the way.
+:class:`~repro.errors.ConnectionClosedError` mid-commit is deliberately
+*not* retried — the fate of an in-flight commit is unknown, and blind
+retry could double-apply; the caller must re-check.
+"""
+
+from __future__ import annotations
+
+import socket
+from typing import Dict, List, Optional
+
+from ..errors import (ConnectionClosedError, OdeError, TransactionError,
+                      TransientError)
+from ..retry import RetryPolicy
+from . import protocol
+
+
+class Client:
+    """One connection to a ``repro serve`` instance.
+
+    Not thread-safe: like the embedded Database session, a client is one
+    caller's serial channel. Open one per worker thread.
+    """
+
+    def __init__(self, host: str, port: int, *,
+                 timeout: float = 30.0,
+                 connect_timeout: float = 5.0,
+                 max_frame: int = protocol.DEFAULT_MAX_FRAME,
+                 retry: Optional[RetryPolicy] = None):
+        self.host = host
+        self.port = port
+        self.timeout = timeout
+        self.connect_timeout = connect_timeout
+        self.max_frame = max_frame
+        self.retry = retry or RetryPolicy()
+        self._sock: Optional[socket.socket] = None
+        self.connect()
+
+    # -- connection --------------------------------------------------------
+
+    def connect(self) -> None:
+        if self._sock is not None:
+            return
+        sock = socket.create_connection((self.host, self.port),
+                                        timeout=self.connect_timeout)
+        sock.settimeout(self.timeout)
+        sock.setsockopt(socket.IPPROTO_TCP, socket.TCP_NODELAY, 1)
+        self._sock = sock
+
+    def close(self) -> None:
+        sock, self._sock = self._sock, None
+        if sock is not None:
+            try:
+                sock.close()
+            except OSError:
+                pass
+
+    def __enter__(self) -> "Client":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+    # -- request plumbing --------------------------------------------------
+
+    def _request(self, message: Dict) -> Dict:
+        """One request/response exchange.
+
+        Reassembles the chunked stream: ``output`` lines accumulate
+        across frames and land on the final (``done: true``) message,
+        which is returned. Server-side errors re-raise typed. Transport
+        failures close the socket so the next call reconnects.
+        """
+        if self._sock is None:
+            self.connect()
+        sock = self._sock
+        output: List[str] = []
+        try:
+            protocol.send_message(sock, message)
+            while True:
+                reply = protocol.read_message(sock, self.max_frame)
+                if not reply.get("ok"):
+                    break
+                output.extend(reply.get("output") or [])
+                if reply.get("done"):
+                    reply["output"] = output
+                    return reply
+        except (OSError, ConnectionClosedError):
+            # Transport died mid-exchange: the reply (and any in-flight
+            # transaction's fate) is unknown. Poison this connection.
+            self.close()
+            raise
+        except protocol.ProtocolError:
+            # *Local* framing failure (torn/corrupt frame) — unlike a
+            # server-reported error below, this connection is unusable.
+            self.close()
+            raise
+        # The server answered with a typed error; the connection itself
+        # is still good (its transaction state may not be). Re-raise.
+        protocol.raise_remote(reply)
+
+    # -- request catalogue -------------------------------------------------
+
+    def execute(self, source: str,
+                deadline_ms: Optional[float] = None) -> List[str]:
+        """Run O++ *source* on the server; returns its output lines."""
+        message: Dict = {"op": "execute", "source": source}
+        if deadline_ms is not None:
+            message["deadline_ms"] = deadline_ms
+        return self._request(message)["output"]
+
+    def begin(self) -> None:
+        self._request({"op": "begin"})
+
+    def commit(self) -> None:
+        self._request({"op": "commit"})
+
+    def abort(self) -> None:
+        self._request({"op": "abort"})
+
+    def ping(self, delay_ms: float = 0,
+             deadline_ms: Optional[float] = None) -> None:
+        message: Dict = {"op": "ping"}
+        if delay_ms:
+            message["delay_ms"] = delay_ms
+        if deadline_ms is not None:
+            message["deadline_ms"] = deadline_ms
+        self._request(message)
+
+    def stats(self) -> Dict:
+        return self._request({"op": "stats"})["stats"]
+
+    def snapshot_token(self) -> str:
+        return self._request({"op": "token"})["token"]
+
+    # -- transactional retry -----------------------------------------------
+
+    def run_transaction(self, fn):
+        """``begin``; ``fn(self)``; ``commit`` — retrying transients.
+
+        The remote analogue of ``Database.run_transaction``: any
+        :class:`~repro.errors.TransientError` (remote deadlock or
+        snapshot conflict, server overload, drain) aborts, backs off
+        with the shared jittered policy, reconnects if the server
+        dropped us, and tries again. Non-transient errors — including a
+        connection lost *mid-commit*, whose outcome is unknowable —
+        propagate after a best-effort abort.
+        """
+        policy = self.retry
+        attempt = 0
+        while True:
+            try:
+                if self._sock is None:
+                    self.connect()
+                self.begin()
+                result = fn(self)
+                self.commit()
+                return result
+            except TransientError:
+                self._abort_quietly()
+                attempt += 1
+                if attempt > policy.retries:
+                    raise
+                policy.sleep(policy.delay(attempt))
+            except OdeError:
+                self._abort_quietly()
+                raise
+
+    def _abort_quietly(self) -> None:
+        """Best-effort rollback between retries: the server usually
+        already aborted (its error paths do), and the socket may be
+        gone; neither should mask the original failure."""
+        if self._sock is None:
+            return
+        try:
+            self.abort()
+        except (TransactionError, OSError, ConnectionClosedError,
+                protocol.ProtocolError):
+            pass
+        except OdeError:
+            pass

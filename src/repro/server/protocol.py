@@ -1,0 +1,173 @@
+"""The wire protocol: length-prefixed, checksummed frames of JSON.
+
+Frame layout (all integers big-endian)::
+
+    +--------+--------+----------------+----------------+=========+
+    | magic  | flags  | payload length | crc32(payload) | payload |
+    | 2 B    | 2 B    | 4 B            | 4 B            | N B     |
+    +--------+--------+----------------+----------------+=========+
+
+The magic (``b"Od"``) catches a peer speaking the wrong protocol on the
+first frame instead of interpreting garbage as a length; the explicit
+length caps allocation (oversized frames are rejected *before* the
+payload is read); the crc32 catches torn or corrupted frames — the
+network analogue of the storage layer's per-page checksums. A frame that
+fails any of these raises :class:`~repro.errors.ProtocolError` and the
+connection is closed: framing errors are not recoverable in-band.
+
+Payloads are compact JSON messages (objects with an ``op`` or ``ok``
+key; see :mod:`~repro.server.session` for the request catalogue). JSON
+keeps the protocol self-describing and dependency-free; the frame layer
+is payload-agnostic, so a binary codec can slot in behind the same
+framing later.
+
+Socket-layer failpoints (crash-harness hooks, armed via ``REPRO_FAULTS``
+like every storage failpoint): ``server.send.pre`` (die before the
+reply — the acked-durable-but-unacked window), ``server.send.torn``
+(ship a partial frame, then die), ``server.recv.pre`` (fail the read
+with EIO).
+"""
+
+from __future__ import annotations
+
+import json
+import socket
+import struct
+import zlib
+from typing import Dict, Optional
+
+from ..errors import ConnectionClosedError, ProtocolError
+
+MAGIC = b"Od"
+HEADER = struct.Struct("!2sHII")  # magic, flags, length, crc32
+
+#: Reject frames whose declared payload exceeds this many bytes
+#: (allocation cap; a malicious or corrupt length field must not OOM the
+#: server). Large query results stream as multiple frames instead.
+DEFAULT_MAX_FRAME = 4 * 1024 * 1024
+
+#: Flag bits (reserved; 0 today). Senders must zero unknown bits.
+FLAGS_NONE = 0
+
+
+def encode_message(message: Dict) -> bytes:
+    """Serialize one protocol message (a JSON-able dict) to payload bytes."""
+    return json.dumps(message, separators=(",", ":"),
+                      default=str).encode("utf-8")
+
+
+def decode_message(payload: bytes) -> Dict:
+    """Parse payload bytes back into a message dict."""
+    try:
+        message = json.loads(payload.decode("utf-8"))
+    except (ValueError, UnicodeDecodeError) as exc:
+        raise ProtocolError("undecodable payload: %s" % exc)
+    if not isinstance(message, dict):
+        raise ProtocolError("payload is not a message object: %r"
+                            % type(message).__name__)
+    return message
+
+
+def encode_frame(payload: bytes, flags: int = FLAGS_NONE) -> bytes:
+    """Wrap *payload* in a checksummed frame."""
+    return HEADER.pack(MAGIC, flags, len(payload),
+                       zlib.crc32(payload) & 0xFFFFFFFF) + payload
+
+
+def recv_exact(sock: socket.socket, n: int, faults=None) -> bytes:
+    """Read exactly *n* bytes, or raise.
+
+    EOF before the first byte raises :class:`ConnectionClosedError`
+    (clean close between frames); EOF mid-read raises
+    :class:`ProtocolError` (a torn frame). A socket timeout propagates
+    as-is — the caller decides whether that means idle-evict or retry.
+    """
+    if faults is not None:
+        try:
+            faults.fire("server.recv.pre")
+        except OSError as exc:
+            raise ConnectionClosedError("injected recv failure: %s" % exc)
+    chunks = []
+    got = 0
+    while got < n:
+        try:
+            chunk = sock.recv(min(65536, n - got))
+        except (ConnectionResetError, BrokenPipeError):
+            chunk = b""
+        if not chunk:
+            if got == 0:
+                raise ConnectionClosedError("peer closed the connection")
+            raise ProtocolError("torn frame: EOF after %d of %d bytes"
+                                % (got, n))
+        chunks.append(chunk)
+        got += len(chunk)
+    return b"".join(chunks)
+
+
+def read_frame(sock: socket.socket,
+               max_frame: int = DEFAULT_MAX_FRAME,
+               faults=None) -> bytes:
+    """Read one frame; returns its payload bytes (validated)."""
+    header = recv_exact(sock, HEADER.size, faults=faults)
+    magic, _flags, length, crc = HEADER.unpack(header)
+    if magic != MAGIC:
+        raise ProtocolError("bad magic %r (not an Ode connection?)" % magic)
+    if length > max_frame:
+        raise ProtocolError("frame of %d bytes exceeds the %d-byte limit"
+                            % (length, max_frame))
+    payload = recv_exact(sock, length) if length else b""
+    if (zlib.crc32(payload) & 0xFFFFFFFF) != crc:
+        raise ProtocolError("frame checksum mismatch (corrupt or torn)")
+    return payload
+
+
+def send_frame(sock: socket.socket, payload: bytes, faults=None) -> None:
+    """Send one frame; socket timeouts propagate (slow-client handling
+    is the server's call)."""
+    frame = encode_frame(payload)
+    if faults is not None:
+        faults.fire("server.send.pre")
+        point = faults.fire("server.send.torn")
+        if point is not None:  # ship a partial frame, then die
+            keep = point.param or max(1, len(frame) // 2)
+            sock.sendall(frame[:keep])
+            faults.die()
+    sock.sendall(frame)
+
+
+def read_message(sock: socket.socket,
+                 max_frame: int = DEFAULT_MAX_FRAME,
+                 faults=None) -> Dict:
+    """Read one frame and decode its message."""
+    return decode_message(read_frame(sock, max_frame, faults=faults))
+
+
+def send_message(sock: socket.socket, message: Dict, faults=None) -> None:
+    """Encode and send one message as a single frame."""
+    send_frame(sock, encode_message(message), faults=faults)
+
+
+def error_message(exc: BaseException, done: bool = True) -> Dict:
+    """The wire form of an exception: type name, text, retryability.
+
+    The client re-raises the matching class from :mod:`repro.errors` (by
+    name), so a remote :class:`DeadlockError` is caught by the same
+    ``except`` clauses an embedded one is; ``retryable`` carries the
+    :class:`~repro.errors.TransientError` classification for clients
+    without the type table.
+    """
+    from ..errors import TransientError
+    return {"ok": False, "done": done,
+            "error": type(exc).__name__,
+            "message": str(exc),
+            "retryable": isinstance(exc, TransientError)}
+
+
+def raise_remote(message: Dict) -> None:
+    """Client side: re-raise the typed error carried by *message*."""
+    from .. import errors as _errors
+    name = message.get("error", "OdeError")
+    cls = getattr(_errors, name, None)
+    if not (isinstance(cls, type) and issubclass(cls, _errors.OdeError)):
+        cls = _errors.OdeError
+    raise cls(message.get("message", "remote error"))

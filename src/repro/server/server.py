@@ -1,0 +1,383 @@
+"""Thread-per-connection TCP server with a robustness kernel.
+
+Every queue is bounded, every wait has a deadline, and every overload
+path degrades by *fast-failing* rather than buffering:
+
+* **Connection admission** — at most ``max_connections`` concurrent
+  connections; an accept beyond that is answered with one
+  :class:`~repro.errors.ServerOverloadedError` frame and closed (the
+  kernel's own accept backlog is the only queue, and it is bounded).
+* **Request admission** — at most ``max_inflight`` requests execute at
+  once; a request that cannot get a slot within ``admission_wait_s``
+  fast-fails with the same typed error. Clients retry with backoff;
+  the server never grows an unbounded work queue.
+* **Deadlines** — requests carry their own budget; transactions get
+  ``txn_timeout_s``. Expiry aborts through the scoped-abort path (see
+  :mod:`~repro.server.session`); a transaction left open by an *idle*
+  connection is reaped by closing its socket, which wakes the handler
+  thread to abort on the owning thread.
+* **Slow clients** — sends run under ``write_timeout_s``; a client that
+  cannot drain its replies is evicted. Its socket alone blocks, so the
+  eviction never stalls other connections.
+* **Graceful drain** — ``shutdown()`` stops accepting, lets in-flight
+  requests finish within ``drain_timeout_s``, closes the stragglers
+  (their transactions abort on their own threads), and leaves the
+  database ready for a clean final checkpoint.
+
+Everything is observable: ``server.*`` metrics in the shared registry
+and connection lifecycle events in the database's event log.
+"""
+
+from __future__ import annotations
+
+import socket
+import threading
+import time
+from typing import Dict, Optional
+
+from ..errors import (ConnectionClosedError, ProtocolError,
+                      ServerOverloadedError, ServerShutdownError)
+from . import protocol
+from .session import Session
+
+#: Listen backlog (kernel accept queue) — deliberately small: beyond it
+#: the *client's* connect blocks/fails, which is the backpressure.
+ACCEPT_BACKLOG = 16
+
+#: Latency buckets for ``server.request_ns`` (~100us .. 10s).
+REQUEST_BUCKETS_NS = tuple(int(base * 10 ** exp)
+                           for exp in range(5, 10)
+                           for base in (1.0, 3.2)) + (10 ** 10,)
+
+
+class ServerConfig:
+    """Tunables for :class:`OdeServer` (plain attributes; construct with
+    keyword overrides)."""
+
+    #: bind address; port 0 asks the kernel for an ephemeral port
+    host: str = "127.0.0.1"
+    port: int = 0
+    max_connections: int = 64
+    max_inflight: int = 8
+    #: seconds a request may wait for an execution slot before the
+    #: overload fast-fail (0 = immediate)
+    admission_wait_s: float = 0.05
+    #: abort budget for explicit transactions (0 = unlimited)
+    txn_timeout_s: float = 30.0
+    #: reads: a connection silent this long is evicted
+    idle_timeout_s: float = 300.0
+    #: writes: a client that can't drain a reply this long is evicted
+    write_timeout_s: float = 10.0
+    #: graceful-drain budget for in-flight requests at shutdown
+    drain_timeout_s: float = 10.0
+    max_frame: int = protocol.DEFAULT_MAX_FRAME
+    #: honor ping.delay_ms (tests / admission drills only)
+    allow_debug_delay: bool = False
+    #: server-side SO_SNDBUF override (slow-client eviction tests)
+    sndbuf: Optional[int] = None
+
+    def __init__(self, **overrides):
+        for key, value in overrides.items():
+            if not hasattr(type(self), key):
+                raise TypeError("unknown ServerConfig option %r" % key)
+            setattr(self, key, value)
+
+
+class _Evict(Exception):
+    """Internal: tear this connection down for *reason*."""
+
+    def __init__(self, reason: str):
+        super().__init__(reason)
+        self.reason = reason
+
+
+class _Conn:
+    """Bookkeeping for one live connection."""
+
+    __slots__ = ("sock", "addr", "thread", "session", "opened",
+                 "bytes_in", "bytes_out")
+
+    def __init__(self, sock, addr):
+        self.sock = sock
+        self.addr = addr
+        self.thread: Optional[threading.Thread] = None
+        self.session: Optional[Session] = None
+        self.opened = time.monotonic()
+        self.bytes_in = 0
+        self.bytes_out = 0
+
+
+class OdeServer:
+    """Serve a :class:`~repro.core.database.Database` over TCP."""
+
+    def __init__(self, db, config: Optional[ServerConfig] = None):
+        self.db = db
+        self.config = config or ServerConfig()
+        self.metrics = db.metrics
+        self.events = db.events
+        self._listener: Optional[socket.socket] = None
+        self.address = None  # (host, port) after start()
+        self._conns: Dict[int, _Conn] = {}
+        self._conns_lock = threading.Lock()
+        self._inflight = threading.BoundedSemaphore(self.config.max_inflight)
+        self._inflight_count = 0
+        self._draining = False
+        self._stopped = threading.Event()
+        self._accept_thread: Optional[threading.Thread] = None
+        self._reaper_thread: Optional[threading.Thread] = None
+        m = self.metrics
+        m.gauge_fn("server.connections", lambda: len(self._conns))
+        m.gauge_fn("server.inflight", lambda: self._inflight_count)
+        self._c_conns = m.counter("server.connections.total")
+        self._c_requests = m.counter("server.requests")
+        self._h_request_ns = m.histogram("server.request_ns",
+                                         list(REQUEST_BUCKETS_NS))
+        self._c_reject_conn = m.counter("server.overload_rejects",
+                                        kind="connections")
+        self._c_reject_req = m.counter("server.overload_rejects",
+                                       kind="inflight")
+
+    # -- lifecycle ---------------------------------------------------------
+
+    def start(self) -> "OdeServer":
+        cfg = self.config
+        listener = socket.socket(socket.AF_INET, socket.SOCK_STREAM)
+        listener.setsockopt(socket.SOL_SOCKET, socket.SO_REUSEADDR, 1)
+        listener.bind((cfg.host, cfg.port))
+        listener.listen(ACCEPT_BACKLOG)
+        listener.settimeout(0.25)  # poll the stop flag
+        self._listener = listener
+        self.address = listener.getsockname()
+        self._accept_thread = threading.Thread(
+            target=self._accept_loop, name="repro-serve-accept", daemon=True)
+        self._accept_thread.start()
+        self._reaper_thread = threading.Thread(
+            target=self._reaper_loop, name="repro-serve-reaper", daemon=True)
+        self._reaper_thread.start()
+        self.events.emit("server_started", host=self.address[0],
+                         port=self.address[1])
+        return self
+
+    def shutdown(self) -> None:
+        """Graceful drain: stop accepting, let in-flight requests finish
+        within the drain budget, abort the rest, release every thread.
+
+        Idempotent. The caller (the ``repro serve`` CLI) closes the
+        database afterwards — with the sessions gone that close performs
+        the clean final WAL checkpoint.
+        """
+        if self._stopped.is_set():
+            return
+        self._draining = True
+        if self._listener is not None:
+            try:
+                self._listener.close()
+            except OSError:
+                pass
+        if self._accept_thread is not None:
+            self._accept_thread.join(timeout=5.0)
+        # Give in-flight requests their drain budget; handlers notice
+        # the draining flag between requests and exit on their own.
+        deadline = time.monotonic() + self.config.drain_timeout_s
+        while time.monotonic() < deadline:
+            with self._conns_lock:
+                busy = self._inflight_count
+                idle_conns = not self._conns
+            if not busy and idle_conns:
+                break
+            if not busy:
+                # Only idle connections remain — no need to wait longer.
+                break
+            time.sleep(0.02)
+        # Wake every handler still parked in recv (or stuck sending to a
+        # dead client): closing the socket raises in its thread, whose
+        # teardown aborts any open transaction on the owning thread.
+        with self._conns_lock:
+            entries = list(self._conns.values())
+        for entry in entries:
+            self._shutdown_sock(entry.sock)
+        for entry in entries:
+            if entry.thread is not None:
+                entry.thread.join(timeout=5.0)
+        self._stopped.set()
+        if self._reaper_thread is not None:
+            self._reaper_thread.join(timeout=5.0)
+        self.metrics.counter("server.drains").inc()
+        self.events.emit("server_drained",
+                         aborted_conns=len(entries))
+
+    @staticmethod
+    def _shutdown_sock(sock) -> None:
+        try:
+            sock.shutdown(socket.SHUT_RDWR)
+        except OSError:
+            pass
+        try:
+            sock.close()
+        except OSError:
+            pass
+
+    def __enter__(self) -> "OdeServer":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.shutdown()
+
+    # -- accept / admission ------------------------------------------------
+
+    def _accept_loop(self) -> None:
+        cfg = self.config
+        while not self._draining:
+            try:
+                sock, addr = self._listener.accept()
+            except socket.timeout:
+                continue
+            except OSError:
+                return  # listener closed under us: drain started
+            if self._draining:
+                self._fast_fail(sock, ServerShutdownError(
+                    "server is draining"))
+                continue
+            with self._conns_lock:
+                over = len(self._conns) >= cfg.max_connections
+                if not over:
+                    entry = _Conn(sock, addr)
+                    self._conns[id(entry)] = entry
+            if over:
+                self._c_reject_conn.inc()
+                self._fast_fail(sock, ServerOverloadedError(
+                    "connection limit (%d) reached" % cfg.max_connections))
+                continue
+            self._c_conns.inc()
+            if cfg.sndbuf:
+                sock.setsockopt(socket.SOL_SOCKET, socket.SO_SNDBUF,
+                                cfg.sndbuf)
+            sock.setsockopt(socket.IPPROTO_TCP, socket.TCP_NODELAY, 1)
+            thread = threading.Thread(
+                target=self._serve_conn, args=(entry,),
+                name="repro-serve-%s:%s" % addr[:2], daemon=True)
+            entry.thread = thread
+            thread.start()
+
+    def _fast_fail(self, sock, exc) -> None:
+        """Best-effort typed rejection, then close — never block accept."""
+        try:
+            sock.settimeout(1.0)
+            protocol.send_message(sock, protocol.error_message(exc))
+        except OSError:
+            pass
+        finally:
+            self._shutdown_sock(sock)
+
+    # -- per-connection handler --------------------------------------------
+
+    def _serve_conn(self, entry: _Conn) -> None:
+        cfg = self.config
+        sock = entry.sock
+        faults = self.db.faults
+        session = Session(self.db, sock, cfg, self.metrics)
+        entry.session = session
+        self.events.emit("server_conn_open", peer="%s:%s" % entry.addr[:2])
+        evict_reason = None
+        try:
+            while not self._draining:
+                sock.settimeout(cfg.idle_timeout_s)
+                try:
+                    payload = protocol.read_frame(sock, cfg.max_frame,
+                                                  faults=faults)
+                except socket.timeout:
+                    raise _Evict("idle")
+                except ConnectionClosedError:
+                    return  # clean goodbye between frames
+                entry.bytes_in += len(payload)
+                message = protocol.decode_message(payload)
+                if self._draining:
+                    self._send(entry, protocol.error_message(
+                        ServerShutdownError("server is draining")))
+                    return
+                if not self._inflight.acquire(
+                        timeout=cfg.admission_wait_s):
+                    self._c_reject_req.inc()
+                    self._send(entry, protocol.error_message(
+                        ServerOverloadedError(
+                            "%d requests in flight; admission queue "
+                            "full" % cfg.max_inflight)))
+                    continue
+                self._inflight_count += 1
+                start = time.perf_counter_ns()
+                try:
+                    self._c_requests.inc()
+                    session.handle(message,
+                                   lambda m: self._send(entry, m))
+                finally:
+                    self._inflight_count -= 1
+                    self._inflight.release()
+                    self._h_request_ns.observe(
+                        time.perf_counter_ns() - start)
+        except _Evict as evict:
+            evict_reason = evict.reason
+        except ProtocolError as exc:
+            # Framing is broken; one best-effort error frame, then close.
+            evict_reason = "protocol"
+            try:
+                sock.settimeout(1.0)
+                protocol.send_message(sock, protocol.error_message(exc))
+            except OSError:
+                pass
+        except OSError:
+            evict_reason = "io"
+        finally:
+            # Teardown always runs on the connection's own thread — the
+            # only thread allowed to abort its session's transaction.
+            session.close()
+            with self._conns_lock:
+                self._conns.pop(id(entry), None)
+            self._shutdown_sock(sock)
+            if evict_reason is not None:
+                self.metrics.counter("server.evictions",
+                                     reason=evict_reason).inc()
+            self.events.emit(
+                "server_conn_close", peer="%s:%s" % entry.addr[:2],
+                requests=session.requests, commits=session.commits,
+                bytes_in=entry.bytes_in, bytes_out=entry.bytes_out,
+                evicted=evict_reason)
+
+    def _send(self, entry: _Conn, message: Dict) -> None:
+        """Ship one response frame under the write timeout; a client that
+        cannot drain it in time is evicted (slow-client detection)."""
+        payload = protocol.encode_message(message)
+        entry.sock.settimeout(self.config.write_timeout_s)
+        try:
+            protocol.send_frame(entry.sock, payload,
+                                faults=self.db.faults)
+        except socket.timeout:
+            raise _Evict("slow_client")
+        entry.bytes_out += len(payload)
+
+    # -- reaper ------------------------------------------------------------
+
+    def _reaper_loop(self) -> None:
+        """Evict idle connections squatting on an expired transaction.
+
+        The deadline check for *running* requests happens inline (the
+        session's step hook); this thread only handles the complement —
+        a client that opened a transaction and went silent, pinning
+        locks and its MVCC snapshot. Closing its socket wakes the
+        handler thread out of ``recv``; the abort then runs on the
+        owning thread, never here.
+        """
+        while not self._stopped.wait(0.2):
+            now = time.monotonic()
+            with self._conns_lock:
+                expired = [
+                    entry for entry in self._conns.values()
+                    if entry.session is not None
+                    and not entry.session.busy
+                    and entry.session.txn_deadline is not None
+                    and now > entry.session.txn_deadline]
+            for entry in expired:
+                self.metrics.counter("server.evictions",
+                                     reason="txn_deadline").inc()
+                self.events.emit("server_txn_expired",
+                                 peer="%s:%s" % entry.addr[:2])
+                self._shutdown_sock(entry.sock)

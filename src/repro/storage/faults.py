@@ -79,6 +79,15 @@ KNOWN_FAILPOINTS: Tuple[Tuple[str, str], ...] = (
     ("shard.root.pre", "die"),
     ("recluster.pre", "die"),
     ("recluster.commit.pre", "die"),
+    # Network-server socket-layer points (fired only under `repro serve`
+    # — the embedded matrix skips them; the server crash harness covers
+    # them). `server.send.pre` kills between commit and the client ack
+    # (acked-durable-but-unacked, the classic server crash window);
+    # `server.send.torn` ships a partial reply frame then dies;
+    # `server.recv.pre` fails a request read with EIO.
+    ("server.send.pre", "die"),
+    ("server.send.torn", "torn"),
+    ("server.recv.pre", "error"),
 )
 
 _KNOWN = dict(KNOWN_FAILPOINTS)

@@ -39,6 +39,7 @@ from __future__ import annotations
 import itertools
 import os
 import threading
+import time
 import zlib
 from collections import OrderedDict
 from contextlib import contextmanager
@@ -186,6 +187,10 @@ class Store:
         self._scan_readers: Dict[int, int] = {}
         #: Maintenance rewrites currently draining/holding the gate.
         self._maint_waiters = 0
+        #: Set by :meth:`quiesce` on the close path: in-flight chain
+        #: walks have drained and new ones are refused (StorageError)
+        #: instead of racing the final checkpoint / file close.
+        self._quiesced = False
         #: Scans started per shard (metric ``shard.scans{shard=...}``).
         #: ``itertools.count`` objects, not plain ints: concurrent scans
         #: of the *same* shard bump the same slot from different threads
@@ -692,10 +697,18 @@ class Store:
         """
         ident = threading.get_ident()
         with self._scan_gate:
+            if self._quiesced and not self._scan_readers.get(ident):
+                # The store is closing: failing cleanly here beats a page
+                # read racing the final checkpoint or a closed file.
+                raise StorageError("store is shutting down; scan refused")
             if not force:
                 while (self._maint_waiters
                        and not self._scan_readers.get(ident)):
                     self._scan_gate.wait(timeout=1.0)
+                    if (self._quiesced
+                            and not self._scan_readers.get(ident)):
+                        raise StorageError(
+                            "store is shutting down; scan refused")
             self._scan_readers[ident] = self._scan_readers.get(ident, 0) + 1
 
     def _scan_exit(self) -> None:
@@ -729,6 +742,30 @@ class Store:
         with self._scan_gate:
             self._maint_waiters -= 1
             self._scan_gate.notify_all()
+
+    def quiesce(self, timeout: float = 10.0) -> bool:
+        """Drain in-flight chain walks and refuse new ones (close path).
+
+        Returns once no *other* thread is inside a scan (shard-parallel
+        scans count their consumer *and* workers here), or after
+        *timeout* seconds — a paused scan iterator held by application
+        code must not hang ``close()`` forever, so the drain is
+        best-effort-with-deadline. Either way the store is marked
+        quiesced afterwards: late scans get a clean
+        :class:`~repro.errors.StorageError` instead of racing the final
+        checkpoint. Returns whether the drain completed. Idempotent.
+        """
+        ident = threading.get_ident()
+        deadline = time.monotonic() + timeout
+        with self._scan_gate:
+            self._quiesced = True
+            self._scan_gate.notify_all()
+            while any(t != ident for t in self._scan_readers):
+                remaining = deadline - time.monotonic()
+                if remaining <= 0:
+                    return False
+                self._scan_gate.wait(timeout=min(remaining, 1.0))
+            return True
 
     def scan(self, cluster: str) -> Iterator[Tuple[RID, Dict]]:
         """Yield ``(rid, data)`` for every object in *cluster*.
@@ -1740,6 +1777,11 @@ class Store:
         nothing volatile may reach the page file past the durable log
         prefix; the reopen recovers to it.
         """
+        # Drain chain walkers *before* taking the latch (a walker needs
+        # the latch to make progress, so waiting under it would deadlock)
+        # and before the final checkpoint below — a shard-parallel scan
+        # still in flight must never race the page files closing.
+        self.quiesce()
         with self.latch:
             if self._closed:
                 return

@@ -1,0 +1,155 @@
+"""The shared retry policy: deterministic backoff, classification."""
+
+import random
+
+import pytest
+
+from repro.errors import (DeadlockError, ServerOverloadedError,
+                          SnapshotConflictError, StorageError,
+                          TransientError, TransientIOError)
+from repro.retry import DEFAULT_POLICY, RetryPolicy
+
+
+class TestDelays:
+    def test_deterministic_with_seeded_rng(self):
+        a = RetryPolicy(base_delay=0.01, rng=random.Random(42))
+        b = RetryPolicy(base_delay=0.01, rng=random.Random(42))
+        assert [a.delay(n) for n in range(1, 8)] == \
+               [b.delay(n) for n in range(1, 8)]
+
+    def test_exponential_growth_within_jitter_band(self):
+        policy = RetryPolicy(base_delay=0.01, cap=100.0,
+                             rng=random.Random(7))
+        for attempt in range(1, 6):
+            nominal = 0.01 * 2 ** (attempt - 1)
+            delay = policy.delay(attempt)
+            assert 0.5 * nominal <= delay <= 1.5 * nominal
+
+    def test_cap_bounds_the_backoff(self):
+        policy = RetryPolicy(base_delay=1.0, cap=2.0,
+                             rng=random.Random(3))
+        # Far past the cap, the jittered delay never exceeds 1.5 * cap.
+        for attempt in (10, 20, 40):
+            assert policy.delay(attempt) <= 2.0 * 1.5
+
+    def test_distinct_seeds_diverge(self):
+        a = RetryPolicy(rng=random.Random(1))
+        b = RetryPolicy(rng=random.Random(2))
+        assert [a.delay(n) for n in range(1, 6)] != \
+               [b.delay(n) for n in range(1, 6)]
+
+
+class TestCall:
+    def _flaky(self, failures, exc_type):
+        state = {"calls": 0}
+
+        def fn():
+            state["calls"] += 1
+            if state["calls"] <= failures:
+                raise exc_type("transient #%d" % state["calls"])
+            return "ok"
+        return fn, state
+
+    def test_retries_transient_then_succeeds(self):
+        slept = []
+        policy = RetryPolicy(retries=3, base_delay=0.01,
+                             rng=random.Random(0), sleep=slept.append)
+        fn, state = self._flaky(2, DeadlockError)
+        assert policy.call(fn) == "ok"
+        assert state["calls"] == 3
+        assert len(slept) == 2
+        assert all(s > 0 for s in slept)
+
+    def test_exhausted_attempts_raise_last_error(self):
+        policy = RetryPolicy(retries=2, base_delay=0.001,
+                             rng=random.Random(0), sleep=lambda _: None)
+        fn, state = self._flaky(99, SnapshotConflictError)
+        with pytest.raises(SnapshotConflictError):
+            policy.call(fn)
+        assert state["calls"] == 3  # 1 try + 2 retries
+
+    def test_non_transient_raises_immediately(self):
+        policy = RetryPolicy(retries=5, sleep=lambda _: None)
+        fn, state = self._flaky(99, StorageError)
+        with pytest.raises(StorageError):
+            policy.call(fn)
+        assert state["calls"] == 1
+
+    def test_on_retry_hook_sees_each_attempt(self):
+        seen = []
+        policy = RetryPolicy(retries=3, base_delay=0.001,
+                             rng=random.Random(0), sleep=lambda _: None)
+        fn, _ = self._flaky(2, TransientIOError)
+        policy.call(fn, on_retry=lambda attempt, exc: seen.append(
+            (attempt, type(exc).__name__)))
+        assert seen == [(1, "TransientIOError"), (2, "TransientIOError")]
+
+    def test_custom_retry_on_filter(self):
+        policy = RetryPolicy(retries=3, base_delay=0.001,
+                             rng=random.Random(0), sleep=lambda _: None)
+        fn, state = self._flaky(99, DeadlockError)
+        # Narrow the filter to a class the error is not.
+        with pytest.raises(DeadlockError):
+            policy.call(fn, retry_on=ServerOverloadedError)
+        assert state["calls"] == 1
+
+
+class TestClassification:
+    """The isinstance-based contract run_transaction and the network
+    client rely on: transient means retry-worthy."""
+
+    @pytest.mark.parametrize("exc_type", [
+        DeadlockError, SnapshotConflictError, TransientIOError,
+        ServerOverloadedError])
+    def test_transient_types(self, exc_type):
+        assert issubclass(exc_type, TransientError)
+
+    def test_hard_errors_are_not_transient(self):
+        from repro.errors import (ConnectionClosedError,
+                                  DeadlineExceededError, OppSyntaxError)
+        for exc_type in (StorageError, OppSyntaxError,
+                         ConnectionClosedError, DeadlineExceededError):
+            assert not issubclass(exc_type, TransientError)
+
+    def test_default_policy_is_usable(self):
+        assert DEFAULT_POLICY.retries >= 1
+        assert DEFAULT_POLICY.delay(1) > 0
+
+
+class TestDatabaseIntegration:
+    def test_run_transaction_retries_transients(self, tmp_path):
+        from repro.core.database import Database
+        db = Database(str(tmp_path / "r.odb"))
+        try:
+            calls = {"n": 0}
+
+            def body():
+                calls["n"] += 1
+                if calls["n"] < 3:
+                    raise DeadlockError("induced")
+                return "done"
+            assert db.run_transaction(body, retries=4,
+                                      backoff=0.001) == "done"
+            assert calls["n"] == 3
+        finally:
+            db.close()
+
+    def test_run_transaction_accepts_policy(self, tmp_path):
+        from repro.core.database import Database
+        db = Database(str(tmp_path / "p.odb"))
+        try:
+            slept = []
+            policy = RetryPolicy(retries=5, base_delay=0.001,
+                                 rng=random.Random(9),
+                                 sleep=slept.append)
+            calls = {"n": 0}
+
+            def body():
+                calls["n"] += 1
+                if calls["n"] < 2:
+                    raise SnapshotConflictError("induced")
+                return 41 + 1
+            assert db.run_transaction(body, policy=policy) == 42
+            assert slept and calls["n"] == 2
+        finally:
+            db.close()

@@ -163,10 +163,11 @@ def kill_specs(hits=(2, 13)):
     """
     specs = []
     for name, action in KNOWN_FAILPOINTS:
-        if name.startswith(("shard.", "recluster.")):
-            # Multi-shard-only points: the default workload runs a
-            # 1-shard store where they never fire (the cycle would just
-            # be a fault-free run). shard_kill_specs() covers them.
+        if name.startswith(("shard.", "recluster.", "server.")):
+            # Multi-shard-only points never fire on the default 1-shard
+            # workload, and socket-layer points never fire embedded (the
+            # cycle would just be a fault-free run); shard_kill_specs()
+            # and tests/crash/test_server_crash.py cover them.
             continue
         for at_hit in hits:
             if action == "lost":

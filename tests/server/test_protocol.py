@@ -1,0 +1,205 @@
+"""Wire-protocol edge cases: framing, torn frames, checksums, limits."""
+
+import socket
+import struct
+import threading
+import zlib
+
+import pytest
+
+from repro.errors import ConnectionClosedError, ProtocolError
+from repro.server import protocol
+
+
+def pipe():
+    """A connected local socket pair (closed by the caller)."""
+    a, b = socket.socketpair()
+    a.settimeout(5.0)
+    b.settimeout(5.0)
+    return a, b
+
+
+class TestFraming:
+    def test_roundtrip(self):
+        a, b = pipe()
+        try:
+            protocol.send_message(a, {"op": "ping", "n": 7})
+            assert protocol.read_message(b) == {"op": "ping", "n": 7}
+        finally:
+            a.close()
+            b.close()
+
+    def test_roundtrip_empty_payload(self):
+        a, b = pipe()
+        try:
+            protocol.send_frame(a, b"")
+            assert protocol.read_frame(b) == b""
+        finally:
+            a.close()
+            b.close()
+
+    def test_multiple_frames_in_sequence(self):
+        a, b = pipe()
+        try:
+            for i in range(10):
+                protocol.send_message(a, {"i": i})
+            for i in range(10):
+                assert protocol.read_message(b)["i"] == i
+        finally:
+            a.close()
+            b.close()
+
+    def test_large_payload_chunked_recv(self):
+        a, b = pipe()
+        payload = b"x" * 300_000
+        out = {}
+
+        def reader():
+            out["payload"] = protocol.read_frame(b)
+
+        t = threading.Thread(target=reader)
+        t.start()
+        try:
+            protocol.send_frame(a, payload)
+            t.join(timeout=10)
+            assert out["payload"] == payload
+        finally:
+            a.close()
+            b.close()
+
+
+class TestRejection:
+    def test_bad_magic(self):
+        a, b = pipe()
+        try:
+            a.sendall(b"XX" + b"\x00" * (protocol.HEADER.size - 2))
+            with pytest.raises(ProtocolError, match="magic"):
+                protocol.read_frame(b)
+        finally:
+            a.close()
+            b.close()
+
+    def test_oversized_frame_rejected_before_payload_read(self):
+        a, b = pipe()
+        try:
+            # Declare a payload over the cap; send only the header — the
+            # reader must reject on the declared length, not block
+            # trying to allocate/read the payload.
+            header = protocol.HEADER.pack(protocol.MAGIC, 0,
+                                          protocol.DEFAULT_MAX_FRAME + 1, 0)
+            a.sendall(header)
+            with pytest.raises(ProtocolError, match="exceeds"):
+                protocol.read_frame(b)
+        finally:
+            a.close()
+            b.close()
+
+    def test_custom_max_frame(self):
+        a, b = pipe()
+        try:
+            protocol.send_frame(a, b"x" * 100)
+            with pytest.raises(ProtocolError, match="exceeds"):
+                protocol.read_frame(b, max_frame=10)
+        finally:
+            a.close()
+            b.close()
+
+    def test_checksum_mismatch(self):
+        a, b = pipe()
+        try:
+            payload = b'{"op":"ping"}'
+            frame = protocol.encode_frame(payload)
+            # Flip a payload bit after the crc was computed.
+            corrupt = frame[:-1] + bytes([frame[-1] ^ 0x01])
+            a.sendall(corrupt)
+            with pytest.raises(ProtocolError, match="checksum"):
+                protocol.read_frame(b)
+        finally:
+            a.close()
+            b.close()
+
+    def test_torn_frame_eof_mid_payload(self):
+        a, b = pipe()
+        try:
+            frame = protocol.encode_frame(b'{"op":"ping"}')
+            a.sendall(frame[:-4])  # header + partial payload, then EOF
+            a.close()
+            with pytest.raises(ProtocolError, match="torn"):
+                protocol.read_frame(b)
+        finally:
+            b.close()
+
+    def test_torn_frame_eof_mid_header(self):
+        a, b = pipe()
+        try:
+            a.sendall(b"Od\x00")
+            a.close()
+            with pytest.raises(ProtocolError, match="torn"):
+                protocol.read_frame(b)
+        finally:
+            b.close()
+
+    def test_clean_close_between_frames(self):
+        a, b = pipe()
+        try:
+            a.close()
+            with pytest.raises(ConnectionClosedError):
+                protocol.read_frame(b)
+        finally:
+            b.close()
+
+    def test_undecodable_payload(self):
+        with pytest.raises(ProtocolError, match="undecodable"):
+            protocol.decode_message(b"\xff\xfe not json")
+
+    def test_non_object_payload(self):
+        with pytest.raises(ProtocolError, match="not a message object"):
+            protocol.decode_message(b"[1,2,3]")
+
+
+class TestFrameLayout:
+    """Pin the on-wire layout so it cannot drift silently."""
+
+    def test_header_fields(self):
+        payload = b"hello"
+        frame = protocol.encode_frame(payload, flags=3)
+        magic, flags, length, crc = struct.unpack(
+            "!2sHII", frame[:protocol.HEADER.size])
+        assert magic == b"Od"
+        assert flags == 3
+        assert length == len(payload)
+        assert crc == zlib.crc32(payload) & 0xFFFFFFFF
+        assert frame[protocol.HEADER.size:] == payload
+
+    def test_header_size_is_twelve_bytes(self):
+        assert protocol.HEADER.size == 12
+
+
+class TestErrorMessages:
+    def test_error_message_carries_retryability(self):
+        from repro.errors import DeadlockError, StorageError
+        retry = protocol.error_message(DeadlockError("cycle"))
+        assert retry["retryable"] is True
+        assert retry["error"] == "DeadlockError"
+        hard = protocol.error_message(StorageError("bad page"))
+        assert hard["retryable"] is False
+
+    def test_raise_remote_retypes(self):
+        from repro.errors import DeadlockError, TransientError
+        msg = protocol.error_message(DeadlockError("cycle"))
+        with pytest.raises(DeadlockError):
+            protocol.raise_remote(msg)
+        with pytest.raises(TransientError):
+            protocol.raise_remote(msg)
+
+    def test_raise_remote_unknown_type_falls_back(self):
+        from repro.errors import OdeError
+        with pytest.raises(OdeError):
+            protocol.raise_remote({"error": "NoSuchError", "message": "x"})
+
+    def test_raise_remote_refuses_non_error_attribute(self):
+        # A hostile server naming a non-exception attribute must not
+        # make the client call arbitrary callables.
+        from repro.errors import OdeError
+        with pytest.raises(OdeError):
+            protocol.raise_remote({"error": "Dict", "message": "x"})
